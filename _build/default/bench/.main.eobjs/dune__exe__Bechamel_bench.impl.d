@@ -1,0 +1,1 @@
+bench/bechamel_bench.ml: Analyze Bechamel Benchmark List Measure Minic Omni_sfi Omni_targets Omni_workloads Omnivm Omniware Printf Staged Test Time Toolkit

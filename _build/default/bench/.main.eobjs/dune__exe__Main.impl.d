@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_bench List Omni_harness Omni_workloads Printf Unix

@@ -1,0 +1,51 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index and EXPERIMENTS.md
+   for recorded results).
+
+     dune exec bench/main.exe                 -- everything, test size
+     dune exec bench/main.exe -- --size ref   -- everything, reference size
+     dune exec bench/main.exe -- table1 figure1 speed bechamel ...
+
+   All relative-time numbers come from the simulated pipeline cycle counts;
+   [speed] and [bechamel] measure real wall-clock translation time (the
+   paper's load-time-matters argument), the latter with statistically
+   sound measurement via Bechamel. *)
+
+module E = Omni_harness.Experiments
+module W = Omni_workloads.Workloads
+
+let sections =
+  [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
+    "figure2"; "ablation"; "ablation-reads"; "speed"; "bechamel" ]
+
+let run_section ~size name =
+  let t0 = Unix.gettimeofday () in
+  (match name with
+  | "table1" -> print_string (E.table1 ~size)
+  | "table2" -> print_string (E.table2 ~size)
+  | "table3" -> print_string (E.table3 ~size)
+  | "table4" -> print_string (E.table4 ~size)
+  | "table5" -> print_string (E.table5 ~size)
+  | "table6" -> print_string (E.table6 ~size)
+  | "figure1" -> print_string (E.figure1 ~size)
+  | "figure2" -> print_string (E.figure2 ())
+  | "ablation" -> print_string (E.ablation_sfi_opt ~size)
+  | "ablation-reads" -> print_string (E.ablation_read_protection ~size)
+  | "speed" -> print_string (E.translation_speed ~size)
+  | "bechamel" -> Bechamel_bench.run ~size
+  | other -> Printf.eprintf "unknown section %s\n" other);
+  Printf.printf "[%s took %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+
+let () =
+  let size = ref W.Test in
+  let picked = ref [] in
+  let spec =
+    [ ("--size",
+       Arg.String (fun s -> size := if s = "ref" then W.Ref else W.Test),
+       "test|ref workload size (default test)") ]
+  in
+  Arg.parse spec (fun s -> picked := s :: !picked) "bench [sections]";
+  let todo = if !picked = [] then sections else List.rev !picked in
+  Printf.printf "omniware benchmark harness (size: %s)\n\n%!"
+    (match !size with W.Test -> "test" | W.Ref -> "ref");
+  List.iter (run_section ~size:!size) todo

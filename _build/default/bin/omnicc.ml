@@ -1,0 +1,57 @@
+(* omnicc: compile MiniC to a mobile OmniVM module (wire format).
+
+     omnicc input.mc -o module.omni [-O0|-O1|-O2] [--regs N] [--dump-asm]
+
+   The output is the shippable mobile-code artifact; run it with omnirun. *)
+
+let () =
+  let input = ref None in
+  let output = ref "a.omni" in
+  let level = ref Minic.Opt.O2 in
+  let regs = ref 16 in
+  let dump_asm = ref false in
+  let dump_ir = ref false in
+  let spec =
+    [ ("-o", Arg.Set_string output, "FILE output module (default a.omni)");
+      ("-O0", Arg.Unit (fun () -> level := Minic.Opt.O0), " no optimization");
+      ("-O1", Arg.Unit (fun () -> level := Minic.Opt.O1), " local optimization");
+      ("-O2", Arg.Unit (fun () -> level := Minic.Opt.O2), " full optimization");
+      ("--regs", Arg.Set_int regs, "N OmniVM register file size (8..16)");
+      ("--dump-asm", Arg.Set dump_asm, " print linked OmniVM assembly");
+      ("--dump-ir", Arg.Set dump_ir, " print optimized IR") ]
+  in
+  Arg.parse spec (fun f -> input := Some f) "omnicc <input.mc> [-o out.omni]";
+  match !input with
+  | None ->
+      prerr_endline "omnicc: no input file";
+      exit 2
+  | Some path ->
+      let source = In_channel.with_open_text path In_channel.input_all in
+      let options =
+        { Minic.Driver.opt_level = !level; regfile_size = !regs }
+      in
+      (try
+         if !dump_ir then begin
+           let tast = Minic.Driver.typed_program source in
+           let ir = Minic.Lower.lower_program tast in
+           let ir = Minic.Opt.optimize !level ir in
+           List.iter
+             (fun f -> print_string (Minic.Ir.func_to_string f))
+             ir.Minic.Ir.pr_funcs
+         end;
+         let exe = Minic.Driver.compile_exe ~options ~name:path source in
+         if !dump_asm then Format.printf "%a" Omnivm.Exe.pp exe;
+         Out_channel.with_open_bin !output (fun oc ->
+             Out_channel.output_string oc (Omnivm.Wire.encode exe))
+       with
+      | Minic.Lexer.Error { line; message }
+      | Minic.Parser.Error { line; message }
+      | Minic.Typecheck.Error { line; message } ->
+          Printf.eprintf "%s:%d: error: %s\n" path line message;
+          exit 1
+      | Minic.Lower.Error m | Minic.Codegen.Error m ->
+          Printf.eprintf "%s: internal error: %s\n" path m;
+          exit 1
+      | Omni_asm.Link.Link_error m ->
+          Printf.eprintf "%s: link error: %s\n" path m;
+          exit 1)

@@ -1,0 +1,38 @@
+(* omnirun: host application that loads and executes a mobile OmniVM module.
+
+     omnirun module.omni [--engine interp|mips|sparc|ppc|x86] [--no-sfi]
+                         [--stats]
+
+   The default engine is the OmniVM reference interpreter; the target
+   engines translate the module to simulated native code at load time
+   (with software fault isolation unless --no-sfi) and report simulated
+   cycle counts with --stats. *)
+
+let () =
+  let input = ref None in
+  let engine = ref "interp" in
+  let sfi = ref true in
+  let stats = ref false in
+  let spec =
+    [ ("--engine", Arg.Set_string engine,
+       "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
+      ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
+      ("--stats", Arg.Set stats, " print execution statistics") ]
+  in
+  Arg.parse spec (fun f -> input := Some f) "omnirun <module.omni>";
+  match !input with
+  | None ->
+      prerr_endline "omnirun: no module";
+      exit 2
+  | Some path ->
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      let result =
+        Omniware.Api.run_wire ~engine:!engine ~sfi:!sfi bytes
+      in
+      print_string result.Omniware.Api.output;
+      if !stats then begin
+        Printf.eprintf "engine:        %s\n" !engine;
+        Printf.eprintf "instructions:  %d\n" result.Omniware.Api.instructions;
+        Printf.eprintf "cycles:        %d\n" result.Omniware.Api.cycles
+      end;
+      exit result.Omniware.Api.exit_code

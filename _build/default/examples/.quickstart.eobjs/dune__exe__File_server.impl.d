@@ -1,0 +1,1 @@
+examples/file_server.ml: Buffer Char Omni_runtime Omni_targets Omnivm Omniware Printf String

@@ -1,0 +1,1 @@
+examples/mail_filter.ml: Char List Omni_runtime Omni_targets Omnivm Omniware Printf String

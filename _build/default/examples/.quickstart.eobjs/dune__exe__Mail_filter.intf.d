@@ -1,0 +1,1 @@
+examples/mail_filter.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Omni_targets Omniware Printf String

@@ -1,0 +1,1 @@
+examples/sandbox_escape.ml: Bytes List Omni_asm Omni_runtime Omni_sfi Omni_targets Omnivm Omniware Printf

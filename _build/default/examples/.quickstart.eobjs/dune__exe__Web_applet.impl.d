@@ -1,0 +1,1 @@
+examples/web_applet.ml: List Omni_targets Omnivm Omniware Printf String Unix

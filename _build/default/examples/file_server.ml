@@ -1,0 +1,95 @@
+(* Function shipping for a file server (paper section 2: "a file system
+   server can ship a decompression function to a client to offload its
+   processing").
+
+     dune exec examples/file_server.exe
+
+   The server compresses documents with run-length encoding and ships each
+   client BOTH the compressed bytes and a mobile decompressor module. The
+   client (this host) grants the module exactly two capabilities: reading
+   the compressed stream (host service) and emitting bytes (putchar). The
+   client never needs decompression code of its own -- and if tomorrow the
+   server switches codecs, it just ships a different module. *)
+
+module Api = Omniware.Api
+module Host = Omni_runtime.Host
+
+(* the decompressor the server ships, as a mobile module *)
+let decompressor =
+  {|
+/* host services: 1 = compressed length, 2 = byte at index.
+   RLE format: (count, byte) pairs; count 0 terminates early. */
+int clen(void) { return host_service(1, 0, 0, 0); }
+int cbyte(int i) { return host_service(2, i, 0, 0); }
+
+int main(void) {
+  int i; int n; int count; int b; int k;
+  int total;
+  n = clen();
+  total = 0;
+  for (i = 0; i + 1 < n; i += 2) {
+    count = cbyte(i);
+    b = cbyte(i + 1);
+    if (count == 0) break;
+    for (k = 0; k < count; k++) putchar(b);
+    total += count;
+  }
+  return total;   /* decompressed size, reported to the host */
+}
+|}
+
+(* server side, in OCaml: the matching compressor *)
+let rle_compress (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let run = ref 0 in
+    while !i < n && s.[!i] = c && !run < 255 do
+      incr i;
+      incr run
+    done;
+    Buffer.add_char buf (Char.chr !run);
+    Buffer.add_char buf c
+  done;
+  Buffer.contents buf
+
+let document =
+  "........the quick brown fox........\n\
+   ====================================\n\
+   mobile code means the client never\n\
+   needs to know the codec aaaaaahhhhh\n\
+   ====================================\n"
+
+let () =
+  let compressed = rle_compress document in
+  let wire = Api.compile ~name:"rle" decompressor in
+  Printf.printf
+    "server: document %d bytes -> %d compressed + %d-byte decompressor module\n\n"
+    (String.length document) (String.length compressed) (String.length wire);
+  (* client side *)
+  let exe = Omnivm.Wire.decode wire in
+  let img =
+    Api.load ~allow:Omnivm.Hostcall.[ Exit; Put_char; Host_service ] exe
+  in
+  Host.set_service img.Omni_runtime.Loader.host (fun op a _ _ ->
+      match op with
+      | 1 -> String.length compressed
+      | 2 ->
+          if a >= 0 && a < String.length compressed then
+            Char.code compressed.[a]
+          else -1
+      | _ -> -1);
+  let tr = Api.translate Omni_targets.Arch.Ppc exe in
+  let r = Api.run_translated ~fuel:10_000_000 tr img in
+  (match r.Api.outcome with
+  | Omni_targets.Machine.Exited size ->
+      Printf.printf "client: module reported %d decompressed bytes\n\n" size;
+      print_string r.Api.output;
+      if r.Api.output = document then
+        print_endline "\n[round trip exact: client reproduced the document]"
+      else print_endline "\n[BUG: document mismatch]"
+  | Omni_targets.Machine.Faulted f ->
+      Printf.printf "module faulted: %s\n" (Omnivm.Fault.to_string f)
+  | Omni_targets.Machine.Out_of_fuel -> print_endline "module ran too long")

@@ -1,0 +1,108 @@
+(* Mail filtering: the paper's motivating host-extension scenario
+   (section 2: "an e-mail client can ship a mail-filtering function to a
+   server to reduce server bandwidth requirements").
+
+     dune exec examples/mail_filter.exe
+
+   The mail server (the host, written in OCaml) loads an untrusted
+   filtering module (written in MiniC by some user) and calls it once per
+   message. The module talks back through the host-service call: it asks
+   for message bytes and returns a verdict. The host restricts the module's
+   authority to exactly that service -- no printing, no clock -- and SFI
+   guarantees the module cannot touch the server's memory. *)
+
+module Api = Omniware.Api
+module Host = Omni_runtime.Host
+
+(* the user's filter, compiled to a mobile module: scores a message by
+   counting suspicious words and long runs of capitals *)
+let filter_source =
+  {|
+/* host services (op codes for host_service):
+   1 = message length, 2 = byte at index */
+int msg_len(void) { return host_service(1, 0, 0, 0); }
+int msg_byte(int i) { return host_service(2, i, 0, 0); }
+
+int lower(int c) { if (c >= 'A' && c <= 'Z') return c + 32; return c; }
+
+int match_at(int pos, char *word, int n) {
+  int j;
+  for (j = 0; j < n; j++) {
+    if (lower(msg_byte(pos + j)) != (int)word[j]) return 0;
+  }
+  return 1;
+}
+
+int main(void) {
+  int n; int i; int score; int caps_run; int caps_max;
+  n = msg_len();
+  score = 0;
+  caps_run = 0; caps_max = 0;
+  for (i = 0; i < n; i++) {
+    int c;
+    c = msg_byte(i);
+    if (c >= 'A' && c <= 'Z') { caps_run++; if (caps_run > caps_max) caps_max = caps_run; }
+    else caps_run = 0;
+    if (i + 4 <= n && match_at(i, "free", 4)) score += 3;
+    if (i + 5 <= n && match_at(i, "money", 5)) score += 5;
+    if (i + 6 <= n && match_at(i, "winner", 6)) score += 7;
+  }
+  if (caps_max >= 8) score += caps_max;
+  return score;   /* the exit code is the spam score */
+}
+|}
+
+let messages =
+  [ "Hello team, the design review moved to Thursday afternoon.";
+    "FREE MONEY!!! You are a WINNER, claim your free money NOW!!!";
+    "Quarterly numbers attached; winner of the hackathon announced Friday.";
+    "URGENT!!! FREE CRUISE FOR THE LUCKIEST WINNER EVER!!!!" ]
+
+let () =
+  let wire = Api.compile ~name:"filter" filter_source in
+  Printf.printf "mail server: received %d-byte filter module from user\n\n"
+    (String.length wire);
+  let exe = Omnivm.Wire.decode wire in
+  List.iteri
+    (fun idx msg ->
+      (* one fresh, isolated instance per message; the module may call ONLY
+         exit (to return its verdict) and the host service *)
+      let img =
+        Api.load
+          ~allow:Omnivm.Hostcall.[ Exit; Host_service ]
+          exe
+      in
+      Host.set_service img.Omni_runtime.Loader.host (fun op a _ _ ->
+          match op with
+          | 1 -> String.length msg
+          | 2 -> if a >= 0 && a < String.length msg then Char.code msg.[a] else -1
+          | _ -> -1);
+      let tr = Api.translate Omni_targets.Arch.Mips exe in
+      let r = Api.run_translated ~fuel:50_000_000 tr img in
+      let verdict =
+        match r.Api.outcome with
+        | Omni_targets.Machine.Exited score ->
+            if score >= 8 then Printf.sprintf "SPAM (score %d)" score
+            else Printf.sprintf "ok (score %d)" score
+        | Omni_targets.Machine.Faulted f ->
+            "filter faulted: " ^ Omnivm.Fault.to_string f
+        | Omni_targets.Machine.Out_of_fuel -> "filter ran too long; killed"
+      in
+      Printf.printf "message %d: %-14s | %s\n" (idx + 1) verdict
+        (if String.length msg > 40 then String.sub msg 0 40 ^ "..." else msg))
+    messages;
+  (* a filter that tries to print (not in its grant) is stopped cold *)
+  print_newline ();
+  let nosy =
+    Api.compile ~name:"nosy"
+      {| int main(void) { print_str("exfiltrating!"); return 0; } |}
+  in
+  let exe = Omnivm.Wire.decode nosy in
+  let img = Api.load ~allow:Omnivm.Hostcall.[ Exit; Host_service ] exe in
+  let tr = Api.translate Omni_targets.Arch.Mips exe in
+  let r = Api.run_translated ~fuel:1_000_000 tr img in
+  (match r.Api.outcome with
+  | Omni_targets.Machine.Faulted (Omnivm.Fault.Unauthorized_host_call _) ->
+      print_endline
+        "nosy filter tried to call print_str: unauthorized host call, module killed"
+  | _ -> print_endline "unexpected: nosy filter was not stopped")

@@ -1,0 +1,1 @@
+lib/asm/link.ml: Array Bytes Char Exe Hashtbl Instr Layout List Obj Omni_util Omnivm Printf

@@ -1,0 +1,1 @@
+lib/asm/link.mli: Obj Omnivm

@@ -1,0 +1,1 @@
+lib/asm/obj.ml: Array Buffer Bytes Char Int64 List Omnivm String

@@ -1,0 +1,1 @@
+lib/asm/obj.mli: Bytes Omnivm

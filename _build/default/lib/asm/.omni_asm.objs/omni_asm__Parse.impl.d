@@ -1,0 +1,1 @@
+lib/asm/parse.ml: Buffer Char Instr List Obj Omnivm Printf Reg String

@@ -1,0 +1,1 @@
+lib/asm/parse.mli: Obj

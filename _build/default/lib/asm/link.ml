@@ -1,0 +1,147 @@
+(* Linker: combine relocatable objects into a linked mobile module.
+
+   Layout: text sections are concatenated in input order starting at
+   [Layout.code_base]; data sections are concatenated 8-byte aligned starting
+   at [Layout.data_base], with all bss blocks placed after all initialized
+   data (so the executable's data image contains no bss bytes).
+
+   Symbol resolution: a relocation in object O first resolves against O's own
+   symbols (local or global), then against global symbols of all objects.
+   Duplicate global definitions and unresolved references are errors. *)
+
+open Omnivm
+
+exception Link_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+type placed = {
+  obj : Obj.t;
+  text_base : int; (* instruction index of this object's text *)
+  data_base : int; (* byte offset of this object's data *)
+  bss_base : int; (* byte offset of this object's bss *)
+}
+
+let align8 n = (n + 7) land lnot 7
+
+let symbol_addr placed (s : Obj.symbol) =
+  match s.sym_section with
+  | Obj.Text -> Exe.code_addr (placed.text_base + s.sym_offset)
+  | Obj.Data ->
+      let init_len = Bytes.length placed.obj.Obj.data in
+      let origin = Layout.data_base + Layout.reserved_data in
+      if s.sym_offset < init_len then
+        origin + placed.data_base + s.sym_offset
+      else
+        (* Offsets past the initialized data refer into this object's bss. *)
+        origin + placed.bss_base + (s.sym_offset - init_len)
+
+let link ?(entry = "main") (objs : Obj.t list) : Exe.t =
+  if objs = [] then fail "no input objects";
+  (* Place sections. *)
+  let text_len = List.fold_left (fun n o -> n + Array.length o.Obj.text) 0 objs in
+  let data_len =
+    List.fold_left (fun n o -> align8 (n + Bytes.length o.Obj.data)) 0 objs
+  in
+  let placed, _, _, _ =
+    List.fold_left
+      (fun (acc, ti, di, bi) o ->
+        let p = { obj = o; text_base = ti; data_base = di; bss_base = bi } in
+        ( p :: acc,
+          ti + Array.length o.Obj.text,
+          align8 (di + Bytes.length o.Obj.data),
+          align8 (bi + o.Obj.bss_size) ))
+      ([], 0, 0, data_len) objs
+  in
+  let placed = List.rev placed in
+  (* Global symbol table. *)
+  let globals = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (s : Obj.symbol) ->
+          if s.sym_global then begin
+            if Hashtbl.mem globals s.sym_name then
+              fail "duplicate global symbol %s (in %s)" s.sym_name
+                p.obj.Obj.obj_name;
+            Hashtbl.add globals s.sym_name (symbol_addr p s)
+          end)
+        p.obj.Obj.symbols)
+    placed;
+  let resolve p name =
+    match Obj.find_symbol p.obj name with
+    | Some s -> symbol_addr p s
+    | None -> (
+        match Hashtbl.find_opt globals name with
+        | Some a -> a
+        | None ->
+            fail "undefined symbol %s (referenced from %s)" name
+              p.obj.Obj.obj_name)
+  in
+  (* Build text with relocations applied. *)
+  let text = Array.make text_len Instr.Nop in
+  List.iter
+    (fun p ->
+      Array.blit p.obj.Obj.text 0 text p.text_base
+        (Array.length p.obj.Obj.text);
+      List.iter
+        (fun (r : Obj.reloc) ->
+          let v = resolve p r.rel_sym + r.rel_addend in
+          let at = p.text_base + r.rel_at in
+          let patched =
+            match (r.rel_field, text.(at)) with
+            | Obj.Label, Instr.Br (c, a, b, _) -> Instr.Br (c, a, b, v)
+            | Obj.Label, Instr.Bri (c, a, i, _) -> Instr.Bri (c, a, i, v)
+            | Obj.Label, Instr.J _ -> Instr.J v
+            | Obj.Label, Instr.Jal _ -> Instr.Jal v
+            | Obj.Imm, Instr.Li (rd, base) ->
+                Instr.Li (rd, Omni_util.Word32.of_int (base + v))
+            | Obj.Imm, Instr.Binopi (op, rd, rs, base) ->
+                Instr.Binopi (op, rd, rs, Omni_util.Word32.of_int (base + v))
+            | Obj.Imm, Instr.Load (w, s, rd, b, base) ->
+                Instr.Load (w, s, rd, b, Omni_util.Word32.of_int (base + v))
+            | Obj.Imm, Instr.Store (w, rv, b, base) ->
+                Instr.Store (w, rv, b, Omni_util.Word32.of_int (base + v))
+            | Obj.Imm, Instr.Fload (pr, fd, b, base) ->
+                Instr.Fload (pr, fd, b, Omni_util.Word32.of_int (base + v))
+            | Obj.Imm, Instr.Fstore (pr, fv, b, base) ->
+                Instr.Fstore (pr, fv, b, Omni_util.Word32.of_int (base + v))
+            | Obj.Imm, Instr.Bri (c, a, base, l) ->
+                Instr.Bri (c, a, Omni_util.Word32.of_int (base + v), l)
+            | _, i ->
+                fail "bad relocation in %s at %d on %s" p.obj.Obj.obj_name
+                  r.rel_at
+                  (Instr.to_string Instr.pp_addr_label i)
+          in
+          text.(at) <- patched)
+        p.obj.Obj.relocs)
+    placed;
+  (* Build the initialized-data image with data relocations applied. *)
+  let data = Bytes.make data_len '\000' in
+  let total_bss =
+    List.fold_left (fun n o -> align8 (n + o.Obj.bss_size)) 0 objs
+  in
+  List.iter
+    (fun p ->
+      Bytes.blit p.obj.Obj.data 0 data p.data_base
+        (Bytes.length p.obj.Obj.data);
+      List.iter
+        (fun (off, sym, addend) ->
+          let v = (resolve p sym + addend) land 0xFFFFFFFF in
+          let at = p.data_base + off in
+          Bytes.set data at (Char.chr (v land 0xFF));
+          Bytes.set data (at + 1) (Char.chr ((v lsr 8) land 0xFF));
+          Bytes.set data (at + 2) (Char.chr ((v lsr 16) land 0xFF));
+          Bytes.set data (at + 3) (Char.chr ((v lsr 24) land 0xFF)))
+        p.obj.Obj.data_relocs)
+    placed;
+  let entry_addr =
+    match Hashtbl.find_opt globals entry with
+    | Some a -> a
+    | None -> fail "entry symbol %s is undefined" entry
+  in
+  let symbols =
+    Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) globals []
+    |> List.sort compare
+  in
+  { Exe.text; entry = entry_addr; data; bss_size = total_bss; symbols }

@@ -1,0 +1,13 @@
+(** Linker: combine relocatable objects into a linked mobile module.
+
+    Text sections are concatenated in input order at the bottom of the code
+    segment; data sections are concatenated 8-byte-aligned above the
+    reserved runtime area of the data segment, with bss blocks after all
+    initialized data. Relocations resolve first against the referencing
+    object's own symbols, then against the global symbols of all objects. *)
+
+exception Link_error of string
+(** Undefined or duplicate symbols, missing entry, malformed relocations. *)
+
+val link : ?entry:string -> Obj.t list -> Omnivm.Exe.t
+(** [entry] defaults to ["main"]. *)

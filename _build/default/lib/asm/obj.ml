@@ -1,0 +1,156 @@
+(* Relocatable OmniVM object files.
+
+   Both the MiniC code generator and the textual assembler produce this
+   format; the linker combines objects into a linked [Omnivm.Exe.t] mobile
+   module. Text offsets are in instructions, data offsets in bytes.
+
+   Instructions referencing symbols carry a placeholder 0 in the affected
+   field plus a relocation record. Because OmniVM immediates and address
+   offsets are a full 32 bits (paper 3.4), every relocation is a simple
+   "absolute address of symbol + addend" patch: no high/low pairs. *)
+
+type section = Text | Data
+
+type symbol = {
+  sym_name : string;
+  sym_section : section;
+  sym_offset : int; (* instruction index (Text) or byte offset (Data) *)
+  sym_global : bool;
+}
+
+(* Which field of an instruction a relocation patches. *)
+type field =
+  | Label (* branch / jump target *)
+  | Imm (* 32-bit immediate or address offset *)
+
+type reloc = { rel_at : int; rel_field : field; rel_sym : string; rel_addend : int }
+
+type t = {
+  obj_name : string;
+  text : int Omnivm.Instr.t array;
+  data : Bytes.t;
+  bss_size : int;
+  symbols : symbol list;
+  relocs : reloc list;
+  data_relocs : (int * string * int) list;
+      (* byte offset in data <- address of sym + addend *)
+}
+
+let empty name =
+  {
+    obj_name = name;
+    text = [||];
+    data = Bytes.create 0;
+    bss_size = 0;
+    symbols = [];
+    relocs = [];
+    data_relocs = [];
+  }
+
+let find_symbol t name =
+  List.find_opt (fun s -> String.equal s.sym_name name) t.symbols
+
+(* --- builder: incremental object construction --- *)
+
+module Builder = struct
+  type obj = t
+
+  type t = {
+    name : string;
+    mutable instrs : int Omnivm.Instr.t list; (* reversed *)
+    mutable n_instrs : int;
+    data : Buffer.t;
+    mutable bss : int;
+    mutable syms : symbol list;
+    mutable rels : reloc list;
+    mutable drels : (int * string * int) list;
+  }
+
+  let create name =
+    {
+      name;
+      instrs = [];
+      n_instrs = 0;
+      data = Buffer.create 256;
+      bss = 0;
+      syms = [];
+      rels = [];
+      drels = [];
+    }
+
+  let here_text t = t.n_instrs
+  let here_data t = Buffer.length t.data + t.bss
+
+  let emit t i =
+    t.instrs <- i :: t.instrs;
+    t.n_instrs <- t.n_instrs + 1
+
+  (* Emit an instruction whose [field] refers to [sym] + [addend]. *)
+  let emit_reloc t i ~field ~sym ~addend =
+    t.rels <-
+      { rel_at = t.n_instrs; rel_field = field; rel_sym = sym;
+        rel_addend = addend }
+      :: t.rels;
+    emit t i
+
+  let def_symbol t ~name ~section ~offset ~global =
+    t.syms <-
+      { sym_name = name; sym_section = section; sym_offset = offset;
+        sym_global = global }
+      :: t.syms
+
+  let def_label_here t ~name ~global =
+    def_symbol t ~name ~section:Text ~offset:(here_text t) ~global
+
+  (* Data emission. BSS bytes must come after all initialized data. *)
+  let data_byte t v =
+    if t.bss > 0 then invalid_arg "Builder.data_byte after bss";
+    Buffer.add_char t.data (Char.chr (v land 0xFF))
+
+  let data_word t v =
+    data_byte t v;
+    data_byte t (v lsr 8);
+    data_byte t (v lsr 16);
+    data_byte t (v lsr 24)
+
+  let data_half t v =
+    data_byte t v;
+    data_byte t (v lsr 8)
+
+  let data_double t f =
+    let bits = Int64.bits_of_float f in
+    data_word t (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+    data_word t (Int64.to_int (Int64.shift_right_logical bits 32))
+
+  let data_string t s = String.iter (fun c -> data_byte t (Char.code c)) s
+
+  let data_addr t ~sym ~addend =
+    t.drels <- (Buffer.length t.data, sym, addend) :: t.drels;
+    data_word t 0
+
+  let data_space t n =
+    if t.bss > 0 then invalid_arg "Builder.data_space after bss"
+    else
+      for _ = 1 to n do
+        data_byte t 0
+      done
+
+  let data_align t n =
+    if n land (n - 1) <> 0 then invalid_arg "Builder.data_align";
+    while (Buffer.length t.data) land (n - 1) <> 0 do
+      data_byte t 0
+    done
+
+  let bss_space t n = t.bss <- t.bss + n
+
+  let finish t : obj =
+    {
+      obj_name = t.name;
+      text = Array.of_list (List.rev t.instrs);
+      data = Buffer.to_bytes t.data;
+      bss_size = t.bss;
+      symbols = List.rev t.syms;
+      relocs = List.rev t.rels;
+      data_relocs = List.rev t.drels;
+    }
+end

@@ -1,0 +1,86 @@
+(** Relocatable OmniVM object files.
+
+    Both the MiniC code generator and the textual assembler produce this
+    format; the linker combines objects into a linked {!Omnivm.Exe.t}.
+    Text offsets are in instructions, data offsets in bytes. Because OmniVM
+    immediates and address offsets are a full 32 bits, every relocation is
+    a simple "absolute address of symbol + addend" patch. *)
+
+type section = Text | Data
+
+type symbol = {
+  sym_name : string;
+  sym_section : section;
+  sym_offset : int;
+  sym_global : bool;
+}
+
+(** Which instruction field a relocation patches. *)
+type field =
+  | Label  (** branch / jump target *)
+  | Imm  (** 32-bit immediate or address offset *)
+
+type reloc = {
+  rel_at : int;  (** instruction index *)
+  rel_field : field;
+  rel_sym : string;
+  rel_addend : int;
+}
+
+type t = {
+  obj_name : string;
+  text : int Omnivm.Instr.t array;
+  data : Bytes.t;
+  bss_size : int;
+  symbols : symbol list;
+  relocs : reloc list;
+  data_relocs : (int * string * int) list;
+      (** byte offset in data <- address of symbol + addend *)
+}
+
+val empty : string -> t
+val find_symbol : t -> string -> symbol option
+
+(** Incremental object construction (used by the assembler and the MiniC
+    code generator). *)
+module Builder : sig
+  type obj = t
+  type t
+
+  val create : string -> t
+
+  val here_text : t -> int
+  (** Current instruction index. *)
+
+  val here_data : t -> int
+  (** Current data offset (initialized bytes + bss so far). *)
+
+  val emit : t -> int Omnivm.Instr.t -> unit
+
+  val emit_reloc :
+    t -> int Omnivm.Instr.t -> field:field -> sym:string -> addend:int -> unit
+  (** Emit an instruction whose [field] refers to [sym + addend]. *)
+
+  val def_symbol :
+    t -> name:string -> section:section -> offset:int -> global:bool -> unit
+
+  val def_label_here : t -> name:string -> global:bool -> unit
+
+  val data_byte : t -> int -> unit
+  val data_half : t -> int -> unit
+  val data_word : t -> int -> unit
+  val data_double : t -> float -> unit
+  val data_string : t -> string -> unit
+
+  val data_addr : t -> sym:string -> addend:int -> unit
+  (** A 32-bit cell holding another symbol's address (jump tables,
+      function-pointer initializers). *)
+
+  val data_space : t -> int -> unit
+  val data_align : t -> int -> unit
+
+  val bss_space : t -> int -> unit
+  (** Uninitialized bytes; must follow all initialized data. *)
+
+  val finish : t -> obj
+end

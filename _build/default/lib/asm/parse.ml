@@ -1,0 +1,518 @@
+(* Textual OmniVM assembler.
+
+   Line-oriented syntax matching the canonical printer in [Omnivm.Instr]:
+
+     ; comment (also #)
+     .text / .data             section switch
+     .globl name               export a symbol
+     label:                    define a label in the current section
+     .word v, ...              32-bit values or symbol(+addend) addresses
+     .half v, ... / .byte v, ...
+     .double 1.5, ...
+     .asciz "s" / .ascii "s"
+     .space n                  n zero bytes (initialized data)
+     .align n
+     .comm name, n             n bytes of bss, label it
+     add r1, r2, r3            instructions (see Omnivm.Instr)
+     lw r1, 8(r2)              memory operands: offset(base)
+     lw r1, sym(r0)            symbolic offsets relocate
+     li r1, sym                address-of
+     beq r1, r2, target
+
+   Pseudo-instructions: mv, neg, not, ret, b, call, la. *)
+
+open Omnivm
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* --- tokenizing one line --- *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float_lit of float
+  | Str of string
+  | Punct of char (* , ( ) : + - . *)
+
+let tokenize line_no s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+    || c = '.'
+  in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') || c = '.' in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' || c = '#' then i := n
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident s.[!i] do incr i done;
+      push (Ident (String.sub s start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X') then begin
+        i := !i + 2;
+        while
+          !i < n
+          && (is_digit s.[!i]
+             || (Char.lowercase_ascii s.[!i] >= 'a'
+                && Char.lowercase_ascii s.[!i] <= 'f'))
+        do
+          incr i
+        done;
+        push (Int (int_of_string (String.sub s start (!i - start))))
+      end
+      else begin
+        while !i < n && (is_digit s.[!i] || s.[!i] = '.' || s.[!i] = 'e'
+                         || s.[!i] = 'E'
+                         || ((s.[!i] = '+' || s.[!i] = '-')
+                            && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E'))) do
+          incr i
+        done;
+        let text = String.sub s start (!i - start) in
+        if String.contains text '.' || String.contains text 'e'
+           || String.contains text 'E'
+        then push (Float_lit (float_of_string text))
+        else push (Int (int_of_string text))
+      end
+    end
+    else if c = '\'' then begin
+      (* character literal: 'a' or '\n' *)
+      if !i + 2 < n && s.[!i + 1] = '\\' then begin
+        let v =
+          match s.[!i + 2] with
+          | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | '0' -> 0 | '\\' -> 92
+          | '\'' -> 39 | c -> Char.code c
+        in
+        if !i + 3 >= n || s.[!i + 3] <> '\'' then
+          fail line_no "bad character literal";
+        push (Int v);
+        i := !i + 4
+      end
+      else if !i + 2 < n && s.[!i + 2] = '\'' then begin
+        push (Int (Char.code s.[!i + 1]));
+        i := !i + 3
+      end
+      else fail line_no "bad character literal"
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let rec go () =
+        if !i >= n then fail line_no "unterminated string"
+        else if s.[!i] = '"' then incr i
+        else if s.[!i] = '\\' && !i + 1 < n then begin
+          (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | '0' -> Buffer.add_char buf '\000'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c -> Buffer.add_char buf c);
+          i := !i + 2;
+          go ()
+        end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      push (Str (Buffer.contents buf))
+    end
+    else if c = ',' || c = '(' || c = ')' || c = ':' || c = '+' || c = '-'
+            || c = '.'
+    then begin
+      push (Punct c);
+      incr i
+    end
+    else fail line_no "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* --- parser state --- *)
+
+type operand =
+  | O_reg of Reg.t
+  | O_freg of Reg.t
+  | O_imm of int
+  | O_float of float
+  | O_sym of string * int (* symbol + addend *)
+  | O_mem of [ `Imm of int | `Sym of string * int ] * Reg.t
+
+let parse_reg line name =
+  let freg = String.length name >= 2 && name.[0] = 'f' in
+  let ireg = String.length name >= 2 && name.[0] = 'r' in
+  if not (freg || ireg) then None
+  else
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some n when n >= 0 && n < 16 ->
+        Some (if freg then O_freg n else O_reg n)
+    | Some _ -> fail line "register out of range: %s" name
+    | None -> None
+
+(* Parse an operand from a token stream; returns operand and rest. *)
+let rec parse_operand line toks =
+  match toks with
+  | Ident name :: rest -> (
+      match parse_reg line name with
+      | Some r -> (r, rest)
+      | None -> (
+          (* symbol, maybe +/- addend, maybe (reg) memory *)
+          match rest with
+          | Punct '+' :: Int a :: rest' -> finish_sym line name a rest'
+          | Punct '-' :: Int a :: rest' -> finish_sym line name (-a) rest'
+          | _ -> finish_sym line name 0 rest))
+  | Int v :: Punct '(' :: rest -> parse_mem line (`Imm v) rest
+  | Int v :: rest -> (O_imm v, rest)
+  | Punct '-' :: Int v :: Punct '(' :: rest -> parse_mem line (`Imm (-v)) rest
+  | Punct '-' :: Int v :: rest -> (O_imm (-v), rest)
+  | Punct '-' :: Float_lit v :: rest -> (O_float (-.v), rest)
+  | Float_lit v :: rest -> (O_float v, rest)
+  | _ -> fail line "expected operand"
+
+and finish_sym line name addend rest =
+  match rest with
+  | Punct '(' :: rest' -> parse_mem line (`Sym (name, addend)) rest'
+  | _ -> (O_sym (name, addend), rest)
+
+and parse_mem line off rest =
+  match rest with
+  | Ident rname :: Punct ')' :: rest' -> (
+      match parse_reg line rname with
+      | Some (O_reg r) -> (O_mem (off, r), rest')
+      | Some _ | None -> fail line "expected integer base register")
+  | _ -> fail line "expected (reg)"
+
+let parse_operands line toks =
+  let rec go acc toks =
+    let op, rest = parse_operand line toks in
+    match rest with
+    | [] -> List.rev (op :: acc)
+    | Punct ',' :: rest' -> go (op :: acc) rest'
+    | _ -> fail line "junk after operand"
+  in
+  match toks with [] -> [] | _ -> go [] toks
+
+(* --- mnemonic tables --- *)
+
+let binops =
+  [ ("add", Instr.Add); ("sub", Sub); ("mul", Mul); ("div", Div);
+    ("divu", Divu); ("rem", Rem); ("remu", Remu); ("and", And); ("or", Or);
+    ("xor", Xor); ("sll", Sll); ("srl", Srl); ("sra", Sra); ("slt", Slt);
+    ("sltu", Sltu) ]
+
+let conds =
+  [ ("eq", Instr.Eq); ("ne", Ne); ("lt", Lt); ("le", Le); ("gt", Gt);
+    ("ge", Ge); ("ltu", Ltu); ("leu", Leu); ("gtu", Gtu); ("geu", Geu) ]
+
+let loads =
+  [ ("lb", (Instr.W8, true)); ("lbu", (Instr.W8, false));
+    ("lh", (Instr.W16, true)); ("lhu", (Instr.W16, false));
+    ("lw", (Instr.W32, true)) ]
+
+let stores = [ ("sb", Instr.W8); ("sh", Instr.W16); ("sw", Instr.W32) ]
+
+let fbinops =
+  [ ("fadd", Instr.Fadd); ("fsub", Fsub); ("fmul", Fmul); ("fdiv", Fdiv) ]
+
+let funops = [ ("fneg", Instr.Fneg); ("fabs", Fabs); ("fmov", Fmov) ]
+let fcmps = [ ("feq", Instr.Feq); ("flt", Flt); ("fle", Fle) ]
+
+let split_suffix name =
+  (* "fadd.d" -> ("fadd", Some Double) *)
+  match String.index_opt name '.' with
+  | None -> (name, None)
+  | Some i ->
+      let base = String.sub name 0 i in
+      let sfx = String.sub name (i + 1) (String.length name - i - 1) in
+      let prec =
+        match sfx with
+        | "s" -> Some Instr.Single
+        | "d" -> Some Instr.Double
+        | _ -> None
+      in
+      (base, if prec = None then None else prec)
+
+(* --- assembling --- *)
+
+type section = Sec_text | Sec_data
+
+let assemble ~name source : Obj.t =
+  let b = Obj.Builder.create name in
+  let section = ref Sec_text in
+  let globals = ref [] in
+  let lines = String.split_on_char '\n' source in
+  let ireg line = function
+    | O_reg r -> r
+    | _ -> fail line "expected integer register"
+  in
+  let freg line = function
+    | O_freg r -> r
+    | _ -> fail line "expected float register"
+  in
+  let imm line = function
+    | O_imm v -> v
+    | _ -> fail line "expected immediate"
+  in
+  let emit = Obj.Builder.emit b in
+  let emit_sym_imm line i sym addend =
+    ignore line;
+    Obj.Builder.emit_reloc b i ~field:Obj.Imm ~sym ~addend
+  in
+  let emit_branch line i target =
+    match target with
+    | O_sym (s, 0) -> Obj.Builder.emit_reloc b i ~field:Obj.Label ~sym:s ~addend:0
+    | O_sym (s, a) ->
+        Obj.Builder.emit_reloc b i ~field:Obj.Label ~sym:s ~addend:a
+    | O_imm _ -> fail line "branch targets must be symbolic"
+    | _ -> fail line "expected branch target"
+  in
+  let def_label line name =
+    match !section with
+    | Sec_text ->
+        Obj.Builder.def_label_here b ~name ~global:false
+    | Sec_data ->
+        ignore line;
+        Obj.Builder.def_symbol b ~name ~section:Obj.Data
+          ~offset:(Obj.Builder.here_data b) ~global:false
+  in
+  let handle_instr line mnemonic ops =
+    let base, prec = split_suffix mnemonic in
+    match (mnemonic, ops) with
+    (* conversions use two-level suffixes; match the full mnemonic first *)
+    | "cvt.d.w", [ fd; rs ] ->
+        emit (Instr.Cvt_f_i (Double, freg line fd, ireg line rs))
+    | "cvt.s.w", [ fd; rs ] ->
+        emit (Instr.Cvt_f_i (Single, freg line fd, ireg line rs))
+    | "cvt.w.d", [ rd; fs ] ->
+        emit (Instr.Cvt_i_f (Double, ireg line rd, freg line fs))
+    | "cvt.w.s", [ rd; fs ] ->
+        emit (Instr.Cvt_i_f (Single, ireg line rd, freg line fs))
+    | "cvt.d.s", [ fd; fs ] ->
+        emit (Instr.Cvt_d_s (freg line fd, freg line fs))
+    | "cvt.s.d", [ fd; fs ] ->
+        emit (Instr.Cvt_s_d (freg line fd, freg line fs))
+    | _ ->
+    match (base, prec, ops) with
+    (* integer ALU *)
+    | m, None, [ rd; rs1; rs2 ] when List.mem_assoc m binops -> (
+        let op = List.assoc m binops in
+        match rs2 with
+        | O_reg r2 -> emit (Instr.Binop (op, ireg line rd, ireg line rs1, r2))
+        | _ -> fail line "expected register")
+    | m, None, [ rd; rs1; v ]
+      when String.length m > 1
+           && m.[String.length m - 1] = 'i'
+           && List.mem_assoc (String.sub m 0 (String.length m - 1)) binops
+      -> (
+        let op = List.assoc (String.sub m 0 (String.length m - 1)) binops in
+        match v with
+        | O_imm i -> emit (Instr.Binopi (op, ireg line rd, ireg line rs1, i))
+        | O_sym (s, a) ->
+            emit_sym_imm line
+              (Instr.Binopi (op, ireg line rd, ireg line rs1, 0))
+              s a
+        | _ -> fail line "expected immediate")
+    | "li", None, [ rd; v ] -> (
+        match v with
+        | O_imm i -> emit (Instr.Li (ireg line rd, i))
+        | O_sym (s, a) -> emit_sym_imm line (Instr.Li (ireg line rd, 0)) s a
+        | _ -> fail line "expected immediate or symbol")
+    | "la", None, [ rd; O_sym (s, a) ] ->
+        emit_sym_imm line (Instr.Li (ireg line rd, 0)) s a
+    (* loads/stores *)
+    | m, None, [ rd; O_mem (off, base_r) ] when List.mem_assoc m loads -> (
+        let w, s = List.assoc m loads in
+        match off with
+        | `Imm v -> emit (Instr.Load (w, s, ireg line rd, base_r, v))
+        | `Sym (sym, a) ->
+            emit_sym_imm line (Instr.Load (w, s, ireg line rd, base_r, 0)) sym a)
+    | m, None, [ rv; O_mem (off, base_r) ] when List.mem_assoc m stores -> (
+        let w = List.assoc m stores in
+        match off with
+        | `Imm v -> emit (Instr.Store (w, ireg line rv, base_r, v))
+        | `Sym (sym, a) ->
+            emit_sym_imm line (Instr.Store (w, ireg line rv, base_r, 0)) sym a)
+    | "fls", None, [ fd; O_mem (off, base_r) ] -> (
+        match off with
+        | `Imm v -> emit (Instr.Fload (Single, freg line fd, base_r, v))
+        | `Sym (sym, a) ->
+            emit_sym_imm line (Instr.Fload (Single, freg line fd, base_r, 0))
+              sym a)
+    | "fld", None, [ fd; O_mem (off, base_r) ] -> (
+        match off with
+        | `Imm v -> emit (Instr.Fload (Double, freg line fd, base_r, v))
+        | `Sym (sym, a) ->
+            emit_sym_imm line (Instr.Fload (Double, freg line fd, base_r, 0))
+              sym a)
+    | "fss", None, [ fv; O_mem (off, base_r) ] -> (
+        match off with
+        | `Imm v -> emit (Instr.Fstore (Single, freg line fv, base_r, v))
+        | `Sym (sym, a) ->
+            emit_sym_imm line (Instr.Fstore (Single, freg line fv, base_r, 0))
+              sym a)
+    | "fsd", None, [ fv; O_mem (off, base_r) ] -> (
+        match off with
+        | `Imm v -> emit (Instr.Fstore (Double, freg line fv, base_r, v))
+        | `Sym (sym, a) ->
+            emit_sym_imm line (Instr.Fstore (Double, freg line fv, base_r, 0))
+              sym a)
+    (* FP arithmetic *)
+    | m, Some p, [ fd; fs1; fs2 ] when List.mem_assoc m fbinops ->
+        emit
+          (Instr.Fbinop
+             (List.assoc m fbinops, p, freg line fd, freg line fs1,
+              freg line fs2))
+    | m, Some p, [ fd; fs ] when List.mem_assoc m funops ->
+        emit (Instr.Funop (List.assoc m funops, p, freg line fd, freg line fs))
+    | m, Some p, [ rd; fs1; fs2 ] when List.mem_assoc m fcmps ->
+        emit
+          (Instr.Fcmp
+             (List.assoc m fcmps, p, ireg line rd, freg line fs1,
+              freg line fs2))
+    | "fli", Some p, [ fd; v ] -> (
+        match v with
+        | O_float f -> emit (Instr.Fli (p, freg line fd, f))
+        | O_imm i -> emit (Instr.Fli (p, freg line fd, float_of_int i))
+        | _ -> fail line "expected float literal")
+    (* branches *)
+    | m, None, [ rs1; rs2; target ]
+      when String.length m > 1 && m.[0] = 'b'
+           && List.mem_assoc (String.sub m 1 (String.length m - 1)) conds -> (
+        let c = List.assoc (String.sub m 1 (String.length m - 1)) conds in
+        match rs2 with
+        | O_reg r2 ->
+            emit_branch line (Instr.Br (c, ireg line rs1, r2, 0)) target
+        | _ -> fail line "expected register")
+    | m, None, [ rs1; v; target ]
+      when String.length m > 2
+           && m.[0] = 'b'
+           && m.[String.length m - 1] = 'i'
+           && List.mem_assoc (String.sub m 1 (String.length m - 2)) conds -> (
+        let c = List.assoc (String.sub m 1 (String.length m - 2)) conds in
+        match v with
+        | O_imm i ->
+            emit_branch line (Instr.Bri (c, ireg line rs1, i, 0)) target
+        | _ -> fail line "expected immediate")
+    | "j", None, [ target ] -> emit_branch line (Instr.J 0) target
+    | "b", None, [ target ] -> emit_branch line (Instr.J 0) target
+    | "jal", None, [ target ] -> emit_branch line (Instr.Jal 0) target
+    | "call", None, [ target ] -> emit_branch line (Instr.Jal 0) target
+    | "jr", None, [ rs ] -> emit (Instr.Jr (ireg line rs))
+    | "ret", None, [] -> emit (Instr.Jr Reg.ra)
+    | "jalr", None, [ rd; rs ] ->
+        emit (Instr.Jalr (ireg line rd, ireg line rs))
+    | "jalr", None, [ rs ] -> emit (Instr.Jalr (Reg.ra, ireg line rs))
+    (* misc *)
+    | "ext", None, [ rd; rs; pos; len ] ->
+        emit
+          (Instr.Ext (ireg line rd, ireg line rs, imm line pos, imm line len))
+    | "ins", None, [ rd; rs; pos; len ] ->
+        emit
+          (Instr.Ins (ireg line rd, ireg line rs, imm line pos, imm line len))
+    | "hcall", None, [ n ] -> emit (Instr.Hcall (imm line n))
+    | "trap", None, [ n ] -> emit (Instr.Trap (imm line n))
+    | "nop", None, [] -> emit Instr.Nop
+    (* pseudos *)
+    | "mv", None, [ rd; rs ] ->
+        emit (Instr.Binopi (Add, ireg line rd, ireg line rs, 0))
+    | "neg", None, [ rd; rs ] ->
+        emit (Instr.Binop (Sub, ireg line rd, Reg.zero, ireg line rs))
+    | "not", None, [ rd; rs ] ->
+        emit (Instr.Binopi (Xor, ireg line rd, ireg line rs, -1))
+    | _ -> fail line "unknown instruction %s/%d" mnemonic (List.length ops)
+  in
+  let handle_directive line d args =
+    match (d, args) with
+    | ".text", [] -> section := Sec_text
+    | ".data", [] -> section := Sec_data
+    | ".globl", [ O_sym (s, 0) ] -> globals := s :: !globals
+    | ".entry", [ O_sym (_, 0) ] -> () (* entry is a link-time choice *)
+    | ".word", vs ->
+        List.iter
+          (function
+            | O_imm v -> Obj.Builder.data_word b v
+            | O_sym (s, a) -> Obj.Builder.data_addr b ~sym:s ~addend:a
+            | _ -> fail line "bad .word operand")
+          vs
+    | ".half", vs ->
+        List.iter
+          (function
+            | O_imm v -> Obj.Builder.data_half b v
+            | _ -> fail line "bad .half operand")
+          vs
+    | ".byte", vs ->
+        List.iter
+          (function
+            | O_imm v -> Obj.Builder.data_byte b v
+            | _ -> fail line "bad .byte operand")
+          vs
+    | ".double", vs ->
+        List.iter
+          (function
+            | O_float f -> Obj.Builder.data_double b f
+            | O_imm v -> Obj.Builder.data_double b (float_of_int v)
+            | _ -> fail line "bad .double operand")
+          vs
+    | ".asciz", [ O_sym _ ] -> fail line ".asciz needs a string"
+    | ".asciz", _ -> fail line ".asciz needs a string"
+    | ".space", [ O_imm n ] -> Obj.Builder.data_space b n
+    | ".align", [ O_imm n ] -> Obj.Builder.data_align b n
+    | _ -> fail line "unknown or malformed directive %s" d
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let toks = tokenize line raw in
+      (* consume leading label definitions *)
+      let rec strip_labels toks =
+        match toks with
+        | Ident l :: Punct ':' :: rest when parse_reg line l = None ->
+            def_label line l;
+            strip_labels rest
+        | _ -> toks
+      in
+      let toks = strip_labels toks in
+      match toks with
+      | [] -> ()
+      | Ident dname :: rest when dname.[0] = '.' ->
+          (* directives; the ones that take strings need special handling *)
+          if dname = ".asciz" || dname = ".ascii" then (
+            match rest with
+            | [ Str s ] ->
+                Obj.Builder.data_string b s;
+                if dname = ".asciz" then Obj.Builder.data_byte b 0
+            | _ -> fail line "%s needs a string literal" dname)
+          else if dname = ".comm" then (
+            match rest with
+            | [ Ident sym; Punct ','; Int n ] ->
+                Obj.Builder.def_symbol b ~name:sym ~section:Obj.Data
+                  ~offset:(Obj.Builder.here_data b) ~global:false;
+                Obj.Builder.bss_space b n
+            | _ -> fail line ".comm needs name, size")
+          else handle_directive line dname (parse_operands line rest)
+      | Ident m :: rest -> handle_instr line m (parse_operands line rest)
+      | _ -> fail line "cannot parse line")
+    lines;
+  let obj = Obj.Builder.finish b in
+  (* Apply .globl markings. *)
+  let symbols =
+    List.map
+      (fun (s : Obj.symbol) ->
+        if List.mem s.sym_name !globals then { s with sym_global = true }
+        else s)
+      obj.symbols
+  in
+  { obj with symbols }

@@ -1,0 +1,15 @@
+(** Textual OmniVM assembler.
+
+    Line-oriented syntax matching the canonical printer in
+    {!Omnivm.Instr.pp}: labels ([name:]), directives ([.text], [.data],
+    [.globl], [.word]/[.half]/[.byte]/[.double], [.asciz]/[.ascii],
+    [.space], [.align], [.comm]), instructions with [offset(base)] memory
+    operands and symbolic immediates, and the pseudo-instructions [mv],
+    [neg], [not], [ret], [b], [call], [la].
+
+    Symbols may not be named like registers ([r0]..[r15], [f0]..[f15]). *)
+
+exception Parse_error of { line : int; message : string }
+
+val assemble : name:string -> string -> Obj.t
+(** Assemble one source file into a relocatable object named [name]. *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Minic Omni_runtime Omni_sfi Omni_targets Omnivm Option

@@ -1,0 +1,1 @@
+lib/core/api.mli: Minic Omni_runtime Omni_targets Omnivm

@@ -1,0 +1,163 @@
+(* Omniware: the public API tying the system together.
+
+   A host application (a) obtains a mobile module's wire bytes (compiled
+   from MiniC or assembled by hand), (b) loads it — mapping the segmented
+   address space and instantiating the host-call environment, (c) picks an
+   execution engine: the OmniVM reference interpreter, or a load-time
+   translation to one of the four simulated target machines, with SFI
+   applied unless the module is trusted, and (d) runs it, observing output,
+   exit status, and execution statistics. *)
+
+module Arch = Omni_targets.Arch
+module Machine = Omni_targets.Machine
+module Risc = Omni_targets.Risc
+module Risc_translate = Omni_targets.Risc_translate
+module Risc_sim = Omni_targets.Risc_sim
+module X86 = Omni_targets.X86
+module X86_translate = Omni_targets.X86_translate
+module X86_sim = Omni_targets.X86_sim
+
+type engine =
+  | Interp
+  | Target of Arch.t
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | s -> Option.map (fun a -> Target a) (Arch.of_string s)
+
+(* Per-architecture mobile-translator optimization defaults, following the
+   paper (section 4): Mips and PowerPC translators schedule locally; the
+   Sparc translator does not schedule but uses a global pointer and fills
+   delay slots; the x86 translator does floating-point scheduling and
+   peephole only. *)
+let mobile_opts (a : Arch.t) : Machine.topts =
+  match a with
+  | Arch.Mips ->
+      { schedule = true; fill_delay_slots = true; use_gp = false;
+        peephole = true; sfi_opt = false }
+  | Arch.Sparc ->
+      { schedule = false; fill_delay_slots = true; use_gp = true;
+        peephole = true; sfi_opt = false }
+  | Arch.Ppc ->
+      { schedule = true; fill_delay_slots = false; use_gp = false;
+        peephole = true; sfi_opt = false }
+  | Arch.X86 ->
+      { schedule = true; fill_delay_slots = false; use_gp = false;
+        peephole = true; sfi_opt = false }
+
+type run_result = {
+  output : string;
+  exit_code : int;
+  outcome : Machine.outcome;
+  instructions : int;
+  cycles : int;
+  stats : Machine.stats option; (* None for the interpreter *)
+}
+
+(* --- loading and running --- *)
+
+let load ?(map_host_region = false) ?allow exe =
+  Omni_runtime.Loader.load ?allow ~map_host_region exe
+
+let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
+    =
+  let outcome, st = Omni_runtime.Loader.run_interp ~fuel img in
+  let outcome' =
+    match outcome with
+    | Omnivm.Interp.Exited c -> Machine.Exited c
+    | Omnivm.Interp.Faulted f -> Machine.Faulted f
+    | Omnivm.Interp.Out_of_fuel -> Machine.Out_of_fuel
+  in
+  {
+    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+    exit_code = (match outcome' with Machine.Exited c -> c | _ -> -1);
+    outcome = outcome';
+    instructions = st.Omnivm.Interp.icount;
+    cycles = st.Omnivm.Interp.icount;
+    stats = None;
+  }
+
+(* Translate a loaded module for a target architecture. *)
+type translated =
+  | T_risc of Risc.program
+  | T_x86 of X86.program
+
+let translate ?(mode : Machine.mode option) ?opts (arch : Arch.t)
+    (exe : Omnivm.Exe.t) : translated =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> Machine.Mobile (Omni_sfi.Policy.make ())
+  in
+  let opts = match opts with Some o -> o | None -> mobile_opts arch in
+  match arch with
+  | Arch.Mips ->
+      T_risc
+        (Risc_translate.translate
+           { Risc_translate.cfg = Risc.mips_cfg; mode; opts; sfi_cache = None }
+           exe)
+  | Arch.Sparc ->
+      T_risc
+        (Risc_translate.translate
+           { Risc_translate.cfg = Risc.sparc_cfg; mode; opts; sfi_cache = None }
+           exe)
+  | Arch.Ppc ->
+      T_risc
+        (Risc_translate.translate
+           { Risc_translate.cfg = Risc.ppc_cfg; mode; opts; sfi_cache = None }
+           exe)
+  | Arch.X86 -> T_x86 (X86_translate.translate ~mode ~opts exe)
+
+let run_translated ?(fuel = max_int) (tr : translated)
+    (img : Omni_runtime.Loader.image) : run_result =
+  let outcome, stats =
+    match tr with
+    | T_risc p ->
+        let o, s, _ =
+          Risc_sim.run ~fuel p img.Omni_runtime.Loader.mem
+            img.Omni_runtime.Loader.host
+        in
+        (o, s)
+    | T_x86 p ->
+        let o, s, _ =
+          X86_sim.run ~fuel p img.Omni_runtime.Loader.mem
+            img.Omni_runtime.Loader.host
+        in
+        (o, s)
+  in
+  {
+    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+    exit_code = (match outcome with Machine.Exited c -> c | _ -> -1);
+    outcome;
+    instructions = stats.Machine.instructions;
+    cycles = stats.Machine.cycles;
+    stats = Some stats;
+  }
+
+(* One-call convenience used by omnirun and the experiment harness. *)
+let run_exe ?(engine = Interp) ?(sfi = true) ?mode ?opts ?fuel
+    ?(map_host_region = false) (exe : Omnivm.Exe.t) : run_result =
+  let img = load ~map_host_region exe in
+  match engine with
+  | Interp -> run_interp ?fuel img
+  | Target arch ->
+      let mode =
+        match mode with
+        | Some m -> m
+        | None ->
+            if sfi then Machine.Mobile (Omni_sfi.Policy.make ())
+            else Machine.Mobile Omni_sfi.Policy.off
+      in
+      let tr = translate ~mode ?opts arch exe in
+      run_translated ?fuel tr img
+
+let run_wire ~engine ?(sfi = true) ?fuel bytes : run_result =
+  let exe = Omnivm.Wire.decode bytes in
+  match engine_of_string engine with
+  | None -> invalid_arg ("unknown engine " ^ engine)
+  | Some e -> run_exe ~engine:e ~sfi ?fuel exe
+
+(* --- compilation (re-exported for hosts embedding the compiler) --- *)
+
+let compile = Minic.Driver.compile_wire
+let compile_exe = Minic.Driver.compile_exe

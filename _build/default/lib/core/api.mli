@@ -1,0 +1,108 @@
+(** Omniware: the public API of the mobile-code system.
+
+    The lifecycle of a mobile program:
+
+    + a producer compiles source to a mobile module — portable bytes
+      ({!compile}),
+    + a host loads the bytes, mapping the module's segmented address space
+      and granting it a set of host services ({!load}),
+    + the host translates the module for its own processor at load time,
+      inlining software-fault-isolation checks unless the module is trusted
+      ({!translate}),
+    + the translated module runs; the host observes its output, exit
+      status, and execution statistics ({!run_translated}).
+
+    {!run_exe} and {!run_wire} bundle the last three steps. *)
+
+module Arch = Omni_targets.Arch
+module Machine = Omni_targets.Machine
+module Risc = Omni_targets.Risc
+module Risc_translate = Omni_targets.Risc_translate
+module Risc_sim = Omni_targets.Risc_sim
+module X86 = Omni_targets.X86
+module X86_translate = Omni_targets.X86_translate
+module X86_sim = Omni_targets.X86_sim
+
+(** An execution engine: the OmniVM reference interpreter, or load-time
+    translation to a simulated target processor. *)
+type engine = Interp | Target of Arch.t
+
+val engine_of_string : string -> engine option
+(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]. *)
+
+val mobile_opts : Arch.t -> Machine.topts
+(** The per-architecture translator-optimization defaults the paper
+    describes: Mips/PPC translators schedule locally, the Sparc translator
+    uses a global pointer and fills delay slots without scheduling, the x86
+    translator schedules only floating-point code. *)
+
+(** Result of running a module. *)
+type run_result = {
+  output : string;  (** everything the module printed via host calls *)
+  exit_code : int;  (** argument of the exit host call; -1 if it faulted *)
+  outcome : Machine.outcome;
+  instructions : int;  (** dynamic (native) instructions executed *)
+  cycles : int;  (** simulated pipeline cycles (= instructions on interp) *)
+  stats : Machine.stats option;  (** detailed statistics; None for interp *)
+}
+
+val load :
+  ?map_host_region:bool ->
+  ?allow:Omnivm.Hostcall.t list ->
+  Omnivm.Exe.t ->
+  Omni_runtime.Loader.image
+(** Map the module's segments and instantiate its host environment.
+    [allow] restricts which host services the module may call (default:
+    all). [map_host_region] additionally maps a region standing in for
+    host-owned memory, used to demonstrate SFI containment. *)
+
+val run_interp : ?fuel:int -> Omni_runtime.Loader.image -> run_result
+(** Execute under the OmniVM reference interpreter. *)
+
+(** A translated module, ready to execute on its target simulator. *)
+type translated = T_risc of Risc.program | T_x86 of X86.program
+
+val translate :
+  ?mode:Machine.mode ->
+  ?opts:Machine.topts ->
+  Arch.t ->
+  Omnivm.Exe.t ->
+  translated
+(** Load-time translation. [mode] defaults to sandboxed mobile code;
+    [Machine.Native] modes produce the compiler baselines used by the
+    benchmark harness. [opts] defaults to {!mobile_opts}. *)
+
+val run_translated :
+  ?fuel:int -> translated -> Omni_runtime.Loader.image -> run_result
+
+val run_exe :
+  ?engine:engine ->
+  ?sfi:bool ->
+  ?mode:Machine.mode ->
+  ?opts:Machine.topts ->
+  ?fuel:int ->
+  ?map_host_region:bool ->
+  Omnivm.Exe.t ->
+  run_result
+(** Load + translate + run in one call. [sfi] (default true) selects
+    sandboxing for mobile modules; it is ignored when [mode] is given. *)
+
+val run_wire : engine:string -> ?sfi:bool -> ?fuel:int -> string -> run_result
+(** Like {!run_exe}, starting from wire-format bytes. *)
+
+val compile :
+  ?options:Minic.Driver.options ->
+  ?with_stdlib:bool ->
+  name:string ->
+  string ->
+  string
+(** Compile MiniC source to wire-format bytes: the shippable mobile-code
+    artifact (crt0 + the MiniC runtime library + the program, linked). *)
+
+val compile_exe :
+  ?options:Minic.Driver.options ->
+  ?with_stdlib:bool ->
+  name:string ->
+  string ->
+  Omnivm.Exe.t
+(** Like {!compile} but yields the decoded executable directly. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer Filename Hashtbl List Minic Omni_sfi Omni_targets Omni_workloads Omnivm Omniware Option Printf String Sys

@@ -1,0 +1,441 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (section 4). See DESIGN.md for the experiment index.
+
+   All numbers are simulated cycle counts from the target pipeline models;
+   each table reports execution time RELATIVE to a native-compiler baseline
+   on the same simulated machine, exactly as the paper does. Every run's
+   output is validated against the OmniVM interpreter's output, so a
+   reported number can never come from a miscompiled run. *)
+
+module Api = Omniware.Api
+module Machine = Omni_targets.Machine
+module Arch = Omni_targets.Arch
+
+type config =
+  | Mobile_sfi (* translated, SFI on, per-arch translator opts *)
+  | Mobile_nosfi
+  | Mobile_sfi_noopt (* translator optimizations disabled *)
+  | Mobile_nosfi_noopt
+  | Mobile_sfi_opt (* + the guard-zone SFI optimization of paper 4.4 *)
+  | Mobile_sfi_reads (* + read protection (cited in paper 1, not measured) *)
+  | Native_cc
+  | Native_gcc
+
+let config_name = function
+  | Mobile_sfi -> "sfi"
+  | Mobile_nosfi -> "no-sfi"
+  | Mobile_sfi_noopt -> "sfi/noopt"
+  | Mobile_nosfi_noopt -> "no-sfi/noopt"
+  | Mobile_sfi_opt -> "sfi/opt"
+  | Mobile_sfi_reads -> "sfi/reads"
+  | Native_cc -> "native-cc"
+  | Native_gcc -> "native-gcc"
+
+let all_archs = [ Arch.Mips; Arch.Sparc; Arch.Ppc; Arch.X86 ]
+
+type measurement = {
+  m_cycles : int;
+  m_instructions : int;
+  m_omni_instructions : int;
+  m_stats : Machine.stats option;
+}
+
+exception Harness_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Harness_error s)) fmt
+
+(* Compile + expected-output cache, keyed by (workload, regfile size). *)
+type prepared = {
+  p_name : string;
+  p_exe : Omnivm.Exe.t;
+  p_expected : string;
+}
+
+let prepare_cache : (string * int, prepared) Hashtbl.t = Hashtbl.create 16
+
+let prepare ?(regfile_size = 16) (w : Omni_workloads.Workloads.t) : prepared =
+  match Hashtbl.find_opt prepare_cache (w.name, regfile_size) with
+  | Some p -> p
+  | None ->
+      let options = { Minic.Driver.opt_level = Minic.Opt.O2; regfile_size } in
+      let exe = Minic.Driver.compile_exe ~options ~name:w.name w.source in
+      let r = Api.run_exe ~engine:Api.Interp ~fuel:4_000_000_000 exe in
+      (match r.Api.outcome with
+      | Machine.Exited 0 -> ()
+      | Machine.Exited c -> fail "%s exited %d under the interpreter" w.name c
+      | Machine.Faulted f ->
+          fail "%s faulted under the interpreter: %s" w.name
+            (Omnivm.Fault.to_string f)
+      | Machine.Out_of_fuel -> fail "%s ran out of fuel" w.name);
+      let p = { p_name = w.name; p_exe = exe; p_expected = r.Api.output } in
+      Hashtbl.replace prepare_cache (w.name, regfile_size) p;
+      p
+
+let mode_and_opts arch = function
+  | Mobile_sfi ->
+      (Machine.Mobile (Omni_sfi.Policy.make ()), Api.mobile_opts arch)
+  | Mobile_nosfi -> (Machine.Mobile Omni_sfi.Policy.off, Api.mobile_opts arch)
+  | Mobile_sfi_noopt ->
+      (Machine.Mobile (Omni_sfi.Policy.make ()), Machine.no_opts)
+  | Mobile_nosfi_noopt -> (Machine.Mobile Omni_sfi.Policy.off, Machine.no_opts)
+  | Mobile_sfi_opt ->
+      ( Machine.Mobile (Omni_sfi.Policy.make ()),
+        { (Api.mobile_opts arch) with Machine.sfi_opt = true } )
+  | Mobile_sfi_reads ->
+      ( Machine.Mobile (Omni_sfi.Policy.make ~protect_reads:true ()),
+        Api.mobile_opts arch )
+  | Native_cc -> (Machine.Native Machine.Cc, Machine.all_opts)
+  | Native_gcc -> (Machine.Native Machine.Gcc, Machine.all_opts)
+
+let run_cache : (string * int * string * string, measurement) Hashtbl.t =
+  Hashtbl.create 64
+
+(* Run one (workload, arch, config) cell; validates output. *)
+let measure ?(regfile_size = 16) (w : Omni_workloads.Workloads.t)
+    (arch : Arch.t) (config : config) : measurement =
+  let key = (w.name, regfile_size, Arch.name arch, config_name config) in
+  match Hashtbl.find_opt run_cache key with
+  | Some m -> m
+  | None ->
+      let p = prepare ~regfile_size w in
+      let mode, opts = mode_and_opts arch config in
+      let r =
+        Api.run_exe ~engine:(Api.Target arch) ~mode ~opts
+          ~fuel:4_000_000_000 p.p_exe
+      in
+      (match r.Api.outcome with
+      | Machine.Exited 0 -> ()
+      | Machine.Exited c ->
+          fail "%s/%s/%s exited %d" w.name (Arch.name arch)
+            (config_name config) c
+      | Machine.Faulted f ->
+          fail "%s/%s/%s faulted: %s" w.name (Arch.name arch)
+            (config_name config) (Omnivm.Fault.to_string f)
+      | Machine.Out_of_fuel ->
+          fail "%s/%s/%s out of fuel" w.name (Arch.name arch)
+            (config_name config));
+      if not (String.equal r.Api.output p.p_expected) then
+        fail "%s/%s/%s produced wrong output" w.name (Arch.name arch)
+          (config_name config);
+      let stats = r.Api.stats in
+      let m =
+        {
+          m_cycles = r.Api.cycles;
+          m_instructions = r.Api.instructions;
+          m_omni_instructions =
+            (match stats with
+            | Some s -> s.Machine.omni_instructions
+            | None -> 0);
+          m_stats = stats;
+        }
+      in
+      Hashtbl.replace run_cache key m;
+      m
+
+let ratio ?regfile_size w arch num den =
+  let a = measure ?regfile_size w arch num in
+  let b = measure w arch den in
+  float_of_int a.m_cycles /. float_of_int b.m_cycles
+
+(* --- table rendering --- *)
+
+let render_ratio_table ~title ~columns ~rows ~(cell : string -> string -> float option)
+    : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let w = 11 in
+  Buffer.add_string buf (Printf.sprintf "%-10s" "program");
+  List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%*s" w c)) columns;
+  Buffer.add_char buf '\n';
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "%-10s" r);
+      List.iter
+        (fun c ->
+          match cell r c with
+          | Some v ->
+              Hashtbl.replace totals c
+                (v :: Option.value ~default:[] (Hashtbl.find_opt totals c));
+              Buffer.add_string buf (Printf.sprintf "%*.2f" w v)
+          | None -> Buffer.add_string buf (Printf.sprintf "%*s" w "-"))
+        columns;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (Printf.sprintf "%-10s" "average");
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt totals c with
+      | Some vs ->
+          let avg = List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs) in
+          Buffer.add_string buf (Printf.sprintf "%*.2f" w avg)
+      | None -> Buffer.add_string buf (Printf.sprintf "%*s" w "-"))
+    columns;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- the tables --- *)
+
+let workloads ~size = Omni_workloads.Workloads.all ~size
+
+(* Table 1: translated + SFI relative to native cc. *)
+let table1 ~size =
+  let ws = workloads ~size in
+  render_ratio_table
+    ~title:
+      "Table 1: execution time of translated code with SFI, relative to \
+       native code (cc)"
+    ~columns:(List.map Arch.name all_archs)
+    ~rows:(List.map (fun (w : Omni_workloads.Workloads.t) -> w.name) ws)
+    ~cell:(fun r c ->
+      let w = List.find (fun (w : Omni_workloads.Workloads.t) -> w.name = r) ws in
+      let arch = Option.get (Arch.of_string c) in
+      Some (ratio w arch Mobile_sfi Native_cc))
+
+(* Table 2: average overhead vs Sparc native for register file sizes. *)
+let table2 ~size =
+  let ws = workloads ~size in
+  let sizes = [ 8; 10; 12; 14; 16 ] in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Table 2: average execution time of mobile code relative to native \
+     Sparc (cc),\nfor OmniVM register file sizes\n";
+  Buffer.add_string buf "registers   overhead\n";
+  List.iter
+    (fun n ->
+      let rs =
+        List.map
+          (fun w -> ratio ~regfile_size:n w Arch.Sparc Mobile_sfi Native_cc)
+          ws
+      in
+      let avg = List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs) in
+      Buffer.add_string buf (Printf.sprintf "%9d   %8.2f\n" n avg))
+    sizes;
+  Buffer.contents buf
+
+(* Tables 3/4/5: SFI and no-SFI columns per architecture. *)
+let sfi_pair_table ~size ~title ~num_sfi ~num_nosfi ~den =
+  let ws = workloads ~size in
+  let columns =
+    List.concat_map
+      (fun a -> [ Arch.name a ^ "+sfi"; Arch.name a ])
+      all_archs
+  in
+  render_ratio_table ~title ~columns
+    ~rows:(List.map (fun (w : Omni_workloads.Workloads.t) -> w.name) ws)
+    ~cell:(fun r c ->
+      let w = List.find (fun (w : Omni_workloads.Workloads.t) -> w.name = r) ws in
+      let sfi = Filename.check_suffix c "+sfi" in
+      let aname = if sfi then Filename.chop_suffix c "+sfi" else c in
+      let arch = Option.get (Arch.of_string aname) in
+      Some (ratio w arch (if sfi then num_sfi else num_nosfi) den))
+
+let table3 ~size =
+  sfi_pair_table ~size
+    ~title:
+      "Table 3: execution time of mobile code relative to native code (cc)"
+    ~num_sfi:Mobile_sfi ~num_nosfi:Mobile_nosfi ~den:Native_cc
+
+let table4 ~size =
+  sfi_pair_table ~size
+    ~title:
+      "Table 4: execution time of mobile code relative to native code (gcc)"
+    ~num_sfi:Mobile_sfi ~num_nosfi:Mobile_nosfi ~den:Native_gcc
+
+let table5 ~size =
+  sfi_pair_table ~size
+    ~title:
+      "Table 5: execution time of mobile code without translator \
+       optimizations,\nrelative to native code (cc)"
+    ~num_sfi:Mobile_sfi_noopt ~num_nosfi:Mobile_nosfi_noopt ~den:Native_cc
+
+let table6 ~size =
+  let ws = workloads ~size in
+  render_ratio_table
+    ~title:
+      "Table 6: execution time of native code (gcc) relative to native \
+       code (cc)"
+    ~columns:(List.map Arch.name all_archs)
+    ~rows:(List.map (fun (w : Omni_workloads.Workloads.t) -> w.name) ws)
+    ~cell:(fun r c ->
+      let w = List.find (fun (w : Omni_workloads.Workloads.t) -> w.name = r) ws in
+      let arch = Option.get (Arch.of_string c) in
+      Some (ratio w arch Native_gcc Native_cc))
+
+(* Figure 1: dynamic expansion by origin on Mips and PowerPC. *)
+let figure1 ~size =
+  let ws = workloads ~size in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Figure 1: expansion introduced by translation (extra native \
+     instructions\nper OmniVM instruction executed, by origin; translated \
+     with SFI)\n\n";
+  List.iter
+    (fun arch ->
+      Buffer.add_string buf (Printf.sprintf "[%s]\n" (Arch.name arch));
+      Buffer.add_string buf (Printf.sprintf "%-10s" "program");
+      List.iter
+        (fun o ->
+          if o <> Machine.Core then
+            Buffer.add_string buf (Printf.sprintf "%8s" (Machine.origin_name o)))
+        Machine.all_origins;
+      Buffer.add_string buf (Printf.sprintf "%8s\n" "total");
+      List.iter
+        (fun (w : Omni_workloads.Workloads.t) ->
+          let m = measure w arch Mobile_sfi in
+          match m.m_stats with
+          | None -> ()
+          | Some s ->
+              Buffer.add_string buf (Printf.sprintf "%-10s" w.name);
+              let profile = Machine.expansion_profile s in
+              let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 profile in
+              List.iter
+                (fun (_, v) -> Buffer.add_string buf (Printf.sprintf "%8.3f" v))
+                profile;
+              Buffer.add_string buf (Printf.sprintf "%8.3f\n" total))
+        ws;
+      (* a small ASCII bar chart of the totals *)
+      Buffer.add_char buf '\n')
+    [ Arch.Mips; Arch.Ppc ];
+  Buffer.contents buf
+
+(* Figure 2: the universal mobile-code substrate (structural). *)
+let figure2 () =
+  String.concat "\n"
+    [ "Figure 2: a universal substrate for mobile code";
+      "";
+      "   C       MiniC     (any language with an OmniVM compiler)";
+      "   |         |";
+      "   +----+----+";
+      "        v";
+      "   OmniVM mobile module  (one artifact, shipped unchanged)";
+      "        |";
+      "        |  load-time translation + software fault isolation";
+      "        v";
+      "  +---------+---------+---------+---------+";
+      "  |  MIPS   |  SPARC  | PowerPC |   x86   |";
+      "  | R4400   |         |   601   | Pentium |";
+      "  +---------+---------+---------+---------+";
+      "" ]
+
+(* Translation-speed measurement (the paper's load-time argument). *)
+let translation_speed ~size =
+  let ws = workloads ~size in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Translation speed: OmniVM instructions translated per second (load \
+     time)\n";
+  Buffer.add_string buf (Printf.sprintf "%-10s %10s" "program" "omni-instrs");
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "%12s" (Arch.name a)))
+    all_archs;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (w : Omni_workloads.Workloads.t) ->
+      let p = prepare w in
+      let n = Array.length p.p_exe.Omnivm.Exe.text in
+      Buffer.add_string buf (Printf.sprintf "%-10s %10d" w.name n);
+      List.iter
+        (fun arch ->
+          let mode = Machine.Mobile (Omni_sfi.Policy.make ()) in
+          let opts = Api.mobile_opts arch in
+          let t0 = Sys.time () in
+          let reps = 20 in
+          for _ = 1 to reps do
+            ignore (Api.translate ~mode ~opts arch p.p_exe)
+          done;
+          let dt = (Sys.time () -. t0) /. float_of_int reps in
+          let rate = float_of_int n /. dt /. 1e6 in
+          Buffer.add_string buf (Printf.sprintf "%10.1fM" rate))
+        all_archs;
+      Buffer.add_char buf '\n')
+    ws;
+  Buffer.contents buf
+
+(* Ablation (beyond the paper's measurements): the SFI-check optimization
+   the paper forecast in section 4.4 ("we expect optimization will cut this
+   overhead in half"): reuse of the sandboxed dedicated register across
+   nearby stores to the same base. Reported as SFI overhead relative to the
+   same translator without SFI, with and without the optimization. *)
+let ablation_sfi_opt ~size =
+  let ws = workloads ~size in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Ablation: SFI overhead with the guard-zone check optimization\n\
+     (overhead = cycles relative to the same translator without SFI)\n";
+  Buffer.add_string buf (Printf.sprintf "%-10s" "program");
+  let archs = [ Arch.Mips; Arch.Sparc; Arch.Ppc ] in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12s%12s" (Arch.name a) "+opt"))
+    archs;
+  Buffer.add_char buf '\n';
+  let totals = Array.make (List.length archs * 2) 0.0 in
+  List.iter
+    (fun (w : Omni_workloads.Workloads.t) ->
+      Buffer.add_string buf (Printf.sprintf "%-10s" w.name);
+      List.iteri
+        (fun i a ->
+          let base = ratio w a Mobile_sfi Mobile_nosfi in
+          let opt = ratio w a Mobile_sfi_opt Mobile_nosfi in
+          totals.(2 * i) <- totals.(2 * i) +. base;
+          totals.((2 * i) + 1) <- totals.((2 * i) + 1) +. opt;
+          Buffer.add_string buf (Printf.sprintf "%12.3f%12.3f" base opt))
+        archs;
+      Buffer.add_char buf '\n')
+    ws;
+  Buffer.add_string buf (Printf.sprintf "%-10s" "average");
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12.3f" (t /. float_of_int (List.length ws))))
+    totals;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Ablation: the cost of full read protection (paper section 1: "Software
+   fault isolation can also support efficient read protection...
+   Omniware does not yet incorporate these capabilities"). Reported as
+   total protection overhead relative to no SFI at all. *)
+let ablation_read_protection ~size =
+  let ws = workloads ~size in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Ablation: write-only SFI (the paper's configuration) vs full\n\
+     read+write protection, relative to unprotected translation\n";
+  Buffer.add_string buf (Printf.sprintf "%-10s" "program");
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12s%12s" (Arch.name a) "+reads"))
+    all_archs;
+  Buffer.add_char buf '\n';
+  let totals = Array.make (List.length all_archs * 2) 0.0 in
+  List.iter
+    (fun (w : Omni_workloads.Workloads.t) ->
+      Buffer.add_string buf (Printf.sprintf "%-10s" w.name);
+      List.iteri
+        (fun i a ->
+          let wr = ratio w a Mobile_sfi Mobile_nosfi in
+          let full = ratio w a Mobile_sfi_reads Mobile_nosfi in
+          totals.(2 * i) <- totals.(2 * i) +. wr;
+          totals.((2 * i) + 1) <- totals.((2 * i) + 1) +. full;
+          Buffer.add_string buf (Printf.sprintf "%12.3f%12.3f" wr full))
+        all_archs;
+      Buffer.add_char buf '\n')
+    ws;
+  Buffer.add_string buf (Printf.sprintf "%-10s" "average");
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12.3f" (t /. float_of_int (List.length ws))))
+    totals;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let all_tables ~size =
+  String.concat "\n"
+    [ table1 ~size; table2 ~size; table3 ~size; table4 ~size; table5 ~size;
+      table6 ~size; figure1 ~size; figure2 () ]

@@ -1,0 +1,82 @@
+(** Experiment harness: regenerates every table and figure of the paper's
+    evaluation section. See DESIGN.md for the experiment index and
+    EXPERIMENTS.md for recorded paper-vs-measured results.
+
+    All relative-time numbers are simulated pipeline cycle counts; every
+    run's output is validated against the OmniVM reference interpreter
+    before its numbers are used. *)
+
+module Arch = Omni_targets.Arch
+module Machine = Omni_targets.Machine
+
+(** One measured configuration of the translation pipeline. *)
+type config =
+  | Mobile_sfi  (** translated, sandboxed, per-arch translator opts *)
+  | Mobile_nosfi
+  | Mobile_sfi_noopt  (** translator optimizations disabled (Table 5) *)
+  | Mobile_nosfi_noopt
+  | Mobile_sfi_opt  (** + the guard-zone SFI optimization (paper §4.4) *)
+  | Mobile_sfi_reads  (** + read protection (cited in §1, not measured) *)
+  | Native_cc  (** vendor-compiler baseline *)
+  | Native_gcc  (** portable-compiler baseline *)
+
+val config_name : config -> string
+
+type measurement = {
+  m_cycles : int;
+  m_instructions : int;
+  m_omni_instructions : int;
+  m_stats : Machine.stats option;
+}
+
+exception Harness_error of string
+
+val measure :
+  ?regfile_size:int ->
+  Omni_workloads.Workloads.t ->
+  Arch.t ->
+  config ->
+  measurement
+(** Run one cell (cached); validates the run's output.
+    @raise Harness_error on faults or wrong output. *)
+
+val ratio :
+  ?regfile_size:int ->
+  Omni_workloads.Workloads.t ->
+  Arch.t ->
+  config ->
+  config ->
+  float
+(** [ratio w arch num den] = cycles(num) / cycles(den). *)
+
+val render_ratio_table :
+  title:string ->
+  columns:string list ->
+  rows:string list ->
+  cell:(string -> string -> float option) ->
+  string
+(** Text table with a computed average row (the paper's table format). *)
+
+(** {2 The paper's artifacts} — each returns the rendered table/figure. *)
+
+val table1 : size:Omni_workloads.Workloads.size -> string
+val table2 : size:Omni_workloads.Workloads.size -> string
+val table3 : size:Omni_workloads.Workloads.size -> string
+val table4 : size:Omni_workloads.Workloads.size -> string
+val table5 : size:Omni_workloads.Workloads.size -> string
+val table6 : size:Omni_workloads.Workloads.size -> string
+val figure1 : size:Omni_workloads.Workloads.size -> string
+val figure2 : unit -> string
+
+val ablation_sfi_opt : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: measures its §4.4 forecast that SFI-check
+    optimization would halve the SFI overhead. *)
+
+val ablation_read_protection : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: the cost of the read-protection capability §1 cites
+    but Omniware did not incorporate. *)
+
+val translation_speed : size:Omni_workloads.Workloads.size -> string
+(** Wall-clock OmniVM-instructions-per-second for each translator. *)
+
+val all_tables : size:Omni_workloads.Workloads.size -> string

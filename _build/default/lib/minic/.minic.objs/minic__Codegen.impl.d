@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Bytes Char Ir List Lower Omni_asm Omnivm Printf Regalloc Tast

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Ast Codegen Lower Omni_asm Omnivm Opt Parser Regalloc Stdlib_mc Tast Typecheck

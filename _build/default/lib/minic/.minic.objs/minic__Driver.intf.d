@@ -1,0 +1,1 @@
+lib/minic/driver.mli: Omni_asm Omnivm Opt Tast Typecheck

@@ -1,0 +1,1 @@
+lib/minic/ir.ml: Array Format List Omnivm Printf String Tast

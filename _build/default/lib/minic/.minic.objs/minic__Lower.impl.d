@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Hashtbl Ir List Omni_util Omnivm Option Printf Tast

@@ -1,0 +1,1 @@
+lib/minic/opt.ml: Array Float Hashtbl Ir List Omni_util Omnivm Option

@@ -1,0 +1,1 @@
+lib/minic/opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/minic/oracle.ml: Array Ast Buffer Bytes Char Float Hashtbl List Omni_util Omnivm Option Printf String Tast

@@ -1,0 +1,1 @@
+lib/minic/oracle.mli: Tast

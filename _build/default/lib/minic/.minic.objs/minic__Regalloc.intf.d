@@ -1,0 +1,1 @@
+lib/minic/regalloc.mli: Ir Omnivm

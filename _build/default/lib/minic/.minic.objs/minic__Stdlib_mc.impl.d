@@ -1,0 +1,1 @@
+lib/minic/stdlib_mc.ml:

@@ -1,0 +1,1 @@
+lib/minic/tast.ml: Ast Bytes Hashtbl Omnivm

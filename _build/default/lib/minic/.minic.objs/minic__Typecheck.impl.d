@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Array Ast Bytes Char Hashtbl List Omni_util Omnivm Option Printf String Tast

@@ -1,0 +1,131 @@
+(* MiniC: the C subset used to author mobile modules.
+
+   This is the stand-in for the paper's retargeted gcc front end. The subset
+   covers what the four SPEC92-analogue workloads need: the full expression
+   language, pointers, arrays, structs, function pointers, globals with
+   initializers, and the usual control flow. Omitted relative to C:
+   typedef, switch, varargs, unions, bitfields, float (single precision),
+   short, goto; struct-valued parameters and returns (pass pointers). *)
+
+type ty =
+  | Tvoid
+  | Tchar (* 8-bit, unsigned *)
+  | Tint (* 32-bit, signed *)
+  | Tuint (* 32-bit, unsigned *)
+  | Tdouble (* IEEE double *)
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tstruct of string (* by tag; layout lives in the environment *)
+  | Tfun of ty * ty list
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Band | Bor | Bxor
+  | Land | Lor (* short-circuit *)
+
+type unop = Neg | Lognot | Bitnot
+
+(* Source expressions (untyped, as parsed). *)
+type expr = { desc : expr_desc; line : int }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Ident of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr
+  | Assign_op of binop * expr * expr (* x op= e *)
+  | Cond of expr * expr * expr (* ?: *)
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Member of expr * string (* e.f *)
+  | Arrow of expr * string (* e->f *)
+  | Deref of expr
+  | Addr_of of expr
+  | Cast of ty * expr
+  | Sizeof_ty of ty
+  | Sizeof_expr of expr
+  | Pre_inc of expr
+  | Pre_dec of expr
+  | Post_inc of expr
+  | Post_dec of expr
+
+type init =
+  | Init_expr of expr
+  | Init_list of init list (* array / struct initializer *)
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Expr of expr
+  | Decl of ty * string * init option (* local declaration *)
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | For of stmt option * expr option * expr option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+  | Empty
+
+type param = { p_name : string; p_ty : ty }
+
+type func = {
+  f_name : string;
+  f_ret : ty;
+  f_params : param list;
+  f_body : stmt option; (* None = prototype *)
+  f_line : int;
+}
+
+type global = {
+  g_name : string;
+  g_ty : ty;
+  g_init : init option;
+  g_line : int;
+}
+
+type struct_def = {
+  s_tag : string;
+  s_fields : (string * ty) list;
+  s_line : int;
+}
+
+type decl =
+  | Dfunc of func
+  | Dglobal of global
+  | Dstruct of struct_def
+
+type program = decl list
+
+(* --- pretty printing of types (for error messages) --- *)
+
+let rec string_of_ty = function
+  | Tvoid -> "void"
+  | Tchar -> "char"
+  | Tint -> "int"
+  | Tuint -> "unsigned"
+  | Tdouble -> "double"
+  | Tptr t -> string_of_ty t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (string_of_ty t) n
+  | Tstruct tag -> "struct " ^ tag
+  | Tfun (ret, args) ->
+      Printf.sprintf "%s(*)(%s)" (string_of_ty ret)
+        (String.concat ", " (List.map string_of_ty args))
+
+let is_integer = function
+  | Tchar | Tint | Tuint -> true
+  | Tvoid | Tdouble | Tptr _ | Tarray _ | Tstruct _ | Tfun _ -> false
+
+let is_arith = function
+  | Tchar | Tint | Tuint | Tdouble -> true
+  | Tvoid | Tptr _ | Tarray _ | Tstruct _ | Tfun _ -> false
+
+let is_scalar = function
+  | Tchar | Tint | Tuint | Tdouble | Tptr _ -> true
+  | Tvoid | Tarray _ | Tstruct _ | Tfun _ -> false

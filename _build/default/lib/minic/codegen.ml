@@ -1,0 +1,609 @@
+(* Code generation: allocated IR -> relocatable OmniVM objects.
+
+   Calling convention (see Reg): r1..r4 / f1..f4 carry the leading integer /
+   float arguments, further arguments go on the stack at the caller's sp+0
+   upward; results return in r1 / f1. r8, r9, f8, f9 are codegen scratch
+   (spill reloads, parallel-move cycle breaking, address materialization).
+
+   Frame layout, from sp upward:
+     [outgoing stack args][frame slots][saved callee-saved regs][saved ra]
+   Incoming stack args live at sp + frame_size + offset. *)
+
+open Ir
+module VI = Omnivm.Instr
+module Reg = Omnivm.Reg
+module B = Omni_asm.Obj.Builder
+
+let scratch1 = 8 (* r8: address/base/general scratch *)
+let scratch2 = 9 (* r9: value scratch, parallel-move temp *)
+let fscratch1 = 8 (* f8 *)
+let fscratch2 = 9 (* f9 *)
+
+let max_reg_args = 4
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Where each argument of a call goes. *)
+type arg_home = In_ireg of Reg.t | In_freg of Reg.t | On_stack of int
+
+let arg_homes (args : (vclass * 'a) list) : (arg_home * 'a) list * int =
+  let ni = ref 0 and nf = ref 0 and off = ref 0 in
+  let homes =
+    List.map
+      (fun (cls, x) ->
+        match cls with
+        | I ->
+            if !ni < max_reg_args then begin
+              incr ni;
+              (In_ireg (Reg.arg (!ni - 1)), x)
+            end
+            else begin
+              let o = !off in
+              off := o + 4;
+              (On_stack o, x)
+            end
+        | F ->
+            if !nf < max_reg_args then begin
+              incr nf;
+              (In_freg !nf, x)
+            end
+            else begin
+              off := (!off + 7) land lnot 7;
+              let o = !off in
+              off := o + 8;
+              (On_stack o, x)
+            end)
+      args
+  in
+  (homes, !off)
+
+type fstate = {
+  b : B.t;
+  fname : string;
+  locations : Regalloc.location array;
+  slot_off : int array;
+  frame_size : int;
+  vreg_class : vclass array;
+}
+
+let block_label st i = Printf.sprintf ".L.%s.%d" st.fname i
+let epilogue_label st = Printf.sprintf ".L.%s.epi" st.fname
+
+let loc st v = st.locations.(v)
+
+(* --- operand access --- *)
+
+(* Bring an integer-class operand into a register; uses [scratch] when the
+   operand is not already in a register. *)
+let fetch_int st scratch (o : operand) : Reg.t =
+  match o with
+  | Ci 0 -> Reg.zero
+  | Ci k ->
+      B.emit st.b (VI.Li (scratch, k));
+      scratch
+  | Sym (s, off) ->
+      B.emit_reloc st.b (VI.Li (scratch, 0)) ~field:Omni_asm.Obj.Imm ~sym:s
+        ~addend:off;
+      scratch
+  | Slotaddr (s, d) ->
+      B.emit st.b (VI.Binopi (VI.Add, scratch, Reg.sp, st.slot_off.(s) + d));
+      scratch
+  | Vr v -> (
+      match loc st v with
+      | Regalloc.Preg r -> r
+      | Regalloc.Pslot s ->
+          B.emit st.b
+            (VI.Load (VI.W32, true, scratch, Reg.sp, st.slot_off.(s)));
+          scratch)
+  | Cf _ -> fail "float operand in integer context"
+
+let fetch_float st scratch (o : operand) : Reg.t =
+  match o with
+  | Cf k ->
+      B.emit st.b (VI.Fli (VI.Double, scratch, k));
+      scratch
+  | Vr v -> (
+      match loc st v with
+      | Regalloc.Preg r -> r
+      | Regalloc.Pslot s ->
+          B.emit st.b (VI.Fload (VI.Double, scratch, Reg.sp, st.slot_off.(s)));
+          scratch)
+  | Ci _ | Sym _ | Slotaddr _ -> fail "integer operand in float context"
+
+(* Destination handling: returns the register to compute into and a
+   finalizer that stores to the spill slot if needed. *)
+let dest_int st v : Reg.t * (unit -> unit) =
+  match loc st v with
+  | Regalloc.Preg r -> (r, fun () -> ())
+  | Regalloc.Pslot s ->
+      ( scratch2,
+        fun () ->
+          B.emit st.b (VI.Store (VI.W32, scratch2, Reg.sp, st.slot_off.(s))) )
+
+let dest_float st v : Reg.t * (unit -> unit) =
+  match loc st v with
+  | Regalloc.Preg r -> (r, fun () -> ())
+  | Regalloc.Pslot s ->
+      ( fscratch2,
+        fun () ->
+          B.emit st.b (VI.Fstore (VI.Double, fscratch2, Reg.sp, st.slot_off.(s)))
+      )
+
+(* Address resolution for loads/stores: returns base register, constant
+   displacement and an optional symbol relocation for the offset field. *)
+type maddr = { m_base : Reg.t; m_disp : int; m_sym : (string * int) option }
+
+let resolve_addr st scratch (a : address) : maddr =
+  match a.base with
+  | Sym (s, o) -> { m_base = Reg.zero; m_disp = 0; m_sym = Some (s, o + a.disp) }
+  | Slotaddr (s, d) ->
+      { m_base = Reg.sp; m_disp = st.slot_off.(s) + d + a.disp; m_sym = None }
+  | Ci k -> { m_base = Reg.zero; m_disp = k + a.disp; m_sym = None }
+  | Vr _ ->
+      let r = fetch_int st scratch a.base in
+      { m_base = r; m_disp = a.disp; m_sym = None }
+  | Cf _ -> fail "float address"
+
+(* Emit the computation of [rv] into destination vreg [v]. *)
+let emit_def st v (rv : rvalue) =
+  match rv with
+  | Mov o -> (
+      match st.vreg_class.(v) with
+      | I -> (
+          let rd, fin = dest_int st v in
+          (match o with
+          | Ci k -> B.emit st.b (VI.Li (rd, k))
+          | Sym (s, off) ->
+              B.emit_reloc st.b (VI.Li (rd, 0)) ~field:Omni_asm.Obj.Imm ~sym:s
+                ~addend:off
+          | Slotaddr (s, d) ->
+              B.emit st.b (VI.Binopi (VI.Add, rd, Reg.sp, st.slot_off.(s) + d))
+          | Vr src -> (
+              match loc st src with
+              | Regalloc.Preg r ->
+                  if r <> rd then B.emit st.b (VI.Binopi (VI.Add, rd, r, 0))
+              | Regalloc.Pslot s ->
+                  B.emit st.b
+                    (VI.Load (VI.W32, true, rd, Reg.sp, st.slot_off.(s))))
+          | Cf _ -> fail "float to int mov");
+          fin ())
+      | F ->
+          let rd, fin = dest_float st v in
+          (match o with
+          | Cf k -> B.emit st.b (VI.Fli (VI.Double, rd, k))
+          | Vr src -> (
+              match loc st src with
+              | Regalloc.Preg r ->
+                  if r <> rd then
+                    B.emit st.b (VI.Funop (VI.Fmov, VI.Double, rd, r))
+              | Regalloc.Pslot s ->
+                  B.emit st.b
+                    (VI.Fload (VI.Double, rd, Reg.sp, st.slot_off.(s))))
+          | Ci _ | Sym _ | Slotaddr _ -> fail "int to float mov");
+          fin ())
+  | Ibin (op, a, bb) ->
+      let rd, fin = dest_int st v in
+      (* commute constant to the right when possible *)
+      let a, bb =
+        match (op, a, bb) with
+        | (VI.Add | VI.Mul | VI.And | VI.Or | VI.Xor), Ci _, _ -> (bb, a)
+        | _ -> (a, bb)
+      in
+      let ra = fetch_int st scratch1 a in
+      (match bb with
+      | Ci k -> B.emit st.b (VI.Binopi (op, rd, ra, k))
+      | Sym (s, off) ->
+          B.emit_reloc st.b
+            (VI.Binopi (op, rd, ra, 0))
+            ~field:Omni_asm.Obj.Imm ~sym:s ~addend:off
+      | _ ->
+          let rb = fetch_int st scratch2 bb in
+          B.emit st.b (VI.Binop (op, rd, ra, rb)));
+      fin ()
+  | Fbin (op, a, bb) ->
+      let rd, fin = dest_float st v in
+      let ra = fetch_float st fscratch1 a in
+      let rb = fetch_float st fscratch2 bb in
+      B.emit st.b (VI.Fbinop (op, VI.Double, rd, ra, rb));
+      fin ()
+  | Fun1 (op, a) ->
+      let rd, fin = dest_float st v in
+      let ra = fetch_float st fscratch1 a in
+      B.emit st.b (VI.Funop (op, VI.Double, rd, ra));
+      fin ()
+  | Fcmp (op, a, bb) ->
+      let rd, fin = dest_int st v in
+      let ra = fetch_float st fscratch1 a in
+      let rb = fetch_float st fscratch2 bb in
+      B.emit st.b (VI.Fcmp (op, VI.Double, rd, ra, rb));
+      fin ()
+  | F_of_i a ->
+      let rd, fin = dest_float st v in
+      let ra = fetch_int st scratch1 a in
+      B.emit st.b (VI.Cvt_f_i (VI.Double, rd, ra));
+      fin ()
+  | I_of_f a ->
+      let rd, fin = dest_int st v in
+      let ra = fetch_float st fscratch1 a in
+      B.emit st.b (VI.Cvt_i_f (VI.Double, rd, ra));
+      fin ()
+  | Load (w, signed, a) ->
+      let rd, fin = dest_int st v in
+      let m = resolve_addr st scratch1 a in
+      (match m.m_sym with
+      | None -> B.emit st.b (VI.Load (w, signed, rd, m.m_base, m.m_disp))
+      | Some (s, off) ->
+          B.emit_reloc st.b
+            (VI.Load (w, signed, rd, m.m_base, 0))
+            ~field:Omni_asm.Obj.Imm ~sym:s ~addend:off);
+      fin ()
+  | Loadf a ->
+      let rd, fin = dest_float st v in
+      let m = resolve_addr st scratch1 a in
+      (match m.m_sym with
+      | None -> B.emit st.b (VI.Fload (VI.Double, rd, m.m_base, m.m_disp))
+      | Some (s, off) ->
+          B.emit_reloc st.b
+            (VI.Fload (VI.Double, rd, m.m_base, 0))
+            ~field:Omni_asm.Obj.Imm ~sym:s ~addend:off);
+      fin ()
+
+(* Parallel move of register sources into argument registers.
+   [moves] maps destination register -> source register (same class).
+   Uses [tmp] to break cycles. *)
+let parallel_move emit_mv tmp (moves : (Reg.t * Reg.t) list) =
+  let moves = List.filter (fun (d, s) -> d <> s) moves in
+  let rec go moves =
+    match moves with
+    | [] -> ()
+    | _ -> (
+        (* a move is safe if no other pending move reads its destination *)
+        match
+          List.find_opt
+            (fun (d, _) -> not (List.exists (fun (_, s') -> s' = d) moves))
+            moves
+        with
+        | Some ((d, s) as m) ->
+            emit_mv d s;
+            go (List.filter (fun m' -> m' != m) moves)
+        | None -> (
+            (* cycle: rotate through tmp *)
+            match moves with
+            | (d, s) :: rest ->
+                emit_mv tmp s;
+                go
+                  (List.map (fun (d', s') -> if s' = d then (d', d) else (d', s'))
+                     ((d, tmp) :: rest))
+            | [] -> ()))
+  in
+  go moves
+
+let emit_call_args st (args : (vclass * operand) list) =
+  let homes, _bytes = arg_homes args in
+  (* stack args first (they use scratch registers) *)
+  List.iter
+    (fun (home, o) ->
+      match home with
+      | On_stack off -> (
+          match o with
+          | Cf _ | Vr _ when (match o with
+                              | Vr v -> st.vreg_class.(v) = F
+                              | Cf _ -> true
+                              | _ -> false) ->
+              let r = fetch_float st fscratch1 o in
+              B.emit st.b (VI.Fstore (VI.Double, r, Reg.sp, off))
+          | _ ->
+              let r = fetch_int st scratch1 o in
+              B.emit st.b (VI.Store (VI.W32, r, Reg.sp, off)))
+      | In_ireg _ | In_freg _ -> ())
+    homes;
+  (* register args: reg-to-reg moves go through the parallel mover; memory
+     and constant sources load directly into their destination *)
+  let reg_moves = ref [] in
+  let freg_moves = ref [] in
+  let direct = ref [] in
+  List.iter
+    (fun (home, o) ->
+      match (home, o) with
+      | In_ireg d, Vr v -> (
+          match loc st v with
+          | Regalloc.Preg s -> reg_moves := (d, s) :: !reg_moves
+          | Regalloc.Pslot _ -> direct := (home, o) :: !direct)
+      | In_freg d, Vr v -> (
+          match loc st v with
+          | Regalloc.Preg s -> freg_moves := (d, s) :: !freg_moves
+          | Regalloc.Pslot _ -> direct := (home, o) :: !direct)
+      | (In_ireg _ | In_freg _), _ -> direct := (home, o) :: !direct
+      | On_stack _, _ -> ())
+    homes;
+  parallel_move
+    (fun d s -> B.emit st.b (VI.Binopi (VI.Add, d, s, 0)))
+    scratch2 !reg_moves;
+  parallel_move
+    (fun d s -> B.emit st.b (VI.Funop (VI.Fmov, VI.Double, d, s)))
+    fscratch2 !freg_moves;
+  List.iter
+    (fun (home, o) ->
+      match home with
+      | In_ireg d -> (
+          match o with
+          | Ci k -> B.emit st.b (VI.Li (d, k))
+          | Sym (s, off) ->
+              B.emit_reloc st.b (VI.Li (d, 0)) ~field:Omni_asm.Obj.Imm ~sym:s
+                ~addend:off
+          | Slotaddr (s, dd) ->
+              B.emit st.b
+                (VI.Binopi (VI.Add, d, Reg.sp, st.slot_off.(s) + dd))
+          | Vr v -> (
+              match loc st v with
+              | Regalloc.Pslot s ->
+                  B.emit st.b
+                    (VI.Load (VI.W32, true, d, Reg.sp, st.slot_off.(s)))
+              | Regalloc.Preg _ -> assert false)
+          | Cf _ -> fail "float arg in int home")
+      | In_freg d -> (
+          match o with
+          | Cf k -> B.emit st.b (VI.Fli (VI.Double, d, k))
+          | Vr v -> (
+              match loc st v with
+              | Regalloc.Pslot s ->
+                  B.emit st.b (VI.Fload (VI.Double, d, Reg.sp, st.slot_off.(s)))
+              | Regalloc.Preg _ -> assert false)
+          | _ -> fail "int arg in float home")
+      | On_stack _ -> ())
+    !direct
+
+let emit_call_result st dst =
+  match dst with
+  | None -> ()
+  | Some (I, v) -> (
+      match loc st v with
+      | Regalloc.Preg r ->
+          if r <> Reg.ret then B.emit st.b (VI.Binopi (VI.Add, r, Reg.ret, 0))
+      | Regalloc.Pslot s ->
+          B.emit st.b (VI.Store (VI.W32, Reg.ret, Reg.sp, st.slot_off.(s))))
+  | Some (F, v) -> (
+      match loc st v with
+      | Regalloc.Preg r ->
+          if r <> 1 then B.emit st.b (VI.Funop (VI.Fmov, VI.Double, r, 1))
+      | Regalloc.Pslot s ->
+          B.emit st.b (VI.Fstore (VI.Double, 1, Reg.sp, st.slot_off.(s))))
+
+let emit_inst st (i : inst) =
+  match i with
+  | Def (v, rv) -> emit_def st v rv
+  | Store (w, value, a) ->
+      let m = resolve_addr st scratch1 a in
+      let rv = fetch_int st scratch2 value in
+      (match m.m_sym with
+      | None -> B.emit st.b (VI.Store (w, rv, m.m_base, m.m_disp))
+      | Some (s, off) ->
+          B.emit_reloc st.b
+            (VI.Store (w, rv, m.m_base, 0))
+            ~field:Omni_asm.Obj.Imm ~sym:s ~addend:off)
+  | Storef (value, a) ->
+      let m = resolve_addr st scratch1 a in
+      let rv = fetch_float st fscratch1 value in
+      (match m.m_sym with
+      | None -> B.emit st.b (VI.Fstore (VI.Double, rv, m.m_base, m.m_disp))
+      | Some (s, off) ->
+          B.emit_reloc st.b
+            (VI.Fstore (VI.Double, rv, m.m_base, 0))
+            ~field:Omni_asm.Obj.Imm ~sym:s ~addend:off)
+  | Call { dst; callee; args } ->
+      (match callee with
+      | Direct f ->
+          emit_call_args st args;
+          B.emit_reloc st.b (VI.Jal 0) ~field:Omni_asm.Obj.Label ~sym:f
+            ~addend:0
+      | Indirect o ->
+          (* fetch the target before argument moves clobber arg registers *)
+          let r = fetch_int st scratch1 o in
+          if r <> scratch1 then B.emit st.b (VI.Binopi (VI.Add, scratch1, r, 0));
+          emit_call_args st args;
+          B.emit st.b (VI.Jalr (Reg.ra, scratch1)));
+      emit_call_result st dst
+  | Hcall { dst; call; args } ->
+      emit_call_args st args;
+      B.emit st.b (VI.Hcall (Omnivm.Hostcall.number call));
+      emit_call_result st dst
+
+let emit_term st ~next (t : term) =
+  match t with
+  | Jmp b ->
+      if next <> Some b then
+        B.emit_reloc st.b (VI.J 0) ~field:Omni_asm.Obj.Label
+          ~sym:(block_label st b) ~addend:0
+  | CondBr (c, a, bb, tb, eb) ->
+      let ra = fetch_int st scratch1 a in
+      (match bb with
+      | Ci k ->
+          B.emit_reloc st.b
+            (VI.Bri (c, ra, k, 0))
+            ~field:Omni_asm.Obj.Label ~sym:(block_label st tb) ~addend:0
+      | _ ->
+          let rb = fetch_int st scratch2 bb in
+          B.emit_reloc st.b
+            (VI.Br (c, ra, rb, 0))
+            ~field:Omni_asm.Obj.Label ~sym:(block_label st tb) ~addend:0);
+      if next <> Some eb then
+        B.emit_reloc st.b (VI.J 0) ~field:Omni_asm.Obj.Label
+          ~sym:(block_label st eb) ~addend:0
+  | Ret value ->
+      (match value with
+      | None -> ()
+      | Some (I, o) ->
+          let r = fetch_int st scratch1 o in
+          if r <> Reg.ret then B.emit st.b (VI.Binopi (VI.Add, Reg.ret, r, 0))
+      | Some (F, o) ->
+          let r = fetch_float st fscratch1 o in
+          if r <> 1 then B.emit st.b (VI.Funop (VI.Fmov, VI.Double, 1, r)));
+      B.emit_reloc st.b (VI.J 0) ~field:Omni_asm.Obj.Label
+        ~sym:(epilogue_label st) ~addend:0
+
+(* --- function --- *)
+
+let gen_func b ~pools (f : func) =
+  let alloc = Regalloc.allocate ~pools f in
+  (* outgoing argument area *)
+  let outgoing =
+    Array.fold_left
+      (fun acc blk ->
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Call { args; _ } | Hcall { args; _ } ->
+                let _, bytes = arg_homes args in
+                max acc bytes
+            | Def _ | Store _ | Storef _ -> acc)
+          acc blk.insts)
+      0 f.fn_blocks
+  in
+  (* frame slots *)
+  let n_slots = Array.length f.fn_slots in
+  let slot_off = Array.make n_slots 0 in
+  let off = ref ((outgoing + 7) land lnot 7) in
+  Array.iteri
+    (fun i s ->
+      off := (!off + s.slot_align - 1) land lnot (s.slot_align - 1);
+      slot_off.(i) <- !off;
+      off := !off + s.slot_size)
+    f.fn_slots;
+  (* saved registers *)
+  let csi = alloc.Regalloc.used_callee_saved_int in
+  let csf = alloc.Regalloc.used_callee_saved_float in
+  let save_area = ref [] in
+  off := (!off + 7) land lnot 7;
+  List.iter
+    (fun r ->
+      save_area := (`F r, !off) :: !save_area;
+      off := !off + 8)
+    csf;
+  List.iter
+    (fun r ->
+      save_area := (`I r, !off) :: !save_area;
+      off := !off + 4)
+    csi;
+  let ra_off = !off in
+  off := !off + 4;
+  let frame_size = (!off + 15) land lnot 15 in
+  let st =
+    {
+      b;
+      fname = f.fn_name;
+      locations = alloc.Regalloc.locations;
+      slot_off;
+      frame_size;
+      vreg_class = f.fn_vreg_class;
+    }
+  in
+  B.def_label_here b ~name:f.fn_name ~global:true;
+  (* prologue *)
+  B.emit b (VI.Binopi (VI.Add, Reg.sp, Reg.sp, -frame_size));
+  B.emit b (VI.Store (VI.W32, Reg.ra, Reg.sp, ra_off));
+  List.iter
+    (fun (which, o) ->
+      match which with
+      | `I r -> B.emit b (VI.Store (VI.W32, r, Reg.sp, o))
+      | `F r -> B.emit b (VI.Fstore (VI.Double, r, Reg.sp, o)))
+    !save_area;
+  (* move parameters into their allocated homes *)
+  let homes, _ = arg_homes f.fn_params in
+  let reg_moves = ref [] and freg_moves = ref [] and later = ref [] in
+  List.iter
+    (fun (home, v) ->
+      match (home, loc st v) with
+      | In_ireg src, Regalloc.Preg d -> reg_moves := (d, src) :: !reg_moves
+      | In_freg src, Regalloc.Preg d -> freg_moves := (d, src) :: !freg_moves
+      | In_ireg src, Regalloc.Pslot s ->
+          (* spill stores must precede the register shuffle below, which
+             overwrites the argument registers *)
+          B.emit b (VI.Store (VI.W32, src, Reg.sp, slot_off.(s)))
+      | In_freg src, Regalloc.Pslot s ->
+          B.emit b (VI.Fstore (VI.Double, src, Reg.sp, slot_off.(s)))
+      | On_stack _, _ -> later := (home, v) :: !later)
+    homes;
+  parallel_move
+    (fun d s -> B.emit b (VI.Binopi (VI.Add, d, s, 0)))
+    scratch2 !reg_moves;
+  parallel_move
+    (fun d s -> B.emit b (VI.Funop (VI.Fmov, VI.Double, d, s)))
+    fscratch2 !freg_moves;
+  List.iter
+    (fun (home, v) ->
+      match (home, loc st v) with
+      | In_ireg _, _ | In_freg _, _ -> assert false
+      | On_stack o, dst -> (
+          let incoming = frame_size + o in
+          match (st.vreg_class.(v), dst) with
+          | I, Regalloc.Preg d ->
+              B.emit b (VI.Load (VI.W32, true, d, Reg.sp, incoming))
+          | I, Regalloc.Pslot s ->
+              B.emit b (VI.Load (VI.W32, true, scratch1, Reg.sp, incoming));
+              B.emit b (VI.Store (VI.W32, scratch1, Reg.sp, slot_off.(s)))
+          | F, Regalloc.Preg d ->
+              B.emit b (VI.Fload (VI.Double, d, Reg.sp, incoming))
+          | F, Regalloc.Pslot s ->
+              B.emit b (VI.Fload (VI.Double, fscratch1, Reg.sp, incoming));
+              B.emit b (VI.Fstore (VI.Double, fscratch1, Reg.sp, slot_off.(s)))))
+    !later;
+  (* body *)
+  let nblocks = Array.length f.fn_blocks in
+  Array.iteri
+    (fun i blk ->
+      B.def_label_here b ~name:(block_label st i) ~global:false;
+      List.iter (emit_inst st) blk.insts;
+      let next = if i + 1 < nblocks then Some (i + 1) else None in
+      emit_term st ~next blk.term)
+    f.fn_blocks;
+  (* epilogue *)
+  B.def_label_here b ~name:(epilogue_label st) ~global:false;
+  List.iter
+    (fun (which, o) ->
+      match which with
+      | `I r -> B.emit b (VI.Load (VI.W32, true, r, Reg.sp, o))
+      | `F r -> B.emit b (VI.Fload (VI.Double, r, Reg.sp, o)))
+    !save_area;
+  B.emit b (VI.Load (VI.W32, true, Reg.ra, Reg.sp, ra_off));
+  B.emit b (VI.Binopi (VI.Add, Reg.sp, Reg.sp, frame_size));
+  B.emit b (VI.Jr Reg.ra)
+
+(* --- globals and strings --- *)
+
+let gen_globals b (globals : Tast.tglobal list) (strings : string array) =
+  List.iter
+    (fun (g : Tast.tglobal) ->
+      B.data_align b 8;
+      B.def_symbol b ~name:g.tg_name ~section:Omni_asm.Obj.Data
+        ~offset:(B.here_data b) ~global:true;
+      List.iter
+        (fun item ->
+          match item with
+          | Tast.Gbytes bs -> Bytes.iter (fun c -> B.data_byte b (Char.code c)) bs
+          | Tast.Gword w -> B.data_word b w
+          | Tast.Gdouble d ->
+              B.data_align b 8;
+              B.data_double b d
+          | Tast.Gaddr_of_global (s, off) -> B.data_addr b ~sym:s ~addend:off
+          | Tast.Gaddr_of_func s -> B.data_addr b ~sym:s ~addend:0
+          | Tast.Gaddr_of_string i ->
+              B.data_addr b ~sym:(Lower.string_symbol i) ~addend:0
+          | Tast.Gzeros n -> B.data_space b n)
+        g.tg_init)
+    globals;
+  Array.iteri
+    (fun i s ->
+      B.def_symbol b ~name:(Lower.string_symbol i) ~section:Omni_asm.Obj.Data
+        ~offset:(B.here_data b) ~global:false;
+      B.data_string b s;
+      B.data_byte b 0)
+    strings
+
+let gen_program ?(pools = Regalloc.default_pools ~regfile_size:16) ~name
+    (p : program) : Omni_asm.Obj.t =
+  let b = B.create name in
+  List.iter (gen_func b ~pools) p.pr_funcs;
+  gen_globals b p.pr_globals p.pr_strings;
+  B.finish b

@@ -1,0 +1,90 @@
+(* Compiler driver: MiniC source -> relocatable object / linked mobile
+   module.
+
+   A full program links: crt0 (entry stub) + the MiniC runtime library
+   (Stdlib_mc, itself compiled from MiniC) + the user's translation
+   unit(s). *)
+
+type options = {
+  opt_level : Opt.level;
+  regfile_size : int; (* OmniVM registers available to the allocator *)
+}
+
+let default_options = { opt_level = Opt.O2; regfile_size = 16 }
+
+(* Prototypes of the MiniC runtime library (Stdlib_mc), visible to every
+   user translation unit like an implicit #include. *)
+let stdlib_protos : Typecheck.proto list =
+  let open Ast in
+  let p name ret params =
+    { Typecheck.proto_name = name; proto_ret = ret; proto_params = params }
+  in
+  [ p "malloc" (Tptr Tchar) [ Tint ];
+    p "free" Tvoid [ Tptr Tchar ];
+    p "calloc" (Tptr Tchar) [ Tint; Tint ];
+    p "memcpy" (Tptr Tvoid) [ Tptr Tchar; Tptr Tchar; Tint ];
+    p "memset" (Tptr Tvoid) [ Tptr Tchar; Tint; Tint ];
+    p "memcmp" Tint [ Tptr Tchar; Tptr Tchar; Tint ];
+    p "strlen" Tint [ Tptr Tchar ];
+    p "strcmp" Tint [ Tptr Tchar; Tptr Tchar ];
+    p "strcpy" (Tptr Tchar) [ Tptr Tchar; Tptr Tchar ];
+    p "strncmp" Tint [ Tptr Tchar; Tptr Tchar; Tint ];
+    p "srand" Tvoid [ Tint ];
+    p "rand" Tint [];
+    p "abs" Tint [ Tint ];
+    p "fabs" Tdouble [ Tdouble ];
+    p "exp" Tdouble [ Tdouble ];
+    p "sqrt" Tdouble [ Tdouble ];
+    p "print_nl" Tvoid [];
+    p "qsort" Tvoid
+      [ Tptr Tchar; Tint; Tint;
+        Tptr (Tfun (Tint, [ Tptr Tchar; Tptr Tchar ])) ] ]
+
+(* Compile one translation unit to a relocatable object. *)
+let compile_unit ?(options = default_options) ?(protos = stdlib_protos) ~name
+    source : Omni_asm.Obj.t =
+  let ast = Parser.parse_program source in
+  let tast = Typecheck.type_program ~protos ast in
+  let ir = Lower.lower_program tast in
+  let ir = Opt.optimize options.opt_level ir in
+  let pools = Regalloc.default_pools ~regfile_size:options.regfile_size in
+  Codegen.gen_program ~pools ~name ir
+
+(* Typed program for the reference interpreter (differential oracle). *)
+let typed_program ?protos source : Tast.tprogram =
+  let protos = match protos with Some p -> p | None -> stdlib_protos in
+  Typecheck.type_program ~protos (Parser.parse_program source)
+
+(* Typed program with the runtime library merged in, so the oracle can run
+   programs that call malloc & friends. *)
+let typed_program_with_stdlib source : Tast.tprogram =
+  Typecheck.type_program
+    (Parser.parse_program (Stdlib_mc.source ^ "\n" ^ source))
+
+(* The entry stub: call main, pass its return value to the exit service. *)
+let crt0 () : Omni_asm.Obj.t =
+  Omni_asm.Parse.assemble ~name:"crt0"
+    {|
+        .text
+        .globl _start
+_start:
+        jal main
+        hcall 0
+|}
+
+let runtime_lib ?options () : Omni_asm.Obj.t =
+  compile_unit ?options ~protos:[] ~name:"stdlib_mc" Stdlib_mc.source
+
+(* Compile and link a complete program into a mobile module. *)
+let compile_exe ?(options = default_options) ?(with_stdlib = true) ~name
+    source : Omnivm.Exe.t =
+  let objs =
+    [ crt0 () ]
+    @ (if with_stdlib then [ runtime_lib ~options () ] else [])
+    @ [ compile_unit ~options ~name source ]
+  in
+  Omni_asm.Link.link ~entry:"_start" objs
+
+(* Convenience: straight to wire bytes, the shippable mobile-code artifact. *)
+let compile_wire ?options ?with_stdlib ~name source : string =
+  Omnivm.Wire.encode (compile_exe ?options ?with_stdlib ~name source)

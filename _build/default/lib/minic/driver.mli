@@ -1,0 +1,48 @@
+(** MiniC compiler driver.
+
+    A complete program links three objects: crt0 (the entry stub that calls
+    [main] and passes its result to the exit host call), the MiniC runtime
+    library ({!Stdlib_mc}, compiled from MiniC), and the user's translation
+    unit. *)
+
+type options = {
+  opt_level : Opt.level;
+  regfile_size : int;
+      (** OmniVM registers available to the register allocator, 8..16
+          (the paper's Table 2 experiment) *)
+}
+
+val default_options : options
+(** [O2], 16 registers. *)
+
+val stdlib_protos : Typecheck.proto list
+(** Prototypes of the runtime library, injected into every user unit like
+    an implicit [#include]. *)
+
+val compile_unit :
+  ?options:options ->
+  ?protos:Typecheck.proto list ->
+  name:string ->
+  string ->
+  Omni_asm.Obj.t
+(** Compile one translation unit to a relocatable object.
+    @raise Lexer.Error | Parser.Error | Typecheck.Error on bad source. *)
+
+val typed_program : ?protos:Typecheck.proto list -> string -> Tast.tprogram
+(** Typecheck only (used by the reference-interpreter oracle). *)
+
+val typed_program_with_stdlib : string -> Tast.tprogram
+(** Like {!typed_program}, with the runtime library's source merged in so
+    the oracle can execute programs that call [malloc] & friends. *)
+
+val crt0 : unit -> Omni_asm.Obj.t
+
+val runtime_lib : ?options:options -> unit -> Omni_asm.Obj.t
+
+val compile_exe :
+  ?options:options -> ?with_stdlib:bool -> name:string -> string -> Omnivm.Exe.t
+(** Compile and link a complete program into a mobile module. *)
+
+val compile_wire :
+  ?options:options -> ?with_stdlib:bool -> name:string -> string -> string
+(** Straight to wire bytes: the shippable artifact. *)

@@ -1,0 +1,184 @@
+(* MiniC intermediate representation: a CFG of basic blocks over virtual
+   registers, shaped so that (a) the machine-independent optimizations the
+   paper attributes to the compiler (constant folding/propagation, CSE,
+   strength reduction, dead code elimination) are easy to express, and
+   (b) instruction selection to OmniVM is near 1:1. *)
+
+type vclass = I | F
+
+type vreg = int
+
+type operand =
+  | Vr of vreg
+  | Ci of int (* 32-bit integer constant *)
+  | Cf of float (* float constant (class F contexts) *)
+  | Sym of string * int (* link-time address constant: symbol + offset *)
+  | Slotaddr of int * int (* frame slot id + displacement: sp-relative *)
+
+(* Memory operand: base + displacement. The 32-bit displacement mirrors
+   OmniVM's 32-bit address offsets. *)
+type address = { base : operand; disp : int }
+
+type rvalue =
+  | Ibin of Omnivm.Instr.binop * operand * operand
+  | Fbin of Omnivm.Instr.fbinop * operand * operand
+  | Fun1 of Omnivm.Instr.funop * operand
+  | Fcmp of Omnivm.Instr.fcmp * operand * operand (* int result *)
+  | F_of_i of operand
+  | I_of_f of operand
+  | Mov of operand
+  | Load of Omnivm.Instr.mem_width * bool * address
+  | Loadf of address
+
+type callee = Direct of string | Indirect of operand
+
+type inst =
+  | Def of vreg * rvalue
+  | Store of Omnivm.Instr.mem_width * operand * address
+  | Storef of operand * address
+  | Call of {
+      dst : (vclass * vreg) option;
+      callee : callee;
+      args : (vclass * operand) list;
+    }
+  | Hcall of {
+      dst : (vclass * vreg) option;
+      call : Omnivm.Hostcall.t;
+      args : (vclass * operand) list;
+    }
+
+type term =
+  | Ret of (vclass * operand) option
+  | Jmp of int
+  | CondBr of Omnivm.Instr.cond * operand * operand * int * int
+      (* if a cond b then blk1 else blk2 *)
+
+type block = { mutable insts : inst list; mutable term : term }
+
+type slot = { slot_size : int; slot_align : int }
+
+type func = {
+  fn_name : string;
+  fn_params : (vclass * vreg) list;
+  mutable fn_blocks : block array; (* entry = block 0 *)
+  mutable fn_vreg_class : vclass array;
+  mutable fn_slots : slot array;
+}
+
+type program = {
+  pr_funcs : func list;
+  pr_globals : Tast.tglobal list;
+  pr_strings : string array;
+}
+
+let vreg_count f = Array.length f.fn_vreg_class
+
+let class_of f v = f.fn_vreg_class.(v)
+
+(* --- traversal helpers --- *)
+
+let rvalue_operands = function
+  | Ibin (_, a, b) | Fbin (_, a, b) | Fcmp (_, a, b) -> [ a; b ]
+  | Fun1 (_, a) | F_of_i a | I_of_f a | Mov a -> [ a ]
+  | Load (_, _, { base; _ }) | Loadf { base; _ } -> [ base ]
+
+let inst_uses = function
+  | Def (_, rv) -> rvalue_operands rv
+  | Store (_, v, { base; _ }) | Storef (v, { base; _ }) -> [ v; base ]
+  | Call { callee; args; _ } ->
+      let c = match callee with Direct _ -> [] | Indirect o -> [ o ] in
+      c @ List.map snd args
+  | Hcall { args; _ } -> List.map snd args
+
+let inst_def = function
+  | Def (v, _) -> Some v
+  | Call { dst = Some (_, v); _ } | Hcall { dst = Some (_, v); _ } -> Some v
+  | Call { dst = None; _ } | Hcall { dst = None; _ } | Store _ | Storef _ ->
+      None
+
+let term_uses = function
+  | Ret (Some (_, o)) -> [ o ]
+  | Ret None -> []
+  | Jmp _ -> []
+  | CondBr (_, a, b, _, _) -> [ a; b ]
+
+let term_succs = function
+  | Ret _ -> []
+  | Jmp b -> [ b ]
+  | CondBr (_, _, _, t, e) -> [ t; e ]
+
+let vregs_of_operands ops =
+  List.filter_map (function Vr v -> Some v | _ -> None) ops
+
+(* --- printing (debugging and golden tests) --- *)
+
+let string_of_operand = function
+  | Vr v -> Printf.sprintf "v%d" v
+  | Ci i -> string_of_int i
+  | Cf f -> Printf.sprintf "%g" f
+  | Sym (s, 0) -> Printf.sprintf "&%s" s
+  | Sym (s, o) -> Printf.sprintf "&%s+%d" s o
+  | Slotaddr (s, 0) -> Printf.sprintf "&slot%d" s
+  | Slotaddr (s, o) -> Printf.sprintf "&slot%d+%d" s o
+
+let string_of_address { base; disp } =
+  if disp = 0 then Printf.sprintf "[%s]" (string_of_operand base)
+  else Printf.sprintf "[%s + %d]" (string_of_operand base) disp
+
+let string_of_rvalue rv =
+  let o = string_of_operand in
+  match rv with
+  | Ibin (op, a, b) ->
+      Printf.sprintf "%s %s, %s" (Omnivm.Instr.binop_name op) (o a) (o b)
+  | Fbin (op, a, b) ->
+      Printf.sprintf "%s %s, %s" (Omnivm.Instr.fbinop_name op) (o a) (o b)
+  | Fun1 (op, a) -> Printf.sprintf "%s %s" (Omnivm.Instr.funop_name op) (o a)
+  | Fcmp (op, a, b) ->
+      Printf.sprintf "%s %s, %s" (Omnivm.Instr.fcmp_name op) (o a) (o b)
+  | F_of_i a -> Printf.sprintf "f_of_i %s" (o a)
+  | I_of_f a -> Printf.sprintf "i_of_f %s" (o a)
+  | Mov a -> o a
+  | Load (w, s, addr) ->
+      Printf.sprintf "%s %s" (Omnivm.Instr.load_name w s) (string_of_address addr)
+  | Loadf addr -> Printf.sprintf "fld %s" (string_of_address addr)
+
+let string_of_inst i =
+  let o = string_of_operand in
+  match i with
+  | Def (v, rv) -> Printf.sprintf "v%d := %s" v (string_of_rvalue rv)
+  | Store (w, v, addr) ->
+      Printf.sprintf "%s %s <- %s" (Omnivm.Instr.store_name w)
+        (string_of_address addr) (o v)
+  | Storef (v, addr) ->
+      Printf.sprintf "fsd %s <- %s" (string_of_address addr) (o v)
+  | Call { dst; callee; args } ->
+      let d = match dst with Some (_, v) -> Printf.sprintf "v%d := " v | None -> "" in
+      let c = match callee with Direct s -> s | Indirect x -> "*" ^ o x in
+      Printf.sprintf "%scall %s(%s)" d c
+        (String.concat ", " (List.map (fun (_, a) -> o a) args))
+  | Hcall { dst; call; args } ->
+      let d = match dst with Some (_, v) -> Printf.sprintf "v%d := " v | None -> "" in
+      Printf.sprintf "%shcall %s(%s)" d
+        (Omnivm.Hostcall.name call)
+        (String.concat ", " (List.map (fun (_, a) -> o a) args))
+
+let string_of_term = function
+  | Ret None -> "ret"
+  | Ret (Some (_, o)) -> Printf.sprintf "ret %s" (string_of_operand o)
+  | Jmp b -> Printf.sprintf "jmp B%d" b
+  | CondBr (c, a, b, t, e) ->
+      Printf.sprintf "if %s %s %s then B%d else B%d" (string_of_operand a)
+        (Omnivm.Instr.cond_name c) (string_of_operand b) t e
+
+let pp_func fmt f =
+  Format.fprintf fmt "func %s(%s)@."  f.fn_name
+    (String.concat ", "
+       (List.map (fun (_, v) -> Printf.sprintf "v%d" v) f.fn_params));
+  Array.iteri
+    (fun i b ->
+      Format.fprintf fmt "B%d:@." i;
+      List.iter (fun inst -> Format.fprintf fmt "  %s@." (string_of_inst inst)) b.insts;
+      Format.fprintf fmt "  %s@." (string_of_term b.term))
+    f.fn_blocks
+
+let func_to_string f = Format.asprintf "%a" pp_func f

@@ -1,0 +1,259 @@
+(* Hand-written lexer for MiniC. *)
+
+exception Error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type token =
+  | INT of int
+  | UINT of int (* literal with a u/U suffix *)
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_void | KW_char | KW_int | KW_unsigned | KW_double | KW_struct
+  | KW_if | KW_else | KW_while | KW_do | KW_for | KW_return
+  | KW_break | KW_continue | KW_sizeof
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS
+  | QUESTION | COLON
+  | EOF
+
+let keyword_table =
+  [ ("void", KW_void); ("char", KW_char); ("int", KW_int);
+    ("unsigned", KW_unsigned); ("double", KW_double); ("struct", KW_struct);
+    ("if", KW_if); ("else", KW_else); ("while", KW_while); ("do", KW_do);
+    ("for", KW_for); ("return", KW_return); ("break", KW_break);
+    ("continue", KW_continue); ("sizeof", KW_sizeof) ]
+
+let token_name = function
+  | INT _ -> "integer" | UINT _ -> "unsigned integer"
+  | FLOAT _ -> "float" | STRING _ -> "string"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_void -> "void" | KW_char -> "char" | KW_int -> "int"
+  | KW_unsigned -> "unsigned" | KW_double -> "double" | KW_struct -> "struct"
+  | KW_if -> "if" | KW_else -> "else" | KW_while -> "while" | KW_do -> "do"
+  | KW_for -> "for" | KW_return -> "return" | KW_break -> "break"
+  | KW_continue -> "continue" | KW_sizeof -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | DOT -> "." | ARROW -> "->" | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | SLASH -> "/" | PERCENT -> "%" | AMP -> "&" | PIPE -> "|" | CARET -> "^"
+  | TILDE -> "~" | BANG -> "!" | SHL -> "<<" | SHR -> ">>" | LT -> "<"
+  | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | ASSIGN -> "=" | PLUSEQ -> "+="
+  | MINUSEQ -> "-=" | STAREQ -> "*=" | SLASHEQ -> "/=" | PERCENTEQ -> "%="
+  | AMPEQ -> "&=" | PIPEEQ -> "|=" | CARETEQ -> "^=" | SHLEQ -> "<<="
+  | SHREQ -> ">>=" | PLUSPLUS -> "++" | MINUSMINUS -> "--" | QUESTION -> "?"
+  | COLON -> ":" | EOF -> "end of file"
+
+(* Tokenize the whole source; returns tokens with their line numbers. *)
+let tokenize (src : string) : (token * int) array =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c = is_ident_start c || is_digit c in
+  let read_escape () =
+    (* cursor on the char after backslash *)
+    let c = peek 0 in
+    incr i;
+    match c with
+    | 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | '0' -> '\000'
+    | '\\' -> '\\' | '\'' -> '\'' | '"' -> '"'
+    | c -> fail !line "bad escape \\%c" c
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail !line "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      match List.assoc_opt s keyword_table with
+      | Some kw -> push kw
+      | None -> push (IDENT s)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let skip_suffix () =
+        let unsigned = ref false in
+        while
+          !i < n
+          && (src.[!i] = 'u' || src.[!i] = 'U' || src.[!i] = 'l'
+             || src.[!i] = 'L')
+        do
+          if src.[!i] = 'u' || src.[!i] = 'U' then unsigned := true;
+          incr i
+        done;
+        !unsigned
+      in
+      if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+        i := !i + 2;
+        while
+          !i < n
+          && (is_digit src.[!i]
+             || (Char.lowercase_ascii src.[!i] >= 'a'
+                && Char.lowercase_ascii src.[!i] <= 'f'))
+        do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        let u = skip_suffix () in
+        push (if u then UINT (int_of_string text) else INT (int_of_string text))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do incr i done;
+        let is_float =
+          (!i < n && src.[!i] = '.' && peek 1 <> '.')
+          || (!i < n && (src.[!i] = 'e' || src.[!i] = 'E'))
+        in
+        if is_float then begin
+          if !i < n && src.[!i] = '.' then begin
+            incr i;
+            while !i < n && is_digit src.[!i] do incr i done
+          end;
+          if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+            incr i;
+            if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+            while !i < n && is_digit src.[!i] do incr i done
+          end;
+          push (FLOAT (float_of_string (String.sub src start (!i - start))))
+        end
+        else begin
+          let text = String.sub src start (!i - start) in
+          let u = skip_suffix () in
+          push
+            (if u then UINT (int_of_string text)
+             else INT (int_of_string text))
+        end
+      end
+    end
+    else if c = '\'' then begin
+      incr i;
+      let v =
+        if peek 0 = '\\' then begin incr i; Char.code (read_escape ()) end
+        else begin
+          let ch = peek 0 in
+          incr i;
+          Char.code ch
+        end
+      in
+      if peek 0 <> '\'' then fail !line "unterminated character literal";
+      incr i;
+      push (INT v)
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then fail !line "unterminated string"
+        else if src.[!i] = '"' then incr i
+        else if src.[!i] = '\\' then begin
+          incr i;
+          Buffer.add_char buf (read_escape ());
+          go ()
+        end
+        else begin
+          if src.[!i] = '\n' then fail !line "newline in string";
+          Buffer.add_char buf src.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      push (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let adv k t = push t; i := !i + k in
+      match three with
+      | "<<=" -> adv 3 SHLEQ
+      | ">>=" -> adv 3 SHREQ
+      | _ -> (
+          match two with
+          | "->" -> adv 2 ARROW
+          | "<<" -> adv 2 SHL
+          | ">>" -> adv 2 SHR
+          | "<=" -> adv 2 LE
+          | ">=" -> adv 2 GE
+          | "==" -> adv 2 EQEQ
+          | "!=" -> adv 2 NEQ
+          | "&&" -> adv 2 ANDAND
+          | "||" -> adv 2 OROR
+          | "+=" -> adv 2 PLUSEQ
+          | "-=" -> adv 2 MINUSEQ
+          | "*=" -> adv 2 STAREQ
+          | "/=" -> adv 2 SLASHEQ
+          | "%=" -> adv 2 PERCENTEQ
+          | "&=" -> adv 2 AMPEQ
+          | "|=" -> adv 2 PIPEEQ
+          | "^=" -> adv 2 CARETEQ
+          | "++" -> adv 2 PLUSPLUS
+          | "--" -> adv 2 MINUSMINUS
+          | _ -> (
+              match c with
+              | '(' -> adv 1 LPAREN
+              | ')' -> adv 1 RPAREN
+              | '{' -> adv 1 LBRACE
+              | '}' -> adv 1 RBRACE
+              | '[' -> adv 1 LBRACKET
+              | ']' -> adv 1 RBRACKET
+              | ';' -> adv 1 SEMI
+              | ',' -> adv 1 COMMA
+              | '.' -> adv 1 DOT
+              | '+' -> adv 1 PLUS
+              | '-' -> adv 1 MINUS
+              | '*' -> adv 1 STAR
+              | '/' -> adv 1 SLASH
+              | '%' -> adv 1 PERCENT
+              | '&' -> adv 1 AMP
+              | '|' -> adv 1 PIPE
+              | '^' -> adv 1 CARET
+              | '~' -> adv 1 TILDE
+              | '!' -> adv 1 BANG
+              | '<' -> adv 1 LT
+              | '>' -> adv 1 GT
+              | '=' -> adv 1 ASSIGN
+              | '?' -> adv 1 QUESTION
+              | ':' -> adv 1 COLON
+              | c -> fail !line "unexpected character %C" c))
+    end
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,707 @@
+(* Lowering: typed core AST -> IR CFG.
+
+   Scalar locals whose address is never taken are registerized (assigned a
+   virtual register); everything else lives in frame slots. Comparison
+   conditions fuse into conditional branches (OmniVM has general
+   compare-and-branch instructions). *)
+
+open Tast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let string_symbol i = Printf.sprintf "$str.%d" i
+
+type loc = In_reg of Ir.vreg | In_slot of int
+
+type env = {
+  mutable classes : Ir.vclass list; (* reversed *)
+  mutable n_vregs : int;
+  mutable slots : Ir.slot list; (* reversed *)
+  mutable n_slots : int;
+  vars : (string, loc) Hashtbl.t;
+  tmps : (int, Ir.vreg) Hashtbl.t;
+  mutable blocks : Ir.block list; (* reversed; ids assigned in order *)
+  mutable n_blocks : int;
+  mutable cur : Ir.block; (* block under construction *)
+  mutable cur_id : int;
+  mutable cur_insts : Ir.inst list; (* reversed *)
+  mutable loop_stack : (int * int) list; (* (continue target, break target) *)
+  structs : (string * struct_layout) list;
+}
+
+let fresh_vreg env cls =
+  let v = env.n_vregs in
+  env.n_vregs <- v + 1;
+  env.classes <- cls :: env.classes;
+  v
+
+let fresh_slot env ~size ~align =
+  let s = env.n_slots in
+  env.n_slots <- s + 1;
+  env.slots <- { Ir.slot_size = size; slot_align = align } :: env.slots;
+  s
+
+let emit env i = env.cur_insts <- i :: env.cur_insts
+
+(* Allocate a new block id without switching to it. *)
+let new_block env =
+  let id = env.n_blocks in
+  env.n_blocks <- id + 1;
+  env.blocks <- { Ir.insts = []; term = Ir.Ret None } :: env.blocks;
+  id
+
+let set_block env id b =
+  let arr = Array.of_list (List.rev env.blocks) in
+  arr.(id) <- b;
+  env.blocks <- List.rev (Array.to_list arr)
+
+(* Finish the current block with terminator [t] and switch to block [id]. *)
+let finish_and_switch env t id =
+  set_block env env.cur_id { Ir.insts = List.rev env.cur_insts; term = t };
+  env.cur_id <- id;
+  env.cur_insts <- []
+
+let class_of_ty = function
+  | Ast.Tdouble -> Ir.F
+  | Ast.Tvoid | Tchar | Tint | Tuint | Tptr _ | Tarray _ | Tstruct _ | Tfun _
+    ->
+      Ir.I
+
+let width_of_ty = function
+  | Ast.Tchar -> (Omnivm.Instr.W8, false)
+  | Tint -> (Omnivm.Instr.W32, true)
+  | Tuint | Tptr _ -> (Omnivm.Instr.W32, true)
+  | t -> fail "width_of_ty: %s" (Ast.string_of_ty t)
+
+let sizeof_struct env tag =
+  match List.assoc_opt tag env.structs with
+  | Some l -> l.sl_size
+  | None -> fail "unknown struct %s" tag
+
+let rec size_of_ty env = function
+  | Ast.Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, n) -> n * size_of_ty env t
+  | Tstruct tag -> sizeof_struct env tag
+  | Tvoid | Tfun _ -> fail "size_of_ty"
+
+let rec align_of_ty env = function
+  | Ast.Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, _) -> align_of_ty env t
+  | Tstruct tag -> (
+      match List.assoc_opt tag env.structs with
+      | Some l -> l.sl_align
+      | None -> fail "unknown struct %s" tag)
+  | Tvoid | Tfun _ -> fail "align_of_ty"
+
+let cond_of_binop ~unsigned = function
+  | Ast.Lt -> if unsigned then Omnivm.Instr.Ltu else Omnivm.Instr.Lt
+  | Le -> if unsigned then Omnivm.Instr.Leu else Omnivm.Instr.Le
+  | Gt -> if unsigned then Omnivm.Instr.Gtu else Omnivm.Instr.Gt
+  | Ge -> if unsigned then Omnivm.Instr.Geu else Omnivm.Instr.Ge
+  | Eq -> Omnivm.Instr.Eq
+  | Ne -> Omnivm.Instr.Ne
+  | _ -> invalid_arg "cond_of_binop"
+
+let is_cmp = function
+  | Ast.Lt | Le | Gt | Ge | Eq | Ne -> true
+  | _ -> false
+
+let ibinop_of_ast ~unsigned = function
+  | Ast.Add -> Omnivm.Instr.Add
+  | Sub -> Omnivm.Instr.Sub
+  | Mul -> Omnivm.Instr.Mul
+  | Div -> if unsigned then Omnivm.Instr.Divu else Omnivm.Instr.Div
+  | Mod -> if unsigned then Omnivm.Instr.Remu else Omnivm.Instr.Rem
+  | Band -> Omnivm.Instr.And
+  | Bor -> Omnivm.Instr.Or
+  | Bxor -> Omnivm.Instr.Xor
+  | Shl -> Omnivm.Instr.Sll
+  | Shr -> if unsigned then Omnivm.Instr.Srl else Omnivm.Instr.Sra
+  | Lt | Le | Gt | Ge | Eq | Ne | Land | Lor -> invalid_arg "ibinop_of_ast"
+
+let fbinop_of_ast = function
+  | Ast.Add -> Omnivm.Instr.Fadd
+  | Sub -> Omnivm.Instr.Fsub
+  | Mul -> Omnivm.Instr.Fmul
+  | Div -> Omnivm.Instr.Fdiv
+  | _ -> invalid_arg "fbinop_of_ast"
+
+let is_unsigned_ty = function
+  | Ast.Tuint | Tchar | Tptr _ -> true
+  | _ -> false
+
+(* --- expressions --- *)
+
+(* Materialize an operand into a vreg (needed when an instruction requires a
+   register, e.g. float constants in stores). *)
+let force_reg env cls (o : Ir.operand) =
+  match o with
+  | Ir.Vr v -> v
+  | _ ->
+      let v = fresh_vreg env cls in
+      emit env (Ir.Def (v, Ir.Mov o));
+      v
+
+let rec lower_expr env (e : texpr) : Ir.operand =
+  match e.desc with
+  | Cint v -> Ir.Ci v
+  | Cfloat v -> Ir.Cf v
+  | Cstr i -> Ir.Sym (string_symbol i, 0)
+  | Load lv -> lower_load env lv
+  | Addr lv -> addr_operand env lv
+  | Fun_addr f -> Ir.Sym (f, 0)
+  | Tmp t -> Ir.Vr (Hashtbl.find env.tmps t)
+  | Let (t, bound, body) ->
+      (* always copy into a fresh vreg: the bound value must be immune to
+         later mutation of its source (e.g. post-increment) *)
+      let bo = lower_expr env bound in
+      let v = fresh_vreg env (class_of_ty bound.ty) in
+      emit env (Ir.Def (v, Ir.Mov bo));
+      Hashtbl.replace env.tmps t v;
+      lower_expr env body
+  | Bin (op, a, b) -> lower_binop env e.ty op a b
+  | Un (op, a) -> lower_unop env e.ty op a
+  | Cast a -> lower_cast env e.ty a
+  | Assign (lv, rhs) -> lower_assign env lv rhs
+  | Seq (a, b) ->
+      ignore (lower_expr env a);
+      lower_expr env b
+  | Cond (c, a, b) ->
+      let cls = class_of_ty e.ty in
+      let dst = fresh_vreg env cls in
+      let then_b = new_block env in
+      let else_b = new_block env in
+      let join_b = new_block env in
+      lower_branch env c ~if_true:then_b ~if_false:else_b;
+      env.cur_id <- then_b;
+      env.cur_insts <- [];
+      let av = lower_expr env a in
+      emit env (Ir.Def (dst, Ir.Mov av));
+      finish_and_switch env (Ir.Jmp join_b) else_b;
+      let bv = lower_expr env b in
+      emit env (Ir.Def (dst, Ir.Mov bv));
+      finish_and_switch env (Ir.Jmp join_b) join_b;
+      Ir.Vr dst
+  | Andor _ ->
+      (* as a value: compute 0/1 through branches *)
+      let dst = fresh_vreg env Ir.I in
+      let t_b = new_block env in
+      let f_b = new_block env in
+      let join_b = new_block env in
+      lower_branch env e ~if_true:t_b ~if_false:f_b;
+      env.cur_id <- t_b;
+      env.cur_insts <- [ Ir.Def (dst, Ir.Mov (Ir.Ci 1)) ];
+      finish_and_switch env (Ir.Jmp join_b) f_b;
+      emit env (Ir.Def (dst, Ir.Mov (Ir.Ci 0)));
+      finish_and_switch env (Ir.Jmp join_b) join_b;
+      Ir.Vr dst
+  | Call (callee, args) -> lower_call env e.ty callee args
+
+and lower_load env (lv : lval) : Ir.operand =
+  match lv with
+  | Lvar (name, ty) -> (
+      match Hashtbl.find env.vars name with
+      | In_reg v -> Ir.Vr v
+      | In_slot s -> load_from env ty { Ir.base = Ir.Slotaddr (s, 0); disp = 0 })
+  | Lglob (name, ty) ->
+      load_from env ty { Ir.base = Ir.Sym (name, 0); disp = 0 }
+  | Lmem (addr, ty) -> load_from env ty (lower_address env addr)
+
+and load_from env ty addr : Ir.operand =
+  match ty with
+  | Ast.Tdouble ->
+      let v = fresh_vreg env Ir.F in
+      emit env (Ir.Def (v, Ir.Loadf addr));
+      Ir.Vr v
+  | Ast.Tstruct _ | Ast.Tarray _ ->
+      fail "aggregate load reached lower (should be Addr)"
+  | _ ->
+      let w, s = width_of_ty ty in
+      let v = fresh_vreg env Ir.I in
+      emit env (Ir.Def (v, Ir.Load (w, s, addr)));
+      Ir.Vr v
+
+(* The address of an lvalue, as an operand (for decay and &). *)
+and addr_operand env (lv : lval) : Ir.operand =
+  match lv with
+  | Lvar (name, _) -> (
+      match Hashtbl.find env.vars name with
+      | In_reg _ -> fail "address of registerized local"
+      | In_slot s -> Ir.Slotaddr (s, 0))
+  | Lglob (name, _) -> Ir.Sym (name, 0)
+  | Lmem (addr, _) ->
+      let a = lower_address env addr in
+      if a.Ir.disp = 0 then a.Ir.base
+      else (
+        let v = fresh_vreg env Ir.I in
+        emit env (Ir.Def (v, Ir.Ibin (Omnivm.Instr.Add, a.Ir.base, Ir.Ci a.Ir.disp)));
+        Ir.Vr v)
+
+(* Lower an address expression into base + displacement, folding additive
+   constants into the displacement (exploits OmniVM's 32-bit offsets). *)
+and lower_address env (e : texpr) : Ir.address =
+  match e.desc with
+  | Bin (Ast.Add, a, { desc = Cint k; _ }) ->
+      let inner = lower_address env a in
+      { inner with disp = Omni_util.Word32.of_int (inner.Ir.disp + k) }
+  | Bin (Ast.Add, { desc = Cint k; _ }, a) ->
+      let inner = lower_address env a in
+      { inner with disp = Omni_util.Word32.of_int (inner.Ir.disp + k) }
+  | Cast a when class_of_ty a.ty = Ir.I && class_of_ty e.ty = Ir.I ->
+      lower_address env a
+  | _ -> (
+      match lower_expr env e with
+      | Ir.Sym (s, o) -> { Ir.base = Ir.Sym (s, 0); disp = o }
+      | Ir.Slotaddr (s, o) -> { Ir.base = Ir.Slotaddr (s, 0); disp = o }
+      | o -> { Ir.base = o; disp = 0 })
+
+and lower_binop env ty op a b : Ir.operand =
+  if is_cmp op then begin
+    (* comparison as a value: materialize 0/1 without branches when the
+       operands are integers (slt/sltu family), else via branches *)
+    match class_of_ty a.ty with
+    | Ir.I ->
+        let unsigned = is_unsigned_ty a.ty in
+        let av = lower_expr env a in
+        let bv = lower_expr env b in
+        let dst = fresh_vreg env Ir.I in
+        let slt x y = Ir.Ibin ((if unsigned then Omnivm.Instr.Sltu else Slt), x, y) in
+        (match op with
+        | Ast.Lt -> emit env (Ir.Def (dst, slt av bv))
+        | Gt -> emit env (Ir.Def (dst, slt bv av))
+        | Ge ->
+            emit env (Ir.Def (dst, slt av bv));
+            emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Xor, Ir.Vr dst, Ir.Ci 1)))
+        | Le ->
+            emit env (Ir.Def (dst, slt bv av));
+            emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Xor, Ir.Vr dst, Ir.Ci 1)))
+        | Eq ->
+            let d = fresh_vreg env Ir.I in
+            emit env (Ir.Def (d, Ir.Ibin (Omnivm.Instr.Xor, av, bv)));
+            emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Sltu, Ir.Vr d, Ir.Ci 1)))
+        | Ne ->
+            let d = fresh_vreg env Ir.I in
+            emit env (Ir.Def (d, Ir.Ibin (Omnivm.Instr.Xor, av, bv)));
+            emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Sltu, Ir.Ci 0, Ir.Vr d)))
+        | _ -> assert false);
+        Ir.Vr dst
+    | Ir.F ->
+        let av = lower_expr env a in
+        let bv = lower_expr env b in
+        let dst = fresh_vreg env Ir.I in
+        let fcmp c x y = emit env (Ir.Def (dst, Ir.Fcmp (c, x, y))) in
+        (match op with
+        | Ast.Eq -> fcmp Omnivm.Instr.Feq av bv
+        | Lt -> fcmp Omnivm.Instr.Flt av bv
+        | Le -> fcmp Omnivm.Instr.Fle av bv
+        | Gt -> fcmp Omnivm.Instr.Flt bv av
+        | Ge -> fcmp Omnivm.Instr.Fle bv av
+        | Ne ->
+            fcmp Omnivm.Instr.Feq av bv;
+            emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Xor, Ir.Vr dst, Ir.Ci 1)))
+        | _ -> assert false);
+        Ir.Vr dst
+  end
+  else
+    match class_of_ty ty with
+    | Ir.F ->
+        let av = lower_expr env a in
+        let bv = lower_expr env b in
+        let dst = fresh_vreg env Ir.F in
+        emit env (Ir.Def (dst, Ir.Fbin (fbinop_of_ast op, av, bv)));
+        Ir.Vr dst
+    | Ir.I ->
+        let unsigned = is_unsigned_ty ty in
+        let av = lower_expr env a in
+        let bv = lower_expr env b in
+        let dst = fresh_vreg env Ir.I in
+        emit env (Ir.Def (dst, Ir.Ibin (ibinop_of_ast ~unsigned op, av, bv)));
+        Ir.Vr dst
+
+and lower_unop env ty op a : Ir.operand =
+  match (op, class_of_ty ty) with
+  | Ast.Neg, Ir.F ->
+      let av = lower_expr env a in
+      let dst = fresh_vreg env Ir.F in
+      emit env (Ir.Def (dst, Ir.Fun1 (Omnivm.Instr.Fneg, av)));
+      Ir.Vr dst
+  | Ast.Neg, Ir.I ->
+      let av = lower_expr env a in
+      let dst = fresh_vreg env Ir.I in
+      emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Sub, Ir.Ci 0, av)));
+      Ir.Vr dst
+  | Ast.Bitnot, _ ->
+      let av = lower_expr env a in
+      let dst = fresh_vreg env Ir.I in
+      emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Xor, av, Ir.Ci (-1))));
+      Ir.Vr dst
+  | Ast.Lognot, _ ->
+      (* !x = (x == 0), over the operand's class *)
+      let dst = fresh_vreg env Ir.I in
+      (match class_of_ty a.ty with
+      | Ir.I ->
+          let av = lower_expr env a in
+          emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.Sltu, av, Ir.Ci 1)))
+      | Ir.F ->
+          let av = lower_expr env a in
+          emit env (Ir.Def (dst, Ir.Fcmp (Omnivm.Instr.Feq, av, Ir.Cf 0.0))));
+      Ir.Vr dst
+
+and lower_cast env to_ty (a : texpr) : Ir.operand =
+  let from_ty = a.ty in
+  match (class_of_ty from_ty, class_of_ty to_ty) with
+  | Ir.I, Ir.F ->
+      let av = lower_expr env a in
+      let dst = fresh_vreg env Ir.F in
+      emit env (Ir.Def (dst, Ir.F_of_i av));
+      Ir.Vr dst
+  | Ir.F, Ir.I ->
+      let av = lower_expr env a in
+      let dst = fresh_vreg env Ir.I in
+      emit env (Ir.Def (dst, Ir.I_of_f av));
+      (match to_ty with
+      | Ast.Tchar ->
+          let d2 = fresh_vreg env Ir.I in
+          emit env (Ir.Def (d2, Ir.Ibin (Omnivm.Instr.And, Ir.Vr dst, Ir.Ci 0xFF)));
+          Ir.Vr d2
+      | _ -> Ir.Vr dst)
+  | Ir.F, Ir.F -> lower_expr env a
+  | Ir.I, Ir.I -> (
+      let av = lower_expr env a in
+      match to_ty with
+      | Ast.Tchar when from_ty <> Ast.Tchar ->
+          let dst = fresh_vreg env Ir.I in
+          emit env (Ir.Def (dst, Ir.Ibin (Omnivm.Instr.And, av, Ir.Ci 0xFF)));
+          Ir.Vr dst
+      | _ -> av)
+
+and lower_assign env (lv : lval) (rhs : texpr) : Ir.operand =
+  match lval_ty_of lv with
+  | Ast.Tstruct _ as st -> lower_struct_copy env lv rhs st
+  | ty -> (
+      let value = lower_expr env rhs in
+      match lv with
+      | Lvar (name, _) -> (
+          match Hashtbl.find env.vars name with
+          | In_reg v ->
+              emit env (Ir.Def (v, Ir.Mov value));
+              Ir.Vr v
+          | In_slot s ->
+              store_to env ty { Ir.base = Ir.Slotaddr (s, 0); disp = 0 } value;
+              value)
+      | Lglob (name, _) ->
+          store_to env ty { Ir.base = Ir.Sym (name, 0); disp = 0 } value;
+          value
+      | Lmem (addr, _) ->
+          let a = lower_address env addr in
+          store_to env ty a value;
+          value)
+
+and lval_ty_of = function
+  | Lvar (_, t) | Lglob (_, t) | Lmem (_, t) -> t
+
+and store_to env ty addr value =
+  match ty with
+  | Ast.Tdouble ->
+      let v = force_reg env Ir.F value in
+      emit env (Ir.Storef (Ir.Vr v, addr))
+  | Ast.Tchar -> emit env (Ir.Store (Omnivm.Instr.W8, value, addr))
+  | Ast.Tint | Tuint | Tptr _ ->
+      emit env (Ir.Store (Omnivm.Instr.W32, value, addr))
+  | t -> fail "store_to: %s" (Ast.string_of_ty t)
+
+and lower_struct_copy env (lv : lval) (rhs : texpr) st : Ir.operand =
+  let size = size_of_ty env st in
+  if size > 4096 then fail "struct copy too large (%d bytes)" size;
+  let src =
+    match rhs.desc with
+    | Load src_lv -> addr_operand env src_lv
+    | _ -> fail "struct assignment requires an lvalue source"
+  in
+  let dst = addr_operand env lv in
+  let src = force_reg env Ir.I src in
+  let dst_r = force_reg env Ir.I dst in
+  (* unrolled word copy; structs are 4-aligned so the tail is bytes *)
+  let off = ref 0 in
+  while !off + 4 <= size do
+    let t = fresh_vreg env Ir.I in
+    emit env
+      (Ir.Def (t, Ir.Load (Omnivm.Instr.W32, true,
+                           { Ir.base = Ir.Vr src; disp = !off })));
+    emit env
+      (Ir.Store (Omnivm.Instr.W32, Ir.Vr t, { Ir.base = Ir.Vr dst_r; disp = !off }));
+    off := !off + 4
+  done;
+  while !off < size do
+    let t = fresh_vreg env Ir.I in
+    emit env
+      (Ir.Def (t, Ir.Load (Omnivm.Instr.W8, false,
+                           { Ir.base = Ir.Vr src; disp = !off })));
+    emit env
+      (Ir.Store (Omnivm.Instr.W8, Ir.Vr t, { Ir.base = Ir.Vr dst_r; disp = !off }));
+    off := !off + 1
+  done;
+  Ir.Vr dst_r
+
+and lower_call env ret_ty callee args : Ir.operand =
+  let cargs =
+    List.map (fun (a : texpr) -> (class_of_ty a.ty, lower_expr env a)) args
+  in
+  let dst =
+    match ret_ty with
+    | Ast.Tvoid -> None
+    | t ->
+        let cls = class_of_ty t in
+        Some (cls, fresh_vreg env cls)
+  in
+  (match callee with
+  | Dir f -> emit env (Ir.Call { dst; callee = Ir.Direct f; args = cargs })
+  | Ind e ->
+      let f = lower_expr env e in
+      emit env (Ir.Call { dst; callee = Ir.Indirect f; args = cargs })
+  | Builtin hc -> emit env (Ir.Hcall { dst; call = hc; args = cargs }));
+  match dst with Some (_, v) -> Ir.Vr v | None -> Ir.Ci 0
+
+(* Lower [e] as a branch condition: jump to [if_true] or [if_false]. *)
+and lower_branch env (e : texpr) ~if_true ~if_false =
+  match e.desc with
+  | Andor (is_and, a, b) ->
+      let mid = new_block env in
+      if is_and then begin
+        lower_branch env a ~if_true:mid ~if_false;
+        env.cur_id <- mid;
+        env.cur_insts <- [];
+        lower_branch env b ~if_true ~if_false
+      end
+      else begin
+        lower_branch env a ~if_true ~if_false:mid;
+        env.cur_id <- mid;
+        env.cur_insts <- [];
+        lower_branch env b ~if_true ~if_false
+      end
+  | Un (Ast.Lognot, a) when Ast.is_scalar a.ty ->
+      lower_branch env a ~if_true:if_false ~if_false:if_true
+  | Bin (op, a, b) when is_cmp op && class_of_ty a.ty = Ir.I ->
+      let unsigned = is_unsigned_ty a.ty in
+      let av = lower_expr env a in
+      let bv = lower_expr env b in
+      let c = cond_of_binop ~unsigned op in
+      finish_and_switch env (Ir.CondBr (c, av, bv, if_true, if_false)) if_false;
+      (* caller decides where to continue; leave cursor on if_false
+         arbitrarily -- callers always reposition explicitly *)
+      env.cur_id <- if_false;
+      env.cur_insts <- []
+  | Bin (op, a, b) when is_cmp op && class_of_ty a.ty = Ir.F ->
+      let av = lower_expr env a in
+      let bv = lower_expr env b in
+      let t = fresh_vreg env Ir.I in
+      let fcmp c x y = emit env (Ir.Def (t, Ir.Fcmp (c, x, y))) in
+      let invert = ref false in
+      (match op with
+      | Ast.Eq -> fcmp Omnivm.Instr.Feq av bv
+      | Ne ->
+          fcmp Omnivm.Instr.Feq av bv;
+          invert := true
+      | Lt -> fcmp Omnivm.Instr.Flt av bv
+      | Le -> fcmp Omnivm.Instr.Fle av bv
+      | Gt -> fcmp Omnivm.Instr.Flt bv av
+      | Ge -> fcmp Omnivm.Instr.Fle bv av
+      | _ -> assert false);
+      let tt, ff = if !invert then (if_false, if_true) else (if_true, if_false) in
+      finish_and_switch env
+        (Ir.CondBr (Omnivm.Instr.Ne, Ir.Vr t, Ir.Ci 0, tt, ff))
+        if_false;
+      env.cur_id <- if_false;
+      env.cur_insts <- []
+  | _ ->
+      let v =
+        match class_of_ty e.ty with
+        | Ir.I -> lower_expr env e
+        | Ir.F ->
+            let av = lower_expr env e in
+            let t = fresh_vreg env Ir.I in
+            emit env (Ir.Def (t, Ir.Fcmp (Omnivm.Instr.Feq, av, Ir.Cf 0.0)));
+            emit env (Ir.Def (t, Ir.Ibin (Omnivm.Instr.Xor, Ir.Vr t, Ir.Ci 1)));
+            Ir.Vr t
+      in
+      finish_and_switch env
+        (Ir.CondBr (Omnivm.Instr.Ne, v, Ir.Ci 0, if_true, if_false))
+        if_false;
+      env.cur_id <- if_false;
+      env.cur_insts <- []
+
+(* --- statements --- *)
+
+let rec lower_stmt env (s : tstmt) : unit =
+  match s with
+  | Sexpr e -> ignore (lower_expr env e)
+  | Sblock ss -> List.iter (lower_stmt env) ss
+  | Sdecl (name, ty, init) -> (
+      (* location was pre-assigned in lower_func; just run the initializer *)
+      match init with
+      | None -> ()
+      | Some e -> ignore (lower_expr env { ty; desc = Assign (Lvar (name, ty), e) }))
+  | Sif (c, a, b) -> (
+      let then_b = new_block env in
+      let join_b = new_block env in
+      match b with
+      | None ->
+          lower_branch env c ~if_true:then_b ~if_false:join_b;
+          env.cur_id <- then_b;
+          env.cur_insts <- [];
+          lower_stmt env a;
+          finish_and_switch env (Ir.Jmp join_b) join_b
+      | Some b ->
+          let else_b = new_block env in
+          lower_branch env c ~if_true:then_b ~if_false:else_b;
+          env.cur_id <- then_b;
+          env.cur_insts <- [];
+          lower_stmt env a;
+          finish_and_switch env (Ir.Jmp join_b) else_b;
+          lower_stmt env b;
+          finish_and_switch env (Ir.Jmp join_b) join_b)
+  | Swhile (c, body) ->
+      let head = new_block env in
+      let body_b = new_block env in
+      let exit_b = new_block env in
+      finish_and_switch env (Ir.Jmp head) head;
+      lower_branch env c ~if_true:body_b ~if_false:exit_b;
+      env.cur_id <- body_b;
+      env.cur_insts <- [];
+      env.loop_stack <- (head, exit_b) :: env.loop_stack;
+      lower_stmt env body;
+      env.loop_stack <- List.tl env.loop_stack;
+      finish_and_switch env (Ir.Jmp head) exit_b
+  | Sdo (body, c) ->
+      let body_b = new_block env in
+      let cond_b = new_block env in
+      let exit_b = new_block env in
+      finish_and_switch env (Ir.Jmp body_b) body_b;
+      env.loop_stack <- (cond_b, exit_b) :: env.loop_stack;
+      lower_stmt env body;
+      env.loop_stack <- List.tl env.loop_stack;
+      finish_and_switch env (Ir.Jmp cond_b) cond_b;
+      lower_branch env c ~if_true:body_b ~if_false:exit_b;
+      env.cur_id <- exit_b;
+      env.cur_insts <- []
+  | Sfor (init, cond, step, body) ->
+      Option.iter (lower_stmt env) init;
+      let head = new_block env in
+      let body_b = new_block env in
+      let step_b = new_block env in
+      let exit_b = new_block env in
+      finish_and_switch env (Ir.Jmp head) head;
+      (match cond with
+      | Some c ->
+          lower_branch env c ~if_true:body_b ~if_false:exit_b;
+          env.cur_id <- body_b;
+          env.cur_insts <- []
+      | None -> finish_and_switch env (Ir.Jmp body_b) body_b);
+      env.loop_stack <- (step_b, exit_b) :: env.loop_stack;
+      lower_stmt env body;
+      env.loop_stack <- List.tl env.loop_stack;
+      finish_and_switch env (Ir.Jmp step_b) step_b;
+      Option.iter (fun e -> ignore (lower_expr env e)) step;
+      finish_and_switch env (Ir.Jmp head) exit_b
+  | Sret None ->
+      let dead = new_block env in
+      finish_and_switch env (Ir.Ret None) dead
+  | Sret (Some e) ->
+      let cls = class_of_ty e.ty in
+      let v = lower_expr env e in
+      let dead = new_block env in
+      finish_and_switch env (Ir.Ret (Some (cls, v))) dead
+  | Sbreak -> (
+      match env.loop_stack with
+      | [] -> fail "break outside loop"
+      | (_, brk) :: _ ->
+          let dead = new_block env in
+          finish_and_switch env (Ir.Jmp brk) dead)
+  | Scont -> (
+      match env.loop_stack with
+      | [] -> fail "continue outside loop"
+      | (cont, _) :: _ ->
+          let dead = new_block env in
+          finish_and_switch env (Ir.Jmp cont) dead)
+
+(* Pre-assign locations for all locals of a function. *)
+let assign_locations env (tf : tfunc) =
+  List.iter
+    (fun (name, ty) ->
+      let registerizable =
+        Ast.is_scalar ty && not (Hashtbl.mem tf.tf_addr_taken name)
+      in
+      let loc =
+        if registerizable then In_reg (fresh_vreg env (class_of_ty ty))
+        else
+          In_slot
+            (fresh_slot env ~size:(size_of_ty env ty)
+               ~align:(align_of_ty env ty))
+      in
+      Hashtbl.replace env.vars name loc)
+    tf.tf_locals
+
+let lower_func structs (tf : tfunc) : Ir.func =
+  let entry = { Ir.insts = []; term = Ir.Ret None } in
+  let env =
+    {
+      classes = [];
+      n_vregs = 0;
+      slots = [];
+      n_slots = 0;
+      vars = Hashtbl.create 32;
+      tmps = Hashtbl.create 8;
+      blocks = [ entry ];
+      n_blocks = 1;
+      cur = entry;
+      cur_id = 0;
+      cur_insts = [];
+      loop_stack = [];
+      structs;
+    }
+  in
+  ignore env.cur;
+  assign_locations env tf;
+  (* Parameters arrive in fresh vregs; copy to their homes. *)
+  let params =
+    List.map
+      (fun (name, ty) ->
+        let cls = class_of_ty ty in
+        let pv = fresh_vreg env cls in
+        (match Hashtbl.find env.vars name with
+        | In_reg v -> emit env (Ir.Def (v, Ir.Mov (Ir.Vr pv)))
+        | In_slot s ->
+            store_to env ty { Ir.base = Ir.Slotaddr (s, 0); disp = 0 } (Ir.Vr pv));
+        (cls, pv))
+      tf.tf_params
+  in
+  lower_stmt env tf.tf_body;
+  (* implicit return *)
+  let final_term =
+    match tf.tf_ret with
+    | Ast.Tvoid -> Ir.Ret None
+    | Ast.Tdouble -> Ir.Ret (Some (Ir.F, Ir.Cf 0.0))
+    | _ -> Ir.Ret (Some (Ir.I, Ir.Ci 0))
+  in
+  set_block env env.cur_id
+    { Ir.insts = List.rev env.cur_insts; term = final_term };
+  {
+    Ir.fn_name = tf.tf_name;
+    fn_params = params;
+    fn_blocks = Array.of_list (List.rev env.blocks);
+    fn_vreg_class = Array.of_list (List.rev env.classes);
+    fn_slots = Array.of_list (List.rev env.slots);
+  }
+
+let lower_program (tp : tprogram) : Ir.program =
+  {
+    Ir.pr_funcs = List.map (lower_func tp.tp_structs) tp.tp_funcs;
+    pr_globals = tp.tp_globals;
+    pr_strings = tp.tp_strings;
+  }

@@ -1,0 +1,608 @@
+(* Machine-independent optimizations on the IR.
+
+   These are the optimizations the paper attributes to the compiler (ahead
+   of module load time): constant folding, constant/copy propagation, common
+   subexpression elimination, strength reduction, dead code elimination, and
+   control-flow cleanup. OmniVM's explicit address arithmetic makes the
+   address computations visible to CSE, which is the design point section
+   3.3 argues for. *)
+
+open Ir
+
+module W = Omni_util.Word32
+module VI = Omnivm.Instr
+
+type level = O0 | O1 | O2
+
+(* --- constant folding / algebraic simplification --- *)
+
+(* Fold an rvalue to a simpler one, given already-propagated operands.
+   Division by a zero constant is left alone (it must trap at runtime). *)
+let simplify_rvalue (rv : rvalue) : rvalue =
+  let fold_i op a b =
+    match op with
+    | VI.Div | VI.Divu | VI.Rem | VI.Remu when b = 0 -> None
+    | _ -> Some (VI.eval_binop op a b)
+  in
+  match rv with
+  | Ibin (op, Ci a, Ci b) -> (
+      match fold_i op a b with Some v -> Mov (Ci v) | None -> rv)
+  (* symbol arithmetic: &g + c folds into the symbol's offset *)
+  | Ibin (VI.Add, Sym (s, o), Ci c) | Ibin (VI.Add, Ci c, Sym (s, o)) ->
+      Mov (Sym (s, W.of_int (o + c)))
+  | Ibin (VI.Add, Slotaddr (s, o), Ci c) | Ibin (VI.Add, Ci c, Slotaddr (s, o))
+    ->
+      Mov (Slotaddr (s, W.of_int (o + c)))
+  | Ibin (VI.Add, x, Ci 0) | Ibin (VI.Add, Ci 0, x) -> Mov x
+  | Ibin (VI.Sub, x, Ci 0) -> Mov x
+  | Ibin (VI.Sub, x, y) when x = y && (match x with Vr _ -> true | _ -> false)
+    ->
+      Mov (Ci 0)
+  | Ibin (VI.Mul, x, Ci 1) | Ibin (VI.Mul, Ci 1, x) -> Mov x
+  | Ibin (VI.Mul, _, Ci 0) | Ibin (VI.Mul, Ci 0, _) -> Mov (Ci 0)
+  (* strength reduction: multiply / unsigned divide / modulo by 2^k *)
+  | Ibin (VI.Mul, x, Ci c) when c > 0 && c land (c - 1) = 0 ->
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+      Ibin (VI.Sll, x, Ci (log2 c))
+  | Ibin (VI.Mul, Ci c, x) when c > 0 && c land (c - 1) = 0 ->
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+      Ibin (VI.Sll, x, Ci (log2 c))
+  | Ibin (VI.Divu, x, Ci c) when c > 0 && c land (c - 1) = 0 ->
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+      Ibin (VI.Srl, x, Ci (log2 c))
+  | Ibin (VI.Remu, x, Ci c) when c > 0 && c land (c - 1) = 0 ->
+      Ibin (VI.And, x, Ci (c - 1))
+  | Ibin (VI.And, x, Ci -1) | Ibin (VI.And, Ci -1, x) -> Mov x
+  | Ibin (VI.And, _, Ci 0) | Ibin (VI.And, Ci 0, _) -> Mov (Ci 0)
+  | Ibin (VI.Or, x, Ci 0) | Ibin (VI.Or, Ci 0, x) -> Mov x
+  | Ibin (VI.Xor, x, Ci 0) | Ibin (VI.Xor, Ci 0, x) -> Mov x
+  | Ibin ((VI.Sll | VI.Srl | VI.Sra), x, Ci 0) -> Mov x
+  | Fbin (op, Cf a, Cf b) -> (
+      match op with
+      | VI.Fadd -> Mov (Cf (a +. b))
+      | VI.Fsub -> Mov (Cf (a -. b))
+      | VI.Fmul -> Mov (Cf (a *. b))
+      | VI.Fdiv -> if b = 0.0 then rv else Mov (Cf (a /. b)))
+  | Fun1 (VI.Fneg, Cf a) -> Mov (Cf (-.a))
+  | Fun1 (VI.Fabs, Cf a) -> Mov (Cf (Float.abs a))
+  | Fun1 (VI.Fmov, x) -> Mov x
+  | F_of_i (Ci a) -> Mov (Cf (float_of_int a))
+  | _ -> rv
+
+(* Fold displacement-producing adds into load/store addresses. *)
+let fold_addr (defs : rvalue option array) (a : address) : address =
+  match a.base with
+  | Vr v -> (
+      match defs.(v) with
+      | Some (Ibin (VI.Add, base', Ci c)) ->
+          { base = base'; disp = W.of_int (a.disp + c) }
+      | Some (Ibin (VI.Add, Ci c, base')) ->
+          { base = base'; disp = W.of_int (a.disp + c) }
+      | Some (Mov (Sym (s, o))) -> { base = Sym (s, 0); disp = W.of_int (a.disp + o) }
+      | Some (Mov (Slotaddr (s, o))) ->
+          { base = Slotaddr (s, 0); disp = W.of_int (a.disp + o) }
+      | _ -> a)
+  | Sym (s, o) when o <> 0 -> { base = Sym (s, 0); disp = W.of_int (a.disp + o) }
+  | Slotaddr (s, o) when o <> 0 ->
+      { base = Slotaddr (s, 0); disp = W.of_int (a.disp + o) }
+  | _ -> a
+
+(* --- global single-def constant / copy propagation --- *)
+
+let count_defs f =
+  let counts = Array.make (vreg_count f) 0 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match inst_def i with
+          | Some v -> counts.(v) <- counts.(v) + 1
+          | None -> ())
+        b.insts)
+    f.fn_blocks;
+  List.iter (fun (_, v) -> counts.(v) <- counts.(v) + 1) f.fn_params;
+  counts
+
+(* For single-def vregs, record the defining rvalue; [single] also covers
+   parameters (single definition at entry, no Def instruction). *)
+let single_defs f =
+  let counts = count_defs f in
+  let defs = Array.make (vreg_count f) None in
+  let single = Array.map (fun c -> c <= 1) counts in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Def (v, rv) when counts.(v) = 1 -> defs.(v) <- Some rv
+          | _ -> ())
+        b.insts)
+    f.fn_blocks;
+  (defs, single)
+
+(* Resolve an operand through chains of single-def Movs of constants or
+   other single-def vregs. *)
+let resolve (defs, single) (o : operand) : operand =
+  (* Copy propagation is only sound when the copy's SOURCE is single-def:
+     a multi-def source may be overwritten between the copy and the use.
+     Fuel guards against degenerate copy cycles in unreachable code. *)
+  let rec go fuel o =
+    match o with
+    | Vr v when fuel > 0 -> (
+        match defs.(v) with
+        | Some (Mov ((Ci _ | Cf _ | Sym _ | Slotaddr _) as c)) -> c
+        | Some (Mov (Vr v')) when single.(v') -> go (fuel - 1) (Vr v')
+        | _ -> o)
+    | _ -> o
+  in
+  go 64 o
+
+let map_rvalue_operands g = function
+  | Ibin (op, a, b) -> Ibin (op, g a, g b)
+  | Fbin (op, a, b) -> Fbin (op, g a, g b)
+  | Fun1 (op, a) -> Fun1 (op, g a)
+  | Fcmp (op, a, b) -> Fcmp (op, g a, g b)
+  | F_of_i a -> F_of_i (g a)
+  | I_of_f a -> I_of_f (g a)
+  | Mov a -> Mov (g a)
+  | Load (w, s, a) -> Load (w, s, { a with base = g a.base })
+  | Loadf a -> Loadf { a with base = g a.base }
+
+let map_inst_operands g = function
+  | Def (v, rv) -> Def (v, map_rvalue_operands g rv)
+  | Store (w, v, a) -> Store (w, g v, { a with base = g a.base })
+  | Storef (v, a) -> Storef (g v, { a with base = g a.base })
+  | Call c ->
+      Call
+        {
+          c with
+          callee =
+            (match c.callee with
+            | Direct _ as d -> d
+            | Indirect o -> Indirect (g o));
+          args = List.map (fun (cl, o) -> (cl, g o)) c.args;
+        }
+  | Hcall c -> Hcall { c with args = List.map (fun (cl, o) -> (cl, g o)) c.args }
+
+let map_term_operands g = function
+  | Ret (Some (cl, o)) -> Ret (Some (cl, g o))
+  | Ret None -> Ret None
+  | Jmp b -> Jmp b
+  | CondBr (c, a, b, t, e) -> CondBr (c, g a, g b, t, e)
+
+(* One round of propagation + folding over the whole function. *)
+let propagate f =
+  let changed = ref false in
+  let (defs, _) as sd = single_defs f in
+  let g o =
+    let o' = resolve sd o in
+    if o' <> o then changed := true;
+    o'
+  in
+  Array.iter
+    (fun b ->
+      b.insts <-
+        List.map
+          (fun i ->
+            let i = map_inst_operands g i in
+            match i with
+            | Def (v, rv) ->
+                let rv =
+                  match rv with
+                  | Load (w, s, a) ->
+                      let a' = fold_addr defs a in
+                      if a' <> a then changed := true;
+                      Load (w, s, a')
+                  | Loadf a ->
+                      let a' = fold_addr defs a in
+                      if a' <> a then changed := true;
+                      Loadf a'
+                  | _ -> rv
+                in
+                let rv' = simplify_rvalue rv in
+                if rv' <> rv then changed := true;
+                Def (v, rv')
+            | Store (w, v, a) ->
+                let a' = fold_addr defs a in
+                if a' <> a then changed := true;
+                Store (w, v, a')
+            | Storef (v, a) ->
+                let a' = fold_addr defs a in
+                if a' <> a then changed := true;
+                Storef (v, a')
+            | i -> i)
+          b.insts;
+      b.term <- map_term_operands g b.term;
+      (* fold constant conditional branches *)
+      (match b.term with
+      | CondBr (c, Ci a, Ci b', t, e) ->
+          changed := true;
+          b.term <- Jmp (if VI.eval_cond c a b' then t else e)
+      | CondBr (_, _, _, t, e) when t = e ->
+          changed := true;
+          b.term <- Jmp t
+      | _ -> ()))
+    f.fn_blocks;
+  !changed
+
+(* --- local common subexpression elimination --- *)
+
+(* Value-number pure rvalues within a block. Loads participate but are
+   killed by stores and calls. Defs of multi-def vregs invalidate entries
+   mentioning them. *)
+let local_cse f =
+  let changed = ref false in
+  let counts = count_defs f in
+  Array.iter
+    (fun b ->
+      let table : (rvalue, vreg) Hashtbl.t = Hashtbl.create 16 in
+      let kill_loads () =
+        Hashtbl.iter
+          (fun rv _ ->
+            match rv with
+            | Load _ | Loadf _ -> Hashtbl.remove table rv
+            | _ -> ())
+          (Hashtbl.copy table)
+      in
+      let kill_mentions v =
+        Hashtbl.iter
+          (fun rv _ ->
+            let mentions =
+              List.exists
+                (function Vr v' -> v' = v | _ -> false)
+                (rvalue_operands rv)
+            in
+            if mentions then Hashtbl.remove table rv)
+          (Hashtbl.copy table)
+      in
+      b.insts <-
+        List.map
+          (fun i ->
+            match i with
+            | Def (v, rv) ->
+                let i =
+                  if counts.(v) > 1 then begin
+                    kill_mentions v;
+                    i
+                  end
+                  else
+                    match rv with
+                    | Mov _ -> i
+                    | _ -> (
+                        match Hashtbl.find_opt table rv with
+                        | Some v' ->
+                            changed := true;
+                            Def (v, Mov (Vr v'))
+                        | None ->
+                            Hashtbl.replace table rv v;
+                            i)
+                in
+                i
+            | Store _ | Storef _ ->
+                kill_loads ();
+                i
+            | Call _ | Hcall _ ->
+                kill_loads ();
+                (match inst_def i with
+                | Some v when counts.(v) > 1 -> kill_mentions v
+                | _ -> ());
+                i)
+          b.insts)
+    f.fn_blocks;
+  !changed
+
+(* --- dead code elimination --- *)
+
+let is_pure_rvalue = function
+  | Ibin _ | Fbin _ | Fun1 _ | Fcmp _ | F_of_i _ | I_of_f _ | Mov _ -> true
+  | Load _ | Loadf _ -> true (* removing a dead load is fine *)
+
+let dce f =
+  let used = Array.make (vreg_count f) false in
+  (* fixpoint marking: side-effecting roots first, then transitive *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            let live =
+              match i with
+              | Def (v, rv) -> (not (is_pure_rvalue rv)) || used.(v)
+              | Store _ | Storef _ | Call _ | Hcall _ -> true
+            in
+            if live then
+              List.iter
+                (function
+                  | Vr v when not used.(v) ->
+                      used.(v) <- true;
+                      changed := true
+                  | _ -> ())
+                (inst_uses i))
+          b.insts;
+        List.iter
+          (function
+            | Vr v when not used.(v) ->
+                used.(v) <- true;
+                changed := true
+            | _ -> ())
+          (term_uses b.term))
+      f.fn_blocks
+  done;
+  let removed = ref false in
+  Array.iter
+    (fun b ->
+      b.insts <-
+        List.filter
+          (fun i ->
+            match i with
+            | Def (v, rv) when is_pure_rvalue rv && not used.(v) ->
+                removed := true;
+                false
+            | _ -> true)
+          b.insts)
+    f.fn_blocks;
+  !removed
+
+(* --- loop-invariant code motion --- *)
+
+(* Hoist pure, single-def computations whose operands are loop-invariant
+   into a fresh preheader block. Conservative: only trap-free arithmetic is
+   hoisted (no loads -- a zero-trip loop must not fault on a hoisted
+   access; no division by a non-constant), and loops whose header is the
+   entry block are skipped rather than re-rooting the CFG. *)
+
+let block_preds f =
+  let n = Array.length f.fn_blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) (term_succs b.term))
+    f.fn_blocks;
+  preds
+
+let dominators f =
+  let n = Array.length f.fn_blocks in
+  let preds = block_preds f in
+  let all = List.init n (fun i -> i) in
+  let dom = Array.make n all in
+  dom.(0) <- [ 0 ];
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter =
+        match preds.(i) with
+        | [] -> [ i ]
+        | p :: rest ->
+            let meet =
+              List.fold_left
+                (fun acc q -> List.filter (fun x -> List.mem x dom.(q)) acc)
+                dom.(p) rest
+            in
+            List.sort_uniq compare (i :: meet)
+      in
+      if inter <> dom.(i) then begin
+        dom.(i) <- inter;
+        changed := true
+      end
+    done
+  done;
+  dom
+
+(* Natural loop bodies, keyed by header; bodies include the header. *)
+let natural_loops f =
+  let preds = block_preds f in
+  let dom = dominators f in
+  let loops = Hashtbl.create 4 in
+  Array.iteri
+    (fun b blk ->
+      List.iter
+        (fun h ->
+          if List.mem h dom.(b) then begin
+            (* back edge b -> h *)
+            let body = Hashtbl.create 8 in
+            Hashtbl.replace body h ();
+            let rec up x =
+              if not (Hashtbl.mem body x) then begin
+                Hashtbl.replace body x ();
+                List.iter up preds.(x)
+              end
+            in
+            up b;
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt loops h)
+            in
+            Hashtbl.replace loops h
+              (List.sort_uniq compare
+                 (prev @ Hashtbl.fold (fun k () acc -> k :: acc) body []))
+          end)
+        (term_succs blk.term))
+    f.fn_blocks;
+  loops
+
+let hoistable_rvalue counts in_loop_def invariant rv =
+  let op_ok o =
+    match o with
+    | Ci _ | Cf _ | Sym _ | Slotaddr _ -> true
+    | Vr v -> (not (in_loop_def v)) || invariant v
+  in
+  let ops_ok = List.for_all op_ok (rvalue_operands rv) in
+  ignore counts;
+  ops_ok
+  &&
+  match rv with
+  | Ibin ((VI.Div | VI.Divu | VI.Rem | VI.Remu), _, b) -> (
+      (* only hoist divisions that provably cannot trap *)
+      match b with Ci k -> k <> 0 | _ -> false)
+  | Ibin _ | Fbin _ | Fun1 _ | Fcmp _ | F_of_i _ | I_of_f _ | Mov _ -> true
+  | Load _ | Loadf _ -> false
+
+let licm f =
+  let loops = natural_loops f in
+  if Hashtbl.length loops = 0 then false
+  else begin
+    let counts = count_defs f in
+    let changed = ref false in
+    (* process headers in a stable order *)
+    let headers =
+      Hashtbl.fold (fun h body acc -> (h, body) :: acc) loops []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (header, body) ->
+        if header <> 0 then begin
+          (* which vregs are defined inside the loop? *)
+          let defined = Hashtbl.create 32 in
+          List.iter
+            (fun bi ->
+              List.iter
+                (fun ins ->
+                  match inst_def ins with
+                  | Some v -> Hashtbl.replace defined v ()
+                  | None -> ())
+                f.fn_blocks.(bi).insts)
+            body;
+          let invariant = Hashtbl.create 16 in
+          let hoisted = ref [] in
+          (* fixpoint: keep sweeping the loop body for hoistable defs *)
+          let again = ref true in
+          while !again do
+            again := false;
+            List.iter
+              (fun bi ->
+                let blk = f.fn_blocks.(bi) in
+                let keep =
+                  List.filter
+                    (fun ins ->
+                      match ins with
+                      | Def (v, rv)
+                        when counts.(v) = 1
+                             && (not (Hashtbl.mem invariant v))
+                             && hoistable_rvalue counts
+                                  (Hashtbl.mem defined)
+                                  (Hashtbl.mem invariant)
+                                  rv ->
+                          Hashtbl.replace invariant v ();
+                          hoisted := ins :: !hoisted;
+                          again := true;
+                          changed := true;
+                          false
+                      | _ -> true)
+                    blk.insts
+                in
+                blk.insts <- keep)
+              body
+          done;
+          (match List.rev !hoisted with
+          | [] -> ()
+          | moved ->
+              (* build the preheader and retarget out-of-loop predecessors *)
+              let n = Array.length f.fn_blocks in
+              let pre = { insts = moved; term = Jmp header } in
+              f.fn_blocks <- Array.append f.fn_blocks [| pre |];
+              Array.iteri
+                (fun bi blk ->
+                  if bi <> n && not (List.mem bi body) then
+                    blk.term <-
+                      (match blk.term with
+                      | Jmp j when j = header -> Jmp n
+                      | CondBr (c, a, b, t, e) ->
+                          let t = if t = header then n else t in
+                          let e = if e = header then n else e in
+                          CondBr (c, a, b, t, e)
+                      | t -> t))
+                f.fn_blocks)
+        end)
+      headers;
+    !changed
+  end
+
+(* --- control-flow cleanup --- *)
+
+(* Thread jumps through empty blocks, remove unreachable blocks, and merge
+   single-predecessor straight lines. *)
+let cleanup_cfg f =
+  let n = Array.length f.fn_blocks in
+  if n = 0 then ()
+  else begin
+    (* resolve chains of empty Jmp blocks *)
+    let target = Array.init n (fun i -> i) in
+    let rec chase seen i =
+      let b = f.fn_blocks.(i) in
+      match (b.insts, b.term) with
+      | [], Jmp j when (not (List.mem j seen)) && j <> i ->
+          let t = chase (i :: seen) j in
+          target.(i) <- t;
+          t
+      | _ -> i
+    in
+    for i = 0 to n - 1 do
+      ignore (chase [] i)
+    done;
+    Array.iter
+      (fun b ->
+        b.term <-
+          (match b.term with
+          | Jmp j -> Jmp target.(j)
+          | CondBr (c, a, x, t, e) ->
+              let t' = target.(t) and e' = target.(e) in
+              if t' = e' then Jmp t' else CondBr (c, a, x, t', e')
+          | Ret _ as r -> r))
+      f.fn_blocks;
+    (* reachability + renumbering in preorder from the (threaded) entry, so
+       an empty entry block is skipped entirely *)
+    let entry = target.(0) in
+    let remap = Array.make n (-1) in
+    let order = ref [] in
+    let count = ref 0 in
+    let rec dfs i =
+      if remap.(i) < 0 then begin
+        remap.(i) <- !count;
+        incr count;
+        order := i :: !order;
+        List.iter dfs (term_succs f.fn_blocks.(i).term)
+      end
+    in
+    dfs entry;
+    let blocks =
+      Array.of_list (List.rev_map (fun i -> f.fn_blocks.(i)) !order)
+    in
+    Array.iter
+      (fun b ->
+        b.term <-
+          (match b.term with
+          | Jmp j -> Jmp remap.(j)
+          | CondBr (c, a, x, t, e) -> CondBr (c, a, x, remap.(t), remap.(e))
+          | Ret _ as r -> r))
+      blocks;
+    f.fn_blocks <- blocks
+  end
+
+(* --- driver --- *)
+
+let optimize_func level (f : func) : unit =
+  (match level with
+  | O0 -> ()
+  | O1 | O2 ->
+      let rounds = match level with O1 -> 2 | _ -> 4 in
+      for _ = 1 to rounds do
+        let c1 = propagate f in
+        let c2 = local_cse f in
+        let c3 = dce f in
+        if not (c1 || c2 || c3) then ()
+      done;
+      if level = O2 then begin
+        cleanup_cfg f;
+        if licm f then begin
+          ignore (propagate f);
+          ignore (local_cse f);
+          ignore (dce f)
+        end
+      end);
+  cleanup_cfg f
+
+let optimize level (p : program) : program =
+  List.iter (optimize_func level) p.pr_funcs;
+  p

@@ -1,0 +1,37 @@
+(** Machine-independent optimizations on the IR — the work the paper
+    assigns to the compiler, ahead of module load time: constant folding,
+    constant/copy propagation, local common-subexpression elimination,
+    strength reduction, dead-code elimination, loop-invariant code motion,
+    and control-flow cleanup. *)
+
+type level =
+  | O0  (** no optimization (debugging) *)
+  | O1  (** local: folding, propagation, CSE, DCE *)
+  | O2  (** O1 + more rounds + loop-invariant code motion (default) *)
+
+val simplify_rvalue : Ir.rvalue -> Ir.rvalue
+(** One step of constant folding / algebraic simplification / strength
+    reduction; trapping divisions by a zero constant are left intact. *)
+
+val propagate : Ir.func -> bool
+(** Global single-def constant and copy propagation plus folding;
+    returns whether anything changed. *)
+
+val local_cse : Ir.func -> bool
+(** Block-local value numbering; loads participate but are killed by
+    stores and calls. *)
+
+val dce : Ir.func -> bool
+(** Remove pure definitions whose results are never used (calls with
+    unused results are kept). *)
+
+val licm : Ir.func -> bool
+(** Loop-invariant code motion: hoists pure, trap-free, single-def
+    computations with invariant operands into fresh preheaders. *)
+
+val cleanup_cfg : Ir.func -> unit
+(** Thread jumps through empty blocks, fold constant branches' targets,
+    drop unreachable blocks, renumber in preorder from the entry. *)
+
+val optimize_func : level -> Ir.func -> unit
+val optimize : level -> Ir.program -> Ir.program

@@ -1,0 +1,520 @@
+(* Reference interpreter for the typed MiniC core language.
+
+   This is the compiler-independent oracle of the differential test suite:
+   it executes the typed AST directly over a byte-addressed memory with its
+   own (independent) data layout. A MiniC program whose output here differs
+   from the compiled pipeline's output has found a compiler, translator, or
+   simulator bug.
+
+   Unsupported relative to the full system: the VM-fault handler host call
+   (programs exercising the exception model are tested against the real
+   engines only). *)
+
+open Tast
+module W = Omni_util.Word32
+module Mem = Omnivm.Memory
+
+exception Oracle_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Oracle_error s)) fmt
+
+type value = VI of int | VF of float
+
+let as_int = function VI v -> v | VF _ -> fail "expected int value"
+let as_float = function VF v -> v | VI _ -> fail "expected float value"
+
+type fn_table = {
+  by_name : (string, tfunc) Hashtbl.t;
+  by_addr : (int, tfunc) Hashtbl.t;
+  addr_of : (string, int) Hashtbl.t;
+}
+
+type state = {
+  mem : Mem.t;
+  globals : (string, int) Hashtbl.t; (* global name -> address *)
+  strings : int array; (* string index -> address *)
+  struct_sizes : (string * struct_layout) list;
+  fns : fn_table;
+  out : Buffer.t;
+  mutable brk : int;
+  heap_limit : int;
+  mutable sp : int; (* oracle stack pointer, grows down *)
+  stack_limit : int;
+  mutable ticks : int;
+  mutable exited : int option;
+  mutable fuel : int;
+}
+
+exception Exit_program of int
+exception Out_of_fuel
+
+(* frame: local name -> address *)
+type frame = {
+  vars : (string, int) Hashtbl.t;
+  tmps : (int, value) Hashtbl.t;
+}
+
+exception Return_exn of value option
+exception Break_exn
+exception Continue_exn
+
+(* --- sizes (mirrors Typecheck) --- *)
+
+let rec sizeof st = function
+  | Ast.Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, n) -> n * sizeof st t
+  | Tstruct tag -> (
+      match List.assoc_opt tag st.struct_sizes with
+      | Some l -> l.sl_size
+      | None -> fail "unknown struct %s" tag)
+  | Tvoid | Tfun _ -> fail "sizeof void/function"
+
+let rec alignof st = function
+  | Ast.Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, _) -> alignof st t
+  | Tstruct tag -> (
+      match List.assoc_opt tag st.struct_sizes with
+      | Some l -> l.sl_align
+      | None -> fail "unknown struct %s" tag)
+  | Tvoid | Tfun _ -> fail "alignof void/function"
+
+(* --- memory access by type --- *)
+
+let load st ty addr =
+  match ty with
+  | Ast.Tchar -> VI (Mem.load8 st.mem addr)
+  | Tint | Tuint | Tptr _ -> VI (Mem.load32 st.mem addr)
+  | Tdouble -> VF (Mem.load_float st.mem addr)
+  | t -> fail "cannot load %s" (Ast.string_of_ty t)
+
+let store st ty addr v =
+  match ty with
+  | Ast.Tchar -> Mem.store8 st.mem addr (as_int v)
+  | Tint | Tuint | Tptr _ -> Mem.store32 st.mem addr (as_int v)
+  | Tdouble -> Mem.store_float st.mem addr (as_float v)
+  | t -> fail "cannot store %s" (Ast.string_of_ty t)
+
+(* --- setup --- *)
+
+let data_origin = Omnivm.Layout.data_base + Omnivm.Layout.reserved_data
+
+let create (tp : tprogram) : state =
+  let mem = Mem.create () in
+  ignore
+    (Mem.map mem ~name:"data" ~base:Omnivm.Layout.data_base
+       ~size:Omnivm.Layout.data_size ~perm:Mem.perm_rw);
+  let fns =
+    {
+      by_name = Hashtbl.create 64;
+      by_addr = Hashtbl.create 64;
+      addr_of = Hashtbl.create 64;
+    }
+  in
+  List.iteri
+    (fun i f ->
+      let addr = Omnivm.Layout.code_base + (4 * (i + 1)) in
+      Hashtbl.replace fns.by_name f.tf_name f;
+      Hashtbl.replace fns.by_addr addr f;
+      Hashtbl.replace fns.addr_of f.tf_name addr)
+    tp.tp_funcs;
+  let globals = Hashtbl.create 64 in
+  let strings = Array.make (Array.length tp.tp_strings) 0 in
+  let st =
+    {
+      mem;
+      globals;
+      strings;
+      struct_sizes = tp.tp_structs;
+      fns;
+      out = Buffer.create 256;
+      brk = 0;
+      heap_limit =
+        Omnivm.Layout.data_base + Omnivm.Layout.data_size
+        - Omnivm.Layout.default_stack_size;
+      sp = Omnivm.Layout.initial_sp;
+      stack_limit =
+        Omnivm.Layout.data_base + Omnivm.Layout.data_size
+        - Omnivm.Layout.default_stack_size;
+      ticks = 0;
+      exited = None;
+      fuel = max_int;
+    }
+  in
+  (* lay out globals *)
+  let cursor = ref data_origin in
+  let align n a = (n + a - 1) land lnot (a - 1) in
+  List.iter
+    (fun (g : tglobal) ->
+      cursor := align !cursor 8;
+      Hashtbl.replace globals g.tg_name !cursor;
+      let pos = ref !cursor in
+      List.iter
+        (fun item ->
+          match item with
+          | Gbytes bs ->
+              Bytes.iteri (fun i c -> Mem.store8 mem (!pos + i) (Char.code c)) bs;
+              pos := !pos + Bytes.length bs
+          | Gword w ->
+              Mem.store32 mem !pos w;
+              pos := !pos + 4
+          | Gdouble d ->
+              pos := align !pos 8;
+              Mem.store_float mem !pos d;
+              pos := !pos + 8
+          | Gaddr_of_global (s, off) ->
+              (* forward references resolved in a second pass *)
+              ignore (s, off);
+              pos := !pos + 4
+          | Gaddr_of_func _ | Gaddr_of_string _ -> pos := !pos + 4
+          | Gzeros n -> pos := !pos + n)
+        g.tg_init;
+      cursor := !pos)
+    tp.tp_globals;
+  (* strings *)
+  Array.iteri
+    (fun i s ->
+      strings.(i) <- !cursor;
+      String.iteri (fun j c -> Mem.store8 mem (!cursor + j) (Char.code c)) s;
+      Mem.store8 mem (!cursor + String.length s) 0;
+      cursor := !cursor + String.length s + 1)
+    tp.tp_strings;
+  (* second pass: address-valued initializers *)
+  List.iter
+    (fun (g : tglobal) ->
+      let pos = ref (Hashtbl.find globals g.tg_name) in
+      List.iter
+        (fun item ->
+          match item with
+          | Gbytes bs -> pos := !pos + Bytes.length bs
+          | Gword _ -> pos := !pos + 4
+          | Gdouble _ ->
+              pos := align !pos 8;
+              pos := !pos + 8
+          | Gaddr_of_global (s, off) ->
+              (match Hashtbl.find_opt globals s with
+              | Some a -> Mem.store32 mem !pos (a + off)
+              | None -> fail "unknown global %s in initializer" s);
+              pos := !pos + 4
+          | Gaddr_of_func f ->
+              (match Hashtbl.find_opt fns.addr_of f with
+              | Some a -> Mem.store32 mem !pos a
+              | None -> fail "unknown function %s in initializer" f);
+              pos := !pos + 4
+          | Gaddr_of_string i ->
+              Mem.store32 mem !pos strings.(i);
+              pos := !pos + 4
+          | Gzeros n -> pos := !pos + n)
+        g.tg_init)
+    tp.tp_globals;
+  st.brk <- align !cursor 16;
+  st
+
+(* --- expression evaluation --- *)
+
+let truthy = function VI v -> v <> 0 | VF f -> f <> 0.0
+
+let rec lval_addr st fr (lv : lval) : int * Ast.ty =
+  match lv with
+  | Lvar (name, ty) -> (
+      match Hashtbl.find_opt fr.vars name with
+      | Some a -> (a, ty)
+      | None -> fail "unbound local %s" name)
+  | Lglob (name, ty) -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some a -> (a, ty)
+      | None -> fail "unbound global %s" name)
+  | Lmem (e, ty) -> (W.to_unsigned (as_int (eval st fr e)), ty)
+
+and eval st fr (e : texpr) : value =
+  st.fuel <- st.fuel - 1;
+  if st.fuel < 0 then raise Out_of_fuel;
+  match e.desc with
+  | Cint v -> VI (W.of_int v)
+  | Cfloat v -> VF v
+  | Cstr i -> VI st.strings.(i)
+  | Load lv ->
+      let addr, ty = lval_addr st fr lv in
+      (match ty with
+      | Ast.Tstruct _ -> VI addr (* struct value = its address, for Assign *)
+      | _ -> load st ty addr)
+  | Addr lv ->
+      let addr, _ = lval_addr st fr lv in
+      VI addr
+  | Fun_addr f -> (
+      match Hashtbl.find_opt st.fns.addr_of f with
+      | Some a -> VI a
+      | None -> fail "unknown function %s" f)
+  | Tmp t -> Hashtbl.find fr.tmps t
+  | Let (t, bound, body) ->
+      let v = eval st fr bound in
+      Hashtbl.replace fr.tmps t v;
+      eval st fr body
+  | Bin (op, a, b) -> eval_bin st fr e.ty op a b
+  | Un (op, a) -> eval_un st fr op a
+  | Cast a -> eval_cast st fr e.ty a
+  | Assign (lv, rhs) -> (
+      let v = eval st fr rhs in
+      let addr, ty = lval_addr st fr lv in
+      match ty with
+      | Ast.Tstruct _ ->
+          (* struct copy: v is the source address *)
+          let size = sizeof st ty in
+          let src = W.to_unsigned (as_int v) in
+          for i = 0 to size - 1 do
+            Mem.store8 st.mem (addr + i) (Mem.load8 st.mem (src + i))
+          done;
+          VI addr
+      | _ ->
+          store st ty addr v;
+          v)
+  | Seq (a, b) ->
+      ignore (eval st fr a);
+      eval st fr b
+  | Cond (c, a, b) ->
+      if truthy (eval st fr c) then eval st fr a else eval st fr b
+  | Andor (is_and, a, b) ->
+      let av = truthy (eval st fr a) in
+      if is_and then
+        if not av then VI 0 else VI (if truthy (eval st fr b) then 1 else 0)
+      else if av then VI 1
+      else VI (if truthy (eval st fr b) then 1 else 0)
+  | Call (callee, args) -> eval_call st fr e.ty callee args
+
+and eval_bin st fr node_ty op a b : value =
+  let va = eval st fr a in
+  let vb = eval st fr b in
+  let is_cmp =
+    match op with
+    | Ast.Lt | Le | Gt | Ge | Eq | Ne -> true
+    | _ -> false
+  in
+  if is_cmp then begin
+    match (va, vb) with
+    | VF x, VF y ->
+        let r =
+          match op with
+          | Ast.Lt -> x < y | Le -> x <= y | Gt -> x > y | Ge -> x >= y
+          | Eq -> x = y | Ne -> x <> y
+          | _ -> assert false
+        in
+        VI (if r then 1 else 0)
+    | VI x, VI y ->
+        let unsigned =
+          match a.ty with Ast.Tuint | Tptr _ | Tchar -> true | _ -> false
+        in
+        let r =
+          if unsigned then
+            match op with
+            | Ast.Lt -> W.ltu x y | Le -> W.leu x y
+            | Gt -> W.ltu y x | Ge -> W.leu y x
+            | Eq -> x = y | Ne -> x <> y
+            | _ -> assert false
+          else
+            match op with
+            | Ast.Lt -> x < y | Le -> x <= y | Gt -> x > y | Ge -> x >= y
+            | Eq -> x = y | Ne -> x <> y
+            | _ -> assert false
+        in
+        VI (if r then 1 else 0)
+    | _ -> fail "mixed comparison"
+  end
+  else
+    match (va, vb) with
+    | VF x, VF y ->
+        VF
+          (match op with
+          | Ast.Add -> x +. y | Sub -> x -. y | Mul -> x *. y | Div -> x /. y
+          | _ -> fail "bad float operator")
+    | VI x, VI y ->
+        let unsigned =
+          match node_ty with Ast.Tuint | Tptr _ -> true | _ -> false
+        in
+        VI
+          (match op with
+          | Ast.Add -> W.add x y
+          | Sub -> W.sub x y
+          | Mul -> W.mul x y
+          | Div -> if unsigned then W.divu x y else W.div x y
+          | Mod -> if unsigned then W.remu x y else W.rem x y
+          | Band -> W.logand x y
+          | Bor -> W.logor x y
+          | Bxor -> W.logxor x y
+          | Shl -> W.shift_left x (W.to_unsigned y land 31)
+          | Shr ->
+              if unsigned then W.shift_right_logical x (W.to_unsigned y land 31)
+              else W.shift_right_arith x (W.to_unsigned y land 31)
+          | _ -> fail "bad int operator")
+    | _ -> fail "mixed arithmetic"
+
+and eval_un st fr op a : value =
+  let v = eval st fr a in
+  match (op, v) with
+  | Ast.Neg, VI x -> VI (W.neg x)
+  | Ast.Neg, VF x -> VF (-.x)
+  | Ast.Lognot, v -> VI (if truthy v then 0 else 1)
+  | Ast.Bitnot, VI x -> VI (W.lognot x)
+  | Ast.Bitnot, VF _ -> fail "~ on float"
+
+and eval_cast st fr to_ty a : value =
+  let v = eval st fr a in
+  match (to_ty, v) with
+  | Ast.Tdouble, VI x -> VF (float_of_int x)
+  | Ast.Tdouble, VF x -> VF x
+  | Ast.Tchar, VF f -> VI (int_of_float_sat f land 0xFF)
+  | Ast.Tchar, VI x -> VI (x land 0xFF)
+  | (Ast.Tint | Ast.Tuint), VF f -> VI (int_of_float_sat f)
+  | (Ast.Tint | Ast.Tuint | Ast.Tptr _), VI x -> VI x
+  | Ast.Tptr _, VF _ -> fail "float to pointer"
+  | Ast.Tvoid, _ -> VI 0
+  | _ -> fail "bad cast to %s" (Ast.string_of_ty to_ty)
+
+and int_of_float_sat f =
+  if Float.is_nan f then 0
+  else if f >= 2147483648.0 then W.max_int32
+  else if f <= -2147483649.0 then W.min_int32
+  else W.of_int (int_of_float f)
+
+and eval_call st fr ret_ty callee args : value =
+  let argv = List.map (eval st fr) args in
+  match callee with
+  | Builtin hc -> eval_builtin st hc argv ret_ty
+  | Dir name -> (
+      match Hashtbl.find_opt st.fns.by_name name with
+      | Some f -> call_function st f argv
+      | None -> fail "call to undefined function %s" name)
+  | Ind e -> (
+      let addr = W.to_unsigned (as_int (eval st fr e)) in
+      match Hashtbl.find_opt st.fns.by_addr addr with
+      | Some f -> call_function st f argv
+      | None -> fail "indirect call to bad address 0x%x" addr)
+
+and eval_builtin st hc argv _ret_ty : value =
+  st.ticks <- st.ticks + 1;
+  match (hc, argv) with
+  | Omnivm.Hostcall.Exit, [ v ] -> raise (Exit_program (as_int v))
+  | Omnivm.Hostcall.Put_char, [ v ] ->
+      Buffer.add_char st.out (Char.chr (as_int v land 0xFF));
+      VI 0
+  | Omnivm.Hostcall.Print_int, [ v ] ->
+      Buffer.add_string st.out (string_of_int (as_int v));
+      VI 0
+  | Omnivm.Hostcall.Print_string, [ v ] ->
+      Buffer.add_string st.out
+        (Mem.read_cstring st.mem ~addr:(W.to_unsigned (as_int v))
+           ~max_len:65536);
+      VI 0
+  | Omnivm.Hostcall.Print_float, [ v ] ->
+      Buffer.add_string st.out (Printf.sprintf "%.6f" (as_float v));
+      VI 0
+  | Omnivm.Hostcall.Sbrk, [ v ] ->
+      let size = (max 0 (as_int v) + 7) land lnot 7 in
+      if st.brk + size > st.heap_limit then VI 0
+      else begin
+        let a = st.brk in
+        st.brk <- st.brk + size;
+        VI a
+      end
+  | Omnivm.Hostcall.Clock, [] -> VI st.ticks
+  | Omnivm.Hostcall.Set_handler, [ _ ] ->
+      fail "set_handler is not supported by the oracle"
+  | Omnivm.Hostcall.Host_service, _ ->
+      fail "host_service is not supported by the oracle"
+  | _ -> fail "bad builtin arity"
+
+and call_function st (f : tfunc) argv : value =
+  if List.length argv <> List.length f.tf_params then
+    fail "arity mismatch calling %s" f.tf_name;
+  let fr = { vars = Hashtbl.create 16; tmps = Hashtbl.create 8 } in
+  let saved_sp = st.sp in
+  (* allocate every local (params included) on the oracle stack *)
+  let alloc name ty =
+    let size = sizeof st ty and al = alignof st ty in
+    st.sp <- (st.sp - size) land lnot (al - 1);
+    if st.sp < st.stack_limit then fail "oracle stack overflow";
+    Hashtbl.replace fr.vars name st.sp
+  in
+  List.iter (fun (name, ty) -> alloc name ty) f.tf_locals;
+  List.iter2
+    (fun (name, ty) v ->
+      store st ty (Hashtbl.find fr.vars name) v)
+    f.tf_params argv;
+  let result =
+    match exec st fr f.tf_body with
+    | () -> (
+        match f.tf_ret with
+        | Ast.Tvoid -> None
+        | Ast.Tdouble -> Some (VF 0.0)
+        | _ -> Some (VI 0))
+    | exception Return_exn v -> v
+  in
+  st.sp <- saved_sp;
+  match result with None -> VI 0 | Some v -> v
+
+(* --- statements --- *)
+
+and exec st fr (s : tstmt) : unit =
+  match s with
+  | Sexpr e -> ignore (eval st fr e)
+  | Sdecl (name, ty, init) -> (
+      match init with
+      | None -> ()
+      | Some e ->
+          let v = eval st fr e in
+          store st ty (Hashtbl.find fr.vars name) v)
+  | Sblock ss -> List.iter (exec st fr) ss
+  | Sif (c, a, b) ->
+      if truthy (eval st fr c) then exec st fr a
+      else Option.iter (exec st fr) b
+  | Swhile (c, body) ->
+      let rec loop () =
+        if truthy (eval st fr c) then begin
+          (try exec st fr body with Continue_exn -> ());
+          loop ()
+        end
+      in
+      (try loop () with Break_exn -> ())
+  | Sdo (body, c) ->
+      let rec loop () =
+        (try exec st fr body with Continue_exn -> ());
+        if truthy (eval st fr c) then loop ()
+      in
+      (try loop () with Break_exn -> ())
+  | Sfor (init, cond, step, body) ->
+      Option.iter (exec st fr) init;
+      let rec loop () =
+        let go = match cond with None -> true | Some c -> truthy (eval st fr c) in
+        if go then begin
+          (try exec st fr body with Continue_exn -> ());
+          Option.iter (fun e -> ignore (eval st fr e)) step;
+          loop ()
+        end
+      in
+      (try loop () with Break_exn -> ())
+  | Sret None -> raise (Return_exn None)
+  | Sret (Some e) -> raise (Return_exn (Some (eval st fr e)))
+  | Sbreak -> raise Break_exn
+  | Scont -> raise Continue_exn
+
+(* --- entry --- *)
+
+type outcome = Exited of int | Ran_off_end of int | Failed of string
+
+let run ?(fuel = max_int) (tp : tprogram) : outcome * string =
+  let st = create tp in
+  st.fuel <- fuel;
+  match Hashtbl.find_opt st.fns.by_name "main" with
+  | None -> (Failed "no main function", "")
+  | Some main -> (
+      match call_function st main [] with
+      | v -> (Exited (as_int v), Buffer.contents st.out)
+      | exception Exit_program c -> (Exited c, Buffer.contents st.out)
+      | exception Oracle_error m -> (Failed m, Buffer.contents st.out)
+      | exception Out_of_fuel -> (Failed "out of fuel", Buffer.contents st.out)
+      | exception W.Division_by_zero ->
+          (Failed "division by zero", Buffer.contents st.out)
+      | exception Omnivm.Fault.Vm_fault f ->
+          (Failed (Omnivm.Fault.to_string f), Buffer.contents st.out))

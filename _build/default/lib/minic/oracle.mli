@@ -1,0 +1,18 @@
+(** Reference interpreter for the typed MiniC core language.
+
+    The compiler-independent oracle of the differential test suite: it
+    executes the typed AST directly over a byte-addressed memory with its
+    own data layout. A program whose output here differs from the compiled
+    pipeline's output has found a compiler, translator, or simulator bug.
+
+    Not supported: the VM-fault-handler and host-service host calls
+    (programs using them are tested against the real engines only). *)
+
+exception Oracle_error of string
+
+type outcome = Exited of int | Ran_off_end of int | Failed of string
+
+val run : ?fuel:int -> Tast.tprogram -> outcome * string
+(** [run tp] executes [main] and returns the outcome paired with
+    everything the program printed. [fuel] bounds the number of expression
+    evaluations. *)

@@ -1,0 +1,653 @@
+(* Recursive-descent parser for MiniC, with full C declarator syntax
+   (pointers, arrays, function pointers) and precedence-climbing expression
+   parsing. There is no typedef in MiniC, so the cast / parenthesized
+   expression ambiguity resolves with one token of lookahead. *)
+
+open Ast
+
+exception Error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Lexer.EOF
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail (line st) "expected %s, found %s" (Lexer.token_name tok)
+      (Lexer.token_name (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> fail (line st) "expected identifier, found %s" (Lexer.token_name t)
+
+(* --- type specifiers and declarators --- *)
+
+let starts_type st =
+  match peek st with
+  | Lexer.KW_void | KW_char | KW_int | KW_unsigned | KW_double | KW_struct ->
+      true
+  | _ -> false
+
+let parse_specifier st =
+  match peek st with
+  | Lexer.KW_void -> advance st; Tvoid
+  | KW_char -> advance st; Tchar
+  | KW_int -> advance st; Tint
+  | KW_unsigned ->
+      advance st;
+      if peek st = Lexer.KW_int then advance st;
+      Tuint
+  | KW_double -> advance st; Tdouble
+  | KW_struct ->
+      advance st;
+      let tag = expect_ident st in
+      Tstruct tag
+  | t -> fail (line st) "expected type, found %s" (Lexer.token_name t)
+
+(* A declarator parse yields the declared name (or None for abstract
+   declarators) and a function that wraps the base type with the declared
+   derivations (inside-out, as in C). *)
+let rec parse_declarator st : string option * (ty -> ty) =
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      let name, wrap = parse_declarator st in
+      (name, fun base -> wrap (Tptr base))
+  | _ -> parse_direct_declarator st
+
+and parse_direct_declarator st =
+  let name, wrap =
+    match peek st with
+    | Lexer.IDENT s ->
+        advance st;
+        (Some s, fun base -> base)
+    | LPAREN ->
+        advance st;
+        let name, wrap = parse_declarator st in
+        expect st Lexer.RPAREN;
+        (name, wrap)
+    | _ -> (None, fun base -> base)
+  in
+  parse_declarator_suffixes st name wrap
+
+and parse_declarator_suffixes st name wrap =
+  match peek st with
+  | Lexer.LBRACKET ->
+      advance st;
+      let size =
+        match peek st with
+        | Lexer.INT n -> advance st; n
+        | RBRACKET -> 0 (* incomplete array; must come with an initializer *)
+        | t -> fail (line st) "expected array size, found %s" (Lexer.token_name t)
+      in
+      expect st Lexer.RBRACKET;
+      let name, wrap = parse_declarator_suffixes st name wrap in
+      (name, fun base -> wrap (Tarray (base, size)))
+  | LPAREN ->
+      advance st;
+      let params = parse_param_types st in
+      expect st Lexer.RPAREN;
+      let name, wrap = parse_declarator_suffixes st name wrap in
+      (name, fun base -> wrap (Tfun (base, params)))
+  | _ -> (name, wrap)
+
+and parse_param_types st =
+  (* Used only from declarator suffixes: function pointer types. Parameter
+     names are allowed and discarded. () and (void) mean no parameters. *)
+  if peek st = Lexer.RPAREN then []
+  else if peek st = Lexer.KW_void && peek2 st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let spec = parse_specifier st in
+      let _, wrap = parse_declarator st in
+      let acc = wrap spec :: acc in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go acc
+      end
+      else List.rev acc
+    in
+    go []
+
+let parse_type st =
+  (* A full type name: specifier + abstract declarator (for casts/sizeof). *)
+  let spec = parse_specifier st in
+  let name, wrap = parse_declarator st in
+  (match name with
+  | Some n -> fail (line st) "unexpected identifier %s in type name" n
+  | None -> ());
+  wrap spec
+
+(* --- expressions --- *)
+
+let prec_of_binop = function
+  | Lexer.STAR | SLASH | PERCENT -> Some (10, Mul)
+  | PLUS | MINUS -> Some (9, Add)
+  | SHL | SHR -> Some (8, Shl)
+  | LT | LE | GT | GE -> Some (7, Lt)
+  | EQEQ | NEQ -> Some (6, Eq)
+  | AMP -> Some (5, Band)
+  | CARET -> Some (4, Bxor)
+  | PIPE -> Some (3, Bor)
+  | ANDAND -> Some (2, Land)
+  | OROR -> Some (1, Lor)
+  | _ -> None
+
+let binop_of_token = function
+  | Lexer.STAR -> Mul | SLASH -> Div | PERCENT -> Mod
+  | PLUS -> Add | MINUS -> Sub
+  | SHL -> Shl | SHR -> Shr
+  | LT -> Lt | LE -> Le | GT -> Gt | GE -> Ge
+  | EQEQ -> Eq | NEQ -> Ne
+  | AMP -> Band | CARET -> Bxor | PIPE -> Bor
+  | ANDAND -> Land | OROR -> Lor
+  | _ -> assert false
+
+let assign_op_of_token = function
+  | Lexer.PLUSEQ -> Some Add
+  | MINUSEQ -> Some Sub
+  | STAREQ -> Some Mul
+  | SLASHEQ -> Some Div
+  | PERCENTEQ -> Some Mod
+  | AMPEQ -> Some Band
+  | PIPEEQ -> Some Bor
+  | CARETEQ -> Some Bxor
+  | SHLEQ -> Some Shl
+  | SHREQ -> Some Shr
+  | _ -> None
+
+let mk line desc = { desc; line }
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  let ln = line st in
+  match peek st with
+  | Lexer.ASSIGN ->
+      advance st;
+      let rhs = parse_assign st in
+      mk ln (Assign (lhs, rhs))
+  | t -> (
+      match assign_op_of_token t with
+      | Some op ->
+          advance st;
+          let rhs = parse_assign st in
+          mk ln (Assign_op (op, lhs, rhs))
+      | None -> lhs)
+
+and parse_cond st =
+  let c = parse_binary st 1 in
+  if peek st = Lexer.QUESTION then begin
+    let ln = line st in
+    advance st;
+    let t = parse_expr st in
+    expect st Lexer.COLON;
+    let e = parse_cond st in
+    mk ln (Cond (c, t, e))
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    match prec_of_binop (peek st) with
+    | Some (prec, _) when prec >= min_prec ->
+        let tok = peek st in
+        let ln = line st in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        go (mk ln (Bin (binop_of_token tok, lhs, rhs)))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      mk ln (Un (Neg, parse_unary st))
+  | BANG ->
+      advance st;
+      mk ln (Un (Lognot, parse_unary st))
+  | TILDE ->
+      advance st;
+      mk ln (Un (Bitnot, parse_unary st))
+  | STAR ->
+      advance st;
+      mk ln (Deref (parse_unary st))
+  | AMP ->
+      advance st;
+      mk ln (Addr_of (parse_unary st))
+  | PLUSPLUS ->
+      advance st;
+      mk ln (Pre_inc (parse_unary st))
+  | MINUSMINUS ->
+      advance st;
+      mk ln (Pre_dec (parse_unary st))
+  | KW_sizeof ->
+      advance st;
+      if peek st = Lexer.LPAREN
+         && (match peek2 st with
+            | Lexer.KW_void | KW_char | KW_int | KW_unsigned | KW_double
+            | KW_struct ->
+                true
+            | _ -> false)
+      then begin
+        advance st;
+        let ty = parse_type st in
+        expect st Lexer.RPAREN;
+        mk ln (Sizeof_ty ty)
+      end
+      else mk ln (Sizeof_expr (parse_unary st))
+  | LPAREN
+    when (match peek2 st with
+         | Lexer.KW_void | KW_char | KW_int | KW_unsigned | KW_double
+         | KW_struct ->
+             true
+         | _ -> false) ->
+      advance st;
+      let ty = parse_type st in
+      expect st Lexer.RPAREN;
+      mk ln (Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec go e =
+    let ln = line st in
+    match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st Lexer.RBRACKET;
+        go (mk ln (Index (e, idx)))
+    | LPAREN ->
+        advance st;
+        let args =
+          if peek st = Lexer.RPAREN then []
+          else
+            let rec args acc =
+              let a = parse_assign st in
+              if peek st = Lexer.COMMA then begin
+                advance st;
+                args (a :: acc)
+              end
+              else List.rev (a :: acc)
+            in
+            args []
+        in
+        expect st Lexer.RPAREN;
+        go (mk ln (Call (e, args)))
+    | DOT ->
+        advance st;
+        let f = expect_ident st in
+        go (mk ln (Member (e, f)))
+    | ARROW ->
+        advance st;
+        let f = expect_ident st in
+        go (mk ln (Arrow (e, f)))
+    | PLUSPLUS ->
+        advance st;
+        go (mk ln (Post_inc e))
+    | MINUSMINUS ->
+        advance st;
+        go (mk ln (Post_dec e))
+    | _ -> e
+  in
+  go e
+
+and parse_primary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.INT v -> advance st; mk ln (Int_lit v)
+  | UINT v -> advance st; mk ln (Cast (Tuint, mk ln (Int_lit v)))
+  | FLOAT v -> advance st; mk ln (Float_lit v)
+  | STRING s ->
+      advance st;
+      (* adjacent string literals concatenate *)
+      let buf = Buffer.create (String.length s) in
+      Buffer.add_string buf s;
+      let rec more () =
+        match peek st with
+        | Lexer.STRING s2 ->
+            advance st;
+            Buffer.add_string buf s2;
+            more ()
+        | _ -> ()
+      in
+      more ();
+      mk ln (Str_lit (Buffer.contents buf))
+  | IDENT s -> advance st; mk ln (Ident s)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | t -> fail ln "expected expression, found %s" (Lexer.token_name t)
+
+(* --- initializers --- *)
+
+let rec parse_init st =
+  if peek st = Lexer.LBRACE then begin
+    advance st;
+    let rec go acc =
+      let i = parse_init st in
+      match peek st with
+      | Lexer.COMMA ->
+          advance st;
+          if peek st = Lexer.RBRACE then begin
+            advance st;
+            List.rev (i :: acc)
+          end
+          else go (i :: acc)
+      | RBRACE ->
+          advance st;
+          List.rev (i :: acc)
+      | t -> fail (line st) "expected , or } in initializer, found %s"
+               (Lexer.token_name t)
+    in
+    Init_list (if peek st = Lexer.RBRACE then (advance st; []) else go [])
+  end
+  else Init_expr (parse_assign st)
+
+(* --- statements --- *)
+
+let mks line sdesc = { sdesc; sline = line }
+
+let rec parse_stmt st =
+  let ln = line st in
+  match peek st with
+  | Lexer.LBRACE -> parse_block st
+  | SEMI -> advance st; mks ln Empty
+  | KW_if ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_s = parse_stmt st in
+      if peek st = Lexer.KW_else then begin
+        advance st;
+        let else_s = parse_stmt st in
+        mks ln (If (c, then_s, Some else_s))
+      end
+      else mks ln (If (c, then_s, None))
+  | KW_while ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = parse_expr st in
+      expect st Lexer.RPAREN;
+      mks ln (While (c, parse_stmt st))
+  | KW_do ->
+      advance st;
+      let body = parse_stmt st in
+      expect st Lexer.KW_while;
+      expect st Lexer.LPAREN;
+      let c = parse_expr st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      mks ln (Do_while (body, c))
+  | KW_for ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let init =
+        if peek st = Lexer.SEMI then None
+        else Some (mks (line st) (Expr (parse_expr st)))
+      in
+      expect st Lexer.SEMI;
+      let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+      expect st Lexer.SEMI;
+      let step =
+        if peek st = Lexer.RPAREN then None else Some (parse_expr st)
+      in
+      expect st Lexer.RPAREN;
+      mks ln (For (init, cond, step, parse_stmt st))
+  | KW_return ->
+      advance st;
+      if peek st = Lexer.SEMI then begin
+        advance st;
+        mks ln (Return None)
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        mks ln (Return (Some e))
+      end
+  | KW_break ->
+      advance st;
+      expect st Lexer.SEMI;
+      mks ln Break
+  | KW_continue ->
+      advance st;
+      expect st Lexer.SEMI;
+      mks ln Continue
+  | _ when starts_type st ->
+      let decls = parse_local_decl st in
+      (match decls with [ d ] -> d | ds -> mks ln (Block ds))
+  | _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      mks ln (Expr e)
+
+and parse_block st =
+  let ln = line st in
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  mks ln (Block (go []))
+
+and parse_local_decl st =
+  let ln = line st in
+  let spec = parse_specifier st in
+  let rec go acc =
+    let name, wrap = parse_declarator st in
+    let name =
+      match name with
+      | Some n -> n
+      | None -> fail ln "declaration needs a name"
+    in
+    let ty = wrap spec in
+    let init =
+      if peek st = Lexer.ASSIGN then begin
+        advance st;
+        Some (parse_init st)
+      end
+      else None
+    in
+    let acc = mks ln (Decl (ty, name, init)) :: acc in
+    match peek st with
+    | Lexer.COMMA -> advance st; go acc
+    | SEMI -> advance st; List.rev acc
+    | t -> fail (line st) "expected , or ; in declaration, found %s"
+             (Lexer.token_name t)
+  in
+  go []
+
+(* --- top level --- *)
+
+let parse_struct_def st =
+  let ln = line st in
+  expect st Lexer.KW_struct;
+  let tag = expect_ident st in
+  expect st Lexer.LBRACE;
+  let rec fields acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let spec = parse_specifier st in
+      let rec members acc =
+        let name, wrap = parse_declarator st in
+        let name =
+          match name with
+          | Some n -> n
+          | None -> fail (line st) "struct field needs a name"
+        in
+        let acc = (name, wrap spec) :: acc in
+        match peek st with
+        | Lexer.COMMA -> advance st; members acc
+        | SEMI -> advance st; acc
+        | t -> fail (line st) "expected , or ; in struct, found %s"
+                 (Lexer.token_name t)
+      in
+      fields (members acc)
+    end
+  in
+  let fs = fields [] in
+  expect st Lexer.SEMI;
+  Dstruct { s_tag = tag; s_fields = fs; s_line = ln }
+
+let parse_params_with_names st =
+  if peek st = Lexer.RPAREN then []
+  else if peek st = Lexer.KW_void && peek2 st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let spec = parse_specifier st in
+      let name, wrap = parse_declarator st in
+      let p_name = match name with Some n -> n | None -> "" in
+      let acc = { p_name; p_ty = wrap spec } :: acc in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go acc
+      end
+      else List.rev acc
+    in
+    go []
+
+let parse_program (src : string) : program =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | KW_struct when peek2 st <> Lexer.EOF
+                     && (match st.toks.(st.pos + 2) with
+                        | Lexer.LBRACE, _ -> true
+                        | _ -> false) ->
+        go (parse_struct_def st :: acc)
+    | _ ->
+        let ln = line st in
+        let spec = parse_specifier st in
+        (* Function definitions/prototypes need parameter names, so peek the
+           declarator: if it is [*... ident (] we parse parameters with
+           names; the stars derive the return type. *)
+        let saved = st.pos in
+        let stars = ref 0 in
+        while peek st = Lexer.STAR do
+          incr stars;
+          advance st
+        done;
+        let is_simple_function =
+          match (peek st, peek2 st) with
+          | Lexer.IDENT _, Lexer.LPAREN -> true
+          | _ -> false
+        in
+        if is_simple_function then begin
+          let rec ptrs n t = if n = 0 then t else ptrs (n - 1) (Tptr t) in
+          let spec = ptrs !stars spec in
+          let fname = expect_ident st in
+          expect st Lexer.LPAREN;
+          let params = parse_params_with_names st in
+          expect st Lexer.RPAREN;
+          match peek st with
+          | Lexer.SEMI ->
+              advance st;
+              go
+                (Dfunc
+                   { f_name = fname; f_ret = spec; f_params = params;
+                     f_body = None; f_line = ln }
+                :: acc)
+          | LBRACE ->
+              let body = parse_block st in
+              go
+                (Dfunc
+                   { f_name = fname; f_ret = spec; f_params = params;
+                     f_body = Some body; f_line = ln }
+                :: acc)
+          | t ->
+              fail (line st) "expected ; or function body, found %s"
+                (Lexer.token_name t)
+        end
+        else begin
+          st.pos <- saved;
+          (* global variable(s), or a prototype with a derived declarator *)
+          let rec go_decls acc_decls =
+            let name, wrap = parse_declarator st in
+            let name =
+              match name with
+              | Some n -> n
+              | None -> fail ln "declaration needs a name"
+            in
+            let ty = wrap spec in
+            match (ty, peek st) with
+            | Tfun (ret, _), Lexer.LBRACE ->
+                (* function definition with derived declarator: re-derive
+                   parameter names is impossible here, so require the simple
+                   form for definitions with bodies *)
+                ignore ret;
+                fail ln
+                  "function definitions must use the simple form: ret name(params)"
+            | Tfun (ret, params), SEMI ->
+                advance st;
+                let d =
+                  Dfunc
+                    { f_name = name; f_ret = ret;
+                      f_params =
+                        List.map (fun t -> { p_name = ""; p_ty = t }) params;
+                      f_body = None; f_line = ln }
+                in
+                List.rev (d :: acc_decls)
+            | _, ASSIGN ->
+                advance st;
+                let i = parse_init st in
+                let d =
+                  Dglobal { g_name = name; g_ty = ty; g_init = Some i;
+                            g_line = ln }
+                in
+                (match peek st with
+                | Lexer.COMMA -> advance st; go_decls (d :: acc_decls)
+                | SEMI -> advance st; List.rev (d :: acc_decls)
+                | t -> fail (line st) "expected , or ;, found %s"
+                         (Lexer.token_name t))
+            | _, COMMA ->
+                advance st;
+                go_decls
+                  (Dglobal { g_name = name; g_ty = ty; g_init = None;
+                             g_line = ln }
+                  :: acc_decls)
+            | _, SEMI ->
+                advance st;
+                List.rev
+                  (Dglobal { g_name = name; g_ty = ty; g_init = None;
+                             g_line = ln }
+                  :: acc_decls)
+            | _, t ->
+                fail (line st) "expected declaration, found %s"
+                  (Lexer.token_name t)
+          in
+          go (List.rev_append (go_decls []) acc)
+        end
+  in
+  go []

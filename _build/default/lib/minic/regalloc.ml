@@ -1,0 +1,290 @@
+(* Linear-scan register allocation onto the OmniVM register file.
+
+   The allocatable pools are parameters so the Table 2 experiment (OmniVM
+   register file size 8..16) is a one-argument change. Intervals that cross
+   a call site must receive callee-saved registers (or spill); the code
+   generator then saves/restores exactly the callee-saved registers used.
+
+   Output: a location per virtual register — a physical OmniVM register or
+   a fresh frame slot. Spill-code insertion happens in the code generator,
+   which keeps two reserved scratch registers per class. *)
+
+open Ir
+
+type location = Preg of Omnivm.Reg.t | Pslot of int
+
+type pools = {
+  int_caller : Omnivm.Reg.t list;
+  int_callee : Omnivm.Reg.t list;
+  float_caller : Omnivm.Reg.t list;
+  float_callee : Omnivm.Reg.t list;
+}
+
+(* Register conventions (see Reg): r8/r9 and f8/f9 are reserved as codegen
+   scratch and are never allocatable. The register-file-size parameter
+   shrinks the pools from the top, mimicking a smaller OmniVM register
+   file. *)
+let default_pools ~regfile_size =
+  if regfile_size < 8 || regfile_size > 16 then
+    invalid_arg "Regalloc.default_pools";
+  let take n l =
+    let rec go n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: r -> x :: go (n - 1) r
+    in
+    go n l
+  in
+  (* full int pool in preference order: callers r1..r7, callees r10..r12 *)
+  let caller_full = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let callee_full = [ 10; 11; 12 ] in
+  let budget = regfile_size - 6 in
+  (* zero, gp, sp, ra + 2 scratch are always present *)
+  let int_caller = take (min budget 7) caller_full in
+  let int_callee = take (max 0 (budget - 7)) callee_full in
+  let fbudget = regfile_size - 2 in
+  let fcaller_full = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let fcallee_full = [ 10; 11; 12; 13; 14; 15 ] in
+  let float_caller = take (min fbudget 8) fcaller_full in
+  let float_callee = take (max 0 (fbudget - 8)) fcallee_full in
+  { int_caller; int_callee; float_caller; float_callee }
+
+type interval = {
+  vreg : vreg;
+  cls : vclass;
+  start : int;
+  stop : int;
+  crosses_call : bool;
+}
+
+type result = {
+  locations : location array; (* indexed by vreg *)
+  used_callee_saved_int : Omnivm.Reg.t list;
+  used_callee_saved_float : Omnivm.Reg.t list;
+  spill_count : int;
+}
+
+module IS = Set.Make (Int)
+
+let liveness (f : func) =
+  let n = Array.length f.fn_blocks in
+  let use = Array.make n IS.empty in
+  let def = Array.make n IS.empty in
+  Array.iteri
+    (fun i b ->
+      let u = ref IS.empty and d = ref IS.empty in
+      List.iter
+        (fun inst ->
+          List.iter
+            (function
+              | Vr v -> if not (IS.mem v !d) then u := IS.add v !u
+              | _ -> ())
+            (inst_uses inst);
+          match inst_def inst with
+          | Some v -> d := IS.add v !d
+          | None -> ())
+        b.insts;
+      List.iter
+        (function
+          | Vr v -> if not (IS.mem v !d) then u := IS.add v !u
+          | _ -> ())
+        (term_uses b.term);
+      use.(i) <- !u;
+      def.(i) <- !d)
+    f.fn_blocks;
+  let live_in = Array.make n IS.empty in
+  let live_out = Array.make n IS.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> IS.union acc live_in.(s))
+          IS.empty
+          (term_succs f.fn_blocks.(i).term)
+      in
+      let inn = IS.union use.(i) (IS.diff out def.(i)) in
+      if not (IS.equal out live_out.(i)) || not (IS.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+let build_intervals (f : func) =
+  let nv = vreg_count f in
+  let start = Array.make nv max_int in
+  let stop = Array.make nv (-1) in
+  let live_in, live_out = liveness f in
+  let touch v p =
+    if p < start.(v) then start.(v) <- p;
+    if p > stop.(v) then stop.(v) <- p
+  in
+  let pos = ref 0 in
+  let call_positions = ref [] in
+  (* parameters are defined at position 0 *)
+  List.iter (fun (_, v) -> touch v 0) f.fn_params;
+  Array.iteri
+    (fun bi b ->
+      let block_start = !pos in
+      IS.iter (fun v -> touch v block_start) live_in.(bi);
+      List.iter
+        (fun inst ->
+          incr pos;
+          List.iter
+            (function Vr v -> touch v !pos | _ -> ())
+            (inst_uses inst);
+          (match inst_def inst with Some v -> touch v !pos | None -> ());
+          match inst with
+          | Call _ | Hcall _ -> call_positions := !pos :: !call_positions
+          | Def _ | Store _ | Storef _ -> ())
+        b.insts;
+      incr pos;
+      List.iter
+        (function Vr v -> touch v !pos | _ -> ())
+        (term_uses b.term);
+      IS.iter (fun v -> touch v !pos) live_out.(bi))
+    f.fn_blocks;
+  let calls = List.sort compare !call_positions in
+  let crosses s e = List.exists (fun p -> s < p && p < e) calls in
+  let ivs = ref [] in
+  for v = nv - 1 downto 0 do
+    if stop.(v) >= 0 then
+      ivs :=
+        {
+          vreg = v;
+          cls = class_of f v;
+          start = start.(v);
+          stop = stop.(v);
+          crosses_call = crosses start.(v) stop.(v);
+        }
+        :: !ivs
+  done;
+  List.sort (fun a b -> compare a.start b.start) !ivs
+
+let allocate ?(pools = default_pools ~regfile_size:16) (f : func) : result =
+  let nv = vreg_count f in
+  let locations = Array.make nv (Pslot (-1)) in
+  let spill_count = ref 0 in
+  let used_callee_int = ref [] in
+  let used_callee_float = ref [] in
+  let new_slot cls =
+    let size, align = match cls with I -> (4, 4) | F -> (8, 8) in
+    let id = Array.length f.fn_slots in
+    f.fn_slots <-
+      Array.append f.fn_slots [| { slot_size = size; slot_align = align } |];
+    incr spill_count;
+    id
+  in
+  let ivs = build_intervals f in
+  (* free sets per class, split by saved-ness *)
+  let free_caller_i = ref pools.int_caller in
+  let free_callee_i = ref pools.int_callee in
+  let free_caller_f = ref pools.float_caller in
+  let free_callee_f = ref pools.float_callee in
+  let is_callee_saved cls r =
+    match cls with
+    | I -> List.mem r pools.int_callee
+    | F -> List.mem r pools.float_callee
+  in
+  let release cls r =
+    match (cls, is_callee_saved cls r) with
+    | I, true -> free_callee_i := r :: !free_callee_i
+    | I, false -> free_caller_i := r :: !free_caller_i
+    | F, true -> free_callee_f := r :: !free_callee_f
+    | F, false -> free_caller_f := r :: !free_caller_f
+  in
+  let active : interval list ref = ref [] in
+  let expire point =
+    let expired, still =
+      List.partition (fun iv -> iv.stop < point) !active
+    in
+    List.iter
+      (fun iv ->
+        match locations.(iv.vreg) with
+        | Preg r -> release iv.cls r
+        | Pslot _ -> ())
+      expired;
+    active := still
+  in
+  let note_callee cls r =
+    if is_callee_saved cls r then
+      match cls with
+      | I -> if not (List.mem r !used_callee_int) then
+               used_callee_int := r :: !used_callee_int
+      | F -> if not (List.mem r !used_callee_float) then
+               used_callee_float := r :: !used_callee_float
+  in
+  let try_take pool =
+    match !pool with
+    | [] -> None
+    | r :: rest ->
+        pool := rest;
+        Some r
+  in
+  let assign iv =
+    expire iv.start;
+    let choice =
+      match (iv.cls, iv.crosses_call) with
+      | I, true -> try_take free_callee_i
+      | F, true -> try_take free_callee_f
+      | I, false -> (
+          match try_take free_caller_i with
+          | Some r -> Some r
+          | None -> try_take free_callee_i)
+      | F, false -> (
+          match try_take free_caller_f with
+          | Some r -> Some r
+          | None -> try_take free_callee_f)
+    in
+    match choice with
+    | Some r ->
+        locations.(iv.vreg) <- Preg r;
+        note_callee iv.cls r;
+        active := iv :: !active
+    | None ->
+        (* steal from the active interval with the furthest end whose
+           register is legal for this interval *)
+        let legal r =
+          if iv.crosses_call then is_callee_saved iv.cls r else true
+        in
+        let candidates =
+          List.filter
+            (fun a ->
+              a.cls = iv.cls
+              &&
+              match locations.(a.vreg) with
+              | Preg r -> legal r
+              | Pslot _ -> false)
+            !active
+        in
+        let victim =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some a
+              | Some b -> if a.stop > b.stop then Some a else best)
+            None candidates
+        in
+        (match victim with
+        | Some v when v.stop > iv.stop ->
+            (match locations.(v.vreg) with
+            | Preg r ->
+                locations.(v.vreg) <- Pslot (new_slot v.cls);
+                locations.(iv.vreg) <- Preg r;
+                note_callee iv.cls r;
+                active := iv :: List.filter (fun a -> a != v) !active
+            | Pslot _ -> assert false)
+        | _ -> locations.(iv.vreg) <- Pslot (new_slot iv.cls))
+  in
+  List.iter assign ivs;
+  {
+    locations;
+    used_callee_saved_int = List.sort compare !used_callee_int;
+    used_callee_saved_float = List.sort compare !used_callee_float;
+    spill_count = !spill_count;
+  }

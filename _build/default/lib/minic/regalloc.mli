@@ -1,0 +1,32 @@
+(** Linear-scan register allocation onto the OmniVM register file.
+
+    The allocatable pools are parameters, making the paper's Table 2
+    experiment (register file sizes 8..16) a one-argument change. Intervals
+    that cross a call site receive callee-saved registers or spill; the
+    code generator then saves exactly the callee-saved registers in use and
+    materializes spill traffic with two reserved scratch registers per
+    class. *)
+
+type location = Preg of Omnivm.Reg.t | Pslot of int
+
+type pools = {
+  int_caller : Omnivm.Reg.t list;
+  int_callee : Omnivm.Reg.t list;
+  float_caller : Omnivm.Reg.t list;
+  float_callee : Omnivm.Reg.t list;
+}
+
+val default_pools : regfile_size:int -> pools
+(** Pools for an OmniVM register file of [regfile_size] in [8, 16];
+    r8/r9 and f8/f9 stay reserved as codegen scratch. *)
+
+type result = {
+  locations : location array;  (** indexed by virtual register *)
+  used_callee_saved_int : Omnivm.Reg.t list;
+  used_callee_saved_float : Omnivm.Reg.t list;
+  spill_count : int;
+}
+
+val allocate : ?pools:pools -> Ir.func -> result
+(** Allocates every live virtual register; appends spill slots to the
+    function's frame. *)

@@ -1,0 +1,228 @@
+(* The MiniC runtime library, written in MiniC itself and linked into every
+   program. [malloc]/[free] are a first-fit free list over [sbrk]'d memory
+   (the host's exported memory-management service); string and memory
+   helpers are the usual C ones; [rand]/[srand] is the same 32-bit LCG the
+   host-side workload generators use, so synthetic inputs agree. *)
+
+let source =
+  {|
+/* --- minic runtime library --- */
+
+struct __hdr { unsigned size; struct __hdr *next; };
+
+struct __hdr *__freelist = 0;
+
+char *malloc(int nbytes) {
+  struct __hdr *p;
+  struct __hdr *prev;
+  unsigned need;
+  need = (unsigned)((nbytes + 7) & ~7) + 8u;
+  prev = 0;
+  p = __freelist;
+  while (p != 0) {
+    if (p->size >= need) {
+      if (p->size >= need + 16u) {
+        /* split */
+        struct __hdr *rest;
+        rest = (struct __hdr *)((char *)p + need);
+        rest->size = p->size - need;
+        rest->next = p->next;
+        p->size = need;
+        if (prev == 0) __freelist = rest; else prev->next = rest;
+      } else {
+        if (prev == 0) __freelist = p->next; else prev->next = p->next;
+      }
+      return (char *)p + 8;
+    }
+    prev = p;
+    p = p->next;
+  }
+  {
+    char *blk;
+    unsigned ask;
+    ask = need;
+    if (ask < 4096u) ask = 4096u;
+    blk = sbrk((int)ask);
+    if (blk == 0) {
+      if (ask > need) {
+        blk = sbrk((int)need);
+        if (blk == 0) return 0;
+        ask = need;
+      } else {
+        return 0;
+      }
+    }
+    p = (struct __hdr *)blk;
+    p->size = ask;
+    if (ask > need + 16u) {
+      struct __hdr *rest;
+      rest = (struct __hdr *)(blk + need);
+      rest->size = ask - need;
+      rest->next = __freelist;
+      __freelist = rest;
+      p->size = need;
+    }
+    return (char *)p + 8;
+  }
+}
+
+void free(char *ptr) {
+  struct __hdr *h;
+  if (ptr == 0) return;
+  h = (struct __hdr *)(ptr - 8);
+  h->next = __freelist;
+  __freelist = h;
+}
+
+char *calloc(int n, int size) {
+  char *p;
+  int total;
+  int i;
+  total = n * size;
+  p = malloc(total);
+  if (p == 0) return 0;
+  for (i = 0; i < total; i++) p[i] = 0;
+  return p;
+}
+
+void *memcpy(char *dst, char *src, int n) {
+  int i;
+  /* word-at-a-time when both are aligned */
+  if ((((int)dst | (int)src | n) & 3) == 0) {
+    int *d; int *s; int w;
+    d = (int *)dst; s = (int *)src; w = n >> 2;
+    for (i = 0; i < w; i++) d[i] = s[i];
+  } else {
+    for (i = 0; i < n; i++) dst[i] = src[i];
+  }
+  return (void *)dst;
+}
+
+void *memset(char *dst, int c, int n) {
+  int i;
+  for (i = 0; i < n; i++) dst[i] = (char)c;
+  return (void *)dst;
+}
+
+int memcmp(char *a, char *b, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (a[i] != b[i]) return (int)a[i] - (int)b[i];
+  }
+  return 0;
+}
+
+int strlen(char *s) {
+  int n;
+  n = 0;
+  while (s[n] != 0) n++;
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i;
+  i = 0;
+  while (a[i] != 0 && a[i] == b[i]) i++;
+  return (int)a[i] - (int)b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+  int i;
+  i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return dst;
+}
+
+int strncmp(char *a, char *b, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (a[i] != b[i]) return (int)a[i] - (int)b[i];
+    if (a[i] == 0) return 0;
+  }
+  return 0;
+}
+
+unsigned __rand_state = 12345u;
+
+void srand(int seed) { __rand_state = (unsigned)seed; }
+
+int rand(void) {
+  __rand_state = __rand_state * 1664525u + 1013904223u;
+  return (int)((__rand_state >> 8) & 0x7FFFFF);
+}
+
+int abs(int x) { if (x < 0) return -x; return x; }
+
+double fabs(double x) { if (x < 0.0) return -x; return x; }
+
+/* exp(x) via scaling + Taylor series; good to ~1e-9 on moderate inputs. */
+double exp(double x) {
+  int neg;
+  int k;
+  double r;
+  double term;
+  double sum;
+  int i;
+  neg = 0;
+  if (x < 0.0) { neg = 1; x = -x; }
+  /* bring x into [0, 0.5) by halving k times */
+  k = 0;
+  while (x > 0.5) { x = x * 0.5; k++; }
+  term = 1.0;
+  sum = 1.0;
+  for (i = 1; i < 16; i++) {
+    term = term * x / (double)i;
+    sum = sum + term;
+  }
+  r = sum;
+  while (k > 0) { r = r * r; k--; }
+  if (neg) return 1.0 / r;
+  return r;
+}
+
+double sqrt(double x) {
+  double g;
+  int i;
+  if (x <= 0.0) return 0.0;
+  g = x;
+  if (g > 1.0) g = x * 0.5;
+  for (i = 0; i < 40; i++) g = 0.5 * (g + x / g);
+  return g;
+}
+
+void print_nl(void) { putchar(10); }
+
+/* quicksort over opaque elements, libc-style; the comparison function is
+   called through a pointer (an indirect call the SFI layer must check). */
+
+char __qsort_pv[64];
+
+void qsort(char *base, int n, int size, int (*cmp)(char *, char *)) {
+  int i;
+  int j;
+  int k;
+  char t;
+  if (n < 2) return;
+  if (size > 64) return;
+  /* median element as pivot, copied out so swaps cannot move it */
+  memcpy(__qsort_pv, base + (n / 2) * size, size);
+  i = 0;
+  j = n - 1;
+  while (i <= j) {
+    while (cmp(base + i * size, __qsort_pv) < 0) i++;
+    while (cmp(base + j * size, __qsort_pv) > 0) j--;
+    if (i <= j) {
+      for (k = 0; k < size; k++) {
+        t = base[i * size + k];
+        base[i * size + k] = base[j * size + k];
+        base[j * size + k] = t;
+      }
+      i++;
+      j--;
+    }
+  }
+  if (j > 0) qsort(base, j + 1, size, cmp);
+  if (i < n - 1) qsort(base + i * size, n - i, size, cmp);
+}
+|}

@@ -1,0 +1,92 @@
+(* The typed core language MiniC elaborates into.
+
+   The typechecker normalizes away C surface complexity:
+   - pointer arithmetic becomes explicit scaled address arithmetic
+     (the paper's OmniVM design point: the compiler defines data layout and
+     emits explicit address computation the optimizer can work on),
+   - array indexing and member access become address computations + loads,
+   - implicit conversions become explicit [Cast] nodes,
+   - compound assignment and inc/dec become [Let]-bound reads and writes,
+   - local names are made unique (scoping is resolved here).
+
+   Both the reference interpreter (the differential-testing oracle) and the
+   IR lowering consume this form. *)
+
+open Ast
+
+type tmp = int (* compiler-introduced temporary *)
+
+type lval =
+  | Lvar of string * ty (* unique-named local or parameter *)
+  | Lglob of string * ty
+  | Lmem of texpr * ty (* object at address, of type ty *)
+
+and texpr = { ty : ty; desc : tdesc }
+
+and tdesc =
+  | Cint of int (* also char and pointer constants *)
+  | Cfloat of float
+  | Cstr of int (* index into the program string table; ty = char* *)
+  | Load of lval
+  | Addr of lval
+  | Fun_addr of string
+  | Tmp of tmp
+  | Let of tmp * texpr * texpr
+  | Bin of binop * texpr * texpr
+      (* operands already converted to a common type; for shifts the rhs is
+         int; comparisons yield int *)
+  | Un of unop * texpr
+  | Cast of texpr (* convert operand to [ty] *)
+  | Assign of lval * texpr (* value of the node = assigned value *)
+  | Seq of texpr * texpr
+  | Cond of texpr * texpr * texpr
+  | Andor of bool * texpr * texpr (* true = &&, false = || ; yields int *)
+  | Call of callee * texpr list
+
+and callee =
+  | Dir of string
+  | Ind of texpr (* function pointer *)
+  | Builtin of Omnivm.Hostcall.t
+
+type tstmt =
+  | Sexpr of texpr
+  | Sdecl of string * ty * texpr option (* scalar initializer, if any *)
+  | Sif of texpr * tstmt * tstmt option
+  | Swhile of texpr * tstmt
+  | Sdo of tstmt * texpr
+  | Sfor of tstmt option * texpr option * texpr option * tstmt
+  | Sret of texpr option
+  | Sbreak
+  | Scont
+  | Sblock of tstmt list
+
+type field_layout = { fl_name : string; fl_offset : int; fl_ty : ty }
+type struct_layout = { sl_size : int; sl_align : int; sl_fields : field_layout list }
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : ty;
+  tf_params : (string * ty) list; (* unique names *)
+  tf_locals : (string * ty) list; (* all locals incl. params, unique names *)
+  tf_addr_taken : (string, unit) Hashtbl.t; (* locals that must live in memory *)
+  tf_body : tstmt;
+}
+
+(* Global initializer, reduced to constant data. *)
+type gdata =
+  | Gbytes of Bytes.t
+  | Gword of int
+  | Gdouble of float
+  | Gaddr_of_global of string * int (* symbol + byte offset *)
+  | Gaddr_of_func of string
+  | Gaddr_of_string of int (* string table index *)
+  | Gzeros of int
+
+type tglobal = { tg_name : string; tg_ty : ty; tg_init : gdata list }
+
+type tprogram = {
+  tp_structs : (string * struct_layout) list;
+  tp_globals : tglobal list;
+  tp_funcs : tfunc list;
+  tp_strings : string array;
+}

@@ -1,0 +1,987 @@
+(* MiniC typechecker and elaborator: Ast -> Tast.
+
+   Responsibilities: name resolution (with scoping; locals get unique
+   names), type checking with C's implicit conversions made explicit,
+   struct layout, normalization of pointer/array/member operations into
+   explicit address arithmetic, reduction of global initializers to constant
+   data, and the address-taken analysis that decides which locals can be
+   registerized. *)
+
+open Ast
+open Tast
+
+exception Error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* --- environment --- *)
+
+type fsig = { fs_ret : ty; fs_params : ty list; fs_defined : bool }
+
+type env = {
+  structs : (string, struct_layout) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable strings : string list; (* reversed *)
+  mutable n_strings : int;
+  mutable scopes : (string, string * ty) Hashtbl.t list; (* src name -> unique, ty *)
+  mutable locals : (string * ty) list; (* unique names, reversed *)
+  addr_taken : (string, unit) Hashtbl.t;
+  mutable next_uid : int;
+  mutable next_tmp : int;
+  mutable cur_ret : ty;
+  mutable loop_depth : int;
+}
+
+let builtins : (string * ty * ty list) list =
+  [ ("putchar", Tvoid, [ Tint ]);
+    ("print_int", Tvoid, [ Tint ]);
+    ("print_str", Tvoid, [ Tptr Tchar ]);
+    ("print_float", Tvoid, [ Tdouble ]);
+    ("exit", Tvoid, [ Tint ]);
+    ("sbrk", Tptr Tchar, [ Tint ]);
+    ("clock_ticks", Tint, []);
+    ("set_handler", Tvoid, [ Tptr (Tfun (Tvoid, [ Tint ])) ]);
+    ("host_service", Tint, [ Tint; Tint; Tint; Tint ]) ]
+
+let builtin_call = function
+  | "putchar" -> Omnivm.Hostcall.Put_char
+  | "print_int" -> Omnivm.Hostcall.Print_int
+  | "print_str" -> Omnivm.Hostcall.Print_string
+  | "print_float" -> Omnivm.Hostcall.Print_float
+  | "exit" -> Omnivm.Hostcall.Exit
+  | "sbrk" -> Omnivm.Hostcall.Sbrk
+  | "clock_ticks" -> Omnivm.Hostcall.Clock
+  | "set_handler" -> Omnivm.Hostcall.Set_handler
+  | "host_service" -> Omnivm.Hostcall.Host_service
+  | s -> invalid_arg ("builtin_call: " ^ s)
+
+(* --- sizes and layout --- *)
+
+let struct_layout env line tag =
+  match Hashtbl.find_opt env.structs tag with
+  | Some l -> l
+  | None -> fail line "undefined struct %s" tag
+
+let rec sizeof env line = function
+  | Tvoid -> fail line "sizeof void"
+  | Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, n) -> n * sizeof env line t
+  | Tstruct tag -> (struct_layout env line tag).sl_size
+  | Tfun _ -> fail line "sizeof function"
+
+let rec alignof env line = function
+  | Tvoid -> fail line "alignof void"
+  | Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, _) -> alignof env line t
+  | Tstruct tag -> (struct_layout env line tag).sl_align
+  | Tfun _ -> fail line "alignof function"
+
+let compute_struct_layout env (sd : struct_def) : struct_layout =
+  let line = sd.s_line in
+  if sd.s_fields = [] then fail line "empty struct %s" sd.s_tag;
+  let align n a = (n + a - 1) land lnot (a - 1) in
+  let offset = ref 0 in
+  let max_align = ref 1 in
+  let fields =
+    List.map
+      (fun (name, ty) ->
+        (match ty with
+        | Tfun _ | Tvoid -> fail line "bad field type in struct %s" sd.s_tag
+        | _ -> ());
+        let a = alignof env line ty in
+        max_align := max !max_align a;
+        offset := align !offset a;
+        let f = { fl_name = name; fl_offset = !offset; fl_ty = ty } in
+        offset := !offset + sizeof env line ty;
+        f)
+      sd.s_fields
+  in
+  { sl_size = align !offset !max_align; sl_align = !max_align;
+    sl_fields = fields }
+
+let field env line tag fname =
+  let l = struct_layout env line tag in
+  match List.find_opt (fun f -> String.equal f.fl_name fname) l.sl_fields with
+  | Some f -> f
+  | None -> fail line "struct %s has no field %s" tag fname
+
+(* --- type predicates and conversions --- *)
+
+let rec ty_eq a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tchar, Tchar | Tint, Tint | Tuint, Tuint
+  | Tdouble, Tdouble ->
+      true
+  | Tptr a, Tptr b -> ty_eq a b
+  | Tarray (a, n), Tarray (b, m) -> n = m && ty_eq a b
+  | Tstruct a, Tstruct b -> String.equal a b
+  | Tfun (r1, p1), Tfun (r2, p2) ->
+      ty_eq r1 r2
+      && List.length p1 = List.length p2
+      && List.for_all2 ty_eq p1 p2
+  | _ -> false
+
+let lval_ty = function Lvar (_, t) | Lglob (_, t) | Lmem (_, t) -> t
+
+(* Insert a conversion of [e] to type [want]; no-op when already there. *)
+let cast want (e : texpr) =
+  if ty_eq e.ty want then e else { ty = want; desc = Cast e }
+
+(* Implicit conversion for assignment/parameter/return contexts. *)
+let convert line want (e : texpr) =
+  let ok =
+    match (want, e.ty) with
+    | a, b when ty_eq a b -> true
+    | (Tchar | Tint | Tuint | Tdouble), (Tchar | Tint | Tuint | Tdouble) ->
+        true
+    | Tptr _, (Tint | Tuint | Tchar) -> (
+        (* only the null constant converts implicitly *)
+        match e.desc with Cint 0 -> true | _ -> false)
+    | Tptr Tvoid, Tptr _ | Tptr _, Tptr Tvoid -> true
+    | Tptr (Tfun _), Tptr (Tfun _) -> true
+    | _ -> false
+  in
+  if not ok then
+    fail line "cannot convert %s to %s" (string_of_ty e.ty)
+      (string_of_ty want);
+  cast want e
+
+(* Usual arithmetic conversions, simplified to MiniC's type set. *)
+let arith_common line a b =
+  match (a, b) with
+  | Tdouble, _ | _, Tdouble -> Tdouble
+  | Tuint, _ | _, Tuint -> Tuint
+  | (Tchar | Tint), (Tchar | Tint) -> Tint
+  | _ -> fail line "expected arithmetic operands, got %s and %s"
+           (string_of_ty a) (string_of_ty b)
+
+let fresh_tmp env =
+  let t = env.next_tmp in
+  env.next_tmp <- t + 1;
+  t
+
+let intern_string env s =
+  (* share identical literals; the list is kept reversed *)
+  let rec find i = function
+    | [] ->
+        env.strings <- s :: env.strings;
+        let idx = env.n_strings in
+        env.n_strings <- idx + 1;
+        idx
+    | x :: rest ->
+        if String.equal x s then env.n_strings - 1 - i else find (i + 1) rest
+  in
+  find 0 env.strings
+
+(* --- scope handling --- *)
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let declare_local env line name ty =
+  match env.scopes with
+  | [] -> assert false
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        fail line "redeclaration of %s" name;
+      let unique = Printf.sprintf "%s.%d" name env.next_uid in
+      env.next_uid <- env.next_uid + 1;
+      Hashtbl.add scope name (unique, ty);
+      env.locals <- (unique, ty) :: env.locals;
+      unique
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some x -> Some x
+        | None -> go rest)
+  in
+  go env.scopes
+
+(* --- expression typing --- *)
+
+let mk ty desc = { ty; desc }
+
+(* The rvalue produced by reading an lvalue: arrays decay to a pointer to
+   the first element; structs stay as struct-typed loads (only usable in
+   struct assignment, member selection, or address-of). *)
+let read_lval lv =
+  match lval_ty lv with
+  | Tarray (elem, _) -> mk (Tptr elem) (Addr lv)
+  | Tfun _ as ft -> mk (Tptr ft) (Addr lv)
+  | t -> mk t (Load lv)
+
+let scale line ~elem_size (index : texpr) =
+  (* index * sizeof(elem), as int arithmetic *)
+  let index =
+    match index.ty with
+    | Tint | Tuint -> index
+    | Tchar -> cast Tint index
+    | t -> fail line "array index must be integer, got %s" (string_of_ty t)
+  in
+  if elem_size = 1 then cast Tint index
+  else mk Tint (Bin (Mul, cast Tint index, mk Tint (Cint elem_size)))
+
+let ptr_add line ~elem_size (p : texpr) (i : texpr) =
+  mk p.ty (Bin (Add, p, scale line ~elem_size i))
+
+let rec type_expr env (e : expr) : texpr =
+  let line = e.line in
+  match e.desc with
+  | Int_lit v -> mk Tint (Cint (Omni_util.Word32.of_int v))
+  | Float_lit v -> mk Tdouble (Cfloat v)
+  | Str_lit s -> mk (Tptr Tchar) (Cstr (intern_string env s))
+  | Ident _ | Deref _ | Index _ | Member _ | Arrow _ ->
+      read_lval (type_lval env e)
+  | Bin (op, a, b) -> type_binop env line op a b
+  | Un (Neg, a) ->
+      let a = type_expr env a in
+      let ty =
+        match a.ty with
+        | Tchar | Tint -> Tint
+        | Tuint -> Tuint
+        | Tdouble -> Tdouble
+        | t -> fail line "cannot negate %s" (string_of_ty t)
+      in
+      mk ty (Un (Neg, cast ty a))
+  | Un (Lognot, a) ->
+      let a = scalar_expr env line a in
+      mk Tint (Un (Lognot, a))
+  | Un (Bitnot, a) ->
+      let a = type_expr env a in
+      let ty =
+        match a.ty with
+        | Tchar | Tint -> Tint
+        | Tuint -> Tuint
+        | t -> fail line "cannot complement %s" (string_of_ty t)
+      in
+      mk ty (Un (Bitnot, cast ty a))
+  | Assign (lhs, rhs) ->
+      let lv = type_lval env lhs in
+      let rhs = type_expr env rhs in
+      (match lval_ty lv with
+      | Tstruct _ as st ->
+          if not (ty_eq rhs.ty st) then
+            fail line "struct assignment type mismatch";
+          mk st (Assign (lv, rhs))
+      | t -> mk t (Assign (lv, convert line t rhs)))
+  | Assign_op (op, lhs, rhs) ->
+      type_assign_op env line op lhs rhs
+  | Cond (c, a, b) ->
+      let c = scalar_expr env line c in
+      let a = type_expr env a in
+      let b = type_expr env b in
+      let ty =
+        if ty_eq a.ty b.ty then a.ty
+        else
+          match (a.ty, b.ty) with
+          | (Tchar | Tint | Tuint | Tdouble), (Tchar | Tint | Tuint | Tdouble)
+            ->
+              arith_common line a.ty b.ty
+          | Tptr _, (Tint | Tuint) -> a.ty
+          | (Tint | Tuint), Tptr _ -> b.ty
+          | Tptr Tvoid, Tptr _ -> b.ty
+          | Tptr _, Tptr Tvoid -> a.ty
+          | _ -> fail line "incompatible ?: branches"
+      in
+      mk ty (Cond (c, cast ty a, cast ty b))
+  | Call (f, args) -> type_call env line f args
+  | Addr_of a -> (
+      match a.desc with
+      | Ident name when is_function env name ->
+          let fs = Hashtbl.find env.funcs name in
+          mk (Tptr (Tfun (fs.fs_ret, fs.fs_params))) (Fun_addr name)
+      | _ ->
+          let lv = type_lval env a in
+          (match lv with
+          | Lvar (unique, _) -> Hashtbl.replace env.addr_taken unique ()
+          | Lglob _ | Lmem _ -> ());
+          let pointee =
+            match lval_ty lv with Tarray (t, _) -> Tarray (t, 0) | t -> t
+          in
+          (* &array yields the array's address typed as pointer-to-elem *)
+          (match pointee with
+          | Tarray (t, _) -> mk (Tptr t) (Addr lv)
+          | t -> mk (Tptr t) (Addr lv)))
+  | Cast (ty, a) ->
+      let a = type_expr env a in
+      let ok =
+        match (ty, a.ty) with
+        | (Tchar | Tint | Tuint | Tdouble), (Tchar | Tint | Tuint | Tdouble)
+          ->
+            true
+        | Tptr _, (Tptr _ | Tint | Tuint) -> true
+        | (Tint | Tuint), Tptr _ -> true
+        | Tvoid, _ -> true
+        | _ -> false
+      in
+      if not ok then
+        fail line "invalid cast from %s to %s" (string_of_ty a.ty)
+          (string_of_ty ty);
+      cast ty a
+  | Sizeof_ty ty -> mk Tint (Cint (sizeof env line ty))
+  | Sizeof_expr a ->
+      (* types the operand without emitting it (no side effects) *)
+      let a' = type_expr env a in
+      let t = match a'.ty with Tptr _ when false -> a'.ty | t -> t in
+      mk Tint (Cint (sizeof env line t))
+  | Pre_inc a -> incdec env line a ~delta:1 ~post:false
+  | Pre_dec a -> incdec env line a ~delta:(-1) ~post:false
+  | Post_inc a -> incdec env line a ~delta:1 ~post:true
+  | Post_dec a -> incdec env line a ~delta:(-1) ~post:true
+
+and is_function env name =
+  Hashtbl.mem env.funcs name
+  && lookup_var env name = None
+  && not (Hashtbl.mem env.globals name)
+
+and is_builtin env name =
+  lookup_var env name = None
+  && (not (Hashtbl.mem env.globals name))
+  && (not (Hashtbl.mem env.funcs name))
+  && List.exists (fun (n, _, _) -> String.equal n name) builtins
+
+(* An expression used as a truth value: any scalar. *)
+and scalar_expr env line e =
+  let e = type_expr env e in
+  if not (is_scalar e.ty) then
+    fail line "expected scalar, got %s" (string_of_ty e.ty);
+  e
+
+and type_binop env line op a b =
+  match op with
+  | Land | Lor ->
+      let a = scalar_expr env line a in
+      let b = scalar_expr env line b in
+      mk Tint (Andor (op = Land, truth_int a, truth_int b))
+  | Eq | Ne | Lt | Le | Gt | Ge -> (
+      let a = type_expr env a in
+      let b = type_expr env b in
+      match (a.ty, b.ty) with
+      | (Tchar | Tint | Tuint | Tdouble), (Tchar | Tint | Tuint | Tdouble) ->
+          let c = arith_common line a.ty b.ty in
+          mk Tint (Bin (op, cast c a, cast c b))
+      | Tptr _, Tptr _ ->
+          mk Tint (Bin (op, cast Tuint a, cast Tuint b))
+      | Tptr _, (Tint | Tuint) -> mk Tint (Bin (op, cast Tuint a, cast Tuint b))
+      | (Tint | Tuint), Tptr _ -> mk Tint (Bin (op, cast Tuint a, cast Tuint b))
+      | _ -> fail line "cannot compare %s and %s" (string_of_ty a.ty)
+               (string_of_ty b.ty))
+  | Add | Sub -> (
+      let a = type_expr env a in
+      let b = type_expr env b in
+      match (a.ty, b.ty) with
+      | Tptr t, (Tchar | Tint | Tuint) ->
+          let sz = sizeof env line t in
+          if op = Add then ptr_add line ~elem_size:sz a b
+          else mk a.ty (Bin (Sub, a, scale line ~elem_size:sz b))
+      | (Tchar | Tint | Tuint), Tptr t when op = Add ->
+          ptr_add line ~elem_size:(sizeof env line t) b a
+      | Tptr t, Tptr t' when op = Sub && ty_eq t t' ->
+          let sz = sizeof env line t in
+          let diff = mk Tint (Bin (Sub, cast Tint a, cast Tint b)) in
+          if sz = 1 then diff
+          else mk Tint (Bin (Div, diff, mk Tint (Cint sz)))
+      | (Tchar | Tint | Tuint | Tdouble), (Tchar | Tint | Tuint | Tdouble) ->
+          let c = arith_common line a.ty b.ty in
+          mk c (Bin (op, cast c a, cast c b))
+      | _ -> fail line "cannot %s %s and %s"
+               (if op = Add then "add" else "subtract")
+               (string_of_ty a.ty) (string_of_ty b.ty))
+  | Mul | Div ->
+      let a = type_expr env a in
+      let b = type_expr env b in
+      let c = arith_common line a.ty b.ty in
+      mk c (Bin (op, cast c a, cast c b))
+  | Mod | Band | Bor | Bxor -> (
+      let a = type_expr env a in
+      let b = type_expr env b in
+      match arith_common line a.ty b.ty with
+      | Tdouble -> fail line "integer operator on double"
+      | c -> mk c (Bin (op, cast c a, cast c b)))
+  | Shl | Shr -> (
+      let a = type_expr env a in
+      let b = type_expr env b in
+      match a.ty with
+      | Tchar | Tint | Tuint ->
+          let base = if ty_eq a.ty Tuint then Tuint else Tint in
+          mk base (Bin (op, cast base a, cast Tint b))
+      | t -> fail line "cannot shift %s" (string_of_ty t))
+
+(* Normalize a scalar to an int truth value for && / || operands; pointers
+   compare against null. *)
+and truth_int (e : texpr) =
+  match e.ty with
+  | Tint -> e
+  | Tchar | Tuint -> cast Tint e
+  | Tptr _ -> mk Tint (Bin (Ne, cast Tuint e, mk Tuint (Cint 0)))
+  | Tdouble -> mk Tint (Bin (Ne, e, mk Tdouble (Cfloat 0.0)))
+  | Tvoid | Tarray _ | Tstruct _ | Tfun _ -> assert false
+
+and type_assign_op env line op lhs rhs =
+  let lv = type_lval env lhs in
+  let t = lval_ty lv in
+  let build lv =
+    let cur = read_lval lv in
+    let rhs_t = type_expr env rhs in
+    let value =
+      match (t, op) with
+      | Tptr elem, (Add | Sub) ->
+          let sz = sizeof env line elem in
+          let scaled = scale line ~elem_size:sz rhs_t in
+          mk t (Bin (op, cur, scaled))
+      | (Tchar | Tint | Tuint | Tdouble), _ ->
+          let c = arith_common line t rhs_t.ty in
+          let c = match op with Shl | Shr -> t | _ -> c in
+          (match (c, op) with
+          | Tdouble, (Mod | Band | Bor | Bxor | Shl | Shr) ->
+              fail line "integer operator on double"
+          | _ -> ());
+          let r =
+            match op with
+            | Shl | Shr -> mk c (Bin (op, cast c cur, cast Tint rhs_t))
+            | _ -> mk c (Bin (op, cast c cur, cast c rhs_t))
+          in
+          convert line t r
+      | _ -> fail line "bad compound assignment on %s" (string_of_ty t)
+    in
+    mk t (Assign (lv, value))
+  in
+  match lv with
+  | Lvar _ | Lglob _ -> build lv
+  | Lmem (addr, ty) ->
+      (* bind the address once *)
+      let tmp = fresh_tmp env in
+      let body = build (Lmem (mk addr.ty (Tmp tmp), ty)) in
+      mk body.ty (Let (tmp, addr, body))
+
+and incdec env line a ~delta ~post =
+  let lv = type_lval env a in
+  let t = lval_ty lv in
+  let step lv_use cur =
+    match t with
+    | Tptr elem ->
+        let sz = sizeof env line elem in
+        mk t (Assign (lv_use, mk t (Bin (Add, cur, mk Tint (Cint (delta * sz))))))
+    | Tchar | Tint | Tuint ->
+        mk t
+          (Assign
+             (lv_use, convert line t (mk Tint (Bin (Add, cast Tint cur,
+                                                    mk Tint (Cint delta))))))
+    | Tdouble ->
+        mk t
+          (Assign
+             (lv_use,
+              mk Tdouble (Bin (Add, cur, mk Tdouble (Cfloat (float_of_int delta))))))
+    | _ -> fail line "cannot increment %s" (string_of_ty t)
+  in
+  let with_lv lv_use =
+    if not post then step lv_use (read_lval lv_use)
+    else
+      let tmp = fresh_tmp env in
+      mk t
+        (Let
+           (tmp, read_lval lv_use,
+            mk t (Seq (step lv_use (mk t (Tmp tmp)), mk t (Tmp tmp)))))
+  in
+  match lv with
+  | Lvar _ | Lglob _ -> with_lv lv
+  | Lmem (addr, ty) ->
+      let atmp = fresh_tmp env in
+      let body = with_lv (Lmem (mk addr.ty (Tmp atmp), ty)) in
+      mk body.ty (Let (atmp, addr, body))
+
+and type_call env line f args =
+  let check_args params args =
+    if List.length params <> List.length args then
+      fail line "wrong number of arguments (%d expected, %d given)"
+        (List.length params) (List.length args);
+    List.map2 (fun p a -> convert line p (type_expr env a)) params args
+  in
+  match f.desc with
+  | Ident name when is_builtin env name ->
+      let _, ret, params =
+        let n, r, p =
+          List.find (fun (n, _, _) -> String.equal n name) builtins
+        in
+        (n, r, p)
+      in
+      let args = check_args params args in
+      mk ret (Call (Builtin (builtin_call name), args))
+  | Ident name when is_function env name ->
+      let fs = Hashtbl.find env.funcs name in
+      let args = check_args fs.fs_params args in
+      mk fs.fs_ret (Call (Dir name, args))
+  | _ -> (
+      let fe = type_expr env f in
+      match fe.ty with
+      | Tptr (Tfun (ret, params)) ->
+          let args = check_args params args in
+          mk ret (Call (Ind fe, args))
+      | t -> fail line "called object is not a function (%s)" (string_of_ty t))
+
+and type_lval env (e : expr) : lval =
+  let line = e.line in
+  match e.desc with
+  | Ident name -> (
+      match lookup_var env name with
+      | Some (unique, ty) -> Lvar (unique, ty)
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some ty -> Lglob (name, ty)
+          | None ->
+              if Hashtbl.mem env.funcs name then
+                fail line "function %s used as variable (use & to take its address)"
+                  name
+              else fail line "undefined variable %s" name))
+  | Deref p -> (
+      let p = type_expr env p in
+      match p.ty with
+      | Tptr (Tfun _) -> fail line "cannot dereference function pointer (call it)"
+      | Tptr Tvoid -> fail line "cannot dereference void*"
+      | Tptr t -> Lmem (p, t)
+      | t -> fail line "cannot dereference %s" (string_of_ty t))
+  | Index (a, i) -> (
+      let a = type_expr env a in
+      let i = type_expr env i in
+      match a.ty with
+      | Tptr t ->
+          let sz = sizeof env line t in
+          Lmem (ptr_add line ~elem_size:sz a i, t)
+      | t -> fail line "cannot index %s" (string_of_ty t))
+  | Member (b, fname) -> (
+      let blv = type_lval env b in
+      match lval_ty blv with
+      | Tstruct tag ->
+          let f = field env line tag fname in
+          let base_addr =
+            mk (Tptr (Tstruct tag)) (Addr blv)
+          in
+          let addr =
+            if f.fl_offset = 0 then cast (Tptr f.fl_ty) base_addr
+            else
+              mk (Tptr f.fl_ty)
+                (Bin (Add, cast (Tptr f.fl_ty) base_addr,
+                      mk Tint (Cint f.fl_offset)))
+          in
+          Lmem (addr, f.fl_ty)
+      | t -> fail line ". applied to non-struct %s" (string_of_ty t))
+  | Arrow (b, fname) -> (
+      let b = type_expr env b in
+      match b.ty with
+      | Tptr (Tstruct tag) ->
+          let f = field env line tag fname in
+          let addr =
+            if f.fl_offset = 0 then cast (Tptr f.fl_ty) b
+            else
+              mk (Tptr f.fl_ty)
+                (Bin (Add, cast (Tptr f.fl_ty) b, mk Tint (Cint f.fl_offset)))
+          in
+          Lmem (addr, f.fl_ty)
+      | t -> fail line "-> applied to %s" (string_of_ty t))
+  | _ -> fail line "expression is not an lvalue"
+
+(* --- statements --- *)
+
+let rec type_stmt env (s : stmt) : tstmt =
+  let line = s.sline in
+  match s.sdesc with
+  | Empty -> Sblock []
+  | Expr e -> Sexpr (type_expr env e)
+  | Block ss ->
+      push_scope env;
+      let ts = List.map (type_stmt env) ss in
+      pop_scope env;
+      Sblock ts
+  | If (c, a, b) ->
+      let c = scalar_expr env line c in
+      Sif (c, type_stmt env a, Option.map (type_stmt env) b)
+  | While (c, body) ->
+      let c = scalar_expr env line c in
+      env.loop_depth <- env.loop_depth + 1;
+      let body = type_stmt env body in
+      env.loop_depth <- env.loop_depth - 1;
+      Swhile (c, body)
+  | Do_while (body, c) ->
+      env.loop_depth <- env.loop_depth + 1;
+      let body = type_stmt env body in
+      env.loop_depth <- env.loop_depth - 1;
+      Sdo (body, scalar_expr env line c)
+  | For (init, cond, step, body) ->
+      push_scope env;
+      let init = Option.map (type_stmt env) init in
+      let cond = Option.map (scalar_expr env line) cond in
+      let step = Option.map (type_expr env) step in
+      env.loop_depth <- env.loop_depth + 1;
+      let body = type_stmt env body in
+      env.loop_depth <- env.loop_depth - 1;
+      pop_scope env;
+      Sfor (init, cond, step, body)
+  | Return None ->
+      if not (ty_eq env.cur_ret Tvoid) then
+        fail line "return without value in non-void function";
+      Sret None
+  | Return (Some e) ->
+      if ty_eq env.cur_ret Tvoid then fail line "return value in void function";
+      let e = type_expr env e in
+      Sret (Some (convert line env.cur_ret e))
+  | Break ->
+      if env.loop_depth = 0 then fail line "break outside of a loop";
+      Sbreak
+  | Continue ->
+      if env.loop_depth = 0 then fail line "continue outside of a loop";
+      Scont
+  | Decl (ty, name, init) -> type_local_decl env line ty name init
+
+and type_local_decl env line ty name init =
+  (match ty with
+  | Tvoid -> fail line "void variable %s" name
+  | Tfun _ -> fail line "local function declaration not supported"
+  | _ -> ());
+  (* incomplete array completed by its initializer *)
+  let ty =
+    match (ty, init) with
+    | Tarray (t, 0), Some (Init_list is) -> Tarray (t, List.length is)
+    | Tarray (Tchar, 0), Some (Init_expr { desc = Str_lit s; _ }) ->
+        Tarray (Tchar, String.length s + 1)
+    | _ -> ty
+  in
+  ignore (sizeof env line ty);
+  let unique = declare_local env line name ty in
+  match init with
+  | None -> Sdecl (unique, ty, None)
+  | Some (Init_expr e) -> (
+      match (ty, e.desc) with
+      | Tarray (Tchar, n), Str_lit s ->
+          if String.length s + 1 > n then fail line "string too long for %s" name;
+          (* copy the string into the local array, element by element *)
+          let stmts = ref [] in
+          String.iteri
+            (fun i ch ->
+              stmts :=
+                Sexpr
+                  (mk Tchar
+                     (Assign
+                        (char_elt env line unique ty i,
+                         mk Tchar (Cast (mk Tint (Cint (Char.code ch)))))))
+                :: !stmts)
+            (s ^ "\000");
+          Sblock (Sdecl (unique, ty, None) :: List.rev !stmts)
+      | _ ->
+          let e = type_expr env e in
+          (match ty with
+          | Tstruct _ ->
+              if not (ty_eq e.ty ty) then fail line "struct init type mismatch";
+              Sblock
+                [ Sdecl (unique, ty, None);
+                  Sexpr (mk ty (Assign (Lvar (unique, ty), e))) ]
+          | _ -> Sdecl (unique, ty, Some (convert line ty e))))
+  | Some (Init_list items) -> (
+      match ty with
+      | Tarray (elem, n) ->
+          if List.length items > n then fail line "too many initializers";
+          let stmts = ref [] in
+          List.iteri
+            (fun i item ->
+              match item with
+              | Init_expr e ->
+                  let e = convert line elem (type_expr env e) in
+                  let lv = array_elt env line unique ty elem i in
+                  stmts := Sexpr (mk elem (Assign (lv, e))) :: !stmts
+              | Init_list _ -> fail line "nested initializer lists on locals")
+            items;
+          Sblock (Sdecl (unique, ty, None) :: List.rev !stmts)
+      | Tstruct tag ->
+          let l = struct_layout env line tag in
+          if List.length items > List.length l.sl_fields then
+            fail line "too many initializers";
+          let stmts = ref [] in
+          List.iteri
+            (fun i item ->
+              let f = List.nth l.sl_fields i in
+              match item with
+              | Init_expr e ->
+                  let e = convert line f.fl_ty (type_expr env e) in
+                  let base =
+                    mk (Tptr f.fl_ty) (Addr (Lvar (unique, ty)))
+                  in
+                  let addr =
+                    if f.fl_offset = 0 then base
+                    else
+                      mk (Tptr f.fl_ty)
+                        (Bin (Add, base, mk Tint (Cint f.fl_offset)))
+                  in
+                  stmts :=
+                    Sexpr (mk f.fl_ty (Assign (Lmem (addr, f.fl_ty), e)))
+                    :: !stmts
+              | Init_list _ -> fail line "nested initializer lists on locals")
+            items;
+          Sblock (Sdecl (unique, ty, None) :: List.rev !stmts)
+      | _ -> fail line "initializer list on scalar")
+
+and array_elt env line unique arr_ty elem i =
+  let base = mk (Tptr elem) (Addr (Lvar (unique, arr_ty))) in
+  let sz = sizeof env line elem in
+  let addr =
+    if i = 0 then base
+    else mk (Tptr elem) (Bin (Add, base, mk Tint (Cint (i * sz))))
+  in
+  Lmem (addr, elem)
+
+and char_elt env line unique arr_ty i = array_elt env line unique arr_ty Tchar i
+
+(* --- global initializers --- *)
+
+(* Evaluate a constant expression to an int (for array sizes / scalars). *)
+let rec const_int env line (e : expr) : int =
+  let module W = Omni_util.Word32 in
+  match e.desc with
+  | Int_lit v -> W.of_int v
+  | Sizeof_ty t -> sizeof env line t
+  | Un (Neg, a) -> W.neg (const_int env line a)
+  | Un (Bitnot, a) -> W.lognot (const_int env line a)
+  | Bin (op, a, b) -> (
+      let a = const_int env line a and b = const_int env line b in
+      match op with
+      | Add -> W.add a b | Sub -> W.sub a b | Mul -> W.mul a b
+      | Div -> W.div a b | Mod -> W.rem a b
+      | Shl -> W.shift_left a b | Shr -> W.shift_right_arith a b
+      | Band -> W.logand a b | Bor -> W.logor a b | Bxor -> W.logxor a b
+      | Lt -> if a < b then 1 else 0
+      | Le -> if a <= b then 1 else 0
+      | Gt -> if a > b then 1 else 0
+      | Ge -> if a >= b then 1 else 0
+      | Eq -> if a = b then 1 else 0
+      | Ne -> if a <> b then 1 else 0
+      | Land -> if a <> 0 && b <> 0 then 1 else 0
+      | Lor -> if a <> 0 || b <> 0 then 1 else 0)
+  | Cast ((Tint | Tuint | Tchar), a) -> const_int env line a
+  | _ -> fail line "expected integer constant expression"
+
+let rec const_float env line (e : expr) : float =
+  match e.desc with
+  | Float_lit v -> v
+  | Int_lit v -> float_of_int v
+  | Un (Neg, a) -> -.const_float env line a
+  | Cast (Tdouble, a) -> const_float env line a
+  | _ -> fail line "expected float constant expression"
+
+(* A constant of scalar type [ty], as one gdata item. *)
+let rec const_scalar env line ty (e : expr) : gdata =
+  match ty with
+  | Tdouble -> Gdouble (const_float env line e)
+  | Tptr _ -> (
+      match e.desc with
+      | Int_lit 0 -> Gword 0
+      | Str_lit s -> Gaddr_of_string (intern_string env s)
+      | Ident name when Hashtbl.mem env.funcs name -> Gaddr_of_func name
+      | Ident name when Hashtbl.mem env.globals name ->
+          Gaddr_of_global (name, 0)
+      | Addr_of { desc = Ident name; _ } when Hashtbl.mem env.funcs name ->
+          Gaddr_of_func name
+      | Addr_of { desc = Ident name; _ } when Hashtbl.mem env.globals name ->
+          Gaddr_of_global (name, 0)
+      | Addr_of { desc = Index ({ desc = Ident name; _ }, idx); _ }
+        when Hashtbl.mem env.globals name -> (
+          match Hashtbl.find env.globals name with
+          | Tarray (elem, _) ->
+              let i = const_int env line idx in
+              Gaddr_of_global (name, i * sizeof env line elem)
+          | _ -> fail line "bad constant address")
+      | Cast (Tptr _, a) -> const_scalar env line ty a
+      | _ -> fail line "expected constant address")
+  | Tchar -> Gbytes (Bytes.make 1 (Char.chr (const_int env line e land 0xFF)))
+  | Tint | Tuint -> Gword (const_int env line e)
+  | _ -> fail line "bad scalar initializer"
+
+let rec const_init env line ty (init : init) : gdata list =
+  match (ty, init) with
+  | Tarray (Tchar, n), Init_expr { desc = Str_lit s; _ } ->
+      if String.length s + 1 > n then fail line "string too long";
+      [ Gbytes (Bytes.of_string s); Gzeros (n - String.length s) ]
+  | _, Init_expr e -> [ const_scalar env line ty e ]
+  | Tarray (elem, n), Init_list items ->
+      if List.length items > n then fail line "too many initializers";
+      let parts = List.concat_map (const_init env line elem) items in
+      let elem_sz = sizeof env line elem in
+      let missing = n - List.length items in
+      parts @ (if missing > 0 then [ Gzeros (missing * elem_sz) ] else [])
+  | Tstruct tag, Init_list items ->
+      let l = struct_layout env line tag in
+      if List.length items > List.length l.sl_fields then
+        fail line "too many initializers";
+      let pos = ref 0 in
+      let parts = ref [] in
+      List.iteri
+        (fun i item ->
+          let f = List.nth l.sl_fields i in
+          if f.fl_offset > !pos then begin
+            parts := Gzeros (f.fl_offset - !pos) :: !parts;
+            pos := f.fl_offset
+          end;
+          parts := List.rev_append (const_init env line f.fl_ty item) !parts;
+          pos := !pos + sizeof env line f.fl_ty)
+        items;
+      if l.sl_size > !pos then parts := Gzeros (l.sl_size - !pos) :: !parts;
+      List.rev !parts
+  | _, Init_list _ -> fail line "initializer list on scalar"
+
+(* --- program --- *)
+
+(* Prototypes injected into the environment before checking: used by the
+   driver to make the MiniC runtime library (compiled separately) visible
+   to user translation units, like an implicit #include. *)
+type proto = { proto_name : string; proto_ret : ty; proto_params : ty list }
+
+let type_program ?(protos = []) (prog : program) : tprogram =
+  let env =
+    {
+      structs = Hashtbl.create 16;
+      globals = Hashtbl.create 64;
+      funcs = Hashtbl.create 64;
+      strings = [];
+      n_strings = 0;
+      scopes = [];
+      locals = [];
+      addr_taken = Hashtbl.create 16;
+      next_uid = 0;
+      next_tmp = 0;
+      cur_ret = Tvoid;
+      loop_depth = 0;
+    }
+  in
+  List.iter
+    (fun p ->
+      Hashtbl.replace env.funcs p.proto_name
+        { fs_ret = p.proto_ret; fs_params = p.proto_params;
+          fs_defined = false })
+    protos;
+  (* Pass 1: collect structs (in order), function signatures, global types. *)
+  List.iter
+    (function
+      | Dstruct sd ->
+          if Hashtbl.mem env.structs sd.s_tag then
+            fail sd.s_line "duplicate struct %s" sd.s_tag;
+          Hashtbl.add env.structs sd.s_tag (compute_struct_layout env sd)
+      | Dfunc f ->
+          let params = List.map (fun p -> p.p_ty) f.f_params in
+          (match f.f_ret with
+          | Tstruct _ | Tarray _ ->
+              fail f.f_line "functions cannot return aggregates"
+          | _ -> ());
+          List.iter
+            (fun t ->
+              match t with
+              | Tstruct _ | Tarray _ ->
+                  fail f.f_line
+                    "aggregate parameters not supported (pass a pointer)"
+              | _ -> ())
+            params;
+          let defined = f.f_body <> None in
+          (match Hashtbl.find_opt env.funcs f.f_name with
+          | Some prev ->
+              if not (ty_eq prev.fs_ret f.f_ret)
+                 || List.length prev.fs_params <> List.length params
+                 || not (List.for_all2 ty_eq prev.fs_params params)
+              then fail f.f_line "conflicting declaration of %s" f.f_name;
+              if prev.fs_defined && defined then
+                fail f.f_line "redefinition of %s" f.f_name;
+              Hashtbl.replace env.funcs f.f_name
+                { fs_ret = f.f_ret; fs_params = params;
+                  fs_defined = prev.fs_defined || defined }
+          | None ->
+              Hashtbl.add env.funcs f.f_name
+                { fs_ret = f.f_ret; fs_params = params; fs_defined = defined });
+          if List.exists (fun (n, _, _) -> String.equal n f.f_name) builtins
+          then fail f.f_line "%s is a builtin" f.f_name
+      | Dglobal g ->
+          if Hashtbl.mem env.globals g.g_name then
+            fail g.g_line "duplicate global %s" g.g_name;
+          let ty =
+            match (g.g_ty, g.g_init) with
+            | Tarray (t, 0), Some (Init_list is) -> Tarray (t, List.length is)
+            | Tarray (Tchar, 0), Some (Init_expr { desc = Str_lit s; _ }) ->
+                Tarray (Tchar, String.length s + 1)
+            | t, _ -> t
+          in
+          (match ty with
+          | Tvoid | Tfun _ -> fail g.g_line "bad global type for %s" g.g_name
+          | _ -> ());
+          Hashtbl.add env.globals g.g_name ty)
+    prog;
+  (* Pass 2: global initializers. *)
+  let tglobals =
+    List.filter_map
+      (function
+        | Dglobal g ->
+            let ty = Hashtbl.find env.globals g.g_name in
+            let init =
+              match g.g_init with
+              | None -> [ Gzeros (sizeof env g.g_line ty) ]
+              | Some i -> const_init env g.g_line ty i
+            in
+            Some { tg_name = g.g_name; tg_ty = ty; tg_init = init }
+        | Dfunc _ | Dstruct _ -> None)
+      prog
+  in
+  (* Pass 3: function bodies. *)
+  let tfuncs =
+    List.filter_map
+      (function
+        | Dfunc { f_body = None; _ } | Dglobal _ | Dstruct _ -> None
+        | Dfunc ({ f_body = Some body; _ } as f) ->
+            env.scopes <- [];
+            env.locals <- [];
+            Hashtbl.reset env.addr_taken;
+            env.cur_ret <- f.f_ret;
+            env.loop_depth <- 0;
+            (match f.f_ret with
+            | Tstruct _ | Tarray _ ->
+                fail f.f_line "functions cannot return aggregates"
+            | _ -> ());
+            push_scope env;
+            let params =
+              List.map
+                (fun p ->
+                  if String.equal p.p_name "" then
+                    fail f.f_line "parameter name required in definition";
+                  (match p.p_ty with
+                  | Tstruct _ | Tarray _ ->
+                      fail f.f_line
+                        "aggregate parameters not supported (pass a pointer)"
+                  | _ -> ());
+                  (declare_local env f.f_line p.p_name p.p_ty, p.p_ty))
+                f.f_params
+            in
+            let tbody = type_stmt env body in
+            pop_scope env;
+            Some
+              {
+                tf_name = f.f_name;
+                tf_ret = f.f_ret;
+                tf_params = params;
+                tf_locals = List.rev env.locals;
+                tf_addr_taken = Hashtbl.copy env.addr_taken;
+                tf_body = tbody;
+              })
+      prog
+  in
+  {
+    tp_structs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.structs []
+      |> List.sort compare;
+    tp_globals = tglobals;
+    tp_funcs = tfuncs;
+    tp_strings = Array.of_list (List.rev env.strings);
+  }

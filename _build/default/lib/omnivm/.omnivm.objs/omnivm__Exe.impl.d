@@ -1,0 +1,1 @@
+lib/omnivm/exe.ml: Array Bytes Format Instr Layout List

@@ -1,0 +1,1 @@
+lib/omnivm/exe.mli: Bytes Format Instr

@@ -1,0 +1,1 @@
+lib/omnivm/fault.mli: Format

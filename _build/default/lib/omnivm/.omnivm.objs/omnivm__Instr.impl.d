@@ -1,0 +1,1 @@
+lib/omnivm/instr.ml: Format Omni_util Reg

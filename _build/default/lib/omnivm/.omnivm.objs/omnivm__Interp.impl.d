@@ -1,0 +1,1 @@
+lib/omnivm/interp.ml: Array Exe Fault Float Instr Int32 Layout Memory Omni_util Reg

@@ -1,0 +1,1 @@
+lib/omnivm/interp.mli: Exe Fault Instr Memory Reg

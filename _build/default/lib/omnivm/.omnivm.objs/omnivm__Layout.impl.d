@@ -1,0 +1,1 @@
+lib/omnivm/layout.ml:

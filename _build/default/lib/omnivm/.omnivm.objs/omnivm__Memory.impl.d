@@ -1,0 +1,1 @@
+lib/omnivm/memory.ml: Array Buffer Bytes Char Fault Int32 Int64 Omni_util String

@@ -1,0 +1,1 @@
+lib/omnivm/reg.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/omnivm/wire.ml: Array Buffer Bytes Char Exe Instr Int64 List Omni_util Printf String

@@ -1,0 +1,39 @@
+(* Linked OmniVM executable: the mobile code module.
+
+   Code addresses are byte addresses in the code segment; instruction [i] of
+   [text] lives at [Layout.code_base + 4 * i]. Branch/jump labels are
+   resolved code addresses. The [data] image is loaded at the bottom of the
+   data segment. *)
+
+type t = {
+  text : int Instr.t array;
+  entry : int; (* code address of the entry function *)
+  data : Bytes.t; (* initial data-segment image (globals) *)
+  bss_size : int; (* zero-initialized bytes after [data] *)
+  symbols : (string * int) list; (* exported name -> code/data address *)
+}
+
+let instr_size = 4
+
+let code_addr index = Layout.code_base + (instr_size * index)
+
+let index_of_addr addr =
+  let off = addr - Layout.code_base in
+  if off < 0 || off land 3 <> 0 then None else Some (off / instr_size)
+
+let instr_count t = Array.length t.text
+
+let globals_size t = Bytes.length t.data + t.bss_size
+
+let lookup_symbol t name =
+  List.assoc_opt name t.symbols
+
+let pp fmt t =
+  Format.fprintf fmt "entry: 0x%08x@." t.entry;
+  Format.fprintf fmt "data: %d bytes (+%d bss)@." (Bytes.length t.data)
+    t.bss_size;
+  Array.iteri
+    (fun i ins ->
+      Format.fprintf fmt "0x%08x: %a@." (code_addr i)
+        (Instr.pp Instr.pp_addr_label) ins)
+    t.text

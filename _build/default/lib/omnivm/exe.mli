@@ -1,0 +1,33 @@
+(** Linked OmniVM executable: the in-memory form of a mobile code module.
+
+    Code addresses are byte addresses in the code segment; instruction [i]
+    of [text] lives at [Layout.code_base + 4 * i]. Branch and jump operands
+    are resolved code addresses. *)
+
+type t = {
+  text : int Instr.t array;
+  entry : int;  (** code address of the entry point *)
+  data : Bytes.t;  (** initial data-segment image (initialized globals) *)
+  bss_size : int;  (** zero-initialized bytes following [data] *)
+  symbols : (string * int) list;  (** exported name -> address *)
+}
+
+val instr_size : int
+(** Every instruction occupies one 4-byte code slot. *)
+
+val code_addr : int -> int
+(** [code_addr i] is the code address of instruction index [i]. *)
+
+val index_of_addr : int -> int option
+(** Inverse of {!code_addr}; [None] for misaligned or out-of-segment
+    addresses. *)
+
+val instr_count : t -> int
+
+val globals_size : t -> int
+(** Initialized data plus bss, in bytes. *)
+
+val lookup_symbol : t -> string -> int option
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing (entry, data sizes, one line per instruction). *)

@@ -1,0 +1,54 @@
+(* The OmniVM virtual exception model.
+
+   The paper (sections 1, 3): OmniVM "delivers an access violation exception
+   to the module whenever it makes an unauthorized attempt to access a memory
+   segment". We model VM-level exceptions as values; execution engines raise
+   [Vm_fault] and either deliver the fault to a handler the module registered
+   (via the set-handler host call) or abort the module, returning control to
+   the host. *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Access_violation of { addr : int; access : access }
+  | Misaligned of { addr : int; width : int }
+  | Division_by_zero
+  | Illegal_instruction of { pc : int }
+  | Unauthorized_host_call of { index : int }
+  | Stack_overflow
+  | Explicit_trap of int
+
+exception Vm_fault of t
+
+let access_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Execute -> "execute"
+
+(* Small integer codes delivered in r1 when a module-registered handler is
+   invoked. *)
+let code = function
+  | Access_violation _ -> 1
+  | Misaligned _ -> 2
+  | Division_by_zero -> 3
+  | Illegal_instruction _ -> 4
+  | Unauthorized_host_call _ -> 5
+  | Stack_overflow -> 6
+  | Explicit_trap _ -> 7
+
+let to_string = function
+  | Access_violation { addr; access } ->
+      Printf.sprintf "access violation: %s at 0x%08x" (access_name access)
+        (addr land 0xFFFFFFFF)
+  | Misaligned { addr; width } ->
+      Printf.sprintf "misaligned %d-byte access at 0x%08x" width
+        (addr land 0xFFFFFFFF)
+  | Division_by_zero -> "integer division by zero"
+  | Illegal_instruction { pc } ->
+      Printf.sprintf "illegal instruction at 0x%08x" (pc land 0xFFFFFFFF)
+  | Unauthorized_host_call { index } ->
+      Printf.sprintf "unauthorized host call %d" index
+  | Stack_overflow -> "stack overflow"
+  | Explicit_trap n -> Printf.sprintf "trap %d" n
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)

@@ -1,0 +1,27 @@
+(** The OmniVM virtual exception model.
+
+    Execution engines raise {!Vm_fault}; the engine then either delivers
+    the fault to a handler the module registered through the set-handler
+    host call (fault code in r1, handler cleared to prevent loops) or
+    aborts the module, returning control to the host. *)
+
+type access = Read | Write | Execute
+
+type t =
+  | Access_violation of { addr : int; access : access }
+  | Misaligned of { addr : int; width : int }
+  | Division_by_zero
+  | Illegal_instruction of { pc : int }
+  | Unauthorized_host_call of { index : int }
+  | Stack_overflow
+  | Explicit_trap of int
+
+exception Vm_fault of t
+
+val access_name : access -> string
+
+val code : t -> int
+(** The small integer delivered in r1 when a module handler is invoked. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

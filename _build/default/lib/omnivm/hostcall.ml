@@ -1,0 +1,57 @@
+(* Host-call interface: the runtime environment exports a set of library
+   functions (paper section 4: "memory management, threads, synchronization,
+   and graphics that the host program can safely export to dynamically loaded
+   Omniware modules"). A module invokes export [n] with the [Hcall n]
+   instruction; arguments and results use the standard registers.
+
+   This table is the ABI contract shared by the compiler (minic codegen),
+   the interpreter, the target simulators, and the host runtime. *)
+
+type t =
+  | Exit (* r1 = status; terminates the module *)
+  | Put_char (* r1 = byte *)
+  | Print_int (* r1 = signed int *)
+  | Print_string (* r1 = address of NUL-terminated string in data segment *)
+  | Print_float (* f1 = double *)
+  | Sbrk (* r1 = size; returns base of fresh heap block in r1 *)
+  | Clock (* returns an abstract tick counter in r1 *)
+  | Set_handler (* r1 = code address of VM-exception handler, 0 to clear *)
+  | Host_service (* host-defined extension point; r1..r4 args, r1 result *)
+
+let all =
+  [ Exit; Put_char; Print_int; Print_string; Print_float; Sbrk; Clock;
+    Set_handler; Host_service ]
+
+let number = function
+  | Exit -> 0
+  | Put_char -> 1
+  | Print_int -> 2
+  | Print_string -> 3
+  | Print_float -> 4
+  | Sbrk -> 5
+  | Clock -> 6
+  | Set_handler -> 7
+  | Host_service -> 8
+
+let of_number = function
+  | 0 -> Some Exit
+  | 1 -> Some Put_char
+  | 2 -> Some Print_int
+  | 3 -> Some Print_string
+  | 4 -> Some Print_float
+  | 5 -> Some Sbrk
+  | 6 -> Some Clock
+  | 7 -> Some Set_handler
+  | 8 -> Some Host_service
+  | _ -> None
+
+let name = function
+  | Exit -> "exit"
+  | Put_char -> "putchar"
+  | Print_int -> "print_int"
+  | Print_string -> "print_string"
+  | Print_float -> "print_float"
+  | Sbrk -> "sbrk"
+  | Clock -> "clock"
+  | Set_handler -> "set_handler"
+  | Host_service -> "host_service"

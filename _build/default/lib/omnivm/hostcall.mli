@@ -1,0 +1,23 @@
+(** The host-call interface: the runtime environment's exported services
+    (paper section 4 — memory management and I/O the host makes available
+    to loaded modules). A module invokes export [n] with [Hcall n];
+    arguments use r1..r4 / f1..f4 and results return in r1.
+
+    This numbering is the ABI contract shared by the MiniC compiler, the
+    OmniVM interpreter, every target simulator, and the host runtime. *)
+
+type t =
+  | Exit  (** r1 = status; terminates the module *)
+  | Put_char  (** r1 = byte *)
+  | Print_int  (** r1 = signed integer, printed in decimal *)
+  | Print_string  (** r1 = address of a NUL-terminated string *)
+  | Print_float  (** f1 = double, printed with 6 decimals *)
+  | Sbrk  (** r1 = size; returns the base of a fresh heap block in r1 *)
+  | Clock  (** returns an abstract tick counter in r1 *)
+  | Set_handler  (** r1 = code address of the VM-fault handler; 0 clears *)
+  | Host_service  (** host-defined extension point; r1..r4 -> r1 *)
+
+val all : t list
+val number : t -> int
+val of_number : int -> t option
+val name : t -> string

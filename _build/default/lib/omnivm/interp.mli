@@ -1,0 +1,41 @@
+(** Reference interpreter for linked OmniVM executables.
+
+    The semantic baseline every translator must agree with: the
+    differential test suite runs each program here and on all four target
+    simulators and requires identical observable behaviour. The interpreter
+    is given a host-call handler (the runtime environment) and knows
+    nothing about what the host exports beyond the calling convention. *)
+
+type t = {
+  iregs : int array;  (** 16 canonical Word32 values; r0 pinned to 0 *)
+  fregs : float array;  (** 16 *)
+  mem : Memory.t;
+  text : int Instr.t array;
+  mutable pc : int;  (** instruction index *)
+  mutable icount : int;  (** dynamic instructions executed *)
+  mutable exited : int option;
+  mutable handler : int;  (** VM-fault handler code address; 0 = none *)
+}
+
+type hcall_outcome = Continue | Exit of int
+
+type host_iface = { on_hcall : t -> int -> hcall_outcome }
+
+val get_reg : t -> Reg.t -> int
+val set_reg : t -> Reg.t -> int -> unit
+val get_freg : t -> Reg.t -> float
+val set_freg : t -> Reg.t -> float -> unit
+
+val create : Exe.t -> Memory.t -> t
+(** Fresh machine state at the executable's entry point, with sp and gp
+    initialized per the ABI. *)
+
+val step : host_iface -> t -> unit
+(** Execute one instruction.
+    @raise Fault.Vm_fault on faults (not yet delivered to any handler). *)
+
+type outcome = Exited of int | Faulted of Fault.t | Out_of_fuel
+
+val run : ?fuel:int -> host_iface -> t -> outcome
+(** Run to completion, delivering faults to the module's registered
+    handler when one is set. *)

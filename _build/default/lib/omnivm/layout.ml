@@ -1,0 +1,43 @@
+(* Address-space layout for a loaded mobile module.
+
+   OmniVM presents a segmented 32-bit address space. A module owns a code
+   segment and a data segment; each is a power-of-two-sized region whose base
+   is aligned to its size, so that software fault isolation can force an
+   address into its segment with an and/or pair (Wahbe et al., SOSP'93):
+
+       sandboxed = (addr land (size - 1)) lor base
+
+   Host memory (the loading application's own data) lives outside both
+   segments; protecting it from wild stores is the whole point. *)
+
+let code_base = 0x10000000
+let code_size = 0x01000000 (* 16 MiB *)
+let data_base = 0x20000000
+let data_size = 0x01000000 (* 16 MiB *)
+
+(* A region standing in for memory owned by the host application, used by
+   tests and examples to demonstrate that unsandboxed modules can corrupt it
+   and sandboxed ones cannot. *)
+let host_base = 0x40000000
+let host_size = 0x00010000
+
+let code_mask = code_size - 1
+let data_mask = data_size - 1
+
+(* Data segment internal layout: a small reserved runtime area at the very
+   bottom (used e.g. by the x86 translator to home OmniVM registers that do
+   not fit in the eight x86 registers), then globals, then heap, with the
+   stack at the top growing down. *)
+let reserved_data = 256
+let default_stack_size = 0x00040000 (* 256 KiB *)
+
+(* Memory homes for OmniVM integer and float registers on targets that
+   cannot map all 16+16 to machine registers (paper 3.2: "on the x86, some
+   registers are mapped to memory locations"). *)
+let regsave_int_addr r = data_base + (4 * r)
+let regsave_float_addr f = data_base + 64 + (8 * f)
+
+let in_code addr = addr land lnot code_mask = code_base
+let in_data addr = addr land lnot data_mask = data_base
+
+let initial_sp = data_base + data_size - 16

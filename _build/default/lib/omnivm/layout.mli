@@ -1,0 +1,40 @@
+(** Address-space layout for a loaded mobile module.
+
+    Each segment is a power-of-two-sized region whose base is aligned to
+    its size, so software fault isolation can force an address into its
+    segment with an [and]/[or] pair. *)
+
+val code_base : int
+val code_size : int
+val data_base : int
+val data_size : int
+
+val host_base : int
+(** A region standing in for memory owned by the host application, mapped
+    on demand by the loader so tests and examples can demonstrate what SFI
+    protects. *)
+
+val host_size : int
+
+val code_mask : int
+(** [code_size - 1] *)
+
+val data_mask : int
+
+val reserved_data : int
+(** Bytes at the bottom of the data segment reserved for the runtime
+    (e.g. x86 register homes); the linker places globals above them. *)
+
+val default_stack_size : int
+
+val regsave_int_addr : int -> int
+(** Memory home of an OmniVM integer register on targets that cannot map
+    all 16 to machine registers. *)
+
+val regsave_float_addr : int -> int
+
+val in_code : int -> bool
+val in_data : int -> bool
+
+val initial_sp : int
+(** Initial stack pointer: just below the top of the data segment. *)

@@ -1,0 +1,180 @@
+(* Segmented byte-addressed memory with host-imposed permissions.
+
+   The address space is a small set of mapped regions (code, data, host,
+   ...). Multi-byte values are stored little-endian: OmniVM data formats are
+   endian-neutral (paper 3.3), so an implementation picks an order; ours is
+   little-endian and the [Ext]/[Ins] instructions give programs portable
+   byte access. *)
+
+type perm = { read : bool; write : bool; execute : bool }
+
+let perm_rw = { read = true; write = true; execute = false }
+let perm_r = { read = true; write = false; execute = false }
+let perm_rx = { read = true; write = false; execute = true }
+let perm_rwx = { read = true; write = true; execute = true }
+
+type region = {
+  name : string;
+  base : int;
+  size : int;
+  mutable perm : perm;
+  bytes : Bytes.t;
+}
+
+type t = { mutable regions : region array }
+
+let create () = { regions = [||] }
+
+let map t ~name ~base ~size ~perm =
+  if size <= 0 then invalid_arg "Memory.map: size";
+  if base land 0xFFF <> 0 then invalid_arg "Memory.map: base not page aligned";
+  let r = { name; base; size; perm; bytes = Bytes.make size '\000' } in
+  Array.iter
+    (fun r' ->
+      if base < r'.base + r'.size && r'.base < base + size then
+        invalid_arg "Memory.map: overlapping regions")
+    t.regions;
+  t.regions <- Array.append t.regions [| r |];
+  r
+
+let region_of t addr =
+  let n = Array.length t.regions in
+  let rec go i =
+    if i >= n then None
+    else
+      let r = Array.unsafe_get t.regions i in
+      if addr >= r.base && addr < r.base + r.size then Some r else go (i + 1)
+  in
+  go 0
+
+let find_region t name =
+  let n = Array.length t.regions in
+  let rec go i =
+    if i >= n then None
+    else
+      let r = t.regions.(i) in
+      if String.equal r.name name then Some r else go (i + 1)
+  in
+  go 0
+
+let set_perm t name perm =
+  match find_region t name with
+  | Some r -> r.perm <- perm
+  | None -> invalid_arg "Memory.set_perm: unknown region"
+
+let fault addr access = raise (Fault.Vm_fault (Access_violation { addr; access }))
+
+let locate t addr access =
+  match region_of t addr with
+  | None -> fault addr access
+  | Some r ->
+      let ok =
+        match access with
+        | Fault.Read -> r.perm.read
+        | Fault.Write -> r.perm.write
+        | Fault.Execute -> r.perm.execute
+      in
+      if not ok then fault addr access;
+      r
+
+(* Unsigned byte loads/stores. Widths > 1 may straddle region boundaries
+   only within one region; a straddle is an access violation. *)
+
+let load8 t addr =
+  let addr = addr land 0xFFFFFFFF in
+  let r = locate t addr Fault.Read in
+  Char.code (Bytes.unsafe_get r.bytes (addr - r.base))
+
+let store8 t addr v =
+  let addr = addr land 0xFFFFFFFF in
+  let r = locate t addr Fault.Write in
+  Bytes.unsafe_set r.bytes (addr - r.base) (Char.unsafe_chr (v land 0xFF))
+
+let check_span r addr width access =
+  if addr - r.base + width > r.size then fault (addr + width - 1) access
+
+let load16 t addr =
+  let addr = addr land 0xFFFFFFFF in
+  let r = locate t addr Fault.Read in
+  check_span r addr 2 Fault.Read;
+  let off = addr - r.base in
+  Char.code (Bytes.unsafe_get r.bytes off)
+  lor (Char.code (Bytes.unsafe_get r.bytes (off + 1)) lsl 8)
+
+let store16 t addr v =
+  let addr = addr land 0xFFFFFFFF in
+  let r = locate t addr Fault.Write in
+  check_span r addr 2 Fault.Write;
+  let off = addr - r.base in
+  Bytes.unsafe_set r.bytes off (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set r.bytes (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let load32 t addr =
+  let addr = addr land 0xFFFFFFFF in
+  let r = locate t addr Fault.Read in
+  check_span r addr 4 Fault.Read;
+  let off = addr - r.base in
+  let b i = Char.code (Bytes.unsafe_get r.bytes (off + i)) in
+  Omni_util.Word32.of_bytes (b 0) (b 1) (b 2) (b 3)
+
+let store32 t addr v =
+  let addr = addr land 0xFFFFFFFF in
+  let r = locate t addr Fault.Write in
+  check_span r addr 4 Fault.Write;
+  let off = addr - r.base in
+  let v = v land 0xFFFFFFFF in
+  Bytes.unsafe_set r.bytes off (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set r.bytes (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set r.bytes (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set r.bytes (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let load64 t addr =
+  let lo = load32 t addr land 0xFFFFFFFF in
+  let hi = load32 t (addr + 4) land 0xFFFFFFFF in
+  Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32)
+
+let store64 t addr v =
+  store32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+  store32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+
+let load_float t addr = Int64.float_of_bits (load64 t addr)
+let store_float t addr f = store64 t addr (Int64.bits_of_float f)
+
+let load_single t addr =
+  Int32.float_of_bits (Int32.of_int (load32 t addr land 0xFFFFFFFF))
+
+let store_single t addr f =
+  store32 t addr (Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF)
+
+(* Bulk access, bypassing permissions: used by the loader and the host,
+   which are trusted. *)
+
+let blit_in t ~addr (src : Bytes.t) =
+  match region_of t addr with
+  | None -> invalid_arg "Memory.blit_in: unmapped"
+  | Some r ->
+      if addr - r.base + Bytes.length src > r.size then
+        invalid_arg "Memory.blit_in: overflow";
+      Bytes.blit src 0 r.bytes (addr - r.base) (Bytes.length src)
+
+let read_bytes t ~addr ~len =
+  match region_of t addr with
+  | None -> invalid_arg "Memory.read_bytes: unmapped"
+  | Some r ->
+      if addr - r.base + len > r.size then
+        invalid_arg "Memory.read_bytes: overflow";
+      Bytes.sub r.bytes (addr - r.base) len
+
+(* Read a NUL-terminated string (for host calls that take C strings). *)
+let read_cstring t ~addr ~max_len =
+  let buf = Buffer.create 32 in
+  let rec go a n =
+    if n >= max_len then Buffer.contents buf
+    else
+      let c = load8 t a in
+      if c = 0 then Buffer.contents buf
+      else (
+        Buffer.add_char buf (Char.chr c);
+        go (a + 1) (n + 1))
+  in
+  go addr 0

@@ -1,0 +1,60 @@
+(* OmniVM register file: 16 integer registers r0..r15 and 16 floating-point
+   registers f0..f15 (paper, section 3.2).
+
+   Integer conventions (defined by this implementation's ABI):
+     r0          hardwired zero
+     r1..r4      argument / result registers (caller-saved)
+     r5..r9      temporaries (caller-saved)
+     r10..r12    callee-saved
+     r13         global pointer (reserved)
+     r14         stack pointer
+     r15         return address (link)
+
+   Floating point: f1..f4 argument/result, f5..f9 temporaries (caller-saved),
+   f10..f15 callee-saved, f0 temporary. *)
+
+type t = int
+
+let count = 16
+
+let make i =
+  if i < 0 || i >= count then invalid_arg "Reg.make" else i
+
+let index r = r
+
+let zero = 0
+let gp = 13
+let sp = 14
+let ra = 15
+
+let arg i =
+  if i < 0 || i > 3 then invalid_arg "Reg.arg" else 1 + i
+
+let ret = 1
+
+let name r = Printf.sprintf "r%d" r
+let fname r = Printf.sprintf "f%d" r
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+let pp_f fmt r = Format.pp_print_string fmt (fname r)
+
+(* Integer registers available to the register allocator when the register
+   file is restricted to [n] registers (Table 2 experiment). The reserved
+   registers (zero, gp, sp, ra) always exist; the allocatable pool is the
+   prefix of r1..r12 of size [n - 4]. With n = 16 the pool is r1..r12. *)
+let allocatable_ints ~regfile_size =
+  if regfile_size < 6 || regfile_size > 16 then
+    invalid_arg "Reg.allocatable_ints";
+  let pool = regfile_size - 4 in
+  List.init (min pool 12) (fun i -> 1 + i)
+
+let allocatable_floats ~regfile_size =
+  if regfile_size < 6 || regfile_size > 16 then
+    invalid_arg "Reg.allocatable_floats";
+  (* f0..f(n-1), all allocatable: no reserved FP registers. *)
+  List.init regfile_size (fun i -> i)
+
+let caller_saved_ints = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+let callee_saved_ints = [ 10; 11; 12 ]
+let caller_saved_floats = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+let callee_saved_floats = [ 10; 11; 12; 13; 14; 15 ]

@@ -1,0 +1,41 @@
+(** OmniVM registers: 16 integer (r0..r15) and 16 floating point (f0..f15).
+
+    The integer ABI fixes r0 = zero, r13 = global pointer, r14 = stack
+    pointer, r15 = return address. *)
+
+type t = int
+
+val count : int
+
+val make : int -> t
+(** @raise Invalid_argument outside [0, 16). *)
+
+val index : t -> int
+
+val zero : t
+val gp : t
+val sp : t
+val ra : t
+
+val arg : int -> t
+(** [arg i] is the i-th (0-based, i <= 3) integer argument register. *)
+
+val ret : t
+(** Integer result register (r1). *)
+
+val name : t -> string
+val fname : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_f : Format.formatter -> t -> unit
+
+val allocatable_ints : regfile_size:int -> t list
+(** Integer registers the compiler may allocate when the OmniVM register
+    file is restricted to [regfile_size] registers (paper Table 2).
+    [regfile_size] must be in [6, 16]. *)
+
+val allocatable_floats : regfile_size:int -> t list
+
+val caller_saved_ints : t list
+val callee_saved_ints : t list
+val caller_saved_floats : t list
+val callee_saved_floats : t list

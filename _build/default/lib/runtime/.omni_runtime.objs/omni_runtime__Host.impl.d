@@ -1,0 +1,1 @@
+lib/runtime/host.ml: Array Buffer Char Fault Hostcall List Memory Omnivm Printf

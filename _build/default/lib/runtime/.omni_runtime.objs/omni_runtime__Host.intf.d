@@ -1,0 +1,1 @@
+lib/runtime/host.mli: Buffer Hostcall Memory Omnivm

@@ -1,0 +1,1 @@
+lib/runtime/loader.ml: Exe Host Hostcall Interp Layout Memory Omnivm Reg Wire

@@ -1,0 +1,1 @@
+lib/runtime/loader.mli: Exe Host Hostcall Interp Memory Omnivm

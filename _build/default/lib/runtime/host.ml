@@ -1,0 +1,94 @@
+(* The host execution environment.
+
+   The host application loads mobile modules and exports library services to
+   them (paper section 4: memory management etc.). The host decides which
+   exports a given module may call; an unauthorized call is a VM fault, which
+   is exactly the "calling unauthorized host functions" protection the paper
+   requires of a mobile code system.
+
+   This module is engine-agnostic: the OmniVM interpreter and all four
+   target-machine simulators dispatch host calls through [handle]. *)
+
+open Omnivm
+
+type outcome =
+  | Continue
+  | Exit of int
+  | Set_handler of int (* code address; engines update their fault handler *)
+
+(* A host-call request, abstracted over the engine's register file. *)
+type request = {
+  index : int;
+  arg : int -> int; (* i-th integer argument (0-based, from r1..) *)
+  farg : int -> float; (* i-th float argument (from f1..) *)
+  set_ret : int -> unit; (* write integer result to r1 *)
+  mem : Memory.t;
+}
+
+type t = {
+  out : Buffer.t;
+  mutable brk : int; (* next free heap byte in the data segment *)
+  heap_limit : int;
+  mutable ticks : int;
+  allowed : bool array; (* indexed by host-call number *)
+  mutable service : (int -> int -> int -> int -> int) option;
+      (* host-defined extension: receives r1..r4, returns r1 *)
+}
+
+let create ?(allow = Hostcall.all) ~heap_start ~heap_limit () =
+  let allowed = Array.make 16 false in
+  List.iter (fun c -> allowed.(Hostcall.number c) <- true) allow;
+  { out = Buffer.create 256; brk = heap_start; heap_limit; ticks = 0;
+    allowed; service = None }
+
+let output t = Buffer.contents t.out
+let clear_output t = Buffer.clear t.out
+let set_service t f = t.service <- Some f
+
+let align8 n = (n + 7) land lnot 7
+
+let handle t (req : request) : outcome =
+  t.ticks <- t.ticks + 1;
+  match Hostcall.of_number req.index with
+  | None -> raise (Fault.Vm_fault (Unauthorized_host_call { index = req.index }))
+  | Some call ->
+      if not t.allowed.(req.index) then
+        raise (Fault.Vm_fault (Unauthorized_host_call { index = req.index }));
+      (match call with
+      | Hostcall.Exit -> Exit (req.arg 0)
+      | Hostcall.Put_char ->
+          Buffer.add_char t.out (Char.chr (req.arg 0 land 0xFF));
+          Continue
+      | Hostcall.Print_int ->
+          Buffer.add_string t.out (string_of_int (req.arg 0));
+          Continue
+      | Hostcall.Print_string ->
+          let s =
+            Memory.read_cstring req.mem ~addr:(req.arg 0 land 0xFFFFFFFF)
+              ~max_len:65536
+          in
+          Buffer.add_string t.out s;
+          Continue
+      | Hostcall.Print_float ->
+          Buffer.add_string t.out (Printf.sprintf "%.6f" (req.farg 0));
+          Continue
+      | Hostcall.Sbrk ->
+          let size = align8 (max 0 (req.arg 0)) in
+          if t.brk + size > t.heap_limit then req.set_ret 0
+          else begin
+            req.set_ret t.brk;
+            t.brk <- t.brk + size
+          end;
+          Continue
+      | Hostcall.Clock ->
+          req.set_ret t.ticks;
+          Continue
+      | Hostcall.Set_handler -> Set_handler (req.arg 0 land 0xFFFFFFFF)
+      | Hostcall.Host_service ->
+          (match t.service with
+          | None ->
+              raise
+                (Fault.Vm_fault (Unauthorized_host_call { index = req.index }))
+          | Some f -> req.set_ret (f (req.arg 0) (req.arg 1) (req.arg 2)
+                                     (req.arg 3)));
+          Continue)

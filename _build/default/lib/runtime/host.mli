@@ -1,0 +1,50 @@
+(** The host execution environment: the services a host application exports
+    to loaded mobile modules, and the authority boundary between them.
+
+    Engine-agnostic: the OmniVM interpreter and all target simulators
+    dispatch host calls through {!handle}. *)
+
+open Omnivm
+
+(** What the engine should do after a host call. *)
+type outcome =
+  | Continue
+  | Exit of int
+  | Set_handler of int
+      (** module registered a VM-fault handler at this code address *)
+
+(** A host-call request, abstracted over the engine's register file. *)
+type request = {
+  index : int;  (** host-call number *)
+  arg : int -> int;  (** i-th integer argument (0-based) *)
+  farg : int -> float;  (** i-th float argument *)
+  set_ret : int -> unit;  (** write the integer result *)
+  mem : Memory.t;
+}
+
+type t = {
+  out : Buffer.t;
+  mutable brk : int;
+  heap_limit : int;
+  mutable ticks : int;
+  allowed : bool array;
+  mutable service : (int -> int -> int -> int -> int) option;
+}
+
+val create :
+  ?allow:Hostcall.t list -> heap_start:int -> heap_limit:int -> unit -> t
+(** [allow] is the set of services this module may call (default: all);
+    calling anything else raises an unauthorized-host-call fault. *)
+
+val output : t -> string
+(** Everything the module has printed so far. *)
+
+val clear_output : t -> unit
+
+val set_service : t -> (int -> int -> int -> int -> int) -> unit
+(** Install the host-defined extension service (host call 8): receives the
+    module's four integer arguments, returns the result. *)
+
+val handle : t -> request -> outcome
+(** Dispatch one host call.
+    @raise Omnivm.Fault.Vm_fault on unauthorized or unknown calls. *)

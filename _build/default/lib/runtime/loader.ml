@@ -1,0 +1,73 @@
+(* Module loader: set up the segmented address space for a mobile module and
+   instantiate the host environment.
+
+   The loader is the trusted component: it maps the code and data segments,
+   copies the module's initialized data image, reserves heap and stack inside
+   the data segment, and (optionally) maps a region standing in for the
+   host's own memory so tests can demonstrate what SFI protects. *)
+
+open Omnivm
+
+type image = {
+  exe : Exe.t;
+  mem : Memory.t;
+  host : Host.t;
+  host_region : Memory.region option;
+}
+
+let load ?(allow = Hostcall.all) ?(map_host_region = false)
+    ?(stack_size = Layout.default_stack_size) (exe : Exe.t) : image =
+  let mem = Memory.create () in
+  (* The code segment is mapped for realism (it holds no fetchable bytes in
+     this implementation: engines execute structured instruction arrays; the
+     region exists so data reads of code addresses behave like hardware:
+     readable, not writable). *)
+  ignore
+    (Memory.map mem ~name:"code" ~base:Layout.code_base ~size:Layout.code_size
+       ~perm:Memory.perm_rx);
+  ignore
+    (Memory.map mem ~name:"data" ~base:Layout.data_base ~size:Layout.data_size
+       ~perm:Memory.perm_rw);
+  let host_region =
+    if map_host_region then
+      Some
+        (Memory.map mem ~name:"host" ~base:Layout.host_base
+           ~size:Layout.host_size ~perm:Memory.perm_rw)
+    else None
+  in
+  Memory.blit_in mem ~addr:(Layout.data_base + Layout.reserved_data)
+    exe.Exe.data;
+  let globals_end =
+    Layout.data_base + Layout.reserved_data + Exe.globals_size exe
+  in
+  let heap_start = (globals_end + 15) land lnot 15 in
+  let heap_limit = Layout.data_base + Layout.data_size - stack_size in
+  if heap_start > heap_limit then invalid_arg "Loader.load: data too large";
+  let host = Host.create ~allow ~heap_start ~heap_limit () in
+  { exe; mem; host; host_region }
+
+(* Load from wire bytes: the real mobile-code path. *)
+let load_wire ?allow ?map_host_region ?stack_size bytes =
+  load ?allow ?map_host_region ?stack_size (Wire.decode bytes)
+
+(* Convenience: run a loaded image in the OmniVM reference interpreter. *)
+let run_interp ?(fuel = 2_000_000_000) (img : image) =
+  let interp = Interp.create img.exe img.mem in
+  let on_hcall (st : Interp.t) index : Interp.hcall_outcome =
+    let req =
+      {
+        Host.index;
+        arg = (fun i -> Interp.get_reg st (Reg.arg i));
+        farg = (fun i -> Interp.get_freg st (1 + i));
+        set_ret = (fun v -> Interp.set_reg st Reg.ret v);
+        mem = img.mem;
+      }
+    in
+    match Host.handle img.host req with
+    | Host.Continue -> Interp.Continue
+    | Host.Exit code -> Interp.Exit code
+    | Host.Set_handler addr ->
+        st.Interp.handler <- addr;
+        Interp.Continue
+  in
+  (Interp.run ~fuel { Interp.on_hcall } interp, interp)

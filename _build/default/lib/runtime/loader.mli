@@ -1,0 +1,37 @@
+(** Module loader: the trusted component that sets up a mobile module's
+    segmented address space and instantiates its host environment. *)
+
+open Omnivm
+
+type image = {
+  exe : Exe.t;
+  mem : Memory.t;
+  host : Host.t;
+  host_region : Memory.region option;
+      (** mapped when [map_host_region] was requested: stands in for the
+          host application's own memory in SFI demonstrations *)
+}
+
+val load :
+  ?allow:Hostcall.t list ->
+  ?map_host_region:bool ->
+  ?stack_size:int ->
+  Exe.t ->
+  image
+(** Map code/data segments, copy the initialized data image above the
+    reserved runtime area, and reserve heap and stack. [allow] is the host
+    grant (default: every service). *)
+
+val load_wire :
+  ?allow:Hostcall.t list ->
+  ?map_host_region:bool ->
+  ?stack_size:int ->
+  string ->
+  image
+(** The real mobile-code path: decode wire bytes, then {!load}.
+    @raise Omnivm.Wire.Bad_module on malformed bytes. *)
+
+val run_interp :
+  ?fuel:int -> image -> Interp.outcome * Interp.t
+(** Execute the image under the OmniVM reference interpreter with this
+    host's services. *)

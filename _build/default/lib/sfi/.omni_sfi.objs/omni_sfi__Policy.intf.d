@@ -1,0 +1,1 @@
+lib/sfi/policy.mli:

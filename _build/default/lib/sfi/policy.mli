@@ -1,0 +1,48 @@
+(** Software fault isolation policy (Wahbe et al., SOSP'93).
+
+    A mobile module owns a code segment and a data segment, each a
+    power-of-two-sized region whose base is aligned to its size, so an
+    address can be forced into its segment with an [and]/[or] pair. *)
+
+(** How translators protect unsafe stores and indirect branches:
+    - [Off]: no protection (trusted modules, native compiler baselines);
+    - [Sandbox]: classic SFI forcing — addresses are masked into the
+      segment (the configuration the paper measures);
+    - [Guard]: check-and-trap — an out-of-segment access raises the OmniVM
+      access-violation exception (the virtual exception model). *)
+type mode = Off | Sandbox | Guard
+
+type t = {
+  mode : mode;
+  data_base : int;
+  data_mask : int;  (** segment size - 1 *)
+  code_base : int;
+  code_mask : int;
+  protect_reads : bool;
+      (** also check loads — the read-protection capability the paper cites
+          but does not incorporate (§1); off in the measured
+          configuration *)
+}
+
+val make : ?mode:mode -> ?protect_reads:bool -> unit -> t
+(** Policy for the standard module layout ({!Omnivm.Layout}); [mode]
+    defaults to [Sandbox], [protect_reads] to [false]. *)
+
+val off : t
+(** No protection. *)
+
+val sandbox_data : t -> int -> int
+(** The value an address is forced to by the data-segment sandboxing
+    sequence: [(addr land data_mask) lor data_base]. *)
+
+val sandbox_code : t -> int -> int
+
+val in_data : t -> int -> bool
+val in_code : t -> int -> bool
+
+val safe_sp_disp : int
+(** Stack-pointer-relative accesses with displacements below this bound
+    skip SFI checks; translators maintain the invariant that sp stays
+    inside the data segment. *)
+
+val enabled : t -> bool

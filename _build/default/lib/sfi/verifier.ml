@@ -1,0 +1,61 @@
+(* Static SFI verifier over an abstract view of translated native code.
+
+   Each target provides a [summarize] function mapping its instructions to
+   the events below; the verifier then checks the Wahbe-style invariant:
+
+   1. dedicated registers are written only by the blessed sandboxing
+      sequence (so their contents always point into the proper segment,
+      even between the two halves of the sequence), and
+   2. every unsafe store's address and every indirect branch target is a
+      dedicated register with a small displacement.
+
+   Because the invariant is per-instruction (not per-path), a linear scan
+   suffices: no control-flow analysis is needed, which is what makes
+   load-time verification cheap. *)
+
+type event =
+  | Sandbox_data_def (* dedicated-data := (x & data_mask) | data_base *)
+  | Sandbox_code_def (* dedicated-code := (x & code_mask) | code_base *)
+  | Dedicated_clobber of string (* dedicated register written another way *)
+  | Store_via_dedicated of { disp : int }
+  | Store_via_sp of { disp : int }
+  | Store_unsafe of string
+  | Jump_via_dedicated
+  | Jump_unsafe of string
+  | Sp_adjust_const of int (* sp := sp + small constant *)
+  | Sp_clobber of string (* sp written from an arbitrary value, unsandboxed *)
+  | Neutral
+
+type failure = { index : int; reason : string }
+
+let verify (events : event array) : (unit, failure) result =
+  let fail index reason = Error { index; reason } in
+  let max_disp = Policy.safe_sp_disp in
+  let rec go i =
+    if i >= Array.length events then Ok ()
+    else
+      match events.(i) with
+      | Sandbox_data_def | Sandbox_code_def | Neutral -> go (i + 1)
+      | Dedicated_clobber what ->
+          fail i (Printf.sprintf "dedicated register clobbered by %s" what)
+      | Store_via_dedicated { disp } ->
+          (* small negative displacements fall into the guard zone below
+             the segment (unmapped), which is equally safe *)
+          if disp > -max_disp && disp < max_disp then go (i + 1)
+          else fail i (Printf.sprintf "store displacement %d too large" disp)
+      | Store_via_sp { disp } ->
+          if disp > -max_disp && disp < max_disp then go (i + 1)
+          else
+            fail i (Printf.sprintf "sp-relative displacement %d too large" disp)
+      | Store_unsafe what ->
+          fail i (Printf.sprintf "unprotected store: %s" what)
+      | Jump_via_dedicated -> go (i + 1)
+      | Jump_unsafe what ->
+          fail i (Printf.sprintf "unprotected indirect branch: %s" what)
+      | Sp_adjust_const k ->
+          if abs k < max_disp then go (i + 1)
+          else fail i (Printf.sprintf "sp adjusted by %d (too large)" k)
+      | Sp_clobber what ->
+          fail i (Printf.sprintf "sp set from arbitrary value by %s" what)
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** Static SFI verifier over an abstract view of translated native code.
+
+    Each target provides a [summarize] function mapping its instruction
+    stream to the events below (see {!Omni_targets.Risc_verify} and
+    {!Omni_targets.X86_verify}); the verifier then checks the Wahbe-style
+    invariant: every unsafe store and indirect branch goes through a
+    properly sandboxed dedicated register, stack-pointer discipline is
+    maintained, and all displacements stay within the segment guard zone.
+
+    The check is a linear scan — per-instruction, not per-path — which is
+    what makes load-time verification cheap. *)
+
+type event =
+  | Sandbox_data_def  (** dedicated register masked/boxed for the data seg *)
+  | Sandbox_code_def
+  | Dedicated_clobber of string
+      (** dedicated register written in a way that breaks the invariant *)
+  | Store_via_dedicated of { disp : int }
+  | Store_via_sp of { disp : int }
+  | Store_unsafe of string
+  | Jump_via_dedicated
+  | Jump_unsafe of string
+  | Sp_adjust_const of int
+  | Sp_clobber of string
+  | Neutral  (** no bearing on the SFI invariant *)
+
+type failure = { index : int; reason : string }
+
+val verify : event array -> (unit, failure) result

@@ -1,0 +1,1 @@
+lib/targets/machine.ml: Array List Omni_sfi Omnivm

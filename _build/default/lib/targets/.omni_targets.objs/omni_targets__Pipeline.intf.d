@@ -1,0 +1,1 @@
+lib/targets/pipeline.mli:

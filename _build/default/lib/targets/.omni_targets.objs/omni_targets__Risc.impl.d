@@ -1,0 +1,1 @@
+lib/targets/risc.ml: Machine Omnivm Pipeline Printf

@@ -1,0 +1,1 @@
+lib/targets/risc_sim.ml: Array Float Int32 Machine Omni_runtime Omni_util Omnivm Pipeline Risc

@@ -1,0 +1,1 @@
+lib/targets/risc_translate.ml: Array Float List Machine Omni_sfi Omni_util Omnivm Pipeline Printf Risc Sched

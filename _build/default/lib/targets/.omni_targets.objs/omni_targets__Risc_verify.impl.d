@@ -1,0 +1,1 @@
+lib/targets/risc_verify.ml: Array Omni_sfi Omnivm Risc

@@ -1,0 +1,1 @@
+lib/targets/sched.ml: Array Hashtbl List Option Pipeline

@@ -1,0 +1,1 @@
+lib/targets/sched.mli: Pipeline

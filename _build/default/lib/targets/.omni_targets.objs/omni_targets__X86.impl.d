@@ -1,0 +1,1 @@
+lib/targets/x86.ml: Array Machine Omnivm Pipeline Printf String

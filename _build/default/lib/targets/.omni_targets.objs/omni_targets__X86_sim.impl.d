@@ -1,0 +1,1 @@
+lib/targets/x86_sim.ml: Array Float Int32 Machine Omni_runtime Omni_util Omnivm Pipeline X86

@@ -1,0 +1,1 @@
+lib/targets/x86_translate.ml: Array Float List Machine Omni_sfi Omni_util Omnivm Pipeline Printf Sched Sys X86

@@ -1,0 +1,1 @@
+lib/targets/x86_verify.ml: Array List Omni_sfi Omnivm Pipeline X86

@@ -1,0 +1,18 @@
+(* The four target processor architectures of the paper's evaluation. *)
+
+type t = Mips | Sparc | Ppc | X86
+
+let all = [ Mips; Sparc; Ppc; X86 ]
+
+let name = function
+  | Mips -> "mips"
+  | Sparc -> "sparc"
+  | Ppc -> "ppc"
+  | X86 -> "x86"
+
+let of_string = function
+  | "mips" -> Some Mips
+  | "sparc" -> Some Sparc
+  | "ppc" | "powerpc" -> Some Ppc
+  | "x86" | "pentium" -> Some X86
+  | _ -> None

@@ -1,0 +1,11 @@
+(** The four target processor architectures of the paper's evaluation. *)
+
+type t = Mips | Sparc | Ppc | X86
+
+val all : t list
+
+val name : t -> string
+(** ["mips"], ["sparc"], ["ppc"], ["x86"]. *)
+
+val of_string : string -> t option
+(** Accepts the names above plus ["powerpc"] and ["pentium"]. *)

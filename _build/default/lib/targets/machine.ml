@@ -1,0 +1,106 @@
+(* Shared definitions for the load-time translators and target simulators. *)
+
+(* Why a native instruction exists, relative to the OmniVM instruction it
+   came from. Dynamic counts per origin regenerate Figure 1 of the paper. *)
+type origin =
+  | Core (* direct translation of the OmniVM instruction *)
+  | Addr (* addressing-mode expansion *)
+  | Cmp (* compare half of a compare-and-branch *)
+  | Ldi (* large-immediate materialization *)
+  | Bnop (* unfilled branch delay slot *)
+  | Sfi (* software fault isolation check *)
+
+let origin_name = function
+  | Core -> "core"
+  | Addr -> "addr"
+  | Cmp -> "cmp"
+  | Ldi -> "ldi"
+  | Bnop -> "bnop"
+  | Sfi -> "sfi"
+
+let all_origins = [ Core; Addr; Cmp; Ldi; Bnop; Sfi ]
+
+let origin_index = function
+  | Core -> 0
+  | Addr -> 1
+  | Cmp -> 2
+  | Ldi -> 3
+  | Bnop -> 4
+  | Sfi -> 5
+
+(* Code-quality tier of a native compiler baseline. [Cc] is the vendor
+   compiler (better machine-dependent selection and scheduling), [Gcc] the
+   portable compiler (the one retargeted to OmniVM in the paper). *)
+type tier = Gcc | Cc
+
+(* What the translator is producing: a sandboxed mobile module, or native
+   code acting as a compiler baseline. *)
+type mode = Mobile of Omni_sfi.Policy.t | Native of tier
+
+let sfi_policy = function
+  | Mobile p -> p
+  | Native _ -> Omni_sfi.Policy.off
+
+(* Translator optimizations (paper section 4.2: these are the cheap
+   load-time optimizations; everything heavier belongs in the compiler). *)
+type topts = {
+  schedule : bool; (* local instruction scheduling *)
+  fill_delay_slots : bool;
+  use_gp : bool; (* global-pointer addressing of the data segment *)
+  peephole : bool;
+  sfi_opt : bool;
+      (* the paper's future-work SFI optimization (4.4): reuse the
+         sandboxed dedicated register for nearby stores to the same base,
+         relying on the segment guard zone for the small displacement.
+         Off by default: the paper's measured configuration predates it. *)
+}
+
+let all_opts = { schedule = true; fill_delay_slots = true; use_gp = true;
+                 peephole = true; sfi_opt = false }
+
+let no_opts = { schedule = false; fill_delay_slots = false; use_gp = false;
+                peephole = false; sfi_opt = false }
+
+(* --- execution statistics --- *)
+
+type stats = {
+  mutable instructions : int; (* dynamic native instructions *)
+  by_origin : int array; (* indexed by origin_index *)
+  mutable cycles : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable taken_branches : int;
+  mutable omni_instructions : int; (* dynamic OmniVM instructions *)
+}
+
+let new_stats () =
+  {
+    instructions = 0;
+    by_origin = Array.make 6 0;
+    cycles = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    taken_branches = 0;
+    omni_instructions = 0;
+  }
+
+type outcome =
+  | Exited of int
+  | Faulted of Omnivm.Fault.t
+  | Out_of_fuel
+
+(* Expansion profile: extra native instructions per OmniVM instruction,
+   split by origin (Figure 1's y-axis). *)
+let expansion_profile stats =
+  let base = float_of_int (max 1 stats.omni_instructions) in
+  List.filter_map
+    (fun o ->
+      match o with
+      | Core -> None
+      | _ ->
+          Some
+            ( origin_name o,
+              float_of_int stats.by_origin.(origin_index o) /. base ))
+    all_origins

@@ -1,0 +1,81 @@
+(* Generic in-order pipeline cost model.
+
+   Each retired instruction reports which abstract resources it reads and
+   writes, its result latency, and its functional-unit class; the engine
+   charges issue cycles, operand-interlock stalls, and taken-branch
+   penalties. This is deliberately a coarse model: the paper's effects we
+   need (scheduling hides load/FP latency and SFI overhead in interlock
+   cycles; superscalar PPC pays for long-latency compares; Pentium pairing)
+   all show up at this granularity.
+
+   Resource ids: 0..31 integer regs, 32..63 float regs, 64 condition codes,
+   65 FP condition, 66+ free for target use. *)
+
+type unit_class = IU | FPU | LSU | BRU
+
+type attrs = {
+  uses : int list;
+  defs : int list;
+  latency : int; (* cycles until defs are usable *)
+  unit_ : unit_class;
+  is_load : bool;
+  is_store : bool;
+}
+
+type config = {
+  issue_width : int; (* instructions per cycle *)
+  dual_issue_rule : unit_class -> unit_class -> bool;
+      (* may these two issue in the same cycle (in order)? *)
+  taken_branch_penalty : int;
+}
+
+type t = {
+  cfg : config;
+  ready : int array; (* resource id -> cycle its value is ready *)
+  mutable cycle : int;
+  mutable issued_this_cycle : int;
+  mutable last_class : unit_class;
+}
+
+let create cfg = {
+  cfg;
+  ready = Array.make 80 0;
+  cycle = 0;
+  issued_this_cycle = 0;
+  last_class = IU;
+}
+
+let reset t =
+  Array.fill t.ready 0 (Array.length t.ready) 0;
+  t.cycle <- 0;
+  t.issued_this_cycle <- 0
+
+(* Account one retired instruction; returns nothing, accumulates in
+   [t.cycle]. *)
+let step t (a : attrs) ~taken_branch =
+  (* operand readiness *)
+  let ready_at =
+    List.fold_left (fun acc r -> max acc t.ready.(r)) t.cycle a.uses
+  in
+  let issue_cycle =
+    if ready_at > t.cycle then ready_at (* interlock stall *)
+    else if t.issued_this_cycle = 0 then t.cycle
+    else if
+      t.issued_this_cycle < t.cfg.issue_width
+      && t.cfg.dual_issue_rule t.last_class a.unit_
+    then t.cycle
+    else t.cycle + 1
+  in
+  if issue_cycle > t.cycle then begin
+    t.cycle <- issue_cycle;
+    t.issued_this_cycle <- 1
+  end
+  else t.issued_this_cycle <- t.issued_this_cycle + 1;
+  t.last_class <- a.unit_;
+  List.iter (fun r -> t.ready.(r) <- issue_cycle + a.latency) a.defs;
+  if taken_branch && t.cfg.taken_branch_penalty > 0 then begin
+    t.cycle <- t.cycle + t.cfg.taken_branch_penalty;
+    t.issued_this_cycle <- 0
+  end
+
+let cycles t = t.cycle + 1

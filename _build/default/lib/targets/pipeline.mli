@@ -1,0 +1,41 @@
+(** Generic in-order pipeline cost model.
+
+    Each retired instruction reports the abstract resources it reads and
+    writes, its result latency, and its functional-unit class; the engine
+    charges issue cycles, operand-interlock stalls, and taken-branch
+    penalties. Deliberately coarse: the effects the reproduction needs
+    (scheduling hides load/FP latency and SFI overhead in interlock cycles;
+    the superscalar PPC pays for long-latency compares; Pentium pairing)
+    all appear at this granularity.
+
+    Resource ids: 0..31 integer registers, 32..63 float registers, 64
+    condition codes, 65 FP condition, 66+ free for target use. *)
+
+type unit_class = IU | FPU | LSU | BRU
+
+type attrs = {
+  uses : int list;
+  defs : int list;
+  latency : int;
+  unit_ : unit_class;
+  is_load : bool;
+  is_store : bool;
+}
+
+type config = {
+  issue_width : int;
+  dual_issue_rule : unit_class -> unit_class -> bool;
+      (** may these two classes issue in the same cycle, in order? *)
+  taken_branch_penalty : int;
+}
+
+type t
+
+val create : config -> t
+val reset : t -> unit
+
+val step : t -> attrs -> taken_branch:bool -> unit
+(** Account one retired instruction. *)
+
+val cycles : t -> int
+(** Total simulated cycles so far. *)

@@ -1,0 +1,174 @@
+(* SFI verification adapter for the RISC targets: summarizes translated
+   code into the abstract events checked by [Omni_sfi.Verifier].
+
+   This is the load-time check a distrustful host can run over translated
+   code before executing it. The dedicated registers may be used as address
+   scratch, so the check is a small state machine per dedicated register:
+
+     Dirty --(and reg, x, segment_mask)--> Masked
+     Masked --(or reg, reg, segment_base)--> Boxed
+     any other write --> Dirty
+
+   A plain store through the data-dedicated register requires Boxed; the
+   PowerPC indexed form [st rv, base_reg(dedicated)] requires exactly
+   Masked (base comes from the reserved base register). Indirect branches
+   through the code-dedicated register require Boxed. Because translated
+   control flow can only enter at instruction-chunk leaders (enforced
+   dynamically by the address map), the linear scan is sound. *)
+
+open Risc
+module V = Omni_sfi.Verifier
+
+type seg = Seg_data | Seg_code
+
+type ded = Dirty | Masked of seg | Boxed of seg
+
+type state = {
+  mutable sd : ded;
+  mutable sc : ded;
+  mutable scratch_const : int option;
+      (* known constant in the translator scratch register (from lui):
+         lets the scan prove statically-safe absolute stores to globals *)
+}
+
+let summarize_instr (st : state) (i : instr) : V.event =
+  let get r = if r = r_sfi_data then Some st.sd else if r = r_sfi_code then Some st.sc else None in
+  let set r v = if r = r_sfi_data then st.sd <- v else if r = r_sfi_code then st.sc <- v in
+  let dedicated r = r = r_sfi_data || r = r_sfi_code in
+  (* track the scratch register's constant value for absolute addressing *)
+  (match i with
+  | Lui (rd, v) when rd = r_scratch1 -> st.scratch_const <- Some v
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Alu_record (_, rd, _, _)
+  | Load (_, _, rd, _, _) | Load_x (_, _, rd, _, _) | Cvt_i_f (rd, _)
+  | Fcc_to_reg rd | Cc_to_reg (_, rd)
+    when rd = r_scratch1 ->
+      st.scratch_const <- None
+  | _ -> ());
+  match i with
+  (* masking: enters Masked *)
+  | Alu (Omnivm.Instr.And, rd, _, rm) when dedicated rd && rm = r_data_mask ->
+      set rd (Masked Seg_data);
+      V.Sandbox_data_def
+  | Alu (Omnivm.Instr.And, rd, _, rm) when dedicated rd && rm = r_code_mask ->
+      set rd (Masked Seg_code);
+      V.Sandbox_code_def
+  (* boxing: Masked -> Boxed *)
+  | Alu (Omnivm.Instr.Or, rd, rs, rb) when dedicated rd && rs = rd -> (
+      match (get rd, rb) with
+      | Some (Masked Seg_data), b when b = r_data_base ->
+          set rd (Boxed Seg_data);
+          V.Sandbox_data_def
+      | Some (Masked Seg_code), b when b = r_code_base ->
+          set rd (Boxed Seg_code);
+          V.Sandbox_code_def
+      | _ ->
+          set rd Dirty;
+          V.Neutral)
+  (* any other write to a dedicated register: address staging, fine, but
+     the register becomes dirty *)
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Alu_record (_, rd, _, _)
+  | Lui (rd, _) | Load (_, _, rd, _, _) | Load_x (_, _, rd, _, _)
+  | Cvt_i_f (rd, _) | Fcc_to_reg rd | Cc_to_reg (_, rd)
+    when dedicated rd ->
+      set rd Dirty;
+      V.Neutral
+  (* the stack-pointer invariant *)
+  | Alui ((Omnivm.Instr.Add | Omnivm.Instr.Sub), rd, rs, k)
+    when rd = omni_sp && rs = omni_sp ->
+      V.Sp_adjust_const k
+  | Alu (Omnivm.Instr.And, rd, _, rm) when rd = omni_sp && rm = r_data_mask ->
+      V.Neutral (* first half of an sp re-sandbox *)
+  | Alu (Omnivm.Instr.Or, rd, rs, rb)
+    when rd = omni_sp && rs = omni_sp && rb = r_data_base ->
+      V.Neutral
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Alu_record (_, rd, _, _)
+  | Lui (rd, _) | Load (_, _, rd, _, _) | Load_x (_, _, rd, _, _)
+  | Cvt_i_f (rd, _) | Fcc_to_reg rd | Cc_to_reg (_, rd)
+    when rd = omni_sp ->
+      (* unsafe sp write: only acceptable if immediately re-sandboxed; the
+         translator emits the and/or pair right after, which the two
+         Neutral cases above recognize. A bare clobber ends the scan. *)
+      V.Sp_clobber (string_of_instr i)
+  (* stores *)
+  | Store (_, _, base, disp) | Fstore (_, base, disp) | Fstore_s (_, base, disp)
+    -> (
+      match get base with
+      | Some (Boxed Seg_data) -> V.Store_via_dedicated { disp }
+      | Some _ -> V.Store_unsafe (string_of_instr i)
+      | None ->
+          if base = omni_sp then V.Store_via_sp { disp }
+          else if base = r_zero && Omnivm.Layout.in_data disp then V.Neutral
+          else if base = r_gp then V.Neutral
+            (* gp is a reserved in-segment constant *)
+          else if
+            base = r_scratch1
+            && (match st.scratch_const with
+               | Some v -> Omnivm.Layout.in_data (v + disp)
+               | None -> false)
+          then V.Neutral (* lui-based absolute store to a known global *)
+          else V.Store_unsafe (string_of_instr i))
+  | Store_x (_, _, b1, b2) | Fstore_x (_, b1, b2) ->
+      if b1 = r_data_base && get b2 = Some (Masked Seg_data) then
+        V.Store_via_dedicated { disp = 0 }
+      else V.Store_unsafe (string_of_instr i)
+  (* indirect control flow *)
+  | Jmp_ind r | Call_ind (r, _) -> (
+      match get r with
+      | Some (Boxed Seg_code) -> V.Jump_via_dedicated
+      | _ -> V.Jump_unsafe (string_of_instr i))
+  | Guard_data _ | Guard_code _ -> V.Neutral
+  | Alu _ | Alui _ | Alu_record _ | Lui _ | Load _ | Load_x _ | Fload _
+  | Fload_s _ | Fload_x _ | Fld_pool _ | Fop _ | Fun1 _ | Fcmp _
+  | Fcc_to_reg _ | Cvt_f_i _ | Cvt_i_f _ | Cvt_d_s _ | Cvt_s_d _ | Cmp _
+  | Cmpi _ | Br_cc _ | Br_cmp _ | Fbr _ | J _ | Call _ | Cc_to_reg _
+  | Trapi _ | Hcall _ | Nop ->
+      V.Neutral
+
+(* The sp-clobber exception: the translator re-sandboxes sp right after an
+   arbitrary write. Recognize the [write sp; and sp,sp,dm; or sp,sp,db]
+   triple and neutralize the clobber. *)
+let summarize (p : program) : V.event array =
+  let st = { sd = Dirty; sc = Dirty; scratch_const = None } in
+  let reset () =
+    st.sd <- Dirty;
+    st.sc <- Dirty;
+    st.scratch_const <- None
+  in
+  (* At control-flow boundaries all state resets (a conservative join).
+     On delay-slot architectures the reset happens after the delay slot,
+     which logically belongs before its branch. *)
+  let n = Array.length p.code in
+  let events = Array.make n V.Neutral in
+  let reset_after = ref (-1) in
+  for i = 0 to n - 1 do
+    events.(i) <- summarize_instr st p.code.(i).i;
+    if !reset_after = i then reset ();
+    if is_control p.code.(i).i then
+      if p.cfg.has_delay_slot then reset_after := i + 1 else reset ()
+  done;
+  Array.iteri
+    (fun i e ->
+      match e with
+      | V.Sp_clobber _
+        when i + 2 < Array.length events
+             && (match (p.code.(i + 1).i, p.code.(i + 2).i) with
+                | ( Alu (Omnivm.Instr.And, a, _, m),
+                    Alu (Omnivm.Instr.Or, b, _, base) ) ->
+                    a = omni_sp && m = r_data_mask && b = omni_sp
+                    && base = r_data_base
+                | _ -> false) ->
+          events.(i) <- V.Neutral
+      | V.Sp_clobber _
+        when i + 1 < Array.length events
+             && (match p.code.(i + 1).i with
+                | Guard_data r -> r = omni_sp
+                | _ -> false) ->
+          events.(i) <- V.Neutral
+      | _ -> ())
+    events;
+  events
+
+(* Verify a translated program satisfies the SFI invariants. Note: this
+   only makes sense for code translated in Sandbox mode; Guard-mode checks
+   and unprotected native code will (correctly) fail. *)
+let verify (p : program) = V.verify (summarize p)

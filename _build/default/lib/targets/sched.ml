@@ -1,0 +1,180 @@
+(* Local (basic-block) list scheduling, generic over target instructions.
+
+   This is the main translator optimization the paper measures (section 4.2,
+   Table 5): it hides load/FP/compare latencies in pipeline interlock slots
+   and, on delay-slot architectures, fills branch delay slots. The paper's
+   observation that scheduling hides part of the SFI overhead falls out
+   naturally: sandboxing instructions are short-latency ALU ops that slot
+   into interlock bubbles.
+
+   [quality] distinguishes the translators' greedy scheduler from the
+   vendor-compiler tier's critical-path scheduler (used by the native `cc`
+   baseline). *)
+
+type 'a info = {
+  attrs : 'a -> Pipeline.attrs;
+  is_barrier : 'a -> bool; (* calls / host calls: nothing moves across *)
+}
+
+type quality = Greedy | Critical_path
+
+(* Dependence graph over a straight-line body (no control instructions). *)
+let build_deps info (body : 'a array) =
+  let n = Array.length body in
+  let preds = Array.make n [] in
+  let add_dep i j = if i <> j then preds.(j) <- i :: preds.(j) in
+  let last_writer : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let readers : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let last_barrier = ref (-1) in
+  let mem_stores = ref [] in
+  let mem_loads = ref [] in
+  for j = 0 to n - 1 do
+    let a = info.attrs body.(j) in
+    (* register dependences *)
+    List.iter
+      (fun r ->
+        (match Hashtbl.find_opt last_writer r with
+        | Some i -> add_dep i j (* RAW *)
+        | None -> ());
+        Hashtbl.replace readers r
+          (j :: Option.value ~default:[] (Hashtbl.find_opt readers r)))
+      a.Pipeline.uses;
+    List.iter
+      (fun r ->
+        (match Hashtbl.find_opt last_writer r with
+        | Some i -> add_dep i j (* WAW *)
+        | None -> ());
+        (match Hashtbl.find_opt readers r with
+        | Some rs -> List.iter (fun i -> add_dep i j) rs (* WAR *)
+        | None -> ());
+        Hashtbl.replace last_writer r j;
+        Hashtbl.replace readers r [])
+      a.Pipeline.defs;
+    (* memory dependences: conservative total order on stores; loads are
+       ordered against stores both ways *)
+    if a.Pipeline.is_store then begin
+      List.iter (fun i -> add_dep i j) !mem_stores;
+      List.iter (fun i -> add_dep i j) !mem_loads;
+      mem_stores := j :: !mem_stores;
+      mem_loads := []
+    end
+    else if a.Pipeline.is_load then begin
+      List.iter (fun i -> add_dep i j) !mem_stores;
+      mem_loads := j :: !mem_loads
+    end;
+    (* barriers *)
+    if !last_barrier >= 0 then add_dep !last_barrier j;
+    if info.is_barrier body.(j) then begin
+      for i = 0 to j - 1 do
+        add_dep i j
+      done;
+      last_barrier := j
+    end
+  done;
+  Array.map (fun l -> List.sort_uniq compare l) preds
+
+(* Longest path (by latency) from each node to the end of the block. *)
+let critical_path info body preds =
+  let n = Array.length body in
+  let succs = Array.make n [] in
+  Array.iteri (fun j ps -> List.iter (fun i -> succs.(i) <- j :: succs.(i)) ps) preds;
+  let height = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let lat = (info.attrs body.(i)).Pipeline.latency in
+    height.(i) <-
+      List.fold_left (fun acc j -> max acc (height.(j) + lat)) lat succs.(i)
+  done;
+  height
+
+(* Schedule a straight-line body; returns a permutation of it. *)
+let schedule_body info ~quality (body : 'a array) : 'a array =
+  let n = Array.length body in
+  if n <= 1 then body
+  else begin
+    let preds = build_deps info body in
+    let height =
+      match quality with
+      | Critical_path -> critical_path info body preds
+      | Greedy -> Array.make n 0
+    in
+    let remaining = Array.make n 0 in
+    Array.iteri (fun j ps -> remaining.(j) <- List.length ps) preds;
+    let succs = Array.make n [] in
+    Array.iteri (fun j ps -> List.iter (fun i -> succs.(i) <- j :: succs.(i)) ps) preds;
+    let scheduled = Array.make n (-1) in
+    let done_ = Array.make n false in
+    let ready_time = Array.make n 0 in
+    let reg_ready : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    let clock = ref 0 in
+    let count = ref 0 in
+    while !count < n do
+      (* collect ready nodes *)
+      let best = ref (-1) in
+      for j = n - 1 downto 0 do
+        if (not done_.(j)) && remaining.(j) = 0 then begin
+          (* data-ready time from operand latencies *)
+          let a = info.attrs body.(j) in
+          let t =
+            List.fold_left
+              (fun acc r ->
+                max acc (Option.value ~default:0 (Hashtbl.find_opt reg_ready r)))
+              ready_time.(j) a.Pipeline.uses
+          in
+          ready_time.(j) <- t;
+          match !best with
+          | -1 -> best := j
+          | b ->
+              let better =
+                let tb = ready_time.(b) in
+                if (t <= !clock) <> (tb <= !clock) then t <= !clock
+                else
+                  match quality with
+                  | Critical_path ->
+                      if height.(j) <> height.(b) then height.(j) > height.(b)
+                      else j < b
+                  | Greedy -> j < b
+              in
+              if better then best := j
+        end
+      done;
+      let j = !best in
+      assert (j >= 0);
+      scheduled.(!count) <- j;
+      incr count;
+      done_.(j) <- true;
+      let a = info.attrs body.(j) in
+      clock := max !clock ready_time.(j) + 1;
+      List.iter
+        (fun r -> Hashtbl.replace reg_ready r (!clock - 1 + a.Pipeline.latency))
+        a.Pipeline.defs;
+      List.iter
+        (fun s -> remaining.(s) <- remaining.(s) - 1)
+        succs.(j)
+    done;
+    Array.map (fun i -> body.(i)) scheduled
+  end
+
+(* Try to move one scheduled-body instruction into the branch delay slot.
+   [branch_attrs] are the attributes of the terminating control
+   instruction. Returns (new_body, filler option). *)
+let fill_delay_slot info ~branch_attrs (body : 'a array) : 'a array * 'a option
+    =
+  let n = Array.length body in
+  let conflicts a =
+    let inter l1 l2 = List.exists (fun x -> List.mem x l2) l1 in
+    (* RAW: branch reads what the candidate writes; WAW: both write the
+       same register; WAR: the candidate reads a register the branch
+       writes (calls write the link register before the slot executes) *)
+    inter a.Pipeline.defs branch_attrs.Pipeline.uses
+    || inter a.Pipeline.defs branch_attrs.Pipeline.defs
+    || inter a.Pipeline.uses branch_attrs.Pipeline.defs
+  in
+  (* candidate: the last instruction that the branch does not depend on,
+     and that no later instruction depends on (we only try the very last
+     instruction, which trivially satisfies the second condition) *)
+  if n = 0 then (body, None)
+  else
+    let last = body.(n - 1) in
+    let a = info.attrs last in
+    if info.is_barrier last || conflicts a then (body, None)
+    else (Array.sub body 0 (n - 1), Some last)

@@ -1,0 +1,330 @@
+(* Functional + cycle-approximate simulator for translated x86 code. *)
+
+open X86
+module W = Omni_util.Word32
+module VI = Omnivm.Instr
+module Mem = Omnivm.Memory
+
+type state = {
+  prog : program;
+  regs : int array; (* 8 *)
+  fps : float array; (* 8 *)
+  mutable cc : int * int;
+  mutable fcc : bool;
+  mutable pc : int;
+  mem : Mem.t;
+  host : Omni_runtime.Host.t;
+  mutable handler : int;
+  mutable exited : int option;
+  stats : Machine.stats;
+  pipe : Pipeline.t;
+}
+
+let create prog mem host =
+  let st =
+    {
+      prog;
+      regs = Array.make 8 0;
+      fps = Array.make 8 0.0;
+      cc = (0, 0);
+      fcc = false;
+      pc = prog.entry;
+      mem;
+      host;
+      handler = 0;
+      exited = None;
+      stats = Machine.new_stats ();
+      pipe = Pipeline.create pipeline_config;
+    }
+  in
+  st.regs.(esp) <- Omnivm.Layout.initial_sp;
+  (* omni gp (r13) lives in its memory home *)
+  Mem.store32 mem
+    (Omnivm.Layout.regsave_int_addr Omnivm.Reg.gp)
+    Omnivm.Layout.data_base;
+  st
+
+let fault f = raise (Omnivm.Fault.Vm_fault f)
+
+let native_of_omni st addr =
+  let off = addr - Omnivm.Layout.code_base in
+  if off < 0 || off land 3 <> 0 || off / 4 >= Array.length st.prog.addr_map
+  then fault (Access_violation { addr; access = Execute })
+  else
+    let n = st.prog.addr_map.(off / 4) in
+    if n < 0 then fault (Access_violation { addr; access = Execute })
+    else n
+
+let eff st (m : mem) =
+  let b = match m.base with Some r -> st.regs.(r) | None -> 0 in
+  let i = match m.index with Some (r, s) -> st.regs.(r) * s | None -> 0 in
+  (b + i + m.disp) land 0xFFFFFFFF
+
+let value st = function
+  | R r -> st.regs.(r)
+  | I v -> W.of_int v
+  | M m -> Mem.load32 st.mem (eff st m)
+
+let set_reg st r v = st.regs.(r) <- W.of_int v
+
+let write st dst v =
+  match dst with
+  | R r -> set_reg st r v
+  | M m -> Mem.store32 st.mem (eff st m) v
+  | I _ -> invalid_arg "x86 write to immediate"
+
+let hcall st n =
+  let home_get r =
+    match int_home r with
+    | Hzero -> 0
+    | Hreg x -> st.regs.(x)
+    | Hmem a -> Mem.load32 st.mem a
+  in
+  let req =
+    {
+      Omni_runtime.Host.index = n;
+      arg = (fun i -> home_get (1 + i));
+      farg =
+        (fun i ->
+          match float_home (1 + i) with
+          | FHreg x -> st.fps.(x)
+          | FHmem a -> Mem.load_float st.mem a);
+      set_ret =
+        (fun v ->
+          match int_home 1 with
+          | Hreg x -> set_reg st x v
+          | Hmem a -> Mem.store32 st.mem a v
+          | Hzero -> ());
+      mem = st.mem;
+    }
+  in
+  match Omni_runtime.Host.handle st.host req with
+  | Omni_runtime.Host.Continue -> ()
+  | Omni_runtime.Host.Exit code -> st.exited <- Some code
+  | Omni_runtime.Host.Set_handler addr -> st.handler <- addr
+
+let round_single f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let exec_simple st (i : instr) =
+  match i with
+  | Mov (dst, src) -> write st dst (value st src)
+  | Load (w, signed, d, m) ->
+      let a = eff st m in
+      let v =
+        match (w, signed) with
+        | VI.W8, false -> Mem.load8 st.mem a
+        | VI.W8, true -> W.sext8 (Mem.load8 st.mem a)
+        | VI.W16, false -> Mem.load16 st.mem a
+        | VI.W16, true -> W.sext16 (Mem.load16 st.mem a)
+        | VI.W32, _ -> Mem.load32 st.mem a
+      in
+      set_reg st d v
+  | Store (w, m, src) -> (
+      let a = eff st m in
+      let v = value st src in
+      match w with
+      | VI.W8 -> Mem.store8 st.mem a v
+      | VI.W16 -> Mem.store16 st.mem a v
+      | VI.W32 -> Mem.store32 st.mem a v)
+  | Alu (op, dst, src) ->
+      let a = value st dst and b = value st src in
+      let v =
+        match op with
+        | Add -> W.add a b
+        | Sub -> W.sub a b
+        | And -> W.logand a b
+        | Or -> W.logor a b
+        | Xor -> W.logxor a b
+      in
+      write st dst v;
+      st.cc <- (v, 0)
+  | Shift (op, dst, k) ->
+      let a = value st dst in
+      let v =
+        match op with
+        | Shl -> W.shift_left a k
+        | Shr -> W.shift_right_logical a k
+        | Sar -> W.shift_right_arith a k
+      in
+      write st dst v;
+      st.cc <- (v, 0)
+  | Shiftv (op, dst, c) ->
+      let a = value st dst in
+      let k = W.to_unsigned st.regs.(c) land 31 in
+      let v =
+        match op with
+        | Shl -> W.shift_left a k
+        | Shr -> W.shift_right_logical a k
+        | Sar -> W.shift_right_arith a k
+      in
+      write st dst v;
+      st.cc <- (v, 0)
+  | Imul (d, src) -> set_reg st d (W.mul st.regs.(d) (value st src))
+  | Idiv (src, signed) ->
+      let a = st.regs.(eax) and b = value st src in
+      if signed then begin
+        let q = W.div a b and r = W.rem a b in
+        set_reg st eax q;
+        set_reg st edx r
+      end
+      else begin
+        let q = W.divu a b and r = W.remu a b in
+        set_reg st eax q;
+        set_reg st edx r
+      end
+  | Cdq -> set_reg st edx (if st.regs.(eax) < 0 then -1 else 0)
+  | Lea (d, m) -> set_reg st d (eff st m)
+  | Cmp (a, b) -> st.cc <- (value st a, value st b)
+  | Setcc (c, d) ->
+      let x, y = st.cc in
+      set_reg st d (if VI.eval_cond c x y then 1 else 0)
+  | Fop (op, prec, d, a, b) ->
+      let x = st.fps.(a) and y = st.fps.(b) in
+      let v =
+        match op with
+        | VI.Fadd -> x +. y
+        | VI.Fsub -> x -. y
+        | VI.Fmul -> x *. y
+        | VI.Fdiv -> x /. y
+      in
+      st.fps.(d) <-
+        (match prec with VI.Single -> round_single v | VI.Double -> v)
+  | Fun1 (op, d, a) ->
+      let x = st.fps.(a) in
+      st.fps.(d) <-
+        (match op with
+        | VI.Fneg -> -.x
+        | VI.Fabs -> Float.abs x
+        | VI.Fmov -> x)
+  | Fload (prec, d, m) ->
+      let a = eff st m in
+      st.fps.(d) <-
+        (match prec with
+        | VI.Single -> Mem.load_single st.mem a
+        | VI.Double -> Mem.load_float st.mem a)
+  | Fstore (prec, v, m) -> (
+      let a = eff st m in
+      match prec with
+      | VI.Single -> Mem.store_single st.mem a st.fps.(v)
+      | VI.Double -> Mem.store_float st.mem a st.fps.(v))
+  | Fld_pool (d, i) -> st.fps.(d) <- st.prog.pool.(i)
+  | Fcmp (op, a, b) ->
+      let x = st.fps.(a) and y = st.fps.(b) in
+      st.fcc <-
+        (match op with VI.Feq -> x = y | VI.Flt -> x < y | VI.Fle -> x <= y)
+  | Fcc_to_reg d -> set_reg st d (if st.fcc then 1 else 0)
+  | Cvt_f_i (d, src) -> st.fps.(d) <- float_of_int (value st src)
+  | Cvt_i_f (d, a) ->
+      let f = st.fps.(a) in
+      let v =
+        if Float.is_nan f then 0
+        else if f >= 2147483648.0 then W.max_int32
+        else if f <= -2147483649.0 then W.min_int32
+        else W.of_int (int_of_float f)
+      in
+      set_reg st d v
+  | Guard_data r ->
+      let a = W.to_unsigned st.regs.(r) in
+      if not (Omnivm.Layout.in_data a) then
+        fault (Access_violation { addr = a; access = Write })
+  | Guard_code r ->
+      let a = W.to_unsigned st.regs.(r) in
+      if not (Omnivm.Layout.in_code a) then
+        fault (Access_violation { addr = a; access = Execute })
+  | Trapi n -> fault (Explicit_trap n)
+  | Hcall n -> hcall st n
+  | Nop -> ()
+  | Jcc _ | Jmp _ | Jmp_ind _ | Call _ | Call_ind _ -> assert false
+
+let control_target st (i : instr) : int option =
+  match i with
+  | Jcc (c, l) ->
+      let a, b = st.cc in
+      if VI.eval_cond c a b then Some l else None
+  | Jmp l -> Some l
+  | Jmp_ind x -> Some (native_of_omni st (W.to_unsigned (value st x)))
+  | Call (l, ret) ->
+      st.regs.(ebp) <- W.of_int ret;
+      Some l
+  | Call_ind (x, ret) ->
+      let t = native_of_omni st (W.to_unsigned (value st x)) in
+      st.regs.(ebp) <- W.of_int ret;
+      Some t
+  | _ -> assert false
+
+let account st (s : slot) ~taken =
+  let st_ = st.stats in
+  st_.Machine.instructions <- st_.Machine.instructions + 1;
+  let oi = Machine.origin_index s.origin in
+  st_.Machine.by_origin.(oi) <- st_.Machine.by_origin.(oi) + 1;
+  if s.origin = Machine.Core then
+    st_.Machine.omni_instructions <- st_.Machine.omni_instructions + 1;
+  let a = attrs s.i in
+  if a.Pipeline.is_load then st_.Machine.loads <- st_.Machine.loads + 1;
+  if a.Pipeline.is_store then st_.Machine.stores <- st_.Machine.stores + 1;
+  (match s.i with
+  | Jcc _ ->
+      st_.Machine.branches <- st_.Machine.branches + 1;
+      if taken then st_.Machine.taken_branches <- st_.Machine.taken_branches + 1
+  | _ -> ());
+  Pipeline.step st.pipe a ~taken_branch:taken
+
+let deliver_fault st f =
+  if st.handler = 0 then raise (Omnivm.Fault.Vm_fault f)
+  else begin
+    let h = st.handler in
+    st.handler <- 0;
+    (match int_home 1 with
+    | Hreg x -> st.regs.(x) <- Omnivm.Fault.code f
+    | Hmem a -> Mem.store32 st.mem a (Omnivm.Fault.code f)
+    | Hzero -> ());
+    st.pc <- native_of_omni st h
+  end
+
+exception Out_of_fuel_exn
+
+let run ?(fuel = max_int) (prog : program) mem host :
+    Machine.outcome * Machine.stats * state =
+  let st = create prog mem host in
+  let code = prog.code in
+  let n = Array.length code in
+  let fuel_left = ref fuel in
+  let step () =
+    if st.pc < 0 || st.pc >= n then
+      fault (Access_violation { addr = st.pc; access = Execute })
+    else begin
+      let s = Array.unsafe_get code st.pc in
+      decr fuel_left;
+      if !fuel_left < 0 then raise Out_of_fuel_exn;
+      if is_control s.i then begin
+        let target = control_target st s.i in
+        account st s ~taken:(target <> None);
+        st.pc <- (match target with Some t -> t | None -> st.pc + 1)
+      end
+      else begin
+        account st s ~taken:false;
+        exec_simple st s.i;
+        st.pc <- st.pc + 1
+      end
+    end
+  in
+  let outcome =
+    let rec go () =
+      match st.exited with
+      | Some code -> Machine.Exited code
+      | None -> (
+          match step () with
+          | () -> go ()
+          | exception Omnivm.Fault.Vm_fault f -> (
+              match deliver_fault st f with
+              | () -> go ()
+              | exception Omnivm.Fault.Vm_fault f -> Machine.Faulted f)
+          | exception W.Division_by_zero -> (
+              match deliver_fault st Omnivm.Fault.Division_by_zero with
+              | () -> go ()
+              | exception Omnivm.Fault.Vm_fault f -> Machine.Faulted f))
+    in
+    try go () with Out_of_fuel_exn -> Machine.Out_of_fuel
+  in
+  st.stats.Machine.cycles <- Pipeline.cycles st.pipe;
+  (outcome, st.stats, st)

@@ -1,0 +1,1 @@
+lib/util/word32.ml: Format Int32 Printf Stdlib

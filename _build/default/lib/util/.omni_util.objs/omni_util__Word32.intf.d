@@ -1,0 +1,1 @@
+lib/util/word32.mli: Format

@@ -1,0 +1,25 @@
+(* Deterministic linear congruential generator (Numerical Recipes constants).
+   Used for reproducible synthetic workload inputs and test data; the same
+   generator is reimplemented inside the MiniC workloads so that host-side
+   and module-side data agree. *)
+
+type t = { mutable state : int }
+
+let a = 1664525
+let c = 1013904223
+
+let create seed = { state = seed land 0xFFFFFFFF }
+
+let next t =
+  t.state <- (a * t.state + c) land 0xFFFFFFFF;
+  t.state
+
+(* Uniform in [0, bound). Uses the high bits, which are better mixed. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Lcg.int";
+  (next t lsr 8) mod bound
+
+let bool t = next t land 0x10000 <> 0
+
+let float t =
+  float_of_int (next t) /. 4294967296.0

@@ -1,0 +1,17 @@
+(** Deterministic 32-bit linear congruential generator for reproducible
+    synthetic inputs. *)
+
+type t
+
+val create : int -> t
+(** [create seed] starts a generator at [seed] (truncated to 32 bits). *)
+
+val next : t -> int
+(** Next raw 32-bit state, in [0, 2{^32}). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [0, bound). [bound] must be positive. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform-ish in [0, 1). *)

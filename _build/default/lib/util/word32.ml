@@ -1,0 +1,105 @@
+(* 32-bit two's-complement arithmetic over OCaml [int].
+
+   Values are kept in canonical signed form: the unique representative in
+   [-2^31, 2^31). All operations wrap modulo 2^32. OCaml's native [int] is
+   63-bit on every platform we support, so intermediate products of two
+   canonical values never overflow except for [mul], which we split. *)
+
+type t = int
+
+let mask = 0xFFFFFFFF
+let sign_bit = 0x80000000
+
+(* Canonicalize an arbitrary int to signed 32-bit. *)
+let of_int x =
+  let x = x land mask in
+  if x land sign_bit <> 0 then x - (mask + 1) else x
+
+let to_int x = x
+
+(* Unsigned view in [0, 2^32). *)
+let to_unsigned x = x land mask
+let of_unsigned = of_int
+
+let zero = 0
+let one = 1
+let minus_one = of_int (-1)
+let min_int32 = -0x80000000
+let max_int32 = 0x7FFFFFFF
+
+let add a b = of_int (a + b)
+let sub a b = of_int (a - b)
+let neg a = of_int (- a)
+
+(* Split multiplication: low 32 bits of the 64-bit product. Operands as
+   unsigned; (a * b) mod 2^32 is sign-agnostic. *)
+let mul a b =
+  let a = to_unsigned a and b = to_unsigned b in
+  let al = a land 0xFFFF and ah = a lsr 16 in
+  let lo = al * b in
+  let hi = (ah * (b land 0xFFFF)) lsl 16 in
+  of_int (lo + hi)
+
+exception Division_by_zero
+
+(* Signed division truncating toward zero, like C. INT_MIN / -1 wraps. *)
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = min_int32 && b = -1 then min_int32
+  else
+    let q = abs a / abs b in
+    of_int (if (a < 0) <> (b < 0) then -q else q)
+
+let rem a b =
+  if b = 0 then raise Division_by_zero
+  else if a = min_int32 && b = -1 then 0
+  else
+    let r = abs a mod abs b in
+    of_int (if a < 0 then -r else r)
+
+let divu a b =
+  if b = 0 then raise Division_by_zero
+  else of_int (to_unsigned a / to_unsigned b)
+
+let remu a b =
+  if b = 0 then raise Division_by_zero
+  else of_int (to_unsigned a mod to_unsigned b)
+
+let logand a b = of_int (a land b)
+let logor a b = of_int (a lor b)
+let logxor a b = of_int (a lxor b)
+let lognot a = of_int (lnot a)
+
+(* Shift amounts are taken modulo 32, like most hardware. *)
+let shift_left a n = of_int ((to_unsigned a) lsl (n land 31))
+let shift_right_logical a n = of_int ((to_unsigned a) lsr (n land 31))
+let shift_right_arith a n = of_int (a asr (n land 31))
+
+let eq (a : t) (b : t) = a = b
+let lt (a : t) (b : t) = a < b
+let le (a : t) (b : t) = a <= b
+let ltu a b = to_unsigned a < to_unsigned b
+let leu a b = to_unsigned a <= to_unsigned b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Sign / zero extension of sub-word values. *)
+let sext8 x = of_int ((x land 0xFF) lxor 0x80 - 0x80)
+let zext8 x = x land 0xFF
+let sext16 x = of_int ((x land 0xFFFF) lxor 0x8000 - 0x8000)
+let zext16 x = x land 0xFFFF
+
+(* Byte access, little-endian order of the canonical representation. *)
+let byte x i = (to_unsigned x lsr (8 * i)) land 0xFF
+
+let of_bytes b0 b1 b2 b3 =
+  of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+
+(* Float bridging: IEEE double <-> bits is provided by the runtime; single
+   precision goes through Int32 conversions. *)
+let bits_of_float_single f = of_int (Int32.to_int (Int32.bits_of_float f))
+let float_of_bits_single x = Int32.float_of_bits (Int32.of_int (to_unsigned x land mask))
+
+let to_hex x = Printf.sprintf "0x%08x" (to_unsigned x)
+let pp fmt x = Format.fprintf fmt "%d" x
+let pp_hex fmt x = Format.fprintf fmt "%s" (to_hex x)

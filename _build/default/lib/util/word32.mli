@@ -1,0 +1,76 @@
+(** 32-bit two's-complement machine words.
+
+    The carrier is OCaml's [int]; every value is kept canonical in
+    [-2{^31}, 2{^31}). All arithmetic wraps modulo 2{^32} with C-like
+    signed/unsigned variants where the distinction matters. *)
+
+type t = int
+
+val of_int : int -> t
+(** Canonicalize an arbitrary [int] (wraps modulo 2{^32}). *)
+
+val to_int : t -> int
+(** Identity; the canonical signed value. *)
+
+val to_unsigned : t -> int
+(** Unsigned view in [0, 2{^32}). *)
+
+val of_unsigned : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+val min_int32 : t
+val max_int32 : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+exception Division_by_zero
+
+val div : t -> t -> t
+(** Signed division truncating toward zero; [min_int32 / -1] wraps.
+    @raise Division_by_zero on zero divisor. *)
+
+val rem : t -> t -> t
+val divu : t -> t -> t
+val remu : t -> t -> t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+(** Shift amount is taken modulo 32. *)
+
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+val eq : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val ltu : t -> t -> bool
+val leu : t -> t -> bool
+val compare : t -> t -> int
+
+val sext8 : t -> t
+val zext8 : t -> t
+val sext16 : t -> t
+val zext16 : t -> t
+
+val byte : t -> int -> int
+(** [byte x i] is byte [i] (0 = least significant) of [x]. *)
+
+val of_bytes : int -> int -> int -> int -> t
+(** [of_bytes b0 b1 b2 b3] assembles a word from least-significant-first
+    bytes. *)
+
+val bits_of_float_single : float -> t
+val float_of_bits_single : t -> float
+
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_hex : Format.formatter -> t -> unit

@@ -1,0 +1,790 @@
+(* The four SPEC92-analogue benchmark programs, written in MiniC.
+
+   Each mirrors the computational character of the SPEC92 program the paper
+   measures (see DESIGN.md section 2):
+
+     li       -> a small Lisp interpreter with a mark-sweep GC running list
+                 and arithmetic workloads (pointer chasing, branches, calls)
+     compress -> LZW compression + decompression over synthetic text
+                 (integer ops, hash table loads/stores)
+     alvinn   -> multi-layer perceptron forward/backprop training
+                 (double-precision floating point)
+     eqntott  -> product-term truth-table sort dominated by a comparison
+                 function called through qsort (integer compares, indirect
+                 calls)
+
+   Inputs are generated in-program from the fixed-seed LCG in the MiniC
+   runtime library, so every engine sees identical work. Each program
+   prints intermediate values and a final checksum; the differential test
+   suite requires byte-identical output from the oracle, the OmniVM
+   interpreter, and all four target simulators.
+
+   [size] scales the dynamic instruction count; [`Test] keeps differential
+   tests fast, [`Ref] is the benchmarking size. *)
+
+type size = Test | Ref
+
+type t = { name : string; source : string }
+
+(* --- li: lisp interpreter --- *)
+
+let li ~size =
+  let fib_n, list_n, iters =
+    match size with Test -> (12, 40, 2) | Ref -> (17, 150, 6)
+  in
+  let source =
+    Printf.sprintf
+      {|
+/* li: small lisp with cons cells, symbols, eval, and mark-sweep gc */
+
+struct obj {
+  int tag;            /* 0=num 1=sym 2=cons 3=builtin 4=lambda 5=nil */
+  int num;
+  struct obj *car;    /* also: lambda params / builtin id */
+  struct obj *cdr;    /* also: lambda body */
+  struct obj *env;    /* lambda closure env */
+  char name[12];
+  int mark;
+  struct obj *next;   /* allocation chain for gc */
+};
+
+struct obj *all_objs = 0;
+struct obj *nil;
+struct obj *sym_list = 0;   /* interned symbols, chained via cdr */
+int live_count = 0;
+int alloc_count = 0;
+int gc_count = 0;
+
+/* gc roots: a shadow stack */
+struct obj *roots[512];
+int nroots = 0;
+
+void push_root(struct obj *o) { roots[nroots] = o; nroots++; }
+void pop_roots(int n) { nroots -= n; }
+
+void mark(struct obj *o) {
+  while (o != 0 && o->mark == 0) {
+    o->mark = 1;
+    if (o->tag == 2 || o->tag == 4) {
+      mark(o->car);
+      mark(o->env);
+      o = o->cdr;
+    } else {
+      o = 0;
+    }
+  }
+}
+
+void gc(struct obj *extra1, struct obj *extra2) {
+  struct obj *p;
+  int i;
+  gc_count++;
+  for (i = 0; i < nroots; i++) mark(roots[i]);
+  mark(sym_list);
+  mark(extra1);
+  mark(extra2);
+  /* sweep: unmarked objects return to a free list via tag 6 */
+  p = all_objs;
+  live_count = 0;
+  while (p != 0) {
+    if (p->mark) { p->mark = 0; live_count++; }
+    else p->tag = 6;
+    p = p->next;
+  }
+}
+
+struct obj *free_scan = 0;
+
+struct obj *alloc_obj(struct obj *protect1, struct obj *protect2) {
+  struct obj *o;
+  alloc_count++;
+  if ((alloc_count & 1023) == 0) {
+    gc(protect1, protect2);
+    free_scan = all_objs;
+  }
+  /* reuse a swept object if one is handy */
+  while (free_scan != 0) {
+    if (free_scan->tag == 6) {
+      o = free_scan;
+      free_scan = free_scan->next;
+      o->mark = 0;
+      o->car = 0; o->cdr = 0; o->env = 0;
+      return o;
+    }
+    free_scan = free_scan->next;
+  }
+  o = (struct obj *)malloc((int)sizeof(struct obj));
+  o->mark = 0;
+  o->car = 0; o->cdr = 0; o->env = 0;
+  o->next = all_objs;
+  all_objs = o;
+  return o;
+}
+
+struct obj *mknum(int v) {
+  struct obj *o;
+  o = alloc_obj(0, 0);
+  o->tag = 0;
+  o->num = v;
+  return o;
+}
+
+struct obj *cons(struct obj *a, struct obj *d) {
+  struct obj *o;
+  o = alloc_obj(a, d);
+  o->tag = 2;
+  o->car = a;
+  o->cdr = d;
+  return o;
+}
+
+struct obj *intern(char *name) {
+  struct obj *p;
+  p = sym_list;
+  while (p != nil && p != 0) {
+    if (strcmp(p->car->name, name) == 0) return p->car;
+    p = p->cdr;
+  }
+  p = alloc_obj(0, 0);
+  p->tag = 1;
+  strcpy(p->name, name);
+  sym_list = cons(p, sym_list);
+  return p;
+}
+
+/* environment: list of (sym . val) conses */
+struct obj *env_lookup(struct obj *env, struct obj *sym) {
+  while (env != nil) {
+    if (env->car->car == sym) return env->car->cdr;
+    env = env->cdr;
+  }
+  return nil;
+}
+
+struct obj *env_bind(struct obj *env, struct obj *sym, struct obj *val) {
+  return cons(cons(sym, val), env);
+}
+
+struct obj *global_env;
+
+struct obj *eval(struct obj *e, struct obj *env);
+
+struct obj *eval_list(struct obj *e, struct obj *env) {
+  struct obj *h;
+  struct obj *t;
+  if (e == nil) return nil;
+  push_root(e); push_root(env);
+  h = eval(e->car, env);
+  push_root(h);
+  t = eval_list(e->cdr, env);
+  pop_roots(3);
+  return cons(h, t);
+}
+
+struct obj *sym_quote; struct obj *sym_if; struct obj *sym_define;
+struct obj *sym_lambda; struct obj *sym_plus; struct obj *sym_minus;
+struct obj *sym_times; struct obj *sym_lt; struct obj *sym_eq;
+struct obj *sym_cons; struct obj *sym_car; struct obj *sym_cdr;
+struct obj *sym_nullp; struct obj *sym_while; struct obj *sym_set;
+
+struct obj *apply(struct obj *f, struct obj *args) {
+  struct obj *env;
+  struct obj *p;
+  struct obj *body;
+  struct obj *r;
+  if (f->tag != 4) return nil;
+  env = f->env;
+  p = f->car;
+  push_root(f); push_root(args);
+  while (p != nil && args != nil) {
+    env = env_bind(env, p->car, args->car);
+    p = p->cdr;
+    args = args->cdr;
+  }
+  push_root(env);
+  body = f->cdr;
+  r = nil;
+  while (body != nil) {
+    r = eval(body->car, env);
+    body = body->cdr;
+  }
+  pop_roots(3);
+  return r;
+}
+
+struct obj *eval(struct obj *e, struct obj *env) {
+  struct obj *f;
+  struct obj *args;
+  struct obj *a;
+  struct obj *b;
+  struct obj *r;
+  if (e->tag == 0) return e;
+  if (e->tag == 1) return env_lookup(env, e);
+  if (e->tag != 2) return e;
+  /* special forms */
+  if (e->car == sym_quote) return e->cdr->car;
+  if (e->car == sym_if) {
+    push_root(e); push_root(env);
+    a = eval(e->cdr->car, env);
+    pop_roots(2);
+    if (a != nil && !(a->tag == 0 && a->num == 0))
+      return eval(e->cdr->cdr->car, env);
+    if (e->cdr->cdr->cdr != nil) return eval(e->cdr->cdr->cdr->car, env);
+    return nil;
+  }
+  if (e->car == sym_define) {
+    push_root(e); push_root(env);
+    a = eval(e->cdr->cdr->car, env);
+    pop_roots(2);
+    global_env = env_bind(global_env, e->cdr->car, a);
+    return a;
+  }
+  if (e->car == sym_set) {
+    struct obj *cell;
+    push_root(e); push_root(env);
+    a = eval(e->cdr->cdr->car, env);
+    pop_roots(2);
+    cell = env;
+    while (cell != nil) {
+      if (cell->car->car == e->cdr->car) { cell->car->cdr = a; return a; }
+      cell = cell->cdr;
+    }
+    global_env = env_bind(global_env, e->cdr->car, a);
+    return a;
+  }
+  if (e->car == sym_lambda) {
+    r = alloc_obj(e, env);
+    r->tag = 4;
+    r->car = e->cdr->car;   /* params */
+    r->cdr = e->cdr->cdr;   /* body */
+    r->env = env;
+    return r;
+  }
+  if (e->car == sym_while) {
+    push_root(e); push_root(env);
+    r = nil;
+    while (1) {
+      a = eval(e->cdr->car, env);
+      if (a == nil || (a->tag == 0 && a->num == 0)) break;
+      b = e->cdr->cdr;
+      while (b != nil) { r = eval(b->car, env); b = b->cdr; }
+    }
+    pop_roots(2);
+    return r;
+  }
+  /* builtin operators on evaluated arguments */
+  f = e->car;
+  if (f == sym_plus || f == sym_minus || f == sym_times || f == sym_lt
+      || f == sym_eq) {
+    push_root(e); push_root(env);
+    args = eval_list(e->cdr, env);
+    pop_roots(2);
+    a = args->car;
+    b = args->cdr->car;
+    if (f == sym_plus) return mknum(a->num + b->num);
+    if (f == sym_minus) return mknum(a->num - b->num);
+    if (f == sym_times) return mknum(a->num * b->num);
+    if (f == sym_lt) return mknum(a->num < b->num);
+    return mknum(a->num == b->num);
+  }
+  if (f == sym_cons || f == sym_car || f == sym_cdr || f == sym_nullp) {
+    push_root(e); push_root(env);
+    args = eval_list(e->cdr, env);
+    pop_roots(2);
+    if (f == sym_cons) return cons(args->car, args->cdr->car);
+    if (f == sym_car) return args->car->car;
+    if (f == sym_cdr) return args->car->cdr;
+    if (args->car == nil) return mknum(1);
+    return mknum(0);
+  }
+  /* application */
+  push_root(e); push_root(env);
+  a = eval(e->car, env);
+  push_root(a);
+  args = eval_list(e->cdr, env);
+  pop_roots(3);
+  return apply(a, args);
+}
+
+/* build expressions programmatically (no reader needed) */
+struct obj *L1(struct obj *a) { return cons(a, nil); }
+struct obj *L2(struct obj *a, struct obj *b) {
+  struct obj *t;
+  push_root(a);
+  t = L1(b);
+  pop_roots(1);
+  return cons(a, t);
+}
+struct obj *L3(struct obj *a, struct obj *b, struct obj *c) {
+  struct obj *t;
+  push_root(a);
+  t = L2(b, c);
+  pop_roots(1);
+  return cons(a, t);
+}
+struct obj *L4(struct obj *a, struct obj *b, struct obj *c, struct obj *d) {
+  struct obj *t;
+  push_root(a);
+  t = L3(b, c, d);
+  pop_roots(1);
+  return cons(a, t);
+}
+
+int main(void) {
+  struct obj *fib;
+  struct obj *n;
+  struct obj *x;
+  struct obj *expr;
+  struct obj *r;
+  int i;
+  int check;
+  nil = (struct obj *)malloc((int)sizeof(struct obj));
+  nil->tag = 5;
+  nil->car = 0; nil->cdr = 0; nil->env = 0; nil->mark = 0; nil->next = 0;
+  sym_list = nil;
+  global_env = nil;
+  sym_quote = intern("quote"); sym_if = intern("if");
+  sym_define = intern("define"); sym_lambda = intern("lambda");
+  sym_plus = intern("+"); sym_minus = intern("-"); sym_times = intern("*");
+  sym_lt = intern("<"); sym_eq = intern("=");
+  sym_cons = intern("cons"); sym_car = intern("car"); sym_cdr = intern("cdr");
+  sym_nullp = intern("null?"); sym_while = intern("while");
+  sym_set = intern("set!");
+  fib = intern("fib");
+  n = intern("n");
+  x = intern("x");
+
+  /* (define fib (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))) */
+  expr =
+    L3(sym_define, fib,
+       L3(sym_lambda, L1(n),
+          L4(sym_if, L3(sym_lt, n, mknum(2)), n,
+             L3(sym_plus,
+                L2(fib, L3(sym_minus, n, mknum(1))),
+                L2(fib, L3(sym_minus, n, mknum(2)))))));
+  push_root(expr);
+  eval(expr, global_env);
+  pop_roots(1);
+
+  check = 0;
+  for (i = 0; i < %d; i++) {
+    expr = L2(fib, mknum(%d));
+    push_root(expr);
+    r = eval(expr, global_env);
+    pop_roots(1);
+    check += r->num;
+    print_int(r->num); putchar(10);
+  }
+
+  /* list building through interpreted set!/cons, then an interpreted
+     while loop that sums and pops the list */
+  eval(L3(sym_define, x, L2(sym_quote, nil)), global_env);
+  for (i = 0; i < %d; i++) {
+    expr = L3(sym_set, x, L3(sym_cons, mknum(i), x));
+    push_root(expr);
+    eval(expr, global_env);
+    pop_roots(1);
+  }
+  /* sum the list in interpreted code:
+     (define s 0) (while (null? x) ...) -- sum via car/cdr */
+  eval(L3(sym_define, intern("s"), mknum(0)), global_env);
+  expr =
+    L4(sym_while,
+       L3(sym_eq, L2(sym_nullp, x), mknum(0)),
+       L3(sym_set, intern("s"),
+          L3(sym_plus, intern("s"), L2(sym_car, x))),
+       L3(sym_set, x, L2(sym_cdr, x)));
+  push_root(expr);
+  eval(expr, global_env);
+  pop_roots(1);
+  r = env_lookup(global_env, intern("s"));
+  print_int(r->num); putchar(10);
+  check += r->num + gc_count;
+  print_int(check); putchar(10);
+  return 0;
+}
+|}
+      iters fib_n list_n
+  in
+  { name = "li"; source }
+
+(* --- compress: LZW --- *)
+
+let compress ~size =
+  let input_len = match size with Test -> 6000 | Ref -> 60000 in
+  let source =
+    Printf.sprintf
+      {|
+/* compress: LZW compression + decompression over synthetic text */
+
+int INPUT_LEN = %d;
+
+char *input;
+int *codes;          /* compressed output */
+int ncodes = 0;
+
+/* open-addressed hash table, SPEC-compress style */
+int TAB_SIZE = 16384;        /* power of two */
+int *tab_key;                /* (prefix << 8) | byte, or -1 */
+int *tab_code;
+
+int MAXCODE = 4096;
+
+char *dict_suffix;
+int *dict_prefix;
+
+/* markov-ish text generator: letters with repetition */
+void gen_input(void) {
+  int i;
+  int prev;
+  int r;
+  prev = 'a';
+  for (i = 0; i < INPUT_LEN; i++) {
+    r = rand() %% 100;
+    if (r < 55) {
+      /* repeat previous or near-previous character */
+      input[i] = (char)prev;
+    } else if (r < 85) {
+      prev = 'a' + rand() %% 16;
+      input[i] = (char)prev;
+    } else if (r < 95) {
+      input[i] = ' ';
+      prev = 'a' + rand() %% 26;
+    } else {
+      prev = 'a' + rand() %% 26;
+      input[i] = (char)prev;
+    }
+  }
+}
+
+int hash_lookup(int key) {
+  int h;
+  int probes;
+  h = ((key * 2654435761u) >> 16) & (TAB_SIZE - 1);
+  probes = 0;
+  while (tab_key[h] != -1 && tab_key[h] != key) {
+    h = (h + 1) & (TAB_SIZE - 1);
+    probes++;
+    if (probes > TAB_SIZE) return -1;
+  }
+  return h;
+}
+
+void do_compress(void) {
+  int next_code;
+  int prefix;
+  int i;
+  int c;
+  int key;
+  int h;
+  for (i = 0; i < TAB_SIZE; i++) tab_key[i] = -1;
+  next_code = 256;
+  prefix = (int)input[0];
+  for (i = 1; i < INPUT_LEN; i++) {
+    c = (int)input[i];
+    key = (prefix << 8) | c;
+    h = hash_lookup(key);
+    if (h >= 0 && tab_key[h] == key) {
+      prefix = tab_code[h];
+    } else {
+      codes[ncodes] = prefix;
+      ncodes++;
+      if (next_code < MAXCODE && h >= 0) {
+        tab_key[h] = key;
+        tab_code[h] = next_code;
+        dict_prefix[next_code] = prefix;
+        dict_suffix[next_code] = (char)c;
+        next_code++;
+      }
+      prefix = c;
+    }
+  }
+  codes[ncodes] = prefix;
+  ncodes++;
+}
+
+char *decomp;
+int decomp_len = 0;
+
+int emit_code(int code) {
+  /* expand one code, returns first byte */
+  char stack[512];
+  int sp;
+  int first;
+  sp = 0;
+  while (code >= 256) {
+    stack[sp] = dict_suffix[code];
+    sp++;
+    code = dict_prefix[code];
+  }
+  first = code;
+  decomp[decomp_len] = (char)code;
+  decomp_len++;
+  while (sp > 0) {
+    sp--;
+    decomp[decomp_len] = stack[sp];
+    decomp_len++;
+  }
+  return first;
+}
+
+void do_decompress(void) {
+  int i;
+  for (i = 0; i < ncodes; i++) emit_code(codes[i]);
+}
+
+int main(void) {
+  int i;
+  unsigned check;
+  input = malloc(INPUT_LEN + 8);
+  codes = (int *)malloc(4 * (INPUT_LEN + 8));
+  tab_key = (int *)malloc(4 * TAB_SIZE);
+  tab_code = (int *)malloc(4 * TAB_SIZE);
+  dict_suffix = malloc(MAXCODE + 8);
+  dict_prefix = (int *)malloc(4 * MAXCODE + 32);
+  decomp = malloc(INPUT_LEN + 8);
+  srand(20260705);
+  gen_input();
+  do_compress();
+  print_int(INPUT_LEN); putchar(10);
+  print_int(ncodes); putchar(10);
+  do_decompress();
+  if (decomp_len != INPUT_LEN) { print_str("length mismatch"); putchar(10); return 1; }
+  for (i = 0; i < INPUT_LEN; i++) {
+    if (decomp[i] != input[i]) { print_str("data mismatch"); putchar(10); return 1; }
+  }
+  check = 0u;
+  for (i = 0; i < ncodes; i++) check = check * 31u + (unsigned)codes[i];
+  print_int((int)(check & 0xFFFFFF)); putchar(10);
+  print_str("ok"); putchar(10);
+  return 0;
+}
+|}
+      input_len
+  in
+  { name = "compress"; source }
+
+(* --- alvinn: neural net training --- *)
+
+let alvinn ~size =
+  let n_in, n_hid, n_out, epochs, n_pat =
+    match size with
+    | Test -> (32, 12, 4, 3, 8)
+    | Ref -> (96, 24, 8, 12, 16)
+  in
+  let source =
+    Printf.sprintf
+      {|
+/* alvinn: MLP forward/backward training on synthetic patterns */
+
+int N_IN = %d;
+int N_HID = %d;
+int N_OUT = %d;
+int EPOCHS = %d;
+int N_PAT = %d;
+
+double w1[32][128];       /* [hid][in]  (sized at maxima) */
+double w2[16][32];        /* [out][hid] */
+double hid[32];
+double out[16];
+double delta_o[16];
+double delta_h[32];
+double pats[16][128];
+double targ[16][16];
+
+double LRATE = 0.15;
+
+double drand(void) {
+  return (double)(rand() %% 10000) / 10000.0;
+}
+
+void init(void) {
+  int i; int j;
+  for (i = 0; i < N_HID; i++)
+    for (j = 0; j < N_IN; j++)
+      w1[i][j] = drand() * 0.4 - 0.2;
+  for (i = 0; i < N_OUT; i++)
+    for (j = 0; j < N_HID; j++)
+      w2[i][j] = drand() * 0.4 - 0.2;
+  for (i = 0; i < N_PAT; i++) {
+    int k;
+    for (j = 0; j < N_IN; j++) pats[i][j] = drand();
+    for (j = 0; j < N_OUT; j++) targ[i][j] = 0.1;
+    k = i %% N_OUT;
+    targ[i][k] = 0.9;
+  }
+}
+
+double sigmoid(double x) {
+  return 1.0 / (1.0 + exp(-x));
+}
+
+double train_one(double *pat, double *t) {
+  int i; int j;
+  double sum;
+  double err;
+  /* forward */
+  for (i = 0; i < N_HID; i++) {
+    sum = 0.0;
+    for (j = 0; j < N_IN; j++) sum += w1[i][j] * pat[j];
+    hid[i] = sigmoid(sum);
+  }
+  for (i = 0; i < N_OUT; i++) {
+    sum = 0.0;
+    for (j = 0; j < N_HID; j++) sum += w2[i][j] * hid[j];
+    out[i] = sigmoid(sum);
+  }
+  /* backward */
+  err = 0.0;
+  for (i = 0; i < N_OUT; i++) {
+    double d;
+    d = t[i] - out[i];
+    err += d * d;
+    delta_o[i] = d * out[i] * (1.0 - out[i]);
+  }
+  for (j = 0; j < N_HID; j++) {
+    sum = 0.0;
+    for (i = 0; i < N_OUT; i++) sum += delta_o[i] * w2[i][j];
+    delta_h[j] = sum * hid[j] * (1.0 - hid[j]);
+  }
+  for (i = 0; i < N_OUT; i++)
+    for (j = 0; j < N_HID; j++)
+      w2[i][j] += LRATE * delta_o[i] * hid[j];
+  for (i = 0; i < N_HID; i++)
+    for (j = 0; j < N_IN; j++)
+      w1[i][j] += LRATE * delta_h[i] * pat[j];
+  return err;
+}
+
+int main(void) {
+  int e; int p;
+  double err;
+  srand(424242);
+  init();
+  for (e = 0; e < EPOCHS; e++) {
+    err = 0.0;
+    for (p = 0; p < N_PAT; p++) {
+      err += train_one(pats[p], targ[p]);
+    }
+    print_int((int)(err * 100000.0)); putchar(10);
+  }
+  print_str("done"); putchar(10);
+  return 0;
+}
+|}
+      n_in n_hid n_out epochs n_pat
+  in
+  { name = "alvinn"; source }
+
+(* --- eqntott: product-term sorting --- *)
+
+let eqntott ~size =
+  let n_terms, n_vars, rounds =
+    match size with Test -> (400, 16, 2) | Ref -> (2500, 24, 4)
+  in
+  let source =
+    Printf.sprintf
+      {|
+/* eqntott: generate product terms, sort them with a comparison function
+   (the cmppt hot spot), dedup, build a truth-table slice */
+
+int N_TERMS = %d;
+int N_VARS = %d;
+int ROUNDS = %d;
+
+char *terms;   /* N_TERMS * N_VARS entries: 0, 1, 2=dont-care */
+int *order;    /* permutation of term indices, sorted via qsort */
+
+/* the famous hot spot: compare two product terms element-wise */
+int cmppt(char *pa, char *pb) {
+  int a; int b;
+  int i;
+  char *ta;
+  char *tb;
+  a = *(int *)pa;
+  b = *(int *)pb;
+  ta = terms + a * N_VARS;
+  tb = terms + b * N_VARS;
+  for (i = 0; i < N_VARS; i++) {
+    if (ta[i] < tb[i]) return -1;
+    if (ta[i] > tb[i]) return 1;
+  }
+  return 0;
+}
+
+void gen_terms(int round) {
+  int i; int j;
+  int r;
+  for (i = 0; i < N_TERMS; i++) {
+    for (j = 0; j < N_VARS; j++) {
+      r = rand() %% 10;
+      if (r < 4) terms[i * N_VARS + j] = 0;
+      else if (r < 8) terms[i * N_VARS + j] = 1;
+      else terms[i * N_VARS + j] = 2;
+    }
+    /* make duplicates likely */
+    if ((i & 7) == 3 && i > 8) {
+      for (j = 0; j < N_VARS; j++)
+        terms[i * N_VARS + j] = terms[(i - 8 + round %% 4) * N_VARS + j];
+    }
+  }
+}
+
+/* evaluate term against an assignment (bitvector) */
+int term_matches(int t, unsigned assign) {
+  int j;
+  char v;
+  for (j = 0; j < N_VARS; j++) {
+    v = terms[t * N_VARS + j];
+    if (v == 2) continue;
+    if ((int)((assign >> j) & 1u) != (int)v) return 0;
+  }
+  return 1;
+}
+
+int main(void) {
+  int i;
+  int r;
+  int dups;
+  unsigned check;
+  int ones;
+  terms = malloc(N_TERMS * N_VARS + 8);
+  order = (int *)malloc(4 * N_TERMS + 8);
+  srand(777);
+  check = 0u;
+  for (r = 0; r < ROUNDS; r++) {
+    gen_terms(r);
+    for (i = 0; i < N_TERMS; i++) order[i] = i;
+    qsort((char *)order, N_TERMS, 4, &cmppt);
+    /* verify sortedness + count duplicates */
+    dups = 0;
+    for (i = 1; i < N_TERMS; i++) {
+      int c;
+      c = cmppt((char *)&order[i - 1], (char *)&order[i]);
+      if (c > 0) { print_str("sort failed"); putchar(10); return 1; }
+      if (c == 0) dups++;
+    }
+    print_int(dups); putchar(10);
+    /* truth-table slice: evaluate first terms on 256 assignments */
+    ones = 0;
+    for (i = 0; i < 256; i++) {
+      int t;
+      for (t = 0; t < 32; t++) {
+        if (term_matches(order[t], (unsigned)(i * 97 + r))) ones++;
+      }
+    }
+    print_int(ones); putchar(10);
+    check = check * 131u + (unsigned)dups * 7u + (unsigned)ones;
+  }
+  print_int((int)(check & 0xFFFFFF)); putchar(10);
+  return 0;
+}
+|}
+      n_terms n_vars rounds
+  in
+  { name = "eqntott"; source }
+
+let all ~size = [ li ~size; compress ~size; alvinn ~size; eqntott ~size ]
+
+let by_name ~size name =
+  List.find_opt (fun w -> String.equal w.name name) (all ~size)

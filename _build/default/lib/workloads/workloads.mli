@@ -1,0 +1,30 @@
+(** The four SPEC92-analogue benchmark programs, written in MiniC.
+
+    Each mirrors the computational character of the SPEC92 program the
+    paper measures (DESIGN.md §2):
+
+    - [li]: a small Lisp interpreter with a mark-sweep GC (pointer chasing,
+      branches, call-heavy);
+    - [compress]: LZW compression + decompression over synthetic text
+      (integer ops, hash-table loads/stores);
+    - [alvinn]: multi-layer-perceptron training (double-precision FP);
+    - [eqntott]: product-term truth-table sorting dominated by a comparison
+      routine called through qsort (integer compares, indirect calls).
+
+    Inputs are generated in-program from a fixed-seed LCG, so every
+    execution engine sees identical work; each program prints intermediate
+    values and a final checksum. *)
+
+type size =
+  | Test  (** small: fast enough for the differential test suite *)
+  | Ref  (** benchmark size used for EXPERIMENTS.md *)
+
+type t = { name : string; source : string }
+
+val li : size:size -> t
+val compress : size:size -> t
+val alvinn : size:size -> t
+val eqntott : size:size -> t
+
+val all : size:size -> t list
+val by_name : size:size -> string -> t option

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Bytes List Omni_asm Omni_runtime Omnivm Printf String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Omni_harness Omni_targets Omni_workloads Printf String

@@ -1,0 +1,1 @@
+test/test_machdiff.ml: Alcotest Array Buffer List Omni_asm Omni_targets Omniware Printf QCheck QCheck_alcotest Random

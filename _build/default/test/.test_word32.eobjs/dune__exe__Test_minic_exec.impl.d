@@ -1,0 +1,1 @@
+test/test_minic_exec.ml: Alcotest Buffer List Minic Omni_targets Omnivm Omniware Option Printf QCheck QCheck_alcotest Random

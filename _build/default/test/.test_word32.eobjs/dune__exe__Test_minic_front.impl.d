@@ -1,0 +1,1 @@
+test/test_minic_front.ml: Alcotest Array Driver Lexer List Minic Parser Tast Typecheck

@@ -1,0 +1,1 @@
+test/test_minic_opt.ml: Alcotest Array Driver Ir List Lower Minic Omni_runtime Omnivm Opt Printf Regalloc

@@ -1,0 +1,1 @@
+test/test_omnivm.ml: Alcotest Array Bytes Char Format Omni_asm Omni_runtime Omni_util Omnivm Printf QCheck QCheck_alcotest String

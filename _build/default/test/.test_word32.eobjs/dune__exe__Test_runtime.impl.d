@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Char List Omni_asm Omni_runtime Omni_util Omnivm Option String

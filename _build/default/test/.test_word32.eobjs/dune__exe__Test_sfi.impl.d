@@ -1,0 +1,1 @@
+test/test_sfi.ml: Alcotest Bytes Char List Minic Omni_asm Omni_runtime Omni_sfi Omni_targets Omni_util Omni_workloads Omnivm Omniware Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_word32.ml: Alcotest Int64 Omni_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_word32.mli:

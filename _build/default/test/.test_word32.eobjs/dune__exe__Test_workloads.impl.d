@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Minic Omni_sfi Omni_targets Omni_workloads Omnivm Omniware Option Printf String

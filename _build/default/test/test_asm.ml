@@ -1,0 +1,249 @@
+(* Assembler and linker tests: syntax coverage, relocations, layout, and
+   error reporting. *)
+
+module VI = Omnivm.Instr
+
+let assemble src = Omni_asm.Parse.assemble ~name:"t" src
+
+let check_text src expected =
+  let obj = assemble src in
+  let got =
+    Array.to_list obj.Omni_asm.Obj.text
+    |> List.map (VI.to_string VI.pp_addr_label)
+  in
+  Alcotest.(check (list string)) "text" expected got
+
+let syntax_instrs () =
+  check_text
+    {|
+        add r1, r2, r3
+        addi r4, r5, -7
+        li r6, 0x10
+        lw r1, 8(r2)
+        lbu r3, -4(r4)
+        sb r5, 0(r6)
+        fadd.d f1, f2, f3
+        fneg.s f4, f5
+        feq.d r1, f2, f3
+        fld f1, 16(r2)
+        cvt.d.w f1, r2
+        cvt.w.d r3, f4
+        ext r1, r2, 0, 2
+        hcall 3
+        trap 9
+        nop
+        mv r1, r2
+        neg r3, r4
+        not r5, r6
+        ret
+        jr r7
+        jalr r15, r8
+|}
+    [ "add r1, r2, r3"; "addi r4, r5, -7"; "li r6, 16"; "lw r1, 8(r2)";
+      "lbu r3, -4(r4)"; "sb r5, 0(r6)"; "fadd.d f1, f2, f3";
+      "fneg.s f4, f5"; "feq.d r1, f2, f3"; "fld f1, 16(r2)";
+      "cvt.d.w f1, r2"; "cvt.w.d r3, f4"; "ext r1, r2, 0, 2"; "hcall 3";
+      "trap 9"; "nop"; "addi r1, r2, 0"; "sub r3, r0, r4"; "xori r5, r6, -1";
+      "jr r15"; "jr r7"; "jalr r15, r8" ]
+
+let comments_and_labels () =
+  let obj =
+    assemble
+      {|
+; leading comment
+start:  nop           # trailing comment
+.L1:    nop
+        j .L1
+|}
+  in
+  Alcotest.(check int) "instrs" 3 (Array.length obj.Omni_asm.Obj.text);
+  Alcotest.(check int) "relocs" 1 (List.length obj.Omni_asm.Obj.relocs);
+  match Omni_asm.Obj.find_symbol obj ".L1" with
+  | Some s -> Alcotest.(check int) "label offset" 1 s.Omni_asm.Obj.sym_offset
+  | None -> Alcotest.fail "missing label"
+
+let data_directives () =
+  let obj =
+    assemble
+      {|
+        .data
+a:      .word 1, 2, 3
+b:      .half 4, 5
+        .align 4
+c:      .byte 'x', 10
+s:      .asciz "hi\n"
+        .align 8
+d:      .double 1.5
+        .space 3
+        .comm bss1, 16
+|}
+  in
+  let find n =
+    match Omni_asm.Obj.find_symbol obj n with
+    | Some s -> s.Omni_asm.Obj.sym_offset
+    | None -> Alcotest.failf "missing %s" n
+  in
+  Alcotest.(check int) "a" 0 (find "a");
+  Alcotest.(check int) "b" 12 (find "b");
+  Alcotest.(check int) "c" 16 (find "c");
+  Alcotest.(check int) "s" 18 (find "s");
+  Alcotest.(check int) "d" 24 (find "d");
+  Alcotest.(check int) "bss" 35 (find "bss1");
+  Alcotest.(check int) "bss size" 16 obj.Omni_asm.Obj.bss_size;
+  Alcotest.(check char) "string content" 'h'
+    (Bytes.get obj.Omni_asm.Obj.data 18)
+
+let parse_errors () =
+  let expect_err src =
+    match assemble src with
+    | exception Omni_asm.Parse.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" src
+  in
+  expect_err "add r1, r2";
+  expect_err "bogus r1, r2, r3";
+  expect_err "add r1, r2, r16";
+  expect_err "lw r1, (r2";
+  expect_err ".asciz 42";
+  expect_err "li r1, 'ab'"
+
+(* --- linking --- *)
+
+let link_two_objects () =
+  let a =
+    assemble
+      {|
+        .text
+        .globl main
+main:   addi r14, r14, -16
+        sw r15, 0(r14)
+        jal helper
+        hcall 2
+        li r1, 10
+        hcall 1
+        li r1, 0
+        hcall 0
+        .data
+        .globl shared
+shared: .word 5
+|}
+  in
+  let b =
+    assemble
+      {|
+        .text
+        .globl helper
+helper: lw r1, shared(r0)
+        muli r1, r1, 9
+        jr r15
+|}
+  in
+  let exe = Omni_asm.Link.link [ a; b ] in
+  let img = Omni_runtime.Loader.load exe in
+  let outcome, _ = Omni_runtime.Loader.run_interp img in
+  (match outcome with
+  | Omnivm.Interp.Exited 0 -> ()
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check string) "cross-object call + data reloc" "45\n"
+    (Omni_runtime.Host.output img.Omni_runtime.Loader.host)
+
+let link_errors () =
+  let expect_link_err objs entry =
+    match Omni_asm.Link.link ~entry objs with
+    | exception Omni_asm.Link.Link_error _ -> ()
+    | _ -> Alcotest.fail "link accepted bad input"
+  in
+  let m = assemble ".text\n.globl main\nmain: nop\n" in
+  (* undefined symbol *)
+  expect_link_err [ assemble ".text\n.globl main\nmain: j nowhere\n" ] "main";
+  (* duplicate global *)
+  expect_link_err [ m; assemble ".text\n.globl main\nmain: nop\n" ] "main";
+  (* missing entry *)
+  expect_link_err [ m ] "start"
+
+let data_address_reloc () =
+  let obj =
+    assemble
+      {|
+        .data
+tbl:    .word fn1, fn2
+        .text
+        .globl main
+fn1:    li r1, 11
+        jr r15
+fn2:    li r1, 22
+        jr r15
+main:   addi r14, r14, -16
+        sw r15, 0(r14)
+        lw r5, tbl+4(r0)
+        jalr r15, r5
+        hcall 2
+        li r1, 10
+        hcall 1
+        li r1, 0
+        hcall 0
+|}
+  in
+  let exe = Omni_asm.Link.link [ obj ] in
+  let img = Omni_runtime.Loader.load exe in
+  let outcome, _ = Omni_runtime.Loader.run_interp img in
+  (match outcome with
+  | Omnivm.Interp.Exited 0 -> ()
+  | Omnivm.Interp.Faulted f -> Alcotest.failf "fault %s" (Omnivm.Fault.to_string f)
+  | _ -> Alcotest.fail "run failed");
+  Alcotest.(check string) "jump table" "22\n"
+    (Omni_runtime.Host.output img.Omni_runtime.Loader.host)
+
+(* print -> parse round trip over random instruction sequences *)
+let print_parse_roundtrip () =
+  (* reuse canonical printing: print each instruction, reparse the program,
+     compare (labels become addresses so we restrict to label-free instrs) *)
+  let instrs =
+    [ VI.Binop (VI.Add, 1, 2, 3);
+      VI.Binopi (VI.Xor, 4, 5, -77);
+      VI.Li (6, 123456789);
+      VI.Load (VI.W16, false, 1, 2, 8);
+      VI.Store (VI.W8, 3, 4, -2);
+      VI.Fload (VI.Double, 5, 6, 16);
+      VI.Fstore (VI.Single, 7, 8, 0);
+      VI.Fbinop (VI.Fmul, VI.Single, 1, 2, 3);
+      VI.Funop (VI.Fabs, VI.Double, 4, 5);
+      VI.Fcmp (VI.Fle, VI.Double, 6, 7, 8);
+      VI.Cvt_f_i (VI.Double, 1, 2);
+      VI.Cvt_i_f (VI.Single, 3, 4);
+      VI.Cvt_d_s (5, 6);
+      VI.Cvt_s_d (7, 8);
+      VI.Jr 9;
+      VI.Jalr (15, 10);
+      VI.Ext (1, 2, 1, 2);
+      VI.Ins (3, 4, 0, 4);
+      VI.Hcall 5;
+      VI.Trap 3;
+      VI.Nop ]
+  in
+  let text =
+    String.concat "\n"
+      (List.map (fun i -> "        " ^ VI.to_string VI.pp_string_label i) instrs)
+  in
+  let obj = assemble (".text\n" ^ text ^ "\n") in
+  List.iteri
+    (fun i expected ->
+      let got = obj.Omni_asm.Obj.text.(i) in
+      Alcotest.(check string)
+        (Printf.sprintf "instr %d" i)
+        (VI.to_string VI.pp_addr_label expected)
+        (VI.to_string VI.pp_addr_label got))
+    (List.map (VI.map_label (fun (_ : string) -> 0)) instrs)
+
+let () =
+  Alcotest.run "asm"
+    [ ("assembler",
+       [ Alcotest.test_case "instruction syntax" `Quick syntax_instrs;
+         Alcotest.test_case "comments and labels" `Quick comments_and_labels;
+         Alcotest.test_case "data directives" `Quick data_directives;
+         Alcotest.test_case "parse errors" `Quick parse_errors;
+         Alcotest.test_case "print/parse roundtrip" `Quick print_parse_roundtrip ]);
+      ("linker",
+       [ Alcotest.test_case "two objects" `Quick link_two_objects;
+         Alcotest.test_case "errors" `Quick link_errors;
+         Alcotest.test_case "data address reloc" `Quick data_address_reloc ])
+    ]

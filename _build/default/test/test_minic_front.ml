@@ -1,0 +1,164 @@
+(* MiniC front-end tests: lexer, parser (including C declarators), and the
+   typechecker's accept/reject behaviour. *)
+
+open Minic
+
+let parses src =
+  match Parser.parse_program src with
+  | _ -> true
+  | exception (Parser.Error _ | Lexer.Error _) -> false
+
+let typechecks src =
+  match Typecheck.type_program ~protos:Driver.stdlib_protos
+          (Parser.parse_program src)
+  with
+  | _ -> true
+  | exception (Parser.Error _ | Lexer.Error _ | Typecheck.Error _) -> false
+
+let accept name src = Alcotest.(check bool) name true (typechecks src)
+let reject name src = Alcotest.(check bool) name false (typechecks src)
+
+let lexer_tests () =
+  let toks src = Array.length (Lexer.tokenize src) - 1 in
+  Alcotest.(check int) "count" 5 (toks "int x = 1;");
+  Alcotest.(check int) "comment line" 0 (toks "// nothing\n");
+  Alcotest.(check int) "comment block" 1 (toks "/* a\nb */ x");
+  Alcotest.(check int) "suffixes" 1 (toks "123u");
+  (match Lexer.tokenize "0x1F" with
+  | [| (Lexer.INT 31, _); (Lexer.EOF, _) |] -> ()
+  | _ -> Alcotest.fail "hex");
+  (match Lexer.tokenize "1.5e2" with
+  | [| (Lexer.FLOAT f, _); (Lexer.EOF, _) |] when f = 150.0 -> ()
+  | _ -> Alcotest.fail "float");
+  (match Lexer.tokenize "'\\n'" with
+  | [| (Lexer.INT 10, _); (Lexer.EOF, _) |] -> ()
+  | _ -> Alcotest.fail "char escape");
+  (match Lexer.tokenize "\"a\\tb\"" with
+  | [| (Lexer.STRING "a\tb", _); (Lexer.EOF, _) |] -> ()
+  | _ -> Alcotest.fail "string escape");
+  match Lexer.tokenize "$" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "bad char accepted"
+
+let declarators () =
+  (* exercise the inside-out declarator algorithm *)
+  accept "simple" "int x; int main(void){ return 0; }";
+  accept "pointer chain" "int ***p; int main(void){ return 0; }";
+  accept "array of pointers" "int *a[10]; int main(void){ return 0; }";
+  accept "pointer to array deref"
+    "int a[3][4]; int main(void){ return a[1][2]; }";
+  accept "function pointer"
+    "int f(int x) { return x; }\n\
+     int main(void) { int (*p)(int); p = &f; return p(3); }";
+  accept "fn ptr in struct"
+    "struct ops { int (*fn)(int, int); };\n\
+     int add2(int a, int b) { return a + b; }\n\
+     int main(void) { struct ops o; o.fn = &add2; return o.fn(1, 2); }";
+  accept "array of function pointers"
+    "int f(int x) { return x; }\n\
+     int (*tab[4])(int);\n\
+     int main(void) { tab[0] = &f; return tab[0](7); }";
+  accept "pointer returning proto" "char *strdup2(char *s);\nint main(void){ return 0; }";
+  accept "array sized by initializer"
+    "int a[] = {1, 2, 3};\nint main(void){ return a[2]; }";
+  accept "char array from string"
+    "char msg[] = \"hello\";\nint main(void){ return msg[0]; }"
+
+let parser_rejects () =
+  Alcotest.(check bool) "missing semi" false (parses "int main(void) { return 0 }");
+  Alcotest.(check bool) "bad expr" false (parses "int main(void) { return +; }");
+  Alcotest.(check bool) "unclosed brace" false (parses "int main(void) { ");
+  Alcotest.(check bool) "stray token" false (parses "int main(void) { return 0; } @")
+
+let typecheck_accepts () =
+  accept "arith conversions"
+    "int main(void) { double d; int i; char c; d = 1; i = (int)2.5; c = (char)i; return i + c; }";
+  accept "pointer arith"
+    "int a[10]; int main(void) { int *p; p = a + 3; return (int)(p - a); }";
+  accept "struct access"
+    "struct s { int x; struct s *next; };\n\
+     int main(void) { struct s v; v.x = 1; v.next = &v; return v.next->x; }";
+  accept "struct assignment"
+    "struct s { int a; int b; };\n\
+     int main(void) { struct s x; struct s y; x.a = 1; x.b = 2; y = x; return y.b; }";
+  accept "short circuit"
+    "int main(void) { int *p; p = 0; return p && *p; }";
+  accept "ternary" "int main(void) { int x; x = 3; return x > 2 ? 1 : 0; }";
+  accept "compound assign"
+    "int main(void) { int x; x = 1; x += 2; x <<= 3; x %= 7; return x; }";
+  accept "inc dec"
+    "int a[4]; int main(void) { int i; i = 0; a[i++] = 1; a[++i] = 2; return a[0] + a[2] + i; }";
+  accept "sizeof" "struct s { double d; char c; };\nint main(void) { return (int)sizeof(struct s) + (int)sizeof(int); }";
+  accept "unsigned ops"
+    "int main(void) { unsigned x; x = 0xFFFFFFFFu; return (int)(x >> 31); }";
+  accept "void pointer" "int main(void) { void *p; int x; p = (void *)&x; return p == 0; }";
+  accept "do while" "int main(void) { int i; i = 0; do { i++; } while (i < 3); return i; }";
+  accept "break continue"
+    "int main(void) { int i; int s; s = 0; for (i = 0; i < 10; i++) { if (i == 2) continue; if (i > 5) break; s += i; } return s; }"
+
+let typecheck_rejects () =
+  reject "undefined variable" "int main(void) { return x; }";
+  reject "undefined function" "int main(void) { return g(); }";
+  reject "wrong arity" "int f(int x) { return x; }\nint main(void) { return f(1, 2); }";
+  reject "bad arg type" "int f(int *p) { return *p; }\nint main(void) { double d; return f(d); }";
+  reject "assign to rvalue" "int main(void) { 1 = 2; return 0; }";
+  reject "deref int" "int main(void) { int x; return *x; }";
+  reject "dot on non-struct" "int main(void) { int x; return x.f; }";
+  reject "unknown field"
+    "struct s { int a; };\nint main(void) { struct s v; return v.b; }";
+  reject "duplicate local" "int main(void) { int x; int x; return 0; }";
+  reject "duplicate global" "int g; int g; int main(void) { return 0; }";
+  reject "duplicate function" "int f(void) { return 0; }\nint f(void) { return 1; }\nint main(void){ return 0; }";
+  reject "conflicting proto" "int f(int x);\ndouble f(int x) { return 1.0; }\nint main(void){ return 0; }";
+  reject "void variable" "int main(void) { void v; return 0; }";
+  reject "return value from void" "void f(void) { return 3; }\nint main(void){ return 0; }";
+  reject "missing return value" "int f(void) { return; }\nint main(void){ return 0; }";
+  reject "modulo on double" "int main(void) { double d; d = 1.0; return (int)(d % 2.0); }";
+  reject "struct param" "struct s { int a; };\nint f(struct s v) { return v.a; }\nint main(void){ return 0; }";
+  reject "aggregate return" "struct s { int a; };\nstruct s f(void);\nint main(void){ return 0; }";
+  reject "undefined struct" "int main(void) { struct nope *p; return (int)sizeof(struct nope); }";
+  reject "implicit ptr from int" "int main(void) { int *p; p = 5; return 0; }";
+  reject "call non-function" "int main(void) { int x; x = 1; return x(); }";
+  reject "break outside loop" "int main(void) { break; return 0; }"
+
+let line_numbers () =
+  (match Typecheck.type_program (Parser.parse_program "int main(void) {\n  int x;\n  y = 1;\n  return 0;\n}") with
+  | exception Typecheck.Error { line; _ } ->
+      Alcotest.(check int) "error line" 3 line
+  | _ -> Alcotest.fail "accepted");
+  match Parser.parse_program "int main(void) {\n\n  return 0\n}" with
+  | exception Parser.Error { line; _ } -> Alcotest.(check int) "parse line" 4 line
+  | _ -> Alcotest.fail "accepted"
+
+let struct_layout () =
+  let tp =
+    Driver.typed_program
+      "struct s { char c; int i; char c2; double d; char tail; };\n\
+       int main(void) { return 0; }"
+  in
+  match List.assoc_opt "s" tp.Tast.tp_structs with
+  | None -> Alcotest.fail "no struct"
+  | Some l ->
+      let field n =
+        (List.find (fun f -> f.Tast.fl_name = n) l.Tast.sl_fields).Tast.fl_offset
+      in
+      Alcotest.(check int) "c" 0 (field "c");
+      Alcotest.(check int) "i" 4 (field "i");
+      Alcotest.(check int) "c2" 8 (field "c2");
+      Alcotest.(check int) "d" 16 (field "d");
+      Alcotest.(check int) "tail" 24 (field "tail");
+      Alcotest.(check int) "size" 32 l.Tast.sl_size;
+      Alcotest.(check int) "align" 8 l.Tast.sl_align
+
+let () =
+  Alcotest.run "minic-front"
+    [ ("lexer", [ Alcotest.test_case "tokens" `Quick lexer_tests ]);
+      ("parser",
+       [ Alcotest.test_case "declarators" `Quick declarators;
+         Alcotest.test_case "rejects" `Quick parser_rejects;
+         Alcotest.test_case "line numbers" `Quick line_numbers ]);
+      ("typecheck",
+       [ Alcotest.test_case "accepts" `Quick typecheck_accepts;
+         Alcotest.test_case "rejects" `Quick typecheck_rejects;
+         Alcotest.test_case "struct layout" `Quick struct_layout ])
+    ]

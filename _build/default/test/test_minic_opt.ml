@@ -1,0 +1,265 @@
+(* Tests for the machine-independent optimizer: constant folding and
+   propagation, strength reduction, CSE, DCE, and CFG cleanup. These check
+   the shape of the optimized IR (the paper's claim is precisely that this
+   work happens in the compiler, before load time). *)
+
+open Minic
+
+let ir_of ?(level = Opt.O2) src =
+  let tast = Driver.typed_program ~protos:[] src in
+  let ir = Lower.lower_program tast in
+  Opt.optimize level ir
+
+let func ir name =
+  List.find (fun f -> f.Ir.fn_name = name) ir.Ir.pr_funcs
+
+let insts f =
+  Array.to_list f.Ir.fn_blocks
+  |> List.concat_map (fun b -> b.Ir.insts)
+
+let count_rvalues pred f =
+  List.length
+    (List.filter (function Ir.Def (_, rv) -> pred rv | _ -> false) (insts f))
+
+let returns_constant f k =
+  Array.exists
+    (fun b ->
+      match b.Ir.term with
+      | Ir.Ret (Some (_, Ir.Ci v)) -> v = k
+      | _ -> false)
+    f.Ir.fn_blocks
+
+let constant_folding () =
+  let ir = ir_of "int f(void) { return 2 * 21 + (10 / 2) - 5; }" in
+  Alcotest.(check bool) "folded to 42" true (returns_constant (func ir "f") 42);
+  Alcotest.(check int) "no instructions left" 0 (List.length (insts (func ir "f")))
+
+let constant_propagation () =
+  let ir =
+    ir_of
+      "int f(void) { int a; int b; int c; a = 5; b = a * 3; c = b + a; return c; }"
+  in
+  Alcotest.(check bool) "propagated to 20" true (returns_constant (func ir "f") 20)
+
+let branch_folding () =
+  let ir =
+    ir_of "int f(void) { if (1 < 2) return 7; else return 8; }"
+  in
+  let f = func ir "f" in
+  Alcotest.(check bool) "constant branch folded" true (returns_constant f 7);
+  (* the dead branch is unreachable and removed *)
+  Alcotest.(check bool) "no 8 left" false (returns_constant f 8);
+  Alcotest.(check int) "single block" 1 (Array.length f.Ir.fn_blocks)
+
+let strength_reduction () =
+  let ir = ir_of "int f(int x) { return x * 8; }" in
+  let shifts =
+    count_rvalues
+      (function Ir.Ibin (Omnivm.Instr.Sll, _, _) -> true | _ -> false)
+      (func ir "f")
+  in
+  let muls =
+    count_rvalues
+      (function Ir.Ibin (Omnivm.Instr.Mul, _, _) -> true | _ -> false)
+      (func ir "f")
+  in
+  Alcotest.(check int) "mul became shift" 1 shifts;
+  Alcotest.(check int) "no mul" 0 muls;
+  let ir = ir_of "unsigned f(unsigned x) { return x % 16u + x / 8u; }" in
+  let bad =
+    count_rvalues
+      (function
+        | Ir.Ibin ((Omnivm.Instr.Remu | Omnivm.Instr.Divu), _, _) -> true
+        | _ -> false)
+      (func ir "f")
+  in
+  Alcotest.(check int) "unsigned div/mod by 2^k eliminated" 0 bad
+
+let cse () =
+  (* (a*b) appears twice; after CSE only one multiply remains *)
+  let ir = ir_of "int f(int a, int b) { return (a * b) + (a * b); }" in
+  let muls =
+    count_rvalues
+      (function Ir.Ibin (Omnivm.Instr.Mul, _, _) -> true | _ -> false)
+      (func ir "f")
+  in
+  Alcotest.(check int) "one multiply" 1 muls
+
+let cse_killed_by_store () =
+  (* the store may alias the loaded address: the load must not be reused *)
+  let ir =
+    ir_of
+      "int f(int *p, int *q) { int a; int b; a = *p; *q = 5; b = *p; return a + b; }"
+  in
+  let loads =
+    count_rvalues
+      (function Ir.Load _ -> true | _ -> false)
+      (func ir "f")
+  in
+  Alcotest.(check int) "both loads remain" 2 loads
+
+let cse_of_loads () =
+  let ir = ir_of "int f(int *p) { return *p + *p; }" in
+  let loads =
+    count_rvalues (function Ir.Load _ -> true | _ -> false) (func ir "f")
+  in
+  Alcotest.(check int) "one load" 1 loads
+
+let dce () =
+  let ir =
+    ir_of "int f(int x) { int dead; dead = x * 12345; return x + 1; }"
+  in
+  let muls =
+    count_rvalues
+      (function Ir.Ibin (Omnivm.Instr.Mul, _, _) -> true | _ -> false)
+      (func ir "f")
+  in
+  Alcotest.(check int) "dead multiply removed" 0 muls
+
+let dce_keeps_calls () =
+  let ir =
+    ir_of
+      "int g(int x) { return x; }\nint f(int x) { g(x); return x; }"
+  in
+  let calls =
+    List.length
+      (List.filter
+         (function Ir.Call _ -> true | _ -> false)
+         (insts (func ir "f")))
+  in
+  Alcotest.(check int) "call with unused result kept" 1 calls
+
+let address_folding () =
+  (* constant offsets fold into load/store displacements *)
+  let ir =
+    ir_of
+      "struct s { int a; int b; int c; };\n\
+       int f(struct s *p) { return p->b + p->c; }"
+  in
+  let loads_with_disp =
+    count_rvalues
+      (function
+        | Ir.Load (_, _, { Ir.disp; _ }) -> disp = 4 || disp = 8
+        | _ -> false)
+      (func ir "f")
+  in
+  let adds =
+    count_rvalues
+      (function Ir.Ibin (Omnivm.Instr.Add, _, _) -> true | _ -> false)
+      (func ir "f")
+  in
+  Alcotest.(check int) "disp-folded loads" 2 loads_with_disp;
+  Alcotest.(check int) "one add (the sum itself)" 1 adds
+
+let unreachable_removed () =
+  let ir =
+    ir_of "int f(int x) { return x; x = x + 1; return x; }"
+  in
+  Alcotest.(check int) "one block" 1 (Array.length (func ir "f").Ir.fn_blocks)
+
+let licm_hoists () =
+  (* the a*b multiply is loop-invariant: with LICM (O2) the loop executes
+     fewer dynamic instructions than with local optimization only (O1) *)
+  let src =
+    "int f(int a, int b) {\n\
+     int i; int s;\n\
+     s = 0;\n\
+     for (i = 0; i < 1000; i++) s += a * b + i;\n\
+     return s;\n}\n\
+     int main(void) { print_int(f(3, 5)); putchar(10); return 0; }\n"
+  in
+  let icount level =
+    let options = { Driver.opt_level = level; regfile_size = 16 } in
+    let exe = Driver.compile_exe ~options ~with_stdlib:false ~name:"licm" src in
+    let img = Omni_runtime.Loader.load exe in
+    match Omni_runtime.Loader.run_interp img with
+    | Omnivm.Interp.Exited 0, st -> st.Omnivm.Interp.icount
+    | _ -> Alcotest.fail "licm test program failed"
+  in
+  let o1 = icount Opt.O1 and o2 = icount Opt.O2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "O2 (%d) executes fewer instructions than O1 (%d)" o2 o1)
+    true
+    (o2 < o1);
+  (* the hoisted multiply must appear in exactly one (preheader) block *)
+  let ir = ir_of src in
+  let f = func ir "f" in
+  let mul_blocks =
+    Array.to_list f.Ir.fn_blocks
+    |> List.filteri (fun _ b ->
+           List.exists
+             (function
+               | Ir.Def (_, Ir.Ibin (Omnivm.Instr.Mul, _, _)) -> true
+               | _ -> false)
+             b.Ir.insts)
+  in
+  Alcotest.(check int) "one block holds the multiply" 1 (List.length mul_blocks)
+
+let licm_respects_traps () =
+  (* a division by a loop-variant (possibly zero) value must NOT be hoisted:
+     the zero-trip loop below would fault if it were *)
+  let src =
+    "int f(int a, int b, int n) {\n\
+     int i; int s;\n\
+     s = 0;\n\
+     for (i = 0; i < n; i++) s += a / b;\n\
+     return s;\n}\n\
+     int main(void) { print_int(f(10, 0, 0)); putchar(10); return 0; }\n"
+  in
+  let exe = Driver.compile_exe ~with_stdlib:false ~name:"t" src in
+  let img = Omni_runtime.Loader.load exe in
+  match Omni_runtime.Loader.run_interp img with
+  | Omnivm.Interp.Exited 0, _ -> ()
+  | Omnivm.Interp.Faulted f, _ ->
+      Alcotest.failf "hoisted trapping division: %s" (Omnivm.Fault.to_string f)
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let o0_leaves_code_alone () =
+  let ir0 = ir_of ~level:Opt.O0 "int f(void) { return 2 * 21; }" in
+  let muls =
+    count_rvalues
+      (function Ir.Ibin (Omnivm.Instr.Mul, _, _) -> true | _ -> false)
+      (func ir0 "f")
+  in
+  Alcotest.(check int) "O0 keeps the multiply" 1 muls
+
+let regalloc_stats () =
+  (* sanity on the allocator: few registers -> more spills, never fewer *)
+  let src =
+    "int f(int a, int b, int c, int d) {\n\
+     int e; int g; int h; int i;\n\
+     e = a * b; g = c * d; h = a + c; i = b + d;\n\
+     return e + g + h + i + f(e, g, h, i);\n}\n"
+  in
+  let spills n =
+    let tast = Driver.typed_program ~protos:[] src in
+    let ir = Lower.lower_program tast in
+    let ir = Opt.optimize Opt.O2 ir in
+    let f = func ir "f" in
+    let alloc =
+      Regalloc.allocate ~pools:(Regalloc.default_pools ~regfile_size:n) f
+    in
+    alloc.Regalloc.spill_count
+  in
+  let s8 = spills 8 and s16 = spills 16 in
+  Alcotest.(check bool) "more spills with 8 regs" true (s8 >= s16)
+
+let () =
+  Alcotest.run "minic-opt"
+    [ ("opt",
+       [ Alcotest.test_case "constant folding" `Quick constant_folding;
+         Alcotest.test_case "constant propagation" `Quick constant_propagation;
+         Alcotest.test_case "branch folding" `Quick branch_folding;
+         Alcotest.test_case "strength reduction" `Quick strength_reduction;
+         Alcotest.test_case "cse" `Quick cse;
+         Alcotest.test_case "cse killed by store" `Quick cse_killed_by_store;
+         Alcotest.test_case "cse of loads" `Quick cse_of_loads;
+         Alcotest.test_case "dce" `Quick dce;
+         Alcotest.test_case "dce keeps calls" `Quick dce_keeps_calls;
+         Alcotest.test_case "address folding" `Quick address_folding;
+         Alcotest.test_case "unreachable removed" `Quick unreachable_removed;
+         Alcotest.test_case "licm hoists" `Quick licm_hoists;
+         Alcotest.test_case "licm respects traps" `Quick licm_respects_traps;
+         Alcotest.test_case "O0 no opt" `Quick o0_leaves_code_alone ]);
+      ("regalloc", [ Alcotest.test_case "spill monotone" `Quick regalloc_stats ])
+    ]

@@ -1,0 +1,542 @@
+(* OmniVM tests: instruction semantics via the reference interpreter, the
+   segmented memory model, the wire format, and the virtual exception
+   model. *)
+
+module VI = Omnivm.Instr
+module W = Omni_util.Word32
+
+(* --- helpers: assemble, link, run under the interpreter --- *)
+
+let run_asm ?(fuel = 1_000_000) src =
+  let obj = Omni_asm.Parse.assemble ~name:"t" src in
+  let exe = Omni_asm.Link.link [ obj ] in
+  let img = Omni_runtime.Loader.load exe in
+  let outcome, st = Omni_runtime.Loader.run_interp ~fuel img in
+  (outcome, Omni_runtime.Host.output img.Omni_runtime.Loader.host, st)
+
+let expect_output ?fuel src expected =
+  let outcome, out, _ = run_asm ?fuel src in
+  (match outcome with
+  | Omnivm.Interp.Exited 0 -> ()
+  | Omnivm.Interp.Exited n -> Alcotest.failf "exit %d" n
+  | Omnivm.Interp.Faulted f -> Alcotest.failf "fault: %s" (Omnivm.Fault.to_string f)
+  | Omnivm.Interp.Out_of_fuel -> Alcotest.fail "out of fuel");
+  Alcotest.(check string) "output" expected out
+
+let expect_fault src pred =
+  let outcome, _, _ = run_asm src in
+  match outcome with
+  | Omnivm.Interp.Faulted f ->
+      if not (pred f) then
+        Alcotest.failf "unexpected fault %s" (Omnivm.Fault.to_string f)
+  | Omnivm.Interp.Exited n -> Alcotest.failf "exited %d, expected fault" n
+  | Omnivm.Interp.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+(* a main that prints r1 after running [body] *)
+let wrap body =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:
+%s
+        hcall 2
+        li r1, 10
+        hcall 1
+        li r1, 0
+        hcall 0
+|}
+    body
+
+let smoke () =
+  expect_output
+    (wrap {|
+        li r1, 6
+        li r2, 7
+        mul r1, r1, r2 |})
+    "42\n"
+
+let arith () =
+  expect_output (wrap "li r1, 10\nli r2, 3\ndiv r1, r1, r2") "3\n";
+  expect_output (wrap "li r1, -10\nli r2, 3\ndiv r1, r1, r2") "-3\n";
+  expect_output (wrap "li r1, -10\nli r2, 3\nrem r1, r1, r2") "-1\n";
+  expect_output (wrap "li r1, -1\nli r2, 2\ndivu r1, r1, r2") "2147483647\n";
+  expect_output (wrap "li r1, 0x7fffffff\naddi r1, r1, 1") "-2147483648\n";
+  expect_output (wrap "li r1, 1\nslli r1, r1, 31") "-2147483648\n";
+  expect_output (wrap "li r1, -8\nsrai r1, r1, 1") "-4\n";
+  expect_output (wrap "li r1, -8\nsrli r1, r1, 28") "15\n";
+  expect_output (wrap "li r1, 12\nli r2, 10\nslt r1, r1, r2") "0\n";
+  expect_output (wrap "li r1, -1\nli r2, 1\nsltu r1, r1, r2") "0\n";
+  expect_output (wrap "li r1, -1\nli r2, 1\nslt r1, r1, r2") "1\n"
+
+let memory_ops () =
+  expect_output
+    (wrap
+       {|
+        li r2, buf
+        li r3, 0x12345678
+        sw r3, 0(r2)
+        lbu r1, 0(r2)      ; little-endian low byte |}
+     ^ "\n        .data\nbuf: .space 8\n")
+    "120\n";
+  expect_output
+    (wrap
+       {|
+        li r2, buf
+        li r3, -2
+        sh r3, 2(r2)
+        lh r1, 2(r2) |}
+     ^ "\n        .data\nbuf: .space 8\n")
+    "-2\n";
+  expect_output
+    (wrap
+       {|
+        li r2, buf
+        li r3, 200
+        sb r3, 1(r2)
+        lb r1, 1(r2)       ; sign-extended byte load |}
+     ^ "\n        .data\nbuf: .space 8\n")
+    "-56\n"
+
+let float_ops () =
+  expect_output
+    (wrap {|
+        fli.d f1, 1.5
+        fli.d f2, 2.25
+        fadd.d f3, f1, f2
+        cvt.w.d r1, f3 |})
+    "3\n";
+  expect_output
+    (wrap {|
+        fli.d f1, 7.0
+        fli.d f2, 2.0
+        fdiv.d f3, f1, f2
+        cvt.w.d r1, f3 |})
+    "3\n";
+  expect_output
+    (wrap {|
+        li r2, -3
+        cvt.d.w f1, r2
+        fabs.d f2, f1
+        cvt.w.d r1, f2 |})
+    "3\n";
+  expect_output
+    (wrap {|
+        fli.d f1, 1.5
+        fli.d f2, 1.5
+        feq.d r1, f1, f2 |})
+    "1\n"
+
+let ext_ins () =
+  expect_output
+    (wrap {|
+        li r2, 0x12345678
+        ext r1, r2, 1, 2   ; bytes 1..2 -> 0x3456 |})
+    (Printf.sprintf "%d\n" 0x3456);
+  expect_output
+    (wrap {|
+        li r1, 0x11223344
+        li r2, 0xAB
+        ins r1, r2, 3, 1   ; byte 3 := 0xAB |})
+    (Printf.sprintf "%d\n" (W.of_int 0xAB223344))
+
+let branches () =
+  expect_output
+    (wrap {|
+        li r1, 0
+        li r2, 5
+loop:   addi r1, r1, 1
+        bne r1, r2, loop |})
+    "5\n";
+  expect_output
+    (wrap {|
+        li r1, -5
+        bgti r1, -10, yes
+        li r1, 0
+        j done1
+yes:    li r1, 1
+done1:  nop |})
+    "1\n";
+  expect_output
+    (wrap {|
+        li r1, -5
+        li r2, 3
+        bgtu r1, r2, yes   ; -5 unsigned is huge
+        li r1, 0
+        j done1
+yes:    li r1, 1
+done1:  nop |})
+    "1\n"
+
+let calls () =
+  expect_output
+    {|
+        .text
+        .globl main
+double: add r1, r1, r1
+        jr r15
+main:   addi r14, r14, -16
+        sw r15, 0(r14)
+        li r1, 21
+        jal double
+        hcall 2
+        li r1, 10
+        hcall 1
+        lw r15, 0(r14)
+        addi r14, r14, 16
+        li r1, 0
+        hcall 0
+|}
+    "42\n";
+  (* indirect call through a function pointer in data *)
+  expect_output
+    {|
+        .data
+fptr:   .word triple
+        .text
+        .globl main
+triple: li r9, 3
+        mul r1, r1, r9
+        jr r15
+main:   addi r14, r14, -16
+        sw r15, 0(r14)
+        li r1, 14
+        lw r5, fptr(r0)
+        jalr r15, r5
+        hcall 2
+        li r1, 10
+        hcall 1
+        lw r15, 0(r14)
+        addi r14, r14, 16
+        li r1, 0
+        hcall 0
+|}
+    "42\n"
+
+(* --- faults and the virtual exception model --- *)
+
+let fault_unmapped () =
+  expect_fault
+    (wrap {|
+        li r2, 0x00000040
+        lw r1, 0(r2) |})
+    (function
+      | Omnivm.Fault.Access_violation { access = Omnivm.Fault.Read; _ } -> true
+      | _ -> false)
+
+let fault_write_code () =
+  expect_fault
+    (wrap {|
+        li r2, 0x10000000
+        li r3, 1
+        sw r3, 0(r2) |})
+    (function
+      | Omnivm.Fault.Access_violation { access = Omnivm.Fault.Write; _ } -> true
+      | _ -> false)
+
+let fault_div0 () =
+  expect_fault
+    (wrap {|
+        li r1, 1
+        li r2, 0
+        div r1, r1, r2 |})
+    (function Omnivm.Fault.Division_by_zero -> true | _ -> false)
+
+let fault_bad_jump () =
+  expect_fault
+    (wrap {|
+        li r2, 0x20000000
+        jr r2 |})
+    (function
+      | Omnivm.Fault.Access_violation { access = Omnivm.Fault.Execute; _ } ->
+          true
+      | _ -> false)
+
+(* The module registers a handler; a division by zero is delivered to it
+   instead of aborting (paper: the SDCA exception model). *)
+let handler_delivery () =
+  expect_output
+    {|
+        .text
+        .globl main
+handler:
+        ; r1 = fault code (3 = division by zero)
+        hcall 2
+        li r1, 10
+        hcall 1
+        li r1, 0
+        hcall 0
+main:
+        li r1, handler
+        hcall 7            ; set_handler
+        li r2, 0
+        li r3, 4
+        div r3, r3, r2     ; faults; delivered to handler
+        li r1, 99          ; unreachable
+        hcall 2
+        li r1, 1
+        hcall 0
+|}
+    "3\n"
+
+let unauthorized_hcall () =
+  let obj =
+    Omni_asm.Parse.assemble ~name:"t"
+      {|
+        .text
+        .globl main
+main:   li r1, 65
+        hcall 1
+        li r1, 0
+        hcall 0
+|}
+  in
+  let exe = Omni_asm.Link.link [ obj ] in
+  (* host only allows exit: the putchar must fault *)
+  let img = Omni_runtime.Loader.load ~allow:[ Omnivm.Hostcall.Exit ] exe in
+  match Omni_runtime.Loader.run_interp img with
+  | Omnivm.Interp.Faulted (Omnivm.Fault.Unauthorized_host_call { index = 1 }), _ -> ()
+  | o, _ ->
+      Alcotest.failf "expected unauthorized host call, got %s"
+        (match o with
+        | Omnivm.Interp.Exited n -> Printf.sprintf "exit %d" n
+        | Omnivm.Interp.Faulted f -> Omnivm.Fault.to_string f
+        | Omnivm.Interp.Out_of_fuel -> "fuel")
+
+let sbrk_heap () =
+  expect_output
+    (wrap {|
+        li r1, 64
+        hcall 5            ; sbrk
+        addi r2, r1, 0
+        li r3, 77
+        sw r3, 0(r2)
+        lw r1, 0(r2) |})
+    "77\n"
+
+(* --- memory unit tests --- *)
+
+let memory_unit () =
+  let mem = Omnivm.Memory.create () in
+  ignore
+    (Omnivm.Memory.map mem ~name:"a" ~base:0x1000 ~size:0x1000
+       ~perm:Omnivm.Memory.perm_rw);
+  Omnivm.Memory.store32 mem 0x1000 0x11223344;
+  Alcotest.(check int) "load32" 0x11223344 (Omnivm.Memory.load32 mem 0x1000);
+  Alcotest.(check int) "load8 le" 0x44 (Omnivm.Memory.load8 mem 0x1000);
+  Alcotest.(check int) "load16" 0x3344 (Omnivm.Memory.load16 mem 0x1000);
+  Omnivm.Memory.store_float mem 0x1008 3.25;
+  Alcotest.(check (float 0.0)) "float" 3.25 (Omnivm.Memory.load_float mem 0x1008);
+  Alcotest.check_raises "unmapped"
+    (Omnivm.Fault.Vm_fault
+       (Omnivm.Fault.Access_violation { addr = 0x0; access = Omnivm.Fault.Read }))
+    (fun () -> ignore (Omnivm.Memory.load8 mem 0x0));
+  (* permission change *)
+  Omnivm.Memory.set_perm mem "a" Omnivm.Memory.perm_r;
+  Alcotest.check_raises "read-only"
+    (Omnivm.Fault.Vm_fault
+       (Omnivm.Fault.Access_violation
+          { addr = 0x1000; access = Omnivm.Fault.Write }))
+    (fun () -> Omnivm.Memory.store8 mem 0x1000 1);
+  (* straddling the region end *)
+  Alcotest.check_raises "straddle"
+    (Omnivm.Fault.Vm_fault
+       (Omnivm.Fault.Access_violation
+          { addr = 0x2001; access = Omnivm.Fault.Read }))
+    (fun () -> ignore (Omnivm.Memory.load32 mem 0x1FFE))
+
+let overlap_rejected () =
+  let mem = Omnivm.Memory.create () in
+  ignore
+    (Omnivm.Memory.map mem ~name:"a" ~base:0x1000 ~size:0x2000
+       ~perm:Omnivm.Memory.perm_rw);
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Memory.map: overlapping regions") (fun () ->
+      ignore
+        (Omnivm.Memory.map mem ~name:"b" ~base:0x2000 ~size:0x1000
+           ~perm:Omnivm.Memory.perm_rw))
+
+(* --- wire format round-trip --- *)
+
+let gen_reg = QCheck.Gen.int_bound 15
+
+let gen_instr : int VI.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let imm = oneof [ int_bound 100; map W.of_int int; return 0 ] in
+  let lab = map (fun i -> Omnivm.Layout.code_base + (4 * i)) (int_bound 1000) in
+  let binop =
+    oneofl
+      [ VI.Add; Sub; Mul; Div; Divu; Rem; Remu; And; Or; Xor; Sll; Srl; Sra;
+        Slt; Sltu ]
+  in
+  let cond =
+    oneofl [ VI.Eq; Ne; Lt; Le; Gt; Ge; Ltu; Leu; Gtu; Geu ]
+  in
+  let width_s = oneofl [ (VI.W8, false); (W8, true); (W16, false); (W16, true); (W32, true) ] in
+  let swidth = oneofl [ VI.W8; W16; W32 ] in
+  let prec = oneofl [ VI.Single; VI.Double ] in
+  oneof
+    [ return VI.Nop;
+      map2 (fun r i -> VI.Li (r, i)) gen_reg imm;
+      (binop >>= fun op ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       gen_reg >>= fun c -> return (VI.Binop (op, a, b, c)));
+      (binop >>= fun op ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       imm >>= fun i -> return (VI.Binopi (op, a, b, i)));
+      (width_s >>= fun (w, s) ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       imm >>= fun i -> return (VI.Load (w, s, a, b, i)));
+      (swidth >>= fun w ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       imm >>= fun i -> return (VI.Store (w, a, b, i)));
+      (prec >>= fun p ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       imm >>= fun i -> return (VI.Fload (p, a, b, i)));
+      (prec >>= fun p ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       imm >>= fun i -> return (VI.Fstore (p, a, b, i)));
+      (oneofl [ VI.Fadd; Fsub; Fmul; Fdiv ] >>= fun op ->
+       prec >>= fun p ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       gen_reg >>= fun c -> return (VI.Fbinop (op, p, a, b, c)));
+      (oneofl [ VI.Fneg; Fabs; Fmov ] >>= fun op ->
+       prec >>= fun p ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b -> return (VI.Funop (op, p, a, b)));
+      (oneofl [ VI.Feq; Flt; Fle ] >>= fun op ->
+       prec >>= fun p ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       gen_reg >>= fun c -> return (VI.Fcmp (op, p, a, b, c)));
+      (prec >>= fun p ->
+       gen_reg >>= fun a ->
+       float_bound_inclusive 1000.0 >>= fun v -> return (VI.Fli (p, a, v)));
+      (cond >>= fun c ->
+       gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       lab >>= fun l -> return (VI.Br (c, a, b, l)));
+      (cond >>= fun c ->
+       gen_reg >>= fun a ->
+       imm >>= fun i ->
+       lab >>= fun l -> return (VI.Bri (c, a, i, l)));
+      map (fun l -> VI.J l) lab;
+      map (fun l -> VI.Jal l) lab;
+      map (fun r -> VI.Jr r) gen_reg;
+      map2 (fun a b -> VI.Jalr (a, b)) gen_reg gen_reg;
+      (gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       int_bound 3 >>= fun pos ->
+       int_range 1 (4 - pos) >>= fun len -> return (VI.Ext (a, b, pos, len)));
+      (gen_reg >>= fun a ->
+       gen_reg >>= fun b ->
+       int_bound 3 >>= fun pos ->
+       int_range 1 (4 - pos) >>= fun len -> return (VI.Ins (a, b, pos, len)));
+      map (fun n -> VI.Hcall n) (int_bound 8);
+      map (fun n -> VI.Trap n) (int_bound 100)
+    ]
+
+let arb_exe =
+  QCheck.make
+    ~print:(fun (e : Omnivm.Exe.t) ->
+      Format.asprintf "%a" Omnivm.Exe.pp e)
+    QCheck.Gen.(
+      list_size (int_range 1 40) gen_instr >>= fun instrs ->
+      string_size (int_bound 64) >>= fun data ->
+      int_bound 256 >>= fun bss ->
+      let text = Array.of_list instrs in
+      return
+        {
+          Omnivm.Exe.text;
+          entry = Omnivm.Layout.code_base;
+          data = Bytes.of_string data;
+          bss_size = bss;
+          symbols = [ ("main", Omnivm.Layout.code_base) ];
+        })
+
+let wire_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"wire encode/decode roundtrip" arb_exe
+       (fun exe ->
+         let exe' = Omnivm.Wire.decode (Omnivm.Wire.encode exe) in
+         exe'.Omnivm.Exe.text = exe.Omnivm.Exe.text
+         && exe'.entry = exe.entry
+         && Bytes.equal exe'.data exe.data
+         && exe'.bss_size = exe.bss_size
+         && exe'.symbols = exe.symbols))
+
+(* decoding arbitrary bytes must never raise anything except Bad_module
+   (and decoded modules must re-encode) *)
+let wire_decode_robust =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"wire decode is total"
+       QCheck.(string_of_size (QCheck.Gen.int_bound 200))
+       (fun s ->
+         (* half the time, corrupt a valid module instead of random bytes *)
+         let s =
+           if String.length s > 0 && Char.code s.[0] land 1 = 0 then s
+           else begin
+             let good =
+               Omnivm.Wire.encode
+                 { Omnivm.Exe.text = [| VI.Li (1, 42); VI.Hcall 0 |];
+                   entry = Omnivm.Layout.code_base;
+                   data = Bytes.of_string "abc"; bss_size = 4;
+                   symbols = [ ("main", Omnivm.Layout.code_base) ] }
+             in
+             let b = Bytes.of_string good in
+             String.iteri
+               (fun i c ->
+                 if i < Bytes.length b then
+                   Bytes.set b (i * 31 mod Bytes.length b) c)
+               s;
+             Bytes.to_string b
+           end
+         in
+         match Omnivm.Wire.decode s with
+         | exe -> String.length (Omnivm.Wire.encode exe) > 0
+         | exception Omnivm.Wire.Bad_module _ -> true))
+
+let wire_rejects_garbage () =
+  Alcotest.check_raises "magic" (Omnivm.Wire.Bad_module "bad magic")
+    (fun () -> ignore (Omnivm.Wire.decode "NOPE"));
+  let good = Omnivm.Wire.encode
+      { Omnivm.Exe.text = [| VI.Nop |]; entry = Omnivm.Layout.code_base;
+        data = Bytes.create 0; bss_size = 0; symbols = [] } in
+  let truncated = String.sub good 0 (String.length good - 1) in
+  (match Omnivm.Wire.decode truncated with
+  | exception Omnivm.Wire.Bad_module _ -> ()
+  | _ -> Alcotest.fail "truncated module accepted")
+
+let () =
+  Alcotest.run "omnivm"
+    [ ("interp",
+       [ Alcotest.test_case "smoke" `Quick smoke;
+         Alcotest.test_case "arith" `Quick arith;
+         Alcotest.test_case "memory ops" `Quick memory_ops;
+         Alcotest.test_case "float ops" `Quick float_ops;
+         Alcotest.test_case "ext/ins" `Quick ext_ins;
+         Alcotest.test_case "branches" `Quick branches;
+         Alcotest.test_case "calls" `Quick calls ]);
+      ("faults",
+       [ Alcotest.test_case "unmapped read" `Quick fault_unmapped;
+         Alcotest.test_case "write to code" `Quick fault_write_code;
+         Alcotest.test_case "division by zero" `Quick fault_div0;
+         Alcotest.test_case "bad indirect jump" `Quick fault_bad_jump;
+         Alcotest.test_case "handler delivery" `Quick handler_delivery;
+         Alcotest.test_case "unauthorized host call" `Quick unauthorized_hcall;
+         Alcotest.test_case "sbrk heap" `Quick sbrk_heap ]);
+      ("memory",
+       [ Alcotest.test_case "unit" `Quick memory_unit;
+         Alcotest.test_case "overlap rejected" `Quick overlap_rejected ]);
+      ("wire",
+       [ wire_roundtrip;
+         wire_decode_robust;
+         Alcotest.test_case "rejects garbage" `Quick wire_rejects_garbage ])
+    ]

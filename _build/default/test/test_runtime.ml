@@ -1,0 +1,148 @@
+(* Host-environment tests: service dispatch, authority, heap management,
+   and loader behaviour. *)
+
+module Host = Omni_runtime.Host
+module Loader = Omni_runtime.Loader
+module L = Omnivm.Layout
+
+let mk_host ?(allow = Omnivm.Hostcall.all) ?(heap = 4096) () =
+  let mem = Omnivm.Memory.create () in
+  ignore
+    (Omnivm.Memory.map mem ~name:"data" ~base:L.data_base ~size:L.data_size
+       ~perm:Omnivm.Memory.perm_rw);
+  let host =
+    Host.create ~allow ~heap_start:(L.data_base + 0x1000)
+      ~heap_limit:(L.data_base + 0x1000 + heap) ()
+  in
+  (host, mem)
+
+let request host mem index args =
+  let ret = ref 0 in
+  let outcome =
+    Host.handle host
+      {
+        Host.index;
+        arg = (fun i -> try List.nth args i with _ -> 0);
+        farg = (fun _ -> 0.0);
+        set_ret = (fun v -> ret := v);
+        mem;
+      }
+  in
+  (outcome, !ret)
+
+let output_services () =
+  let host, mem = mk_host () in
+  ignore (request host mem 1 [ Char.code 'h' ]);
+  ignore (request host mem 1 [ Char.code 'i' ]);
+  ignore (request host mem 2 [ -42 ]);
+  Alcotest.(check string) "putchar + print_int" "hi-42" (Host.output host);
+  Host.clear_output host;
+  Alcotest.(check string) "cleared" "" (Host.output host);
+  (* print_string reads a NUL-terminated string from module memory *)
+  let addr = L.data_base + 64 in
+  String.iteri
+    (fun i c -> Omnivm.Memory.store8 mem (addr + i) (Char.code c))
+    "str!\000";
+  ignore (request host mem 3 [ addr ]);
+  Alcotest.(check string) "print_string" "str!" (Host.output host)
+
+let sbrk_behaviour () =
+  let host, mem = mk_host ~heap:64 () in
+  let _, a = request host mem 5 [ 16 ] in
+  let _, b = request host mem 5 [ 16 ] in
+  Alcotest.(check bool) "blocks distinct and ordered" true (b >= a + 16);
+  Alcotest.(check int) "aligned" 0 (a land 7);
+  (* exhaustion returns null, not a fault *)
+  let _, c = request host mem 5 [ 1_000_000 ] in
+  Alcotest.(check int) "exhausted -> 0" 0 c;
+  (* negative requests are clamped *)
+  let _, d = request host mem 5 [ -5 ] in
+  Alcotest.(check bool) "negative clamped" true (d > 0)
+
+let authority () =
+  let host, mem = mk_host ~allow:[ Omnivm.Hostcall.Exit ] () in
+  (match request host mem 0 [ 3 ] with
+  | Host.Exit 3, _ -> ()
+  | _ -> Alcotest.fail "exit allowed");
+  Alcotest.check_raises "putchar denied"
+    (Omnivm.Fault.Vm_fault (Omnivm.Fault.Unauthorized_host_call { index = 1 }))
+    (fun () -> ignore (request host mem 1 [ 65 ]));
+  Alcotest.check_raises "unknown call"
+    (Omnivm.Fault.Vm_fault (Omnivm.Fault.Unauthorized_host_call { index = 99 }))
+    (fun () -> ignore (request host mem 99 []))
+
+let service_extension () =
+  let host, mem = mk_host () in
+  (* no service installed: host_service is a fault *)
+  Alcotest.check_raises "no service"
+    (Omnivm.Fault.Vm_fault (Omnivm.Fault.Unauthorized_host_call { index = 8 }))
+    (fun () -> ignore (request host mem 8 [ 1; 2; 3; 4 ]));
+  Host.set_service host (fun a b c d -> (a * 1000) + (b * 100) + (c * 10) + d);
+  let _, v = request host mem 8 [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "service result" 1234 v
+
+let set_handler_outcome () =
+  let host, mem = mk_host () in
+  match request host mem 7 [ 0x10000040 ] with
+  | Host.Set_handler a, _ -> Alcotest.(check int) "address" 0x10000040 a
+  | _ -> Alcotest.fail "expected Set_handler"
+
+let loader_layout () =
+  let obj =
+    Omni_asm.Parse.assemble ~name:"t"
+      {|
+        .data
+        .globl g
+g:      .word 0x11223344
+        .text
+        .globl main
+main:   li r1, 0
+        hcall 0
+|}
+  in
+  let exe = Omni_asm.Link.link [ obj ] in
+  let img = Loader.load exe in
+  (* globals land above the reserved runtime area *)
+  let gaddr = Option.get (Omnivm.Exe.lookup_symbol exe "g") in
+  Alcotest.(check bool) "global above reserved area" true
+    (gaddr >= L.data_base + L.reserved_data);
+  Alcotest.(check int) "image copied" 0x11223344
+    (Omnivm.Memory.load32 img.Loader.mem gaddr);
+  (* heap starts after globals, stays below the stack reservation *)
+  Alcotest.(check bool) "heap after globals" true
+    (img.Loader.host.Host.brk > gaddr);
+  Alcotest.(check bool) "heap below stack" true
+    (img.Loader.host.Host.heap_limit
+    <= L.data_base + L.data_size - L.default_stack_size);
+  (* no host region unless requested *)
+  Alcotest.(check bool) "no host region" true (img.Loader.host_region = None);
+  let img2 = Loader.load ~map_host_region:true exe in
+  Alcotest.(check bool) "host region on demand" true
+    (img2.Loader.host_region <> None)
+
+let lcg_determinism () =
+  let a = Omni_util.Lcg.create 42 in
+  let b = Omni_util.Lcg.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Omni_util.Lcg.next a)
+      (Omni_util.Lcg.next b)
+  done;
+  let c = Omni_util.Lcg.create 43 in
+  Alcotest.(check bool) "different seed diverges" true
+    (Omni_util.Lcg.next a <> Omni_util.Lcg.next c);
+  for _ = 1 to 1000 do
+    let v = Omni_util.Lcg.int a 10 in
+    Alcotest.(check bool) "bounded" true (v >= 0 && v < 10)
+  done
+
+let () =
+  Alcotest.run "runtime"
+    [ ("host",
+       [ Alcotest.test_case "output services" `Quick output_services;
+         Alcotest.test_case "sbrk" `Quick sbrk_behaviour;
+         Alcotest.test_case "authority" `Quick authority;
+         Alcotest.test_case "service extension" `Quick service_extension;
+         Alcotest.test_case "set_handler" `Quick set_handler_outcome ]);
+      ("loader", [ Alcotest.test_case "layout" `Quick loader_layout ]);
+      ("util", [ Alcotest.test_case "lcg determinism" `Quick lcg_determinism ])
+    ]

@@ -1,0 +1,467 @@
+(* Software fault isolation tests: the security core of the system.
+
+   We hand-write adversarial OmniVM modules that attempt to corrupt host
+   memory or hijack control flow, and check that:
+   - WITHOUT SFI, the attacks succeed on the simulated hardware (the
+     threat is real),
+   - with sandboxing, every attack is contained (host memory untouched,
+     jumps confined to the code segment),
+   - with guard mode, attacks raise the OmniVM access-violation exception,
+   - the static verifier accepts sandboxed translations and rejects
+     unprotected ones. *)
+
+module Api = Omniware.Api
+module Machine = Omni_targets.Machine
+module Arch = Omni_targets.Arch
+module L = Omnivm.Layout
+
+let target_archs = [ Arch.Mips; Arch.Sparc; Arch.Ppc; Arch.X86 ]
+
+let compile_asm src =
+  Omni_asm.Link.link [ Omni_asm.Parse.assemble ~name:"evil" src ]
+
+(* Run a module against a given SFI mode; returns (outcome, host_region,
+   output). The canary byte pattern 0xAB is planted in host memory. *)
+let run_with_mode arch exe mode =
+  let img = Api.load ~map_host_region:true exe in
+  (match img.Omni_runtime.Loader.host_region with
+  | Some r -> Bytes.fill r.Omnivm.Memory.bytes 0 64 '\xAB'
+  | None -> assert false);
+  let tr = Api.translate ~mode ~opts:(Api.mobile_opts arch) arch exe in
+  let r = Api.run_translated ~fuel:10_000_000 tr img in
+  let host_bytes =
+    match img.Omni_runtime.Loader.host_region with
+    | Some reg -> Bytes.sub reg.Omnivm.Memory.bytes 0 64
+    | None -> assert false
+  in
+  (r.Api.outcome, host_bytes, r.Api.output)
+
+let intact b = Bytes.for_all (fun c -> c = '\xAB') b
+
+let sandbox = Machine.Mobile (Omni_sfi.Policy.make ())
+let guard = Machine.Mobile (Omni_sfi.Policy.make ~mode:Omni_sfi.Policy.Guard ())
+let off = Machine.Mobile Omni_sfi.Policy.off
+
+(* attack 1: direct wild store into host memory *)
+let wild_store_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:   li r2, %d          ; host region base
+        li r3, 0x5A5A5A5A
+        sw r3, 0(r2)
+        sw r3, 16(r2)
+        li r1, 0
+        hcall 0
+|}
+    L.host_base
+
+let wild_store_contained () =
+  let exe = compile_asm wild_store_src in
+  List.iter
+    (fun arch ->
+      let name s = Printf.sprintf "%s/%s" (Arch.name arch) s in
+      (* without SFI the attack corrupts host memory *)
+      let o, host, _ = run_with_mode arch exe off in
+      (match o with
+      | Machine.Exited 0 -> ()
+      | _ -> Alcotest.failf "%s: unexpected outcome" (name "off"));
+      Alcotest.(check bool) (name "no-sfi corrupts host") false (intact host);
+      (* sandboxing forces the store into the data segment *)
+      let o, host, _ = run_with_mode arch exe sandbox in
+      (match o with
+      | Machine.Exited 0 -> ()
+      | Machine.Faulted f ->
+          Alcotest.failf "%s: fault %s" (name "sandbox") (Omnivm.Fault.to_string f)
+      | _ -> Alcotest.failf "%s: unexpected outcome" (name "sandbox"));
+      Alcotest.(check bool) (name "sandbox protects host") true (intact host);
+      (* guard mode turns the attack into an access violation *)
+      let o, host, _ = run_with_mode arch exe guard in
+      (match o with
+      | Machine.Faulted (Omnivm.Fault.Access_violation { access = Omnivm.Fault.Write; _ }) -> ()
+      | _ -> Alcotest.failf "%s: expected write violation" (name "guard"));
+      Alcotest.(check bool) (name "guard protects host") true (intact host))
+    target_archs
+
+(* attack 2: compute the address to defeat static inspection *)
+let computed_store_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:   li r2, %d
+        li r3, 16
+        li r4, 4
+        mul r3, r3, r4     ; 64
+        add r2, r2, r3     ; host_base + 64... minus 64
+        subi r2, r2, 64
+        li r3, 0x5A5A5A5A
+        sw r3, 0(r2)
+        li r1, 0
+        hcall 0
+|}
+    L.host_base
+
+let computed_store_contained () =
+  let exe = compile_asm computed_store_src in
+  List.iter
+    (fun arch ->
+      let o, host, _ = run_with_mode arch exe sandbox in
+      (match o with
+      | Machine.Exited 0 -> ()
+      | _ -> Alcotest.fail "sandbox run failed");
+      Alcotest.(check bool)
+        (Arch.name arch ^ " computed store contained")
+        true (intact host))
+    target_archs
+
+(* attack 3: corrupt the stack pointer, then store through it *)
+let sp_attack_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:   li r14, %d         ; point sp at host memory
+        li r3, 0x5A5A5A5A
+        sw r3, 0(r14)      ; "safe" sp-relative store
+        li r1, 0
+        hcall 0
+|}
+    L.host_base
+
+let sp_attack_contained () =
+  let exe = compile_asm sp_attack_src in
+  List.iter
+    (fun arch ->
+      (* unprotected: sp really does point at host memory *)
+      let o, host, _ = run_with_mode arch exe off in
+      (match o with Machine.Exited 0 -> () | _ -> Alcotest.fail "off run");
+      Alcotest.(check bool)
+        (Arch.name arch ^ " sp attack works without sfi")
+        false (intact host);
+      (* sandboxed: setting sp re-sandboxes it into the data segment *)
+      let o, host, _ = run_with_mode arch exe sandbox in
+      (match o with Machine.Exited 0 -> () | _ -> Alcotest.fail "sandbox run");
+      Alcotest.(check bool)
+        (Arch.name arch ^ " sp attack contained")
+        true (intact host))
+    target_archs
+
+(* attack 4: indirect jump out of the code segment *)
+let wild_jump_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:   li r2, %d          ; data segment address
+        jr r2
+        li r1, 0
+        hcall 0
+|}
+    (L.data_base + 0x100)
+
+let wild_jump_contained () =
+  let exe = compile_asm wild_jump_src in
+  List.iter
+    (fun arch ->
+      let o, _, _ = run_with_mode arch exe sandbox in
+      (* the masked target lands inside the code segment; it is not a valid
+         instruction boundary, so the module faults -- control never
+         escapes to data or host memory *)
+      match o with
+      | Machine.Faulted
+          (Omnivm.Fault.Access_violation { access = Omnivm.Fault.Execute; addr }) ->
+          Alcotest.(check bool)
+            (Arch.name arch ^ " jump target forced into code segment")
+            true
+            (addr land lnot L.code_mask = L.code_base)
+      | Machine.Exited _ | Machine.Faulted _ | Machine.Out_of_fuel ->
+          Alcotest.failf "%s: expected execute violation" (Arch.name arch))
+    target_archs
+
+(* attack 5: jump to a valid code address that is NOT a function entry /
+   branch target (bypassing call discipline) still cannot escape *)
+let misaligned_jump_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:   li r2, %d          ; mid-instruction address: not a valid entry
+        jr r2
+        li r1, 0
+        hcall 0
+|}
+    (L.code_base + 6)
+
+let misaligned_jump_faults () =
+  let exe = compile_asm misaligned_jump_src in
+  List.iter
+    (fun arch ->
+      let o, _, _ = run_with_mode arch exe sandbox in
+      match o with
+      | Machine.Faulted (Omnivm.Fault.Access_violation { access = Omnivm.Fault.Execute; _ }) ->
+          ()
+      | _ -> Alcotest.failf "%s: expected execute violation" (Arch.name arch))
+    target_archs
+
+(* guard mode delivers the access violation to a module handler: the
+   virtual exception model end-to-end on translated code *)
+let guard_handler_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+handler:
+        hcall 2            ; print fault code (1 = access violation)
+        li r1, 10
+        hcall 1
+        li r1, 0
+        hcall 0
+main:
+        li r1, handler
+        hcall 7            ; set_handler
+        li r2, %d
+        li r3, 1
+        sw r3, 0(r2)       ; wild store -> guard traps -> handler
+        li r1, 99
+        hcall 2
+        li r1, 1
+        hcall 0
+|}
+    L.host_base
+
+let guard_handler_delivery () =
+  let exe = compile_asm guard_handler_src in
+  List.iter
+    (fun arch ->
+      let o, host, out = run_with_mode arch exe guard in
+      (match o with
+      | Machine.Exited 0 -> ()
+      | _ -> Alcotest.failf "%s: handler did not run" (Arch.name arch));
+      Alcotest.(check string) (Arch.name arch ^ " handler output") "1\n" out;
+      Alcotest.(check bool) (Arch.name arch ^ " host intact") true (intact host))
+    target_archs
+
+(* read protection: a module trying to READ host memory sees its own
+   segment's bytes instead of the secret (confidentiality, not just
+   integrity). Honest code is unaffected. *)
+let secret_read_src =
+  Printf.sprintf
+    {|
+        .text
+        .globl main
+main:   li r2, %d          ; host region: holds a secret
+        lw r1, 0(r2)
+        hcall 2            ; print what we read
+        li r1, 10
+        hcall 1
+        li r1, 0
+        hcall 0
+|}
+    L.host_base
+
+let read_protection () =
+  let exe = compile_asm secret_read_src in
+  let secret = 0x5EC2E700 in
+  let run mode =
+    let img = Api.load ~map_host_region:true exe in
+    (match img.Omni_runtime.Loader.host_region with
+    | Some r ->
+        Bytes.set r.Omnivm.Memory.bytes 0 (Char.chr (secret land 0xFF));
+        Bytes.set r.Omnivm.Memory.bytes 1 (Char.chr ((secret lsr 8) land 0xFF));
+        Bytes.set r.Omnivm.Memory.bytes 2 (Char.chr ((secret lsr 16) land 0xFF));
+        Bytes.set r.Omnivm.Memory.bytes 3 (Char.chr ((secret lsr 24) land 0xFF))
+    | None -> assert false);
+    let tr = Api.translate ~mode ~opts:(Api.mobile_opts Arch.Mips) Arch.Mips exe in
+    let r = Api.run_translated ~fuel:1_000_000 tr img in
+    r.Api.output
+  in
+  (* write-only SFI (the paper's configuration): the read leaks the secret *)
+  let leaked = run sandbox in
+  Alcotest.(check string) "write-only sfi leaks reads"
+    (Printf.sprintf "%d\n" secret) leaked;
+  (* with read protection the load is forced into the module's own segment *)
+  let protected_ =
+    run (Machine.Mobile (Omni_sfi.Policy.make ~protect_reads:true ()))
+  in
+  Alcotest.(check bool) "read protection hides the secret" true
+    (protected_ <> leaked);
+  (* and in guard mode the read faults instead *)
+  let exe2 = compile_asm secret_read_src in
+  let img = Api.load ~map_host_region:true exe2 in
+  let tr =
+    Api.translate
+      ~mode:(Machine.Mobile
+               (Omni_sfi.Policy.make ~mode:Omni_sfi.Policy.Guard
+                  ~protect_reads:true ()))
+      ~opts:(Api.mobile_opts Arch.Mips) Arch.Mips exe2
+  in
+  let r = Api.run_translated ~fuel:1_000_000 tr img in
+  match r.Api.outcome with
+  | Machine.Faulted (Omnivm.Fault.Access_violation _) -> ()
+  | _ -> Alcotest.fail "guarded read did not fault"
+
+let read_protection_transparent () =
+  (* honest compiled code produces identical output with read checks on *)
+  let w = Omni_workloads.Workloads.compress ~size:Omni_workloads.Workloads.Test in
+  let exe = Minic.Driver.compile_exe ~name:"c" w.Omni_workloads.Workloads.source in
+  let expected = (Api.run_exe ~engine:Api.Interp ~fuel:1_000_000_000 exe).Api.output in
+  List.iter
+    (fun arch ->
+      let img = Api.load exe in
+      let tr =
+        Api.translate
+          ~mode:(Machine.Mobile (Omni_sfi.Policy.make ~protect_reads:true ()))
+          ~opts:(Api.mobile_opts arch) arch exe
+      in
+      let r = Api.run_translated ~fuel:1_000_000_000 tr img in
+      Alcotest.(check string)
+        (Arch.name arch ^ " read-protected output")
+        expected r.Api.output)
+    target_archs
+
+(* compiled MiniC under SFI behaves identically (sanity that sandboxing is
+   transparent for honest modules) -- covered further in test_minic_exec *)
+
+(* --- property: random store addresses never escape the data segment --- *)
+
+let random_stores_contained =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"random wild stores contained"
+       QCheck.(pair (pair int int) small_int)
+       (fun ((addr_raw, value), arch_pick) ->
+         let addr = addr_raw land 0xFFFFFFFF in
+         let arch = List.nth target_archs (arch_pick mod 4) in
+         let src =
+           Printf.sprintf
+             {|
+        .text
+        .globl main
+main:   li r2, %d
+        li r3, %d
+        sw r3, 0(r2)
+        sb r3, 1(r2)
+        li r1, 0
+        hcall 0
+|}
+             (Omni_util.Word32.of_int addr)
+             (Omni_util.Word32.of_int value)
+         in
+         let exe = compile_asm src in
+         let o, host, _ = run_with_mode arch exe sandbox in
+         let img2 = Api.load ~map_host_region:true exe in
+         (match img2.Omni_runtime.Loader.host_region with
+         | Some r -> Bytes.fill r.Omnivm.Memory.bytes 0 64 '\xAB'
+         | None -> ());
+         let tr2 =
+           Api.translate ~mode:sandbox
+             ~opts:{ (Api.mobile_opts arch) with
+                     Omni_targets.Machine.sfi_opt = true }
+             arch exe
+         in
+         let r2 = Api.run_translated ~fuel:10_000_000 tr2 img2 in
+         let host2 =
+           match img2.Omni_runtime.Loader.host_region with
+           | Some reg -> Bytes.sub reg.Omnivm.Memory.bytes 0 64
+           | None -> assert false
+         in
+         ignore r2;
+         (match o with
+         | Machine.Exited 0 -> true
+         | Machine.Exited _ -> false
+         | Machine.Faulted _ -> false (* sandboxed stores cannot fault *)
+         | Machine.Out_of_fuel -> false)
+         && intact host && intact host2))
+
+(* --- static verifier --- *)
+
+let verifier_accepts_sandboxed () =
+  let w = Omni_workloads.Workloads.compress ~size:Omni_workloads.Workloads.Test in
+  let exe = Minic.Driver.compile_exe ~name:"c" w.Omni_workloads.Workloads.source in
+  List.iter
+    (fun arch ->
+      let fail_at index reason =
+        Alcotest.failf "%s: verifier rejected sandboxed code at %d: %s"
+          (Arch.name arch) index reason
+      in
+      match Api.translate ~mode:sandbox ~opts:(Api.mobile_opts arch) arch exe with
+      | Api.T_risc p -> (
+          match Omni_targets.Risc_verify.verify p with
+          | Ok () -> ()
+          | Error { Omni_sfi.Verifier.index; reason } -> fail_at index reason)
+      | Api.T_x86 p -> (
+          match Omni_targets.X86_verify.verify p with
+          | Ok () -> ()
+          | Error { Omni_sfi.Verifier.index; reason } -> fail_at index reason))
+    target_archs
+
+let verifier_rejects_unprotected () =
+  let exe = compile_asm wild_store_src in
+  List.iter
+    (fun arch ->
+      let accepted () =
+        Alcotest.failf "%s: verifier accepted unprotected store"
+          (Arch.name arch)
+      in
+      match Api.translate ~mode:off ~opts:(Api.mobile_opts arch) arch exe with
+      | Api.T_risc p -> (
+          match Omni_targets.Risc_verify.verify p with
+          | Ok () -> accepted ()
+          | Error _ -> ())
+      | Api.T_x86 p -> (
+          match Omni_targets.X86_verify.verify p with
+          | Ok () -> accepted ()
+          | Error _ -> ()))
+    target_archs
+
+let verifier_unit () =
+  let module V = Omni_sfi.Verifier in
+  (* minimal event streams *)
+  Alcotest.(check bool) "ok stream" true
+    (V.verify
+       [| V.Sandbox_data_def; V.Sandbox_data_def;
+          V.Store_via_dedicated { disp = 0 }; V.Jump_via_dedicated |]
+     = Ok ());
+  (match V.verify [| V.Store_unsafe "sw" |] with
+  | Error { index = 0; _ } -> ()
+  | _ -> Alcotest.fail "unsafe store accepted");
+  (match V.verify [| V.Dedicated_clobber "li" |] with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "clobber accepted");
+  (match V.verify [| V.Store_via_dedicated { disp = 100000 } |] with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "big disp accepted");
+  match V.verify [| V.Sp_clobber "li sp" |] with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "sp clobber accepted"
+
+(* policy unit tests *)
+let policy_unit () =
+  let p = Omni_sfi.Policy.make () in
+  Alcotest.(check bool) "sandboxed in data" true
+    (Omni_sfi.Policy.in_data p (Omni_sfi.Policy.sandbox_data p 0x40000010));
+  Alcotest.(check int) "identity inside" (L.data_base + 4)
+    (Omni_sfi.Policy.sandbox_data p (L.data_base + 4));
+  Alcotest.(check bool) "code sandbox" true
+    (Omni_sfi.Policy.in_code p (Omni_sfi.Policy.sandbox_code p 0x99999999))
+
+let () =
+  Alcotest.run "sfi"
+    [ ("containment",
+       [ Alcotest.test_case "wild store" `Quick wild_store_contained;
+         Alcotest.test_case "computed store" `Quick computed_store_contained;
+         Alcotest.test_case "sp corruption" `Quick sp_attack_contained;
+         Alcotest.test_case "wild jump" `Quick wild_jump_contained;
+         Alcotest.test_case "misaligned jump" `Quick misaligned_jump_faults;
+         Alcotest.test_case "guard handler" `Quick guard_handler_delivery;
+         Alcotest.test_case "read protection" `Quick read_protection;
+         Alcotest.test_case "read protection transparent" `Slow
+           read_protection_transparent;
+         random_stores_contained ]);
+      ("verifier",
+       [ Alcotest.test_case "unit" `Quick verifier_unit;
+         Alcotest.test_case "accepts sandboxed" `Quick verifier_accepts_sandboxed;
+         Alcotest.test_case "rejects unprotected" `Quick verifier_rejects_unprotected ]);
+      ("policy", [ Alcotest.test_case "unit" `Quick policy_unit ])
+    ]
