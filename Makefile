@@ -1,0 +1,23 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: check build test bench bench-smoke clean
+
+check: ## full tier-1 verification: build + every test suite
+	dune build && dune runtest
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The complete paper evaluation at test size (slow).
+bench:
+	dune exec bench/main.exe
+
+# Quick exercise of the serving experiment so the cache path stays honest.
+bench-smoke:
+	dune exec bench/main.exe -- service
+
+clean:
+	dune clean

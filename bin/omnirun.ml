@@ -1,14 +1,28 @@
-(* omnirun: host application that loads and executes a mobile OmniVM module.
+(* omnirun: host application that loads and executes mobile OmniVM modules.
+
+   Single-load mode (the original host):
 
      omnirun module.omni [--engine interp|mips|sparc|ppc|x86] [--no-sfi]
                          [--stats]
 
-   The default engine is the OmniVM reference interpreter; the target
-   engines translate the module to simulated native code at load time
-   (with software fault isolation unless --no-sfi) and report simulated
-   cycle counts with --stats. *)
+   Serving mode — many loads of few modules through the content-addressed
+   store and memoizing translation cache:
 
-let () =
+     omnirun serve mod1.omni [mod2.omni ...]
+             [--engine E] [--no-sfi] [--requests N] [--cache-cap K]
+             [--stats]
+
+   runs N requests round-robin over the given modules (each request on a
+   fresh isolated image) and reports throughput plus the service counters.
+   Identical module files are deduplicated; only the first request per
+   (module, engine, SFI config) pays the translator. *)
+
+module Api = Omniware.Api
+module Service = Omni_service.Service
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let run_single args =
   let input = ref None in
   let engine = ref "interp" in
   let sfi = ref true in
@@ -19,20 +33,88 @@ let () =
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
       ("--stats", Arg.Set stats, " print execution statistics") ]
   in
-  Arg.parse spec (fun f -> input := Some f) "omnirun <module.omni>";
+  Arg.parse_argv args spec (fun f -> input := Some f) "omnirun <module.omni>";
   match !input with
   | None ->
       prerr_endline "omnirun: no module";
       exit 2
   | Some path ->
-      let bytes = In_channel.with_open_bin path In_channel.input_all in
-      let result =
-        Omniware.Api.run_wire ~engine:!engine ~sfi:!sfi bytes
-      in
-      print_string result.Omniware.Api.output;
+      let result = Api.run_wire ~engine:!engine ~sfi:!sfi (read_file path) in
+      print_string result.Api.output;
       if !stats then begin
         Printf.eprintf "engine:        %s\n" !engine;
-        Printf.eprintf "instructions:  %d\n" result.Omniware.Api.instructions;
-        Printf.eprintf "cycles:        %d\n" result.Omniware.Api.cycles
+        Printf.eprintf "instructions:  %d\n" result.Api.instructions;
+        Printf.eprintf "cycles:        %d\n" result.Api.cycles
       end;
-      exit result.Omniware.Api.exit_code
+      exit result.Api.exit_code
+
+let run_serve args =
+  let inputs = ref [] in
+  let engine = ref "interp" in
+  let sfi = ref true in
+  let requests = ref 16 in
+  let cache_cap = ref 256 in
+  let stats = ref false in
+  let spec =
+    [ ("--engine", Arg.Set_string engine,
+       "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
+      ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
+      ("--requests", Arg.Set_int requests,
+       "N total requests, round-robin over the modules (default 16)");
+      ("--cache-cap", Arg.Set_int cache_cap,
+       "K translation-cache capacity; 0 disables caching (default 256)");
+      ("--stats", Arg.Set stats, " print service counters") ]
+  in
+  Arg.parse_argv args spec
+    (fun f -> inputs := f :: !inputs)
+    "omnirun serve <module.omni>...";
+  let inputs = List.rev !inputs in
+  if inputs = [] then begin
+    prerr_endline "omnirun serve: no modules";
+    exit 2
+  end;
+  let eng =
+    match Api.engine_of_string !engine with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "omnirun serve: unknown engine %s\n" !engine;
+        exit 2
+  in
+  let svc = Service.create ~cache_capacity:!cache_cap () in
+  let handles =
+    List.map (fun path -> Service.submit svc (read_file path)) inputs
+  in
+  let harr = Array.of_list handles in
+  let reqs =
+    Array.init !requests (fun i ->
+        { Service.rq_handle = harr.(i mod Array.length harr);
+          rq_engine = eng; rq_sfi = !sfi })
+  in
+  let report = Service.run_batch svc reqs in
+  print_string (Service.render_batch report);
+  if !stats then print_string (Service.render_stats svc);
+  exit (if report.Service.br_failures = 0 then 0 else 1)
+
+let () =
+  let argv = Sys.argv in
+  try
+    if Array.length argv > 1 && argv.(1) = "serve" then
+      (* re-seat argv so Arg reports "omnirun serve" on errors *)
+      run_serve
+        (Array.append
+           [| argv.(0) ^ " serve" |]
+           (Array.sub argv 2 (Array.length argv - 2)))
+    else run_single argv
+  with
+  | Arg.Bad msg ->
+      prerr_string msg;
+      exit 2
+  | Arg.Help msg ->
+      print_string msg;
+      exit 0
+  | Sys_error msg ->
+      Printf.eprintf "omnirun: %s\n" msg;
+      exit 2
+  | Omnivm.Wire.Bad_module msg ->
+      Printf.eprintf "omnirun: malformed module: %s\n" msg;
+      exit 2

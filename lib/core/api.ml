@@ -6,7 +6,13 @@
    execution engine: the OmniVM reference interpreter, or a load-time
    translation to one of the four simulated target machines, with SFI
    applied unless the module is trusted, and (d) runs it, observing output,
-   exit status, and execution statistics. *)
+   exit status, and execution statistics.
+
+   The execution machinery lives in Omni_service.Exec (so the serving
+   stack — content-addressed store + memoizing translation cache — can
+   drive it without depending on this façade); the types are re-exported
+   here with equations, so Api.run_result and Exec.run_result are the same
+   type. *)
 
 module Arch = Omni_targets.Arch
 module Machine = Omni_targets.Machine
@@ -16,36 +22,17 @@ module Risc_sim = Omni_targets.Risc_sim
 module X86 = Omni_targets.X86
 module X86_translate = Omni_targets.X86_translate
 module X86_sim = Omni_targets.X86_sim
+module Exec = Omni_service.Exec
+module Service = Omni_service.Service
 
-type engine =
+type engine = Exec.engine =
   | Interp
   | Target of Arch.t
 
-let engine_of_string = function
-  | "interp" -> Some Interp
-  | s -> Option.map (fun a -> Target a) (Arch.of_string s)
+let engine_of_string = Exec.engine_of_string
+let mobile_opts = Exec.mobile_opts
 
-(* Per-architecture mobile-translator optimization defaults, following the
-   paper (section 4): Mips and PowerPC translators schedule locally; the
-   Sparc translator does not schedule but uses a global pointer and fills
-   delay slots; the x86 translator does floating-point scheduling and
-   peephole only. *)
-let mobile_opts (a : Arch.t) : Machine.topts =
-  match a with
-  | Arch.Mips ->
-      { schedule = true; fill_delay_slots = true; use_gp = false;
-        peephole = true; sfi_opt = false }
-  | Arch.Sparc ->
-      { schedule = false; fill_delay_slots = true; use_gp = true;
-        peephole = true; sfi_opt = false }
-  | Arch.Ppc ->
-      { schedule = true; fill_delay_slots = false; use_gp = false;
-        peephole = true; sfi_opt = false }
-  | Arch.X86 ->
-      { schedule = true; fill_delay_slots = false; use_gp = false;
-        peephole = true; sfi_opt = false }
-
-type run_result = {
+type run_result = Exec.run_result = {
   output : string;
   exit_code : int;
   outcome : Machine.outcome;
@@ -56,83 +43,16 @@ type run_result = {
 
 (* --- loading and running --- *)
 
-let load ?(map_host_region = false) ?allow exe =
-  Omni_runtime.Loader.load ?allow ~map_host_region exe
+let load = Exec.load
+let run_interp = Exec.run_interp
 
-let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
-    =
-  let outcome, st = Omni_runtime.Loader.run_interp ~fuel img in
-  let outcome' =
-    match outcome with
-    | Omnivm.Interp.Exited c -> Machine.Exited c
-    | Omnivm.Interp.Faulted f -> Machine.Faulted f
-    | Omnivm.Interp.Out_of_fuel -> Machine.Out_of_fuel
-  in
-  {
-    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
-    exit_code = (match outcome' with Machine.Exited c -> c | _ -> -1);
-    outcome = outcome';
-    instructions = st.Omnivm.Interp.icount;
-    cycles = st.Omnivm.Interp.icount;
-    stats = None;
-  }
-
-(* Translate a loaded module for a target architecture. *)
-type translated =
+type translated = Exec.translated =
   | T_risc of Risc.program
   | T_x86 of X86.program
 
-let translate ?(mode : Machine.mode option) ?opts (arch : Arch.t)
-    (exe : Omnivm.Exe.t) : translated =
-  let mode =
-    match mode with
-    | Some m -> m
-    | None -> Machine.Mobile (Omni_sfi.Policy.make ())
-  in
-  let opts = match opts with Some o -> o | None -> mobile_opts arch in
-  match arch with
-  | Arch.Mips ->
-      T_risc
-        (Risc_translate.translate
-           { Risc_translate.cfg = Risc.mips_cfg; mode; opts; sfi_cache = None }
-           exe)
-  | Arch.Sparc ->
-      T_risc
-        (Risc_translate.translate
-           { Risc_translate.cfg = Risc.sparc_cfg; mode; opts; sfi_cache = None }
-           exe)
-  | Arch.Ppc ->
-      T_risc
-        (Risc_translate.translate
-           { Risc_translate.cfg = Risc.ppc_cfg; mode; opts; sfi_cache = None }
-           exe)
-  | Arch.X86 -> T_x86 (X86_translate.translate ~mode ~opts exe)
-
-let run_translated ?(fuel = max_int) (tr : translated)
-    (img : Omni_runtime.Loader.image) : run_result =
-  let outcome, stats =
-    match tr with
-    | T_risc p ->
-        let o, s, _ =
-          Risc_sim.run ~fuel p img.Omni_runtime.Loader.mem
-            img.Omni_runtime.Loader.host
-        in
-        (o, s)
-    | T_x86 p ->
-        let o, s, _ =
-          X86_sim.run ~fuel p img.Omni_runtime.Loader.mem
-            img.Omni_runtime.Loader.host
-        in
-        (o, s)
-  in
-  {
-    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
-    exit_code = (match outcome with Machine.Exited c -> c | _ -> -1);
-    outcome;
-    instructions = stats.Machine.instructions;
-    cycles = stats.Machine.cycles;
-    stats = Some stats;
-  }
+let translate = Exec.translate
+let run_translated = Exec.run_translated
+let verify_translated = Exec.verify
 
 (* One-call convenience used by omnirun and the experiment harness. *)
 let run_exe ?(engine = Interp) ?(sfi = true) ?mode ?opts ?fuel
@@ -156,6 +76,18 @@ let run_wire ~engine ?(sfi = true) ?fuel bytes : run_result =
   match engine_of_string engine with
   | None -> invalid_arg ("unknown engine " ^ engine)
   | Some e -> run_exe ~engine:e ~sfi ?fuel exe
+
+(* The serving path: like run_wire, but module admission goes through the
+   service's content-addressed store and translation through its memo
+   cache — repeated loads of the same bytes skip decoding and translation
+   entirely. *)
+let run_wire_cached ~(service : Service.t) ~engine ?sfi ?fuel bytes :
+    run_result =
+  match engine_of_string engine with
+  | None -> invalid_arg ("unknown engine " ^ engine)
+  | Some e ->
+      let h = Service.submit service bytes in
+      Service.instantiate ~engine:e ?sfi ?fuel service h
 
 (* --- compilation (re-exported for hosts embedding the compiler) --- *)
 

@@ -12,7 +12,9 @@
     + the translated module runs; the host observes its output, exit
       status, and execution statistics ({!run_translated}).
 
-    {!run_exe} and {!run_wire} bundle the last three steps. *)
+    {!run_exe} and {!run_wire} bundle the last three steps. A host serving
+    many loads of the same modules uses {!Service} (content-addressed
+    module store + memoizing translation cache) via {!run_wire_cached}. *)
 
 module Arch = Omni_targets.Arch
 module Machine = Omni_targets.Machine
@@ -23,9 +25,16 @@ module X86 = Omni_targets.X86
 module X86_translate = Omni_targets.X86_translate
 module X86_sim = Omni_targets.X86_sim
 
+module Exec = Omni_service.Exec
+(** The execution machinery behind this façade; the types below are
+    equations onto its types. *)
+
+module Service = Omni_service.Service
+(** The serving front-end (store + translation cache + batch driver). *)
+
 (** An execution engine: the OmniVM reference interpreter, or load-time
     translation to a simulated target processor. *)
-type engine = Interp | Target of Arch.t
+type engine = Exec.engine = Interp | Target of Arch.t
 
 val engine_of_string : string -> engine option
 (** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]. *)
@@ -37,7 +46,7 @@ val mobile_opts : Arch.t -> Machine.topts
     translator schedules only floating-point code. *)
 
 (** Result of running a module. *)
-type run_result = {
+type run_result = Exec.run_result = {
   output : string;  (** everything the module printed via host calls *)
   exit_code : int;  (** argument of the exit host call; -1 if it faulted *)
   outcome : Machine.outcome;
@@ -60,7 +69,9 @@ val run_interp : ?fuel:int -> Omni_runtime.Loader.image -> run_result
 (** Execute under the OmniVM reference interpreter. *)
 
 (** A translated module, ready to execute on its target simulator. *)
-type translated = T_risc of Risc.program | T_x86 of X86.program
+type translated = Exec.translated =
+  | T_risc of Risc.program
+  | T_x86 of X86.program
 
 val translate :
   ?mode:Machine.mode ->
@@ -74,6 +85,11 @@ val translate :
 
 val run_translated :
   ?fuel:int -> translated -> Omni_runtime.Loader.image -> run_result
+
+val verify_translated : translated -> (unit, string) result
+(** Run the target's static SFI verifier over translated code — the cheap
+    admission check a distrustful host applies before executing sandboxed
+    code (fresh or cached). *)
 
 val run_exe :
   ?engine:engine ->
@@ -89,6 +105,18 @@ val run_exe :
 
 val run_wire : engine:string -> ?sfi:bool -> ?fuel:int -> string -> run_result
 (** Like {!run_exe}, starting from wire-format bytes. *)
+
+val run_wire_cached :
+  service:Service.t ->
+  engine:string ->
+  ?sfi:bool ->
+  ?fuel:int ->
+  string ->
+  run_result
+(** Like {!run_wire}, but admission goes through [service]'s
+    content-addressed store and translation through its memoizing cache:
+    repeated loads of the same bytes skip decoding and translation
+    entirely, paying only the static re-verification of the cached code. *)
 
 val compile :
   ?options:Minic.Driver.options ->

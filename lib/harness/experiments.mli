@@ -79,4 +79,11 @@ val ablation_read_protection : size:Omni_workloads.Workloads.size -> string
 val translation_speed : size:Omni_workloads.Workloads.size -> string
 (** Wall-clock OmniVM-instructions-per-second for each translator. *)
 
+val service_amortization : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: cold vs warm load times through the memoizing
+    translation service ({!Omni_service.Service}) — each workload × arch
+    is translated once, then served from cache with static
+    re-verification; reports amortization, batch throughput, and the
+    service counters. *)
+
 val all_tables : size:Omni_workloads.Workloads.size -> string

@@ -15,8 +15,30 @@ type image = {
   host_region : Memory.region option;
 }
 
-let load ?(allow = Hostcall.all) ?(map_host_region = false)
-    ?(stack_size = Layout.default_stack_size) (exe : Exe.t) : image =
+(* A validated loading plan: segment geometry and host grant computed once
+   per executable, so a serving host can stamp out many isolated images of
+   the same module without re-checking sizes on every instantiation. *)
+type blueprint = {
+  bp_exe : Exe.t;
+  bp_allow : Hostcall.t list;
+  bp_map_host_region : bool;
+  bp_heap_start : int;
+  bp_heap_limit : int;
+}
+
+let blueprint ?(allow = Hostcall.all) ?(map_host_region = false)
+    ?(stack_size = Layout.default_stack_size) (exe : Exe.t) : blueprint =
+  let globals_end =
+    Layout.data_base + Layout.reserved_data + Exe.globals_size exe
+  in
+  let heap_start = (globals_end + 15) land lnot 15 in
+  let heap_limit = Layout.data_base + Layout.data_size - stack_size in
+  if heap_start > heap_limit then invalid_arg "Loader.load: data too large";
+  { bp_exe = exe; bp_allow = allow; bp_map_host_region = map_host_region;
+    bp_heap_start = heap_start; bp_heap_limit = heap_limit }
+
+let instantiate (bp : blueprint) : image =
+  let exe = bp.bp_exe in
   let mem = Memory.create () in
   (* The code segment is mapped for realism (it holds no fetchable bytes in
      this implementation: engines execute structured instruction arrays; the
@@ -29,7 +51,7 @@ let load ?(allow = Hostcall.all) ?(map_host_region = false)
     (Memory.map mem ~name:"data" ~base:Layout.data_base ~size:Layout.data_size
        ~perm:Memory.perm_rw);
   let host_region =
-    if map_host_region then
+    if bp.bp_map_host_region then
       Some
         (Memory.map mem ~name:"host" ~base:Layout.host_base
            ~size:Layout.host_size ~perm:Memory.perm_rw)
@@ -37,14 +59,14 @@ let load ?(allow = Hostcall.all) ?(map_host_region = false)
   in
   Memory.blit_in mem ~addr:(Layout.data_base + Layout.reserved_data)
     exe.Exe.data;
-  let globals_end =
-    Layout.data_base + Layout.reserved_data + Exe.globals_size exe
+  let host =
+    Host.create ~allow:bp.bp_allow ~heap_start:bp.bp_heap_start
+      ~heap_limit:bp.bp_heap_limit ()
   in
-  let heap_start = (globals_end + 15) land lnot 15 in
-  let heap_limit = Layout.data_base + Layout.data_size - stack_size in
-  if heap_start > heap_limit then invalid_arg "Loader.load: data too large";
-  let host = Host.create ~allow ~heap_start ~heap_limit () in
   { exe; mem; host; host_region }
+
+let load ?allow ?map_host_region ?stack_size (exe : Exe.t) : image =
+  instantiate (blueprint ?allow ?map_host_region ?stack_size exe)
 
 (* Load from wire bytes: the real mobile-code path. *)
 let load_wire ?allow ?map_host_region ?stack_size bytes =

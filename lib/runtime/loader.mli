@@ -22,6 +22,24 @@ val load :
     reserved runtime area, and reserve heap and stack. [allow] is the host
     grant (default: every service). *)
 
+type blueprint
+(** A validated loading plan for one executable: segment geometry and the
+    host grant, computed (and size-checked) once. A serving host keeps a
+    blueprint per cached module and stamps out fresh isolated images with
+    {!instantiate}. *)
+
+val blueprint :
+  ?allow:Hostcall.t list ->
+  ?map_host_region:bool ->
+  ?stack_size:int ->
+  Exe.t ->
+  blueprint
+(** @raise Invalid_argument if the module's data does not fit. *)
+
+val instantiate : blueprint -> image
+(** A fresh, fully isolated image: new memory, new host environment.
+    [load exe] is [instantiate (blueprint exe)]. *)
+
 val load_wire :
   ?allow:Hostcall.t list ->
   ?map_host_region:bool ->

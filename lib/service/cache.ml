@@ -1,0 +1,79 @@
+module Machine = Omni_targets.Machine
+
+(* The key embeds every input of the (pure) translator: module identity by
+   content digest, target architecture, translation mode (including the
+   full SFI policy), and translator options. All components are pure data,
+   as Lru's polymorphic hashing requires. *)
+type key = {
+  k_digest : Omni_util.Fnv64.t;
+  k_arch : Omni_targets.Arch.t;
+  k_mode : Machine.mode;
+  k_opts : Machine.topts;
+}
+
+let key ~digest ~arch ~mode ~opts =
+  { k_digest = digest; k_arch = arch; k_mode = mode; k_opts = opts }
+
+type verdict = Verified | Not_applicable
+
+type entry = {
+  tr : Exec.translated;
+  verdict : verdict;
+  fp : Omni_util.Fnv64.t;
+}
+
+exception Rejected of string
+
+type t = {
+  lru : (key, entry) Lru.t;
+  c : Counters.t;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) c =
+  { lru = Lru.create ~capacity; c }
+
+let capacity t = Lru.capacity t.lru
+let length t = Lru.length t.lru
+
+(* The admission check: sandboxed code must pass the static SFI verifier
+   before it may run, whether freshly translated or pulled from the cache.
+   Guard-mode and unprotected translations carry no Wahbe-style masking
+   sequences, so the verifier does not apply to them. *)
+let verdict_applicable (k : key) =
+  match k.k_mode with
+  | Machine.Mobile p -> p.Omni_sfi.Policy.mode = Omni_sfi.Policy.Sandbox
+  | Machine.Native _ -> false
+
+let admit t k tr =
+  if verdict_applicable k then begin
+    t.c.Counters.verifications <- t.c.Counters.verifications + 1;
+    match Exec.verify tr with
+    | Ok () -> Verified
+    | Error reason -> raise (Rejected reason)
+  end
+  else Not_applicable
+
+let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
+  let t0 = Sys.time () in
+  match Lru.find t.lru k with
+  | Some e ->
+      let (_ : verdict) = admit t k e.tr in
+      t.c.Counters.hits <- t.c.Counters.hits + 1;
+      t.c.Counters.warm_admit_s <-
+        t.c.Counters.warm_admit_s +. (Sys.time () -. t0);
+      e.tr
+  | None ->
+      let tr = Exec.translate ~mode:k.k_mode ~opts:k.k_opts k.k_arch exe in
+      t.c.Counters.translations <- t.c.Counters.translations + 1;
+      let verdict = admit t k tr in
+      (match Lru.add t.lru k { tr; verdict; fp = Exec.fingerprint tr } with
+      | Some _ -> t.c.Counters.evictions <- t.c.Counters.evictions + 1
+      | None -> ());
+      t.c.Counters.misses <- t.c.Counters.misses + 1;
+      t.c.Counters.cold_translate_s <-
+        t.c.Counters.cold_translate_s +. (Sys.time () -. t0);
+      tr
+
+let peek t k = Lru.peek t.lru k

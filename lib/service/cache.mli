@@ -1,0 +1,67 @@
+(** Memoizing translation cache.
+
+    Translation is a pure function of (module bytes, arch, mode, opts), so
+    its result can be cached across loads. Entries are keyed by the
+    module's content digest plus the full translation configuration and
+    held under LRU eviction with a configurable capacity (0 disables
+    caching).
+
+    {b Invariant}: a cache hit is observationally identical to a fresh
+    translation. This holds because (a) keys embed every input of the
+    (pure) translator, (b) the store guarantees a digest names one byte
+    string, and (c) on every hit the static SFI verifier re-runs over the
+    cached code as a cheap admission check — in the spirit of
+    verifier-centric SFI designs — so a corrupted cache can never reach
+    the simulator. [test/test_service.ml] checks the invariant end to end.
+
+    Sandboxed translations that fail the verifier are rejected and never
+    cached. *)
+
+module Machine = Omni_targets.Machine
+
+type key
+
+val key :
+  digest:Omni_util.Fnv64.t ->
+  arch:Omni_targets.Arch.t ->
+  mode:Machine.mode ->
+  opts:Machine.topts ->
+  key
+(** [mode] and [opts] must be the resolved values actually passed to the
+    translator (after defaulting), so equal configurations share an
+    entry. *)
+
+(** Verifier verdict recorded with each cached translation. *)
+type verdict =
+  | Verified  (** static SFI verifier passed (Sandbox-mode translations) *)
+  | Not_applicable
+      (** nothing to verify: SFI off, Guard mode, or a native baseline *)
+
+type entry = {
+  tr : Exec.translated;
+  verdict : verdict;
+  fp : Omni_util.Fnv64.t;  (** fingerprint at insertion time *)
+}
+
+exception Rejected of string
+(** The static SFI verifier rejected a sandboxed translation (fresh or
+    cached) — the code never reaches a simulator. *)
+
+type t
+
+val create : ?capacity:int -> Counters.t -> t
+(** Default capacity: 256 translation configurations. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val find_or_translate : t -> key -> Omnivm.Exe.t -> Exec.translated
+(** The memoized translator. On a miss: translate, run the admission
+    check, cache, count a translation. On a hit: re-run the admission
+    check and return the cached program, touching the translator not at
+    all.
+    @raise Rejected as described above. *)
+
+val peek : t -> key -> entry option
+(** Inspect a cached entry without promoting it (for tests and
+    introspection). *)

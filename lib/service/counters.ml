@@ -1,0 +1,62 @@
+type t = {
+  mutable submits : int;
+  mutable modules : int;
+  mutable dedup_hits : int;
+  mutable bytes_stored : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable translations : int;
+  mutable verifications : int;
+  mutable cold_translate_s : float;
+  mutable warm_admit_s : float;
+  mutable instantiations : int;
+}
+
+let create () =
+  {
+    submits = 0;
+    modules = 0;
+    dedup_hits = 0;
+    bytes_stored = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    translations = 0;
+    verifications = 0;
+    cold_translate_s = 0.0;
+    warm_admit_s = 0.0;
+    instantiations = 0;
+  }
+
+let reset c =
+  c.submits <- 0;
+  c.modules <- 0;
+  c.dedup_hits <- 0;
+  c.bytes_stored <- 0;
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0;
+  c.translations <- 0;
+  c.verifications <- 0;
+  c.cold_translate_s <- 0.0;
+  c.warm_admit_s <- 0.0;
+  c.instantiations <- 0
+
+let hit_rate c =
+  let n = c.hits + c.misses in
+  if n = 0 then 0.0 else float_of_int c.hits /. float_of_int n
+
+let render c =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "module store:      %d modules (%d submits, %d deduped, %d bytes)\n"
+    c.modules c.submits c.dedup_hits c.bytes_stored;
+  Printf.bprintf b
+    "translation cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n"
+    c.hits c.misses (100.0 *. hit_rate c) c.evictions;
+  Printf.bprintf b
+    "translations:      %d cold (%.1f ms total); %d verifier runs (%.1f ms warm admission)\n"
+    c.translations (1e3 *. c.cold_translate_s) c.verifications
+    (1e3 *. c.warm_admit_s);
+  Printf.bprintf b "instantiations:    %d\n" c.instantiations;
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** Instrumentation shared by every layer of the serving stack.
+
+    One mutable record per {!Service.t}, threaded through the module store
+    and the translation cache so a single snapshot describes the whole
+    pipeline. Times are CPU seconds from [Sys.time] — the same clock the
+    benchmark harness uses for its load-time measurements. *)
+
+type t = {
+  (* module store *)
+  mutable submits : int;  (** total [submit] calls *)
+  mutable modules : int;  (** distinct modules admitted *)
+  mutable dedup_hits : int;  (** submits deduplicated by content digest *)
+  mutable bytes_stored : int;  (** wire bytes held (deduplicated) *)
+  (* translation cache *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable translations : int;  (** actual translator runs (= misses) *)
+  mutable verifications : int;  (** static SFI verifier runs *)
+  mutable cold_translate_s : float;  (** translate + admission on a miss *)
+  mutable warm_admit_s : float;  (** re-verification on a hit *)
+  (* service front-end *)
+  mutable instantiations : int;  (** images stamped out *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val hit_rate : t -> float
+(** Hits over (hits + misses); 0 when the cache was never consulted. *)
+
+val render : t -> string
+(** Multi-line human-readable snapshot. *)

@@ -1,0 +1,152 @@
+(* Engine-agnostic load/translate/execute layer (the implementation behind
+   the Omniware.Api façade — see exec.mli for why it lives here). *)
+
+module Arch = Omni_targets.Arch
+module Machine = Omni_targets.Machine
+module Risc = Omni_targets.Risc
+module Risc_translate = Omni_targets.Risc_translate
+module Risc_sim = Omni_targets.Risc_sim
+module Risc_verify = Omni_targets.Risc_verify
+module X86 = Omni_targets.X86
+module X86_translate = Omni_targets.X86_translate
+module X86_sim = Omni_targets.X86_sim
+module X86_verify = Omni_targets.X86_verify
+
+type engine =
+  | Interp
+  | Target of Arch.t
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | s -> Option.map (fun a -> Target a) (Arch.of_string s)
+
+(* Per-architecture mobile-translator optimization defaults, following the
+   paper (section 4): Mips and PowerPC translators schedule locally; the
+   Sparc translator does not schedule but uses a global pointer and fills
+   delay slots; the x86 translator does floating-point scheduling and
+   peephole only. *)
+let mobile_opts (a : Arch.t) : Machine.topts =
+  match a with
+  | Arch.Mips ->
+      { schedule = true; fill_delay_slots = true; use_gp = false;
+        peephole = true; sfi_opt = false }
+  | Arch.Sparc ->
+      { schedule = false; fill_delay_slots = true; use_gp = true;
+        peephole = true; sfi_opt = false }
+  | Arch.Ppc ->
+      { schedule = true; fill_delay_slots = false; use_gp = false;
+        peephole = true; sfi_opt = false }
+  | Arch.X86 ->
+      { schedule = true; fill_delay_slots = false; use_gp = false;
+        peephole = true; sfi_opt = false }
+
+type run_result = {
+  output : string;
+  exit_code : int;
+  outcome : Machine.outcome;
+  instructions : int;
+  cycles : int;
+  stats : Machine.stats option; (* None for the interpreter *)
+}
+
+(* --- loading and running --- *)
+
+let load ?(map_host_region = false) ?allow exe =
+  Omni_runtime.Loader.load ?allow ~map_host_region exe
+
+let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
+    =
+  let outcome, st = Omni_runtime.Loader.run_interp ~fuel img in
+  let outcome' =
+    match outcome with
+    | Omnivm.Interp.Exited c -> Machine.Exited c
+    | Omnivm.Interp.Faulted f -> Machine.Faulted f
+    | Omnivm.Interp.Out_of_fuel -> Machine.Out_of_fuel
+  in
+  {
+    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+    exit_code = (match outcome' with Machine.Exited c -> c | _ -> -1);
+    outcome = outcome';
+    instructions = st.Omnivm.Interp.icount;
+    cycles = st.Omnivm.Interp.icount;
+    stats = None;
+  }
+
+(* Translate a loaded module for a target architecture. *)
+type translated =
+  | T_risc of Risc.program
+  | T_x86 of X86.program
+
+let translate ?(mode : Machine.mode option) ?opts (arch : Arch.t)
+    (exe : Omnivm.Exe.t) : translated =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> Machine.Mobile (Omni_sfi.Policy.make ())
+  in
+  let opts = match opts with Some o -> o | None -> mobile_opts arch in
+  match arch with
+  | Arch.Mips ->
+      T_risc
+        (Risc_translate.translate
+           { Risc_translate.cfg = Risc.mips_cfg; mode; opts; sfi_cache = None }
+           exe)
+  | Arch.Sparc ->
+      T_risc
+        (Risc_translate.translate
+           { Risc_translate.cfg = Risc.sparc_cfg; mode; opts; sfi_cache = None }
+           exe)
+  | Arch.Ppc ->
+      T_risc
+        (Risc_translate.translate
+           { Risc_translate.cfg = Risc.ppc_cfg; mode; opts; sfi_cache = None }
+           exe)
+  | Arch.X86 -> T_x86 (X86_translate.translate ~mode ~opts exe)
+
+let run_translated ?(fuel = max_int) (tr : translated)
+    (img : Omni_runtime.Loader.image) : run_result =
+  let outcome, stats =
+    match tr with
+    | T_risc p ->
+        let o, s, _ =
+          Risc_sim.run ~fuel p img.Omni_runtime.Loader.mem
+            img.Omni_runtime.Loader.host
+        in
+        (o, s)
+    | T_x86 p ->
+        let o, s, _ =
+          X86_sim.run ~fuel p img.Omni_runtime.Loader.mem
+            img.Omni_runtime.Loader.host
+        in
+        (o, s)
+  in
+  {
+    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+    exit_code = (match outcome with Machine.Exited c -> c | _ -> -1);
+    outcome;
+    instructions = stats.Machine.instructions;
+    cycles = stats.Machine.cycles;
+    stats = Some stats;
+  }
+
+(* --- structural identity and verification of translated programs --- *)
+
+let verify (tr : translated) : (unit, string) result =
+  let fail { Omni_sfi.Verifier.index; reason } =
+    Error (Printf.sprintf "instruction %d: %s" index reason)
+  in
+  match tr with
+  | T_risc p -> (
+      match Risc_verify.verify p with Ok () -> Ok () | Error f -> fail f)
+  | T_x86 p -> (
+      match X86_verify.verify p with Ok () -> Ok () | Error f -> fail f)
+
+let equal_translated (a : translated) (b : translated) =
+  match (a, b) with
+  | T_risc pa, T_risc pb -> Risc.equal_program pa pb
+  | T_x86 pa, T_x86 pb -> X86.equal_program pa pb
+  | _ -> false
+
+let fingerprint = function
+  | T_risc p -> Omni_util.Fnv64.mix_int (Risc.fingerprint_program p) 1
+  | T_x86 p -> Omni_util.Fnv64.mix_int (X86.fingerprint_program p) 2

@@ -1,0 +1,70 @@
+(** Engine-agnostic load/translate/execute layer.
+
+    This is the implementation behind the {!Omniware.Api} façade, housed
+    here so the serving stack (store, translation cache, service) can
+    drive translation and execution without depending on the façade. The
+    façade re-exports these types with equations, so [Api.run_result] and
+    [Exec.run_result] are the same type. *)
+
+module Arch = Omni_targets.Arch
+module Machine = Omni_targets.Machine
+
+(** An execution engine: the OmniVM reference interpreter, or load-time
+    translation to a simulated target processor. *)
+type engine = Interp | Target of Arch.t
+
+val engine_of_string : string -> engine option
+(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]. *)
+
+val mobile_opts : Arch.t -> Machine.topts
+(** The per-architecture translator-optimization defaults the paper
+    describes (section 4). *)
+
+(** Result of running a module. *)
+type run_result = {
+  output : string;  (** everything the module printed via host calls *)
+  exit_code : int;  (** argument of the exit host call; -1 if it faulted *)
+  outcome : Machine.outcome;
+  instructions : int;  (** dynamic (native) instructions executed *)
+  cycles : int;  (** simulated pipeline cycles (= instructions on interp) *)
+  stats : Machine.stats option;  (** detailed statistics; None for interp *)
+}
+
+val load :
+  ?map_host_region:bool ->
+  ?allow:Omnivm.Hostcall.t list ->
+  Omnivm.Exe.t ->
+  Omni_runtime.Loader.image
+
+val run_interp : ?fuel:int -> Omni_runtime.Loader.image -> run_result
+
+(** A translated module, ready to execute on its target simulator. *)
+type translated =
+  | T_risc of Omni_targets.Risc.program
+  | T_x86 of Omni_targets.X86.program
+
+val translate :
+  ?mode:Machine.mode ->
+  ?opts:Machine.topts ->
+  Arch.t ->
+  Omnivm.Exe.t ->
+  translated
+(** Load-time translation. [mode] defaults to sandboxed mobile code;
+    [opts] defaults to {!mobile_opts}. *)
+
+val run_translated :
+  ?fuel:int -> translated -> Omni_runtime.Loader.image -> run_result
+
+val verify : translated -> (unit, string) result
+(** Run the target's static SFI verifier over the translated code — the
+    cheap admission check a distrustful host applies before executing
+    (and before reusing cached) sandboxed code. *)
+
+val equal_translated : translated -> translated -> bool
+(** Structural equality. Translation is a pure function of
+    (exe, arch, mode, opts), so equal inputs yield equal programs — the
+    invariant the translation cache's memoization rests on. *)
+
+val fingerprint : translated -> Omni_util.Fnv64.t
+(** Content digest of the translated program; equal programs have equal
+    fingerprints. *)

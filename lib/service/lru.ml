@@ -1,0 +1,77 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* toward MRU *)
+  mutable next : ('k, 'v) node option; (* toward LRU *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* MRU *)
+  mutable tail : ('k, 'v) node option; (* LRU *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  { cap = capacity; tbl = Hashtbl.create (max 16 capacity); head = None;
+    tail = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let mem t k = Hashtbl.mem t.tbl k
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  let at_head = match t.head with Some h -> h == n | None -> false in
+  if not at_head then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      promote t n;
+      Some n.value
+
+let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.tbl k)
+
+let add t k v =
+  if t.cap = 0 then None
+  else
+    match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+        n.value <- v;
+        promote t n;
+        None
+    | None ->
+        let n = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.tbl k n;
+        push_front t n;
+        if Hashtbl.length t.tbl <= t.cap then None
+        else
+          match t.tail with
+          | None -> assert false
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.tbl lru.key;
+              Some (lru.key, lru.value)
+
+let keys_mru_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,30 @@
+(** Generic bounded LRU map (hash table + intrusive doubly-linked list).
+
+    [find] promotes its binding to most-recently-used; [add] inserts at the
+    MRU end and evicts the LRU binding once the capacity is exceeded. A
+    capacity of 0 disables the map entirely: [add] stores nothing and
+    [find] never hits, which is how the translation cache implements its
+    "caching off" configuration. Keys use polymorphic hashing/equality, so
+    they must be pure data. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument on a negative capacity. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+val mem : ('k, 'v) t -> 'k -> bool
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the binding to most-recently-used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} without promoting — recency order is unchanged. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert (or replace) a binding at the MRU position, returning the
+    binding evicted to stay within capacity, if any. *)
+
+val keys_mru_first : ('k, 'v) t -> 'k list
+(** Recency order, most recent first (for tests and introspection). *)

@@ -1,0 +1,92 @@
+module Machine = Omni_targets.Machine
+
+type t = {
+  store : Store.t;
+  cache : Cache.t;
+  c : Counters.t;
+}
+
+let create ?cache_capacity () =
+  let c = Counters.create () in
+  {
+    store = Store.create ~counters:c ();
+    cache = Cache.create ?capacity:cache_capacity c;
+    c;
+  }
+
+let submit t bytes = Store.submit t.store bytes
+
+(* Resolve the translation configuration exactly as Api.run_exe does, so a
+   service run and a direct run of the same request are the same
+   computation — the observational-identity tests rely on this. *)
+let resolve_config ?sfi ?mode ?opts arch =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None ->
+        if Option.value sfi ~default:true then
+          Machine.Mobile (Omni_sfi.Policy.make ())
+        else Machine.Mobile Omni_sfi.Policy.off
+  in
+  let opts = match opts with Some o -> o | None -> Exec.mobile_opts arch in
+  (mode, opts)
+
+let instantiate ?(engine = Exec.Interp) ?sfi ?mode ?opts ?fuel t h =
+  let img = Omni_runtime.Loader.instantiate (Store.blueprint t.store h) in
+  t.c.Counters.instantiations <- t.c.Counters.instantiations + 1;
+  match engine with
+  | Exec.Interp -> Exec.run_interp ?fuel img
+  | Exec.Target arch ->
+      let mode, opts = resolve_config ?sfi ?mode ?opts arch in
+      let key = Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts in
+      let tr = Cache.find_or_translate t.cache key (Store.exe t.store h) in
+      Exec.run_translated ?fuel tr img
+
+let cached ?sfi ?mode ?opts ~arch t h =
+  let mode, opts = resolve_config ?sfi ?mode ?opts arch in
+  Cache.peek t.cache (Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts)
+
+let stats t = t.c
+let render_stats t = Counters.render t.c
+
+type request = {
+  rq_handle : Store.handle;
+  rq_engine : Exec.engine;
+  rq_sfi : bool;
+}
+
+type batch_report = {
+  br_requests : int;
+  br_failures : int;
+  br_instructions : int;
+  br_elapsed_s : float;
+  br_rps : float;
+}
+
+let run_batch ?fuel t (reqs : request array) : batch_report =
+  let t0 = Sys.time () in
+  let failures = ref 0 in
+  let instructions = ref 0 in
+  Array.iter
+    (fun r ->
+      let res =
+        instantiate ~engine:r.rq_engine ~sfi:r.rq_sfi ?fuel t r.rq_handle
+      in
+      if res.Exec.exit_code <> 0 then incr failures;
+      instructions := !instructions + res.Exec.instructions)
+    reqs;
+  let dt = Sys.time () -. t0 in
+  {
+    br_requests = Array.length reqs;
+    br_failures = !failures;
+    br_instructions = !instructions;
+    br_elapsed_s = dt;
+    br_rps =
+      (if dt > 0.0 then float_of_int (Array.length reqs) /. dt else 0.0);
+  }
+
+let render_batch r =
+  Printf.sprintf
+    "batch: %d requests (%d failed), %d simulated instructions, %.3fs CPU, \
+     %.1f req/s\n"
+    r.br_requests r.br_failures r.br_instructions r.br_elapsed_s r.br_rps

@@ -1,0 +1,75 @@
+(** The serving front-end: many loads of few modules, translated once.
+
+    Ties the content-addressed {!Store} and the memoizing translation
+    {!Cache} behind a two-call protocol:
+
+    + {!submit} admits wire bytes (validated, deduplicated) and returns a
+      content-derived handle;
+    + {!instantiate} stamps out a fresh isolated image for the handle and
+      runs it on the requested engine, reusing the cached translation for
+      its (arch, mode, opts) configuration when one exists.
+
+    Every layer reports into one {!Counters.t} snapshot ({!stats}), and
+    {!run_batch} drives a request mix end to end, reporting throughput —
+    the serving analogue of the paper's "translation must be fast"
+    load-time argument: a production host pays the translator once per
+    configuration, not once per load. *)
+
+module Machine = Omni_targets.Machine
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] bounds the translation cache (default 256 entries;
+    0 disables translation caching — every target run translates). *)
+
+val submit : t -> string -> Store.handle
+(** Admit module bytes; see {!Store.submit} for validation and errors. *)
+
+val instantiate :
+  ?engine:Exec.engine ->
+  ?sfi:bool ->
+  ?mode:Machine.mode ->
+  ?opts:Machine.topts ->
+  ?fuel:int ->
+  t ->
+  Store.handle ->
+  Exec.run_result
+(** Run the module named by the handle on a fresh isolated image.
+    Defaults mirror [Api.run_exe]: the interpreter engine; for target
+    engines, sandboxed mobile code ([sfi], default true, ignored when
+    [mode] is given) with the per-arch translator options.
+    @raise Store.Unknown_handle on a foreign handle.
+    @raise Cache.Rejected if the SFI verifier rejects the translation. *)
+
+val cached :
+  ?sfi:bool ->
+  ?mode:Machine.mode ->
+  ?opts:Machine.topts ->
+  arch:Omni_targets.Arch.t ->
+  t ->
+  Store.handle ->
+  Cache.entry option
+(** The cached translation {!instantiate} would reuse for this handle and
+    configuration, if present; does not perturb recency order. *)
+
+val stats : t -> Counters.t
+val render_stats : t -> string
+
+(** One request of a batch: which module, which engine, SFI on/off. *)
+type request = {
+  rq_handle : Store.handle;
+  rq_engine : Exec.engine;
+  rq_sfi : bool;
+}
+
+type batch_report = {
+  br_requests : int;
+  br_failures : int;  (** requests that did not exit 0 *)
+  br_instructions : int;  (** total simulated instructions retired *)
+  br_elapsed_s : float;  (** CPU seconds for the whole batch *)
+  br_rps : float;  (** requests per CPU second *)
+}
+
+val run_batch : ?fuel:int -> t -> request array -> batch_report
+val render_batch : batch_report -> string

@@ -1,0 +1,52 @@
+module Fnv64 = Omni_util.Fnv64
+
+type handle = Fnv64.t
+
+let digest h = h
+let digest_hex = Fnv64.to_hex
+let equal_handle = Fnv64.equal
+
+type entry = {
+  e_bytes : string;
+  e_exe : Omnivm.Exe.t;
+  e_blueprint : Omni_runtime.Loader.blueprint;
+}
+
+type t = {
+  tbl : (Fnv64.t, entry) Hashtbl.t;
+  c : Counters.t;
+}
+
+let create ?counters () =
+  let c = match counters with Some c -> c | None -> Counters.create () in
+  { tbl = Hashtbl.create 64; c }
+
+exception Collision of handle
+exception Unknown_handle
+
+let submit t bytes =
+  let h = Fnv64.digest_string bytes in
+  t.c.Counters.submits <- t.c.Counters.submits + 1;
+  (match Hashtbl.find_opt t.tbl h with
+  | Some e ->
+      if not (String.equal e.e_bytes bytes) then raise (Collision h);
+      t.c.Counters.dedup_hits <- t.c.Counters.dedup_hits + 1
+  | None ->
+      let exe = Omnivm.Wire.decode bytes in
+      let bp = Omni_runtime.Loader.blueprint exe in
+      Hashtbl.replace t.tbl h
+        { e_bytes = bytes; e_exe = exe; e_blueprint = bp };
+      t.c.Counters.modules <- t.c.Counters.modules + 1;
+      t.c.Counters.bytes_stored <-
+        t.c.Counters.bytes_stored + String.length bytes);
+  h
+
+let entry t h =
+  match Hashtbl.find_opt t.tbl h with
+  | Some e -> e
+  | None -> raise Unknown_handle
+
+let bytes t h = (entry t h).e_bytes
+let exe t h = (entry t h).e_exe
+let blueprint t h = (entry t h).e_blueprint
+let modules t = Hashtbl.length t.tbl

@@ -1,0 +1,43 @@
+(** Content-addressed module store.
+
+    A serving host receives the same module bytes over and over — one
+    upload per client, thousands of loads. The store digests the wire
+    bytes (FNV-1a/64), deduplicates identical modules, and keeps the
+    decoded executable plus a validated loading {!Omni_runtime.Loader.blueprint}
+    so later instantiations skip decoding and size checks entirely.
+
+    Admission is strict: {!submit} decodes (validating the wire format)
+    and computes the blueprint (validating segment fit), so a handle
+    always names a loadable module. *)
+
+type handle
+(** Names a stored module; content-derived, so equal bytes yield equal
+    handles. *)
+
+val digest : handle -> Omni_util.Fnv64.t
+val digest_hex : handle -> string
+val equal_handle : handle -> handle -> bool
+
+type t
+
+val create : ?counters:Counters.t -> unit -> t
+(** [counters] lets a service aggregate store activity with the rest of
+    the pipeline; a private record is used when omitted. *)
+
+exception Collision of handle
+(** Two distinct byte strings hit the same digest (astronomically
+    unlikely; detected by byte comparison on every dedup hit). *)
+
+val submit : t -> string -> handle
+(** Admit wire bytes, deduplicating by content.
+    @raise Omnivm.Wire.Bad_module on malformed bytes.
+    @raise Invalid_argument if the module's data does not fit.
+    @raise Collision on a digest collision. *)
+
+exception Unknown_handle
+(** Raised by the accessors below for a handle this store never issued. *)
+
+val bytes : t -> handle -> string
+val exe : t -> handle -> Omnivm.Exe.t
+val blueprint : t -> handle -> Omni_runtime.Loader.blueprint
+val modules : t -> int

@@ -342,3 +342,18 @@ let string_of_instr (i : instr) =
   | Trapi n -> p "trap %d" n
   | Hcall n -> p "hcall %d" n
   | Nop -> "nop"
+
+(* --- structural identity of translated programs ---
+
+   Translation is a pure function of (exe, cfg, mode, opts), so two
+   translations of the same inputs are structurally equal. The serving
+   layer relies on this to state its cache invariant: a cached program is
+   observationally identical to a fresh translation. [Stdlib.compare]
+   rather than [(=)] so NaN pool constants compare equal to themselves. *)
+
+let equal_program (a : program) (b : program) = Stdlib.compare a b = 0
+
+let fingerprint_program (p : program) : Omni_util.Fnv64.t =
+  Omni_util.Fnv64.digest_string
+    (Marshal.to_string (p.cfg, p.code, p.entry, p.addr_map, p.pool, p.n_omni)
+       [])

@@ -304,3 +304,11 @@ let string_of_instr (i : instr) =
   | Trapi n -> p "trap %d" n
   | Hcall n -> p "hcall %d" n
   | Nop -> "nop"
+
+(* --- structural identity of translated programs (see Risc) --- *)
+
+let equal_program (a : program) (b : program) = Stdlib.compare a b = 0
+
+let fingerprint_program (p : program) : Omni_util.Fnv64.t =
+  Omni_util.Fnv64.digest_string
+    (Marshal.to_string (p.code, p.entry, p.addr_map, p.pool, p.n_omni) [])

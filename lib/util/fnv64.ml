@@ -1,0 +1,33 @@
+(* FNV-1a 64-bit: h := (h xor byte) * prime, per byte. *)
+
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let step h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xff))) prime
+
+let digest_sub get len ?(seed = offset_basis) () =
+  let h = ref seed in
+  for i = 0 to len - 1 do
+    h := step !h (get i)
+  done;
+  !h
+
+let digest_string ?seed s =
+  digest_sub (fun i -> Char.code s.[i]) (String.length s) ?seed ()
+
+let digest_bytes ?seed b =
+  digest_sub (fun i -> Char.code (Bytes.get b i)) (Bytes.length b) ?seed ()
+
+(* Fold a full OCaml int in 8 little-endian bytes. *)
+let mix_int h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := step !h ((v lsr (8 * i)) land 0xff)
+  done;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h
+let equal = Int64.equal

@@ -1,0 +1,19 @@
+(** FNV-1a 64-bit content digests.
+
+    Used by the serving layer to content-address mobile modules and to
+    fingerprint translated programs. Not cryptographic: the store guards
+    against (astronomically unlikely) collisions by comparing bytes on a
+    digest match. *)
+
+type t = int64
+
+val digest_string : ?seed:t -> string -> t
+val digest_bytes : ?seed:t -> Bytes.t -> t
+
+val mix_int : t -> int -> t
+(** Fold an integer (e.g. a tag) into an existing digest. *)
+
+val to_hex : t -> string
+(** 16 lowercase hex digits. *)
+
+val equal : t -> t -> bool
