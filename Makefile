@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke clean
+.PHONY: check build test bench bench-smoke trace-smoke clean
 
-check: ## full tier-1 verification: build + every test suite
-	dune build && dune runtest
+check: ## full tier-1 verification: build + every test suite + trace smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke
 
 build:
 	dune build
@@ -18,6 +18,17 @@ bench:
 # Quick exercise of the serving experiment so the cache path stays honest.
 bench-smoke:
 	dune exec bench/main.exe -- service
+
+# End-to-end observability smoke: compile the quickstart module, run it
+# under omnirun with span tracing on, and insist the trace is non-empty.
+trace-smoke:
+	dune build examples/quickstart.exe bin/omnirun.exe
+	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null
+	./_build/default/bin/omnirun.exe --trace=/tmp/quickstart.trace run \
+	  /tmp/quickstart.omni --engine x86 >/dev/null
+	@grep -q '"span":"translate"' /tmp/quickstart.trace
+	@grep -q '"span":"run"' /tmp/quickstart.trace
+	@echo "trace-smoke: OK ($$(wc -l < /tmp/quickstart.trace) spans)"
 
 clean:
 	dune clean

@@ -2,27 +2,87 @@
 
    Single-load mode (the original host):
 
-     omnirun module.omni [--engine interp|mips|sparc|ppc|x86] [--no-sfi]
-                         [--stats]
+     omnirun [--trace[=FILE]] [run] module.omni
+             [--engine interp|mips|sparc|ppc|x86] [--no-sfi] [--stats]
 
    Serving mode — many loads of few modules through the content-addressed
    store and memoizing translation cache:
 
-     omnirun serve mod1.omni [mod2.omni ...]
+     omnirun [--trace[=FILE]] serve mod1.omni [mod2.omni ...]
              [--engine E] [--no-sfi] [--requests N] [--cache-cap K]
-             [--stats]
+             [--stats] [--metrics]
 
    runs N requests round-robin over the given modules (each request on a
-   fresh isolated image) and reports throughput plus the service counters.
+   fresh isolated image) and reports throughput. --stats prints the
+   service counters as JSON; --metrics dumps the full metrics registry.
    Identical module files are deduplicated; only the first request per
-   (module, engine, SFI config) pays the translator. *)
+   (module, engine, SFI config) pays the translator.
+
+   --trace emits one JSON line per completed pipeline span (decode, load,
+   translate, verify, run, ...) to stderr, or to FILE with --trace=FILE. *)
 
 module Api = Omniware.Api
 module Service = Omni_service.Service
+module Counters = Omni_service.Counters
+module Trace = Omni_obs.Trace
+module Metrics = Omni_obs.Metrics
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
-let run_single args =
+(* --trace[=FILE] is pulled out of argv by a pre-scan: Arg cannot express
+   a flag whose value is optional. *)
+let extract_trace argv =
+  let trace = ref `Off in
+  let rest =
+    List.filter
+      (fun a ->
+        if String.equal a "--trace" then begin
+          trace := `Stderr;
+          false
+        end
+        else if String.length a >= 8 && String.equal (String.sub a 0 8) "--trace="
+        then begin
+          trace := `File (String.sub a 8 (String.length a - 8));
+          false
+        end
+        else true)
+      (Array.to_list argv)
+  in
+  (!trace, Array.of_list rest)
+
+(* Run [f] under a span tracer emitting JSON lines, handing [f] the
+   tracer's metrics registry so it can report per-phase breakdowns.
+   With tracing off, [f None] runs under the ambient null tracer. *)
+let with_tracer trace (f : Metrics.t option -> 'a) : 'a =
+  match trace with
+  | `Off -> f None
+  | (`Stderr | `File _) as dest ->
+      let oc, close =
+        match dest with
+        | `Stderr -> (stderr, fun () -> flush stderr)
+        | `File path ->
+            let oc = open_out path in
+            (oc, fun () -> close_out oc)
+      in
+      let metrics = Metrics.create () in
+      let tracer =
+        Trace.make ~metrics
+          (Trace.Emit
+             (fun s ->
+               output_string oc (Trace.json_line s);
+               output_char oc '\n'))
+      in
+      Fun.protect ~finally:close (fun () ->
+          Trace.with_current tracer (fun () -> f (Some metrics)))
+
+let parse_engine ~who s =
+  match Api.engine_of_string s with
+  | Ok e -> e
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" who msg;
+      exit 2
+
+let run_single trace args =
   let input = ref None in
   let engine = ref "interp" in
   let sfi = ref true in
@@ -33,28 +93,42 @@ let run_single args =
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
       ("--stats", Arg.Set stats, " print execution statistics") ]
   in
-  Arg.parse_argv args spec (fun f -> input := Some f) "omnirun <module.omni>";
+  Arg.parse_argv args spec
+    (fun f ->
+      (* tolerate an explicit "run" subcommand word *)
+      if String.equal f "run" && !input = None then () else input := Some f)
+    "omnirun [run] <module.omni>";
   match !input with
   | None ->
       prerr_endline "omnirun: no module";
       exit 2
   | Some path ->
-      let result = Api.run_wire ~engine:!engine ~sfi:!sfi (read_file path) in
-      print_string result.Api.output;
-      if !stats then begin
-        Printf.eprintf "engine:        %s\n" !engine;
-        Printf.eprintf "instructions:  %d\n" result.Api.instructions;
-        Printf.eprintf "cycles:        %d\n" result.Api.cycles
-      end;
-      exit result.Api.exit_code
+      let eng = parse_engine ~who:"omnirun" !engine in
+      let code =
+        with_tracer trace @@ fun tm ->
+        let req = { Api.default_request with engine = eng; sfi = !sfi } in
+        let result = Api.run req (Api.Wire (read_file path)) in
+        print_string result.Api.output;
+        if !stats then begin
+          Printf.eprintf "engine:        %s\n" (Api.engine_name eng);
+          Printf.eprintf "instructions:  %d\n" result.Api.instructions;
+          Printf.eprintf "cycles:        %d\n" result.Api.cycles;
+          match tm with
+          | Some m -> prerr_string (Metrics.render_phases (Metrics.snapshot m))
+          | None -> ()
+        end;
+        result.Api.exit_code
+      in
+      exit code
 
-let run_serve args =
+let run_serve trace args =
   let inputs = ref [] in
   let engine = ref "interp" in
   let sfi = ref true in
   let requests = ref 16 in
   let cache_cap = ref 256 in
   let stats = ref false in
+  let metrics_dump = ref false in
   let spec =
     [ ("--engine", Arg.Set_string engine,
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
@@ -63,7 +137,9 @@ let run_serve args =
        "N total requests, round-robin over the modules (default 16)");
       ("--cache-cap", Arg.Set_int cache_cap,
        "K translation-cache capacity; 0 disables caching (default 256)");
-      ("--stats", Arg.Set stats, " print service counters") ]
+      ("--stats", Arg.Set stats, " print service counters as JSON");
+      ("--metrics", Arg.Set metrics_dump,
+       " dump the full metrics registry (counters + phase timings)") ]
   in
   Arg.parse_argv args spec
     (fun f -> inputs := f :: !inputs)
@@ -73,38 +149,44 @@ let run_serve args =
     prerr_endline "omnirun serve: no modules";
     exit 2
   end;
-  let eng =
-    match Api.engine_of_string !engine with
-    | Some e -> e
-    | None ->
-        Printf.eprintf "omnirun serve: unknown engine %s\n" !engine;
-        exit 2
+  let eng = parse_engine ~who:"omnirun serve" !engine in
+  let code =
+    with_tracer trace @@ fun tm ->
+    (* Share one registry between the tracer's phase histograms and the
+       service's counters so --metrics shows both. *)
+    let svc =
+      match tm with
+      | Some m -> Service.create ~cache_capacity:!cache_cap ~metrics:m ()
+      | None -> Service.create ~cache_capacity:!cache_cap ()
+    in
+    let handles =
+      List.map (fun path -> Service.submit svc (read_file path)) inputs
+    in
+    let harr = Array.of_list handles in
+    let reqs =
+      Array.init !requests (fun i ->
+          { Service.rq_handle = harr.(i mod Array.length harr);
+            rq_engine = eng; rq_sfi = !sfi })
+    in
+    let report = Service.run_batch svc reqs in
+    print_string (Service.render_batch report);
+    if !stats then print_endline (Counters.to_json (Service.stats svc));
+    if !metrics_dump then
+      print_string (Metrics.render (Metrics.snapshot (Service.metrics svc)));
+    if report.Service.br_failures = 0 then 0 else 1
   in
-  let svc = Service.create ~cache_capacity:!cache_cap () in
-  let handles =
-    List.map (fun path -> Service.submit svc (read_file path)) inputs
-  in
-  let harr = Array.of_list handles in
-  let reqs =
-    Array.init !requests (fun i ->
-        { Service.rq_handle = harr.(i mod Array.length harr);
-          rq_engine = eng; rq_sfi = !sfi })
-  in
-  let report = Service.run_batch svc reqs in
-  print_string (Service.render_batch report);
-  if !stats then print_string (Service.render_stats svc);
-  exit (if report.Service.br_failures = 0 then 0 else 1)
+  exit code
 
 let () =
-  let argv = Sys.argv in
+  let trace, argv = extract_trace Sys.argv in
   try
     if Array.length argv > 1 && argv.(1) = "serve" then
       (* re-seat argv so Arg reports "omnirun serve" on errors *)
-      run_serve
+      run_serve trace
         (Array.append
            [| argv.(0) ^ " serve" |]
            (Array.sub argv 2 (Array.length argv - 2)))
-    else run_single argv
+    else run_single trace argv
   with
   | Arg.Bad msg ->
       prerr_string msg;

@@ -34,6 +34,13 @@ let () =
   let wire = Api.compile ~name:"quickstart" program in
   Printf.printf "compiled mobile module: %d bytes of portable OmniVM code\n\n"
     (String.length wire);
+  (* -o FILE: also save the module (e.g. to feed omnirun) *)
+  (match Array.to_list Sys.argv with
+  | _ :: "-o" :: path :: _ ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc wire);
+      Printf.printf "wrote %s\n\n" path
+  | _ -> ());
   (* host side: pick the processor this host happens to have *)
   let host_arch = Omni_targets.Arch.X86 in
   let r =

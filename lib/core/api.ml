@@ -24,12 +24,15 @@ module X86_translate = Omni_targets.X86_translate
 module X86_sim = Omni_targets.X86_sim
 module Exec = Omni_service.Exec
 module Service = Omni_service.Service
+module Trace = Omni_obs.Trace
+module Metrics = Omni_obs.Metrics
 
 type engine = Exec.engine =
   | Interp
   | Target of Arch.t
 
 let engine_of_string = Exec.engine_of_string
+let engine_name = Exec.engine_name
 let mobile_opts = Exec.mobile_opts
 
 type run_result = Exec.run_result = {
@@ -54,40 +57,103 @@ let translate = Exec.translate
 let run_translated = Exec.run_translated
 let verify_translated = Exec.verify
 
-(* One-call convenience used by omnirun and the experiment harness. *)
+(* --- the unified run entry point --- *)
+
+type source =
+  | Exe of Omnivm.Exe.t
+  | Wire of string
+
+type request = {
+  engine : engine;
+  sfi : bool;
+  mode : Machine.mode option;
+  opts : Machine.topts option;
+  fuel : int option;
+  map_host_region : bool;
+  trace : Trace.t option;
+  service : Service.t option;
+}
+
+let default_request =
+  {
+    engine = Interp;
+    sfi = true;
+    mode = None;
+    opts = None;
+    fuel = None;
+    map_host_region = false;
+    trace = None;
+    service = None;
+  }
+
+let run (r : request) (src : source) : run_result =
+  let go () =
+    match r.service with
+    | Some service ->
+        (* The serving path: admission goes through the service's
+           content-addressed store and translation through its memo cache —
+           repeated loads of the same bytes skip decoding and translation
+           entirely. ([map_host_region] does not apply to served images.) *)
+        let bytes =
+          match src with Wire b -> b | Exe exe -> Omnivm.Wire.encode exe
+        in
+        let h = Service.submit service bytes in
+        Service.instantiate ~engine:r.engine ~sfi:r.sfi ?mode:r.mode
+          ?opts:r.opts ?fuel:r.fuel service h
+    | None -> (
+        let exe, img =
+          match src with
+          | Exe exe -> (exe, load ~map_host_region:r.map_host_region exe)
+          | Wire b ->
+              let img =
+                Omni_runtime.Loader.load_wire
+                  ~map_host_region:r.map_host_region b
+              in
+              (img.Omni_runtime.Loader.exe, img)
+        in
+        match r.engine with
+        | Interp -> run_interp ?fuel:r.fuel img
+        | Target arch ->
+            let mode =
+              match r.mode with
+              | Some m -> m
+              | None ->
+                  if r.sfi then Machine.Mobile (Omni_sfi.Policy.make ())
+                  else Machine.Mobile Omni_sfi.Policy.off
+            in
+            let tr = translate ~mode ?opts:r.opts arch exe in
+            run_translated ?fuel:r.fuel tr img)
+  in
+  match r.trace with
+  | None -> go () (* inherit whatever tracer is ambient *)
+  | Some t -> Trace.with_current t go
+
+(* --- thin compatibility wrappers over [run] --- *)
+
 let run_exe ?(engine = Interp) ?(sfi = true) ?mode ?opts ?fuel
     ?(map_host_region = false) (exe : Omnivm.Exe.t) : run_result =
-  let img = load ~map_host_region exe in
-  match engine with
-  | Interp -> run_interp ?fuel img
-  | Target arch ->
-      let mode =
-        match mode with
-        | Some m -> m
-        | None ->
-            if sfi then Machine.Mobile (Omni_sfi.Policy.make ())
-            else Machine.Mobile Omni_sfi.Policy.off
-      in
-      let tr = translate ~mode ?opts arch exe in
-      run_translated ?fuel tr img
+  run { default_request with engine; sfi; mode; opts; fuel; map_host_region }
+    (Exe exe)
 
 let run_wire ~engine ?(sfi = true) ?fuel bytes : run_result =
-  let exe = Omnivm.Wire.decode bytes in
   match engine_of_string engine with
-  | None -> invalid_arg ("unknown engine " ^ engine)
-  | Some e -> run_exe ~engine:e ~sfi ?fuel exe
+  | Error msg -> invalid_arg msg
+  | Ok e -> run { default_request with engine = e; sfi; fuel } (Wire bytes)
 
-(* The serving path: like run_wire, but module admission goes through the
-   service's content-addressed store and translation through its memo
-   cache — repeated loads of the same bytes skip decoding and translation
-   entirely. *)
 let run_wire_cached ~(service : Service.t) ~engine ?sfi ?fuel bytes :
     run_result =
   match engine_of_string engine with
-  | None -> invalid_arg ("unknown engine " ^ engine)
-  | Some e ->
-      let h = Service.submit service bytes in
-      Service.instantiate ~engine:e ?sfi ?fuel service h
+  | Error msg -> invalid_arg msg
+  | Ok e ->
+      run
+        {
+          default_request with
+          engine = e;
+          sfi = Option.value sfi ~default:true;
+          fuel;
+          service = Some service;
+        }
+        (Wire bytes)
 
 (* --- compilation (re-exported for hosts embedding the compiler) --- *)
 

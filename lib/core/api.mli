@@ -32,12 +32,22 @@ module Exec = Omni_service.Exec
 module Service = Omni_service.Service
 (** The serving front-end (store + translation cache + batch driver). *)
 
+module Trace = Omni_obs.Trace
+(** Span-based pipeline tracing (see {!run}'s [trace] field). *)
+
+module Metrics = Omni_obs.Metrics
+(** The metrics registry behind tracing and serving counters. *)
+
 (** An execution engine: the OmniVM reference interpreter, or load-time
     translation to a simulated target processor. *)
 type engine = Exec.engine = Interp | Target of Arch.t
 
-val engine_of_string : string -> engine option
-(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]. *)
+val engine_of_string : string -> (engine, string) result
+(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"];
+    [Error msg] names the valid engines for an unknown string. *)
+
+val engine_name : engine -> string
+(** Inverse of {!engine_of_string} on the recognized names. *)
 
 val mobile_opts : Arch.t -> Machine.topts
 (** The per-architecture translator-optimization defaults the paper
@@ -91,6 +101,41 @@ val verify_translated : translated -> (unit, string) result
     admission check a distrustful host applies before executing sandboxed
     code (fresh or cached). *)
 
+(** What to run: an in-memory executable, or wire-format bytes as they
+    arrive from a producer. *)
+type source =
+  | Exe of Omnivm.Exe.t
+  | Wire of string
+
+(** One fully-specified run. Build by overriding {!default_request}:
+    [{ default_request with engine = Target Arch.Mips; fuel = Some 10_000 }]. *)
+type request = {
+  engine : engine;
+  sfi : bool;
+      (** sandbox mobile code (default true; ignored when [mode] is given) *)
+  mode : Machine.mode option;
+      (** explicit translation mode; [None] derives one from [sfi] *)
+  opts : Machine.topts option;  (** [None] = {!mobile_opts} of the target *)
+  fuel : int option;  (** instruction budget; [None] = a large default *)
+  map_host_region : bool;
+      (** also map host-owned memory (SFI demos; direct path only) *)
+  trace : Trace.t option;
+      (** tracer installed for the duration of the run; [None] inherits the
+          ambient tracer (which defaults to the zero-cost null tracer) *)
+  service : Service.t option;
+      (** when set, admission goes through the service's content-addressed
+          store and translation through its memoizing cache *)
+}
+
+val default_request : request
+(** Interpreter engine, SFI on, derived mode/opts, unlimited-ish fuel, no
+    host region, ambient tracing, no service. *)
+
+val run : request -> source -> run_result
+(** The one entry point: load + translate + run as specified by the
+    request. Every other run function below is a thin wrapper over this.
+    @raise Store.Unknown_handle, Cache.Rejected on service-path errors. *)
+
 val run_exe :
   ?engine:engine ->
   ?sfi:bool ->
@@ -100,11 +145,14 @@ val run_exe :
   ?map_host_region:bool ->
   Omnivm.Exe.t ->
   run_result
-(** Load + translate + run in one call. [sfi] (default true) selects
-    sandboxing for mobile modules; it is ignored when [mode] is given. *)
+(** [run_exe ... exe] = [run { default_request with ... } (Exe exe)].
+    [sfi] (default true) selects sandboxing for mobile modules; it is
+    ignored when [mode] is given. *)
 
 val run_wire : engine:string -> ?sfi:bool -> ?fuel:int -> string -> run_result
-(** Like {!run_exe}, starting from wire-format bytes. *)
+(** Like {!run_exe}, starting from wire-format bytes; the engine is named
+    by string as on the command line.
+    @raise Invalid_argument on an unknown engine name. *)
 
 val run_wire_cached :
   service:Service.t ->
@@ -113,8 +161,8 @@ val run_wire_cached :
   ?fuel:int ->
   string ->
   run_result
-(** Like {!run_wire}, but admission goes through [service]'s
-    content-addressed store and translation through its memoizing cache:
+(** [run_wire] through [service]: admission goes through its
+    content-addressed store and translation through its memoizing cache —
     repeated loads of the same bytes skip decoding and translation
     entirely, paying only the static re-verification of the cached code. *)
 

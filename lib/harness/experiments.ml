@@ -452,6 +452,13 @@ let service_amortization ~size =
      (every request instantiates a fresh isolated image; a cold load pays\n\
      translate + verify, a warm load pays static re-verification only)\n\n";
   let svc = Svc.create () in
+  (* Trace with a Null sink into the service's own registry: no span
+     storage, but every phase lands in the "phase.*" histograms, so the
+     breakdown below and the serving counters come from one place. *)
+  let tracer =
+    Omni_obs.Trace.make ~metrics:(Svc.metrics svc) Omni_obs.Trace.Null
+  in
+  Omni_obs.Trace.with_current tracer @@ fun () ->
   let handles =
     List.map
       (fun (w : Omni_workloads.Workloads.t) ->
@@ -459,7 +466,6 @@ let service_amortization ~size =
         (w, p, Svc.submit svc (Omnivm.Wire.encode p.p_exe)))
       ws
   in
-  let c = Svc.stats svc in
   let fuel = 4_000_000_000 in
   let load_all ~check arch =
     List.iter
@@ -475,14 +481,17 @@ let service_amortization ~size =
   let warm_rounds = 3 in
   List.iter
     (fun arch ->
-      let cold0 = c.SC.cold_translate_s in
+      let cold0 = (Svc.stats svc).SC.s_cold_translate_s in
       load_all ~check:true arch;
-      let cold = c.SC.cold_translate_s -. cold0 in
-      let warm0 = c.SC.warm_admit_s in
+      let cold = (Svc.stats svc).SC.s_cold_translate_s -. cold0 in
+      let warm0 = (Svc.stats svc).SC.s_warm_admit_s in
       for _ = 1 to warm_rounds do
         load_all ~check:true arch
       done;
-      let warm = (c.SC.warm_admit_s -. warm0) /. float_of_int warm_rounds in
+      let warm =
+        ((Svc.stats svc).SC.s_warm_admit_s -. warm0)
+        /. float_of_int warm_rounds
+      in
       Buffer.add_string buf
         (Printf.sprintf "%-8s %15.2f %15.2f %9.0fx\n" (Arch.name arch)
            (1e3 *. cold) (1e3 *. warm)
@@ -504,14 +513,53 @@ let service_amortization ~size =
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Svc.render_batch report);
   Buffer.add_string buf (Svc.render_stats svc);
+  let c = Svc.stats svc in
   let distinct = List.length handles * List.length all_archs in
   Buffer.add_string buf
     (Printf.sprintf
        "invariant: translations (%d) = distinct configs (%d), hits (%d) > 0: \
         %s\n"
-       c.SC.translations distinct c.SC.hits
-       (if c.SC.translations = distinct && c.SC.hits > 0 then "OK"
+       c.SC.s_translations distinct c.SC.s_hits
+       (if c.SC.s_translations = distinct && c.SC.s_hits > 0 then "OK"
         else "VIOLATED"));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Omni_obs.Metrics.render_phases
+       (Omni_obs.Metrics.snapshot (Svc.metrics svc)));
+  Buffer.contents buf
+
+(* Per-phase pipeline breakdown (the observability tentpole, end to end):
+   compile each workload from source, ship the bytes through the serving
+   path (decode, load, translate, verify) and run on the interpreter and
+   every target — all under a Null-sink tracer feeding one metrics
+   registry, so the table below is exactly what the span instrumentation
+   recorded, with no harness-side timing. *)
+let phase_breakdown ~size =
+  let module Svc = Omni_service.Service in
+  let module Exec = Omni_service.Exec in
+  let ws = workloads ~size in
+  let m = Omni_obs.Metrics.create () in
+  let tracer = Omni_obs.Trace.make ~metrics:m Omni_obs.Trace.Null in
+  Omni_obs.Trace.with_current tracer @@ fun () ->
+  let svc = Svc.create ~metrics:m () in
+  let fuel = 4_000_000_000 in
+  List.iter
+    (fun (w : Omni_workloads.Workloads.t) ->
+      let bytes = Minic.Driver.compile_wire ~name:w.name w.source in
+      let h = Svc.submit svc bytes in
+      ignore (Svc.instantiate ~fuel svc h);
+      List.iter
+        (fun arch ->
+          ignore (Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc h))
+        all_archs)
+    ws;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Per-phase pipeline breakdown: compile -> decode -> load -> translate\n\
+     -> verify -> run, as recorded by the span tracer's metrics registry\n\
+     (every workload, interpreter + all four targets, serving path)\n\n";
+  Buffer.add_string buf
+    (Omni_obs.Metrics.render_phases (Omni_obs.Metrics.snapshot m));
   Buffer.contents buf
 
 let all_tables ~size =

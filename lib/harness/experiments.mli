@@ -86,4 +86,10 @@ val service_amortization : size:Omni_workloads.Workloads.size -> string
     re-verification; reports amortization, batch throughput, and the
     service counters. *)
 
+val phase_breakdown : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: where the pipeline's time goes — compile, decode,
+    load, translate, verify, run — as recorded by the
+    {!Omni_obs.Trace} span instrumentation into a
+    {!Omni_obs.Metrics} registry (no harness-side timing). *)
+
 val all_tables : size:Omni_workloads.Workloads.size -> string

@@ -5,6 +5,8 @@
    (Stdlib_mc, itself compiled from MiniC) + the user's translation
    unit(s). *)
 
+module Trace = Omni_obs.Trace
+
 type options = {
   opt_level : Opt.level;
   regfile_size : int; (* OmniVM registers available to the allocator *)
@@ -43,12 +45,18 @@ let stdlib_protos : Typecheck.proto list =
 (* Compile one translation unit to a relocatable object. *)
 let compile_unit ?(options = default_options) ?(protos = stdlib_protos) ~name
     source : Omni_asm.Obj.t =
-  let ast = Parser.parse_program source in
-  let tast = Typecheck.type_program ~protos ast in
-  let ir = Lower.lower_program tast in
-  let ir = Opt.optimize options.opt_level ir in
+  Trace.phase "compile.unit" ~attrs:[ ("unit", name) ] @@ fun () ->
+  let ast = Trace.timed "pass.parse" (fun () -> Parser.parse_program source) in
+  let tast =
+    Trace.timed "pass.typecheck" (fun () ->
+        Typecheck.type_program ~protos ast)
+  in
+  let ir = Trace.timed "pass.lower" (fun () -> Lower.lower_program tast) in
+  let ir =
+    Trace.timed "pass.opt" (fun () -> Opt.optimize options.opt_level ir)
+  in
   let pools = Regalloc.default_pools ~regfile_size:options.regfile_size in
-  Codegen.gen_program ~pools ~name ir
+  Trace.timed "pass.codegen" (fun () -> Codegen.gen_program ~pools ~name ir)
 
 (* Typed program for the reference interpreter (differential oracle). *)
 let typed_program ?protos source : Tast.tprogram =
@@ -78,12 +86,13 @@ let runtime_lib ?options () : Omni_asm.Obj.t =
 (* Compile and link a complete program into a mobile module. *)
 let compile_exe ?(options = default_options) ?(with_stdlib = true) ~name
     source : Omnivm.Exe.t =
+  Trace.phase "compile" ~attrs:[ ("name", name) ] @@ fun () ->
   let objs =
     [ crt0 () ]
     @ (if with_stdlib then [ runtime_lib ~options () ] else [])
     @ [ compile_unit ~options ~name source ]
   in
-  Omni_asm.Link.link ~entry:"_start" objs
+  Trace.timed "pass.link" (fun () -> Omni_asm.Link.link ~entry:"_start" objs)
 
 (* Convenience: straight to wire bytes, the shippable mobile-code artifact. *)
 let compile_wire ?options ?with_stdlib ~name source : string =

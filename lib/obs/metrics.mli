@@ -1,0 +1,81 @@
+(** Metrics registry: named counters, gauges, and log-bucketed histograms.
+
+    One registry describes one measured subsystem (a service instance, a
+    benchmark run, an omnirun invocation). Instruments are registered by
+    name on first use; {!reset} zeroes readings but keeps registrations.
+    Reading a name as two different instrument kinds is a programming
+    error ([Invalid_argument]).
+
+    Histograms are log-bucketed in powers of two: a value [v > 0] falls in
+    the bucket [[2^(e-1), 2^e)] containing it; values [<= 0] (and NaN)
+    land in the underflow bucket 0. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> string -> counter
+(** Get or register the named counter. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one sample (for phase timings: seconds). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_index : float -> int
+(** Bucket a value would land in (exposed for the boundary tests). *)
+
+val bucket_upper : int -> float
+(** Exclusive upper bound of bucket [i]; [bucket_upper (bucket_index v)]
+    is the smallest power of two strictly greater than [v] (for positive
+    in-range [v]). *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list;
+      (** (upper bound, count) for non-empty buckets, ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : t -> snapshot
+(** An immutable copy of every reading; does not perturb the registry. *)
+
+val reset : t -> unit
+(** Zero all readings, keeping every registered instrument alive. *)
+
+val render : snapshot -> string
+(** Human-readable multi-line table. *)
+
+val to_json : snapshot -> string
+(** One-line JSON object: [{"counters":{...},"gauges":{...},
+    "histograms":{"name":{"count":..,"sum":..,"buckets":[[ub,n],..]}}}]. *)
+
+val render_phases : snapshot -> string
+(** Per-phase time table over histograms named ["phase.<name>"] (the ones
+    {!Trace} feeds): count, total, mean, share of total. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (shared with {!Trace.json_line}). *)

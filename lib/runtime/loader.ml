@@ -7,6 +7,7 @@
    host's own memory so tests can demonstrate what SFI protects. *)
 
 open Omnivm
+module Trace = Omni_obs.Trace
 
 type image = {
   exe : Exe.t;
@@ -38,6 +39,8 @@ let blueprint ?(allow = Hostcall.all) ?(map_host_region = false)
     bp_heap_start = heap_start; bp_heap_limit = heap_limit }
 
 let instantiate (bp : blueprint) : image =
+  Trace.phase "load" @@ fun () ->
+  Trace.count "load.instantiations";
   let exe = bp.bp_exe in
   let mem = Memory.create () in
   (* The code segment is mapped for realism (it holds no fetchable bytes in
@@ -70,7 +73,8 @@ let load ?allow ?map_host_region ?stack_size (exe : Exe.t) : image =
 
 (* Load from wire bytes: the real mobile-code path. *)
 let load_wire ?allow ?map_host_region ?stack_size bytes =
-  load ?allow ?map_host_region ?stack_size (Wire.decode bytes)
+  let exe = Trace.phase "decode" (fun () -> Wire.decode bytes) in
+  load ?allow ?map_host_region ?stack_size exe
 
 (* Convenience: run a loaded image in the OmniVM reference interpreter. *)
 let run_interp ?(fuel = 2_000_000_000) (img : image) =

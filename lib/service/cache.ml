@@ -1,4 +1,6 @@
 module Machine = Omni_targets.Machine
+module Metrics = Omni_obs.Metrics
+module Trace = Omni_obs.Trace
 
 (* The key embeds every input of the (pure) translator: module identity by
    content digest, target architecture, translation mode (including the
@@ -48,7 +50,7 @@ let verdict_applicable (k : key) =
 
 let admit t k tr =
   if verdict_applicable k then begin
-    t.c.Counters.verifications <- t.c.Counters.verifications + 1;
+    Metrics.incr t.c.Counters.verifications;
     match Exec.verify tr with
     | Ok () -> Verified
     | Error reason -> raise (Rejected reason)
@@ -60,20 +62,20 @@ let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
   match Lru.find t.lru k with
   | Some e ->
       let (_ : verdict) = admit t k e.tr in
-      t.c.Counters.hits <- t.c.Counters.hits + 1;
-      t.c.Counters.warm_admit_s <-
-        t.c.Counters.warm_admit_s +. (Sys.time () -. t0);
+      Metrics.incr t.c.Counters.hits;
+      Trace.count "cache.hits";
+      Metrics.observe t.c.Counters.warm_admit (Sys.time () -. t0);
       e.tr
   | None ->
       let tr = Exec.translate ~mode:k.k_mode ~opts:k.k_opts k.k_arch exe in
-      t.c.Counters.translations <- t.c.Counters.translations + 1;
+      Metrics.incr t.c.Counters.translations;
       let verdict = admit t k tr in
       (match Lru.add t.lru k { tr; verdict; fp = Exec.fingerprint tr } with
-      | Some _ -> t.c.Counters.evictions <- t.c.Counters.evictions + 1
+      | Some _ -> Metrics.incr t.c.Counters.evictions
       | None -> ());
-      t.c.Counters.misses <- t.c.Counters.misses + 1;
-      t.c.Counters.cold_translate_s <-
-        t.c.Counters.cold_translate_s +. (Sys.time () -. t0);
+      Metrics.incr t.c.Counters.misses;
+      Trace.count "cache.misses";
+      Metrics.observe t.c.Counters.cold_translate (Sys.time () -. t0);
       tr
 
 let peek t k = Lru.peek t.lru k

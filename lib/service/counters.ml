@@ -1,62 +1,108 @@
+(* Serving-stack instrumentation, rebased onto the Omni_obs.Metrics
+   registry: every field is a named instrument in one registry per
+   Service.t, so service stats, the bench harness, and `omnirun serve
+   --metrics` all read one source of truth (and the phase histograms the
+   tracer records land in the same registry). *)
+
+module Metrics = Omni_obs.Metrics
+
 type t = {
-  mutable submits : int;
-  mutable modules : int;
-  mutable dedup_hits : int;
-  mutable bytes_stored : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable translations : int;
-  mutable verifications : int;
-  mutable cold_translate_s : float;
-  mutable warm_admit_s : float;
-  mutable instantiations : int;
+  m : Metrics.t;
+  (* module store *)
+  submits : Metrics.counter;
+  modules : Metrics.counter;
+  dedup_hits : Metrics.counter;
+  bytes_stored : Metrics.counter;
+  (* translation cache *)
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  evictions : Metrics.counter;
+  translations : Metrics.counter;
+  verifications : Metrics.counter;
+  cold_translate : Metrics.histogram;
+  warm_admit : Metrics.histogram;
+  (* service front-end *)
+  instantiations : Metrics.counter;
 }
 
-let create () =
+let create ?metrics () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
-    submits = 0;
-    modules = 0;
-    dedup_hits = 0;
-    bytes_stored = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    translations = 0;
-    verifications = 0;
-    cold_translate_s = 0.0;
-    warm_admit_s = 0.0;
-    instantiations = 0;
+    m;
+    submits = Metrics.counter m "service.submits";
+    modules = Metrics.counter m "service.modules";
+    dedup_hits = Metrics.counter m "service.dedup_hits";
+    bytes_stored = Metrics.counter m "service.bytes_stored";
+    hits = Metrics.counter m "service.cache.hits";
+    misses = Metrics.counter m "service.cache.misses";
+    evictions = Metrics.counter m "service.cache.evictions";
+    translations = Metrics.counter m "service.translations";
+    verifications = Metrics.counter m "service.verifications";
+    cold_translate = Metrics.histogram m "service.cold_translate_s";
+    warm_admit = Metrics.histogram m "service.warm_admit_s";
+    instantiations = Metrics.counter m "service.instantiations";
   }
 
-let reset c =
-  c.submits <- 0;
-  c.modules <- 0;
-  c.dedup_hits <- 0;
-  c.bytes_stored <- 0;
-  c.hits <- 0;
-  c.misses <- 0;
-  c.evictions <- 0;
-  c.translations <- 0;
-  c.verifications <- 0;
-  c.cold_translate_s <- 0.0;
-  c.warm_admit_s <- 0.0;
-  c.instantiations <- 0
+let metrics t = t.m
+let reset t = Metrics.reset t.m
 
-let hit_rate c =
-  let n = c.hits + c.misses in
-  if n = 0 then 0.0 else float_of_int c.hits /. float_of_int n
+(* --- immutable snapshot --- *)
 
-let render c =
+type snapshot = {
+  s_submits : int;
+  s_modules : int;
+  s_dedup_hits : int;
+  s_bytes_stored : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_translations : int;
+  s_verifications : int;
+  s_cold_translate_s : float;
+  s_warm_admit_s : float;
+  s_instantiations : int;
+}
+
+let snapshot t : snapshot =
+  {
+    s_submits = Metrics.value t.submits;
+    s_modules = Metrics.value t.modules;
+    s_dedup_hits = Metrics.value t.dedup_hits;
+    s_bytes_stored = Metrics.value t.bytes_stored;
+    s_hits = Metrics.value t.hits;
+    s_misses = Metrics.value t.misses;
+    s_evictions = Metrics.value t.evictions;
+    s_translations = Metrics.value t.translations;
+    s_verifications = Metrics.value t.verifications;
+    s_cold_translate_s = Metrics.histogram_sum t.cold_translate;
+    s_warm_admit_s = Metrics.histogram_sum t.warm_admit;
+    s_instantiations = Metrics.value t.instantiations;
+  }
+
+let hit_rate s =
+  let n = s.s_hits + s.s_misses in
+  if n = 0 then 0.0 else float_of_int s.s_hits /. float_of_int n
+
+let render s =
   let b = Buffer.create 256 in
-  Printf.bprintf b "module store:      %d modules (%d submits, %d deduped, %d bytes)\n"
-    c.modules c.submits c.dedup_hits c.bytes_stored;
+  Printf.bprintf b
+    "module store:      %d modules (%d submits, %d deduped, %d bytes)\n"
+    s.s_modules s.s_submits s.s_dedup_hits s.s_bytes_stored;
   Printf.bprintf b
     "translation cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n"
-    c.hits c.misses (100.0 *. hit_rate c) c.evictions;
+    s.s_hits s.s_misses (100.0 *. hit_rate s) s.s_evictions;
   Printf.bprintf b
     "translations:      %d cold (%.1f ms total); %d verifier runs (%.1f ms warm admission)\n"
-    c.translations (1e3 *. c.cold_translate_s) c.verifications
-    (1e3 *. c.warm_admit_s);
-  Printf.bprintf b "instantiations:    %d\n" c.instantiations;
+    s.s_translations (1e3 *. s.s_cold_translate_s) s.s_verifications
+    (1e3 *. s.s_warm_admit_s);
+  Printf.bprintf b "instantiations:    %d\n" s.s_instantiations;
   Buffer.contents b
+
+let pp fmt s = Format.pp_print_string fmt (render s)
+
+let to_json s =
+  Printf.sprintf
+    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d}"
+    s.s_submits s.s_modules s.s_dedup_hits s.s_bytes_stored s.s_hits
+    s.s_misses (hit_rate s) s.s_evictions s.s_translations s.s_verifications
+    s.s_cold_translate_s s.s_warm_admit_s s.s_instantiations

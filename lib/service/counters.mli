@@ -1,33 +1,67 @@
 (** Instrumentation shared by every layer of the serving stack.
 
-    One mutable record per {!Service.t}, threaded through the module store
-    and the translation cache so a single snapshot describes the whole
-    pipeline. Times are CPU seconds from [Sys.time] — the same clock the
-    benchmark harness uses for its load-time measurements. *)
+    One set of named instruments in one {!Omni_obs.Metrics} registry per
+    {!Service.t}, threaded through the module store and the translation
+    cache so a single {!snapshot} describes the whole pipeline — and so
+    the registry is the single source of truth shared with the tracer's
+    per-phase histograms. Times are CPU seconds from [Sys.time] — the same
+    clock the benchmark harness uses for its load-time measurements. *)
+
+module Metrics = Omni_obs.Metrics
 
 type t = {
+  m : Metrics.t;  (** the backing registry *)
   (* module store *)
-  mutable submits : int;  (** total [submit] calls *)
-  mutable modules : int;  (** distinct modules admitted *)
-  mutable dedup_hits : int;  (** submits deduplicated by content digest *)
-  mutable bytes_stored : int;  (** wire bytes held (deduplicated) *)
+  submits : Metrics.counter;  (** total [submit] calls *)
+  modules : Metrics.counter;  (** distinct modules admitted *)
+  dedup_hits : Metrics.counter;  (** submits deduplicated by digest *)
+  bytes_stored : Metrics.counter;  (** wire bytes held (deduplicated) *)
   (* translation cache *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable translations : int;  (** actual translator runs (= misses) *)
-  mutable verifications : int;  (** static SFI verifier runs *)
-  mutable cold_translate_s : float;  (** translate + admission on a miss *)
-  mutable warm_admit_s : float;  (** re-verification on a hit *)
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  evictions : Metrics.counter;
+  translations : Metrics.counter;  (** actual translator runs (= misses) *)
+  verifications : Metrics.counter;  (** static SFI verifier runs *)
+  cold_translate : Metrics.histogram;
+      (** seconds of translate + admission per miss *)
+  warm_admit : Metrics.histogram;  (** seconds of re-verification per hit *)
   (* service front-end *)
-  mutable instantiations : int;  (** images stamped out *)
+  instantiations : Metrics.counter;  (** images stamped out *)
 }
 
-val create : unit -> t
+val create : ?metrics:Metrics.t -> unit -> t
+(** Register the serving instruments in [metrics] (default: a fresh
+    registry). *)
+
+val metrics : t -> Metrics.t
 val reset : t -> unit
 
-val hit_rate : t -> float
+(** Immutable reading of every instrument — what {!Service.stats}
+    returns. *)
+type snapshot = {
+  s_submits : int;
+  s_modules : int;
+  s_dedup_hits : int;
+  s_bytes_stored : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_translations : int;
+  s_verifications : int;
+  s_cold_translate_s : float;  (** total seconds across cold translates *)
+  s_warm_admit_s : float;  (** total seconds across warm admissions *)
+  s_instantiations : int;
+}
+
+val snapshot : t -> snapshot
+
+val hit_rate : snapshot -> float
 (** Hits over (hits + misses); 0 when the cache was never consulted. *)
 
-val render : t -> string
-(** Multi-line human-readable snapshot. *)
+val render : snapshot -> string
+(** Multi-line human-readable form. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** One-line JSON object (what [omnirun serve --stats] prints). *)

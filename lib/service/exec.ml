@@ -1,5 +1,11 @@
 (* Engine-agnostic load/translate/execute layer (the implementation behind
-   the Omniware.Api façade — see exec.mli for why it lives here). *)
+   the Omniware.Api façade — see exec.mli for why it lives here).
+
+   Every phase is wrapped in an ambient Omni_obs.Trace span — translate,
+   verify, run — and execution statistics (instructions, cycles, faults,
+   host calls) are mirrored into the tracer's metrics registry, so a
+   traced request yields a full per-phase breakdown with no change to the
+   results it returns. *)
 
 module Arch = Omni_targets.Arch
 module Machine = Omni_targets.Machine
@@ -11,14 +17,27 @@ module X86 = Omni_targets.X86
 module X86_translate = Omni_targets.X86_translate
 module X86_sim = Omni_targets.X86_sim
 module X86_verify = Omni_targets.X86_verify
+module Trace = Omni_obs.Trace
 
 type engine =
   | Interp
   | Target of Arch.t
 
+let valid_engines = "interp, mips, sparc, ppc, x86"
+
 let engine_of_string = function
-  | "interp" -> Some Interp
-  | s -> Option.map (fun a -> Target a) (Arch.of_string s)
+  | "interp" -> Ok Interp
+  | s -> (
+      match Arch.of_string s with
+      | Some a -> Ok (Target a)
+      | None ->
+          Error
+            (Printf.sprintf "unknown engine %S (valid engines: %s)" s
+               valid_engines))
+
+let engine_name = function
+  | Interp -> "interp"
+  | Target a -> Arch.name a
 
 (* Per-architecture mobile-translator optimization defaults, following the
    paper (section 4): Mips and PowerPC translators schedule locally; the
@@ -49,6 +68,17 @@ type run_result = {
   stats : Machine.stats option; (* None for the interpreter *)
 }
 
+(* Mirror one run's statistics into the ambient metrics registry. *)
+let record_exec ~engine (img : Omni_runtime.Loader.image) (r : run_result) =
+  Trace.count ~by:r.instructions "exec.instructions";
+  Trace.count ~by:r.cycles "exec.cycles";
+  Trace.count ~by:img.Omni_runtime.Loader.host.Omni_runtime.Host.ticks
+    "exec.hostcalls";
+  (match r.outcome with
+  | Machine.Faulted _ -> Trace.count "exec.faults"
+  | Machine.Exited _ | Machine.Out_of_fuel -> ());
+  Trace.count ("exec.runs." ^ engine)
+
 (* --- loading and running --- *)
 
 let load ?(map_host_region = false) ?allow exe =
@@ -56,6 +86,7 @@ let load ?(map_host_region = false) ?allow exe =
 
 let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
     =
+  Trace.phase "run" ~attrs:[ ("engine", "interp") ] @@ fun () ->
   let outcome, st = Omni_runtime.Loader.run_interp ~fuel img in
   let outcome' =
     match outcome with
@@ -63,14 +94,18 @@ let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
     | Omnivm.Interp.Faulted f -> Machine.Faulted f
     | Omnivm.Interp.Out_of_fuel -> Machine.Out_of_fuel
   in
-  {
-    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
-    exit_code = (match outcome' with Machine.Exited c -> c | _ -> -1);
-    outcome = outcome';
-    instructions = st.Omnivm.Interp.icount;
-    cycles = st.Omnivm.Interp.icount;
-    stats = None;
-  }
+  let r =
+    {
+      output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+      exit_code = (match outcome' with Machine.Exited c -> c | _ -> -1);
+      outcome = outcome';
+      instructions = st.Omnivm.Interp.icount;
+      cycles = st.Omnivm.Interp.icount;
+      stats = None;
+    }
+  in
+  record_exec ~engine:"interp" img r;
+  r
 
 (* Translate a loaded module for a target architecture. *)
 type translated =
@@ -85,6 +120,8 @@ let translate ?(mode : Machine.mode option) ?opts (arch : Arch.t)
     | None -> Machine.Mobile (Omni_sfi.Policy.make ())
   in
   let opts = match opts with Some o -> o | None -> mobile_opts arch in
+  Trace.phase "translate" ~attrs:[ ("arch", Arch.name arch) ] @@ fun () ->
+  Trace.count ~by:(Array.length exe.Omnivm.Exe.text) "translate.omni_instrs";
   match arch with
   | Arch.Mips ->
       T_risc
@@ -103,8 +140,14 @@ let translate ?(mode : Machine.mode option) ?opts (arch : Arch.t)
            exe)
   | Arch.X86 -> T_x86 (X86_translate.translate ~mode ~opts exe)
 
+let arch_of_translated = function
+  | T_risc p -> Risc.arch_name p.Risc.cfg.Risc.arch
+  | T_x86 _ -> "x86"
+
 let run_translated ?(fuel = max_int) (tr : translated)
     (img : Omni_runtime.Loader.image) : run_result =
+  let engine = arch_of_translated tr in
+  Trace.phase "run" ~attrs:[ ("engine", engine) ] @@ fun () ->
   let outcome, stats =
     match tr with
     | T_risc p ->
@@ -120,18 +163,24 @@ let run_translated ?(fuel = max_int) (tr : translated)
         in
         (o, s)
   in
-  {
-    output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
-    exit_code = (match outcome with Machine.Exited c -> c | _ -> -1);
-    outcome;
-    instructions = stats.Machine.instructions;
-    cycles = stats.Machine.cycles;
-    stats = Some stats;
-  }
+  let r =
+    {
+      output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+      exit_code = (match outcome with Machine.Exited c -> c | _ -> -1);
+      outcome;
+      instructions = stats.Machine.instructions;
+      cycles = stats.Machine.cycles;
+      stats = Some stats;
+    }
+  in
+  record_exec ~engine img r;
+  r
 
 (* --- structural identity and verification of translated programs --- *)
 
 let verify (tr : translated) : (unit, string) result =
+  Trace.phase "verify" ~attrs:[ ("arch", arch_of_translated tr) ]
+  @@ fun () ->
   let fail { Omni_sfi.Verifier.index; reason } =
     Error (Printf.sprintf "instruction %d: %s" index reason)
   in

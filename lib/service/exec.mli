@@ -13,8 +13,11 @@ module Machine = Omni_targets.Machine
     translation to a simulated target processor. *)
 type engine = Interp | Target of Arch.t
 
-val engine_of_string : string -> engine option
-(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]. *)
+val engine_of_string : string -> (engine, string) result
+(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]; the
+    error message names the valid engines (for CLI error reporting). *)
+
+val engine_name : engine -> string
 
 val mobile_opts : Arch.t -> Machine.topts
 (** The per-architecture translator-optimization defaults the paper

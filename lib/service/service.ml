@@ -1,4 +1,6 @@
 module Machine = Omni_targets.Machine
+module Metrics = Omni_obs.Metrics
+module Trace = Omni_obs.Trace
 
 type t = {
   store : Store.t;
@@ -6,8 +8,8 @@ type t = {
   c : Counters.t;
 }
 
-let create ?cache_capacity () =
-  let c = Counters.create () in
+let create ?cache_capacity ?metrics () =
+  let c = Counters.create ?metrics () in
   {
     store = Store.create ~counters:c ();
     cache = Cache.create ?capacity:cache_capacity c;
@@ -15,8 +17,9 @@ let create ?cache_capacity () =
   }
 
 let submit t bytes = Store.submit t.store bytes
+let metrics t = Counters.metrics t.c
 
-(* Resolve the translation configuration exactly as Api.run_exe does, so a
+(* Resolve the translation configuration exactly as Api.run does, so a
    service run and a direct run of the same request are the same
    computation — the observational-identity tests rely on this. *)
 let resolve_config ?sfi ?mode ?opts arch =
@@ -33,7 +36,7 @@ let resolve_config ?sfi ?mode ?opts arch =
 
 let instantiate ?(engine = Exec.Interp) ?sfi ?mode ?opts ?fuel t h =
   let img = Omni_runtime.Loader.instantiate (Store.blueprint t.store h) in
-  t.c.Counters.instantiations <- t.c.Counters.instantiations + 1;
+  Metrics.incr t.c.Counters.instantiations;
   match engine with
   | Exec.Interp -> Exec.run_interp ?fuel img
   | Exec.Target arch ->
@@ -46,8 +49,8 @@ let cached ?sfi ?mode ?opts ~arch t h =
   let mode, opts = resolve_config ?sfi ?mode ?opts arch in
   Cache.peek t.cache (Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts)
 
-let stats t = t.c
-let render_stats t = Counters.render t.c
+let stats t = Counters.snapshot t.c
+let render_stats t = Counters.render (stats t)
 
 type request = {
   rq_handle : Store.handle;

@@ -9,7 +9,8 @@
       runs it on the requested engine, reusing the cached translation for
       its (arch, mode, opts) configuration when one exists.
 
-    Every layer reports into one {!Counters.t} snapshot ({!stats}), and
+    Every layer reports into one {!Counters.t} set of instruments
+    (snapshot via {!stats}), and
     {!run_batch} drives a request mix end to end, reporting throughput —
     the serving analogue of the paper's "translation must be fast"
     load-time argument: a production host pays the translator once per
@@ -19,9 +20,16 @@ module Machine = Omni_targets.Machine
 
 type t
 
-val create : ?cache_capacity:int -> unit -> t
+val create : ?cache_capacity:int -> ?metrics:Omni_obs.Metrics.t -> unit -> t
 (** [cache_capacity] bounds the translation cache (default 256 entries;
-    0 disables translation caching — every target run translates). *)
+    0 disables translation caching — every target run translates).
+    [metrics] is the registry the service's counters are registered in
+    (default: a fresh one) — pass the registry of a {!Omni_obs.Trace}
+    tracer to land serving counters and per-phase timings in one place. *)
+
+val metrics : t -> Omni_obs.Metrics.t
+(** The backing metrics registry (serving counters + anything else
+    registered in it). *)
 
 val submit : t -> string -> Store.handle
 (** Admit module bytes; see {!Store.submit} for validation and errors. *)
@@ -53,7 +61,10 @@ val cached :
 (** The cached translation {!instantiate} would reuse for this handle and
     configuration, if present; does not perturb recency order. *)
 
-val stats : t -> Counters.t
+val stats : t -> Counters.snapshot
+(** An immutable reading of the shared counters — see
+    {!Counters.snapshot}, {!Counters.pp}, {!Counters.to_json}. *)
+
 val render_stats : t -> string
 
 (** One request of a batch: which module, which engine, SFI on/off. *)

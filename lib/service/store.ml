@@ -1,4 +1,6 @@
 module Fnv64 = Omni_util.Fnv64
+module Metrics = Omni_obs.Metrics
+module Trace = Omni_obs.Trace
 
 type handle = Fnv64.t
 
@@ -26,19 +28,23 @@ exception Unknown_handle
 
 let submit t bytes =
   let h = Fnv64.digest_string bytes in
-  t.c.Counters.submits <- t.c.Counters.submits + 1;
+  Metrics.incr t.c.Counters.submits;
   (match Hashtbl.find_opt t.tbl h with
   | Some e ->
       if not (String.equal e.e_bytes bytes) then raise (Collision h);
-      t.c.Counters.dedup_hits <- t.c.Counters.dedup_hits + 1
+      Metrics.incr t.c.Counters.dedup_hits;
+      Trace.count "store.dedup_hits"
   | None ->
-      let exe = Omnivm.Wire.decode bytes in
+      let exe =
+        Trace.phase "decode"
+          ~attrs:[ ("bytes", string_of_int (String.length bytes)) ]
+          (fun () -> Omnivm.Wire.decode bytes)
+      in
       let bp = Omni_runtime.Loader.blueprint exe in
       Hashtbl.replace t.tbl h
         { e_bytes = bytes; e_exe = exe; e_blueprint = bp };
-      t.c.Counters.modules <- t.c.Counters.modules + 1;
-      t.c.Counters.bytes_stored <-
-        t.c.Counters.bytes_stored + String.length bytes);
+      Metrics.incr t.c.Counters.modules;
+      Metrics.incr ~by:(String.length bytes) t.c.Counters.bytes_stored);
   h
 
 let entry t h =

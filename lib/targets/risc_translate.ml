@@ -25,6 +25,7 @@ open Risc
 module VI = Omnivm.Instr
 module W = Omni_util.Word32
 module L = Omnivm.Layout
+module Trace = Omni_obs.Trace
 
 type tconfig = {
   cfg : cfg;
@@ -97,8 +98,10 @@ let mem_addr t e ~origin base disp =
   if base = r_zero then begin
     (* absolute address *)
     if fits bits disp then (r_zero, disp)
-    else if use_gp t && fits t.cfg.imm_bits (disp - gp_value t) then
+    else if use_gp t && fits t.cfg.imm_bits (disp - gp_value t) then begin
+      Trace.count "translate.gp_uses";
       (r_gp, disp - gp_value t)
+    end
     else begin
       let low_bits = t.cfg.imm_bits - 3 in
       let low = disp land ((1 lsl low_bits) - 1) in
@@ -140,9 +143,11 @@ let sfi_store t e ~base ~disp ~(emit_store : core:bool -> int -> int -> unit) =
       (* guard-zone reuse: the dedicated register already holds a sandboxed
          address for this base; a small displacement from it cannot leave
          the segment's guard zone, so no new check is needed *)
+      Trace.count "translate.sfi_checks_elided";
       let d0 = match t.sfi_cache with Some (_, d, _) -> d | None -> 0 in
       emit_store ~core:true r_sfi_data (disp - d0)
   | Omni_sfi.Policy.Sandbox ->
+      Trace.count "translate.sfi_checks";
       (* address into a single register, then mask into the segment *)
       let asrc =
         if disp = 0 then base
@@ -171,6 +176,7 @@ let sfi_store t e ~base ~disp ~(emit_store : core:bool -> int -> int -> unit) =
                         else None)
       end
   | Omni_sfi.Policy.Guard ->
+      Trace.count "translate.sfi_checks";
       let areg =
         if disp = 0 then base
         else begin
@@ -424,7 +430,10 @@ let translate_instr t e ~idx (ins : int VI.t) =
       if (not (fits (eff_bits t) v))
          && use_gp t
          && fits t.cfg.imm_bits (v - gp_value t)
-      then emit e Machine.Core (Alui (VI.Add, m rd, r_gp, v - gp_value t))
+      then begin
+        Trace.count "translate.gp_uses";
+        emit e Machine.Core (Alui (VI.Add, m rd, r_gp, v - gp_value t))
+      end
       else
         mat_imm t e ~hi_origin:Machine.Ldi ~last_origin:Machine.Core (m rd) v
   | VI.Binop (op, rd, rs1, rs2) -> (
@@ -673,7 +682,15 @@ let translate (t : tconfig) (exe : Omnivm.Exe.t) : program =
           let slots =
             if t.opts.Machine.peephole && t.cfg.branch_model = Cond_reg then
               match t.mode with
-              | Machine.Native Machine.Cc -> apply_record_forms slots
+              | Machine.Native Machine.Cc ->
+                  let before = List.length slots in
+                  let slots' =
+                    Trace.timed "pass.peephole" (fun () ->
+                        apply_record_forms slots)
+                  in
+                  Trace.count ~by:(before - List.length slots')
+                    "translate.peephole_folds";
+                  slots'
               | _ -> slots
             else slots
           in
@@ -687,7 +704,8 @@ let translate (t : tconfig) (exe : Omnivm.Exe.t) : program =
           let body = Array.of_list body in
           let body =
             if t.opts.Machine.schedule then
-              Sched.schedule_body info ~quality body
+              Trace.timed "pass.schedule" (fun () ->
+                  Sched.schedule_body info ~quality body)
             else body
           in
           (match ctrl with
@@ -696,15 +714,20 @@ let translate (t : tconfig) (exe : Omnivm.Exe.t) : program =
               if t.cfg.has_delay_slot then begin
                 let body, filler =
                   if t.opts.Machine.fill_delay_slots then
-                    Sched.fill_delay_slot info
-                      ~branch_attrs:(attrs t.cfg c.i) body
+                    Trace.timed "pass.delay_slot" (fun () ->
+                        Sched.fill_delay_slot info
+                          ~branch_attrs:(attrs t.cfg c.i) body)
                   else (body, None)
                 in
                 Array.iter emit_out body;
                 emit_out c;
                 match filler with
-                | Some f -> emit_out f
-                | None -> emit_out (mk Machine.Bnop Nop)
+                | Some f ->
+                    Trace.count "translate.delay_slots_filled";
+                    emit_out f
+                | None ->
+                    Trace.count "translate.delay_slot_nops";
+                    emit_out (mk Machine.Bnop Nop)
               end
               else begin
                 Array.iter emit_out body;

@@ -16,6 +16,7 @@ open X86
 module VI = Omnivm.Instr
 module W = Omni_util.Word32
 module L = Omnivm.Layout
+module Trace = Omni_obs.Trace
 
 exception Translate_error of string
 
@@ -253,6 +254,8 @@ let translate_binop e op rd rs1 (b : operand) =
 let sandbox_store e mode ~base ~disp ~(do_store : mem -> unit) =
   if sfi_mode mode = Omni_sfi.Policy.Off || store_statically_safe base disp
   then begin
+    if sfi_mode mode <> Omni_sfi.Policy.Off then
+      Trace.count "translate.sfi_checks_elided";
     let m = addr_mem e Machine.Addr base disp in
     do_store m
   end
@@ -264,6 +267,7 @@ let sandbox_store e mode ~base ~disp ~(do_store : mem -> unit) =
     | Hmem a ->
         emit e Machine.Sfi (Mov (R eax, M (mabs a)));
         if disp <> 0 then emit e Machine.Sfi (Lea (eax, mbase eax disp)));
+    Trace.count "translate.sfi_checks";
     match sfi_mode mode with
     | Omni_sfi.Policy.Sandbox ->
         emit e Machine.Sfi (Alu (And, R eax, I L.data_mask));
@@ -289,6 +293,7 @@ let sandbox_load e mode ~base ~disp ~(do_load : mem -> unit) =
     | Hmem a ->
         emit e Machine.Sfi (Mov (R eax, M (mabs a)));
         if disp <> 0 then emit e Machine.Sfi (Lea (eax, mbase eax disp)));
+    Trace.count "translate.sfi_checks";
     match sfi_mode mode with
     | Omni_sfi.Policy.Sandbox ->
         emit e Machine.Sfi (Alu (And, R eax, I L.data_mask));
@@ -587,7 +592,18 @@ let translate ~(mode : Machine.mode) ~(opts : Machine.topts)
       | first :: _ ->
           addr_map.(first) <- !out_n;
           let slots = List.concat_map (fun i -> chunks.(i)) omni_indices in
-          let slots = if opts.Machine.peephole then redundant_cmp slots else slots in
+          let slots =
+            if opts.Machine.peephole then begin
+              let before = List.length slots in
+              let slots' =
+                Trace.timed "pass.peephole" (fun () -> redundant_cmp slots)
+              in
+              Trace.count ~by:(before - List.length slots')
+                "translate.peephole_folds";
+              slots'
+            end
+            else slots
+          in
           let rec split acc = function
             | [ s ] when is_control s.i -> (List.rev acc, Some s)
             | [] -> (List.rev acc, None)
@@ -603,7 +619,9 @@ let translate ~(mode : Machine.mode) ~(opts : Machine.topts)
           in
           let body = Array.of_list body in
           let body =
-            if schedule_this then Sched.schedule_body sched_info ~quality body
+            if schedule_this then
+              Trace.timed "pass.schedule" (fun () ->
+                  Sched.schedule_body sched_info ~quality body)
             else body
           in
           Array.iter emit_out body;

@@ -1,0 +1,32 @@
+(* Monotonic clock with an injectable source.
+
+   Every timing the observability layer records flows through one of these,
+   so tests can substitute a manual clock and obtain deterministic span
+   durations and histogram contents. The CPU clock is [Sys.time] — the same
+   clock the serving counters and the benchmark harness's load-time
+   measurements have always used. *)
+
+type t =
+  | Cpu
+  | Manual of float ref
+
+let cpu = Cpu
+let manual ?(start = 0.0) () = Manual (ref start)
+
+let now = function
+  | Cpu -> Sys.time ()
+  | Manual r -> !r
+
+let advance c dt =
+  match c with
+  | Cpu -> invalid_arg "Clock.advance: the CPU clock cannot be advanced"
+  | Manual r ->
+      if dt < 0.0 then invalid_arg "Clock.advance: negative step";
+      r := !r +. dt
+
+let set c v =
+  match c with
+  | Cpu -> invalid_arg "Clock.set: the CPU clock cannot be set"
+  | Manual r ->
+      if v < !r then invalid_arg "Clock.set: clock must be monotonic";
+      r := v

@@ -1,0 +1,24 @@
+(** Monotonic clock with an injectable source.
+
+    Timings in the observability layer ({!Omni_obs.Trace},
+    {!Omni_obs.Metrics}) are read from one of these, so tests can inject a
+    {!manual} clock and obtain deterministic durations. *)
+
+type t
+
+val cpu : t
+(** CPU seconds from [Sys.time] — the clock the serving counters and the
+    benchmark harness use. *)
+
+val manual : ?start:float -> unit -> t
+(** A clock that only moves when told to ([start] defaults to 0). *)
+
+val now : t -> float
+
+val advance : t -> float -> unit
+(** Advance a manual clock by a non-negative step.
+    @raise Invalid_argument on the CPU clock or a negative step. *)
+
+val set : t -> float -> unit
+(** Set a manual clock to an absolute time not before its current reading.
+    @raise Invalid_argument on the CPU clock or a backwards jump. *)

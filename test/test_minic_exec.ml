@@ -26,7 +26,7 @@ let run_everywhere ?(regs = [ 16 ]) name src =
         (fun engine ->
           List.iter
             (fun sfi ->
-              let e = Option.get (Api.engine_of_string engine) in
+              let e = Result.get_ok (Api.engine_of_string engine) in
               if not (e = Api.Interp && not sfi) then begin
                 let r = Api.run_exe ~engine:e ~sfi ~fuel:200_000_000 exe in
                 (match r.Api.outcome with

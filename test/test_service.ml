@@ -47,11 +47,11 @@ let store_dedup () =
   let h2 = Service.submit svc bytes in
   Alcotest.(check bool) "same handle" true (Store.equal_handle h1 h2);
   let c = Service.stats svc in
-  Alcotest.(check int) "one module" 1 c.Counters.modules;
-  Alcotest.(check int) "one dedup hit" 1 c.Counters.dedup_hits;
-  Alcotest.(check int) "two submits" 2 c.Counters.submits;
+  Alcotest.(check int) "one module" 1 c.Counters.s_modules;
+  Alcotest.(check int) "one dedup hit" 1 c.Counters.s_dedup_hits;
+  Alcotest.(check int) "two submits" 2 c.Counters.s_submits;
   Alcotest.(check int) "bytes stored once" (String.length bytes)
-    c.Counters.bytes_stored
+    c.Counters.s_bytes_stored
 
 let store_rejects_garbage () =
   let svc = Service.create () in
@@ -66,7 +66,7 @@ let store_digests_differ () =
   let h1 = Service.submit svc b1 in
   let h2 = Service.submit svc b2 in
   Alcotest.(check bool) "distinct handles" false (Store.equal_handle h1 h2);
-  Alcotest.(check int) "two modules" 2 (Service.stats svc).Counters.modules
+  Alcotest.(check int) "two modules" 2 (Service.stats svc).Counters.s_modules
 
 (* --- observational identity of cached runs --- *)
 
@@ -78,9 +78,9 @@ let identity_one ~arch ~sfi () =
   let cold = Service.instantiate ~engine ~sfi ~fuel svc h in
   let warm = Service.instantiate ~engine ~sfi ~fuel svc h in
   let c = Service.stats svc in
-  Alcotest.(check int) "one translation" 1 c.Counters.translations;
-  Alcotest.(check int) "one miss" 1 c.Counters.misses;
-  Alcotest.(check int) "one hit" 1 c.Counters.hits;
+  Alcotest.(check int) "one translation" 1 c.Counters.s_translations;
+  Alcotest.(check int) "one miss" 1 c.Counters.s_misses;
+  Alcotest.(check int) "one hit" 1 c.Counters.s_hits;
   check_same_result "warm vs cold" cold warm;
   (* and both must match the uncached façade path *)
   let direct =
@@ -110,8 +110,8 @@ let interp_cached () =
   let direct = Api.run_wire ~engine:"interp" ~fuel bytes in
   check_same_result "interp vs uncached" direct r1;
   let c = Service.stats svc in
-  Alcotest.(check int) "interp never translates" 0 c.Counters.translations;
-  Alcotest.(check int) "two instantiations" 2 c.Counters.instantiations
+  Alcotest.(check int) "interp never translates" 0 c.Counters.s_translations;
+  Alcotest.(check int) "two instantiations" 2 c.Counters.s_instantiations
 
 (* --- verifier admission of cached artifacts --- *)
 
@@ -142,7 +142,7 @@ let cached_artifacts_verify () =
     Arch.all;
   let c = Service.stats svc in
   (* 4 archs × (1 cold + 1 warm admission) *)
-  Alcotest.(check int) "verifier ran per load" 8 c.Counters.verifications
+  Alcotest.(check int) "verifier ran per load" 8 c.Counters.s_verifications
 
 let nosfi_not_applicable () =
   let bytes = Lazy.force hello_bytes in
@@ -156,7 +156,7 @@ let nosfi_not_applicable () =
         (e.Cache.verdict = Cache.Not_applicable)
   | None -> Alcotest.fail "no cached entry");
   let c = Service.stats svc in
-  Alcotest.(check int) "no verifier run without SFI" 0 c.Counters.verifications
+  Alcotest.(check int) "no verifier run without SFI" 0 c.Counters.s_verifications
 
 (* A cache hit must re-translate nothing even when the translation is
    structurally re-derivable: check the memoized program IS the fresh one. *)
@@ -222,8 +222,8 @@ let cache_capacity_zero_disables () =
   let r2 = Service.instantiate ~engine:(Exec.Target Arch.X86) ~fuel svc h in
   check_same_result "uncached runs agree" r1 r2;
   let c = Service.stats svc in
-  Alcotest.(check int) "no hits" 0 c.Counters.hits;
-  Alcotest.(check int) "every load translates" 2 c.Counters.translations
+  Alcotest.(check int) "no hits" 0 c.Counters.s_hits;
+  Alcotest.(check int) "every load translates" 2 c.Counters.s_translations
 
 let cache_eviction_counted () =
   let bytes = Lazy.force hello_bytes in
@@ -237,9 +237,9 @@ let cache_eviction_counted () =
   (* mips evicted *)
   run Arch.Mips;
   let c = Service.stats svc in
-  Alcotest.(check int) "three translations" 3 c.Counters.translations;
-  Alcotest.(check int) "two evictions" 2 c.Counters.evictions;
-  Alcotest.(check int) "no hits at capacity 1" 0 c.Counters.hits
+  Alcotest.(check int) "three translations" 3 c.Counters.s_translations;
+  Alcotest.(check int) "two evictions" 2 c.Counters.s_evictions;
+  Alcotest.(check int) "no hits at capacity 1" 0 c.Counters.s_hits
 
 (* --- run_wire_cached façade --- *)
 
@@ -252,8 +252,8 @@ let run_wire_cached_matches () =
   check_same_result "cached vs direct" direct c1;
   check_same_result "second cached" direct c2;
   let c = Service.stats svc in
-  Alcotest.(check int) "deduped" 1 c.Counters.dedup_hits;
-  Alcotest.(check int) "hit on second" 1 c.Counters.hits
+  Alcotest.(check int) "deduped" 1 c.Counters.s_dedup_hits;
+  Alcotest.(check int) "hit on second" 1 c.Counters.s_hits
 
 (* --- qcheck: random programs × random configs --- *)
 
@@ -330,8 +330,8 @@ let service_matches_uncached (seed : int) : bool =
   let warm = Service.instantiate ~engine ~sfi ?opts ~fuel svc h in
   let direct = Api.run_exe ~engine ~sfi ?opts ~fuel (Omnivm.Wire.decode bytes) in
   let c = Service.stats svc in
-  c.Counters.hits = 1
-  && c.Counters.translations = 1
+  c.Counters.s_hits = 1
+  && c.Counters.s_translations = 1
   && cold.Exec.output = direct.Exec.output
   && warm.Exec.output = direct.Exec.output
   && cold.Exec.exit_code = direct.Exec.exit_code

@@ -23,7 +23,7 @@ let check_workload (w : W.t) () =
     (fun engine ->
       List.iter
         (fun sfi ->
-          let e = Option.get (Api.engine_of_string engine) in
+          let e = Result.get_ok (Api.engine_of_string engine) in
           if not (e = Api.Interp && not sfi) then begin
             let r = Api.run_exe ~engine:e ~sfi ~fuel:1_000_000_000 exe in
             (match r.Api.outcome with
