@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke trace-smoke clean
+.PHONY: check build test bench bench-smoke trace-smoke net-smoke clean
 
-check: ## full tier-1 verification: build + every test suite + trace smoke
-	dune build @all && dune runtest && $(MAKE) trace-smoke
+check: ## full tier-1 verification: build + every test suite + smokes
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke
 
 build:
 	dune build
@@ -29,6 +29,31 @@ trace-smoke:
 	@grep -q '"span":"translate"' /tmp/quickstart.trace
 	@grep -q '"span":"run"' /tmp/quickstart.trace
 	@echo "trace-smoke: OK ($$(wc -l < /tmp/quickstart.trace) spans)"
+
+# Remote-serving smoke: start omnid on a throwaway Unix socket, push the
+# quickstart module through omnirun --remote twice, and insist the second
+# run hit the daemon's translation cache. Skips (exit 0) rather than
+# fails when the environment cannot create Unix-domain sockets.
+net-smoke:
+	dune build examples/quickstart.exe bin/omnid.exe bin/omnirun.exe
+	@sock="/tmp/omnid-smoke-$$$$.sock"; rm -f "$$sock"; \
+	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null; \
+	./_build/default/bin/omnid.exe --socket "$$sock" >/dev/null 2>&1 & pid=$$!; \
+	i=0; while [ $$i -lt 100 ] && ! [ -S "$$sock" ]; do \
+	  kill -0 $$pid 2>/dev/null || break; sleep 0.05; i=$$((i+1)); done; \
+	if ! [ -S "$$sock" ]; then \
+	  echo "net-smoke: SKIP (could not create a Unix-domain socket)"; \
+	  kill $$pid 2>/dev/null; exit 0; fi; \
+	status=0; \
+	./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --remote "$$sock" >/dev/null 2>&1 || status=1; \
+	out=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --remote "$$sock" --stats 2>&1 >/dev/null) || status=1; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -f "$$sock"; \
+	[ $$status -eq 0 ] || { echo "net-smoke: FAIL (remote run errored)"; exit 1; }; \
+	echo "$$out" | grep -Eq '"hits":[1-9]' || \
+	  { echo "net-smoke: FAIL (no cache hit on the warm run)"; exit 1; }; \
+	echo "net-smoke: OK (second remote run hit the daemon cache)"
 
 clean:
 	dune clean

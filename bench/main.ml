@@ -16,8 +16,8 @@ module W = Omni_workloads.Workloads
 
 let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
-    "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "phases";
-    "bechamel" ]
+    "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
+    "phases"; "bechamel" ]
 
 let run_section ~size name =
   let t0 = Unix.gettimeofday () in
@@ -34,6 +34,7 @@ let run_section ~size name =
   | "ablation-reads" -> print_string (E.ablation_read_protection ~size)
   | "speed" -> print_string (E.translation_speed ~size)
   | "service" -> print_string (E.service_amortization ~size)
+  | "remote" -> print_string (E.remote_overhead ~size)
   | "phases" -> print_string (E.phase_breakdown ~size)
   | "bechamel" -> Bechamel_bench.run ~size
   | other -> Printf.eprintf "unknown section %s\n" other);

@@ -1,0 +1,121 @@
+(* omnid: the mobile-code distribution daemon.
+
+     omnid --socket PATH | --port N [--host ADDR]
+           [--cache-capacity N] [--max-frame BYTES] [--timeout SECS]
+           [--metrics] [--trace | --trace-file FILE] [--once]
+
+   Listens on a Unix-domain socket (--socket) or TCP (--port), and
+   serves the frame protocol: Ping, Submit (wire bytes -> content
+   handle), Run (handle x engine/sfi/mode/fuel -> full run result),
+   Stats (service counters as JSON). Every module is untrusted input:
+   malformed frames, malformed modules, unknown handles, and SFI
+   verifier refusals all come back as typed Error responses; the daemon
+   keeps serving.
+
+   --metrics dumps the full metrics registry (net.* counters, serving
+   counters, per-phase timings) to stderr on exit (SIGINT/SIGTERM).
+   --once exits after the first connection closes (for smoke tests). *)
+
+module Service = Omni_service.Service
+module Net = Omni_net
+module Metrics = Omni_obs.Metrics
+module Trace = Omni_obs.Trace
+
+let () =
+  let socket = ref "" in
+  let port = ref 0 in
+  let host = ref "127.0.0.1" in
+  let cache_capacity = ref 256 in
+  let max_frame = ref Net.Frame.max_payload in
+  let timeout = ref 30.0 in
+  let metrics_dump = ref false in
+  let trace_file = ref "" in
+  let trace_flag = ref false in
+  let once = ref false in
+  let spec =
+    [ ("--socket", Arg.Set_string socket, "PATH listen on a Unix-domain socket");
+      ("--port", Arg.Set_int port, "N listen on TCP port N");
+      ("--host", Arg.Set_string host,
+       "ADDR TCP interface to bind (default 127.0.0.1)");
+      ("--cache-capacity", Arg.Set_int cache_capacity,
+       "N translation-cache capacity; 0 disables caching (default 256)");
+      ("--max-frame", Arg.Set_int max_frame,
+       Printf.sprintf "BYTES frame payload cap (default %d)"
+         Net.Frame.max_payload);
+      ("--timeout", Arg.Set_float timeout,
+       " per-request read timeout in seconds; 0 disables (default 30)");
+      ("--metrics", Arg.Set metrics_dump,
+       " dump the metrics registry to stderr on exit");
+      ("--trace", Arg.Set trace_flag,
+       " emit one JSON line per request span to stderr");
+      ("--trace-file", Arg.Set_string trace_file,
+       "FILE emit request spans to FILE");
+      ("--once", Arg.Set once, " exit after the first connection closes") ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "stray argument %S" a)))
+    "omnid --socket PATH | --port N";
+  let addr =
+    match (!socket, !port) with
+    | "", 0 ->
+        prerr_endline "omnid: one of --socket PATH or --port N is required";
+        exit 2
+    | path, 0 -> Net.Transport.Unix_sock path
+    | "", p -> Net.Transport.Tcp (!host, p)
+    | _ ->
+        prerr_endline "omnid: --socket and --port are exclusive";
+        exit 2
+  in
+  (* a client vanishing mid-response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let svc = Service.create ~cache_capacity:!cache_capacity () in
+  let tracer =
+    let emit oc =
+      Trace.make ~metrics:(Service.metrics svc)
+        (Trace.Emit
+           (fun s ->
+             output_string oc (Trace.json_line s);
+             output_char oc '\n';
+             flush oc))
+    in
+    if !trace_file <> "" then Some (emit (open_out !trace_file))
+    else if !trace_flag then Some (emit stderr)
+    else None
+  in
+  let server =
+    Net.Server.create
+      ~config:{ Net.Server.max_frame = !max_frame; read_timeout_s = !timeout }
+      ?tracer svc
+  in
+  if !metrics_dump then
+    at_exit (fun () ->
+        prerr_string (Metrics.render (Metrics.snapshot (Service.metrics svc))));
+  let quit _ = exit 0 in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle quit)
+   with Invalid_argument _ -> ());
+  let listen_fd =
+    try Net.Server.listen addr
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "omnid: cannot listen on %s: %s\n"
+        (Net.Transport.address_to_string addr)
+        (Unix.error_message e);
+      exit 2
+  in
+  (match addr with
+  | Net.Transport.Unix_sock path ->
+      at_exit (fun () -> try Sys.remove path with Sys_error _ -> ())
+  | Net.Transport.Tcp _ -> ());
+  (* readiness line: smoke tests and supervisors wait for it *)
+  Printf.printf "omnid: listening on %s\n%!"
+    (Net.Transport.address_to_string addr);
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+        Net.Server.serve_conn server (Net.Transport.of_fd ~descr:"client" fd);
+        if not !once then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()

@@ -4,6 +4,12 @@
 
      omnirun [--trace[=FILE]] [run] module.omni
              [--engine interp|mips|sparc|ppc|x86] [--no-sfi] [--stats]
+             [--remote ADDR]
+
+   With --remote, the module is submitted to a live omnid daemon (ADDR
+   is a Unix-socket path or host:port) and executed there; output, exit
+   code, and statistics are the daemon's, bit-identical to a local run.
+   --stats then additionally prints the daemon's service counters.
 
    Serving mode — many loads of few modules through the content-addressed
    store and memoizing translation cache:
@@ -87,11 +93,14 @@ let run_single trace args =
   let engine = ref "interp" in
   let sfi = ref true in
   let stats = ref false in
+  let remote = ref "" in
   let spec =
     [ ("--engine", Arg.Set_string engine,
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
-      ("--stats", Arg.Set stats, " print execution statistics") ]
+      ("--stats", Arg.Set stats, " print execution statistics");
+      ("--remote", Arg.Set_string remote,
+       "ADDR submit + run on a live omnid (socket path or host:port)") ]
   in
   Arg.parse_argv args spec
     (fun f ->
@@ -104,19 +113,40 @@ let run_single trace args =
       exit 2
   | Some path ->
       let eng = parse_engine ~who:"omnirun" !engine in
+      let client =
+        if !remote = "" then None
+        else
+          match Omni_net.Transport.parse_address !remote with
+          | Error msg ->
+              Printf.eprintf "omnirun: %s\n" msg;
+              exit 2
+          | Ok addr -> (
+              try Some (Omni_net.Client.connect addr)
+              with Unix.Unix_error (e, _, _) ->
+                Printf.eprintf "omnirun: cannot reach %s: %s\n" !remote
+                  (Unix.error_message e);
+                exit 2)
+      in
       let code =
         with_tracer trace @@ fun tm ->
-        let req = { Api.default_request with engine = eng; sfi = !sfi } in
+        let req =
+          { Api.default_request with engine = eng; sfi = !sfi;
+            remote = client }
+        in
         let result = Api.run req (Api.Wire (read_file path)) in
         print_string result.Api.output;
         if !stats then begin
           Printf.eprintf "engine:        %s\n" (Api.engine_name eng);
           Printf.eprintf "instructions:  %d\n" result.Api.instructions;
           Printf.eprintf "cycles:        %d\n" result.Api.cycles;
+          (match client with
+          | Some c -> Printf.eprintf "remote stats:  %s\n" (Omni_net.Client.stats_json c)
+          | None -> ());
           match tm with
           | Some m -> prerr_string (Metrics.render_phases (Metrics.snapshot m))
           | None -> ()
         end;
+        Option.iter Omni_net.Client.close client;
         result.Api.exit_code
       in
       exit code
@@ -137,6 +167,8 @@ let run_serve trace args =
        "N total requests, round-robin over the modules (default 16)");
       ("--cache-cap", Arg.Set_int cache_cap,
        "K translation-cache capacity; 0 disables caching (default 256)");
+      ("--cache-capacity", Arg.Set_int cache_cap,
+       "N same as --cache-cap (omnid spells it this way)");
       ("--stats", Arg.Set stats, " print service counters as JSON");
       ("--metrics", Arg.Set metrics_dump,
        " dump the full metrics registry (counters + phase timings)") ]
@@ -199,4 +231,12 @@ let () =
       exit 2
   | Omnivm.Wire.Bad_module msg ->
       Printf.eprintf "omnirun: malformed module: %s\n" msg;
+      exit 2
+  | Omni_net.Client.Remote_error (cls, msg) ->
+      Printf.eprintf "omnirun: remote %s error: %s\n"
+        (Omni_net.Message.err_class_name cls)
+        msg;
+      exit 2
+  | Omni_net.Client.Protocol_error msg ->
+      Printf.eprintf "omnirun: protocol error: %s\n" msg;
       exit 2

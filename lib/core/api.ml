@@ -26,6 +26,7 @@ module Exec = Omni_service.Exec
 module Service = Omni_service.Service
 module Trace = Omni_obs.Trace
 module Metrics = Omni_obs.Metrics
+module Net = Omni_net
 
 type engine = Exec.engine =
   | Interp
@@ -72,6 +73,7 @@ type request = {
   map_host_region : bool;
   trace : Trace.t option;
   service : Service.t option;
+  remote : Net.Client.t option;
 }
 
 let default_request =
@@ -84,10 +86,50 @@ let default_request =
     map_host_region = false;
     trace = None;
     service = None;
+    remote = None;
   }
+
+(* A Machine.mode as it travels in a Run request. Only policies for the
+   standard module layout survive the wire (custom bases/masks do not);
+   [None] maps to M_default, which the server resolves from the sfi flag
+   exactly as the local path does. *)
+let mode_spec_of_mode = function
+  | None -> Net.Message.M_default
+  | Some (Machine.Mobile p) ->
+      Net.Message.M_policy
+        {
+          pmode = p.Omni_sfi.Policy.mode;
+          protect_reads = p.Omni_sfi.Policy.protect_reads;
+        }
+  | Some (Machine.Native tier) -> Net.Message.M_native tier
+
+let run_remote (client : Net.Client.t) (r : request) (src : source) :
+    run_result =
+  let bytes =
+    match src with Wire b -> b | Exe exe -> Omnivm.Wire.encode exe
+  in
+  (* Re-raise remote refusals as the exceptions the local paths use, so
+     a request is handled identically whether the service is in-process
+     or behind a socket. *)
+  try
+    let h = Net.Client.submit client bytes in
+    Net.Client.run ~engine:r.engine ~sfi:r.sfi
+      ~mode:(mode_spec_of_mode r.mode) ?fuel:r.fuel client h
+  with
+  | Net.Client.Remote_error (Net.Message.E_decode, msg) ->
+      raise (Omnivm.Wire.Bad_module msg)
+  | Net.Client.Remote_error (Net.Message.E_unknown_handle, _) ->
+      raise Omni_service.Store.Unknown_handle
+  | Net.Client.Remote_error (Net.Message.E_verifier_rejected, msg) ->
+      raise (Omni_service.Cache.Rejected msg)
+  | Net.Client.Remote_error (Net.Message.E_limit_exceeded, msg) ->
+      invalid_arg msg
 
 let run (r : request) (src : source) : run_result =
   let go () =
+    match r.remote with
+    | Some client -> run_remote client r src
+    | None -> (
     match r.service with
     | Some service ->
         (* The serving path: admission goes through the service's
@@ -122,7 +164,7 @@ let run (r : request) (src : source) : run_result =
                   else Machine.Mobile Omni_sfi.Policy.off
             in
             let tr = translate ~mode ?opts:r.opts arch exe in
-            run_translated ?fuel:r.fuel tr img)
+            run_translated ?fuel:r.fuel tr img))
   in
   match r.trace with
   | None -> go () (* inherit whatever tracer is ambient *)
@@ -152,6 +194,21 @@ let run_wire_cached ~(service : Service.t) ~engine ?sfi ?fuel bytes :
           sfi = Option.value sfi ~default:true;
           fuel;
           service = Some service;
+        }
+        (Wire bytes)
+
+let run_wire_remote ~(remote : Net.Client.t) ~engine ?sfi ?fuel bytes :
+    run_result =
+  match engine_of_string engine with
+  | Error msg -> invalid_arg msg
+  | Ok e ->
+      run
+        {
+          default_request with
+          engine = e;
+          sfi = Option.value sfi ~default:true;
+          fuel;
+          remote = Some remote;
         }
         (Wire bytes)
 

@@ -38,6 +38,10 @@ module Trace = Omni_obs.Trace
 module Metrics = Omni_obs.Metrics
 (** The metrics registry behind tracing and serving counters. *)
 
+module Net = Omni_net
+(** The distribution protocol: frame codec, transports, [omnid] server
+    loop, and the remote client (see {!run}'s [remote] field). *)
+
 (** An execution engine: the OmniVM reference interpreter, or load-time
     translation to a simulated target processor. *)
 type engine = Exec.engine = Interp | Target of Arch.t
@@ -125,6 +129,12 @@ type request = {
   service : Service.t option;
       (** when set, admission goes through the service's content-addressed
           store and translation through its memoizing cache *)
+  remote : Net.Client.t option;
+      (** when set, the run happens on a remote daemon: the module bytes
+          are submitted over the wire and executed there, taking
+          precedence over [service]; [map_host_region], [opts], and
+          [trace] do not travel ([trace] still scopes the local client
+          side) *)
 }
 
 val default_request : request
@@ -134,7 +144,14 @@ val default_request : request
 val run : request -> source -> run_result
 (** The one entry point: load + translate + run as specified by the
     request. Every other run function below is a thin wrapper over this.
-    @raise Store.Unknown_handle, Cache.Rejected on service-path errors. *)
+    On the remote path, typed protocol errors are re-raised as the same
+    exceptions the local paths use (malformed bytes as
+    [Omnivm.Wire.Bad_module], verifier refusal as [Cache.Rejected],
+    foreign handles as [Store.Unknown_handle], resource caps as
+    [Invalid_argument]), so callers handle one error surface.
+    @raise Store.Unknown_handle, Cache.Rejected on service-path errors.
+    @raise Net.Client.Remote_error, Net.Client.Protocol_error on remote
+    failures outside those classes. *)
 
 val run_exe :
   ?engine:engine ->
@@ -165,6 +182,17 @@ val run_wire_cached :
     content-addressed store and translation through its memoizing cache —
     repeated loads of the same bytes skip decoding and translation
     entirely, paying only the static re-verification of the cached code. *)
+
+val run_wire_remote :
+  remote:Net.Client.t ->
+  engine:string ->
+  ?sfi:bool ->
+  ?fuel:int ->
+  string ->
+  run_result
+(** [run_wire] against a live daemon: submit the bytes over the wire and
+    run them there. The daemon's store/cache play the role [service]
+    plays locally; results are bit-identical to the in-process path. *)
 
 val compile :
   ?options:Minic.Driver.options ->

@@ -562,6 +562,102 @@ let phase_breakdown ~size =
     (Omni_obs.Metrics.render_phases (Omni_obs.Metrics.snapshot m));
   Buffer.contents buf
 
+(* Remote serving overhead: the same requests through the distribution
+   protocol — frame encode/checksum/decode both ways over the in-memory
+   pair transport, zero scheduling noise — against the identical requests
+   on the in-process service. The delta is the pure protocol cost of
+   putting the translation cache behind a wire. *)
+let remote_overhead ~size =
+  let module Svc = Omni_service.Service in
+  let module Exec = Omni_service.Exec in
+  let module Net = Omni_net in
+  let ws = workloads ~size in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Remote serving: cold vs warm round trips through the distribution\n\
+     protocol (in-memory pair transport) vs the in-process service.\n\
+     Every remote run's output is validated against the local result.\n\n";
+  let fuel = 4_000_000_000 in
+  (* remote stack: service behind a server behind the loopback client *)
+  let svc_r = Svc.create () in
+  let server = Net.Server.create svc_r in
+  let client = Net.Client.loopback server in
+  (* ping round trip: the protocol floor (frame codec + dispatch only) *)
+  let pings = 1000 in
+  let t0 = Sys.time () in
+  for _ = 1 to pings do
+    Net.Client.ping client
+  done;
+  let ping_us = 1e6 *. (Sys.time () -. t0) /. float_of_int pings in
+  Buffer.add_string buf
+    (Printf.sprintf "protocol floor: %.1f us per ping round trip\n\n" ping_us);
+  (* identical module set on both stacks *)
+  let prepared =
+    List.map
+      (fun (w : Omni_workloads.Workloads.t) ->
+        let p = prepare w in
+        (p, Omnivm.Wire.encode p.p_exe))
+      ws
+  in
+  let svc_l = Svc.create () in
+  let remote_handles =
+    List.map (fun (p, bytes) -> (p, Net.Client.submit client bytes)) prepared
+  in
+  let local_handles =
+    List.map (fun (p, bytes) -> (p, Svc.submit svc_l bytes)) prepared
+  in
+  let time f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let remote_round arch ~check () =
+    List.iter
+      (fun (p, h) ->
+        let r = Net.Client.run ~engine:(Exec.Target arch) ~fuel client h in
+        if check && not (String.equal r.Exec.output p.p_expected) then
+          fail "remote: %s/%s produced wrong output" p.p_name (Arch.name arch))
+      remote_handles
+  in
+  let local_round arch () =
+    List.iter
+      (fun (_, h) ->
+        ignore (Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc_l h))
+      local_handles
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %15s %15s %15s %10s\n" "arch" "cold-remote (ms)"
+       "warm-remote (ms)" "warm-local (ms)" "overhead");
+  let warm_rounds = 3 in
+  List.iter
+    (fun arch ->
+      let cold_r = time (remote_round arch ~check:true) in
+      let warm_r =
+        time (fun () ->
+            for _ = 1 to warm_rounds do
+              remote_round arch ~check:true ()
+            done)
+        /. float_of_int warm_rounds
+      in
+      ignore (time (local_round arch));
+      let warm_l =
+        time (fun () ->
+            for _ = 1 to warm_rounds do
+              local_round arch ()
+            done)
+        /. float_of_int warm_rounds
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-8s %15.2f %15.2f %15.2f %9.2fx\n" (Arch.name arch)
+           (1e3 *. cold_r) (1e3 *. warm_r) (1e3 *. warm_l)
+           (warm_r /. Float.max 1e-9 warm_l)))
+    all_archs;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "remote service counters: ";
+  Buffer.add_string buf (Net.Client.stats_json client);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 let all_tables ~size =
   String.concat "\n"
     [ table1 ~size; table2 ~size; table3 ~size; table4 ~size; table5 ~size;

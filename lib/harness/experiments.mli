@@ -92,4 +92,10 @@ val phase_breakdown : size:Omni_workloads.Workloads.size -> string
     {!Omni_obs.Trace} span instrumentation into a
     {!Omni_obs.Metrics} registry (no harness-side timing). *)
 
+val remote_overhead : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: cold vs warm round trips through the distribution
+    protocol ({!Omni_net}, in-memory pair transport) against the same
+    requests on the in-process service — the protocol cost of serving
+    mobile code over a wire, plus the per-ping protocol floor. *)
+
 val all_tables : size:Omni_workloads.Workloads.size -> string

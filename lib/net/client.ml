@@ -1,0 +1,61 @@
+module Exec = Omni_service.Exec
+module M = Message
+
+exception Remote_error of M.err_class * string
+exception Protocol_error of string
+
+type t = { conn : Transport.conn }
+
+let of_conn conn = { conn }
+let connect addr = of_conn (Transport.connect addr)
+
+let loopback server =
+  let client_end, server_end = Transport.pair ~name:"loopback" () in
+  (* When the client waits for a response, run the server for one
+     request — a synchronous cycle with no threads, no descriptors. *)
+  Transport.on_stall client_end (fun () ->
+      ignore (Server.step server server_end));
+  of_conn client_end
+
+let close t = Transport.close t.conn
+let descr t = Transport.descr t.conn
+
+let call t req =
+  Transport.send t.conn (Frame.encode (M.encode_req req));
+  match Frame.read (Transport.recv t.conn) with
+  | Error e -> raise (Protocol_error (Frame.error_to_string e))
+  | Ok fr -> (
+      match M.decode_resp fr with
+      | Error msg -> raise (Protocol_error msg)
+      | Ok (M.Error (cls, msg)) -> raise (Remote_error (cls, msg))
+      | Ok resp -> resp)
+
+let unexpected what = raise (Protocol_error ("unexpected response to " ^ what))
+
+let ping t = match call t M.Ping with M.Pong -> () | _ -> unexpected "ping"
+
+let submit t bytes =
+  match call t (M.Submit bytes) with
+  | M.Submitted d -> d
+  | _ -> unexpected "submit"
+
+let run ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default) ?fuel t
+    handle =
+  match
+    call t
+      (M.Run
+         {
+           M.rs_handle = handle;
+           rs_engine = engine;
+           rs_sfi = sfi;
+           rs_mode = mode;
+           rs_fuel = fuel;
+         })
+  with
+  | M.Ran r -> r
+  | _ -> unexpected "run"
+
+let stats_json t =
+  match call t M.Stats with
+  | M.Stats_json j -> j
+  | _ -> unexpected "stats"

@@ -1,0 +1,57 @@
+(** The client side: submit and run mobile modules against a daemon.
+
+    One synchronous request/response call per operation. Three ways to
+    get a connection: {!connect} (a live [omnid] over a Unix or TCP
+    socket), {!of_conn} (any transport), and {!loopback} (an in-process
+    server over the in-memory pair — byte-for-byte the same protocol,
+    zero scheduling nondeterminism; what the tests and the remote
+    benchmark use). *)
+
+module Exec = Omni_service.Exec
+
+exception Remote_error of Message.err_class * string
+(** The server answered with a typed protocol error. *)
+
+exception Protocol_error of string
+(** The byte stream is not speaking the protocol: frame decode failure,
+    unknown response tag, or a response kind that does not answer the
+    request. The connection should be abandoned. *)
+
+type t
+
+val connect : Transport.address -> t
+(** @raise Unix.Unix_error when the daemon is not reachable. *)
+
+val of_conn : Transport.conn -> t
+
+val loopback : Server.t -> t
+(** A connection to [server] over the in-memory pair transport: each
+    client read hands control to the server for one {!Server.step}. *)
+
+val close : t -> unit
+val descr : t -> string
+
+val call : t -> Message.req -> Message.resp
+(** Send one request, read one response. Raises {!Remote_error} on an
+    [Error] response and {!Protocol_error} on wire trouble; the typed
+    wrappers below are the usual interface. *)
+
+val ping : t -> unit
+
+val submit : t -> string -> int64
+(** Admit wire-format module bytes; returns the content handle
+    ({!Omni_util.Fnv64} digest) to pass to {!run}. *)
+
+val run :
+  ?engine:Exec.engine ->
+  ?sfi:bool ->
+  ?mode:Message.mode_spec ->
+  ?fuel:int ->
+  t ->
+  int64 ->
+  Exec.run_result
+(** Execute a submitted module remotely. Defaults mirror [Api.run]:
+    interpreter engine, SFI on, derived mode, server-default fuel. *)
+
+val stats_json : t -> string
+(** The daemon's service-counter snapshot as one JSON line. *)

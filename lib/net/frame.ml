@@ -1,0 +1,104 @@
+(* Versioned, length-prefixed, checksummed frames. Decoding is total:
+   every hostile input maps to a typed error, never an exception — the
+   admission property the server loop rests on. *)
+
+let magic = "OMNI"
+let version = 1
+let header_size = 4 + 1 + 1 + 4 + 8
+let max_payload = 16 * 1024 * 1024
+
+type t = { tag : int; payload : string }
+
+type error =
+  | Eof
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Too_large of { length : int; max : int }
+  | Corrupt
+
+let error_to_string = function
+  | Eof -> "end of stream"
+  | Truncated -> "truncated frame (short read)"
+  | Bad_magic -> "bad magic (not an OMNI frame)"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Too_large { length; max } ->
+      Printf.sprintf "declared payload length %d exceeds cap %d" length max
+  | Corrupt -> "payload checksum mismatch"
+
+let checksum payload = Omni_util.Fnv64.digest_string payload
+
+let encode { tag; payload } =
+  if tag < 0 || tag > 0xff then invalid_arg "Frame.encode: tag not one byte";
+  let len = String.length payload in
+  let b = Bytes.create (header_size + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint8 b 4 version;
+  Bytes.set_uint8 b 5 tag;
+  Bytes.set_int32_be b 6 (Int32.of_int len);
+  Bytes.set_int64_be b 10 (checksum payload);
+  Bytes.blit_string payload 0 b header_size len;
+  Bytes.unsafe_to_string b
+
+(* Parse a complete header (first [header_size] bytes of [h]); shared by
+   the buffer and stream decoders. Returns the declared payload length. *)
+let parse_header ?(max = max_payload) (h : string) : (int * int, error) result
+    =
+  if not (String.equal (String.sub h 0 4) magic) then Error Bad_magic
+  else
+    let v = Char.code h.[4] in
+    if v <> version then Error (Bad_version v)
+    else
+      let tag = Char.code h.[5] in
+      let len = Int32.to_int (String.get_int32_be h 6) land 0xffffffff in
+      if len > max then Error (Too_large { length = len; max })
+      else Ok (tag, len)
+
+let decode ?max s ~pos =
+  let n = String.length s in
+  if pos < 0 || pos > n then invalid_arg "Frame.decode: pos out of range";
+  if pos = n then Error Eof
+  else if n - pos < header_size then Error Truncated
+  else
+    match parse_header ?max (String.sub s pos header_size) with
+    | Error _ as e -> e
+    | Ok (tag, len) ->
+        if n - pos - header_size < len then Error Truncated
+        else
+          let payload = String.sub s (pos + header_size) len in
+          if not (Int64.equal (checksum payload) (String.get_int64_be s (pos + 10)))
+          then Error Corrupt
+          else Ok ({ tag; payload }, pos + header_size + len)
+
+let read ?max (recv : bytes -> int -> int -> int) : (t, error) result =
+  (* Fill [buf.(pos..len)]; Ok false = end of stream before the first
+     byte, Error Truncated = end of stream mid-fill. *)
+  let read_exact buf pos len =
+    let got = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !got < len do
+      let n = recv buf (pos + !got) (len - !got) in
+      if n <= 0 then eof := true else got := !got + n
+    done;
+    if !got = len then Ok true
+    else if !got = 0 then Ok false
+    else Error Truncated
+  in
+  let header = Bytes.create header_size in
+  match read_exact header 0 header_size with
+  | Error _ as e -> e
+  | Ok false -> Error Eof
+  | Ok true -> (
+      match parse_header ?max (Bytes.to_string header) with
+      | Error _ as e -> e
+      | Ok (tag, len) -> (
+          let body = Bytes.create len in
+          match if len = 0 then Ok true else read_exact body 0 len with
+          | Error _ as e -> e
+          | Ok false -> Error Truncated
+          | Ok true ->
+              let payload = Bytes.unsafe_to_string body in
+              if
+                Int64.equal (checksum payload) (Bytes.get_int64_be header 10)
+              then Ok { tag; payload }
+              else Error Corrupt))

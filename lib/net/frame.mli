@@ -1,0 +1,63 @@
+(** The wire frame of the distribution protocol.
+
+    Every protocol message travels in one frame:
+
+    {v
+    offset  size  field
+    0       4     magic "OMNI"
+    4       1     protocol version (1)
+    5       1     message tag (interpreted by {!Message})
+    6       4     payload length, big-endian unsigned
+    10      8     FNV-1a/64 checksum of the payload, big-endian
+    18      len   payload
+    v}
+
+    The receiving host treats every frame as hostile input: decoding
+    never raises — a malformed, truncated, oversized, or corrupted frame
+    yields a typed {!error} so the server can answer with a protocol
+    error instead of dying. The payload length is capped ({!val-max_payload}
+    by default) {e before} any allocation, so a hostile length field
+    cannot balloon memory. *)
+
+val magic : string
+(** ["OMNI"], 4 bytes. *)
+
+val version : int
+(** Protocol version carried by every frame (currently 1). *)
+
+val header_size : int
+(** 18 bytes. *)
+
+val max_payload : int
+(** Default payload cap: 16 MiB. *)
+
+type t = { tag : int; payload : string }
+(** [tag] is one byte (0..255); its meaning belongs to {!Message}. *)
+
+type error =
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Truncated  (** stream or buffer ended mid-frame (a short read) *)
+  | Bad_magic  (** the first four bytes are not ["OMNI"] *)
+  | Bad_version of int  (** recognized magic, foreign version byte *)
+  | Too_large of { length : int; max : int }
+      (** declared payload length exceeds the cap — detected before
+          allocating *)
+  | Corrupt  (** payload checksum mismatch *)
+
+val error_to_string : error -> string
+
+val encode : t -> string
+(** The frame as bytes, header and checksum included.
+    @raise Invalid_argument if [tag] is not one byte. *)
+
+val decode : ?max:int -> string -> pos:int -> (t * int, error) result
+(** Decode one frame starting at [pos]; on success also returns the
+    offset just past the frame. [max] caps the payload length (default
+    {!val-max_payload}). Never raises on any input ([pos] must be within
+    [0 .. length]). *)
+
+val read : ?max:int -> (bytes -> int -> int -> int) -> (t, error) result
+(** Pull one frame from a byte stream. The reader has [Unix.read]
+    semantics — [read buf pos len] returns the number of bytes read, 0
+    for end of stream — and may return short counts. Exceptions raised
+    by the reader itself (e.g. a socket timeout) pass through. *)

@@ -1,0 +1,83 @@
+(** Protocol messages: what travels inside a {!Frame}.
+
+    Four requests and five responses. One request frame yields exactly
+    one response frame; {!Error} is the only response a well-behaved
+    server sends for input it cannot serve — carrying a machine-readable
+    {!err_class} so clients can react without parsing prose.
+
+    The codec is total in both directions: [decode_* (encode_* m) = Ok m]
+    for every message, and any byte string — truncated, corrupted,
+    trailing garbage — decodes to [Error _], never an exception
+    ([test/test_net.ml] checks both properties with qcheck). *)
+
+module Exec = Omni_service.Exec
+module Machine = Omni_targets.Machine
+
+(** Why a request was refused. *)
+type err_class =
+  | E_decode  (** malformed frame, message, or module bytes *)
+  | E_verifier_rejected
+      (** the static SFI verifier refused the (fresh or cached)
+          translation *)
+  | E_unknown_handle  (** a handle this server never issued *)
+  | E_limit_exceeded  (** frame-size / segment-fit / resource cap *)
+  | E_internal  (** anything else; the daemon survives it *)
+
+val err_class_name : err_class -> string
+val err_class_code : err_class -> int
+
+(** Translation mode requested over the wire. [M_default] derives the
+    mode from the [rs_sfi] flag exactly as [Api.run] does — the common
+    case, and the one that guarantees remote runs are bit-identical to
+    local ones. [M_policy] selects an explicit SFI policy mode for the
+    standard module layout; [M_native] requests a native compiler
+    baseline (no sandboxing). *)
+type mode_spec =
+  | M_default
+  | M_policy of { pmode : Omni_sfi.Policy.mode; protect_reads : bool }
+  | M_native of Machine.tier
+
+(** A [Run] request: which stored module, on which engine, under which
+    sandboxing configuration, with how much fuel ([None] = the server's
+    generous default, same as [Api.run]). *)
+type run_spec = {
+  rs_handle : int64;  (** content digest returned by [Submitted] *)
+  rs_engine : Exec.engine;
+  rs_sfi : bool;
+  rs_mode : mode_spec;
+  rs_fuel : int option;
+}
+
+type req =
+  | Ping
+  | Submit of string  (** wire-format module bytes *)
+  | Run of run_spec
+  | Stats  (** service counters snapshot *)
+
+type resp =
+  | Pong
+  | Submitted of int64  (** content handle (FNV-1a/64 digest) *)
+  | Ran of Exec.run_result
+      (** the full result, faults and detailed statistics included — a
+          remote run reports exactly what a local one does *)
+  | Stats_json of string
+  | Error of err_class * string
+
+(** {1 Frame tags} (the [tag] byte of {!Frame.t}) *)
+
+val tag_ping : int
+val tag_submit : int
+val tag_run : int
+val tag_stats : int
+val tag_pong : int
+val tag_submitted : int
+val tag_ran : int
+val tag_stats_json : int
+val tag_error : int
+
+(** {1 Codec} *)
+
+val encode_req : req -> Frame.t
+val decode_req : Frame.t -> (req, string) result
+val encode_resp : resp -> Frame.t
+val decode_resp : Frame.t -> (resp, string) result

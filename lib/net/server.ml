@@ -1,0 +1,227 @@
+(* The serve loop: frames in, frames out, the process never dies.
+
+   Dispatch is three layers of admission, each mapping failure to a
+   typed Error response: the frame codec (magic/version/length/checksum),
+   the message codec (tags/bounds), and the service itself (module
+   decode, segment fit, handle lookup, SFI verification). Only a
+   framing-level failure costs the connection — once the byte stream is
+   out of sync there is no safe way to find the next frame — and even
+   then the client is told why first. *)
+
+module Service = Omni_service.Service
+module Store = Omni_service.Store
+module Cache = Omni_service.Cache
+module Counters = Omni_service.Counters
+module Metrics = Omni_obs.Metrics
+module Trace = Omni_obs.Trace
+module M = Message
+
+type config = { max_frame : int; read_timeout_s : float }
+
+let default_config = { max_frame = Frame.max_payload; read_timeout_s = 30. }
+
+type t = {
+  svc : Service.t;
+  cfg : config;
+  tracer : Trace.t;
+  (* digest -> handle for every module this server admitted; the wire
+     names modules by digest, the store by abstract handle *)
+  handles : (int64, Store.handle) Hashtbl.t;
+  (* net.* counters, registered in the service's own registry *)
+  connections : Metrics.counter;
+  requests : Metrics.counter;
+  req_ping : Metrics.counter;
+  req_submit : Metrics.counter;
+  req_run : Metrics.counter;
+  req_stats : Metrics.counter;
+  errors : Metrics.counter;
+  frame_errors : Metrics.counter;
+  timeouts : Metrics.counter;
+  bytes_in : Metrics.counter;
+  bytes_out : Metrics.counter;
+}
+
+let create ?(config = default_config) ?tracer svc =
+  let reg = Service.metrics svc in
+  let tracer =
+    match tracer with
+    | Some t -> t
+    | None -> Trace.make ~metrics:reg Trace.Null
+  in
+  let c name = Metrics.counter reg name in
+  {
+    svc;
+    cfg = config;
+    tracer;
+    handles = Hashtbl.create 16;
+    connections = c "net.connections";
+    requests = c "net.requests";
+    req_ping = c "net.req.ping";
+    req_submit = c "net.req.submit";
+    req_run = c "net.req.run";
+    req_stats = c "net.req.stats";
+    errors = c "net.errors";
+    frame_errors = c "net.frame_errors";
+    timeouts = c "net.timeouts";
+    bytes_in = c "net.bytes_in";
+    bytes_out = c "net.bytes_out";
+  }
+
+let service t = t.svc
+let config t = t.cfg
+
+let req_name = function
+  | M.Ping -> "ping"
+  | M.Submit _ -> "submit"
+  | M.Run _ -> "run"
+  | M.Stats -> "stats"
+
+(* Resolve a wire mode_spec to the optional Machine.mode Service.instantiate
+   expects. M_default maps to None so the service derives the mode from the
+   sfi flag exactly as Api.run does — the bit-identity guarantee. *)
+let resolve_mode = function
+  | M.M_default -> None
+  | M.M_policy { pmode; protect_reads } ->
+      Some
+        (Omni_targets.Machine.Mobile
+           (Omni_sfi.Policy.make ~mode:pmode ~protect_reads ()))
+  | M.M_native tier -> Some (Omni_targets.Machine.Native tier)
+
+let dispatch t (req : M.req) : M.resp =
+  match req with
+  | M.Ping -> M.Pong
+  | M.Stats -> M.Stats_json (Counters.to_json (Service.stats t.svc))
+  | M.Submit bytes -> (
+      match Service.submit t.svc bytes with
+      | h ->
+          let d = Store.digest h in
+          Hashtbl.replace t.handles d h;
+          M.Submitted d
+      | exception Omnivm.Wire.Bad_module msg -> M.Error (M.E_decode, msg)
+      | exception Invalid_argument msg -> M.Error (M.E_limit_exceeded, msg)
+      | exception Store.Collision _ ->
+          M.Error (M.E_internal, "content digest collision"))
+  | M.Run rs -> (
+      match Hashtbl.find_opt t.handles rs.M.rs_handle with
+      | None ->
+          M.Error
+            ( M.E_unknown_handle,
+              Printf.sprintf "no module %s on this server"
+                (Omni_util.Fnv64.to_hex rs.M.rs_handle) )
+      | Some h -> (
+          match
+            Service.instantiate ~engine:rs.M.rs_engine ~sfi:rs.M.rs_sfi
+              ?mode:(resolve_mode rs.M.rs_mode) ?fuel:rs.M.rs_fuel t.svc h
+          with
+          | r -> M.Ran r
+          | exception Cache.Rejected msg ->
+              M.Error (M.E_verifier_rejected, msg)
+          | exception Store.Unknown_handle ->
+              M.Error (M.E_unknown_handle, "handle expired")
+          | exception Invalid_argument msg ->
+              M.Error (M.E_limit_exceeded, msg)))
+
+let handle_request t (req : M.req) : M.resp =
+  Metrics.incr t.requests;
+  Metrics.incr
+    (match req with
+    | M.Ping -> t.req_ping
+    | M.Submit _ -> t.req_submit
+    | M.Run _ -> t.req_run
+    | M.Stats -> t.req_stats);
+  let resp =
+    Trace.with_current t.tracer (fun () ->
+        Trace.phase "net.request" ~attrs:[ ("msg", req_name req) ] (fun () ->
+            try dispatch t req
+            with e ->
+              M.Error
+                ( M.E_internal,
+                  "unexpected exception: " ^ Printexc.to_string e )))
+  in
+  (match resp with M.Error _ -> Metrics.incr t.errors | _ -> ());
+  resp
+
+let send_resp t conn resp =
+  let bytes = Frame.encode (M.encode_resp resp) in
+  Metrics.incr ~by:(String.length bytes) t.bytes_out;
+  Transport.send conn bytes
+
+let step t conn =
+  match Frame.read ~max:t.cfg.max_frame (Transport.recv conn) with
+  | Error Frame.Eof -> `Closed
+  | Error e ->
+      (* Framing is lost: answer with a typed error, then drop the
+         connection. The daemon itself keeps serving. *)
+      Metrics.incr t.frame_errors;
+      let cls =
+        match e with
+        | Frame.Too_large _ -> M.E_limit_exceeded
+        | _ -> M.E_decode
+      in
+      Metrics.incr t.requests;
+      Metrics.incr t.errors;
+      send_resp t conn (M.Error (cls, Frame.error_to_string e));
+      `Closed
+  | Ok fr ->
+      Metrics.incr
+        ~by:(Frame.header_size + String.length fr.Frame.payload)
+        t.bytes_in;
+      let resp =
+        match M.decode_req fr with
+        | Ok req -> handle_request t req
+        | Error msg ->
+            Metrics.incr t.requests;
+            Metrics.incr t.errors;
+            M.Error (M.E_decode, "bad request: " ^ msg)
+      in
+      send_resp t conn resp;
+      `Handled
+
+let serve_conn t conn =
+  Metrics.incr t.connections;
+  Transport.set_read_timeout conn t.cfg.read_timeout_s;
+  let rec loop () =
+    match step t conn with
+    | `Handled -> loop ()
+    | `Closed -> ()
+    | exception Transport.Timeout -> Metrics.incr t.timeouts
+    | exception _ -> Metrics.incr t.errors
+  in
+  Fun.protect ~finally:(fun () -> Transport.close conn) loop
+
+(* --- sockets --- *)
+
+let listen addr =
+  (match addr with
+  | Transport.Unix_sock path -> (
+      match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+  | Transport.Tcp _ -> ());
+  let domain =
+    match addr with
+    | Transport.Unix_sock _ -> Unix.PF_UNIX
+    | Transport.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Transport.sockaddr_of_address addr);
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let serve ?(stop = fun () -> false) t listen_fd =
+  while not (stop ()) do
+    (* poll so [stop] is consulted even with no traffic *)
+    match Unix.select [ listen_fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ -> serve_conn t (Transport.of_fd ~descr:"client" fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,71 @@
+(** The serving side of the distribution protocol.
+
+    A server wraps an {!Omni_service.Service} — the content-addressed
+    store and memoizing translation cache — behind the frame protocol.
+    The network boundary is the SFI admission boundary: every incoming
+    frame is untrusted, so every failure anywhere in
+    decode/load/translate/verify/execute maps to a typed
+    {!Message.Error} response and the process keeps serving. The only
+    way a connection ends is end-of-stream, a read timeout, or a frame
+    so malformed that framing sync is lost (bad magic, bad version,
+    oversized or corrupt frame) — and even then the {e daemon} survives;
+    only that connection closes, after the client is sent the typed
+    error.
+
+    Observability: [net.*] counters (connections, requests by kind,
+    error responses by class, bytes in/out, frame errors, timeouts) are
+    registered in the service's own metrics registry, and every request
+    runs under a ["net.request"] span on the server's tracer, so remote
+    serving lands in the same registry/tracer as the rest of the
+    pipeline. *)
+
+module Service = Omni_service.Service
+
+type config = {
+  max_frame : int;  (** payload cap enforced before allocation *)
+  read_timeout_s : float;
+      (** per-request socket read timeout; 0. disables *)
+}
+
+val default_config : config
+(** {!Frame.max_payload} and a 30 s read timeout. *)
+
+type t
+
+val create : ?config:config -> ?tracer:Omni_obs.Trace.t -> Service.t -> t
+(** [tracer] defaults to a [Null]-sink tracer over the service's
+    metrics registry — no span storage, but per-phase [phase.*]
+    histograms (including [phase.net.request]) still accumulate. *)
+
+val service : t -> Service.t
+val config : t -> config
+
+val handle_request : t -> Message.req -> Message.resp
+(** Dispatch one already-decoded request. Never raises: exceptions from
+    the service layers are mapped to {!Message.Error} classes —
+    malformed module bytes to [E_decode], segment-fit violations to
+    [E_limit_exceeded], foreign handles to [E_unknown_handle], SFI
+    verifier refusals to [E_verifier_rejected], anything else to
+    [E_internal]. *)
+
+val step : t -> Transport.conn -> [ `Handled | `Closed ]
+(** Read one frame, answer it. [`Closed] means the connection is done:
+    clean end of stream, or a framing-level error (the typed [Error]
+    response is sent first). The in-memory loopback drives this
+    directly. *)
+
+val serve_conn : t -> Transport.conn -> unit
+(** [step] until [`Closed] (or a read timeout), then close the
+    connection. Never raises. *)
+
+(** {1 Listening (sockets)} *)
+
+val listen : Transport.address -> Unix.file_descr
+(** Bind and listen. [Unix_sock path] unlinks a stale socket file first;
+    [Tcp (host, port)] binds the given interface.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val serve : ?stop:(unit -> bool) -> t -> Unix.file_descr -> unit
+(** Sequential accept loop: accept, {!serve_conn}, repeat. Polls [stop]
+    between accepts (default: never stop). Does not close the listening
+    descriptor. *)

@@ -1,0 +1,166 @@
+exception Timeout
+
+(* An in-memory unidirectional byte queue. A Buffer plus a read offset,
+   compacted when fully drained; single-threaded by construction. *)
+type queue = { buf : Buffer.t; mutable off : int; mutable eof : bool }
+
+let queue () = { buf = Buffer.create 256; off = 0; eof = false }
+
+let queue_avail q = Buffer.length q.buf - q.off
+
+let queue_read q b pos len =
+  let n = min len (queue_avail q) in
+  if n > 0 then begin
+    Buffer.blit q.buf q.off b pos n;
+    q.off <- q.off + n;
+    if q.off = Buffer.length q.buf then begin
+      Buffer.clear q.buf;
+      q.off <- 0
+    end
+  end;
+  n
+
+type impl =
+  | Mem of {
+      inbox : queue;
+      outbox : queue;
+      mutable stall : (unit -> unit) option;
+    }
+  | Fd of { fd : Unix.file_descr; mutable timeout : float }
+
+type conn = { impl : impl; name : string; mutable closed : bool }
+
+let descr c = c.name
+let closed c = c.closed
+
+(* --- in-memory pair --- *)
+
+let pair ?(name = "mem") () =
+  let a_to_b = queue () and b_to_a = queue () in
+  let mk inbox outbox side =
+    {
+      impl = Mem { inbox; outbox; stall = None };
+      name = Printf.sprintf "%s:%s" name side;
+      closed = false;
+    }
+  in
+  (mk b_to_a a_to_b "a", mk a_to_b b_to_a "b")
+
+let on_stall c f =
+  match c.impl with
+  | Mem m -> m.stall <- Some f
+  | Fd _ -> invalid_arg "Transport.on_stall: socket connection"
+
+(* --- common operations --- *)
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    match c.impl with
+    | Mem m ->
+        (* end the stream in both directions *)
+        m.inbox.eof <- true;
+        m.outbox.eof <- true
+    | Fd f -> ( try Unix.close f.fd with Unix.Unix_error _ -> ())
+  end
+
+let set_read_timeout c seconds =
+  match c.impl with
+  | Mem _ -> ()
+  | Fd f -> f.timeout <- seconds
+
+let recv c b pos len =
+  if len = 0 then 0
+  else
+    match c.impl with
+    | Mem m ->
+        let n = queue_read m.inbox b pos len in
+        if n > 0 then n
+        else if m.inbox.eof || c.closed then 0
+        else (
+          (match m.stall with Some f -> f () | None -> ());
+          queue_read m.inbox b pos len)
+    | Fd f -> (
+        if c.closed then 0
+        else begin
+          if f.timeout > 0. then begin
+            match Unix.select [ f.fd ] [] [] f.timeout with
+            | [], _, _ -> raise Timeout
+            | _ -> ()
+          end;
+          match Unix.read f.fd b pos len with
+          | n -> n
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              0
+        end)
+
+let send c s =
+  match c.impl with
+  | Mem m ->
+      if c.closed || m.outbox.eof then ()
+      else Buffer.add_string m.outbox.buf s
+  | Fd f ->
+      if c.closed then ()
+      else begin
+        let len = String.length s in
+        let sent = ref 0 in
+        (try
+           while !sent < len do
+             let n =
+               Unix.write_substring f.fd s !sent (len - !sent)
+             in
+             if n <= 0 then raise Exit else sent := !sent + n
+           done
+         with
+        | Exit -> ()
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            (* peer went away mid-response; the serve loop notices on the
+               next read *)
+            ())
+      end
+
+let of_fd ?(descr = "fd") fd =
+  { impl = Fd { fd; timeout = 0. }; name = descr; closed = false }
+
+(* --- addresses --- *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let parse_address s =
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad port %S in address %S" port s))
+  | _ -> if s = "" then Error "empty address" else Ok (Unix_sock s)
+
+let address_to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let sockaddr_of_address = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "resolve", host)))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let connect addr =
+  let domain =
+    match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of_address addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd ~descr:(address_to_string addr) fd

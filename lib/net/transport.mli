@@ -1,0 +1,73 @@
+(** Byte-stream transports carrying protocol frames.
+
+    One abstraction, two implementations:
+
+    - {!pair}: a fully in-memory, single-threaded duplex pair for
+      deterministic tests and for the loopback client — no file
+      descriptors, no scheduling, byte-for-byte the same frames as the
+      socket path;
+    - {!of_fd}: a Unix/TCP socket wrapped with a receive timeout.
+
+    A connection is a [recv]/[send]/[close] triple with [Unix.read]-style
+    receive semantics (0 = end of stream), which is exactly what
+    {!Frame.read} consumes. *)
+
+type conn
+
+exception Timeout
+(** Raised by {!recv} on a socket connection whose per-request read
+    timeout (see {!set_read_timeout}) expires. *)
+
+val recv : conn -> bytes -> int -> int -> int
+(** [recv c buf pos len] reads at most [len] bytes into [buf] at [pos];
+    returns the count, 0 at end of stream. May return short counts. *)
+
+val send : conn -> string -> unit
+(** Write the whole string (loops over partial writes). *)
+
+val close : conn -> unit
+(** Idempotent. *)
+
+val closed : conn -> bool
+
+val set_read_timeout : conn -> float -> unit
+(** Seconds before a blocked {!recv} raises {!Timeout}; [0.] disables.
+    A no-op on in-memory connections (their reads never block). *)
+
+val descr : conn -> string
+(** Human-readable endpoint name (for logs and error messages). *)
+
+(** {1 In-memory pair} *)
+
+val pair : ?name:string -> unit -> conn * conn
+(** Two connected endpoints backed by in-process byte queues: bytes
+    [send]-ed on one side become [recv]-able on the other, in order.
+    [recv] on an empty queue consults the stall hook (below) once, then
+    reports end of stream — nothing ever blocks. [close]-ing either side
+    ends the stream for both. *)
+
+val on_stall : conn -> (unit -> unit) -> unit
+(** Install a hook run when [recv] on this in-memory endpoint finds its
+    queue empty — the loopback client uses it to hand control to the
+    server so a synchronous request/response cycle needs no threads.
+    @raise Invalid_argument on a socket connection. *)
+
+(** {1 Sockets} *)
+
+(** Where a daemon lives: a Unix-domain socket path, or a TCP
+    host/port. *)
+type address = Unix_sock of string | Tcp of string * int
+
+val parse_address : string -> (address, string) result
+(** ["host:port"] (or [":port"], defaulting the host to 127.0.0.1)
+    parses as {!Tcp}; anything else is a Unix-domain socket path. *)
+
+val address_to_string : address -> string
+val sockaddr_of_address : address -> Unix.sockaddr
+
+val connect : address -> conn
+(** Open a client connection.
+    @raise Unix.Unix_error when the daemon is not reachable. *)
+
+val of_fd : ?descr:string -> Unix.file_descr -> conn
+(** Wrap a connected socket (or any stream descriptor). *)

@@ -1,0 +1,589 @@
+(* The distribution protocol: codec totality and end-to-end serving.
+
+   Load-bearing properties:
+
+   - the frame and message codecs are total: encode-then-decode is the
+     identity, and NO byte string — truncated, bit-flipped, oversized,
+     garbage — makes a decoder raise (qcheck'd);
+   - a module submitted and run through the protocol produces results
+     bit-identical to the in-process Api.run path, for every engine,
+     with and without SFI;
+   - every hostile input (bad magic, truncated frame, oversized frame,
+     corrupt payload, unknown tag, malformed module, unknown handle,
+     verifier-rejected translation) yields a typed Error response and
+     the server keeps serving well-formed requests afterwards. *)
+
+module Api = Omniware.Api
+module Arch = Omni_targets.Arch
+module Machine = Omni_targets.Machine
+module Risc = Omni_targets.Risc
+module Exec = Omni_service.Exec
+module Service = Omni_service.Service
+module Cache = Omni_service.Cache
+module Counters = Omni_service.Counters
+module Frame = Omni_net.Frame
+module Msg = Omni_net.Message
+module Transport = Omni_net.Transport
+module Server = Omni_net.Server
+module Client = Omni_net.Client
+
+let fuel = 50_000_000
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ["hits":N] with N >= 1 somewhere in a one-line JSON object. The
+   leading quote keeps [dedup_hits] from matching. *)
+let hits_positive json =
+  let key = "\"hits\":" in
+  let nl = String.length key and hl = String.length json in
+  let rec go i =
+    if i + nl >= hl then false
+    else if String.sub json i nl = key then
+      match json.[i + nl] with '1' .. '9' -> true | _ -> go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let hello_src =
+  {| int g = 7;
+     int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }
+     int main(void) {
+       int i;
+       for (i = 0; i < 5; i++) { print_int(f(i + 5) + g); putchar(32); }
+       putchar(10);
+       return 0; } |}
+
+let hello_bytes = lazy (Api.compile ~name:"hello" hello_src)
+
+let check_same_result what (a : Exec.run_result) (b : Exec.run_result) =
+  Alcotest.(check string) (what ^ ": output") a.Exec.output b.Exec.output;
+  Alcotest.(check int) (what ^ ": exit code") a.Exec.exit_code b.Exec.exit_code;
+  Alcotest.(check int) (what ^ ": instructions") a.Exec.instructions
+    b.Exec.instructions;
+  Alcotest.(check int) (what ^ ": cycles") a.Exec.cycles b.Exec.cycles;
+  Alcotest.(check bool)
+    (what ^ ": outcome + stats")
+    true
+    (a.Exec.outcome = b.Exec.outcome && a.Exec.stats = b.Exec.stats)
+
+(* --- frame codec --- *)
+
+let frame_roundtrip () =
+  List.iter
+    (fun (tag, payload) ->
+      let fr = { Frame.tag; payload } in
+      let bytes = Frame.encode fr in
+      (match Frame.decode bytes ~pos:0 with
+      | Ok (fr', stop) ->
+          Alcotest.(check bool) "decode = id" true (fr' = fr);
+          Alcotest.(check int) "consumed all" (String.length bytes) stop
+      | Error e -> Alcotest.failf "decode failed: %s" (Frame.error_to_string e));
+      (* the stream decoder, through a deliberately dribbling reader *)
+      let pos = ref 0 in
+      let recv buf off len =
+        let n = min 3 (min len (String.length bytes - !pos)) in
+        Bytes.blit_string bytes !pos buf off n;
+        pos := !pos + n;
+        n
+      in
+      match Frame.read recv with
+      | Ok fr' -> Alcotest.(check bool) "read = id" true (fr' = fr)
+      | Error e -> Alcotest.failf "read failed: %s" (Frame.error_to_string e))
+    [ (0, ""); (0x42, "hello"); (0xff, String.make 5000 '\x00');
+      (7, String.init 256 Char.chr) ]
+
+let frame_hostile () =
+  let good = Frame.encode { Frame.tag = 1; payload = "payload" } in
+  let expect what want got =
+    Alcotest.(check string) what want
+      (match got with
+      | Ok _ -> "ok"
+      | Error e -> (
+          match (e : Frame.error) with
+          | Frame.Eof -> "eof"
+          | Frame.Truncated -> "truncated"
+          | Frame.Bad_magic -> "bad-magic"
+          | Frame.Bad_version _ -> "bad-version"
+          | Frame.Too_large _ -> "too-large"
+          | Frame.Corrupt -> "corrupt"))
+  in
+  expect "empty = eof" "eof" (Frame.decode "" ~pos:0);
+  expect "bad magic" "bad-magic"
+    (Frame.decode ("XMNI" ^ String.sub good 4 (String.length good - 4)) ~pos:0);
+  let bad_ver = Bytes.of_string good in
+  Bytes.set bad_ver 4 '\x63';
+  expect "bad version" "bad-version"
+    (Frame.decode (Bytes.to_string bad_ver) ~pos:0);
+  expect "truncated header" "truncated" (Frame.decode (String.sub good 0 9) ~pos:0);
+  expect "truncated payload" "truncated"
+    (Frame.decode (String.sub good 0 (String.length good - 2)) ~pos:0);
+  let corrupt = Bytes.of_string good in
+  Bytes.set corrupt (Frame.header_size + 2) 'X';
+  expect "corrupt payload" "corrupt" (Frame.decode (Bytes.to_string corrupt) ~pos:0);
+  let oversized = Bytes.of_string good in
+  Bytes.set_int32_be oversized 6 0x7fffffffl;
+  expect "oversized" "too-large"
+    (Frame.decode (Bytes.to_string oversized) ~pos:0)
+
+(* qcheck: arbitrary (tag, payload) frames round-trip; arbitrary
+   corruption of the encoding decodes to Ok or Error, never an escaping
+   exception. *)
+let qcheck_frame_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"frame: roundtrip + corruption total"
+       QCheck.(
+         triple (int_bound 255) (string_of_size (Gen.int_bound 300))
+           (pair small_nat small_nat))
+       (fun (tag, payload, (mut_pos, mut_byte)) ->
+         let fr = { Frame.tag; payload } in
+         let bytes = Frame.encode fr in
+         let roundtrips =
+           match Frame.decode bytes ~pos:0 with
+           | Ok (fr', _) -> fr' = fr
+           | Error _ -> false
+         in
+         (* flip one byte somewhere, then also truncate: decode must
+            stay total on both *)
+         let mutated = Bytes.of_string bytes in
+         let p = mut_pos mod Bytes.length mutated in
+         Bytes.set mutated p
+           (Char.chr (Char.code (Bytes.get mutated p) lxor (1 + (mut_byte mod 255))));
+         let mutated = Bytes.to_string mutated in
+         let truncated = String.sub bytes 0 (mut_pos mod (String.length bytes + 1)) in
+         let total s =
+           match Frame.decode s ~pos:0 with Ok _ | Error _ -> true
+         in
+         roundtrips && total mutated && total truncated))
+
+(* --- message codec --- *)
+
+let gen_err_class =
+  QCheck.Gen.oneofl
+    [ Msg.E_decode; Msg.E_verifier_rejected; Msg.E_unknown_handle;
+      Msg.E_limit_exceeded; Msg.E_internal ]
+
+let gen_engine =
+  QCheck.Gen.oneofl
+    [ Exec.Interp; Exec.Target Arch.Mips; Exec.Target Arch.Sparc;
+      Exec.Target Arch.Ppc; Exec.Target Arch.X86 ]
+
+let gen_mode =
+  let open QCheck.Gen in
+  oneof
+    [ return Msg.M_default;
+      (let* pmode =
+         oneofl [ Omni_sfi.Policy.Off; Omni_sfi.Policy.Sandbox; Omni_sfi.Policy.Guard ]
+       in
+       let* protect_reads = bool in
+       return (Msg.M_policy { pmode; protect_reads }));
+      map
+        (fun cc -> Msg.M_native (if cc then Machine.Cc else Machine.Gcc))
+        bool ]
+
+let gen_fault =
+  let open QCheck.Gen in
+  let access = oneofl [ Omnivm.Fault.Read; Omnivm.Fault.Write; Omnivm.Fault.Execute ] in
+  oneof
+    [ (let* addr = nat and* a = access in
+       return (Omnivm.Fault.Access_violation { addr; access = a }));
+      (let* addr = nat and* width = oneofl [ 1; 2; 4 ] in
+       return (Omnivm.Fault.Misaligned { addr; width }));
+      return Omnivm.Fault.Division_by_zero;
+      map (fun pc -> Omnivm.Fault.Illegal_instruction { pc }) nat;
+      map (fun index -> Omnivm.Fault.Unauthorized_host_call { index }) nat;
+      return Omnivm.Fault.Stack_overflow;
+      map (fun c -> Omnivm.Fault.Explicit_trap c) nat ]
+
+let gen_outcome =
+  let open QCheck.Gen in
+  oneof
+    [ map (fun c -> Machine.Exited c) (int_range (-1) 255);
+      map (fun f -> Machine.Faulted f) gen_fault;
+      return Machine.Out_of_fuel ]
+
+let gen_stats =
+  let open QCheck.Gen in
+  let* instructions = nat
+  and* by_origin = array_repeat 6 nat
+  and* cycles = nat
+  and* loads = nat
+  and* stores = nat
+  and* branches = nat
+  and* taken_branches = nat
+  and* omni_instructions = nat in
+  return
+    { Machine.instructions; by_origin; cycles; loads; stores; branches;
+      taken_branches; omni_instructions }
+
+let gen_result =
+  let open QCheck.Gen in
+  let* output = string_size (int_bound 100)
+  and* exit_code = int_range (-1) 255
+  and* outcome = gen_outcome
+  and* instructions = nat
+  and* cycles = nat
+  and* stats = opt gen_stats in
+  return { Exec.output; exit_code; outcome; instructions; cycles; stats }
+
+let gen_req =
+  let open QCheck.Gen in
+  oneof
+    [ return Msg.Ping;
+      map (fun s -> Msg.Submit s) (string_size (int_bound 200));
+      (let* rs_handle = map Int64.of_int nat
+       and* rs_engine = gen_engine
+       and* rs_sfi = bool
+       and* rs_mode = gen_mode
+       and* rs_fuel = opt nat in
+       return (Msg.Run { Msg.rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel }));
+      return Msg.Stats ]
+
+let gen_resp =
+  let open QCheck.Gen in
+  oneof
+    [ return Msg.Pong;
+      map (fun d -> Msg.Submitted (Int64.of_int d)) nat;
+      map (fun r -> Msg.Ran r) gen_result;
+      map (fun s -> Msg.Stats_json s) (string_size (int_bound 100));
+      (let* cls = gen_err_class and* m = string_size (int_bound 80) in
+       return (Msg.Error (cls, m))) ]
+
+let qcheck_message_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"message: encode/decode = id"
+       (QCheck.make (QCheck.Gen.pair gen_req gen_resp))
+       (fun (req, resp) ->
+         Msg.decode_req (Msg.encode_req req) = Ok req
+         && Msg.decode_resp (Msg.encode_resp resp) = Ok resp))
+
+let qcheck_message_corruption =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500
+       ~name:"message: corrupted payloads decode to Error, never raise"
+       (QCheck.make
+          QCheck.Gen.(triple (pair gen_req gen_resp) small_nat small_nat))
+       (fun ((req, resp), pos, delta) ->
+         let total_req (fr : Frame.t) =
+           match Msg.decode_req fr with Ok _ | Error _ -> true
+         in
+         let total_resp (fr : Frame.t) =
+           match Msg.decode_resp fr with Ok _ | Error _ -> true
+         in
+         let mutate (fr : Frame.t) =
+           let p = fr.Frame.payload in
+           if String.length p = 0 then { fr with Frame.payload = "\x9f" }
+           else
+             let b = Bytes.of_string p in
+             let i = pos mod Bytes.length b in
+             Bytes.set b i
+               (Char.chr
+                  (Char.code (Bytes.get b i) lxor (1 + (delta mod 255))));
+             { fr with Frame.payload = Bytes.to_string b }
+         in
+         let truncate (fr : Frame.t) =
+           let p = fr.Frame.payload in
+           { fr with Frame.payload = String.sub p 0 (pos mod (String.length p + 1)) }
+         in
+         let rf = Msg.encode_req req and pf = Msg.encode_resp resp in
+         total_req (mutate rf) && total_req (truncate rf)
+         && total_resp (mutate pf)
+         && total_resp (truncate pf)
+         (* a response never parses as a request and vice versa *)
+         && (match Msg.decode_req pf with Error _ -> true | Ok _ -> false)
+         && (match Msg.decode_resp rf with Error _ -> true | Ok _ -> false)))
+
+(* --- end-to-end over the in-memory transport --- *)
+
+let with_loopback f =
+  let svc = Service.create () in
+  let server = Server.create svc in
+  let client = Client.loopback server in
+  f svc server client
+
+let e2e_identity () =
+  with_loopback @@ fun svc _server client ->
+  Client.ping client;
+  let bytes = Lazy.force hello_bytes in
+  let h = Client.submit client bytes in
+  let h2 = Client.submit client bytes in
+  Alcotest.(check bool) "submit is idempotent" true (Int64.equal h h2);
+  (* interpreter + all four targets × SFI on/off, against Api.run *)
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun sfi ->
+          let remote = Client.run ~engine ~sfi ~fuel client h in
+          let local =
+            Api.run
+              { Api.default_request with engine; sfi; fuel = Some fuel }
+              (Api.Wire bytes)
+          in
+          check_same_result
+            (Printf.sprintf "%s/sfi=%b" (Exec.engine_name engine) sfi)
+            local remote)
+        [ true; false ])
+    [ Exec.Interp; Exec.Target Arch.Mips; Exec.Target Arch.Sparc;
+      Exec.Target Arch.Ppc; Exec.Target Arch.X86 ];
+  (* warm runs hit the translation cache *)
+  let c = Service.stats svc in
+  Alcotest.(check int) "one module" 1 c.Counters.s_modules;
+  Alcotest.(check bool) "cache consulted" true (c.Counters.s_misses > 0);
+  let r1 = Client.run ~engine:(Exec.Target Arch.Mips) ~fuel client h in
+  let r2 = Client.run ~engine:(Exec.Target Arch.Mips) ~fuel client h in
+  check_same_result "warm = warm" r1 r2;
+  let c' = Service.stats svc in
+  Alcotest.(check bool) "hits advanced" true
+    (c'.Counters.s_hits > c.Counters.s_hits);
+  (* stats travel as JSON *)
+  let json = Client.stats_json client in
+  Alcotest.(check bool) "stats json mentions hits" true
+    (contains json "\"hits\":")
+
+let e2e_native_mode () =
+  with_loopback @@ fun _svc _server client ->
+  let bytes = Lazy.force hello_bytes in
+  let h = Client.submit client bytes in
+  let remote =
+    Client.run ~engine:(Exec.Target Arch.Ppc)
+      ~mode:(Msg.M_native Machine.Gcc) ~fuel client h
+  in
+  let local =
+    Api.run_exe ~engine:(Exec.Target Arch.Ppc) ~mode:(Machine.Native Machine.Gcc)
+      ~fuel (Omnivm.Wire.decode bytes)
+  in
+  check_same_result "native-gcc baseline over the wire" local remote
+
+(* --- hostile inputs --- *)
+
+(* Push raw bytes at the server and read back one raw frame. *)
+let raw_exchange server bytes =
+  let c, s = Transport.pair () in
+  Transport.on_stall c (fun () -> ignore (Server.step server s));
+  Transport.send c bytes;
+  let r = Frame.read (Transport.recv c) in
+  Transport.close c;
+  r
+
+let expect_error_resp what cls r =
+  match r with
+  | Ok fr -> (
+      match Msg.decode_resp fr with
+      | Ok (Msg.Error (c, _)) ->
+          Alcotest.(check string) what (Msg.err_class_name cls)
+            (Msg.err_class_name c)
+      | Ok _ -> Alcotest.failf "%s: expected Error response" what
+      | Error m -> Alcotest.failf "%s: bad response: %s" what m)
+  | Error e ->
+      Alcotest.failf "%s: no response frame: %s" what (Frame.error_to_string e)
+
+let hostile_frames () =
+  with_loopback @@ fun _svc server client ->
+  let alive what =
+    Client.ping client;
+    ignore what
+  in
+  let good = Frame.encode (Msg.encode_req Msg.Ping) in
+  (* bad magic *)
+  expect_error_resp "bad magic" Msg.E_decode
+    (raw_exchange server ("EVIL" ^ String.sub good 4 (String.length good - 4)));
+  alive "after bad magic";
+  (* foreign version *)
+  let bad_ver = Bytes.of_string good in
+  Bytes.set bad_ver 4 '\x07';
+  expect_error_resp "bad version" Msg.E_decode
+    (raw_exchange server (Bytes.to_string bad_ver));
+  alive "after bad version";
+  (* oversized declared length: build a header claiming 2 GiB *)
+  let oversized = Bytes.of_string good in
+  Bytes.set_int32_be oversized 6 0x7fff_ffffl;
+  expect_error_resp "oversized" Msg.E_limit_exceeded
+    (raw_exchange server (Bytes.to_string oversized));
+  alive "after oversized";
+  (* short read: header promises 64 payload bytes, stream ends early *)
+  let submit = Frame.encode (Msg.encode_req (Msg.Submit (String.make 64 'x'))) in
+  expect_error_resp "short read" Msg.E_decode
+    (raw_exchange server (String.sub submit 0 (String.length submit - 10)));
+  alive "after short read";
+  (* corrupt payload byte: checksum catches it *)
+  let corrupt = Bytes.of_string submit in
+  Bytes.set corrupt (Frame.header_size + 5) '\x00';
+  expect_error_resp "corrupt payload" Msg.E_decode
+    (raw_exchange server (Bytes.to_string corrupt));
+  alive "after corruption";
+  (* unknown request tag *)
+  expect_error_resp "unknown tag" Msg.E_decode
+    (raw_exchange server (Frame.encode { Frame.tag = 0x7f; payload = "" }));
+  alive "after unknown tag"
+
+let hostile_requests () =
+  with_loopback @@ fun _svc _server client ->
+  (* malformed module bytes *)
+  (match Client.submit client "not a module" with
+  | _ -> Alcotest.fail "server admitted garbage"
+  | exception Client.Remote_error (Msg.E_decode, _) -> ());
+  Client.ping client;
+  (* unknown handle *)
+  (match Client.run ~fuel client 0xdeadbeefL with
+  | _ -> Alcotest.fail "server ran a module it never saw"
+  | exception Client.Remote_error (Msg.E_unknown_handle, _) -> ());
+  Client.ping client;
+  (* a well-formed request still works on the very same connection *)
+  let h = Client.submit client (Lazy.force hello_bytes) in
+  let r = Client.run ~fuel client h in
+  Alcotest.(check int) "exit 0 after hostile traffic" 0 r.Exec.exit_code
+
+(* Corrupt the server's translation cache in place: the per-hit static
+   verifier must refuse to let the poisoned code reach a simulator, the
+   client must see a typed error, and the daemon must keep serving. *)
+let verifier_rejected () =
+  with_loopback @@ fun svc _server client ->
+  let bytes = Lazy.force hello_bytes in
+  let h = Client.submit client bytes in
+  let r = Client.run ~engine:(Exec.Target Arch.Mips) ~fuel client h in
+  Alcotest.(check int) "clean run first" 0 r.Exec.exit_code;
+  (* same bytes -> same handle on the server's own store *)
+  let local_h = Service.submit svc bytes in
+  (match Service.cached ~arch:Arch.Mips svc local_h with
+  | Some e -> (
+      match e.Cache.tr with
+      | Exec.T_risc p ->
+          let bad = if Risc.omni_sp = 20 then 21 else 20 in
+          p.Risc.code.(0) <-
+            Risc.mk Machine.Core (Risc.Store (Omnivm.Instr.W32, bad, bad, 0))
+      | Exec.T_x86 _ -> Alcotest.fail "mips entry is not risc?")
+  | None -> Alcotest.fail "no cached mips entry");
+  (match Client.run ~engine:(Exec.Target Arch.Mips) ~fuel client h with
+  | _ -> Alcotest.fail "poisoned cache entry reached the simulator"
+  | exception Client.Remote_error (Msg.E_verifier_rejected, _) -> ());
+  (* the daemon survives and other configurations still serve *)
+  Client.ping client;
+  let r = Client.run ~engine:(Exec.Target Arch.Sparc) ~fuel client h in
+  Alcotest.(check int) "sparc still serves" 0 r.Exec.exit_code
+
+(* --- the Api facade's remote path --- *)
+
+let api_remote_path () =
+  with_loopback @@ fun _svc _server client ->
+  let bytes = Lazy.force hello_bytes in
+  let local = Api.run_wire ~engine:"x86" ~fuel bytes in
+  let remote = Api.run_wire_remote ~remote:client ~engine:"x86" ~fuel bytes in
+  check_same_result "run_wire_remote = run_wire" local remote;
+  (* remote refusals surface as the local exceptions *)
+  (match Api.run_wire_remote ~remote:client ~engine:"x86" "garbage" with
+  | _ -> Alcotest.fail "garbage ran"
+  | exception Omnivm.Wire.Bad_module _ -> ());
+  match
+    Api.run
+      { Api.default_request with
+        engine = Exec.Target Arch.Ppc;
+        fuel = Some fuel;
+        remote = Some client }
+      (Api.Wire bytes)
+  with
+  | r -> Alcotest.(check int) "request-record remote run" 0 r.Exec.exit_code
+
+(* --- real Unix socket, daemon in a forked child --- *)
+
+let socket_skip reason = Printf.eprintf "net socket test: SKIP (%s)\n%!" reason
+
+let socket_e2e () =
+  if not Sys.unix then socket_skip "not a Unix platform"
+  else
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "omni_net_test_%d.sock" (Unix.getpid ()))
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    match Server.listen (Transport.Unix_sock path) with
+    | exception _ -> socket_skip "cannot bind a Unix-domain socket"
+    | listen_fd -> (
+        match Unix.fork () with
+        | exception _ ->
+            Unix.close listen_fd;
+            (try Sys.remove path with Sys_error _ -> ());
+            socket_skip "cannot fork"
+        | 0 ->
+            (* child: a daemon — sequential accept loop, killed by the
+               parent. _exit so alcotest's at_exit never runs here. *)
+            (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+             with Invalid_argument _ -> ());
+            let svc = Service.create () in
+            let server = Server.create svc in
+            (try Server.serve server listen_fd with _ -> ());
+            Unix._exit 0
+        | pid ->
+            Unix.close listen_fd;
+            Fun.protect
+              ~finally:(fun () ->
+                (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                ignore (Unix.waitpid [] pid);
+                try Sys.remove path with Sys_error _ -> ())
+              (fun () ->
+                (* wait for the daemon to come up *)
+                let rec conn tries =
+                  match Transport.connect (Transport.Unix_sock path) with
+                  | c -> c
+                  | exception Unix.Unix_error _ when tries > 0 ->
+                      Unix.sleepf 0.05;
+                      conn (tries - 1)
+                in
+                let c = conn 100 in
+                Transport.set_read_timeout c 30.;
+                let client = Client.of_conn c in
+                Client.ping client;
+                let bytes = Lazy.force hello_bytes in
+                let h = Client.submit client bytes in
+                let remote =
+                  Client.run ~engine:(Exec.Target Arch.X86) ~fuel client h
+                in
+                let local =
+                  Api.run_wire ~engine:"x86" ~fuel bytes
+                in
+                check_same_result "socket run = local run" local remote;
+                (* hostile frame on a second connection; the daemon
+                   answers with a typed error and survives *)
+                let c2 = Transport.connect (Transport.Unix_sock path) in
+                Transport.set_read_timeout c2 30.;
+                let good = Frame.encode (Msg.encode_req Msg.Ping) in
+                Transport.send c2
+                  ("EVIL" ^ String.sub good 4 (String.length good - 4));
+                expect_error_resp "socket bad magic" Msg.E_decode
+                  (Frame.read (Transport.recv c2));
+                Transport.close c2;
+                (* warm run on a fresh connection: the daemon's cache hits *)
+                let c3 = Transport.connect (Transport.Unix_sock path) in
+                Transport.set_read_timeout c3 30.;
+                let client3 = Client.of_conn c3 in
+                let h3 = Client.submit client3 bytes in
+                let again =
+                  Client.run ~engine:(Exec.Target Arch.X86) ~fuel client3 h3
+                in
+                check_same_result "warm socket run" remote again;
+                let json = Client.stats_json client3 in
+                Alcotest.(check bool) "daemon reports a cache hit" true
+                  (hits_positive json);
+                Client.close client3;
+                Client.close client))
+
+let () =
+  Alcotest.run "net"
+    [ ("frame",
+       [ Alcotest.test_case "roundtrip" `Quick frame_roundtrip;
+         Alcotest.test_case "hostile bytes" `Quick frame_hostile;
+         qcheck_frame_total ]);
+      ("message",
+       [ qcheck_message_roundtrip; qcheck_message_corruption ]);
+      ("e2e",
+       [ Alcotest.test_case "identity across engines × SFI" `Quick
+           e2e_identity;
+         Alcotest.test_case "native baseline mode" `Quick e2e_native_mode;
+         Alcotest.test_case "api remote path" `Quick api_remote_path ]);
+      ("hostile",
+       [ Alcotest.test_case "frames" `Quick hostile_frames;
+         Alcotest.test_case "requests" `Quick hostile_requests;
+         Alcotest.test_case "verifier rejection" `Quick verifier_rejected ]);
+      ("socket", [ Alcotest.test_case "daemon over unix socket" `Quick socket_e2e ]) ]
