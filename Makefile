@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke trace-smoke net-smoke clean
+.PHONY: check build test bench bench-smoke trace-smoke net-smoke fault-smoke clean
 
 check: ## full tier-1 verification: build + every test suite + smokes
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke
 
 build:
 	dune build
@@ -54,6 +54,24 @@ net-smoke:
 	echo "$$out" | grep -Eq '"hits":[1-9]' || \
 	  { echo "net-smoke: FAIL (no cache hit on the warm run)"; exit 1; }; \
 	echo "net-smoke: OK (second remote run hit the daemon cache)"
+
+# Resilience smoke: run the quickstart module through the in-process
+# loopback with seeded fault injection on the wire and a retrying
+# client, and insist the output is identical to a clean run. Exercises
+# the fault injector, the retry loop, and the typed-error path end to
+# end from the CLI.
+fault-smoke:
+	dune build examples/quickstart.exe bin/omnirun.exe
+	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null
+	@clean=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --loopback) || \
+	  { echo "fault-smoke: FAIL (clean loopback run errored)"; exit 1; }; \
+	faulty=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --loopback --fault-rate 0.05 --fault-seed 42 --retries 8) || \
+	  { echo "fault-smoke: FAIL (faulty loopback run errored)"; exit 1; }; \
+	[ "$$clean" = "$$faulty" ] || \
+	  { echo "fault-smoke: FAIL (output differs under fault injection)"; exit 1; }; \
+	echo "fault-smoke: OK (identical output at fault rate 0.05)"
 
 clean:
 	dune clean

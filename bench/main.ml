@@ -17,7 +17,7 @@ module W = Omni_workloads.Workloads
 let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
     "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
-    "phases"; "bechamel" ]
+    "resilience"; "phases"; "bechamel" ]
 
 let run_section ~size name =
   let t0 = Unix.gettimeofday () in
@@ -35,6 +35,7 @@ let run_section ~size name =
   | "speed" -> print_string (E.translation_speed ~size)
   | "service" -> print_string (E.service_amortization ~size)
   | "remote" -> print_string (E.remote_overhead ~size)
+  | "resilience" -> print_string (E.resilience ~size)
   | "phases" -> print_string (E.phase_breakdown ~size)
   | "bechamel" -> Bechamel_bench.run ~size
   | other -> Printf.eprintf "unknown section %s\n" other);

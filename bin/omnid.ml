@@ -2,6 +2,8 @@
 
      omnid --socket PATH | --port N [--host ADDR]
            [--cache-capacity N] [--max-frame BYTES] [--timeout SECS]
+           [--max-module-bytes N] [--max-fuel N]
+           [--max-requests-per-conn N] [--max-conn-bytes N]
            [--metrics] [--trace | --trace-file FILE] [--once]
 
    Listens on a Unix-domain socket (--socket) or TCP (--port), and
@@ -28,6 +30,10 @@ let () =
   let cache_capacity = ref 256 in
   let max_frame = ref Net.Frame.max_payload in
   let timeout = ref 30.0 in
+  let max_module_bytes = ref 0 in
+  let max_fuel = ref 0 in
+  let max_requests_per_conn = ref 0 in
+  let max_conn_bytes = ref 0 in
   let metrics_dump = ref false in
   let trace_file = ref "" in
   let trace_flag = ref false in
@@ -44,6 +50,14 @@ let () =
          Net.Frame.max_payload);
       ("--timeout", Arg.Set_float timeout,
        " per-request read timeout in seconds; 0 disables (default 30)");
+      ("--max-module-bytes", Arg.Set_int max_module_bytes,
+       "N largest module a Submit may carry; 0 = unlimited (default)");
+      ("--max-fuel", Arg.Set_int max_fuel,
+       "N fuel ceiling per Run; 0 = unlimited (default)");
+      ("--max-requests-per-conn", Arg.Set_int max_requests_per_conn,
+       "N requests admitted per connection; 0 = unlimited (default)");
+      ("--max-conn-bytes", Arg.Set_int max_conn_bytes,
+       "N frame bytes admitted per connection; 0 = unlimited (default)");
       ("--metrics", Arg.Set metrics_dump,
        " dump the metrics registry to stderr on exit");
       ("--trace", Arg.Set trace_flag,
@@ -85,7 +99,15 @@ let () =
   in
   let server =
     Net.Server.create
-      ~config:{ Net.Server.max_frame = !max_frame; read_timeout_s = !timeout }
+      ~config:
+        {
+          Net.Server.max_frame = !max_frame;
+          read_timeout_s = !timeout;
+          max_module_bytes = !max_module_bytes;
+          max_fuel = !max_fuel;
+          max_requests_per_conn = !max_requests_per_conn;
+          max_conn_bytes = !max_conn_bytes;
+        }
       ?tracer svc
   in
   if !metrics_dump then

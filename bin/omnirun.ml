@@ -4,12 +4,26 @@
 
      omnirun [--trace[=FILE]] [run] module.omni
              [--engine interp|mips|sparc|ppc|x86] [--no-sfi] [--stats]
-             [--remote ADDR]
+             [--remote ADDR] [--read-timeout SECS]
+             [--retries N] [--retry-base SECS] [--retry-deadline SECS]
+             [--fallback-local]
+             [--loopback] [--fault-rate P] [--fault-seed N]
 
    With --remote, the module is submitted to a live omnid daemon (ADDR
    is a Unix-socket path or host:port) and executed there; output, exit
    code, and statistics are the daemon's, bit-identical to a local run.
    --stats then additionally prints the daemon's service counters.
+
+   Resilience: --retries N arms a retry policy (N attempts, exponential
+   backoff from --retry-base, overall --retry-deadline) under which
+   transient failures — timeouts, lost connections, frames damaged in
+   transit — re-dial and re-send; --fallback-local degrades to
+   in-process execution when the daemon stays unreachable (the result
+   is identical — execution is deterministic). --loopback serves the
+   request from an in-process daemon over the in-memory transport; with
+   --fault-rate P each frame is damaged with probability P (seeded by
+   --fault-seed, so runs reproduce) — the fault-smoke check drives
+   exactly this.
 
    Serving mode — many loads of few modules through the content-addressed
    store and memoizing translation cache:
@@ -94,13 +108,39 @@ let run_single trace args =
   let sfi = ref true in
   let stats = ref false in
   let remote = ref "" in
+  let read_timeout = ref 0.0 in
+  let retries = ref 0 in
+  let retry_base = ref Omni_net.Retry.default.Omni_net.Retry.base_delay_s in
+  let retry_deadline = ref Omni_net.Retry.default.Omni_net.Retry.deadline_s in
+  let fallback_local = ref false in
+  let loopback = ref false in
+  let fault_rate = ref 0.0 in
+  let fault_seed = ref 42 in
   let spec =
     [ ("--engine", Arg.Set_string engine,
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
       ("--stats", Arg.Set stats, " print execution statistics");
       ("--remote", Arg.Set_string remote,
-       "ADDR submit + run on a live omnid (socket path or host:port)") ]
+       "ADDR submit + run on a live omnid (socket path or host:port)");
+      ("--read-timeout", Arg.Set_float read_timeout,
+       "SECS bound each response read; 0 = no bound (default)");
+      ("--retries", Arg.Set_int retries,
+       "N retry transient failures, N attempts total (default 0 = off)");
+      ("--retry-base", Arg.Set_float retry_base,
+       Printf.sprintf "SECS first-retry delay, doubling after (default %g)"
+         Omni_net.Retry.default.Omni_net.Retry.base_delay_s);
+      ("--retry-deadline", Arg.Set_float retry_deadline,
+       Printf.sprintf "SECS overall retry budget (default %g)"
+         Omni_net.Retry.default.Omni_net.Retry.deadline_s);
+      ("--fallback-local", Arg.Set fallback_local,
+       " run in-process if the daemon stays unreachable");
+      ("--loopback", Arg.Set loopback,
+       " serve from an in-process daemon over the in-memory transport");
+      ("--fault-rate", Arg.Set_float fault_rate,
+       "P damage each loopback frame with probability P (default 0)");
+      ("--fault-seed", Arg.Set_int fault_seed,
+       "N PRNG seed for --fault-rate (default 42)") ]
   in
   Arg.parse_argv args spec
     (fun f ->
@@ -113,25 +153,70 @@ let run_single trace args =
       exit 2
   | Some path ->
       let eng = parse_engine ~who:"omnirun" !engine in
+      if !fault_rate > 0.0 && not !loopback then begin
+        prerr_endline "omnirun: --fault-rate requires --loopback";
+        exit 2
+      end;
+      let retry =
+        if !retries <= 0 then None
+        else
+          Some
+            {
+              Omni_net.Retry.default with
+              Omni_net.Retry.max_attempts = !retries;
+              base_delay_s = !retry_base;
+              deadline_s = !retry_deadline;
+            }
+      in
       let client =
-        if !remote = "" then None
+        if !loopback then begin
+          let svc = Service.create () in
+          let server = Omni_net.Server.create svc in
+          let fault =
+            if !fault_rate > 0.0 then
+              Some
+                (Omni_net.Fault.arm
+                   ~metrics:(Service.metrics svc)
+                   (Omni_net.Fault.seeded ~seed:!fault_seed ~rate:!fault_rate
+                      ()))
+            else None
+          in
+          (* manual-clock env: the backoff schedule runs without real
+             sleeping — loopback retries are instantaneous *)
+          Some
+            (Omni_net.Client.loopback ?retry
+               ~env:(Omni_net.Retry.manual_env ())
+               ?fault server)
+        end
+        else if !remote = "" then None
         else
           match Omni_net.Transport.parse_address !remote with
           | Error msg ->
               Printf.eprintf "omnirun: %s\n" msg;
               exit 2
           | Ok addr -> (
-              try Some (Omni_net.Client.connect addr)
-              with Unix.Unix_error (e, _, _) ->
+              try
+                Some
+                  (Omni_net.Client.connect ?retry
+                     ~read_timeout:!read_timeout addr)
+              with Unix.Unix_error (e, _, _) when not !fallback_local ->
                 Printf.eprintf "omnirun: cannot reach %s: %s\n" !remote
                   (Unix.error_message e);
-                exit 2)
+                exit 2
+              | Unix.Unix_error (e, _, _) ->
+                (* --fallback-local covers a dead daemon at dial time too *)
+                Printf.eprintf
+                  "omnirun: cannot reach %s (%s); running locally\n" !remote
+                  (Unix.error_message e);
+                None)
       in
       let code =
         with_tracer trace @@ fun tm ->
         let req =
           { Api.default_request with engine = eng; sfi = !sfi;
-            remote = client }
+            remote = client;
+            on_unreachable =
+              (if !fallback_local then `Fallback_local else `Fail) }
         in
         let result = Api.run req (Api.Wire (read_file path)) in
         print_string result.Api.output;
@@ -239,4 +324,14 @@ let () =
       exit 2
   | Omni_net.Client.Protocol_error msg ->
       Printf.eprintf "omnirun: protocol error: %s\n" msg;
+      exit 2
+  | Omni_net.Client.Connection_lost msg ->
+      Printf.eprintf "omnirun: connection lost: %s\n" msg;
+      exit 2
+  | Omni_net.Transport.Timeout ->
+      prerr_endline "omnirun: remote read timed out";
+      exit 2
+  | Invalid_argument msg ->
+      (* the local surface for resource-limit refusals, remote or not *)
+      Printf.eprintf "omnirun: limit exceeded: %s\n" msg;
       exit 2

@@ -74,6 +74,7 @@ type request = {
   trace : Trace.t option;
   service : Service.t option;
   remote : Net.Client.t option;
+  on_unreachable : [ `Fail | `Fallback_local ];
 }
 
 let default_request =
@@ -87,6 +88,7 @@ let default_request =
     trace = None;
     service = None;
     remote = None;
+    on_unreachable = `Fail;
   }
 
 (* A Machine.mode as it travels in a Run request. Only policies for the
@@ -126,10 +128,7 @@ let run_remote (client : Net.Client.t) (r : request) (src : source) :
       invalid_arg msg
 
 let run (r : request) (src : source) : run_result =
-  let go () =
-    match r.remote with
-    | Some client -> run_remote client r src
-    | None -> (
+  let local () =
     match r.service with
     | Some service ->
         (* The serving path: admission goes through the service's
@@ -164,7 +163,24 @@ let run (r : request) (src : source) : run_result =
                   else Machine.Mobile Omni_sfi.Policy.off
             in
             let tr = translate ~mode ?opts:r.opts arch exe in
-            run_translated ?fuel:r.fuel tr img))
+            run_translated ?fuel:r.fuel tr img)
+  in
+  let go () =
+    match r.remote with
+    | None -> local ()
+    | Some client -> (
+        try run_remote client r src with
+        | ( Net.Transport.Timeout
+          | Net.Client.Connection_lost _
+          | Unix.Unix_error _ ) as e -> (
+            (* The daemon is unreachable (past any retry policy the
+               client carries). Degrade to in-process execution if the
+               request allows — same bytes, same result. *)
+            match r.on_unreachable with
+            | `Fail -> raise e
+            | `Fallback_local ->
+                Trace.count "net.fallback";
+                local ()))
   in
   match r.trace with
   | None -> go () (* inherit whatever tracer is ambient *)

@@ -135,11 +135,19 @@ type request = {
           precedence over [service]; [map_host_region], [opts], and
           [trace] do not travel ([trace] still scopes the local client
           side) *)
+  on_unreachable : [ `Fail | `Fallback_local ];
+      (** what a remote run does when the daemon cannot be reached —
+          read timeout, lost connection, connect failure — after the
+          client's retry policy (if any) is exhausted: re-raise
+          ([`Fail], the default), or degrade to in-process execution
+          ([`Fallback_local]; deterministic execution makes the result
+          identical, and counter [net.fallback] records the
+          degradation) *)
 }
 
 val default_request : request
 (** Interpreter engine, SFI on, derived mode/opts, unlimited-ish fuel, no
-    host region, ambient tracing, no service. *)
+    host region, ambient tracing, no service, no fallback. *)
 
 val run : request -> source -> run_result
 (** The one entry point: load + translate + run as specified by the

@@ -658,6 +658,101 @@ let remote_overhead ~size =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Resilience under injected faults: the same serving loop as
+   remote_overhead, but the loopback wire is wrapped in the seeded fault
+   injector and the client retries under a manual clock (backoff is
+   accounted, never actually slept). Every run's output is still
+   validated bit-for-bit against the in-process service — the claim is
+   not "it mostly works", it is "a faulty wire costs retries, never
+   answers". *)
+let resilience ~size =
+  let module Svc = Omni_service.Service in
+  let module Exec = Omni_service.Exec in
+  let module Net = Omni_net in
+  let ws = workloads ~size in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Resilience: loopback serving throughput under seeded fault injection\n\
+     (drop/corrupt/truncate/stall/close at rate p per frame), retrying\n\
+     client, manual clock. Outputs validated against the local service.\n\n";
+  let fuel = 4_000_000_000 in
+  let prepared =
+    List.map
+      (fun (w : Omni_workloads.Workloads.t) ->
+        let p = prepare w in
+        (p, Omnivm.Wire.encode p.p_exe))
+      ws
+  in
+  let svc_l = Svc.create () in
+  let local_handles =
+    List.map (fun (p, bytes) -> (p, Svc.submit svc_l bytes)) prepared
+  in
+  let local_output arch h =
+    (Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc_l h).Exec.output
+  in
+  let rounds = 3 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %10s %10s %10s %10s %12s\n" "rate" "requests"
+       "injected" "retries" "rejected" "round (ms)");
+  List.iter
+    (fun rate ->
+      let svc = Svc.create () in
+      let server = Net.Server.create svc in
+      let retry = { Net.Retry.default with max_attempts = 12 } in
+      let env = Net.Retry.manual_env () in
+      let armed =
+        if rate > 0. then
+          Some
+            (Net.Fault.arm ~metrics:(Svc.metrics svc)
+               (Net.Fault.seeded ~seed:42 ~rate ()))
+        else None
+      in
+      let client = Net.Client.loopback ~retry ~env ?fault:armed server in
+      (* retry/fallback counters land on the ambient tracer's registry;
+         point it at the service's so one snapshot tells the story *)
+      let tracer =
+        Omni_obs.Trace.make ~metrics:(Svc.metrics svc) Omni_obs.Trace.Null
+      in
+      Omni_obs.Trace.with_current tracer @@ fun () ->
+      let handles =
+        List.map
+          (fun (p, bytes) -> (p, Net.Client.submit client bytes))
+          prepared
+      in
+      let round () =
+        List.iter
+          (fun arch ->
+            List.iter
+              (fun (p, h) ->
+                let r =
+                  Net.Client.run ~engine:(Exec.Target arch) ~fuel client h
+                in
+                let lh = List.assq p local_handles in
+                if not (String.equal r.Exec.output (local_output arch lh))
+                then
+                  fail "resilience: %s/%s wrong output at fault rate %g"
+                    p.p_name (Arch.name arch) rate)
+              handles)
+          all_archs
+      in
+      let t0 = Sys.time () in
+      for _ = 1 to rounds do
+        round ()
+      done;
+      let per_round = 1e3 *. (Sys.time () -. t0) /. float_of_int rounds in
+      let reg = Svc.metrics svc in
+      let c name = Omni_obs.Metrics.value (Omni_obs.Metrics.counter reg name) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-8g %10d %10d %10d %10d %12.2f\n" rate
+           (c "net.requests")
+           (match armed with
+           | Some a -> Net.Fault.injected a
+           | None -> 0)
+           (c "net.retry") (c "net.limit.rejected") per_round))
+    [ 0.0; 0.01; 0.05 ];
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 let all_tables ~size =
   String.concat "\n"
     [ table1 ~size; table2 ~size; table3 ~size; table4 ~size; table5 ~size;

@@ -98,4 +98,11 @@ val remote_overhead : size:Omni_workloads.Workloads.size -> string
     requests on the in-process service — the protocol cost of serving
     mobile code over a wire, plus the per-ping protocol floor. *)
 
+val resilience : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: loopback serving throughput under seeded fault
+    injection ({!Omni_net.Fault}) at rates 0 / 1% / 5% per frame, with a
+    retrying client on a manual clock. Every run's output is validated
+    against the in-process service; reports requests, injected faults,
+    retries, and round time per rate. *)
+
 val all_tables : size:Omni_workloads.Workloads.size -> string

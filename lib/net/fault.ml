@@ -1,0 +1,235 @@
+(* Fault injection: a plan of wire misbehaviour applied to any transport.
+
+   The wrapper interposes on send/recv. On the send path one send call is
+   one protocol frame (the codec writes exactly one frame per call), so
+   frame sites are exact; on the receive path frame boundaries are
+   recovered by tracking the 18-byte headers of the passing stream, so a
+   plan can target "response frame 1, byte 3" as precisely as the sender
+   could. The tracker always follows the ORIGINAL bytes — a corrupted
+   length field confuses the peer, not the injector.
+
+   State is split deliberately: what fired and how often lives in the
+   armed plan (shared across every connection it wraps, so a single-fault
+   plan fires once even when a retrying client re-dials), while wire
+   damage (cut, stalled) and stream positions live per connection (a
+   fresh dial is an undamaged wire). *)
+
+module Metrics = Omni_obs.Metrics
+module Lcg = Omni_util.Lcg
+
+type kind = Drop | Corrupt | Truncate | Stall | Close
+type dir = Send | Recv
+type site = Frame of int | Byte of int
+
+type plan =
+  | Fault of { kind : kind; dir : dir; site : site; skew : int }
+  | Seeded of { seed : int; rate : float; kinds : kind list }
+
+let fault ?(skew = 0) kind dir site =
+  if skew < 0 then invalid_arg "Fault.fault: negative skew";
+  Fault { kind; dir; site; skew }
+
+let all_kinds = [ Drop; Corrupt; Truncate; Stall; Close ]
+
+let seeded ?(kinds = all_kinds) ~seed ~rate () =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Fault.seeded: rate not in [0,1]";
+  if kinds = [] then invalid_arg "Fault.seeded: empty kind list";
+  Seeded { seed; rate; kinds }
+
+let kind_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Truncate -> "truncate"
+  | Stall -> "stall"
+  | Close -> "close"
+
+type armed = {
+  plan : plan;
+  rng : Lcg.t;
+  mutable fired : bool; (* single-fault plans fire once, globally *)
+  mutable count : int;
+  counter : Metrics.counter option;
+}
+
+let arm ?metrics plan =
+  let seed = match plan with Seeded s -> s.seed | Fault _ -> 0 in
+  {
+    plan;
+    rng = Lcg.create seed;
+    fired = false;
+    count = 0;
+    counter =
+      Option.map (fun m -> Metrics.counter m "net.fault.injected") metrics;
+  }
+
+let injected a = a.count
+
+let record a =
+  a.count <- a.count + 1;
+  match a.counter with Some c -> Metrics.incr c | None -> ()
+
+let pick_kind a kinds =
+  let ks = Array.of_list kinds in
+  ks.(Lcg.int a.rng (Array.length ks))
+
+let flip c = Char.chr (Char.code c lxor 0xa5)
+
+let wrap a inner =
+  (* per-connection wire damage *)
+  let cut = ref false in
+  let stalled = ref false in
+  (* send side: one frame per send call *)
+  let sent_frames = ref 0 in
+  let sent_bytes = ref 0 in
+  (* recv side: frame boundaries recovered from passing headers *)
+  let rpos = ref 0 in
+  let rframe = ref 0 in
+  let rhdr = Bytes.create Frame.header_size in
+  let rhdr_got = ref 0 in
+  let rbody_left = ref 0 in
+  let rtrigger = ref None in
+  let dropping = ref false in
+
+  let send_fn s =
+    if !cut || !stalled then ()
+    else begin
+      let len = String.length s in
+      let decision =
+        match a.plan with
+        | Fault f when f.dir = Send && not a.fired -> (
+            match f.site with
+            | Frame k when k = !sent_frames ->
+                Some (f.kind, min f.skew (max 0 (len - 1)))
+            | Byte p when p >= !sent_bytes && p < !sent_bytes + len ->
+                Some (f.kind, p - !sent_bytes)
+            | _ -> None)
+        | Seeded sd when Lcg.float a.rng < sd.rate ->
+            Some (pick_kind a sd.kinds, if len = 0 then 0 else Lcg.int a.rng len)
+        | _ -> None
+      in
+      sent_frames := !sent_frames + 1;
+      sent_bytes := !sent_bytes + len;
+      match decision with
+      | None -> Transport.send inner s
+      | Some (k, off) -> (
+          (match a.plan with Fault _ -> a.fired <- true | Seeded _ -> ());
+          record a;
+          match k with
+          | Corrupt ->
+              let b = Bytes.of_string s in
+              Bytes.set b off (flip (Bytes.get b off));
+              Transport.send inner (Bytes.unsafe_to_string b)
+          | Drop -> ()
+          | Truncate ->
+              Transport.send inner (String.sub s 0 off);
+              cut := true
+          | Stall ->
+              (* the frame vanishes and the answering read times out *)
+              stalled := true
+          | Close ->
+              Transport.close inner;
+              cut := true)
+    end
+  in
+
+  let end_frame () =
+    incr rframe;
+    rhdr_got := 0;
+    dropping := false
+  in
+  (* Rewrite the [n] freshly received bytes at [buf[pos..]] in place,
+     compacting survivors to the front; returns the survivor count and
+     may set [cut]/[stalled]. *)
+  let transform buf pos n =
+    let out = ref 0 in
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < n do
+      let abs = !rpos + !i in
+      let orig = Bytes.get buf (pos + !i) in
+      (* at a frame start, arm this frame's trigger if the plan says so *)
+      if !rhdr_got = 0 && !rtrigger = None then begin
+        match a.plan with
+        | Fault f when f.dir = Recv && not a.fired -> (
+            match f.site with
+            | Frame k when k = !rframe ->
+                rtrigger := Some (abs + f.skew, f.kind)
+            | Byte p when p >= abs -> rtrigger := Some (p, f.kind)
+            | _ -> ())
+        | Seeded sd ->
+            if Lcg.float a.rng < sd.rate then
+              rtrigger :=
+                Some
+                  ( abs + Lcg.int a.rng (2 * Frame.header_size),
+                    pick_kind a sd.kinds )
+        | _ -> ()
+      end;
+      (match !rtrigger with
+      | Some (t, k) when abs = t -> (
+          rtrigger := None;
+          let live =
+            match a.plan with Fault _ -> not a.fired | Seeded _ -> true
+          in
+          if live then begin
+            (match a.plan with Fault _ -> a.fired <- true | Seeded _ -> ());
+            record a;
+            match k with
+            | Corrupt -> Bytes.set buf (pos + !i) (flip orig)
+            | Drop -> dropping := true
+            | Truncate ->
+                cut := true;
+                stop := true
+            | Stall ->
+                stalled := true;
+                stop := true
+            | Close ->
+                Transport.close inner;
+                cut := true;
+                stop := true
+          end)
+      | _ -> ());
+      if not !stop then begin
+        if not !dropping then begin
+          Bytes.set buf (pos + !out) (Bytes.get buf (pos + !i));
+          incr out
+        end;
+        (* advance the tracker with the original byte — the true stream
+           structure, even when the emitted byte was corrupted *)
+        if !rhdr_got < Frame.header_size then begin
+          Bytes.set rhdr !rhdr_got orig;
+          incr rhdr_got;
+          if !rhdr_got = Frame.header_size then begin
+            rbody_left :=
+              Int32.to_int (Bytes.get_int32_be rhdr 6) land 0xffffffff;
+            if !rbody_left = 0 then end_frame ()
+          end
+        end
+        else begin
+          decr rbody_left;
+          if !rbody_left = 0 then end_frame ()
+        end;
+        incr i
+      end
+    done;
+    rpos := !rpos + n;
+    !out
+  in
+  let rec recv_fn buf pos len =
+    if !stalled then raise Transport.Timeout;
+    if !cut then 0
+    else
+      let n = Transport.recv inner buf pos len in
+      if n = 0 then 0
+      else
+        let out = transform buf pos n in
+        if out > 0 then out
+        else if !stalled then raise Transport.Timeout
+        else if !cut then 0
+        else (* every byte was swallowed; pull more *) recv_fn buf pos len
+  in
+  Transport.make
+    ~descr:("fault:" ^ Transport.descr inner)
+    ~close:(fun () -> Transport.close inner)
+    ~set_timeout:(Transport.set_read_timeout inner)
+    ~recv:recv_fn ~send:send_fn ()

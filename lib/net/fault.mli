@@ -1,0 +1,74 @@
+(** Deterministic fault injection for the distribution protocol.
+
+    A fault {e plan} says what goes wrong on the wire and where; {!wrap}
+    applies it to any {!Transport.conn} — the in-memory pair and real
+    sockets misbehave identically. The network analogue of the fail-stop
+    discipline SFI applies to memory: the resilience suite uses plans to
+    prove every injected fault becomes a typed, observable, recoverable
+    event (see [test/test_fault.ml]).
+
+    One {!arm}ed plan can wrap many connections in sequence (a retrying
+    client re-dials after a fault): a single-fault plan fires exactly once
+    across all of them, a {!seeded} plan keeps rolling its dice; the
+    {!injected} count and the [net.fault.injected] counter span the whole
+    sequence. Frame and byte positions are counted per connection. *)
+
+(** What goes wrong with the targeted bytes. *)
+type kind =
+  | Drop  (** the frame vanishes; the stream continues after it *)
+  | Corrupt  (** one byte is flipped in place *)
+  | Truncate  (** a prefix is delivered, then the wire is cut *)
+  | Stall
+      (** nothing more arrives and the read raises {!Transport.Timeout} —
+          even on the in-memory pair, so timeout handling is testable
+          without real sockets or real waiting *)
+  | Close  (** the underlying connection is closed outright *)
+
+(** Which direction of the wrapped connection's traffic is faulted. *)
+type dir = Send | Recv
+
+(** Where the fault strikes: the [n]-th protocol frame in that direction
+    (0-based; [skew] bytes into the frame), or an absolute byte offset of
+    the direction's stream. On the send path a frame is one [send] call
+    (the codec writes exactly one frame per call); on the receive path
+    frame boundaries are recovered by tracking the 18-byte headers. *)
+type site = Frame of int | Byte of int
+
+type plan =
+  | Fault of { kind : kind; dir : dir; site : site; skew : int }
+      (** one fault, at one place, once *)
+  | Seeded of { seed : int; rate : float; kinds : kind list }
+      (** probabilistic mode: each frame in either direction is faulted
+          independently with probability [rate], with kind and offset
+          drawn from a {!Omni_util.Lcg} stream seeded by [seed] — fully
+          reproducible *)
+
+val fault : ?skew:int -> kind -> dir -> site -> plan
+(** [skew] (default 0) offsets a [Frame] site into the frame; ignored
+    for [Byte] sites. *)
+
+val seeded : ?kinds:kind list -> seed:int -> rate:float -> unit -> plan
+(** [kinds] defaults to all five. @raise Invalid_argument unless
+    [0. <= rate <= 1.]. *)
+
+val kind_name : kind -> string
+
+(** An armed plan: the plan plus its cross-connection state (fired flag,
+    PRNG position, injection count). *)
+type armed
+
+val arm : ?metrics:Omni_obs.Metrics.t -> plan -> armed
+(** [metrics], when given, receives counter [net.fault.injected] — pass
+    the serving registry so injected faults land next to the [net.*]
+    serving counters they explain. *)
+
+val injected : armed -> int
+(** How many faults this armed plan has injected so far, across every
+    connection it wrapped. *)
+
+val wrap : armed -> Transport.conn -> Transport.conn
+(** The same connection, misbehaving per the plan. Bytes that survive
+    pass through unmodified and in order; [close] closes the underlying
+    connection. After a [Truncate]/[Close] fires the wire is cut: sends
+    are swallowed and reads report end of stream. After a [Stall] fires
+    every read raises {!Transport.Timeout}. *)

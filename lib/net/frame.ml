@@ -24,9 +24,21 @@ let error_to_string = function
   | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
   | Too_large { length; max } ->
       Printf.sprintf "declared payload length %d exceeds cap %d" length max
-  | Corrupt -> "payload checksum mismatch"
+  | Corrupt -> "frame checksum mismatch"
 
-let checksum payload = Omni_util.Fnv64.digest_string payload
+(* The checksum covers the header's semantic bytes — version, tag,
+   declared length — as well as the payload, so a single flipped bit
+   anywhere a decoder trusts surfaces as a typed error instead of a
+   checksum-valid frame with a nonsense tag. (Magic and version damage
+   are caught structurally before the checksum is consulted.) *)
+let checksum ~tag ~len payload =
+  let meta = Bytes.create 6 in
+  Bytes.set_uint8 meta 0 version;
+  Bytes.set_uint8 meta 1 tag;
+  Bytes.set_int32_be meta 2 (Int32.of_int len);
+  Omni_util.Fnv64.digest_string
+    ~seed:(Omni_util.Fnv64.digest_bytes meta)
+    payload
 
 let encode { tag; payload } =
   if tag < 0 || tag > 0xff then invalid_arg "Frame.encode: tag not one byte";
@@ -36,7 +48,7 @@ let encode { tag; payload } =
   Bytes.set_uint8 b 4 version;
   Bytes.set_uint8 b 5 tag;
   Bytes.set_int32_be b 6 (Int32.of_int len);
-  Bytes.set_int64_be b 10 (checksum payload);
+  Bytes.set_int64_be b 10 (checksum ~tag ~len payload);
   Bytes.blit_string payload 0 b header_size len;
   Bytes.unsafe_to_string b
 
@@ -66,7 +78,11 @@ let decode ?max s ~pos =
         if n - pos - header_size < len then Error Truncated
         else
           let payload = String.sub s (pos + header_size) len in
-          if not (Int64.equal (checksum payload) (String.get_int64_be s (pos + 10)))
+          if
+            not
+              (Int64.equal
+                 (checksum ~tag ~len payload)
+                 (String.get_int64_be s (pos + 10)))
           then Error Corrupt
           else Ok ({ tag; payload }, pos + header_size + len)
 
@@ -99,6 +115,8 @@ let read ?max (recv : bytes -> int -> int -> int) : (t, error) result =
           | Ok true ->
               let payload = Bytes.unsafe_to_string body in
               if
-                Int64.equal (checksum payload) (Bytes.get_int64_be header 10)
+                Int64.equal
+                  (checksum ~tag ~len payload)
+                  (Bytes.get_int64_be header 10)
               then Ok { tag; payload }
               else Error Corrupt))

@@ -8,7 +8,10 @@
     4       1     protocol version (1)
     5       1     message tag (interpreted by {!Message})
     6       4     payload length, big-endian unsigned
-    10      8     FNV-1a/64 checksum of the payload, big-endian
+    10      8     FNV-1a/64 checksum, big-endian — over version, tag,
+                  length, and payload, so one flipped bit anywhere a
+                  decoder trusts is a typed error, never a checksum-valid
+                  frame with a nonsense tag
     18      len   payload
     v}
 
@@ -42,7 +45,7 @@ type error =
   | Too_large of { length : int; max : int }
       (** declared payload length exceeds the cap — detected before
           allocating *)
-  | Corrupt  (** payload checksum mismatch *)
+  | Corrupt  (** checksum mismatch (tag, length, or payload damage) *)
 
 val error_to_string : error -> string
 

@@ -19,6 +19,7 @@ type err_class =
   | E_unknown_handle
   | E_limit_exceeded
   | E_internal
+  | E_bad_frame
 
 let err_class_name = function
   | E_decode -> "decode"
@@ -26,6 +27,7 @@ let err_class_name = function
   | E_unknown_handle -> "unknown-handle"
   | E_limit_exceeded -> "limit-exceeded"
   | E_internal -> "internal"
+  | E_bad_frame -> "bad-frame"
 
 let err_class_code = function
   | E_decode -> 0
@@ -33,6 +35,7 @@ let err_class_code = function
   | E_unknown_handle -> 2
   | E_limit_exceeded -> 3
   | E_internal -> 4
+  | E_bad_frame -> 5
 
 let err_class_of_code = function
   | 0 -> Some E_decode
@@ -40,6 +43,7 @@ let err_class_of_code = function
   | 2 -> Some E_unknown_handle
   | 3 -> Some E_limit_exceeded
   | 4 -> Some E_internal
+  | 5 -> Some E_bad_frame
   | _ -> None
 
 type mode_spec =

@@ -15,13 +15,19 @@ module Machine = Omni_targets.Machine
 
 (** Why a request was refused. *)
 type err_class =
-  | E_decode  (** malformed frame, message, or module bytes *)
+  | E_decode  (** malformed message or module bytes — resending the same
+                  bytes cannot help (terminal for clients) *)
   | E_verifier_rejected
       (** the static SFI verifier refused the (fresh or cached)
           translation *)
   | E_unknown_handle  (** a handle this server never issued *)
-  | E_limit_exceeded  (** frame-size / segment-fit / resource cap *)
+  | E_limit_exceeded  (** frame-size / segment-fit / admission cap *)
   | E_internal  (** anything else; the daemon survives it *)
+  | E_bad_frame
+      (** the frame itself was damaged in transit (bad magic/version,
+          truncation, checksum mismatch) — the request may never have
+          been seen intact, so resending it is safe and useful
+          (retryable for clients; see {!Omni_net.Retry}) *)
 
 val err_class_name : err_class -> string
 val err_class_code : err_class -> int

@@ -6,7 +6,12 @@
    decode, segment fit, handle lookup, SFI verification). Only a
    framing-level failure costs the connection — once the byte stream is
    out of sync there is no safe way to find the next frame — and even
-   then the client is told why first. *)
+   then the client is told why first.
+
+   On top of dispatch sit the admission quotas: module size, fuel
+   ceiling, per-connection request and byte caps. A quota refusal is an
+   ordinary E_limit_exceeded response — typed, counted
+   (net.limit.rejected), terminal for the client's retry policy. *)
 
 module Service = Omni_service.Service
 module Store = Omni_service.Store
@@ -16,9 +21,28 @@ module Metrics = Omni_obs.Metrics
 module Trace = Omni_obs.Trace
 module M = Message
 
-type config = { max_frame : int; read_timeout_s : float }
+type config = {
+  max_frame : int;
+  read_timeout_s : float;
+  max_module_bytes : int;
+  max_fuel : int;
+  max_requests_per_conn : int;
+  max_conn_bytes : int;
+}
 
-let default_config = { max_frame = Frame.max_payload; read_timeout_s = 30. }
+let default_config =
+  {
+    max_frame = Frame.max_payload;
+    read_timeout_s = 30.;
+    max_module_bytes = 0;
+    max_fuel = 0;
+    max_requests_per_conn = 0;
+    max_conn_bytes = 0;
+  }
+
+type session = { mutable s_requests : int; mutable s_bytes : int }
+
+let new_session () = { s_requests = 0; s_bytes = 0 }
 
 type t = {
   svc : Service.t;
@@ -36,6 +60,7 @@ type t = {
   req_stats : Metrics.counter;
   errors : Metrics.counter;
   frame_errors : Metrics.counter;
+  limit_rejected : Metrics.counter;
   timeouts : Metrics.counter;
   bytes_in : Metrics.counter;
   bytes_out : Metrics.counter;
@@ -62,6 +87,7 @@ let create ?(config = default_config) ?tracer svc =
     req_stats = c "net.req.stats";
     errors = c "net.errors";
     frame_errors = c "net.frame_errors";
+    limit_rejected = c "net.limit.rejected";
     timeouts = c "net.timeouts";
     bytes_in = c "net.bytes_in";
     bytes_out = c "net.bytes_out";
@@ -91,6 +117,13 @@ let dispatch t (req : M.req) : M.resp =
   match req with
   | M.Ping -> M.Pong
   | M.Stats -> M.Stats_json (Counters.to_json (Service.stats t.svc))
+  | M.Submit bytes when
+      t.cfg.max_module_bytes > 0
+      && String.length bytes > t.cfg.max_module_bytes ->
+      M.Error
+        ( M.E_limit_exceeded,
+          Printf.sprintf "module is %d bytes; this server admits at most %d"
+            (String.length bytes) t.cfg.max_module_bytes )
   | M.Submit bytes -> (
       match Service.submit t.svc bytes with
       | h ->
@@ -101,6 +134,14 @@ let dispatch t (req : M.req) : M.resp =
       | exception Invalid_argument msg -> M.Error (M.E_limit_exceeded, msg)
       | exception Store.Collision _ ->
           M.Error (M.E_internal, "content digest collision"))
+  | M.Run rs when
+      t.cfg.max_fuel > 0
+      && (match rs.M.rs_fuel with Some f -> f > t.cfg.max_fuel | None -> false)
+    ->
+      M.Error
+        ( M.E_limit_exceeded,
+          Printf.sprintf "fuel %d exceeds this server's ceiling of %d"
+            (Option.get rs.M.rs_fuel) t.cfg.max_fuel )
   | M.Run rs -> (
       match Hashtbl.find_opt t.handles rs.M.rs_handle with
       | None ->
@@ -109,9 +150,16 @@ let dispatch t (req : M.req) : M.resp =
               Printf.sprintf "no module %s on this server"
                 (Omni_util.Fnv64.to_hex rs.M.rs_handle) )
       | Some h -> (
+          (* an unfueled request runs under the server's ceiling, if any *)
+          let fuel =
+            match (rs.M.rs_fuel, t.cfg.max_fuel) with
+            | (Some _ as f), _ -> f
+            | None, 0 -> None
+            | None, m -> Some m
+          in
           match
             Service.instantiate ~engine:rs.M.rs_engine ~sfi:rs.M.rs_sfi
-              ?mode:(resolve_mode rs.M.rs_mode) ?fuel:rs.M.rs_fuel t.svc h
+              ?mode:(resolve_mode rs.M.rs_mode) ?fuel t.svc h
           with
           | r -> M.Ran r
           | exception Cache.Rejected msg ->
@@ -142,46 +190,81 @@ let handle_request t (req : M.req) : M.resp =
   resp
 
 let send_resp t conn resp =
+  (* every limit refusal, whatever produced it, is counted here *)
+  (match resp with
+  | M.Error (M.E_limit_exceeded, _) -> Metrics.incr t.limit_rejected
+  | _ -> ());
   let bytes = Frame.encode (M.encode_resp resp) in
   Metrics.incr ~by:(String.length bytes) t.bytes_out;
   Transport.send conn bytes
 
-let step t conn =
+(* A session-quota refusal: answer, count, drop the connection. The
+   client may re-dial for a fresh session. *)
+let over_quota t conn msg =
+  Metrics.incr t.requests;
+  Metrics.incr t.errors;
+  send_resp t conn (M.Error (M.E_limit_exceeded, msg));
+  `Closed
+
+let step ?session t conn =
   match Frame.read ~max:t.cfg.max_frame (Transport.recv conn) with
   | Error Frame.Eof -> `Closed
   | Error e ->
       (* Framing is lost: answer with a typed error, then drop the
-         connection. The daemon itself keeps serving. *)
+         connection. The daemon itself keeps serving. Every frame-level
+         failure — including an oversized declared length, which is
+         indistinguishable from a corrupted length field — is
+         E_bad_frame: damaged in transit, retryable. Size admission
+         proper (max_module_bytes) happens at dispatch, where the bytes
+         are intact and the refusal is honest. *)
       Metrics.incr t.frame_errors;
-      let cls =
-        match e with
-        | Frame.Too_large _ -> M.E_limit_exceeded
-        | _ -> M.E_decode
-      in
       Metrics.incr t.requests;
       Metrics.incr t.errors;
-      send_resp t conn (M.Error (cls, Frame.error_to_string e));
+      send_resp t conn (M.Error (M.E_bad_frame, Frame.error_to_string e));
       `Closed
-  | Ok fr ->
-      Metrics.incr
-        ~by:(Frame.header_size + String.length fr.Frame.payload)
-        t.bytes_in;
-      let resp =
-        match M.decode_req fr with
-        | Ok req -> handle_request t req
-        | Error msg ->
-            Metrics.incr t.requests;
-            Metrics.incr t.errors;
-            M.Error (M.E_decode, "bad request: " ^ msg)
+  | Ok fr -> (
+      let frame_bytes = Frame.header_size + String.length fr.Frame.payload in
+      Metrics.incr ~by:frame_bytes t.bytes_in;
+      let quota =
+        match session with
+        | None -> Ok ()
+        | Some s ->
+            s.s_requests <- s.s_requests + 1;
+            s.s_bytes <- s.s_bytes + frame_bytes;
+            if
+              t.cfg.max_requests_per_conn > 0
+              && s.s_requests > t.cfg.max_requests_per_conn
+            then
+              Error
+                (Printf.sprintf "connection exceeded its request cap of %d"
+                   t.cfg.max_requests_per_conn)
+            else if t.cfg.max_conn_bytes > 0 && s.s_bytes > t.cfg.max_conn_bytes
+            then
+              Error
+                (Printf.sprintf "connection exceeded its byte cap of %d"
+                   t.cfg.max_conn_bytes)
+            else Ok ()
       in
-      send_resp t conn resp;
-      `Handled
+      match quota with
+      | Error msg -> over_quota t conn msg
+      | Ok () ->
+          let resp =
+            match M.decode_req fr with
+            | Ok req -> handle_request t req
+            | Error msg ->
+                Metrics.incr t.requests;
+                Metrics.incr t.errors;
+                M.Error (M.E_decode, "bad request: " ^ msg)
+          in
+          send_resp t conn resp;
+          `Handled)
 
 let serve_conn t conn =
   Metrics.incr t.connections;
   Transport.set_read_timeout conn t.cfg.read_timeout_s;
+  let session = new_session () in
   let rec loop () =
-    match step t conn with
+    match step ~session t conn with
     | `Handled -> loop ()
     | `Closed -> ()
     | exception Transport.Timeout -> Metrics.incr t.timeouts

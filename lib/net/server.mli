@@ -6,18 +6,24 @@
     frame is untrusted, so every failure anywhere in
     decode/load/translate/verify/execute maps to a typed
     {!Message.Error} response and the process keeps serving. The only
-    way a connection ends is end-of-stream, a read timeout, or a frame
-    so malformed that framing sync is lost (bad magic, bad version,
-    oversized or corrupt frame) — and even then the {e daemon} survives;
-    only that connection closes, after the client is sent the typed
-    error.
+    way a connection ends is end-of-stream, a read timeout, a frame so
+    malformed that framing sync is lost (bad magic, bad version,
+    oversized or corrupt frame), or a blown session quota — and even
+    then the {e daemon} survives; only that connection closes, after the
+    client is sent the typed error.
+
+    Admission quotas ({!config}) bound what any one client can ask for:
+    module size, fuel per run, requests and bytes per connection. Every
+    quota refusal is an ordinary [E_limit_exceeded] response — typed,
+    terminal for the client's retry policy, and counted under
+    [net.limit.rejected].
 
     Observability: [net.*] counters (connections, requests by kind,
-    error responses by class, bytes in/out, frame errors, timeouts) are
-    registered in the service's own metrics registry, and every request
-    runs under a ["net.request"] span on the server's tracer, so remote
-    serving lands in the same registry/tracer as the rest of the
-    pipeline. *)
+    error responses by class, limit rejections, bytes in/out, frame
+    errors, timeouts) are registered in the service's own metrics
+    registry, and every request runs under a ["net.request"] span on the
+    server's tracer, so remote serving lands in the same registry/tracer
+    as the rest of the pipeline. *)
 
 module Service = Omni_service.Service
 
@@ -25,10 +31,21 @@ type config = {
   max_frame : int;  (** payload cap enforced before allocation *)
   read_timeout_s : float;
       (** per-request socket read timeout; 0. disables *)
+  max_module_bytes : int;
+      (** largest module a Submit may carry; 0 = unlimited *)
+  max_fuel : int;
+      (** fuel ceiling per Run: explicit requests above it are refused,
+          unfueled requests are clamped to it; 0 = unlimited *)
+  max_requests_per_conn : int;
+      (** requests admitted per connection before it is closed with a
+          limit refusal; 0 = unlimited *)
+  max_conn_bytes : int;
+      (** total frame bytes admitted per connection; 0 = unlimited *)
 }
 
 val default_config : config
-(** {!Frame.max_payload} and a 30 s read timeout. *)
+(** {!Frame.max_payload}, a 30 s read timeout, and every quota
+    unlimited. *)
 
 type t
 
@@ -40,23 +57,35 @@ val create : ?config:config -> ?tracer:Omni_obs.Trace.t -> Service.t -> t
 val service : t -> Service.t
 val config : t -> config
 
+(** Per-connection accounting for the session quotas. *)
+type session
+
+val new_session : unit -> session
+(** A fresh session — what {!serve_conn} opens per accepted connection,
+    and what the loopback client opens per dial. *)
+
 val handle_request : t -> Message.req -> Message.resp
 (** Dispatch one already-decoded request. Never raises: exceptions from
     the service layers are mapped to {!Message.Error} classes —
-    malformed module bytes to [E_decode], segment-fit violations to
-    [E_limit_exceeded], foreign handles to [E_unknown_handle], SFI
-    verifier refusals to [E_verifier_rejected], anything else to
-    [E_internal]. *)
+    malformed module bytes to [E_decode], quota and segment-fit
+    violations to [E_limit_exceeded], foreign handles to
+    [E_unknown_handle], SFI verifier refusals to [E_verifier_rejected],
+    anything else to [E_internal]. *)
 
-val step : t -> Transport.conn -> [ `Handled | `Closed ]
+val step : ?session:session -> t -> Transport.conn -> [ `Handled | `Closed ]
 (** Read one frame, answer it. [`Closed] means the connection is done:
-    clean end of stream, or a framing-level error (the typed [Error]
-    response is sent first). The in-memory loopback drives this
-    directly. *)
+    clean end of stream, a framing-level error, or a blown session quota
+    (the typed [Error] response is sent first). Every framing-level
+    error — bad magic, bad version, checksum mismatch, truncation, and
+    an oversized declared length (indistinguishable from a corrupted
+    length field) — answers [E_bad_frame], retryable; module-size
+    admission proper is [max_module_bytes], refused at dispatch with
+    [E_limit_exceeded]. Without [session] the per-connection quotas are
+    not enforced. The in-memory loopback drives this directly. *)
 
 val serve_conn : t -> Transport.conn -> unit
 (** [step] until [`Closed] (or a read timeout), then close the
-    connection. Never raises. *)
+    connection; runs under a fresh {!session}. Never raises. *)
 
 (** {1 Listening (sockets)} *)
 

@@ -27,6 +27,12 @@ type impl =
       mutable stall : (unit -> unit) option;
     }
   | Fd of { fd : Unix.file_descr; mutable timeout : float }
+  | Custom of {
+      c_recv : bytes -> int -> int -> int;
+      c_send : string -> unit;
+      c_close : unit -> unit;
+      c_timeout : float -> unit;
+    }
 
 type conn = { impl : impl; name : string; mutable closed : bool }
 
@@ -49,7 +55,18 @@ let pair ?(name = "mem") () =
 let on_stall c f =
   match c.impl with
   | Mem m -> m.stall <- Some f
-  | Fd _ -> invalid_arg "Transport.on_stall: socket connection"
+  | Fd _ | Custom _ -> invalid_arg "Transport.on_stall: not an in-memory pair"
+
+(* --- custom connections (wrappers, e.g. fault injectors) --- *)
+
+let make ?(descr = "custom") ?(close = Fun.id) ?(set_timeout = fun _ -> ())
+    ~recv ~send () =
+  {
+    impl =
+      Custom { c_recv = recv; c_send = send; c_close = close; c_timeout = set_timeout };
+    name = descr;
+    closed = false;
+  }
 
 (* --- common operations --- *)
 
@@ -62,12 +79,14 @@ let close c =
         m.inbox.eof <- true;
         m.outbox.eof <- true
     | Fd f -> ( try Unix.close f.fd with Unix.Unix_error _ -> ())
+    | Custom k -> k.c_close ()
   end
 
 let set_read_timeout c seconds =
   match c.impl with
   | Mem _ -> ()
   | Fd f -> f.timeout <- seconds
+  | Custom k -> k.c_timeout seconds
 
 let recv c b pos len =
   if len = 0 then 0
@@ -94,6 +113,7 @@ let recv c b pos len =
             ->
               0
         end)
+    | Custom k -> if c.closed then 0 else k.c_recv b pos len
 
 let send c s =
   match c.impl with
@@ -119,6 +139,7 @@ let send c s =
                next read *)
             ())
       end
+  | Custom k -> if c.closed then () else k.c_send s
 
 let of_fd ?(descr = "fd") fd =
   { impl = Fd { fd; timeout = 0. }; name = descr; closed = false }

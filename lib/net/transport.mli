@@ -50,7 +50,23 @@ val on_stall : conn -> (unit -> unit) -> unit
 (** Install a hook run when [recv] on this in-memory endpoint finds its
     queue empty — the loopback client uses it to hand control to the
     server so a synchronous request/response cycle needs no threads.
-    @raise Invalid_argument on a socket connection. *)
+    @raise Invalid_argument on a socket or custom connection. *)
+
+(** {1 Custom connections} *)
+
+val make :
+  ?descr:string ->
+  ?close:(unit -> unit) ->
+  ?set_timeout:(float -> unit) ->
+  recv:(bytes -> int -> int -> int) ->
+  send:(string -> unit) ->
+  unit ->
+  conn
+(** A connection whose operations are the given functions — how wrappers
+    (notably the {!Fault} injector) interpose on an existing connection.
+    [recv] has [Unix.read] semantics and may raise {!Timeout}; [close]
+    (default: nothing) runs once on the first {!close}; [set_timeout]
+    receives {!set_read_timeout} calls (default: ignored). *)
 
 (** {1 Sockets} *)
 

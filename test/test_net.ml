@@ -163,7 +163,7 @@ let qcheck_frame_total =
 let gen_err_class =
   QCheck.Gen.oneofl
     [ Msg.E_decode; Msg.E_verifier_rejected; Msg.E_unknown_handle;
-      Msg.E_limit_exceeded; Msg.E_internal ]
+      Msg.E_limit_exceeded; Msg.E_internal; Msg.E_bad_frame ]
 
 let gen_engine =
   QCheck.Gen.oneofl
@@ -387,36 +387,71 @@ let hostile_frames () =
   in
   let good = Frame.encode (Msg.encode_req Msg.Ping) in
   (* bad magic *)
-  expect_error_resp "bad magic" Msg.E_decode
+  expect_error_resp "bad magic" Msg.E_bad_frame
     (raw_exchange server ("EVIL" ^ String.sub good 4 (String.length good - 4)));
   alive "after bad magic";
   (* foreign version *)
   let bad_ver = Bytes.of_string good in
   Bytes.set bad_ver 4 '\x07';
-  expect_error_resp "bad version" Msg.E_decode
+  expect_error_resp "bad version" Msg.E_bad_frame
     (raw_exchange server (Bytes.to_string bad_ver));
   alive "after bad version";
   (* oversized declared length: build a header claiming 2 GiB *)
   let oversized = Bytes.of_string good in
   Bytes.set_int32_be oversized 6 0x7fff_ffffl;
-  expect_error_resp "oversized" Msg.E_limit_exceeded
+  expect_error_resp "oversized" Msg.E_bad_frame
     (raw_exchange server (Bytes.to_string oversized));
   alive "after oversized";
   (* short read: header promises 64 payload bytes, stream ends early *)
   let submit = Frame.encode (Msg.encode_req (Msg.Submit (String.make 64 'x'))) in
-  expect_error_resp "short read" Msg.E_decode
+  expect_error_resp "short read" Msg.E_bad_frame
     (raw_exchange server (String.sub submit 0 (String.length submit - 10)));
   alive "after short read";
   (* corrupt payload byte: checksum catches it *)
   let corrupt = Bytes.of_string submit in
   Bytes.set corrupt (Frame.header_size + 5) '\x00';
-  expect_error_resp "corrupt payload" Msg.E_decode
+  expect_error_resp "corrupt payload" Msg.E_bad_frame
     (raw_exchange server (Bytes.to_string corrupt));
   alive "after corruption";
   (* unknown request tag *)
   expect_error_resp "unknown tag" Msg.E_decode
     (raw_exchange server (Frame.encode { Frame.tag = 0x7f; payload = "" }));
   alive "after unknown tag"
+
+(* Frame payloads at the admission boundary: empty, exactly at the cap,
+   one byte over. The cap refusal is a framing-level E_bad_frame (an
+   oversized declared length is indistinguishable from a corrupted
+   length field); honest size admission is the server's module-byte
+   quota, tested in test_fault.ml. *)
+let frame_boundaries () =
+  let svc = Service.create () in
+  let cap = 64 in
+  let server =
+    Server.create
+      ~config:{ Server.default_config with Server.max_frame = cap }
+      svc
+  in
+  (* empty payload: Ping is an empty-payload frame *)
+  (match raw_exchange server (Frame.encode (Msg.encode_req Msg.Ping)) with
+  | Ok fr ->
+      Alcotest.(check bool) "empty-payload frame serves" true
+        (Msg.decode_resp fr = Ok Msg.Pong)
+  | Error e -> Alcotest.failf "no pong: %s" (Frame.error_to_string e));
+  (* a payload exactly at the cap clears framing: the message layer's
+     unknown-tag refusal proves the frame itself was admitted *)
+  expect_error_resp "payload at cap" Msg.E_decode
+    (raw_exchange server
+       (Frame.encode { Frame.tag = 0x7f; payload = String.make cap 'a' }));
+  (* one byte over the cap is refused at the framing layer *)
+  expect_error_resp "payload one over cap" Msg.E_bad_frame
+    (raw_exchange server
+       (Frame.encode { Frame.tag = 0x7f; payload = String.make (cap + 1) 'a' }));
+  (* and the server still serves *)
+  match raw_exchange server (Frame.encode (Msg.encode_req Msg.Ping)) with
+  | Ok fr ->
+      Alcotest.(check bool) "still serving after cap refusal" true
+        (Msg.decode_resp fr = Ok Msg.Pong)
+  | Error e -> Alcotest.failf "server died: %s" (Frame.error_to_string e)
 
 let hostile_requests () =
   with_loopback @@ fun _svc _server client ->
@@ -551,7 +586,7 @@ let socket_e2e () =
                 let good = Frame.encode (Msg.encode_req Msg.Ping) in
                 Transport.send c2
                   ("EVIL" ^ String.sub good 4 (String.length good - 4));
-                expect_error_resp "socket bad magic" Msg.E_decode
+                expect_error_resp "socket bad magic" Msg.E_bad_frame
                   (Frame.read (Transport.recv c2));
                 Transport.close c2;
                 (* warm run on a fresh connection: the daemon's cache hits *)
@@ -569,6 +604,81 @@ let socket_e2e () =
                 Client.close client3;
                 Client.close client))
 
+(* A daemon that stalls mid-frame: the first connection answers with 7
+   bytes of a Pong frame and then hangs past the client's read timeout.
+   The retrying client must classify the Transport.Timeout as transient,
+   re-dial, and succeed against the (by then well-behaved) daemon. *)
+let socket_stall_retry () =
+  if not Sys.unix then socket_skip "not a Unix platform"
+  else
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "omni_net_stall_%d.sock" (Unix.getpid ()))
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    match Server.listen (Transport.Unix_sock path) with
+    | exception _ -> socket_skip "cannot bind a Unix-domain socket"
+    | listen_fd -> (
+        match Unix.fork () with
+        | exception _ ->
+            Unix.close listen_fd;
+            (try Sys.remove path with Sys_error _ -> ());
+            socket_skip "cannot fork"
+        | 0 ->
+            (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+             with Invalid_argument _ -> ());
+            (* first connection: read the request, send a truncated
+               response, hang past the client's read timeout *)
+            (try
+               let fd, _ = Unix.accept listen_fd in
+               let conn = Transport.of_fd fd in
+               Transport.set_read_timeout conn 5.;
+               ignore (Frame.read (Transport.recv conn));
+               let pong = Frame.encode (Msg.encode_resp Msg.Pong) in
+               Transport.send conn (String.sub pong 0 7);
+               Unix.sleepf 0.8;
+               Transport.close conn
+             with _ -> ());
+            (* then behave *)
+            let svc = Service.create () in
+            let server = Server.create svc in
+            (try Server.serve server listen_fd with _ -> ());
+            Unix._exit 0
+        | pid ->
+            Unix.close listen_fd;
+            Fun.protect
+              ~finally:(fun () ->
+                (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                ignore (Unix.waitpid [] pid);
+                try Sys.remove path with Sys_error _ -> ())
+              (fun () ->
+                let retry =
+                  { Omni_net.Retry.default with
+                    Omni_net.Retry.max_attempts = 5;
+                    base_delay_s = 0.6 }
+                in
+                let client =
+                  Client.connect ~retry ~read_timeout:0.4
+                    (Transport.Unix_sock path)
+                in
+                let reg = Omni_obs.Metrics.create () in
+                let tracer = Omni_obs.Trace.make ~metrics:reg Omni_obs.Trace.Null in
+                Omni_obs.Trace.with_current tracer (fun () ->
+                    Client.ping client;
+                    let bytes = Lazy.force hello_bytes in
+                    let h = Client.submit client bytes in
+                    let remote =
+                      Client.run ~engine:(Exec.Target Arch.X86) ~fuel client h
+                    in
+                    let local = Api.run_wire ~engine:"x86" ~fuel bytes in
+                    check_same_result "post-stall run = local run" local remote);
+                Alcotest.(check bool) "the stalled attempt was retried" true
+                  (Omni_obs.Metrics.value
+                     (Omni_obs.Metrics.counter reg "net.retry")
+                  >= 1);
+                Client.close client))
+
 let () =
   Alcotest.run "net"
     [ ("frame",
@@ -584,6 +694,10 @@ let () =
          Alcotest.test_case "api remote path" `Quick api_remote_path ]);
       ("hostile",
        [ Alcotest.test_case "frames" `Quick hostile_frames;
+         Alcotest.test_case "frame boundaries" `Quick frame_boundaries;
          Alcotest.test_case "requests" `Quick hostile_requests;
          Alcotest.test_case "verifier rejection" `Quick verifier_rejected ]);
-      ("socket", [ Alcotest.test_case "daemon over unix socket" `Quick socket_e2e ]) ]
+      ("socket",
+       [ Alcotest.test_case "daemon over unix socket" `Quick socket_e2e;
+         Alcotest.test_case "stalled daemon, retrying client" `Quick
+           socket_stall_retry ]) ]
