@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke trace-smoke net-smoke fault-smoke clean
+.PHONY: check build test bench bench-smoke trace-smoke net-smoke fault-smoke crash-smoke clean
 
 check: ## full tier-1 verification: build + every test suite + smokes
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke
 
 build:
 	dune build
@@ -72,6 +72,26 @@ fault-smoke:
 	[ "$$clean" = "$$faulty" ] || \
 	  { echo "fault-smoke: FAIL (output differs under fault injection)"; exit 1; }; \
 	echo "fault-smoke: OK (identical output at fault rate 0.05)"
+
+# Crash-containment smoke: compile a module that divides by zero, run it
+# under omnirun with --crash-dir, and replay the written report on a
+# different architecture — the fault must reproduce. Exercises crash
+# reporting and deterministic replay end to end from the CLI.
+crash-smoke:
+	dune build bin/omnicc.exe bin/omnirun.exe
+	@dir="/tmp/omni-crash-$$$$"; rm -rf "$$dir"; mkdir -p "$$dir"; \
+	printf 'int main(void) { int x = 0; return 1 / x; }\n' > "$$dir/crashy.mc"; \
+	./_build/default/bin/omnicc.exe "$$dir/crashy.mc" -o "$$dir/crashy.omni"; \
+	./_build/default/bin/omnirun.exe run "$$dir/crashy.omni" --engine mips \
+	  --crash-dir "$$dir" >/dev/null 2>&1; \
+	report=$$(ls "$$dir"/crash-*.json 2>/dev/null | head -n 1); \
+	[ -n "$$report" ] || { echo "crash-smoke: FAIL (no report written)"; exit 1; }; \
+	out=$$(./_build/default/bin/omnirun.exe replay "$$report" --quiet --engine x86) || \
+	  { echo "crash-smoke: FAIL (replay diverged: $$out)"; exit 1; }; \
+	echo "$$out" | grep -q 'reproduced' || \
+	  { echo "crash-smoke: FAIL (unexpected verdict: $$out)"; exit 1; }; \
+	rm -rf "$$dir"; \
+	echo "crash-smoke: OK (report written; fault reproduced on x86)"
 
 clean:
 	dune clean

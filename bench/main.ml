@@ -17,7 +17,7 @@ module W = Omni_workloads.Workloads
 let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
     "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
-    "resilience"; "phases"; "bechamel" ]
+    "resilience"; "isolation"; "phases"; "bechamel" ]
 
 let run_section ~size name =
   let t0 = Unix.gettimeofday () in
@@ -36,6 +36,7 @@ let run_section ~size name =
   | "service" -> print_string (E.service_amortization ~size)
   | "remote" -> print_string (E.remote_overhead ~size)
   | "resilience" -> print_string (E.resilience ~size)
+  | "isolation" -> print_string (E.isolation ~size)
   | "phases" -> print_string (E.phase_breakdown ~size)
   | "bechamel" -> Bechamel_bench.run ~size
   | other -> Printf.eprintf "unknown section %s\n" other);

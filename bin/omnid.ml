@@ -4,6 +4,8 @@
            [--cache-capacity N] [--max-frame BYTES] [--timeout SECS]
            [--max-module-bytes N] [--max-fuel N]
            [--max-requests-per-conn N] [--max-conn-bytes N]
+           [--deadline SECS] [--max-deadline SECS]
+           [--quarantine N] [--quarantine-ttl SECS]
            [--metrics] [--trace | --trace-file FILE] [--once]
 
    Listens on a Unix-domain socket (--socket) or TCP (--port), and
@@ -34,6 +36,10 @@ let () =
   let max_fuel = ref 0 in
   let max_requests_per_conn = ref 0 in
   let max_conn_bytes = ref 0 in
+  let deadline = ref 0.0 in
+  let max_deadline = ref 0.0 in
+  let quarantine = ref 0 in
+  let quarantine_ttl = ref 300.0 in
   let metrics_dump = ref false in
   let trace_file = ref "" in
   let trace_flag = ref false in
@@ -58,6 +64,14 @@ let () =
        "N requests admitted per connection; 0 = unlimited (default)");
       ("--max-conn-bytes", Arg.Set_int max_conn_bytes,
        "N frame bytes admitted per connection; 0 = unlimited (default)");
+      ("--deadline", Arg.Set_float deadline,
+       "SECS default wall-clock budget per run; 0 = none (default)");
+      ("--max-deadline", Arg.Set_float max_deadline,
+       "SECS deadline ceiling per Run; 0 = unlimited (default)");
+      ("--quarantine", Arg.Set_int quarantine,
+       "N quarantine a module after N deterministic faults; 0 = off (default)");
+      ("--quarantine-ttl", Arg.Set_float quarantine_ttl,
+       "SECS how long a quarantined module stays refused (default 300)");
       ("--metrics", Arg.Set metrics_dump,
        " dump the metrics registry to stderr on exit");
       ("--trace", Arg.Set trace_flag,
@@ -83,7 +97,20 @@ let () =
   (* a client vanishing mid-response must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let svc = Service.create ~cache_capacity:!cache_capacity () in
+  let svc =
+    Service.create ~cache_capacity:!cache_capacity
+      ?quarantine:
+        (if !quarantine > 0 then
+           Some
+             {
+               Omni_service.Supervise.Quarantine.default_config with
+               threshold = !quarantine;
+               ttl_s = !quarantine_ttl;
+             }
+         else None)
+      ?deadline_s:(if !deadline > 0.0 then Some !deadline else None)
+      ()
+  in
   let tracer =
     let emit oc =
       Trace.make ~metrics:(Service.metrics svc)
@@ -107,6 +134,7 @@ let () =
           max_fuel = !max_fuel;
           max_requests_per_conn = !max_requests_per_conn;
           max_conn_bytes = !max_conn_bytes;
+          max_deadline_s = !max_deadline;
         }
       ?tracer svc
   in

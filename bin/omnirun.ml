@@ -4,6 +4,7 @@
 
      omnirun [--trace[=FILE]] [run] module.omni
              [--engine interp|mips|sparc|ppc|x86] [--no-sfi] [--stats]
+             [--deadline SECS] [--crash-dir DIR]
              [--remote ADDR] [--read-timeout SECS]
              [--retries N] [--retry-base SECS] [--retry-deadline SECS]
              [--fallback-local]
@@ -38,12 +39,26 @@
    Identical module files are deduplicated; only the first request per
    (module, engine, SFI config) pays the translator.
 
+   Supervision: --deadline bounds the run's wall-clock time (a module
+   exceeding it faults with deadline_exceeded, reported like any other
+   fault); --crash-dir writes a self-contained crash report — fault,
+   registers, memory window, the module bytes — as one JSON file per
+   faulted run. Such a report is a replay bundle:
+
+     omnirun replay crash-....json [--engine E]
+
+   re-executes it in-process and asserts the same fault reproduces
+   (deterministic faults; a deadline fault is transient and only
+   re-observed, never asserted). Exit status: 0 reproduced/transient,
+   1 diverged.
+
    --trace emits one JSON line per completed pipeline span (decode, load,
    translate, verify, run, ...) to stderr, or to FILE with --trace=FILE. *)
 
 module Api = Omniware.Api
 module Service = Omni_service.Service
 module Counters = Omni_service.Counters
+module Supervise = Omni_service.Supervise
 module Trace = Omni_obs.Trace
 module Metrics = Omni_obs.Metrics
 
@@ -107,6 +122,8 @@ let run_single trace args =
   let engine = ref "interp" in
   let sfi = ref true in
   let stats = ref false in
+  let deadline = ref 0.0 in
+  let crash_dir = ref "" in
   let remote = ref "" in
   let read_timeout = ref 0.0 in
   let retries = ref 0 in
@@ -121,6 +138,10 @@ let run_single trace args =
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
       ("--stats", Arg.Set stats, " print execution statistics");
+      ("--deadline", Arg.Set_float deadline,
+       "SECS wall-clock budget; exceeding it is a deadline_exceeded fault");
+      ("--crash-dir", Arg.Set_string crash_dir,
+       "DIR write a JSON crash report there if the module faults");
       ("--remote", Arg.Set_string remote,
        "ADDR submit + run on a live omnid (socket path or host:port)");
       ("--read-timeout", Arg.Set_float read_timeout,
@@ -212,13 +233,26 @@ let run_single trace args =
       in
       let code =
         with_tracer trace @@ fun tm ->
+        let wire = read_file path in
         let req =
           { Api.default_request with engine = eng; sfi = !sfi;
+            deadline_s = (if !deadline > 0.0 then Some !deadline else None);
             remote = client;
             on_unreachable =
               (if !fallback_local then `Fallback_local else `Fail) }
         in
-        let result = Api.run req (Api.Wire (read_file path)) in
+        let result = Api.run req (Api.Wire wire) in
+        (* The crash site travels in the run result, so the report is the
+           same whether the module faulted here or on the daemon. *)
+        if !crash_dir <> "" then
+          Option.iter
+            (fun report ->
+              let file = Filename.concat !crash_dir (Supervise.filename report) in
+              Out_channel.with_open_bin file (fun oc ->
+                  output_string oc (Supervise.to_json report);
+                  output_char oc '\n');
+              Printf.eprintf "omnirun: crash report written to %s\n" file)
+            (Supervise.of_run ~engine:eng ~sfi:!sfi ~wire result);
         print_string result.Api.output;
         if !stats then begin
           Printf.eprintf "engine:        %s\n" (Api.engine_name eng);
@@ -294,15 +328,71 @@ let run_serve trace args =
   in
   exit code
 
+let outcome_string = function
+  | Omni_targets.Machine.Exited c -> Printf.sprintf "exited with code %d" c
+  | Omni_targets.Machine.Faulted f ->
+      Printf.sprintf "faulted (%s)" (Omnivm.Fault.to_string f)
+  | Omni_targets.Machine.Out_of_fuel -> "ran out of fuel"
+
+let run_replay trace args =
+  let input = ref None in
+  let engine = ref "" in
+  let quiet = ref false in
+  let spec =
+    [ ("--engine", Arg.Set_string engine,
+       "ENGINE replay on this engine instead of the report's own");
+      ("--quiet", Arg.Set quiet, " suppress the report rendering") ]
+  in
+  Arg.parse_argv args spec
+    (fun f -> input := Some f)
+    "omnirun replay <crash-report.json>";
+  match !input with
+  | None ->
+      prerr_endline "omnirun replay: no crash report";
+      exit 2
+  | Some path ->
+      let report =
+        try Supervise.of_json (read_file path)
+        with Supervise.Bad_report msg ->
+          Printf.eprintf "omnirun replay: %s: %s\n" path msg;
+          exit 2
+      in
+      let engine =
+        if !engine = "" then None
+        else Some (parse_engine ~who:"omnirun replay" !engine)
+      in
+      if not !quiet then Format.printf "%a@." Supervise.pp report;
+      let code =
+        with_tracer trace @@ fun _ ->
+        match Supervise.check_replay ?engine report with
+        | Supervise.Reproduced ->
+            print_endline "replay: fault reproduced";
+            0
+        | Supervise.Transient outcome ->
+            Printf.printf "replay: transient fault; this run %s\n"
+              (outcome_string outcome);
+            0
+        | Supervise.Diverged outcome ->
+            Printf.printf "replay: DIVERGED; this run %s\n"
+              (outcome_string outcome);
+            1
+      in
+      exit code
+
 let () =
   let trace, argv = extract_trace Sys.argv in
+  let subcommand name runner =
+    (* re-seat argv so Arg reports "omnirun <name>" on errors *)
+    runner trace
+      (Array.append
+         [| argv.(0) ^ " " ^ name |]
+         (Array.sub argv 2 (Array.length argv - 2)))
+  in
   try
     if Array.length argv > 1 && argv.(1) = "serve" then
-      (* re-seat argv so Arg reports "omnirun serve" on errors *)
-      run_serve trace
-        (Array.append
-           [| argv.(0) ^ " serve" |]
-           (Array.sub argv 2 (Array.length argv - 2)))
+      subcommand "serve" run_serve
+    else if Array.length argv > 1 && argv.(1) = "replay" then
+      subcommand "replay" run_replay
     else run_single trace argv
   with
   | Arg.Bad msg ->

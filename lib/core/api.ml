@@ -24,6 +24,7 @@ module X86_translate = Omni_targets.X86_translate
 module X86_sim = Omni_targets.X86_sim
 module Exec = Omni_service.Exec
 module Service = Omni_service.Service
+module Supervise = Omni_service.Supervise
 module Trace = Omni_obs.Trace
 module Metrics = Omni_obs.Metrics
 module Net = Omni_net
@@ -36,6 +37,13 @@ let engine_of_string = Exec.engine_of_string
 let engine_name = Exec.engine_name
 let mobile_opts = Exec.mobile_opts
 
+type crash_site = Exec.crash_site = {
+  cs_pc : int;
+  cs_regs : int array;
+  cs_window_base : int;
+  cs_window : string;
+}
+
 type run_result = Exec.run_result = {
   output : string;
   exit_code : int;
@@ -43,6 +51,7 @@ type run_result = Exec.run_result = {
   instructions : int;
   cycles : int;
   stats : Machine.stats option; (* None for the interpreter *)
+  crash : crash_site option;
 }
 
 (* --- loading and running --- *)
@@ -70,6 +79,7 @@ type request = {
   mode : Machine.mode option;
   opts : Machine.topts option;
   fuel : int option;
+  deadline_s : float option;
   map_host_region : bool;
   trace : Trace.t option;
   service : Service.t option;
@@ -84,6 +94,7 @@ let default_request =
     mode = None;
     opts = None;
     fuel = None;
+    deadline_s = None;
     map_host_region = false;
     trace = None;
     service = None;
@@ -116,7 +127,8 @@ let run_remote (client : Net.Client.t) (r : request) (src : source) :
   try
     let h = Net.Client.submit client bytes in
     Net.Client.run ~engine:r.engine ~sfi:r.sfi
-      ~mode:(mode_spec_of_mode r.mode) ?fuel:r.fuel client h
+      ~mode:(mode_spec_of_mode r.mode) ?fuel:r.fuel ?deadline_s:r.deadline_s
+      client h
   with
   | Net.Client.Remote_error (Net.Message.E_decode, msg) ->
       raise (Omnivm.Wire.Bad_module msg)
@@ -140,8 +152,13 @@ let run (r : request) (src : source) : run_result =
         in
         let h = Service.submit service bytes in
         Service.instantiate ~engine:r.engine ~sfi:r.sfi ?mode:r.mode
-          ?opts:r.opts ?fuel:r.fuel service h
+          ?opts:r.opts ?fuel:r.fuel ?deadline_s:r.deadline_s service h
     | None -> (
+        let watchdog =
+          Option.map
+            (fun budget_s -> Supervise.watchdog ~budget_s ())
+            r.deadline_s
+        in
         let exe, img =
           match src with
           | Exe exe -> (exe, load ~map_host_region:r.map_host_region exe)
@@ -153,7 +170,7 @@ let run (r : request) (src : source) : run_result =
               (img.Omni_runtime.Loader.exe, img)
         in
         match r.engine with
-        | Interp -> run_interp ?fuel:r.fuel img
+        | Interp -> run_interp ?fuel:r.fuel ?watchdog img
         | Target arch ->
             let mode =
               match r.mode with
@@ -163,7 +180,7 @@ let run (r : request) (src : source) : run_result =
                   else Machine.Mobile Omni_sfi.Policy.off
             in
             let tr = translate ~mode ?opts:r.opts arch exe in
-            run_translated ?fuel:r.fuel tr img)
+            run_translated ?fuel:r.fuel ?watchdog tr img)
   in
   let go () =
     match r.remote with

@@ -32,6 +32,10 @@ module Exec = Omni_service.Exec
 module Service = Omni_service.Service
 (** The serving front-end (store + translation cache + batch driver). *)
 
+module Supervise = Omni_service.Supervise
+(** Execution supervision: crash reports, module quarantine, and
+    deterministic replay (see {!request}'s [deadline_s] field). *)
+
 module Trace = Omni_obs.Trace
 (** Span-based pipeline tracing (see {!run}'s [trace] field). *)
 
@@ -59,6 +63,16 @@ val mobile_opts : Arch.t -> Machine.topts
     uses a global pointer and fills delay slots without scheduling, the x86
     translator schedules only floating-point code. *)
 
+(** Machine state at the instant a fault aborted a run (the sixteen OmniVM
+    integer registers, and a hexdump window around the faulting address
+    when it has one). See {!Exec.crash_site}. *)
+type crash_site = Exec.crash_site = {
+  cs_pc : int;
+  cs_regs : int array;
+  cs_window_base : int;
+  cs_window : string;
+}
+
 (** Result of running a module. *)
 type run_result = Exec.run_result = {
   output : string;  (** everything the module printed via host calls *)
@@ -67,6 +81,7 @@ type run_result = Exec.run_result = {
   instructions : int;  (** dynamic (native) instructions executed *)
   cycles : int;  (** simulated pipeline cycles (= instructions on interp) *)
   stats : Machine.stats option;  (** detailed statistics; None for interp *)
+  crash : crash_site option;  (** [Some] iff [outcome] is [Faulted] *)
 }
 
 val load :
@@ -79,7 +94,11 @@ val load :
     all). [map_host_region] additionally maps a region standing in for
     host-owned memory, used to demonstrate SFI containment. *)
 
-val run_interp : ?fuel:int -> Omni_runtime.Loader.image -> run_result
+val run_interp :
+  ?fuel:int ->
+  ?watchdog:Omnivm.Watchdog.t ->
+  Omni_runtime.Loader.image ->
+  run_result
 (** Execute under the OmniVM reference interpreter. *)
 
 (** A translated module, ready to execute on its target simulator. *)
@@ -98,7 +117,11 @@ val translate :
     benchmark harness. [opts] defaults to {!mobile_opts}. *)
 
 val run_translated :
-  ?fuel:int -> translated -> Omni_runtime.Loader.image -> run_result
+  ?fuel:int ->
+  ?watchdog:Omnivm.Watchdog.t ->
+  translated ->
+  Omni_runtime.Loader.image ->
+  run_result
 
 val verify_translated : translated -> (unit, string) result
 (** Run the target's static SFI verifier over translated code — the cheap
@@ -121,6 +144,11 @@ type request = {
       (** explicit translation mode; [None] derives one from [sfi] *)
   opts : Machine.topts option;  (** [None] = {!mobile_opts} of the target *)
   fuel : int option;  (** instruction budget; [None] = a large default *)
+  deadline_s : float option;
+      (** wall-clock budget in seconds; a run exceeding it faults with
+          [Deadline_exceeded], reported like any other fault. Travels
+          with remote requests; [None] = no deadline (or the server's
+          default on the remote path) *)
   map_host_region : bool;
       (** also map host-owned memory (SFI demos; direct path only) *)
   trace : Trace.t option;

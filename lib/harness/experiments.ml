@@ -753,6 +753,61 @@ let resilience ~size =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Watchdog overhead: the wall-clock deadline is polled cooperatively —
+   one counter decrement per instruction, a clock reading every K
+   instructions. Measured against a no-watchdog baseline with the
+   deadline far in the future: the cost of being interruptible, not of
+   being interrupted. Outputs are validated bit-for-bit — an armed
+   watchdog must never perturb execution. *)
+let isolation ~size =
+  let module Exec = Omni_service.Exec in
+  let module Supervise = Omni_service.Supervise in
+  let ws = workloads ~size in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Isolation: wall-clock watchdog poll overhead on the interpreter\n\
+     (whole workload suite per round; deadline far in the future).\n\n";
+  let fuel = 4_000_000_000 in
+  let prepared = List.map prepare ws in
+  let round poll_every () =
+    List.iter
+      (fun p ->
+        let img = Exec.load p.p_exe in
+        let watchdog =
+          Option.map
+            (fun k -> Supervise.watchdog ~poll_every:k ~budget_s:1e9 ())
+            poll_every
+        in
+        let r = Exec.run_interp ~fuel ?watchdog img in
+        if not (String.equal r.Exec.output p.p_expected) then
+          fail "isolation: %s wrong output under watchdog" p.p_name)
+      prepared
+  in
+  let rounds = 3 in
+  let time f =
+    let t0 = Sys.time () in
+    for _ = 1 to rounds do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int rounds
+  in
+  (* warm the prepare cache so compilation never lands in a timing *)
+  ignore (time (round None));
+  let base = time (round None) in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %12s %10s\n" "poll every" "round (ms)" "overhead");
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %12.2f %10s\n" "off" (1e3 *. base) "1.00x");
+  List.iter
+    (fun k ->
+      let t = time (round (Some k)) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-12d %12.2f %9.2fx\n" k (1e3 *. t)
+           (t /. Float.max 1e-9 base)))
+    [ 1_024; 16_384; 65_536 ];
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 let all_tables ~size =
   String.concat "\n"
     [ table1 ~size; table2 ~size; table3 ~size; table4 ~size; table5 ~size;

@@ -105,4 +105,11 @@ val resilience : size:Omni_workloads.Workloads.size -> string
     against the in-process service; reports requests, injected faults,
     retries, and round time per rate. *)
 
+val isolation : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: the cost of execution supervision — the
+    wall-clock watchdog's cooperative poll ({!Omnivm.Watchdog}) at
+    K ∈ {1k, 16k, 64k} instructions against a no-watchdog baseline,
+    outputs validated bit-for-bit (an armed watchdog with a generous
+    deadline must never perturb execution). *)
+
 val all_tables : size:Omni_workloads.Workloads.size -> string

@@ -98,8 +98,8 @@ let submit t bytes =
   | M.Submitted d -> d
   | _ -> unexpected "submit"
 
-let run ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default) ?fuel t
-    handle =
+let run ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default) ?fuel
+    ?deadline_s t handle =
   match
     call t
       (M.Run
@@ -109,6 +109,7 @@ let run ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default) ?fuel t
            rs_sfi = sfi;
            rs_mode = mode;
            rs_fuel = fuel;
+           rs_deadline_s = deadline_s;
          })
   with
   | M.Ran r -> r

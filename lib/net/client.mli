@@ -16,7 +16,10 @@
     deterministic and the store content-addressed, so a duplicate
     delivery yields the same handle and the same result. Terminal
     responses ([E_decode], [E_verifier_rejected], [E_limit_exceeded],
-    …) are never retried. Each scheduled retry bumps [net.retry] on the
+    [E_module_fault], [E_quarantined], …) are never retried — in
+    particular a crashed module stays crashed on every retry, which is
+    exactly what [E_module_fault]'s dedicated class (rather than
+    [E_internal]) lets a client conclude. Each scheduled retry bumps [net.retry] on the
     ambient tracer's registry, and each attempt runs under a
     ["net.attempt"] span. *)
 
@@ -94,11 +97,15 @@ val run :
   ?sfi:bool ->
   ?mode:Message.mode_spec ->
   ?fuel:int ->
+  ?deadline_s:float ->
   t ->
   int64 ->
   Exec.run_result
 (** Execute a submitted module remotely. Defaults mirror [Api.run]:
-    interpreter engine, SFI on, derived mode, server-default fuel. *)
+    interpreter engine, SFI on, derived mode, server-default fuel and
+    wall-clock deadline. A module that exceeds [deadline_s] faults with
+    [Deadline_exceeded], reported in the result's outcome like any other
+    fault. *)
 
 val stats_json : t -> string
 (** The daemon's service-counter snapshot as one JSON line. *)

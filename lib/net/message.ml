@@ -20,6 +20,8 @@ type err_class =
   | E_limit_exceeded
   | E_internal
   | E_bad_frame
+  | E_module_fault
+  | E_quarantined
 
 let err_class_name = function
   | E_decode -> "decode"
@@ -28,6 +30,8 @@ let err_class_name = function
   | E_limit_exceeded -> "limit-exceeded"
   | E_internal -> "internal"
   | E_bad_frame -> "bad-frame"
+  | E_module_fault -> "module-fault"
+  | E_quarantined -> "quarantined"
 
 let err_class_code = function
   | E_decode -> 0
@@ -36,6 +40,8 @@ let err_class_code = function
   | E_limit_exceeded -> 3
   | E_internal -> 4
   | E_bad_frame -> 5
+  | E_module_fault -> 6
+  | E_quarantined -> 7
 
 let err_class_of_code = function
   | 0 -> Some E_decode
@@ -44,7 +50,30 @@ let err_class_of_code = function
   | 3 -> Some E_limit_exceeded
   | 4 -> Some E_internal
   | 5 -> Some E_bad_frame
+  | 6 -> Some E_module_fault
+  | 7 -> Some E_quarantined
   | _ -> None
+
+(* The message of an [E_module_fault] error leads with a machine-readable
+   fault code, then prose: "fault-code=3 integer division by zero". The
+   [Error] arity is unchanged (class + string everywhere); this is the one
+   class whose message has structure, and these two functions are its
+   codec. *)
+let fault_message f =
+  Printf.sprintf "fault-code=%d %s" (Fault.code f) (Fault.to_string f)
+
+let fault_code_of_message msg =
+  let p = "fault-code=" in
+  let pl = String.length p in
+  if String.length msg >= pl && String.sub msg 0 pl = p then
+    let rest = String.sub msg pl (String.length msg - pl) in
+    let digits =
+      match String.index_opt rest ' ' with
+      | Some i -> String.sub rest 0 i
+      | None -> rest
+    in
+    int_of_string_opt digits
+  else None
 
 type mode_spec =
   | M_default
@@ -57,6 +86,7 @@ type run_spec = {
   rs_sfi : bool;
   rs_mode : mode_spec;
   rs_fuel : int option;
+  rs_deadline_s : float option;
 }
 
 type req = Ping | Submit of string | Run of run_spec | Stats
@@ -226,6 +256,7 @@ let wfault b = function
   | Fault.Explicit_trap code ->
       w8 b 6;
       wint b code
+  | Fault.Deadline_exceeded -> w8 b 7
 
 let rfault c =
   match r8 c with
@@ -242,6 +273,7 @@ let rfault c =
   | 4 -> Fault.Unauthorized_host_call { index = rint c }
   | 5 -> Fault.Stack_overflow
   | 6 -> Fault.Explicit_trap (rint c)
+  | 7 -> Fault.Deadline_exceeded
   | n -> raise (Bad (Printf.sprintf "bad fault code %d" n))
 
 let woutcome b = function
@@ -292,13 +324,29 @@ let rstats c : Machine.stats =
     omni_instructions;
   }
 
+let wcrash b (cs : Exec.crash_site) =
+  wint b cs.Exec.cs_pc;
+  if Array.length cs.Exec.cs_regs <> 16 then
+    invalid_arg "Message: crash_site.cs_regs must have 16 entries";
+  Array.iter (wint b) cs.Exec.cs_regs;
+  wint b cs.Exec.cs_window_base;
+  wstr b cs.Exec.cs_window
+
+let rcrash c : Exec.crash_site =
+  let cs_pc = rint c in
+  let cs_regs = Array.init 16 (fun _ -> rint c) in
+  let cs_window_base = rint c in
+  let cs_window = rstr c in
+  { Exec.cs_pc; cs_regs; cs_window_base; cs_window }
+
 let wresult b (r : Exec.run_result) =
   wstr b r.Exec.output;
   wint b r.Exec.exit_code;
   woutcome b r.Exec.outcome;
   wint b r.Exec.instructions;
   wint b r.Exec.cycles;
-  wopt wstats b r.Exec.stats
+  wopt wstats b r.Exec.stats;
+  wopt wcrash b r.Exec.crash
 
 let rresult c : Exec.run_result =
   let output = rstr c in
@@ -307,7 +355,8 @@ let rresult c : Exec.run_result =
   let instructions = rint c in
   let cycles = rint c in
   let stats = ropt rstats c in
-  { Exec.output; exit_code; outcome; instructions; cycles; stats }
+  let crash = ropt rcrash c in
+  { Exec.output; exit_code; outcome; instructions; cycles; stats; crash }
 
 (* --- messages --- *)
 
@@ -328,7 +377,9 @@ let encode_req = function
               w8 b (engine_code rs.rs_engine);
               wbool b rs.rs_sfi;
               wmode b rs.rs_mode;
-              wopt wint b rs.rs_fuel);
+              wopt wint b rs.rs_fuel;
+              wopt (fun b v -> w64 b (Int64.bits_of_float v)) b
+                rs.rs_deadline_s);
       }
   | Stats -> { Frame.tag = tag_stats; payload = "" }
 
@@ -367,7 +418,9 @@ let decode_req (fr : Frame.t) : (req, string) result =
         let rs_sfi = rbool c in
         let rs_mode = rmode c in
         let rs_fuel = ropt rint c in
-        finish c (Run { rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel }))
+        let rs_deadline_s = ropt (fun c -> Int64.float_of_bits (r64 c)) c in
+        finish c
+          (Run { rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel; rs_deadline_s }))
   else Result.Error (Printf.sprintf "unknown request tag 0x%02x" t)
 
 let decode_resp (fr : Frame.t) : (resp, string) result =

@@ -28,9 +28,25 @@ type err_class =
           truncation, checksum mismatch) — the request may never have
           been seen intact, so resending it is safe and useful
           (retryable for clients; see {!Omni_net.Retry}) *)
+  | E_module_fault
+      (** the module itself crashed ([Vm_fault]) — deterministic for the
+          same request, so terminal for clients: retrying re-crashes it.
+          The message leads with the fault code (see {!fault_message}) *)
+  | E_quarantined
+      (** the server's circuit breaker is refusing this module after
+          repeated deterministic faults; terminal until the TTL expires
+          or an operator clears it *)
 
 val err_class_name : err_class -> string
 val err_class_code : err_class -> int
+
+val fault_message : Omnivm.Fault.t -> string
+(** The structured message of an {!E_module_fault} error:
+    ["fault-code=<code> <prose>"]. *)
+
+val fault_code_of_message : string -> int option
+(** Extract the machine-readable fault code from an {!E_module_fault}
+    message; [None] if the message does not carry one. *)
 
 (** Translation mode requested over the wire. [M_default] derives the
     mode from the [rs_sfi] flag exactly as [Api.run] does — the common
@@ -52,6 +68,10 @@ type run_spec = {
   rs_sfi : bool;
   rs_mode : mode_spec;
   rs_fuel : int option;
+  rs_deadline_s : float option;
+      (** wall-clock budget for the run, enforced by the server's
+          cooperative watchdog ([None] = the server's default, possibly
+          none); expiry is a [Deadline_exceeded] module fault *)
 }
 
 type req =

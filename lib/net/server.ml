@@ -17,6 +17,7 @@ module Service = Omni_service.Service
 module Store = Omni_service.Store
 module Cache = Omni_service.Cache
 module Counters = Omni_service.Counters
+module Supervise = Omni_service.Supervise
 module Metrics = Omni_obs.Metrics
 module Trace = Omni_obs.Trace
 module M = Message
@@ -28,6 +29,7 @@ type config = {
   max_fuel : int;
   max_requests_per_conn : int;
   max_conn_bytes : int;
+  max_deadline_s : float;
 }
 
 let default_config =
@@ -38,6 +40,7 @@ let default_config =
     max_fuel = 0;
     max_requests_per_conn = 0;
     max_conn_bytes = 0;
+    max_deadline_s = 0.;
   }
 
 type session = { mutable s_requests : int; mutable s_bytes : int }
@@ -142,6 +145,18 @@ let dispatch t (req : M.req) : M.resp =
         ( M.E_limit_exceeded,
           Printf.sprintf "fuel %d exceeds this server's ceiling of %d"
             (Option.get rs.M.rs_fuel) t.cfg.max_fuel )
+  | M.Run rs when
+      (match rs.M.rs_deadline_s with
+      | Some d ->
+          (not (Float.is_finite d))
+          || d < 0.
+          || (t.cfg.max_deadline_s > 0. && d > t.cfg.max_deadline_s)
+      | None -> false) ->
+      M.Error
+        ( M.E_limit_exceeded,
+          Printf.sprintf
+            "deadline %gs is invalid or exceeds this server's ceiling of %gs"
+            (Option.get rs.M.rs_deadline_s) t.cfg.max_deadline_s )
   | M.Run rs -> (
       match Hashtbl.find_opt t.handles rs.M.rs_handle with
       | None ->
@@ -150,16 +165,23 @@ let dispatch t (req : M.req) : M.resp =
               Printf.sprintf "no module %s on this server"
                 (Omni_util.Fnv64.to_hex rs.M.rs_handle) )
       | Some h -> (
-          (* an unfueled request runs under the server's ceiling, if any *)
+          (* an unfueled request runs under the server's ceiling, if any;
+             deadlines resolve the same way *)
           let fuel =
             match (rs.M.rs_fuel, t.cfg.max_fuel) with
             | (Some _ as f), _ -> f
             | None, 0 -> None
             | None, m -> Some m
           in
+          let deadline_s =
+            match (rs.M.rs_deadline_s, t.cfg.max_deadline_s) with
+            | (Some _ as d), _ -> d
+            | None, 0. -> None
+            | None, m -> Some m
+          in
           match
             Service.instantiate ~engine:rs.M.rs_engine ~sfi:rs.M.rs_sfi
-              ?mode:(resolve_mode rs.M.rs_mode) ?fuel t.svc h
+              ?mode:(resolve_mode rs.M.rs_mode) ?fuel ?deadline_s t.svc h
           with
           | r -> M.Ran r
           | exception Cache.Rejected msg ->
@@ -167,7 +189,23 @@ let dispatch t (req : M.req) : M.resp =
           | exception Store.Unknown_handle ->
               M.Error (M.E_unknown_handle, "handle expired")
           | exception Invalid_argument msg ->
-              M.Error (M.E_limit_exceeded, msg)))
+              M.Error (M.E_limit_exceeded, msg)
+          | exception Supervise.Quarantine.Quarantined { digest; fault; _ }
+            ->
+              M.Error
+                ( M.E_quarantined,
+                  Printf.sprintf
+                    "module %s is quarantined after repeated faults \
+                     (fault-code=%d %s)"
+                    (Omni_util.Fnv64.to_hex digest)
+                    (Omnivm.Fault.code fault)
+                    (Omnivm.Fault.to_string fault) )
+          (* A fault that escapes as an exception (rather than a Faulted
+             outcome) is still the module's crash, not the daemon's: give
+             it its own class so clients do not retry it as an internal
+             hiccup. *)
+          | exception Omnivm.Fault.Vm_fault f ->
+              M.Error (M.E_module_fault, M.fault_message f)))
 
 let handle_request t (req : M.req) : M.resp =
   Metrics.incr t.requests;

@@ -41,6 +41,10 @@ type config = {
           limit refusal; 0 = unlimited *)
   max_conn_bytes : int;
       (** total frame bytes admitted per connection; 0 = unlimited *)
+  max_deadline_s : float;
+      (** wall-clock deadline ceiling per Run: explicit requests above it
+          (or non-finite/negative) are refused, deadline-less requests
+          are clamped to it; 0. = unlimited *)
 }
 
 val default_config : config
@@ -70,7 +74,10 @@ val handle_request : t -> Message.req -> Message.resp
     malformed module bytes to [E_decode], quota and segment-fit
     violations to [E_limit_exceeded], foreign handles to
     [E_unknown_handle], SFI verifier refusals to [E_verifier_rejected],
-    anything else to [E_internal]. *)
+    quarantined modules to [E_quarantined], module crashes that escape
+    as exceptions to [E_module_fault] (message prefixed with the fault
+    code — see {!Message.fault_code_of_message}), anything else to
+    [E_internal]. *)
 
 val step : ?session:session -> t -> Transport.conn -> [ `Handled | `Closed ]
 (** Read one frame, answer it. [`Closed] means the connection is done:

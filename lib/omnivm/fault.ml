@@ -17,6 +17,7 @@ type t =
   | Unauthorized_host_call of { index : int }
   | Stack_overflow
   | Explicit_trap of int
+  | Deadline_exceeded
 
 exception Vm_fault of t
 
@@ -35,6 +36,26 @@ let code = function
   | Unauthorized_host_call _ -> 5
   | Stack_overflow -> 6
   | Explicit_trap _ -> 7
+  | Deadline_exceeded -> 8
+
+(* Stable machine-readable name, used in crash-report JSON. *)
+let slug = function
+  | Access_violation _ -> "access_violation"
+  | Misaligned _ -> "misaligned"
+  | Division_by_zero -> "division_by_zero"
+  | Illegal_instruction _ -> "illegal_instruction"
+  | Unauthorized_host_call _ -> "unauthorized_host_call"
+  | Stack_overflow -> "stack_overflow"
+  | Explicit_trap _ -> "explicit_trap"
+  | Deadline_exceeded -> "deadline_exceeded"
+
+(* The memory address a fault implicates, when it has one: where the
+   crash-report hexdump window is centred. *)
+let addr_of = function
+  | Access_violation { addr; _ } | Misaligned { addr; _ } -> Some addr
+  | Division_by_zero | Illegal_instruction _ | Unauthorized_host_call _
+  | Stack_overflow | Explicit_trap _ | Deadline_exceeded ->
+      None
 
 let to_string = function
   | Access_violation { addr; access } ->
@@ -50,5 +71,6 @@ let to_string = function
       Printf.sprintf "unauthorized host call %d" index
   | Stack_overflow -> "stack overflow"
   | Explicit_trap n -> Printf.sprintf "trap %d" n
+  | Deadline_exceeded -> "wall-clock deadline exceeded"
 
 let pp fmt f = Format.pp_print_string fmt (to_string f)

@@ -15,6 +15,10 @@ type t =
   | Unauthorized_host_call of { index : int }
   | Stack_overflow
   | Explicit_trap of int
+  | Deadline_exceeded
+      (** The wall-clock watchdog expired ({!Watchdog}); delivered through
+          the same handler mechanism as every other fault. Transient by
+          nature — a rerun under a different deadline may well succeed. *)
 
 exception Vm_fault of t
 
@@ -22,6 +26,14 @@ val access_name : access -> string
 
 val code : t -> int
 (** The small integer delivered in r1 when a module handler is invoked. *)
+
+val slug : t -> string
+(** Stable machine-readable name (e.g. ["access_violation"]), used as the
+    fault kind in crash-report JSON. *)
+
+val addr_of : t -> int option
+(** The memory address a fault implicates, when it has one — where a
+    crash report centres its hexdump window. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

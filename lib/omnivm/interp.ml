@@ -238,14 +238,34 @@ let deliver_fault t fault =
 
 type outcome = Exited of int | Faulted of Fault.t | Out_of_fuel
 
-let run ?(fuel = max_int) host t =
+let run ?(fuel = max_int) ?watchdog host t =
+  (* Watchdog polling is a countdown, not a clock read per instruction:
+     one decrement-and-test on the hot path, the clock touched only every
+     [poll_every] instructions. [check] raises [Deadline_exceeded], which
+     then flows through [deliver_fault] like any other fault. *)
+  let poll =
+    match watchdog with
+    | None -> fun () -> ()
+    | Some w ->
+        let every = Watchdog.poll_every w in
+        let left = ref every in
+        fun () ->
+          decr left;
+          if !left <= 0 then begin
+            left := every;
+            Watchdog.check w
+          end
+  in
   let rec go fuel =
     if fuel <= 0 then Out_of_fuel
     else
       match t.exited with
       | Some code -> Exited code
       | None -> (
-          match step host t with
+          match
+            poll ();
+            step host t
+          with
           | () -> go (fuel - 1)
           | exception Fault.Vm_fault f -> (
               match deliver_fault t f with

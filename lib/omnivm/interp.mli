@@ -36,6 +36,8 @@ val step : host_iface -> t -> unit
 
 type outcome = Exited of int | Faulted of Fault.t | Out_of_fuel
 
-val run : ?fuel:int -> host_iface -> t -> outcome
+val run : ?fuel:int -> ?watchdog:Watchdog.t -> host_iface -> t -> outcome
 (** Run to completion, delivering faults to the module's registered
-    handler when one is set. *)
+    handler when one is set. When [watchdog] is given it is polled every
+    {!Watchdog.poll_every} instructions; expiry raises
+    [Fault.Deadline_exceeded] through the same delivery path. *)

@@ -77,7 +77,7 @@ let load_wire ?allow ?map_host_region ?stack_size bytes =
   load ?allow ?map_host_region ?stack_size exe
 
 (* Convenience: run a loaded image in the OmniVM reference interpreter. *)
-let run_interp ?(fuel = 2_000_000_000) (img : image) =
+let run_interp ?(fuel = 2_000_000_000) ?watchdog (img : image) =
   let interp = Interp.create img.exe img.mem in
   let on_hcall (st : Interp.t) index : Interp.hcall_outcome =
     let req =
@@ -96,4 +96,4 @@ let run_interp ?(fuel = 2_000_000_000) (img : image) =
         st.Interp.handler <- addr;
         Interp.Continue
   in
-  (Interp.run ~fuel { Interp.on_hcall } interp, interp)
+  (Interp.run ~fuel ?watchdog { Interp.on_hcall } interp, interp)

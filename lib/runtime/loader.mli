@@ -50,6 +50,7 @@ val load_wire :
     @raise Omnivm.Wire.Bad_module on malformed bytes. *)
 
 val run_interp :
-  ?fuel:int -> image -> Interp.outcome * Interp.t
+  ?fuel:int -> ?watchdog:Omnivm.Watchdog.t -> image -> Interp.outcome * Interp.t
 (** Execute the image under the OmniVM reference interpreter with this
-    host's services. *)
+    host's services. [watchdog] bounds wall-clock time cooperatively
+    (see {!Omnivm.Watchdog}). *)

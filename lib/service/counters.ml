@@ -23,6 +23,12 @@ type t = {
   warm_admit : Metrics.histogram;
   (* service front-end *)
   instantiations : Metrics.counter;
+  (* execution supervision *)
+  quarantine_trips : Metrics.counter;
+  quarantine_refused : Metrics.counter;
+  quarantine_cleared : Metrics.counter;
+  crash_reports : Metrics.counter;
+  deadline_exceeded : Metrics.counter;
 }
 
 let create ?metrics () =
@@ -41,6 +47,11 @@ let create ?metrics () =
     cold_translate = Metrics.histogram m "service.cold_translate_s";
     warm_admit = Metrics.histogram m "service.warm_admit_s";
     instantiations = Metrics.counter m "service.instantiations";
+    quarantine_trips = Metrics.counter m "service.quarantine.trips";
+    quarantine_refused = Metrics.counter m "service.quarantine.refused";
+    quarantine_cleared = Metrics.counter m "service.quarantine.cleared";
+    crash_reports = Metrics.counter m "exec.crash.reports";
+    deadline_exceeded = Metrics.counter m "exec.deadline.exceeded";
   }
 
 let metrics t = t.m
@@ -61,6 +72,11 @@ type snapshot = {
   s_cold_translate_s : float;
   s_warm_admit_s : float;
   s_instantiations : int;
+  s_quarantine_trips : int;
+  s_quarantine_refused : int;
+  s_quarantine_cleared : int;
+  s_crash_reports : int;
+  s_deadline_exceeded : int;
 }
 
 let snapshot t : snapshot =
@@ -77,6 +93,11 @@ let snapshot t : snapshot =
     s_cold_translate_s = Metrics.histogram_sum t.cold_translate;
     s_warm_admit_s = Metrics.histogram_sum t.warm_admit;
     s_instantiations = Metrics.value t.instantiations;
+    s_quarantine_trips = Metrics.value t.quarantine_trips;
+    s_quarantine_refused = Metrics.value t.quarantine_refused;
+    s_quarantine_cleared = Metrics.value t.quarantine_cleared;
+    s_crash_reports = Metrics.value t.crash_reports;
+    s_deadline_exceeded = Metrics.value t.deadline_exceeded;
   }
 
 let hit_rate s =
@@ -96,13 +117,19 @@ let render s =
     s.s_translations (1e3 *. s.s_cold_translate_s) s.s_verifications
     (1e3 *. s.s_warm_admit_s);
   Printf.bprintf b "instantiations:    %d\n" s.s_instantiations;
+  Printf.bprintf b
+    "supervision:       %d crash reports (%d deadline), quarantine %d trips / %d refused / %d cleared\n"
+    s.s_crash_reports s.s_deadline_exceeded s.s_quarantine_trips
+    s.s_quarantine_refused s.s_quarantine_cleared;
   Buffer.contents b
 
 let pp fmt s = Format.pp_print_string fmt (render s)
 
 let to_json s =
   Printf.sprintf
-    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d}"
+    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d,\"quarantine_trips\":%d,\"quarantine_refused\":%d,\"quarantine_cleared\":%d,\"crash_reports\":%d,\"deadline_exceeded\":%d}"
     s.s_submits s.s_modules s.s_dedup_hits s.s_bytes_stored s.s_hits
     s.s_misses (hit_rate s) s.s_evictions s.s_translations s.s_verifications
     s.s_cold_translate_s s.s_warm_admit_s s.s_instantiations
+    s.s_quarantine_trips s.s_quarantine_refused s.s_quarantine_cleared
+    s.s_crash_reports s.s_deadline_exceeded

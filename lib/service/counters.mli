@@ -27,6 +27,12 @@ type t = {
   warm_admit : Metrics.histogram;  (** seconds of re-verification per hit *)
   (* service front-end *)
   instantiations : Metrics.counter;  (** images stamped out *)
+  (* execution supervision (see {!Supervise}) *)
+  quarantine_trips : Metrics.counter;  (** breakers tripped *)
+  quarantine_refused : Metrics.counter;  (** requests refused while tripped *)
+  quarantine_cleared : Metrics.counter;  (** manual clears *)
+  crash_reports : Metrics.counter;  (** faulted runs reported *)
+  deadline_exceeded : Metrics.counter;  (** watchdog faults among them *)
 }
 
 val create : ?metrics:Metrics.t -> unit -> t
@@ -51,6 +57,11 @@ type snapshot = {
   s_cold_translate_s : float;  (** total seconds across cold translates *)
   s_warm_admit_s : float;  (** total seconds across warm admissions *)
   s_instantiations : int;
+  s_quarantine_trips : int;
+  s_quarantine_refused : int;
+  s_quarantine_cleared : int;
+  s_crash_reports : int;
+  s_deadline_exceeded : int;
 }
 
 val snapshot : t -> snapshot

@@ -59,6 +59,19 @@ let mobile_opts (a : Arch.t) : Machine.topts =
       { schedule = true; fill_delay_slots = false; use_gp = false;
         peephole = true; sfi_opt = false }
 
+(* Machine state at the instant a fault aborted the run, for crash
+   reports. The register file is the sixteen OmniVM integer registers
+   read back through each engine's register mapping, so reports are
+   comparable across engines. [cs_pc] is an OmniVM code address on the
+   interpreter and a native instruction index on the simulators (the
+   translators keep no reverse address map). *)
+type crash_site = {
+  cs_pc : int;
+  cs_regs : int array; (* 16 *)
+  cs_window_base : int; (* absolute address of cs_window.[0]; -1 if none *)
+  cs_window : string; (* raw bytes around the faulting address *)
+}
+
 type run_result = {
   output : string;
   exit_code : int;
@@ -66,7 +79,60 @@ type run_result = {
   instructions : int;
   cycles : int;
   stats : Machine.stats option; (* None for the interpreter *)
+  crash : crash_site option; (* Some iff outcome is Faulted *)
 }
+
+(* Hexdump window: up to 32 bytes either side of the faulting address,
+   clamped to its mapped region; empty when the fault has no address or
+   the address is unmapped (the common case for wild accesses). *)
+let window_around mem fault =
+  match Omnivm.Fault.addr_of fault with
+  | None -> (-1, "")
+  | Some addr -> (
+      match Omnivm.Memory.region_of mem addr with
+      | None -> (-1, "")
+      | Some r ->
+          let base = r.Omnivm.Memory.base in
+          let lo = max base (addr - 32) in
+          let hi = min (base + r.Omnivm.Memory.size) (addr + 32) in
+          if hi <= lo then (-1, "")
+          else
+            ( lo,
+              Bytes.to_string
+                (Omnivm.Memory.read_bytes mem ~addr:lo ~len:(hi - lo)) ))
+
+let crash_of_interp (st : Omnivm.Interp.t) fault =
+  let cs_window_base, cs_window = window_around st.Omnivm.Interp.mem fault in
+  {
+    cs_pc = Omnivm.Exe.code_addr st.Omnivm.Interp.pc;
+    cs_regs = Array.init 16 (fun i -> Omnivm.Interp.get_reg st i);
+    cs_window_base;
+    cs_window;
+  }
+
+let crash_of_risc (st : Risc_sim.state) fault =
+  let cs_window_base, cs_window = window_around st.Risc_sim.mem fault in
+  {
+    cs_pc = st.Risc_sim.pc;
+    cs_regs = Array.init 16 (fun i -> Risc_sim.get st (Risc.map_reg i));
+    cs_window_base;
+    cs_window;
+  }
+
+let crash_of_x86 (st : X86_sim.state) fault =
+  let cs_window_base, cs_window = window_around st.X86_sim.mem fault in
+  let reg i =
+    match X86.int_home i with
+    | X86.Hzero -> 0
+    | X86.Hreg x -> st.X86_sim.regs.(x)
+    | X86.Hmem a -> Omnivm.Memory.load32 st.X86_sim.mem a
+  in
+  {
+    cs_pc = st.X86_sim.pc;
+    cs_regs = Array.init 16 reg;
+    cs_window_base;
+    cs_window;
+  }
 
 (* Mirror one run's statistics into the ambient metrics registry. *)
 let record_exec ~engine (img : Omni_runtime.Loader.image) (r : run_result) =
@@ -84,15 +150,20 @@ let record_exec ~engine (img : Omni_runtime.Loader.image) (r : run_result) =
 let load ?(map_host_region = false) ?allow exe =
   Omni_runtime.Loader.load ?allow ~map_host_region exe
 
-let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
-    =
+let run_interp ?(fuel = max_int) ?watchdog (img : Omni_runtime.Loader.image) :
+    run_result =
   Trace.phase "run" ~attrs:[ ("engine", "interp") ] @@ fun () ->
-  let outcome, st = Omni_runtime.Loader.run_interp ~fuel img in
+  let outcome, st = Omni_runtime.Loader.run_interp ~fuel ?watchdog img in
   let outcome' =
     match outcome with
     | Omnivm.Interp.Exited c -> Machine.Exited c
     | Omnivm.Interp.Faulted f -> Machine.Faulted f
     | Omnivm.Interp.Out_of_fuel -> Machine.Out_of_fuel
+  in
+  let crash =
+    match outcome' with
+    | Machine.Faulted f -> Some (crash_of_interp st f)
+    | Machine.Exited _ | Machine.Out_of_fuel -> None
   in
   let r =
     {
@@ -102,6 +173,7 @@ let run_interp ?(fuel = max_int) (img : Omni_runtime.Loader.image) : run_result
       instructions = st.Omnivm.Interp.icount;
       cycles = st.Omnivm.Interp.icount;
       stats = None;
+      crash;
     }
   in
   record_exec ~engine:"interp" img r;
@@ -144,24 +216,34 @@ let arch_of_translated = function
   | T_risc p -> Risc.arch_name p.Risc.cfg.Risc.arch
   | T_x86 _ -> "x86"
 
-let run_translated ?(fuel = max_int) (tr : translated)
+let run_translated ?(fuel = max_int) ?watchdog (tr : translated)
     (img : Omni_runtime.Loader.image) : run_result =
   let engine = arch_of_translated tr in
   Trace.phase "run" ~attrs:[ ("engine", engine) ] @@ fun () ->
-  let outcome, stats =
+  let outcome, stats, crash =
     match tr with
     | T_risc p ->
-        let o, s, _ =
-          Risc_sim.run ~fuel p img.Omni_runtime.Loader.mem
+        let o, s, st =
+          Risc_sim.run ~fuel ?watchdog p img.Omni_runtime.Loader.mem
             img.Omni_runtime.Loader.host
         in
-        (o, s)
+        let crash =
+          match o with
+          | Machine.Faulted f -> Some (crash_of_risc st f)
+          | Machine.Exited _ | Machine.Out_of_fuel -> None
+        in
+        (o, s, crash)
     | T_x86 p ->
-        let o, s, _ =
-          X86_sim.run ~fuel p img.Omni_runtime.Loader.mem
+        let o, s, st =
+          X86_sim.run ~fuel ?watchdog p img.Omni_runtime.Loader.mem
             img.Omni_runtime.Loader.host
         in
-        (o, s)
+        let crash =
+          match o with
+          | Machine.Faulted f -> Some (crash_of_x86 st f)
+          | Machine.Exited _ | Machine.Out_of_fuel -> None
+        in
+        (o, s, crash)
   in
   let r =
     {
@@ -171,6 +253,7 @@ let run_translated ?(fuel = max_int) (tr : translated)
       instructions = stats.Machine.instructions;
       cycles = stats.Machine.cycles;
       stats = Some stats;
+      crash;
     }
   in
   record_exec ~engine img r;

@@ -23,6 +23,20 @@ val mobile_opts : Arch.t -> Machine.topts
 (** The per-architecture translator-optimization defaults the paper
     describes (section 4). *)
 
+(** Machine state at the instant a fault aborted the run. [cs_regs] is
+    always the sixteen OmniVM integer registers, read back through each
+    engine's register mapping so reports are comparable across engines;
+    [cs_pc] is an OmniVM code address on the interpreter and a native
+    instruction index on the simulators. *)
+type crash_site = {
+  cs_pc : int;
+  cs_regs : int array;  (** 16 *)
+  cs_window_base : int;  (** address of [cs_window.[0]]; -1 if no window *)
+  cs_window : string;
+      (** raw bytes around the faulting address, clamped to its mapped
+          region; empty for faults without an (in-bounds) address *)
+}
+
 (** Result of running a module. *)
 type run_result = {
   output : string;  (** everything the module printed via host calls *)
@@ -31,6 +45,7 @@ type run_result = {
   instructions : int;  (** dynamic (native) instructions executed *)
   cycles : int;  (** simulated pipeline cycles (= instructions on interp) *)
   stats : Machine.stats option;  (** detailed statistics; None for interp *)
+  crash : crash_site option;  (** [Some] iff [outcome] is [Faulted] *)
 }
 
 val load :
@@ -39,7 +54,11 @@ val load :
   Omnivm.Exe.t ->
   Omni_runtime.Loader.image
 
-val run_interp : ?fuel:int -> Omni_runtime.Loader.image -> run_result
+val run_interp :
+  ?fuel:int ->
+  ?watchdog:Omnivm.Watchdog.t ->
+  Omni_runtime.Loader.image ->
+  run_result
 
 (** A translated module, ready to execute on its target simulator. *)
 type translated =
@@ -56,7 +75,11 @@ val translate :
     [opts] defaults to {!mobile_opts}. *)
 
 val run_translated :
-  ?fuel:int -> translated -> Omni_runtime.Loader.image -> run_result
+  ?fuel:int ->
+  ?watchdog:Omnivm.Watchdog.t ->
+  translated ->
+  Omni_runtime.Loader.image ->
+  run_result
 
 val verify : translated -> (unit, string) result
 (** Run the target's static SFI verifier over the translated code — the

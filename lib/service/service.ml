@@ -6,18 +6,42 @@ type t = {
   store : Store.t;
   cache : Cache.t;
   c : Counters.t;
+  quarantine : Supervise.Quarantine.t option;
+  deadline_s : float option; (* default wall-clock budget per run *)
+  watchdog_poll : int option;
+  clock : Omni_util.Clock.t; (* drives watchdog deadlines *)
+  on_crash : (Supervise.report -> unit) option;
 }
 
-let create ?cache_capacity ?metrics () =
+let create ?cache_capacity ?metrics ?quarantine ?deadline_s ?watchdog_poll
+    ?(clock = Supervise.wall_clock) ?on_crash () =
   let c = Counters.create ?metrics () in
   {
     store = Store.create ~counters:c ();
     cache = Cache.create ?capacity:cache_capacity c;
     c;
+    quarantine = Option.map Supervise.Quarantine.create quarantine;
+    deadline_s;
+    watchdog_poll;
+    clock;
+    on_crash;
   }
 
 let submit t bytes = Store.submit t.store bytes
 let metrics t = Counters.metrics t.c
+
+let clear_quarantine t digest =
+  match t.quarantine with
+  | None -> false
+  | Some q ->
+      let cleared = Supervise.Quarantine.clear q digest in
+      if cleared then Metrics.incr t.c.Counters.quarantine_cleared;
+      cleared
+
+let quarantined t =
+  match t.quarantine with
+  | None -> []
+  | Some q -> Supervise.Quarantine.active q
 
 (* Resolve the translation configuration exactly as Api.run does, so a
    service run and a direct run of the same request are the same
@@ -34,16 +58,64 @@ let resolve_config ?sfi ?mode ?opts arch =
   let opts = match opts with Some o -> o | None -> Exec.mobile_opts arch in
   (mode, opts)
 
-let instantiate ?(engine = Exec.Interp) ?sfi ?mode ?opts ?fuel t h =
+(* Post-run supervision: count and report the crash, feed the quarantine.
+   The quarantine is fed every outcome (clean exits reset strikes); the
+   crash report is only materialized when someone will read it. *)
+let supervise_result t h ~engine ~sfi ?fuel (res : Exec.run_result) =
+  let digest = Store.digest h in
+  (match res.Exec.outcome with
+  | Machine.Faulted f ->
+      Metrics.incr t.c.Counters.crash_reports;
+      if f = Omnivm.Fault.Deadline_exceeded then
+        Metrics.incr t.c.Counters.deadline_exceeded;
+      (match t.on_crash with
+      | None -> ()
+      | Some k -> (
+          match
+            Supervise.of_run ~engine ~sfi ?fuel ~wire:(Store.bytes t.store h)
+              res
+          with
+          | Some report -> k report
+          | None -> ()))
+  | Machine.Exited _ | Machine.Out_of_fuel -> ());
+  (match t.quarantine with
+  | None -> ()
+  | Some q ->
+      if Supervise.Quarantine.note q digest res.Exec.outcome then
+        Metrics.incr t.c.Counters.quarantine_trips);
+  res
+
+let instantiate ?(engine = Exec.Interp) ?(sfi = true) ?mode ?opts ?fuel
+    ?deadline_s t h =
+  (* Gate on the quarantine before any translation or instantiation work:
+     a refused request must cost nothing but this table lookup. *)
+  (match t.quarantine with
+  | None -> ()
+  | Some q -> (
+      try Supervise.Quarantine.check q (Store.digest h)
+      with Supervise.Quarantine.Quarantined _ as e ->
+        Metrics.incr t.c.Counters.quarantine_refused;
+        raise e));
+  let watchdog =
+    match (deadline_s, t.deadline_s) with
+    | None, None -> None
+    | Some b, _ | None, Some b ->
+        Some
+          (Omnivm.Watchdog.make ?poll_every:t.watchdog_poll ~clock:t.clock
+             ~budget_s:b ())
+  in
   let img = Omni_runtime.Loader.instantiate (Store.blueprint t.store h) in
   Metrics.incr t.c.Counters.instantiations;
-  match engine with
-  | Exec.Interp -> Exec.run_interp ?fuel img
-  | Exec.Target arch ->
-      let mode, opts = resolve_config ?sfi ?mode ?opts arch in
-      let key = Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts in
-      let tr = Cache.find_or_translate t.cache key (Store.exe t.store h) in
-      Exec.run_translated ?fuel tr img
+  let res =
+    match engine with
+    | Exec.Interp -> Exec.run_interp ?fuel ?watchdog img
+    | Exec.Target arch ->
+        let mode, opts = resolve_config ~sfi ?mode ?opts arch in
+        let key = Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts in
+        let tr = Cache.find_or_translate t.cache key (Store.exe t.store h) in
+        Exec.run_translated ?fuel ?watchdog tr img
+  in
+  supervise_result t h ~engine ~sfi ?fuel res
 
 let cached ?sfi ?mode ?opts ~arch t h =
   let mode, opts = resolve_config ?sfi ?mode ?opts arch in

@@ -20,12 +20,29 @@ module Machine = Omni_targets.Machine
 
 type t
 
-val create : ?cache_capacity:int -> ?metrics:Omni_obs.Metrics.t -> unit -> t
+val create :
+  ?cache_capacity:int ->
+  ?metrics:Omni_obs.Metrics.t ->
+  ?quarantine:Supervise.Quarantine.config ->
+  ?deadline_s:float ->
+  ?watchdog_poll:int ->
+  ?clock:Omni_util.Clock.t ->
+  ?on_crash:(Supervise.report -> unit) ->
+  unit ->
+  t
 (** [cache_capacity] bounds the translation cache (default 256 entries;
     0 disables translation caching — every target run translates).
     [metrics] is the registry the service's counters are registered in
     (default: a fresh one) — pass the registry of a {!Omni_obs.Trace}
-    tracer to land serving counters and per-phase timings in one place. *)
+    tracer to land serving counters and per-phase timings in one place.
+
+    Supervision (all off by default, preserving prior behaviour):
+    [quarantine] enables the per-digest circuit breaker
+    ({!Supervise.Quarantine}); [deadline_s] imposes a wall-clock budget on
+    every run (overridable per call), polled every [watchdog_poll]
+    instructions and read from [clock] (default real wall time);
+    [on_crash] is invoked with a full {!Supervise.report} for every
+    faulted run. *)
 
 val metrics : t -> Omni_obs.Metrics.t
 (** The backing metrics registry (serving counters + anything else
@@ -40,15 +57,28 @@ val instantiate :
   ?mode:Machine.mode ->
   ?opts:Machine.topts ->
   ?fuel:int ->
+  ?deadline_s:float ->
   t ->
   Store.handle ->
   Exec.run_result
 (** Run the module named by the handle on a fresh isolated image.
     Defaults mirror [Api.run_exe]: the interpreter engine; for target
     engines, sandboxed mobile code ([sfi], default true, ignored when
-    [mode] is given) with the per-arch translator options.
+    [mode] is given) with the per-arch translator options. [deadline_s]
+    overrides the service-wide wall-clock budget for this run.
     @raise Store.Unknown_handle on a foreign handle.
-    @raise Cache.Rejected if the SFI verifier rejects the translation. *)
+    @raise Cache.Rejected if the SFI verifier rejects the translation.
+    @raise Supervise.Quarantine.Quarantined when the module's breaker is
+    tripped — refused before any translation or instantiation work. *)
+
+val clear_quarantine : t -> Omni_util.Fnv64.t -> bool
+(** Manually lift a digest's quarantine; counted in
+    [service.quarantine.cleared]. [false] when the digest was not
+    quarantined (or no quarantine is configured). *)
+
+val quarantined : t -> (Omni_util.Fnv64.t * float) list
+(** Currently-quarantined digests with expiry times (empty when no
+    quarantine is configured). *)
 
 val cached :
   ?sfi:bool ->

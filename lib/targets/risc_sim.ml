@@ -233,7 +233,7 @@ let deliver_fault st f =
 
 exception Out_of_fuel_exn
 
-let run ?(fuel = max_int) (prog : program) mem host :
+let run ?(fuel = max_int) ?watchdog (prog : program) mem host :
     Machine.outcome * Machine.stats * state =
   let st = create prog mem host in
   let code = prog.code in
@@ -243,7 +243,24 @@ let run ?(fuel = max_int) (prog : program) mem host :
     decr fuel_left;
     if !fuel_left < 0 then raise Out_of_fuel_exn
   in
+  (* Same countdown scheme as Interp.run: the clock is only read every
+     [poll_every] native instructions; expiry raises Deadline_exceeded
+     through the ordinary fault-delivery path, preserving engine parity. *)
+  let poll =
+    match watchdog with
+    | None -> fun () -> ()
+    | Some w ->
+        let every = Omnivm.Watchdog.poll_every w in
+        let left = ref every in
+        fun () ->
+          decr left;
+          if !left <= 0 then begin
+            left := every;
+            Omnivm.Watchdog.check w
+          end
+  in
   let step () =
+    poll ();
     if st.pc < 0 || st.pc >= n then
       fault
         (Access_violation

@@ -283,13 +283,30 @@ let deliver_fault st f =
 
 exception Out_of_fuel_exn
 
-let run ?(fuel = max_int) (prog : program) mem host :
+let run ?(fuel = max_int) ?watchdog (prog : program) mem host :
     Machine.outcome * Machine.stats * state =
   let st = create prog mem host in
   let code = prog.code in
   let n = Array.length code in
   let fuel_left = ref fuel in
+  (* Same countdown scheme as Interp.run: the clock is only read every
+     [poll_every] native instructions; expiry raises Deadline_exceeded
+     through the ordinary fault-delivery path, preserving engine parity. *)
+  let poll =
+    match watchdog with
+    | None -> fun () -> ()
+    | Some w ->
+        let every = Omnivm.Watchdog.poll_every w in
+        let left = ref every in
+        fun () ->
+          decr left;
+          if !left <= 0 then begin
+            left := every;
+            Omnivm.Watchdog.check w
+          end
+  in
   let step () =
+    poll ();
     if st.pc < 0 || st.pc >= n then
       fault (Access_violation { addr = st.pc; access = Execute })
     else begin

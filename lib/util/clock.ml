@@ -9,24 +9,27 @@
 type t =
   | Cpu
   | Manual of float ref
+  | Fn of (unit -> float)
 
 let cpu = Cpu
 let manual ?(start = 0.0) () = Manual (ref start)
+let fn f = Fn f
 
 let now = function
   | Cpu -> Sys.time ()
   | Manual r -> !r
+  | Fn f -> f ()
 
 let advance c dt =
   match c with
-  | Cpu -> invalid_arg "Clock.advance: the CPU clock cannot be advanced"
+  | Cpu | Fn _ -> invalid_arg "Clock.advance: only a manual clock advances"
   | Manual r ->
       if dt < 0.0 then invalid_arg "Clock.advance: negative step";
       r := !r +. dt
 
 let set c v =
   match c with
-  | Cpu -> invalid_arg "Clock.set: the CPU clock cannot be set"
+  | Cpu | Fn _ -> invalid_arg "Clock.set: only a manual clock can be set"
   | Manual r ->
       if v < !r then invalid_arg "Clock.set: clock must be monotonic";
       r := v

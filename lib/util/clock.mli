@@ -13,6 +13,11 @@ val cpu : t
 val manual : ?start:float -> unit -> t
 (** A clock that only moves when told to ([start] defaults to 0). *)
 
+val fn : (unit -> float) -> t
+(** A clock read from an arbitrary source — how layers with access to
+    [Unix.gettimeofday] inject real wall time without this library
+    depending on unix (e.g. the execution watchdog's deadline clock). *)
+
 val now : t -> float
 
 val advance : t -> float -> unit

@@ -195,7 +195,8 @@ let gen_fault =
       map (fun pc -> Omnivm.Fault.Illegal_instruction { pc }) nat;
       map (fun index -> Omnivm.Fault.Unauthorized_host_call { index }) nat;
       return Omnivm.Fault.Stack_overflow;
-      map (fun c -> Omnivm.Fault.Explicit_trap c) nat ]
+      map (fun c -> Omnivm.Fault.Explicit_trap c) nat;
+      return Omnivm.Fault.Deadline_exceeded ]
 
 let gen_outcome =
   let open QCheck.Gen in
@@ -218,6 +219,14 @@ let gen_stats =
     { Machine.instructions; by_origin; cycles; loads; stores; branches;
       taken_branches; omni_instructions }
 
+let gen_crash =
+  let open QCheck.Gen in
+  let* cs_pc = nat
+  and* cs_regs = array_repeat 16 nat
+  and* cs_window_base = int_range (-1) 1_000_000
+  and* cs_window = string_size (int_bound 64) in
+  return { Exec.cs_pc; cs_regs; cs_window_base; cs_window }
+
 let gen_result =
   let open QCheck.Gen in
   let* output = string_size (int_bound 100)
@@ -225,8 +234,9 @@ let gen_result =
   and* outcome = gen_outcome
   and* instructions = nat
   and* cycles = nat
-  and* stats = opt gen_stats in
-  return { Exec.output; exit_code; outcome; instructions; cycles; stats }
+  and* stats = opt gen_stats
+  and* crash = opt gen_crash in
+  return { Exec.output; exit_code; outcome; instructions; cycles; stats; crash }
 
 let gen_req =
   let open QCheck.Gen in
@@ -237,8 +247,11 @@ let gen_req =
        and* rs_engine = gen_engine
        and* rs_sfi = bool
        and* rs_mode = gen_mode
-       and* rs_fuel = opt nat in
-       return (Msg.Run { Msg.rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel }));
+       and* rs_fuel = opt nat
+       and* rs_deadline_s = opt (map float_of_int (int_bound 1000)) in
+       return
+         (Msg.Run
+            { Msg.rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel; rs_deadline_s }));
       return Msg.Stats ]
 
 let gen_resp =
