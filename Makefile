@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke trace-smoke net-smoke fault-smoke crash-smoke clean
+.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke clean
 
 check: ## full tier-1 verification: build + every test suite + smokes
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke
 
 build:
 	dune build
@@ -18,6 +18,12 @@ bench:
 # Quick exercise of the serving experiment so the cache path stays honest.
 bench-smoke:
 	dune exec bench/main.exe -- service
+
+# Performance regression gate: run the hot-path benchmarks and compare
+# against the committed BENCH_6.json baseline; >20% regression on any
+# hot path fails. The first run (no baseline) seeds it.
+bench-gate:
+	dune exec bench/main.exe -- gate
 
 # End-to-end observability smoke: compile the quickstart module, run it
 # under omnirun with span tracing on, and insist the trace is non-empty.
@@ -92,6 +98,15 @@ crash-smoke:
 	  { echo "crash-smoke: FAIL (unexpected verdict: $$out)"; exit 1; }; \
 	rm -rf "$$dir"; \
 	echo "crash-smoke: OK (report written; fault reproduced on x86)"
+
+# Proof-carrying translation smoke: compile the quickstart module, then
+# translate + certify + witness-check it on every architecture, and
+# derive a batch of deterministic certificate corruptions that must all
+# be rejected — produce once, check cheap, and lying witnesses die.
+cert-smoke:
+	dune build examples/quickstart.exe bin/omnirun.exe
+	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null
+	./_build/default/bin/omnirun.exe cert /tmp/quickstart.omni --mutate 42
 
 clean:
 	dune clean

@@ -17,7 +17,106 @@ module W = Omni_workloads.Workloads
 let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
     "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
-    "resilience"; "isolation"; "phases"; "bechamel" ]
+    "resilience"; "isolation"; "phases"; "cert"; "bechamel" ]
+
+(* --- the persisted snapshot + regression gate (BENCH_6.json) ----------
+
+   [json] re-measures every subsystem's hot paths and writes BENCH_6.json
+   at the repo root. [gate] additionally diffs the new numbers against
+   the previous snapshot's [hot_paths] before overwriting it: any named
+   path more than 20% slower fails the gate (exit 1). The first run seeds
+   the baseline and passes. *)
+
+let snapshot_file = "BENCH_6.json"
+
+(* Extract the flat  "name": int  pairs of the "hot_paths" object. The
+   writer is ours and the schema is stable, so a scanner suffices — no
+   JSON library in the tree. *)
+let hot_paths_of_json (text : string) : (string * int) list =
+  match String.index_opt text '{' with
+  | None -> []
+  | Some _ -> (
+      let key = "\"hot_paths\"" in
+      let rec find i =
+        if i + String.length key > String.length text then None
+        else if String.sub text i (String.length key) = key then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> []
+      | Some i ->
+          let start = String.index_from text i '{' + 1 in
+          let stop = String.index_from text start '}' in
+          let body = String.sub text start (stop - start) in
+          String.split_on_char ',' body
+          |> List.filter_map (fun line ->
+                 match String.split_on_char ':' line with
+                 | [ name; value ] -> (
+                     let name = String.trim name in
+                     let name =
+                       if String.length name >= 2 && name.[0] = '"' then
+                         String.sub name 1 (String.length name - 2)
+                       else name
+                     in
+                     match int_of_string_opt (String.trim value) with
+                     | Some v -> Some (name, v)
+                     | None -> None)
+                 | _ -> None))
+
+let write_snapshot ~size =
+  let json = E.bench_snapshot ~size in
+  let oc = open_out snapshot_file in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s (%d hot paths)\n" snapshot_file
+    (List.length (hot_paths_of_json json));
+  json
+
+let run_gate ~size =
+  let previous =
+    if Sys.file_exists snapshot_file then begin
+      let ic = open_in_bin snapshot_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (hot_paths_of_json s)
+    end
+    else None
+  in
+  let fresh = hot_paths_of_json (write_snapshot ~size) in
+  match previous with
+  | None | Some [] ->
+      Printf.printf "bench-gate: baseline seeded (%d hot paths); PASS\n"
+        (List.length fresh)
+  | Some old ->
+      let threshold = 1.20 in
+      let regressions =
+        List.filter_map
+          (fun (name, now) ->
+            match List.assoc_opt name old with
+            | Some before
+              when before > 0
+                   && float_of_int now > threshold *. float_of_int before ->
+                Some (name, before, now)
+            | _ -> None)
+          fresh
+      in
+      List.iter
+        (fun (name, before, now) ->
+          Printf.printf "bench-gate: REGRESSION %s: %dus -> %dus (%+.0f%%)\n"
+            name before now
+            (100. *. (float_of_int now /. float_of_int before -. 1.)))
+        regressions;
+      if regressions = [] then
+        Printf.printf "bench-gate: %d hot paths within %.0f%% of the \
+                       previous snapshot; PASS\n"
+          (List.length fresh)
+          (100. *. (threshold -. 1.))
+      else begin
+        Printf.printf "bench-gate: FAIL (%d of %d hot paths regressed)\n"
+          (List.length regressions) (List.length fresh);
+        exit 1
+      end
 
 let run_section ~size name =
   let t0 = Unix.gettimeofday () in
@@ -38,6 +137,9 @@ let run_section ~size name =
   | "resilience" -> print_string (E.resilience ~size)
   | "isolation" -> print_string (E.isolation ~size)
   | "phases" -> print_string (E.phase_breakdown ~size)
+  | "cert" -> print_string (E.cert_amortization ~size)
+  | "json" -> ignore (write_snapshot ~size)
+  | "gate" -> run_gate ~size
   | "bechamel" -> Bechamel_bench.run ~size
   | other -> Printf.eprintf "unknown section %s\n" other);
   Printf.printf "[%s took %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)

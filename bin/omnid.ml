@@ -5,7 +5,7 @@
            [--max-module-bytes N] [--max-fuel N]
            [--max-requests-per-conn N] [--max-conn-bytes N]
            [--deadline SECS] [--max-deadline SECS]
-           [--quarantine N] [--quarantine-ttl SECS]
+           [--quarantine N] [--quarantine-ttl SECS] [--require-cert]
            [--metrics] [--trace | --trace-file FILE] [--once]
 
    Listens on a Unix-domain socket (--socket) or TCP (--port), and
@@ -40,6 +40,7 @@ let () =
   let max_deadline = ref 0.0 in
   let quarantine = ref 0 in
   let quarantine_ttl = ref 300.0 in
+  let require_cert = ref false in
   let metrics_dump = ref false in
   let trace_file = ref "" in
   let trace_flag = ref false in
@@ -72,6 +73,9 @@ let () =
        "N quarantine a module after N deterministic faults; 0 = off (default)");
       ("--quarantine-ttl", Arg.Set_float quarantine_ttl,
        "SECS how long a quarantined module stays refused (default 300)");
+      ("--require-cert", Arg.Set require_cert,
+       " refuse uncertified translated runs (certificate-invalid) and \
+        attach the safety certificate to every Run response");
       ("--metrics", Arg.Set metrics_dump,
        " dump the metrics registry to stderr on exit");
       ("--trace", Arg.Set trace_flag,
@@ -135,6 +139,7 @@ let () =
           max_requests_per_conn = !max_requests_per_conn;
           max_conn_bytes = !max_conn_bytes;
           max_deadline_s = !max_deadline;
+          require_cert = !require_cert;
         }
       ?tracer svc
   in

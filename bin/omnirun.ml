@@ -133,6 +133,7 @@ let run_single trace args =
   let loopback = ref false in
   let fault_rate = ref 0.0 in
   let fault_seed = ref 42 in
+  let want_cert = ref false in
   let spec =
     [ ("--engine", Arg.Set_string engine,
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
@@ -161,7 +162,11 @@ let run_single trace args =
       ("--fault-rate", Arg.Set_float fault_rate,
        "P damage each loopback frame with probability P (default 0)");
       ("--fault-seed", Arg.Set_int fault_seed,
-       "N PRNG seed for --fault-rate (default 42)") ]
+       "N PRNG seed for --fault-rate (default 42)");
+      ("--cert", Arg.Set want_cert,
+       " report the translation's safety certificate (remote runs fetch \
+        it from the daemon and re-check it locally; disables \
+        --fallback-local)") ]
   in
   Arg.parse_argv args spec
     (fun f ->
@@ -241,7 +246,73 @@ let run_single trace args =
             on_unreachable =
               (if !fallback_local then `Fallback_local else `Fail) }
         in
-        let result = Api.run req (Api.Wire wire) in
+        let result, remote_cert =
+          match client with
+          | Some c when !want_cert ->
+              (* fetch the witness with the result; the client's retry
+                 policy still applies, but there is no local fallback —
+                 certificates only come from the daemon *)
+              let h = Omni_net.Client.submit c wire in
+              Omni_net.Client.run_cert ~engine:eng ~sfi:!sfi
+                ?deadline_s:(if !deadline > 0.0 then Some !deadline else None)
+                ~want_cert:true c h
+          | _ -> (Api.run req (Api.Wire wire), None)
+        in
+        if !want_cert then begin
+          let module Exec = Omni_service.Exec in
+          let module Cert = Omni_cert.Certificate in
+          match eng with
+          | Api.Interp ->
+              prerr_endline
+                "omnirun: --cert: interpreter runs carry no certificate"
+          | Api.Target arch when not !sfi ->
+              ignore arch;
+              prerr_endline
+                "omnirun: --cert: unsandboxed translations are not \
+                 certified"
+          | Api.Target arch -> (
+              let digest = Omni_util.Fnv64.digest_string wire in
+              let mode =
+                Omni_targets.Machine.Mobile (Omni_sfi.Policy.make ())
+              in
+              let opts = Exec.mobile_opts arch in
+              let check_local cert origin =
+                (* re-translate locally and check the witness against it:
+                   translation is pure, so the daemon's certificate must
+                   hold here too *)
+                let tr =
+                  Exec.translate ~mode ~opts arch (Omnivm.Wire.decode wire)
+                in
+                match
+                  Exec.check_cert ~module_digest:digest ~mode ~opts cert tr
+                with
+                | Ok () ->
+                    Printf.eprintf "certificate:   %s (%s; check ok)\n"
+                      (Cert.summary cert) origin
+                | Error msg ->
+                    Printf.eprintf "certificate:   INVALID (%s): %s\n" origin
+                      msg
+              in
+              match remote_cert with
+              | Some enc -> (
+                  match Cert.decode enc with
+                  | Ok cert -> check_local cert "from daemon"
+                  | Error e ->
+                      Printf.eprintf
+                        "certificate:   INVALID (from daemon): %s\n"
+                        (Cert.decode_error_to_string e))
+              | None when client <> None ->
+                  prerr_endline
+                    "certificate:   none (daemon offered no certificate)"
+              | None -> (
+                  let tr =
+                    Exec.translate ~mode ~opts arch (Omnivm.Wire.decode wire)
+                  in
+                  match Exec.certify ~module_digest:digest ~mode ~opts tr with
+                  | Ok cert -> check_local cert "local"
+                  | Error msg ->
+                      Printf.eprintf "certificate:   REFUSED: %s\n" msg))
+        end;
         (* The crash site travels in the run result, so the report is the
            same whether the module faulted here or on the daemon. *)
         if !crash_dir <> "" then
@@ -328,6 +399,150 @@ let run_serve trace args =
   in
   exit code
 
+(* omnirun cert: translate + certify + check one module per architecture,
+   printing the witness summaries. With --mutate SEED, additionally derive
+   a batch of deterministic certificate corruptions (byte flips) from the
+   seed and insist every one is rejected by decode or by the checker —
+   what `make cert-smoke` drives. Exit 0: all checks passed (and, with
+   --mutate, all mutants rejected); 1: a witness failed or a mutant was
+   accepted. *)
+let run_cert trace args =
+  let module Exec = Omni_service.Exec in
+  let module Cert = Omni_cert.Certificate in
+  let input = ref None in
+  let engine = ref "all" in
+  let mutate = ref 0 in
+  let mutants = ref 64 in
+  let spec =
+    [ ("--engine", Arg.Set_string engine,
+       "ENGINE mips|sparc|ppc|x86, or all (default all)");
+      ("--mutate", Arg.Set_int mutate,
+       "SEED corrupt the certificate deterministically; every mutant must \
+        be rejected");
+      ("--mutants", Arg.Set_int mutants,
+       "N how many corruptions to derive from the seed (default 64)") ]
+  in
+  Arg.parse_argv args spec
+    (fun f -> input := Some f)
+    "omnirun cert <module.omni>";
+  match !input with
+  | None ->
+      prerr_endline "omnirun cert: no module";
+      exit 2
+  | Some path ->
+      let archs =
+        if !engine = "all" then
+          [ Omni_targets.Arch.Mips; Sparc; Ppc; X86 ]
+        else
+          match parse_engine ~who:"omnirun cert" !engine with
+          | Api.Target a -> [ a ]
+          | Api.Interp ->
+              prerr_endline
+                "omnirun cert: the interpreter runs no translated code; \
+                 pick a target architecture";
+              exit 2
+      in
+      let wire = read_file path in
+      let exe = Omnivm.Wire.decode wire in
+      let digest = Omni_util.Fnv64.digest_string wire in
+      let mode = Omni_targets.Machine.Mobile (Omni_sfi.Policy.make ()) in
+      let failures = ref 0 in
+      let code =
+        with_tracer trace @@ fun _ ->
+        List.iter
+          (fun arch ->
+            let name = Omni_targets.Arch.name arch in
+            let opts = Exec.mobile_opts arch in
+            let tr = Exec.translate ~mode ~opts arch exe in
+            match Exec.certify ~module_digest:digest ~mode ~opts tr with
+            | Error msg ->
+                Printf.printf "%-5s FAIL certify: %s\n" name msg;
+                incr failures
+            | Ok cert -> (
+                let enc = Cert.encode cert in
+                match Cert.decode enc with
+                | Error e ->
+                    Printf.printf "%-5s FAIL decode: %s\n" name
+                      (Cert.decode_error_to_string e);
+                    incr failures
+                | Ok cert' -> (
+                    match
+                      Exec.check_cert ~module_digest:digest ~mode ~opts cert'
+                        tr
+                    with
+                    | Error msg ->
+                        Printf.printf "%-5s FAIL check: %s\n" name msg;
+                        incr failures
+                    | Ok () ->
+                        Printf.printf "%-5s ok    %s\n" name
+                          (Cert.summary cert);
+                        if !mutate <> 0 then begin
+                          let rng =
+                            Omni_util.Lcg.create (!mutate + Hashtbl.hash name)
+                          in
+                          let accepted = ref 0 in
+                          for _ = 1 to !mutants do
+                            let b = Bytes.of_string enc in
+                            let i = Omni_util.Lcg.int rng (Bytes.length b) in
+                            let bit = 1 lsl Omni_util.Lcg.int rng 8 in
+                            Bytes.set b i
+                              (Char.chr
+                                 (Char.code (Bytes.get b i) lxor bit));
+                            match Cert.decode (Bytes.to_string b) with
+                            | Error _ -> ()
+                            | Ok m -> (
+                                match
+                                  Exec.check_cert ~module_digest:digest ~mode
+                                    ~opts m tr
+                                with
+                                | Error _ -> ()
+                                | Ok () -> incr accepted)
+                          done;
+                          (* byte flips die on the self-digest; also lie at
+                             the obligation level (kind swaps on a decoded
+                             witness) so the checker proper is exercised *)
+                          let nobs = Array.length cert.Cert.obs in
+                          if nobs > 0 then
+                            for _ = 1 to min !mutants nobs do
+                              let j = Omni_util.Lcg.int rng nobs in
+                              let ob = cert.Cert.obs.(j) in
+                              let kinds =
+                                List.filter
+                                  (fun k -> k <> ob.Omni_sfi.Witness.kind)
+                                  Omni_sfi.Witness.all_kinds
+                              in
+                              let k' =
+                                List.nth kinds
+                                  (Omni_util.Lcg.int rng (List.length kinds))
+                              in
+                              let obs' = Array.copy cert.Cert.obs in
+                              obs'.(j) <- { ob with Omni_sfi.Witness.kind = k' };
+                              let m = { cert with Cert.obs = obs' } in
+                              match
+                                Exec.check_cert ~module_digest:digest ~mode
+                                  ~opts m tr
+                              with
+                              | Error _ -> ()
+                              | Ok () -> incr accepted
+                            done;
+                          if !accepted > 0 then begin
+                            Printf.printf
+                              "%-5s FAIL mutate: %d corrupted certificates \
+                               accepted\n"
+                              name !accepted;
+                            incr failures
+                          end
+                          else
+                            Printf.printf
+                              "%-5s ok    all corrupted certificates \
+                               rejected (%d byte flips + %d kind swaps)\n"
+                              name !mutants (min !mutants nobs)
+                        end)))
+          archs;
+        if !failures = 0 then 0 else 1
+      in
+      exit code
+
 let outcome_string = function
   | Omni_targets.Machine.Exited c -> Printf.sprintf "exited with code %d" c
   | Omni_targets.Machine.Faulted f ->
@@ -393,6 +608,8 @@ let () =
       subcommand "serve" run_serve
     else if Array.length argv > 1 && argv.(1) = "replay" then
       subcommand "replay" run_replay
+    else if Array.length argv > 1 && argv.(1) = "cert" then
+      subcommand "cert" run_cert
     else run_single trace argv
   with
   | Arg.Bad msg ->

@@ -245,6 +245,29 @@ let run_wire_remote ~(remote : Net.Client.t) ~engine ?sfi ?fuel bytes :
         }
         (Wire bytes)
 
+(* Remote run that also brings home the translation's safety witness —
+   proof-carrying translation end to end: the certificate decodes with
+   [Omni_cert.Certificate.decode] and re-checks locally against a local
+   translation of the same bytes via [Exec.check_cert]. *)
+let run_wire_remote_cert ~(remote : Net.Client.t) ~engine ?sfi ?fuel bytes :
+    run_result * string option =
+  match engine_of_string engine with
+  | Error msg -> invalid_arg msg
+  | Ok e -> (
+      try
+        let h = Net.Client.submit remote bytes in
+        Net.Client.run_cert ~engine:e ~sfi:(Option.value sfi ~default:true)
+          ?fuel ~want_cert:true remote h
+      with
+      | Net.Client.Remote_error (Net.Message.E_decode, msg) ->
+          raise (Omnivm.Wire.Bad_module msg)
+      | Net.Client.Remote_error (Net.Message.E_unknown_handle, _) ->
+          raise Omni_service.Store.Unknown_handle
+      | Net.Client.Remote_error (Net.Message.E_verifier_rejected, msg) ->
+          raise (Omni_service.Cache.Rejected msg)
+      | Net.Client.Remote_error (Net.Message.E_limit_exceeded, msg) ->
+          invalid_arg msg)
+
 (* --- compilation (re-exported for hosts embedding the compiler) --- *)
 
 let compile = Minic.Driver.compile_wire

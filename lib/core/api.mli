@@ -230,6 +230,21 @@ val run_wire_remote :
     run them there. The daemon's store/cache play the role [service]
     plays locally; results are bit-identical to the in-process path. *)
 
+val run_wire_remote_cert :
+  remote:Net.Client.t ->
+  engine:string ->
+  ?sfi:bool ->
+  ?fuel:int ->
+  string ->
+  run_result * string option
+(** {!run_wire_remote} that also requests the translation's safety
+    certificate (encoded [omni-cert/1] bytes; [None] for interpreter
+    runs and uncertified configurations). The certificate decodes with
+    [Omni_cert.Certificate.decode] and re-checks locally against a local
+    translation of the same bytes — proof-carrying translation end to
+    end. No local-fallback handling: certificates only come from a live
+    daemon. *)
+
 val compile :
   ?options:Minic.Driver.options ->
   ?with_stdlib:bool ->

@@ -808,6 +808,446 @@ let isolation ~size =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Proof-carrying translation: produce-once / check-cheap. For each arch
+   and each certifiable SFI policy, translate + certify every workload
+   once (the cold-path cost, paid per distinct module), then time the
+   full static verifier against the witness checker on identical
+   translated code — the two candidate costs of a warm cache admission.
+   Certification only applies to Sandbox-mode policies (Guard and Off
+   translations carry no Wahbe-style masking sequences to witness). *)
+
+let cert_policies =
+  [ ("sandbox", Omni_sfi.Policy.make ());
+    ("sandbox+reads", Omni_sfi.Policy.make ~protect_reads:true ()) ]
+
+type cert_cell = {
+  cc_arch : string;
+  cc_policy : string;
+  cc_produce_s : float;  (* certify the whole suite once *)
+  cc_full_s : float;  (* full static re-verify, whole suite, per round *)
+  cc_check_s : float;  (* witness check, whole suite, per round *)
+  cc_bytes : int;  (* total encoded omni-cert/1 bytes for the suite *)
+}
+
+let cert_measure ~size : cert_cell list =
+  let module Exec = Omni_service.Exec in
+  let module Cert = Omni_cert.Certificate in
+  let ws = workloads ~size in
+  List.concat_map
+    (fun arch ->
+      List.map
+        (fun (pname, pol) ->
+          let mode = Machine.Mobile pol in
+          let opts = Api.mobile_opts arch in
+          let items =
+            List.map
+              (fun (w : Omni_workloads.Workloads.t) ->
+                let p = prepare w in
+                let digest =
+                  Omni_util.Fnv64.digest_string (Omnivm.Wire.encode p.p_exe)
+                in
+                (p, digest, Exec.translate ~mode ~opts arch p.p_exe))
+              ws
+          in
+          let t0 = Sys.time () in
+          let certs =
+            List.map
+              (fun (p, digest, tr) ->
+                match Exec.certify ~module_digest:digest ~mode ~opts tr with
+                | Ok c -> (p, digest, tr, Exec.fingerprint tr, c)
+                | Error msg ->
+                    fail "cert: %s/%s/%s refused certification: %s" p.p_name
+                      (Arch.name arch) pname msg)
+              items
+          in
+          let produce = Sys.time () -. t0 in
+          let bytes =
+            List.fold_left
+              (fun acc (_, _, _, _, c) -> acc + String.length (Cert.encode c))
+              0 certs
+          in
+          (* Warm-admission candidate A: the full static verifier — what
+             every cache hit paid before witnesses existed. *)
+          let run_full () =
+            List.iter
+              (fun ((p : prepared), _, tr, _, _) ->
+                match Exec.verify tr with
+                | Ok () -> ()
+                | Error msg ->
+                    fail "cert: full verify refused %s/%s/%s: %s" p.p_name
+                      (Arch.name arch) pname msg)
+              certs
+          in
+          (* Warm-admission candidate B: the witness check (the cache
+             stores the code fingerprint, so pass it as the cache does). *)
+          let run_check () =
+            List.iter
+              (fun ((p : prepared), digest, tr, fp, c) ->
+                match
+                  Exec.check_cert ~module_digest:digest ~mode ~opts
+                    ~code_fp:fp c tr
+                with
+                | Ok () -> ()
+                | Error msg ->
+                    fail "cert: witness check refused %s/%s/%s: %s" p.p_name
+                      (Arch.name arch) pname msg)
+              certs
+          in
+          (* Adaptive paired timing: per candidate, double the batch until
+             one batch takes at least 50ms of CPU time (so neither number
+             sits at the clock's resolution floor), then time the two
+             candidates ALTERNATELY for five rounds and keep each one's
+             minimum. Alternation matters: external interference (other
+             tenants, frequency shifts) arrives in bursts longer than one
+             batch, so back-to-back batches of the two candidates see the
+             same conditions and the per-candidate minima land in the same
+             quiet window — where sequential timing lets a burst inflate
+             one column but not the other. The min is the right estimator
+             for "how fast is this code": interference is additive. *)
+          let calibrate f =
+            f ();
+            (* warmup *)
+            let rec go batch =
+              let t0 = Sys.time () in
+              for _ = 1 to batch do
+                f ()
+              done;
+              if Sys.time () -. t0 >= 0.05 then batch else go (batch * 2)
+            in
+            go 1
+          in
+          let batch_full = calibrate run_full in
+          let batch_check = calibrate run_check in
+          let best_full = ref infinity and best_check = ref infinity in
+          for _ = 1 to 5 do
+            let t0 = Sys.time () in
+            for _ = 1 to batch_full do
+              run_full ()
+            done;
+            let e = Sys.time () -. t0 in
+            if e < !best_full then best_full := e;
+            let t0 = Sys.time () in
+            for _ = 1 to batch_check do
+              run_check ()
+            done;
+            let e = Sys.time () -. t0 in
+            if e < !best_check then best_check := e
+          done;
+          let full = !best_full /. float_of_int batch_full in
+          let check = !best_check /. float_of_int batch_check in
+          {
+            cc_arch = Arch.name arch;
+            cc_policy = pname;
+            cc_produce_s = produce;
+            cc_full_s = full;
+            cc_check_s = check;
+            cc_bytes = bytes;
+          })
+        cert_policies)
+    all_archs
+
+(* End-to-end honesty check for the numbers above: run every workload
+   twice per arch through a serving stack — the second (warm) admission
+   goes through the witness check — and insist the output is bit-identical
+   to the interpreter's, and that the witness path actually ran. *)
+let cert_validate ~size =
+  let module Svc = Omni_service.Service in
+  let module SC = Omni_service.Counters in
+  let module Exec = Omni_service.Exec in
+  let ws = workloads ~size in
+  let svc = Svc.create () in
+  let fuel = 4_000_000_000 in
+  let handles =
+    List.map
+      (fun (w : Omni_workloads.Workloads.t) ->
+        let p = prepare w in
+        (p, Svc.submit svc (Omnivm.Wire.encode p.p_exe)))
+      ws
+  in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun ((p : prepared), h) ->
+          for _ = 1 to 2 do
+            let r = Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc h in
+            if not (String.equal r.Exec.output p.p_expected) then
+              fail "cert: %s/%s wrong output on the witness-checked path"
+                p.p_name (Arch.name arch)
+          done)
+        handles)
+    all_archs;
+  let c = Svc.stats svc in
+  if c.SC.s_cert_checks = 0 then
+    fail "cert: warm admissions never took the witness-check path";
+  if c.SC.s_verify_fail > 0 then
+    fail "cert: %d warm admissions were rejected" c.SC.s_verify_fail;
+  c
+
+let cert_amortization ~size =
+  let module SC = Omni_service.Counters in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Proof-carrying translation: produce-once safety witnesses vs per-hit\n\
+     full re-verification (whole workload suite per cell; produce = certify\n\
+     once, the other columns are one warm admission of the suite).\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-14s %12s %16s %18s %9s %7s\n" "arch" "policy"
+       "produce (ms)" "full-verify (ms)" "witness-check (ms)" "speedup"
+       "bytes");
+  let cells = cert_measure ~size in
+  let min_speedup = ref infinity in
+  List.iter
+    (fun c ->
+      let speedup = c.cc_full_s /. Float.max 1e-9 c.cc_check_s in
+      if speedup < !min_speedup then min_speedup := speedup;
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %-14s %12.2f %16.3f %18.3f %8.1fx %7d\n"
+           c.cc_arch c.cc_policy (1e3 *. c.cc_produce_s) (1e3 *. c.cc_full_s)
+           (1e3 *. c.cc_check_s) speedup c.cc_bytes))
+    cells;
+  let stats = cert_validate ~size in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nwitness-checked serving path: outputs bit-identical to the\n\
+        interpreter on every workload x arch (%d witness checks, %d full\n\
+        re-verifies, %d failures); minimum speedup %.1fx (gate: >= 5x)\n"
+       stats.SC.s_cert_checks stats.SC.s_cert_full_verify
+       stats.SC.s_verify_fail !min_speedup);
+  if !min_speedup < 5.0 then
+    Buffer.add_string buf "WARNING: speedup below the 5x acceptance gate\n";
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- machine-readable benchmark snapshot (BENCH_6.json) ---------------
+
+   A compact re-measurement of the hot paths of every subsystem bench,
+   emitted as stable JSON so successive runs can be diffed ([make
+   bench-gate]). All times are integer microseconds of CPU time
+   ([Sys.time]), which keeps the file parseable by the repo's small
+   integer-only JSON readers and the numbers stable under scheduler
+   noise. The [hot_paths] object is the gate's contract: flat
+   name -> microseconds, nothing else promised to stay. *)
+
+let bench_snapshot ~size : string =
+  let module Svc = Omni_service.Service in
+  let module SC = Omni_service.Counters in
+  let module Exec = Omni_service.Exec in
+  let module Net = Omni_net in
+  let us s = int_of_float (1e6 *. s) in
+  let fuel = 4_000_000_000 in
+  let ws = workloads ~size in
+  let hot : (string * int) list ref = ref [] in
+  let hot_add name v = hot := (name, v) :: !hot in
+  (* phases: serving path under a Null tracer, per-phase histograms *)
+  let m = Omni_obs.Metrics.create () in
+  let phase_section =
+    let tracer = Omni_obs.Trace.make ~metrics:m Omni_obs.Trace.Null in
+    Omni_obs.Trace.with_current tracer @@ fun () ->
+    let svc = Svc.create ~metrics:m () in
+    List.iter
+      (fun (w : Omni_workloads.Workloads.t) ->
+        let p = prepare w in
+        let h = Svc.submit svc (Omnivm.Wire.encode p.p_exe) in
+        ignore (Svc.instantiate ~fuel svc h);
+        List.iter
+          (fun arch ->
+            ignore (Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc h))
+          all_archs)
+      ws;
+    let snap = Omni_obs.Metrics.snapshot m in
+    List.filter_map
+      (fun (name, (hs : Omni_obs.Metrics.hist_snapshot)) ->
+        let n = String.length name in
+        if n > 6 && String.sub name 0 6 = "phase." then begin
+          let phase = String.sub name 6 (n - 6) in
+          let mean =
+            hs.Omni_obs.Metrics.hs_sum
+            /. float_of_int (max 1 hs.Omni_obs.Metrics.hs_count)
+          in
+          (match phase with
+          | "translate" | "verify" | "run" ->
+              hot_add (Printf.sprintf "phase.%s.mean" phase) (us mean)
+          | _ -> ());
+          Some
+            (Printf.sprintf
+               "    \"%s\": {\"count\": %d, \"total_us\": %d, \"mean_us\": %d}"
+               phase hs.Omni_obs.Metrics.hs_count
+               (us hs.Omni_obs.Metrics.hs_sum)
+               (us mean))
+        end
+        else None)
+      snap.Omni_obs.Metrics.histograms
+  in
+  (* service: cold vs warm admission per arch, via the serving counters *)
+  let service_section =
+    let svc = Svc.create () in
+    let handles =
+      List.map
+        (fun (w : Omni_workloads.Workloads.t) ->
+          let p = prepare w in
+          Svc.submit svc (Omnivm.Wire.encode p.p_exe))
+        ws
+    in
+    let load_all arch =
+      List.iter
+        (fun h ->
+          ignore (Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc h))
+        handles
+    in
+    List.map
+      (fun arch ->
+        let cold0 = (Svc.stats svc).SC.s_cold_translate_s in
+        load_all arch;
+        let cold = (Svc.stats svc).SC.s_cold_translate_s -. cold0 in
+        let warm0 = (Svc.stats svc).SC.s_warm_admit_s in
+        load_all arch;
+        let warm = (Svc.stats svc).SC.s_warm_admit_s -. warm0 in
+        hot_add (Printf.sprintf "service.warm.%s" (Arch.name arch)) (us warm);
+        Printf.sprintf "    \"%s\": {\"cold_us\": %d, \"warm_us\": %d}"
+          (Arch.name arch) (us cold) (us warm))
+      all_archs
+  in
+  (* remote: warm round trips over the loopback pair vs in-process *)
+  let remote_section =
+    let svc_r = Svc.create () in
+    let server = Net.Server.create svc_r in
+    let client = Net.Client.loopback server in
+    let svc_l = Svc.create () in
+    let prepared =
+      List.map
+        (fun (w : Omni_workloads.Workloads.t) ->
+          Omnivm.Wire.encode (prepare w).p_exe)
+        ws
+    in
+    let rh = List.map (Net.Client.submit client) prepared in
+    let lh = List.map (Svc.submit svc_l) prepared in
+    let time f =
+      let t0 = Sys.time () in
+      f ();
+      Sys.time () -. t0
+    in
+    List.map
+      (fun arch ->
+        let remote_round () =
+          List.iter
+            (fun h ->
+              ignore (Net.Client.run ~engine:(Exec.Target arch) ~fuel client h))
+            rh
+        in
+        let local_round () =
+          List.iter
+            (fun h ->
+              ignore (Svc.instantiate ~engine:(Exec.Target arch) ~fuel svc_l h))
+            lh
+        in
+        ignore (time remote_round);
+        ignore (time local_round);
+        let warm_r = time remote_round in
+        let warm_l = time local_round in
+        hot_add (Printf.sprintf "remote.warm.%s" (Arch.name arch)) (us warm_r);
+        Printf.sprintf
+          "    \"%s\": {\"warm_remote_us\": %d, \"warm_local_us\": %d}"
+          (Arch.name arch) (us warm_r) (us warm_l))
+      all_archs
+  in
+  (* resilience: one loopback round per fault rate, retrying client *)
+  let resilience_section =
+    List.map
+      (fun rate ->
+        let svc = Svc.create () in
+        let server = Net.Server.create svc in
+        let retry = { Net.Retry.default with max_attempts = 12 } in
+        let env = Net.Retry.manual_env () in
+        let fault =
+          if rate > 0. then Some (Net.Fault.arm (Net.Fault.seeded ~seed:42 ~rate ()))
+          else None
+        in
+        let client = Net.Client.loopback ~retry ~env ?fault server in
+        let handles = List.map
+            (fun (w : Omni_workloads.Workloads.t) ->
+              Net.Client.submit client (Omnivm.Wire.encode (prepare w).p_exe))
+            ws
+        in
+        let t0 = Sys.time () in
+        List.iter
+          (fun h ->
+            ignore
+              (Net.Client.run ~engine:(Exec.Target Arch.X86) ~fuel client h))
+          handles;
+        let round = Sys.time () -. t0 in
+        let key = Printf.sprintf "rate_%g" rate in
+        Printf.sprintf "    \"%s\": {\"round_us\": %d}" key (us round))
+      [ 0.0; 0.05 ]
+  in
+  (* isolation: watchdog poll overhead at one representative K *)
+  let isolation_section =
+    let module Supervise = Omni_service.Supervise in
+    let prepared = List.map prepare ws in
+    let round poll_every () =
+      List.iter
+        (fun (p : prepared) ->
+          let img = Exec.load p.p_exe in
+          let watchdog =
+            Option.map
+              (fun k -> Supervise.watchdog ~poll_every:k ~budget_s:1e9 ())
+              poll_every
+          in
+          ignore (Exec.run_interp ~fuel ?watchdog img))
+        prepared
+    in
+    let time f =
+      let t0 = Sys.time () in
+      f ();
+      Sys.time () -. t0
+    in
+    ignore (time (round None));
+    let base = time (round None) in
+    let polled = time (round (Some 16_384)) in
+    hot_add "isolation.poll_16384" (us polled);
+    [ Printf.sprintf "    \"off\": {\"round_us\": %d}" (us base);
+      Printf.sprintf "    \"poll_16384\": {\"round_us\": %d}" (us polled) ]
+  in
+  (* cert: the tentpole numbers — full verify vs witness check *)
+  let cert_section =
+    List.map
+      (fun c ->
+        hot_add
+          (Printf.sprintf "cert.full_verify.%s.%s" c.cc_arch c.cc_policy)
+          (us c.cc_full_s);
+        hot_add
+          (Printf.sprintf "cert.witness_check.%s.%s" c.cc_arch c.cc_policy)
+          (us c.cc_check_s);
+        Printf.sprintf
+          "    \"%s/%s\": {\"produce_us\": %d, \"full_verify_us\": %d, \
+           \"witness_check_us\": %d, \"speedup_x100\": %d, \"bytes\": %d}"
+          c.cc_arch c.cc_policy (us c.cc_produce_s) (us c.cc_full_s)
+          (us c.cc_check_s)
+          (int_of_float (100. *. c.cc_full_s /. Float.max 1e-9 c.cc_check_s))
+          c.cc_bytes)
+      (cert_measure ~size)
+  in
+  ignore (cert_validate ~size);
+  let obj name lines =
+    Printf.sprintf "  \"%s\": {\n%s\n  }" name (String.concat ",\n" lines)
+  in
+  let hot_lines =
+    List.rev_map
+      (fun (name, v) -> Printf.sprintf "    \"%s\": %d" name v)
+      !hot
+  in
+  String.concat ""
+    [ "{\n";
+      Printf.sprintf "  \"schema\": \"omni-bench/1\",\n";
+      Printf.sprintf "  \"size\": \"%s\",\n"
+        (match size with Omni_workloads.Workloads.Test -> "test" | _ -> "ref");
+      obj "phases" phase_section; ",\n";
+      obj "service" service_section; ",\n";
+      obj "remote" remote_section; ",\n";
+      obj "resilience" resilience_section; ",\n";
+      obj "isolation" isolation_section; ",\n";
+      obj "cert" cert_section; ",\n";
+      obj "hot_paths" hot_lines; "\n}\n" ]
+
 let all_tables ~size =
   String.concat "\n"
     [ table1 ~size; table2 ~size; table3 ~size; table4 ~size; table5 ~size;

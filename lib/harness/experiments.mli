@@ -112,4 +112,17 @@ val isolation : size:Omni_workloads.Workloads.size -> string
     outputs validated bit-for-bit (an armed watchdog with a generous
     deadline must never perturb execution). *)
 
+val cert_amortization : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: proof-carrying translation ({!Omni_cert}) — the
+    one-time cost of certifying a translation against the per-hit cost
+    of a full static re-verification vs the witness check, per arch ×
+    certifiable SFI policy, plus an end-to-end validation that the
+    witness-checked serving path produces bit-identical output. *)
+
+val bench_snapshot : size:Omni_workloads.Workloads.size -> string
+(** Machine-readable snapshot of every subsystem bench's hot paths
+    (the contents of [BENCH_6.json]): stable JSON, integer microseconds
+    of CPU time, with a flat ["hot_paths"] object that [make bench-gate]
+    diffs across runs. *)
+
 val all_tables : size:Omni_workloads.Workloads.size -> string

@@ -98,8 +98,8 @@ let submit t bytes =
   | M.Submitted d -> d
   | _ -> unexpected "submit"
 
-let run ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default) ?fuel
-    ?deadline_s t handle =
+let run_cert ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default)
+    ?fuel ?deadline_s ?(want_cert = false) t handle =
   match
     call t
       (M.Run
@@ -110,10 +110,14 @@ let run ?(engine = Exec.Interp) ?(sfi = true) ?(mode = M.M_default) ?fuel
            rs_mode = mode;
            rs_fuel = fuel;
            rs_deadline_s = deadline_s;
+           rs_want_cert = want_cert;
          })
   with
-  | M.Ran r -> r
+  | M.Ran (r, cert) -> (r, cert)
   | _ -> unexpected "run"
+
+let run ?engine ?sfi ?mode ?fuel ?deadline_s t handle =
+  fst (run_cert ?engine ?sfi ?mode ?fuel ?deadline_s t handle)
 
 let stats_json t =
   match call t M.Stats with

@@ -107,5 +107,21 @@ val run :
     [Deadline_exceeded], reported in the result's outcome like any other
     fault. *)
 
+val run_cert :
+  ?engine:Exec.engine ->
+  ?sfi:bool ->
+  ?mode:Message.mode_spec ->
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?want_cert:bool ->
+  t ->
+  int64 ->
+  Exec.run_result * string option
+(** Like {!run}, but with [~want_cert:true] also returns the encoded
+    [omni-cert/1] safety certificate the server holds for this
+    translation ([None] for interpreter runs, uncertified configurations,
+    or servers that predate certificates — the response arity is the
+    same either way). Decode with [Omni_cert.Certificate.decode]. *)
+
 val stats_json : t -> string
 (** The daemon's service-counter snapshot as one JSON line. *)

@@ -22,6 +22,7 @@ type err_class =
   | E_bad_frame
   | E_module_fault
   | E_quarantined
+  | E_certificate_invalid
 
 let err_class_name = function
   | E_decode -> "decode"
@@ -32,6 +33,7 @@ let err_class_name = function
   | E_bad_frame -> "bad-frame"
   | E_module_fault -> "module-fault"
   | E_quarantined -> "quarantined"
+  | E_certificate_invalid -> "certificate-invalid"
 
 let err_class_code = function
   | E_decode -> 0
@@ -42,6 +44,7 @@ let err_class_code = function
   | E_bad_frame -> 5
   | E_module_fault -> 6
   | E_quarantined -> 7
+  | E_certificate_invalid -> 8
 
 let err_class_of_code = function
   | 0 -> Some E_decode
@@ -52,6 +55,7 @@ let err_class_of_code = function
   | 5 -> Some E_bad_frame
   | 6 -> Some E_module_fault
   | 7 -> Some E_quarantined
+  | 8 -> Some E_certificate_invalid
   | _ -> None
 
 (* The message of an [E_module_fault] error leads with a machine-readable
@@ -87,14 +91,18 @@ type run_spec = {
   rs_mode : mode_spec;
   rs_fuel : int option;
   rs_deadline_s : float option;
+  rs_want_cert : bool;
 }
 
 type req = Ping | Submit of string | Run of run_spec | Stats
 
+(* [Ran] carries the optional encoded safety certificate (omni-cert/1
+   bytes, opaque at this layer) when the request asked for one and the
+   run went through a certified translation. *)
 type resp =
   | Pong
   | Submitted of int64
-  | Ran of Exec.run_result
+  | Ran of Exec.run_result * string option
   | Stats_json of string
   | Error of err_class * string
 
@@ -379,7 +387,8 @@ let encode_req = function
               wmode b rs.rs_mode;
               wopt wint b rs.rs_fuel;
               wopt (fun b v -> w64 b (Int64.bits_of_float v)) b
-                rs.rs_deadline_s);
+                rs.rs_deadline_s;
+              wbool b rs.rs_want_cert);
       }
   | Stats -> { Frame.tag = tag_stats; payload = "" }
 
@@ -387,7 +396,14 @@ let encode_resp = function
   | Pong -> { Frame.tag = tag_pong; payload = "" }
   | Submitted digest ->
       { Frame.tag = tag_submitted; payload = payload (fun b -> w64 b digest) }
-  | Ran r -> { Frame.tag = tag_ran; payload = payload (fun b -> wresult b r) }
+  | Ran (r, cert) ->
+      {
+        Frame.tag = tag_ran;
+        payload =
+          payload (fun b ->
+              wresult b r;
+              wopt wstr b cert);
+      }
   | Stats_json json -> { Frame.tag = tag_stats_json; payload = json }
   | Error (cls, msg) ->
       {
@@ -419,8 +435,18 @@ let decode_req (fr : Frame.t) : (req, string) result =
         let rs_mode = rmode c in
         let rs_fuel = ropt rint c in
         let rs_deadline_s = ropt (fun c -> Int64.float_of_bits (r64 c)) c in
+        let rs_want_cert = rbool c in
         finish c
-          (Run { rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel; rs_deadline_s }))
+          (Run
+             {
+               rs_handle;
+               rs_engine;
+               rs_sfi;
+               rs_mode;
+               rs_fuel;
+               rs_deadline_s;
+               rs_want_cert;
+             }))
   else Result.Error (Printf.sprintf "unknown request tag 0x%02x" t)
 
 let decode_resp (fr : Frame.t) : (resp, string) result =
@@ -436,7 +462,8 @@ let decode_resp (fr : Frame.t) : (resp, string) result =
     decoding (fun () ->
         let c = { s = fr.Frame.payload; pos = 0 } in
         let r = rresult c in
-        finish c (Ran r))
+        let cert = ropt rstr c in
+        finish c (Ran (r, cert)))
   else if t = tag_error then
     decoding (fun () ->
         let c = { s = fr.Frame.payload; pos = 0 } in

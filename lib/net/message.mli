@@ -36,6 +36,11 @@ type err_class =
       (** the server's circuit breaker is refusing this module after
           repeated deterministic faults; terminal until the TTL expires
           or an operator clears it *)
+  | E_certificate_invalid
+      (** the run demanded a safety certificate ([rs_want_cert] against a
+          server in require-cert mode, or [omnid --require-cert]) and the
+          translation has none, or its witness failed the check —
+          deterministic, so terminal for clients *)
 
 val err_class_name : err_class -> string
 val err_class_code : err_class -> int
@@ -72,6 +77,9 @@ type run_spec = {
       (** wall-clock budget for the run, enforced by the server's
           cooperative watchdog ([None] = the server's default, possibly
           none); expiry is a [Deadline_exceeded] module fault *)
+  rs_want_cert : bool;
+      (** ship the translation's safety certificate (encoded omni-cert/1
+          bytes) back with the result, when one exists *)
 }
 
 type req =
@@ -83,9 +91,11 @@ type req =
 type resp =
   | Pong
   | Submitted of int64  (** content handle (FNV-1a/64 digest) *)
-  | Ran of Exec.run_result
+  | Ran of Exec.run_result * string option
       (** the full result, faults and detailed statistics included — a
-          remote run reports exactly what a local one does *)
+          remote run reports exactly what a local one does — plus the
+          encoded safety certificate when the request set [rs_want_cert]
+          and the run went through a certified translation *)
   | Stats_json of string
   | Error of err_class * string
 

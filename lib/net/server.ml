@@ -30,6 +30,7 @@ type config = {
   max_requests_per_conn : int;
   max_conn_bytes : int;
   max_deadline_s : float;
+  require_cert : bool;
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     max_requests_per_conn = 0;
     max_conn_bytes = 0;
     max_deadline_s = 0.;
+    require_cert = false;
   }
 
 type session = { mutable s_requests : int; mutable s_bytes : int }
@@ -116,6 +118,15 @@ let resolve_mode = function
            (Omni_sfi.Policy.make ~mode:pmode ~protect_reads ()))
   | M.M_native tier -> Some (Omni_targets.Machine.Native tier)
 
+(* The safety certificate the cache holds for this run configuration, if
+   any. Only translated runs have one; a [peek], so recency is not
+   perturbed. *)
+let certificate_for t ~engine ~sfi ~mode h =
+  match engine with
+  | Omni_service.Exec.Interp -> None
+  | Omni_service.Exec.Target arch ->
+      Service.certificate ~sfi ?mode ~arch t.svc h
+
 let dispatch t (req : M.req) : M.resp =
   match req with
   | M.Ping -> M.Pong
@@ -183,7 +194,32 @@ let dispatch t (req : M.req) : M.resp =
             Service.instantiate ~engine:rs.M.rs_engine ~sfi:rs.M.rs_sfi
               ?mode:(resolve_mode rs.M.rs_mode) ?fuel ?deadline_s t.svc h
           with
-          | r -> M.Ran r
+          | r -> (
+              (* The run's admission path already validated the witness
+                 (fresh translations are certified, cache hits are
+                 witness-checked), so attaching is a cache peek plus an
+                 encode. In require-cert mode a translated run whose
+                 configuration yields no certificate (SFI off, Guard
+                 mode, native baseline) is refused: this daemon only
+                 serves runs whose safety it can hand over. The
+                 reference interpreter carries no translation and is
+                 exempt. *)
+              let cert =
+                certificate_for t ~engine:rs.M.rs_engine ~sfi:rs.M.rs_sfi
+                  ~mode:(resolve_mode rs.M.rs_mode) h
+              in
+              match (cert, t.cfg.require_cert, rs.M.rs_engine) with
+              | None, true, Omni_service.Exec.Target _ ->
+                  M.Error
+                    ( M.E_certificate_invalid,
+                      "this server requires certified translations; this \
+                       run configuration has no safety certificate" )
+              | _ ->
+                  M.Ran
+                    ( r,
+                      if rs.M.rs_want_cert || t.cfg.require_cert then
+                        Option.map Omni_cert.Certificate.encode cert
+                      else None ))
           | exception Cache.Rejected msg ->
               M.Error (M.E_verifier_rejected, msg)
           | exception Store.Unknown_handle ->

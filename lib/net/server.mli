@@ -45,11 +45,17 @@ type config = {
       (** wall-clock deadline ceiling per Run: explicit requests above it
           (or non-finite/negative) are refused, deadline-less requests
           are clamped to it; 0. = unlimited *)
+  require_cert : bool;
+      (** refuse translated runs whose configuration yields no safety
+          certificate (SFI off, Guard mode, native baselines) with
+          [E_certificate_invalid], and attach the certificate to every
+          [Ran] response; the reference interpreter is exempt (it runs
+          no translated code). What [omnid --require-cert] sets. *)
 }
 
 val default_config : config
-(** {!Frame.max_payload}, a 30 s read timeout, and every quota
-    unlimited. *)
+(** {!Frame.max_payload}, a 30 s read timeout, every quota unlimited,
+    certificates optional. *)
 
 type t
 

@@ -22,6 +22,8 @@ type entry = {
   tr : Exec.translated;
   verdict : verdict;
   fp : Omni_util.Fnv64.t;
+  cert : Omni_cert.Certificate.t option;
+      (* the safety witness minted at admission; present iff Verified *)
 }
 
 exception Rejected of string
@@ -48,20 +50,56 @@ let verdict_applicable (k : key) =
   | Machine.Mobile p -> p.Omni_sfi.Policy.mode = Omni_sfi.Policy.Sandbox
   | Machine.Native _ -> false
 
+(* Fresh admission (misses): run the certifying verifier, which both
+   performs the full static check and mints the witness that makes every
+   later warm admission cheap. *)
 let admit t k tr =
   if verdict_applicable k then begin
     Metrics.incr t.c.Counters.verifications;
-    match Exec.verify tr with
-    | Ok () -> Verified
+    match
+      Exec.certify ~module_digest:k.k_digest ~mode:k.k_mode ~opts:k.k_opts tr
+    with
+    | Ok cert -> (Verified, Some cert)
     | Error reason -> raise (Rejected reason)
   end
-  else Not_applicable
+  else (Not_applicable, None)
+
+(* Warm admission (hits): the stored witness replaces the full re-verify.
+   An entry without a witness (it was cached as Not_applicable but the key
+   demands verification — impossible today, kept as a safety net) falls
+   back to the full verifier, observable as [cache.cert.full_verify].
+
+   A failed warm admission previously looked like nothing at all in the
+   counters (neither hit nor miss — the Rejected raise skipped both): it
+   is now counted as [cache.verify_fail] before the raise. *)
+let readmit t (k : key) (e : entry) =
+  if verdict_applicable k then begin
+    let result =
+      match e.cert with
+      | Some cert ->
+          Metrics.incr t.c.Counters.cert_checks;
+          Trace.count "cache.cert.check";
+          Exec.check_cert ~module_digest:k.k_digest ~mode:k.k_mode
+            ~opts:k.k_opts ~code_fp:e.fp cert e.tr
+      | None ->
+          Metrics.incr t.c.Counters.cert_full_verify;
+          Metrics.incr t.c.Counters.verifications;
+          Trace.count "cache.cert.full_verify";
+          Exec.verify e.tr
+    in
+    match result with
+    | Ok () -> ()
+    | Error reason ->
+        Metrics.incr t.c.Counters.verify_fail;
+        Trace.count "cache.verify_fail";
+        raise (Rejected reason)
+  end
 
 let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
   let t0 = Sys.time () in
   match Lru.find t.lru k with
   | Some e ->
-      let (_ : verdict) = admit t k e.tr in
+      readmit t k e;
       Metrics.incr t.c.Counters.hits;
       Trace.count "cache.hits";
       Metrics.observe t.c.Counters.warm_admit (Sys.time () -. t0);
@@ -69,8 +107,10 @@ let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
   | None ->
       let tr = Exec.translate ~mode:k.k_mode ~opts:k.k_opts k.k_arch exe in
       Metrics.incr t.c.Counters.translations;
-      let verdict = admit t k tr in
-      (match Lru.add t.lru k { tr; verdict; fp = Exec.fingerprint tr } with
+      let verdict, cert = admit t k tr in
+      (match
+         Lru.add t.lru k { tr; verdict; fp = Exec.fingerprint tr; cert }
+       with
       | Some _ -> Metrics.incr t.c.Counters.evictions
       | None -> ());
       Metrics.incr t.c.Counters.misses;
@@ -79,3 +119,8 @@ let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
       tr
 
 let peek t k = Lru.peek t.lru k
+
+(* Test hook: the mli's invariant says a corrupted cache cannot reach a
+   simulator; tests corrupt an entry with this and watch the warm
+   admission refuse it. *)
+let inject t k e = ignore (Lru.add t.lru k e)

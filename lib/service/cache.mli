@@ -9,10 +9,13 @@
     {b Invariant}: a cache hit is observationally identical to a fresh
     translation. This holds because (a) keys embed every input of the
     (pure) translator, (b) the store guarantees a digest names one byte
-    string, and (c) on every hit the static SFI verifier re-runs over the
-    cached code as a cheap admission check — in the spirit of
-    verifier-centric SFI designs — so a corrupted cache can never reach
-    the simulator. [test/test_service.ml] checks the invariant end to end.
+    string, and (c) every hit still passes an admission check before the
+    cached code can reach a simulator. Since PR 6 that check is the cheap
+    certificate check ({!Exec.check_cert}) against the witness minted at
+    insertion — proof-carrying translation — rather than a full re-run of
+    the verifier; a corrupted cache still cannot reach the simulator.
+    [test/test_service.ml] and [test/test_cert.ml] check the invariant
+    end to end.
 
     Sandboxed translations that fail the verifier are rejected and never
     cached. *)
@@ -41,6 +44,8 @@ type entry = {
   tr : Exec.translated;
   verdict : verdict;
   fp : Omni_util.Fnv64.t;  (** fingerprint at insertion time *)
+  cert : Omni_cert.Certificate.t option;
+      (** safety witness minted at insertion; [Some] iff [Verified] *)
 }
 
 exception Rejected of string
@@ -56,12 +61,21 @@ val capacity : t -> int
 val length : t -> int
 
 val find_or_translate : t -> key -> Omnivm.Exe.t -> Exec.translated
-(** The memoized translator. On a miss: translate, run the admission
-    check, cache, count a translation. On a hit: re-run the admission
-    check and return the cached program, touching the translator not at
-    all.
+(** The memoized translator. On a miss: translate, certify (full
+    verification + witness minting, counted in [service.verifications]),
+    cache, count a translation. On a hit: check the stored witness
+    (counted in [service.cache.cert_check]) and return the cached
+    program, touching neither the translator nor the full verifier. A
+    hit whose admission check fails counts as
+    [service.cache.verify_fail] before raising.
     @raise Rejected as described above. *)
 
 val peek : t -> key -> entry option
 (** Inspect a cached entry without promoting it (for tests and
     introspection). *)
+
+val inject : t -> key -> entry -> unit
+(** Test hook: overwrite a cached entry, simulating cache corruption.
+    The next hit's admission check must refuse the poisoned entry
+    (raising {!Rejected} and counting [service.cache.verify_fail]) —
+    the invariant documented above. Not for production use. *)

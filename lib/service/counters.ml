@@ -19,6 +19,9 @@ type t = {
   evictions : Metrics.counter;
   translations : Metrics.counter;
   verifications : Metrics.counter;
+  cert_checks : Metrics.counter;
+  cert_full_verify : Metrics.counter;
+  verify_fail : Metrics.counter;
   cold_translate : Metrics.histogram;
   warm_admit : Metrics.histogram;
   (* service front-end *)
@@ -44,6 +47,9 @@ let create ?metrics () =
     evictions = Metrics.counter m "service.cache.evictions";
     translations = Metrics.counter m "service.translations";
     verifications = Metrics.counter m "service.verifications";
+    cert_checks = Metrics.counter m "service.cache.cert_check";
+    cert_full_verify = Metrics.counter m "service.cache.cert_full_verify";
+    verify_fail = Metrics.counter m "service.cache.verify_fail";
     cold_translate = Metrics.histogram m "service.cold_translate_s";
     warm_admit = Metrics.histogram m "service.warm_admit_s";
     instantiations = Metrics.counter m "service.instantiations";
@@ -69,6 +75,9 @@ type snapshot = {
   s_evictions : int;
   s_translations : int;
   s_verifications : int;
+  s_cert_checks : int;
+  s_cert_full_verify : int;
+  s_verify_fail : int;
   s_cold_translate_s : float;
   s_warm_admit_s : float;
   s_instantiations : int;
@@ -90,6 +99,9 @@ let snapshot t : snapshot =
     s_evictions = Metrics.value t.evictions;
     s_translations = Metrics.value t.translations;
     s_verifications = Metrics.value t.verifications;
+    s_cert_checks = Metrics.value t.cert_checks;
+    s_cert_full_verify = Metrics.value t.cert_full_verify;
+    s_verify_fail = Metrics.value t.verify_fail;
     s_cold_translate_s = Metrics.histogram_sum t.cold_translate;
     s_warm_admit_s = Metrics.histogram_sum t.warm_admit;
     s_instantiations = Metrics.value t.instantiations;
@@ -116,6 +128,9 @@ let render s =
     "translations:      %d cold (%.1f ms total); %d verifier runs (%.1f ms warm admission)\n"
     s.s_translations (1e3 *. s.s_cold_translate_s) s.s_verifications
     (1e3 *. s.s_warm_admit_s);
+  Printf.bprintf b
+    "certificates:      %d witness checks, %d full re-verifies, %d warm admissions failed\n"
+    s.s_cert_checks s.s_cert_full_verify s.s_verify_fail;
   Printf.bprintf b "instantiations:    %d\n" s.s_instantiations;
   Printf.bprintf b
     "supervision:       %d crash reports (%d deadline), quarantine %d trips / %d refused / %d cleared\n"
@@ -127,9 +142,10 @@ let pp fmt s = Format.pp_print_string fmt (render s)
 
 let to_json s =
   Printf.sprintf
-    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d,\"quarantine_trips\":%d,\"quarantine_refused\":%d,\"quarantine_cleared\":%d,\"crash_reports\":%d,\"deadline_exceeded\":%d}"
+    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cert_checks\":%d,\"cert_full_verify\":%d,\"verify_fail\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d,\"quarantine_trips\":%d,\"quarantine_refused\":%d,\"quarantine_cleared\":%d,\"crash_reports\":%d,\"deadline_exceeded\":%d}"
     s.s_submits s.s_modules s.s_dedup_hits s.s_bytes_stored s.s_hits
     s.s_misses (hit_rate s) s.s_evictions s.s_translations s.s_verifications
+    s.s_cert_checks s.s_cert_full_verify s.s_verify_fail
     s.s_cold_translate_s s.s_warm_admit_s s.s_instantiations
     s.s_quarantine_trips s.s_quarantine_refused s.s_quarantine_cleared
     s.s_crash_reports s.s_deadline_exceeded

@@ -21,7 +21,13 @@ type t = {
   misses : Metrics.counter;
   evictions : Metrics.counter;
   translations : Metrics.counter;  (** actual translator runs (= misses) *)
-  verifications : Metrics.counter;  (** static SFI verifier runs *)
+  verifications : Metrics.counter;  (** full static SFI verifier runs *)
+  cert_checks : Metrics.counter;
+      (** warm admissions via cheap certificate check *)
+  cert_full_verify : Metrics.counter;
+      (** warm admissions that had to fall back to a full re-verify *)
+  verify_fail : Metrics.counter;
+      (** cache hits whose admission check failed (rejected, not a miss) *)
   cold_translate : Metrics.histogram;
       (** seconds of translate + admission per miss *)
   warm_admit : Metrics.histogram;  (** seconds of re-verification per hit *)
@@ -54,6 +60,9 @@ type snapshot = {
   s_evictions : int;
   s_translations : int;
   s_verifications : int;
+  s_cert_checks : int;
+  s_cert_full_verify : int;
+  s_verify_fail : int;
   s_cold_translate_s : float;  (** total seconds across cold translates *)
   s_warm_admit_s : float;  (** total seconds across warm admissions *)
   s_instantiations : int;

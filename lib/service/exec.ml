@@ -282,3 +282,66 @@ let equal_translated (a : translated) (b : translated) =
 let fingerprint = function
   | T_risc p -> Omni_util.Fnv64.mix_int (Risc.fingerprint_program p) 1
   | T_x86 p -> Omni_util.Fnv64.mix_int (X86.fingerprint_program p) 2
+
+(* --- certification: produce-once / check-cheap safety witnesses --- *)
+
+let arch_of = function
+  | T_risc p -> (
+      match p.Risc.cfg.Risc.arch with
+      | Risc.Mips -> Arch.Mips
+      | Risc.Sparc -> Arch.Sparc
+      | Risc.Ppc -> Arch.Ppc)
+  | T_x86 _ -> Arch.X86
+
+let certify ~(module_digest : Omni_util.Fnv64.t) ~(mode : Machine.mode)
+    ~(opts : Machine.topts) (tr : translated) :
+    (Omni_cert.Certificate.t, string) result =
+  Trace.phase "certify" ~attrs:[ ("arch", arch_of_translated tr) ]
+  @@ fun () ->
+  let protect_reads =
+    match mode with
+    | Machine.Mobile p -> p.Omni_sfi.Policy.protect_reads
+    | Machine.Native _ -> false
+  in
+  let fail { Omni_sfi.Verifier.index; reason } =
+    Error (Printf.sprintf "instruction %d: %s" index reason)
+  in
+  let mk n_code obs =
+    Omni_cert.Certificate.make ~arch:(arch_of tr) ~module_digest
+      ~code_fp:(fingerprint tr) ~protect_reads ~opts ~n_code obs
+  in
+  match tr with
+  | T_risc p -> (
+      match Risc_verify.certify p with
+      | Ok obs -> Ok (mk (Array.length p.Risc.code) obs)
+      | Error f -> fail f)
+  | T_x86 p -> (
+      match X86_verify.certify p with
+      | Ok obs -> Ok (mk (Array.length p.X86.code) obs)
+      | Error f -> fail f)
+
+let check_cert ~(module_digest : Omni_util.Fnv64.t) ~(mode : Machine.mode)
+    ~(opts : Machine.topts) ?code_fp (cert : Omni_cert.Certificate.t)
+    (tr : translated) : (unit, string) result =
+  Trace.phase "cert.check" ~attrs:[ ("arch", arch_of_translated tr) ]
+  @@ fun () ->
+  (* [code_fp] lets callers that already hold the fingerprint (the cache
+     stores it with each entry) skip recomputing it — that hash is most
+     of the checking cost for small programs. *)
+  let code_fp = match code_fp with Some fp -> fp | None -> fingerprint tr in
+  let err e = Error (Omni_cert.Check.error_to_string e) in
+  match
+    Omni_cert.Check.bind cert ~module_digest ~arch:(arch_of tr) ~mode ~opts
+      ~code_fp
+  with
+  | Error e -> err e
+  | Ok () -> (
+      match tr with
+      | T_risc p -> (
+          match Omni_cert.Check.check_risc cert p with
+          | Ok () -> Ok ()
+          | Error e -> err e)
+      | T_x86 p -> (
+          match Omni_cert.Check.check_x86 cert p with
+          | Ok () -> Ok ()
+          | Error e -> err e))

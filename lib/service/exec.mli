@@ -94,3 +94,32 @@ val equal_translated : translated -> translated -> bool
 val fingerprint : translated -> Omni_util.Fnv64.t
 (** Content digest of the translated program; equal programs have equal
     fingerprints. *)
+
+val arch_of : translated -> Arch.t
+
+val certify :
+  module_digest:Omni_util.Fnv64.t ->
+  mode:Machine.mode ->
+  opts:Machine.topts ->
+  translated ->
+  (Omni_cert.Certificate.t, string) result
+(** Run the certifying verifier: like {!verify}, but on success also
+    produce the safety witness binding this exact translation (module
+    digest × arch × policy × opts × code fingerprint). The certificate
+    re-establishes safety later via {!check_cert} at a fraction of the
+    cost. Certification accepts exactly the programs {!verify} accepts.
+    Traced as the ["certify"] phase. *)
+
+val check_cert :
+  module_digest:Omni_util.Fnv64.t ->
+  mode:Machine.mode ->
+  opts:Machine.topts ->
+  ?code_fp:Omni_util.Fnv64.t ->
+  Omni_cert.Certificate.t ->
+  translated ->
+  (unit, string) result
+(** Validate a certificate against a translated program: binding checks
+    first ({!Omni_cert.Check.bind}), then the one-pass obligation check.
+    Pass [code_fp] when the fingerprint is already known (the cache
+    stores it per entry) to skip recomputing it. Traced as the
+    ["cert.check"] phase. *)

@@ -121,6 +121,11 @@ let cached ?sfi ?mode ?opts ~arch t h =
   let mode, opts = resolve_config ?sfi ?mode ?opts arch in
   Cache.peek t.cache (Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts)
 
+let certificate ?sfi ?mode ?opts ~arch t h =
+  match cached ?sfi ?mode ?opts ~arch t h with
+  | Some e -> e.Cache.cert
+  | None -> None
+
 let stats t = Counters.snapshot t.c
 let render_stats t = Counters.render (stats t)
 

@@ -91,6 +91,18 @@ val cached :
 (** The cached translation {!instantiate} would reuse for this handle and
     configuration, if present; does not perturb recency order. *)
 
+val certificate :
+  ?sfi:bool ->
+  ?mode:Machine.mode ->
+  ?opts:Machine.topts ->
+  arch:Omni_targets.Arch.t ->
+  t ->
+  Store.handle ->
+  Omni_cert.Certificate.t option
+(** The safety witness stored beside the cached translation (see
+    {!Exec.certify}); [None] when nothing is cached or the entry carries
+    no certificate. Does not perturb recency order. *)
+
 val stats : t -> Counters.snapshot
 (** An immutable reading of the shared counters — see
     {!Counters.snapshot}, {!Counters.pp}, {!Counters.to_json}. *)

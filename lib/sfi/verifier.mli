@@ -8,22 +8,46 @@
     maintained, and all displacements stay within the segment guard zone.
 
     The check is a linear scan — per-instruction, not per-path — which is
-    what makes load-time verification cheap. *)
+    what makes load-time verification cheap.
+
+    The same scan is the witness producer for proof-carrying translation:
+    {!certify} returns the accepted stream's obligations (one per event
+    that attests a positive safety fact), in instruction order. *)
 
 type event =
-  | Sandbox_data_def  (** dedicated register masked/boxed for the data seg *)
-  | Sandbox_code_def
+  | Sandbox_data_mask
+      (** dedicated register masked for the data segment (enters Masked) *)
+  | Sandbox_data_box
+      (** dedicated register boxed with the data base (Masked -> Boxed) *)
+  | Sandbox_code_mask
+  | Sandbox_code_box
   | Dedicated_clobber of string
       (** dedicated register written in a way that breaks the invariant *)
   | Store_via_dedicated of { disp : int }
+  | Store_indexed
+      (** ppc: store indexed off the reserved data-base register with a
+          Masked(data) offset register *)
   | Store_via_sp of { disp : int }
+  | Store_abs  (** absolute store to a constant in-segment address *)
+  | Store_gp  (** store through the reserved global pointer *)
+  | Lui_const  (** translator scratch register := known constant *)
+  | Store_via_lui  (** store via the scratch constant, landing in-segment *)
   | Store_unsafe of string
   | Jump_via_dedicated
   | Jump_unsafe of string
   | Sp_adjust_const of int
+  | Sp_resandboxed
+      (** arbitrary sp write that the following instruction(s) immediately
+          re-sandbox — the one blessed exception to the sp invariant *)
   | Sp_clobber of string
   | Neutral  (** no bearing on the SFI invariant *)
 
 type failure = { index : int; reason : string }
 
 val verify : event array -> (unit, failure) result
+
+val certify : event array -> (Witness.obligation array, failure) result
+(** Like {!verify}, but on acceptance returns the per-instruction safety
+    obligations the stream established, in strictly increasing
+    instruction order (at most one per instruction). [certify] accepts
+    exactly the streams [verify] accepts. *)

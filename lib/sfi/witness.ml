@@ -1,0 +1,89 @@
+(* The vocabulary of per-instruction safety obligations.
+
+   An obligation is the producer's claim that instruction [ox] of a
+   translated program is safe for a specific, checkable reason. The claims
+   are payload-free: every fact they assert (displacement bounds, mask and
+   base registers or immediates, lui constants) is re-read from the
+   instruction itself at check time, so a witness cannot smuggle in facts
+   the code does not exhibit. Instructions carrying no obligation must be
+   shown harmless by the checker's own (cheap, shallow) scan.
+
+   The kinds cover both register-constant sandboxing (the RISC targets:
+   dedicated registers and reserved mask/base registers) and
+   immediate-mask sandboxing (x86). Kinds that only exist on one family
+   simply never appear in the other family's witnesses. *)
+
+type kind =
+  | Mask_data  (* and <ded|eax>, addr, data-mask : enters Masked(data) *)
+  | Box_data  (* or <ded|eax>, same, data-base : Masked -> Boxed(data) *)
+  | Mask_code
+  | Box_code
+  | Store_sandboxed  (* store through a Boxed(data) register, small disp *)
+  | Store_indexed  (* ppc: store indexed off the reserved data base, Masked *)
+  | Store_sp  (* sp-relative store within the guard zone *)
+  | Store_abs  (* absolute store to a constant in-segment address *)
+  | Store_gp  (* store through the reserved global pointer *)
+  | Lui_const  (* lui scratch, k : scratch now holds the known constant k *)
+  | Store_lui  (* store via the scratch constant, landing in-segment *)
+  | Jump_sandboxed  (* indirect branch through a Boxed(code) register *)
+  | Sp_adjust  (* sp := sp +/- small constant *)
+  | Sp_resandboxed  (* arbitrary sp write immediately re-sandboxed *)
+
+type obligation = { ox : int; kind : kind }
+
+let kind_code = function
+  | Mask_data -> 0
+  | Box_data -> 1
+  | Mask_code -> 2
+  | Box_code -> 3
+  | Store_sandboxed -> 4
+  | Store_indexed -> 5
+  | Store_sp -> 6
+  | Store_abs -> 7
+  | Store_gp -> 8
+  | Lui_const -> 9
+  | Store_lui -> 10
+  | Jump_sandboxed -> 11
+  | Sp_adjust -> 12
+  | Sp_resandboxed -> 13
+
+let kind_of_code = function
+  | 0 -> Some Mask_data
+  | 1 -> Some Box_data
+  | 2 -> Some Mask_code
+  | 3 -> Some Box_code
+  | 4 -> Some Store_sandboxed
+  | 5 -> Some Store_indexed
+  | 6 -> Some Store_sp
+  | 7 -> Some Store_abs
+  | 8 -> Some Store_gp
+  | 9 -> Some Lui_const
+  | 10 -> Some Store_lui
+  | 11 -> Some Jump_sandboxed
+  | 12 -> Some Sp_adjust
+  | 13 -> Some Sp_resandboxed
+  | _ -> None
+
+let kind_name = function
+  | Mask_data -> "mask-data"
+  | Box_data -> "box-data"
+  | Mask_code -> "mask-code"
+  | Box_code -> "box-code"
+  | Store_sandboxed -> "store-sandboxed"
+  | Store_indexed -> "store-indexed"
+  | Store_sp -> "store-sp"
+  | Store_abs -> "store-abs"
+  | Store_gp -> "store-gp"
+  | Lui_const -> "lui-const"
+  | Store_lui -> "store-lui"
+  | Jump_sandboxed -> "jump-sandboxed"
+  | Sp_adjust -> "sp-adjust"
+  | Sp_resandboxed -> "sp-resandboxed"
+
+let all_kinds =
+  [ Mask_data; Box_data; Mask_code; Box_code; Store_sandboxed; Store_indexed;
+    Store_sp; Store_abs; Store_gp; Lui_const; Store_lui; Jump_sandboxed;
+    Sp_adjust; Sp_resandboxed ]
+
+let equal_obligation (a : obligation) (b : obligation) =
+  a.ox = b.ox && a.kind = b.kind

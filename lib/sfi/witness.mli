@@ -1,0 +1,39 @@
+(** Per-instruction safety obligations: the vocabulary of proof-carrying
+    translation.
+
+    An obligation claims that instruction [ox] of a translated program is
+    safe for one specific, checkable reason. Obligations are payload-free:
+    every fact they assert is re-read from the instruction at check time,
+    so a witness cannot smuggle in facts the code does not exhibit (see
+    {!Omni_cert.Check}). Instructions without an obligation must be shown
+    harmless by the checker's own shallow scan. *)
+
+type kind =
+  | Mask_data  (** [and ded, addr, data-mask]: enters Masked(data) *)
+  | Box_data  (** [or ded, ded, data-base]: Masked -> Boxed(data) *)
+  | Mask_code
+  | Box_code
+  | Store_sandboxed  (** store through a Boxed(data) register, small disp *)
+  | Store_indexed
+      (** ppc: store indexed off the reserved data-base register with a
+          Masked(data) offset register *)
+  | Store_sp  (** sp-relative store within the guard zone *)
+  | Store_abs  (** absolute store to a constant in-segment address *)
+  | Store_gp  (** store through the reserved global pointer *)
+  | Lui_const  (** [lui scratch, k]: scratch holds the known constant k *)
+  | Store_lui  (** store via the scratch constant, landing in-segment *)
+  | Jump_sandboxed  (** indirect branch through a Boxed(code) register *)
+  | Sp_adjust  (** sp := sp +/- small constant *)
+  | Sp_resandboxed  (** arbitrary sp write immediately re-sandboxed *)
+
+type obligation = { ox : int; kind : kind }
+
+val kind_code : kind -> int
+(** Stable wire code (0..13) for the [omni-cert/1] encoding. *)
+
+val kind_of_code : int -> kind option
+(** Total inverse of {!kind_code}. *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
+val equal_obligation : obligation -> obligation -> bool

@@ -61,6 +61,19 @@ let all_opts = { schedule = true; fill_delay_slots = true; use_gp = true;
 let no_opts = { schedule = false; fill_delay_slots = false; use_gp = false;
                 peephole = false; sfi_opt = false }
 
+(* What the translator declares it laid down while sandboxing: the number
+   of data- and code-segment masking instructions it emitted. Carried on
+   the translated program and cross-checked against the certifying
+   verifier's witness (Omni_cert.Check), so producer and checker cannot
+   silently drift apart. Scheduling reorders instructions but never adds
+   or removes masks, so the counts survive every later pass. *)
+type sfi_decl = {
+  mutable data_masks : int;
+  mutable code_masks : int;
+}
+
+let new_sfi_decl () = { data_masks = 0; code_masks = 0 }
+
 (* --- execution statistics --- *)
 
 type stats = {

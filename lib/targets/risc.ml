@@ -187,6 +187,7 @@ type program = {
   addr_map : int array; (* omni instruction index -> native index *)
   pool : float array; (* FP constant pool *)
   n_omni : int;
+  decl : Machine.sfi_decl; (* declared SFI masking counts (certification) *)
 }
 
 let is_control = function

@@ -42,6 +42,7 @@ type emitter = {
   mutable slots : slot list; (* reversed *)
   mutable pool : float list; (* reversed *)
   mutable pool_n : int;
+  decl : Machine.sfi_decl; (* shared across chunks; masking counts *)
 }
 
 let emit e origin i = e.slots <- mk origin i :: e.slots
@@ -162,6 +163,7 @@ let sfi_store t e ~base ~disp ~(emit_store : core:bool -> int -> int -> unit) =
           r_sfi_data
         end
       in
+      e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
       emit e Machine.Sfi (Alu (VI.And, r_sfi_data, asrc, r_data_mask));
       if t.cfg.has_indexed then begin
         (* indexed addressing shortens the PPC check sequence (paper 4.3) *)
@@ -224,6 +226,7 @@ let sfi_load t e ~base ~disp ~(emit_load : int -> int -> unit) =
             r_sfi_data
           end
         in
+        e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
         emit e Machine.Sfi (Alu (VI.And, r_sfi_data, asrc, r_data_mask));
         emit e Machine.Sfi (Alu (VI.Or, r_sfi_data, r_sfi_data, r_data_base));
         emit_load r_sfi_data 0;
@@ -250,6 +253,7 @@ let sfi_code_target t e reg =
   match sfi_mode t with
   | Omni_sfi.Policy.Off -> reg
   | Omni_sfi.Policy.Sandbox ->
+      e.decl.Machine.code_masks <- e.decl.Machine.code_masks + 1;
       emit e Machine.Sfi (Alu (VI.And, r_sfi_code, reg, r_code_mask));
       emit e Machine.Sfi (Alu (VI.Or, r_sfi_code, r_sfi_code, r_code_base));
       r_sfi_code
@@ -635,12 +639,13 @@ let translate (t : tconfig) (exe : Omnivm.Exe.t) : program =
   let text = exe.Omnivm.Exe.text in
   let n = Array.length text in
   let lead = leaders exe in
-  let pool = { slots = []; pool = []; pool_n = 0 } in
+  let decl = Machine.new_sfi_decl () in
+  let pool = { slots = []; pool = []; pool_n = 0; decl } in
   (* chunk per omni instruction; the constant pool threads through *)
   let chunks = Array.make n [] in
   for i = 0 to n - 1 do
     if lead.(i) then t.sfi_cache <- None;
-    let e = { slots = []; pool = pool.pool; pool_n = pool.pool_n } in
+    let e = { slots = []; pool = pool.pool; pool_n = pool.pool_n; decl } in
     translate_instr t e ~idx:i text.(i);
     pool.pool <- e.pool;
     pool.pool_n <- e.pool_n;
@@ -766,4 +771,5 @@ let translate (t : tconfig) (exe : Omnivm.Exe.t) : program =
     addr_map;
     pool = Array.of_list (List.rev pool.pool);
     n_omni = n;
+    decl;
   }

@@ -48,19 +48,19 @@ let summarize_instr (st : state) (i : instr) : V.event =
   (* masking: enters Masked *)
   | Alu (Omnivm.Instr.And, rd, _, rm) when dedicated rd && rm = r_data_mask ->
       set rd (Masked Seg_data);
-      V.Sandbox_data_def
+      V.Sandbox_data_mask
   | Alu (Omnivm.Instr.And, rd, _, rm) when dedicated rd && rm = r_code_mask ->
       set rd (Masked Seg_code);
-      V.Sandbox_code_def
+      V.Sandbox_code_mask
   (* boxing: Masked -> Boxed *)
   | Alu (Omnivm.Instr.Or, rd, rs, rb) when dedicated rd && rs = rd -> (
       match (get rd, rb) with
       | Some (Masked Seg_data), b when b = r_data_base ->
           set rd (Boxed Seg_data);
-          V.Sandbox_data_def
+          V.Sandbox_data_box
       | Some (Masked Seg_code), b when b = r_code_base ->
           set rd (Boxed Seg_code);
-          V.Sandbox_code_def
+          V.Sandbox_code_box
       | _ ->
           set rd Dirty;
           V.Neutral)
@@ -89,6 +89,9 @@ let summarize_instr (st : state) (i : instr) : V.event =
          translator emits the and/or pair right after, which the two
          Neutral cases above recognize. A bare clobber ends the scan. *)
       V.Sp_clobber (string_of_instr i)
+  (* the scratch register receiving a known constant is a positive fact
+     (it licenses lui-based absolute stores), so it carries an event *)
+  | Lui (rd, _) when rd = r_scratch1 -> V.Lui_const
   (* stores *)
   | Store (_, _, base, disp) | Fstore (_, base, disp) | Fstore_s (_, base, disp)
     -> (
@@ -97,19 +100,19 @@ let summarize_instr (st : state) (i : instr) : V.event =
       | Some _ -> V.Store_unsafe (string_of_instr i)
       | None ->
           if base = omni_sp then V.Store_via_sp { disp }
-          else if base = r_zero && Omnivm.Layout.in_data disp then V.Neutral
-          else if base = r_gp then V.Neutral
+          else if base = r_zero && Omnivm.Layout.in_data disp then V.Store_abs
+          else if base = r_gp then V.Store_gp
             (* gp is a reserved in-segment constant *)
           else if
             base = r_scratch1
             && (match st.scratch_const with
                | Some v -> Omnivm.Layout.in_data (v + disp)
                | None -> false)
-          then V.Neutral (* lui-based absolute store to a known global *)
+          then V.Store_via_lui (* lui-based absolute store to a known global *)
           else V.Store_unsafe (string_of_instr i))
   | Store_x (_, _, b1, b2) | Fstore_x (_, b1, b2) ->
       if b1 = r_data_base && get b2 = Some (Masked Seg_data) then
-        V.Store_via_dedicated { disp = 0 }
+        V.Store_indexed
       else V.Store_unsafe (string_of_instr i)
   (* indirect control flow *)
   | Jmp_ind r | Call_ind (r, _) -> (
@@ -157,13 +160,13 @@ let summarize (p : program) : V.event array =
                     a = omni_sp && m = r_data_mask && b = omni_sp
                     && base = r_data_base
                 | _ -> false) ->
-          events.(i) <- V.Neutral
+          events.(i) <- V.Sp_resandboxed
       | V.Sp_clobber _
         when i + 1 < Array.length events
              && (match p.code.(i + 1).i with
                 | Guard_data r -> r = omni_sp
                 | _ -> false) ->
-          events.(i) <- V.Neutral
+          events.(i) <- V.Sp_resandboxed
       | _ -> ())
     events;
   events
@@ -172,3 +175,11 @@ let summarize (p : program) : V.event array =
    only makes sense for code translated in Sandbox mode; Guard-mode checks
    and unprotected native code will (correctly) fail. *)
 let verify (p : program) = V.verify (summarize p)
+
+(* Certifying verification: the same scan, but on acceptance it returns
+   the safety obligations as a witness. The translator's declared masking
+   counts are cross-checked downstream (Omni_cert.Check), tying the
+   witness to what the translator actually laid down. *)
+let certify (p : program) :
+    (Omni_sfi.Witness.obligation array, V.failure) result =
+  V.certify (summarize p)

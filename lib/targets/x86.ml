@@ -119,6 +119,7 @@ type program = {
   addr_map : int array;
   pool : float array;
   n_omni : int;
+  decl : Machine.sfi_decl; (* declared SFI masking counts (certification) *)
 }
 
 let is_control = function

@@ -26,6 +26,7 @@ type emitter = {
   mutable slots : slot list; (* reversed *)
   mutable pool : float list;
   mutable pool_n : int;
+  decl : Machine.sfi_decl; (* shared across chunks; masking counts *)
 }
 
 let emit e origin i = e.slots <- mk origin i :: e.slots
@@ -270,6 +271,7 @@ let sandbox_store e mode ~base ~disp ~(do_store : mem -> unit) =
     Trace.count "translate.sfi_checks";
     match sfi_mode mode with
     | Omni_sfi.Policy.Sandbox ->
+        e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
         emit e Machine.Sfi (Alu (And, R eax, I L.data_mask));
         emit e Machine.Sfi (Alu (Or, R eax, I L.data_base));
         do_store (mbase eax 0)
@@ -296,6 +298,7 @@ let sandbox_load e mode ~base ~disp ~(do_load : mem -> unit) =
     Trace.count "translate.sfi_checks";
     match sfi_mode mode with
     | Omni_sfi.Policy.Sandbox ->
+        e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
         emit e Machine.Sfi (Alu (And, R eax, I L.data_mask));
         emit e Machine.Sfi (Alu (Or, R eax, I L.data_base));
         do_load (mbase eax 0)
@@ -309,6 +312,7 @@ let sandbox_code_operand e mode (x : operand) : operand =
   match sfi_mode mode with
   | Omni_sfi.Policy.Off -> x
   | Omni_sfi.Policy.Sandbox ->
+      e.decl.Machine.code_masks <- e.decl.Machine.code_masks + 1;
       emit e Machine.Sfi (Mov (R eax, x));
       emit e Machine.Sfi (Alu (And, R eax, I (L.code_mask land lnot 3)));
       emit e Machine.Sfi (Alu (Or, R eax, I L.code_base));
@@ -547,10 +551,11 @@ let translate ~(mode : Machine.mode) ~(opts : Machine.topts)
   let text = exe.Omnivm.Exe.text in
   let n = Array.length text in
   let lead = leaders exe in
-  let pool = { slots = []; pool = []; pool_n = 0 } in
+  let decl = Machine.new_sfi_decl () in
+  let pool = { slots = []; pool = []; pool_n = 0; decl } in
   let chunks = Array.make n [] in
   for i = 0 to n - 1 do
-    let e = { slots = []; pool = pool.pool; pool_n = pool.pool_n } in
+    let e = { slots = []; pool = pool.pool; pool_n = pool.pool_n; decl } in
     translate_instr mode e ~idx:i text.(i);
     pool.pool <- e.pool;
     pool.pool_n <- e.pool_n;
@@ -649,4 +654,5 @@ let translate ~(mode : Machine.mode) ~(opts : Machine.topts)
     | Some i when i >= 0 && i < n && addr_map.(i) >= 0 -> addr_map.(i)
     | _ -> terror "bad entry point"
   in
-  { code; entry; addr_map; pool = Array.of_list (List.rev pool.pool); n_omni = n }
+  { code; entry; addr_map; pool = Array.of_list (List.rev pool.pool);
+    n_omni = n; decl }

@@ -31,11 +31,11 @@ let summarize_instr (eax_state : ded ref) (i : instr) : V.event =
     | Alu (And, R r, I m) when r = eax ->
         if m = L.data_mask then begin
           eax_state := Masked Seg_data;
-          V.Sandbox_data_def
+          V.Sandbox_data_mask
         end
         else if m = code_mask_imm then begin
           eax_state := Masked Seg_code;
-          V.Sandbox_code_def
+          V.Sandbox_code_mask
         end
         else begin
           eax_state := Dirty;
@@ -45,10 +45,10 @@ let summarize_instr (eax_state : ded ref) (i : instr) : V.event =
         match !eax_state with
         | Masked Seg_data when b = L.data_base ->
             eax_state := Boxed Seg_data;
-            V.Sandbox_data_def
+            V.Sandbox_data_box
         | Masked Seg_code when b = L.code_base ->
             eax_state := Boxed Seg_code;
-            V.Sandbox_code_def
+            V.Sandbox_code_box
         | _ ->
             eax_state := Dirty;
             V.Neutral)
@@ -61,7 +61,7 @@ let summarize_instr (eax_state : ded ref) (i : instr) : V.event =
     (* stores *)
     | Mov (M m, _) | Store (_, m, _) | Fstore (_, _, m) -> (
         match (m.base, m.index) with
-        | None, None when L.in_data m.disp -> V.Neutral
+        | None, None when L.in_data m.disp -> V.Store_abs
         | Some r, None when r = esp ->
             V.Store_via_sp { disp = m.disp }
         | Some r, None when r = eax -> (
@@ -72,7 +72,7 @@ let summarize_instr (eax_state : ded ref) (i : instr) : V.event =
     | Alu (_, M m, _) | Shift (_, M m, _) | Shiftv (_, M m, _) -> (
         (* read-modify-write memory operands *)
         match (m.base, m.index) with
-        | None, None when L.in_data m.disp -> V.Neutral
+        | None, None when L.in_data m.disp -> V.Store_abs
         | Some r, None when r = esp -> V.Store_via_sp { disp = m.disp }
         | _ -> V.Store_unsafe (string_of_instr i))
     (* indirect control flow *)
@@ -107,15 +107,21 @@ let summarize (p : program) : V.event array =
                 | Alu (And, R a, I m), Alu (Or, R b, I bs) ->
                     a = esp && m = L.data_mask && b = esp && bs = L.data_base
                 | _ -> false) ->
-          events.(i) <- V.Neutral
+          events.(i) <- V.Sp_resandboxed
       | V.Sp_clobber _
         when i + 1 < Array.length events
              && (match p.code.(i + 1).i with
                 | Guard_data r -> r = esp
                 | _ -> false) ->
-          events.(i) <- V.Neutral
+          events.(i) <- V.Sp_resandboxed
       | _ -> ())
     events;
   events
 
 let verify (p : program) = V.verify (summarize p)
+
+(* Certifying verification: the same scan, returning the obligations the
+   accepted stream established (see Risc_verify.certify). *)
+let certify (p : program) :
+    (Omni_sfi.Witness.obligation array, V.failure) result =
+  V.certify (summarize p)

@@ -163,7 +163,8 @@ let qcheck_frame_total =
 let gen_err_class =
   QCheck.Gen.oneofl
     [ Msg.E_decode; Msg.E_verifier_rejected; Msg.E_unknown_handle;
-      Msg.E_limit_exceeded; Msg.E_internal; Msg.E_bad_frame ]
+      Msg.E_limit_exceeded; Msg.E_internal; Msg.E_bad_frame;
+      Msg.E_certificate_invalid ]
 
 let gen_engine =
   QCheck.Gen.oneofl
@@ -248,10 +249,12 @@ let gen_req =
        and* rs_sfi = bool
        and* rs_mode = gen_mode
        and* rs_fuel = opt nat
-       and* rs_deadline_s = opt (map float_of_int (int_bound 1000)) in
+       and* rs_deadline_s = opt (map float_of_int (int_bound 1000))
+       and* rs_want_cert = bool in
        return
          (Msg.Run
-            { Msg.rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel; rs_deadline_s }));
+            { Msg.rs_handle; rs_engine; rs_sfi; rs_mode; rs_fuel;
+              rs_deadline_s; rs_want_cert }));
       return Msg.Stats ]
 
 let gen_resp =
@@ -259,7 +262,9 @@ let gen_resp =
   oneof
     [ return Msg.Pong;
       map (fun d -> Msg.Submitted (Int64.of_int d)) nat;
-      map (fun r -> Msg.Ran r) gen_result;
+      (let* r = gen_result
+       and* cert = opt (string_size (int_bound 120)) in
+       return (Msg.Ran (r, cert)));
       map (fun s -> Msg.Stats_json s) (string_size (int_bound 100));
       (let* cls = gen_err_class and* m = string_size (int_bound 80) in
        return (Msg.Error (cls, m))) ]

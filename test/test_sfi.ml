@@ -420,7 +420,7 @@ let verifier_unit () =
   (* minimal event streams *)
   Alcotest.(check bool) "ok stream" true
     (V.verify
-       [| V.Sandbox_data_def; V.Sandbox_data_def;
+       [| V.Sandbox_data_mask; V.Sandbox_data_box;
           V.Store_via_dedicated { disp = 0 }; V.Jump_via_dedicated |]
      = Ok ());
   (match V.verify [| V.Store_unsafe "sw" |] with
