@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke clean
+.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke par-smoke clean
 
 check: ## full tier-1 verification: build + every test suite + smokes
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke && $(MAKE) par-smoke
 
 build:
 	dune build
@@ -20,7 +20,7 @@ bench-smoke:
 	dune exec bench/main.exe -- service
 
 # Performance regression gate: run the hot-path benchmarks and compare
-# against the committed BENCH_6.json baseline; >20% regression on any
+# against the committed BENCH_7.json baseline; >20% regression on any
 # hot path fails. The first run (no baseline) seeds it.
 bench-gate:
 	dune exec bench/main.exe -- gate
@@ -107,6 +107,37 @@ cert-smoke:
 	dune build examples/quickstart.exe bin/omnirun.exe
 	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null
 	./_build/default/bin/omnirun.exe cert /tmp/quickstart.omni --mutate 42
+
+# Parallel-serving smoke: start omnid with a 4-domain worker pool on a
+# throwaway Unix socket, push the quickstart module through several
+# remote runs, and insist every run succeeds with identical output and
+# the later ones hit the shared translation cache. Skips (exit 0) when
+# the environment cannot create Unix-domain sockets.
+par-smoke:
+	dune build examples/quickstart.exe bin/omnid.exe bin/omnirun.exe
+	@sock="/tmp/omnid-par-$$$$.sock"; rm -f "$$sock"; \
+	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null; \
+	./_build/default/bin/omnid.exe --socket "$$sock" --pool 4 >/dev/null 2>&1 & pid=$$!; \
+	i=0; while [ $$i -lt 100 ] && ! [ -S "$$sock" ]; do \
+	  kill -0 $$pid 2>/dev/null || break; sleep 0.05; i=$$((i+1)); done; \
+	if ! [ -S "$$sock" ]; then \
+	  echo "par-smoke: SKIP (could not create a Unix-domain socket)"; \
+	  kill $$pid 2>/dev/null; exit 0; fi; \
+	status=0; first=""; \
+	for n in 1 2 3 4; do \
+	  out=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	    --engine x86 --remote "$$sock" 2>/dev/null) || { status=1; break; }; \
+	  if [ -z "$$first" ]; then first="$$out"; \
+	  elif [ "$$out" != "$$first" ]; then status=2; break; fi; \
+	done; \
+	stats=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --remote "$$sock" --stats 2>&1 >/dev/null) || status=1; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -f "$$sock"; \
+	[ $$status -ne 1 ] || { echo "par-smoke: FAIL (remote run errored)"; exit 1; }; \
+	[ $$status -ne 2 ] || { echo "par-smoke: FAIL (outputs differ across runs)"; exit 1; }; \
+	echo "$$stats" | grep -Eq '"hits":[1-9]' || \
+	  { echo "par-smoke: FAIL (no cache hit on the pooled daemon)"; exit 1; }; \
+	echo "par-smoke: OK (4 identical runs through a 4-domain pool; cache hit)"
 
 clean:
 	dune clean

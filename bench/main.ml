@@ -17,17 +17,17 @@ module W = Omni_workloads.Workloads
 let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
     "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
-    "resilience"; "isolation"; "phases"; "cert"; "bechamel" ]
+    "resilience"; "isolation"; "phases"; "cert"; "concurrency"; "bechamel" ]
 
-(* --- the persisted snapshot + regression gate (BENCH_6.json) ----------
+(* --- the persisted snapshot + regression gate (BENCH_7.json) ----------
 
-   [json] re-measures every subsystem's hot paths and writes BENCH_6.json
+   [json] re-measures every subsystem's hot paths and writes BENCH_7.json
    at the repo root. [gate] additionally diffs the new numbers against
    the previous snapshot's [hot_paths] before overwriting it: any named
    path more than 20% slower fails the gate (exit 1). The first run seeds
    the baseline and passes. *)
 
-let snapshot_file = "BENCH_6.json"
+let snapshot_file = "BENCH_7.json"
 
 (* Extract the flat  "name": int  pairs of the "hot_paths" object. The
    writer is ours and the schema is stable, so a scanner suffices — no
@@ -138,6 +138,7 @@ let run_section ~size name =
   | "isolation" -> print_string (E.isolation ~size)
   | "phases" -> print_string (E.phase_breakdown ~size)
   | "cert" -> print_string (E.cert_amortization ~size)
+  | "concurrency" -> print_string (E.concurrency ~size)
   | "json" -> ignore (write_snapshot ~size)
   | "gate" -> run_gate ~size
   | "bechamel" -> Bechamel_bench.run ~size

@@ -6,6 +6,7 @@
            [--max-requests-per-conn N] [--max-conn-bytes N]
            [--deadline SECS] [--max-deadline SECS]
            [--quarantine N] [--quarantine-ttl SECS] [--require-cert]
+           [--pool N] [--queue-depth N] [--fair-slice N]
            [--metrics] [--trace | --trace-file FILE] [--once]
 
    Listens on a Unix-domain socket (--socket) or TCP (--port), and
@@ -16,9 +17,16 @@
    verifier refusals all come back as typed Error responses; the daemon
    keeps serving.
 
+   --pool N serves with N worker domains draining a bounded accept
+   queue (--queue-depth); when the queue is full new connections are
+   refused with a typed "overloaded" error clients retry with backoff.
+   --fair-slice bounds how many requests one connection can hold a
+   worker before it is parked behind waiting connections.
+
    --metrics dumps the full metrics registry (net.* counters, serving
    counters, per-phase timings) to stderr on exit (SIGINT/SIGTERM).
-   --once exits after the first connection closes (for smoke tests). *)
+   --once exits after the first connection closes (for smoke tests;
+   forces the serial --pool 1 path). *)
 
 module Service = Omni_service.Service
 module Net = Omni_net
@@ -41,6 +49,9 @@ let () =
   let quarantine = ref 0 in
   let quarantine_ttl = ref 300.0 in
   let require_cert = ref false in
+  let pool = ref 1 in
+  let queue_depth = ref Net.Server.default_config.Net.Server.queue_depth in
+  let fair_slice = ref Net.Server.default_config.Net.Server.fair_slice in
   let metrics_dump = ref false in
   let trace_file = ref "" in
   let trace_flag = ref false in
@@ -76,6 +87,17 @@ let () =
       ("--require-cert", Arg.Set require_cert,
        " refuse uncertified translated runs (certificate-invalid) and \
         attach the safety certificate to every Run response");
+      ("--pool", Arg.Set_int pool,
+       "N worker domains serving concurrently; 1 = serial (default)");
+      ("--queue-depth", Arg.Set_int queue_depth,
+       Printf.sprintf
+         "N connections the accept queue holds before shedding (default %d)"
+         !queue_depth);
+      ("--fair-slice", Arg.Set_int fair_slice,
+       Printf.sprintf
+         "N requests one connection may hold a worker before parking \
+          (default %d)"
+         !fair_slice);
       ("--metrics", Arg.Set metrics_dump,
        " dump the metrics registry to stderr on exit");
       ("--trace", Arg.Set trace_flag,
@@ -102,18 +124,21 @@ let () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let svc =
-    Service.create ~cache_capacity:!cache_capacity
-      ?quarantine:
-        (if !quarantine > 0 then
-           Some
-             {
-               Omni_service.Supervise.Quarantine.default_config with
-               threshold = !quarantine;
-               ttl_s = !quarantine_ttl;
-             }
-         else None)
-      ?deadline_s:(if !deadline > 0.0 then Some !deadline else None)
-      ()
+    Service.of_config
+      {
+        Service.default_config with
+        Service.cache_capacity = !cache_capacity;
+        quarantine =
+          (if !quarantine > 0 then
+             Some
+               {
+                 Omni_service.Supervise.Quarantine.default_config with
+                 threshold = !quarantine;
+                 ttl_s = !quarantine_ttl;
+               }
+           else None);
+        deadline_s = (if !deadline > 0.0 then Some !deadline else None);
+      }
   in
   let tracer =
     let emit oc =
@@ -140,6 +165,9 @@ let () =
           max_conn_bytes = !max_conn_bytes;
           max_deadline_s = !max_deadline;
           require_cert = !require_cert;
+          pool_size = (if !once then 1 else !pool);
+          queue_depth = !queue_depth;
+          fair_slice = !fair_slice;
         }
       ?tracer svc
   in
@@ -166,11 +194,18 @@ let () =
   (* readiness line: smoke tests and supervisors wait for it *)
   Printf.printf "omnid: listening on %s\n%!"
     (Net.Transport.address_to_string addr);
-  let rec loop () =
-    match Unix.accept listen_fd with
-    | fd, _ ->
-        Net.Server.serve_conn server (Net.Transport.of_fd ~descr:"client" fd);
-        if not !once then loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-  in
-  loop ()
+  if !pool > 1 && not !once then
+    (* pooled serving: Server.serve starts the domain pool, offers every
+       accepted connection, and sheds with a typed overloaded error when
+       the queue is full; signals exit the process *)
+    Net.Server.serve server listen_fd
+  else
+    let rec loop () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Net.Server.serve_conn server
+            (Net.Transport.of_fd ~descr:"client" fd);
+          if not !once then loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    in
+    loop ()

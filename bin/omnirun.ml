@@ -347,6 +347,7 @@ let run_serve trace args =
   let sfi = ref true in
   let requests = ref 16 in
   let cache_cap = ref 256 in
+  let domains = ref 1 in
   let stats = ref false in
   let metrics_dump = ref false in
   let spec =
@@ -355,6 +356,8 @@ let run_serve trace args =
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
       ("--requests", Arg.Set_int requests,
        "N total requests, round-robin over the modules (default 16)");
+      ("--domains", Arg.Set_int domains,
+       "N drive the batch from N domains sharing one service (default 1)");
       ("--cache-cap", Arg.Set_int cache_cap,
        "K translation-cache capacity; 0 disables caching (default 256)");
       ("--cache-capacity", Arg.Set_int cache_cap,
@@ -390,7 +393,51 @@ let run_serve trace args =
           { Service.rq_handle = harr.(i mod Array.length harr);
             rq_engine = eng; rq_sfi = !sfi })
     in
-    let report = Service.run_batch svc reqs in
+    let report =
+      if !domains <= 1 then Service.run_batch svc reqs
+      else begin
+        (* Partition the batch round-robin across the domains; every
+           domain drives the same shared service (sharded cache/store,
+           atomic counters), so this is the concurrency the serving
+           layer now promises. Elapsed time is wall clock: CPU seconds
+           sum across domains and would overstate the cost. *)
+        let n = !domains in
+        let slice d =
+          let keep = ref [] in
+          Array.iteri (fun i r -> if i mod n = d then keep := r :: !keep) reqs;
+          Array.of_list (List.rev !keep)
+        in
+        let t0 = Unix.gettimeofday () in
+        let workers =
+          List.init n (fun d ->
+              let mine = slice d in
+              Domain.spawn (fun () ->
+                  let failures = ref 0 and instructions = ref 0 in
+                  Array.iter
+                    (fun r ->
+                      let res =
+                        Service.instantiate ~engine:r.Service.rq_engine
+                          ~sfi:r.Service.rq_sfi svc r.Service.rq_handle
+                      in
+                      if res.Api.exit_code <> 0 then incr failures;
+                      instructions := !instructions + res.Api.instructions)
+                    mine;
+                  (!failures, !instructions)))
+        in
+        let totals = List.map Domain.join workers in
+        let dt = Unix.gettimeofday () -. t0 in
+        let failures = List.fold_left (fun a (f, _) -> a + f) 0 totals in
+        let instructions = List.fold_left (fun a (_, i) -> a + i) 0 totals in
+        {
+          Service.br_requests = !requests;
+          br_failures = failures;
+          br_instructions = instructions;
+          br_elapsed_s = dt;
+          br_rps =
+            (if dt > 0.0 then float_of_int !requests /. dt else 0.0);
+        }
+      end
+    in
     print_string (Service.render_batch report);
     if !stats then print_endline (Counters.to_json (Service.stats svc));
     if !metrics_dump then
@@ -431,16 +478,22 @@ let run_cert trace args =
       exit 2
   | Some path ->
       let archs =
-        if !engine = "all" then
-          [ Omni_targets.Arch.Mips; Sparc; Ppc; X86 ]
-        else
-          match parse_engine ~who:"omnirun cert" !engine with
-          | Api.Target a -> [ a ]
-          | Api.Interp ->
-              prerr_endline
-                "omnirun cert: the interpreter runs no translated code; \
-                 pick a target architecture";
-              exit 2
+        match Api.engines_of_string !engine with
+        | Error msg ->
+            Printf.eprintf "omnirun cert: %s\n" msg;
+            exit 2
+        | Ok engines -> (
+            match
+              List.filter_map
+                (function Api.Target a -> Some a | Api.Interp -> None)
+                engines
+            with
+            | [] ->
+                prerr_endline
+                  "omnirun cert: the interpreter runs no translated code; \
+                   pick a target architecture";
+                exit 2
+            | archs -> archs)
       in
       let wire = read_file path in
       let exe = Omnivm.Wire.decode wire in

@@ -35,6 +35,20 @@ type engine = Exec.engine =
 
 let engine_of_string = Exec.engine_of_string
 let engine_name = Exec.engine_name
+
+(* The canonical multi-engine parser — "all" fans out to every target
+   architecture (the interpreter translates nothing, so "all" means "all
+   translators"); a single name parses as a one-element list. The
+   omnirun subcommands used to hand-roll this. *)
+let engines_of_string = function
+  | "all" -> Ok (List.map (fun a -> Target a) Arch.all)
+  | s -> (
+      match engine_of_string s with
+      | Ok e -> Ok [ e ]
+      | Error _ ->
+          Error
+            (Printf.sprintf "unknown engine %S (valid engines: %s, all)" s
+               Exec.valid_engines))
 let mobile_opts = Exec.mobile_opts
 
 type crash_site = Exec.crash_site = {
@@ -84,6 +98,7 @@ type request = {
   trace : Trace.t option;
   service : Service.t option;
   remote : Net.Client.t option;
+  retry : Net.Retry.policy option;
   on_unreachable : [ `Fail | `Fallback_local ];
 }
 
@@ -99,6 +114,7 @@ let default_request =
     trace = None;
     service = None;
     remote = None;
+    retry = None;
     on_unreachable = `Fail;
   }
 
@@ -124,6 +140,12 @@ let run_remote (client : Net.Client.t) (r : request) (src : source) :
   (* Re-raise remote refusals as the exceptions the local paths use, so
      a request is handled identically whether the service is in-process
      or behind a socket. *)
+  (* a per-request policy overrides the client's own for this run *)
+  let client =
+    match r.retry with
+    | None -> client
+    | Some p -> Net.Client.with_policy ~retry:p client
+  in
   try
     let h = Net.Client.submit client bytes in
     Net.Client.run ~engine:r.engine ~sfi:r.sfi

@@ -57,6 +57,12 @@ val engine_of_string : string -> (engine, string) result
 val engine_name : engine -> string
 (** Inverse of {!engine_of_string} on the recognized names. *)
 
+val engines_of_string : string -> (engine list, string) result
+(** The canonical multi-engine parser for CLI surfaces: ["all"] is every
+    target architecture (the interpreter translates nothing, so it is
+    not in ["all"]); any single {!engine_of_string} name is a
+    one-element list; [Error msg] names the valid spellings. *)
+
 val mobile_opts : Arch.t -> Machine.topts
 (** The per-architecture translator-optimization defaults the paper
     describes: Mips/PPC translators schedule locally, the Sparc translator
@@ -163,6 +169,13 @@ type request = {
           precedence over [service]; [map_host_region], [opts], and
           [trace] do not travel ([trace] still scopes the local client
           side) *)
+  retry : Net.Retry.policy option;
+      (** per-request retry policy for the remote path, overriding the
+          client's own for this run (via {!Net.Client.with_policy});
+          [None] (the default) keeps the client's policy. Transient
+          failures — lost connections, damaged frames, and a server
+          shedding load with [E_overloaded] — are retried with backoff;
+          deterministic refusals are not *)
   on_unreachable : [ `Fail | `Fallback_local ];
       (** what a remote run does when the daemon cannot be reached —
           read timeout, lost connection, connect failure — after the

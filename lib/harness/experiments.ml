@@ -1018,7 +1018,219 @@ let cert_amortization ~size =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
-(* --- machine-readable benchmark snapshot (BENCH_6.json) ---------------
+(* --- parallel serving: seeded concurrent load on one shared server ---
+
+   A burst of seeded requests dispatched through ONE shared server — one
+   service, one sharded store and cache, atomic counters — by D worker
+   domains, D in {1, 2, 4, 8}, each calling [Server.handle_request]
+   directly (the same dispatch the domain pool's workers run, minus the
+   socket plumbing). Request i belongs to worker (i mod D). Correctness
+   is asserted, not hoped for: every response is digested and compared
+   bit-for-bit against a serial reference round, and the service
+   counters must add up exactly — every miss is one distinct translation
+   configuration, every other admission a hit, instantiations equal to
+   requests served. Latency is per-request wall time around the
+   dispatch; round time and throughput use the wall clock
+   ([Unix.gettimeofday]) because the CPU clock sums across domains. *)
+
+type conc_row = {
+  cy_domains : int;
+  cy_wall_s : float;  (** round wall time, spawn to last join *)
+  cy_rps : float;
+  cy_p50_us : int;
+  cy_p95_us : int;
+  cy_p99_us : int;
+}
+
+type conc_run = {
+  cy_rows : conc_row list;
+  cy_requests : int;  (** requests per round *)
+  cy_tenants : int;  (** distinct tenant modules in the mix *)
+  cy_configs : int;  (** distinct (module, arch, sfi) translation configs *)
+  cy_serial_cpu_s : float;  (** CPU time of the one-domain round *)
+  cy_cores : int;  (** [Domain.recommended_domain_count ()] *)
+}
+
+(* Four small tenant modules with distinct outputs and distinct dynamic
+   shapes (arithmetic loop, recursion, memory traffic, I/O chatter).
+   The paper suite would be the wrong load here: its runs are tens of
+   milliseconds of pure simulation each, which swamps the serving-layer
+   effects this experiment is about. Small modules give request service
+   times in the low milliseconds, where dispatch, cache, and scheduling
+   contention are actually visible. *)
+let conc_tenants =
+  [
+    ( "conc-sum",
+      {| int main(void) {
+           int i; int s = 0;
+           for (i = 0; i < 800; i++) s = s + i * 3;
+           print_int(s); putchar(10); return 0; } |} );
+    ( "conc-fib",
+      {| int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }
+         int main(void) { print_int(f(13)); putchar(10); return 0; } |} );
+    ( "conc-mem",
+      {| int a[256];
+         int main(void) {
+           int i; int s = 0;
+           for (i = 0; i < 256; i++) a[i] = i * 7;
+           for (i = 0; i < 256; i++) s = s + a[255 - i];
+           print_int(s); putchar(10); return 0; } |} );
+    ( "conc-io",
+      {| int main(void) {
+           int i;
+           for (i = 0; i < 40; i++) { print_int(i * i); putchar(32); }
+           putchar(10); return 0; } |} );
+  ]
+
+let concurrency_measure ~size : conc_run =
+  let module Svc = Omni_service.Service in
+  let module SC = Omni_service.Counters in
+  let module Exec = Omni_service.Exec in
+  let module Net = Omni_net in
+  let module M = Net.Message in
+  let fuel = 50_000_000 in
+  let n =
+    match size with Omni_workloads.Workloads.Test -> 192 | _ -> 384
+  in
+  let svc = Svc.create () in
+  let server = Net.Server.create svc in
+  let handles =
+    conc_tenants
+    |> List.map (fun (name, src) ->
+           match
+             Net.Server.handle_request server (M.Submit (Api.compile ~name src))
+           with
+           | M.Submitted d -> d
+           | _ -> fail "concurrency: submit refused")
+    |> Array.of_list
+  in
+  let rng = Omni_util.Lcg.create 1996 in
+  let schedule =
+    Array.init n (fun _ ->
+        let h = handles.(Omni_util.Lcg.int rng (Array.length handles)) in
+        let arch = List.nth all_archs (Omni_util.Lcg.int rng 4) in
+        let sfi = Omni_util.Lcg.int rng 4 > 0 in
+        {
+          M.rs_handle = h;
+          rs_engine = Exec.Target arch;
+          rs_sfi = sfi;
+          rs_mode = M.M_default;
+          rs_fuel = Some fuel;
+          rs_deadline_s = None;
+          rs_want_cert = false;
+        })
+  in
+  let configs =
+    let tbl = Hashtbl.create 64 in
+    Array.iter
+      (fun rs -> Hashtbl.replace tbl (rs.M.rs_handle, rs.M.rs_engine, rs.M.rs_sfi) ())
+      schedule;
+    Hashtbl.length tbl
+  in
+  let dispatch i =
+    let fr = M.encode_resp (Net.Server.handle_request server (M.Run schedule.(i))) in
+    Omni_util.Fnv64.digest_string
+      (Printf.sprintf "%d:%s" fr.Net.Frame.tag fr.Net.Frame.payload)
+  in
+  (* The serial reference round doubles as the warm-up: after it, every
+     configuration the schedule can ask for is cached, and its answers
+     are the bit-identity baseline for every concurrent round. *)
+  let reference = Array.init n dispatch in
+  let after_ref = Svc.stats svc in
+  if after_ref.SC.s_misses <> configs then
+    fail "concurrency: %d misses for %d distinct configs" after_ref.SC.s_misses
+      configs;
+  if after_ref.SC.s_hits + after_ref.SC.s_misses <> n then
+    fail "concurrency: reference round saw %d cache lookups for %d requests"
+      (after_ref.SC.s_hits + after_ref.SC.s_misses)
+      n;
+  let run_round domains =
+    let lat = Array.make n 0. in
+    let out = Array.make n 0L in
+    let work d () =
+      let i = ref d in
+      while !i < n do
+        let t0 = Unix.gettimeofday () in
+        out.(!i) <- dispatch !i;
+        lat.(!i) <- Unix.gettimeofday () -. t0;
+        i := !i + domains
+      done
+    in
+    let w0 = Unix.gettimeofday () in
+    let c0 = Sys.time () in
+    let workers = List.init domains (fun d -> Domain.spawn (work d)) in
+    List.iter Domain.join workers;
+    let wall = Unix.gettimeofday () -. w0 in
+    let cpu = Sys.time () -. c0 in
+    Array.iteri
+      (fun i d ->
+        if not (Int64.equal d reference.(i)) then
+          fail "concurrency: request %d diverged under %d domains" i domains)
+      out;
+    Array.sort compare lat;
+    let pct p = int_of_float (1e6 *. lat.(min (n - 1) (p * n / 100))) in
+    ( {
+        cy_domains = domains;
+        cy_wall_s = wall;
+        cy_rps = float_of_int n /. Float.max 1e-9 wall;
+        cy_p50_us = pct 50;
+        cy_p95_us = pct 95;
+        cy_p99_us = pct 99;
+      },
+      cpu )
+  in
+  let pool_sizes = [ 1; 2; 4; 8 ] in
+  let measured = List.map run_round pool_sizes in
+  let final = Svc.stats svc in
+  let rounds = List.length pool_sizes in
+  if final.SC.s_misses <> configs then
+    fail "concurrency: warm rounds translated (%d misses, expected %d)"
+      final.SC.s_misses configs;
+  if final.SC.s_hits <> after_ref.SC.s_hits + (rounds * n) then
+    fail "concurrency: hit counter lost updates (%d, expected %d)"
+      final.SC.s_hits
+      (after_ref.SC.s_hits + (rounds * n));
+  if final.SC.s_instantiations <> (rounds + 1) * n then
+    fail "concurrency: %d instantiations for %d dispatches"
+      final.SC.s_instantiations
+      ((rounds + 1) * n);
+  if final.SC.s_verify_fail > 0 then
+    fail "concurrency: %d warm admissions rejected" final.SC.s_verify_fail;
+  {
+    cy_rows = List.map fst measured;
+    cy_requests = n;
+    cy_tenants = Array.length handles;
+    cy_configs = configs;
+    cy_serial_cpu_s = snd (List.hd measured);
+    cy_cores = Domain.recommended_domain_count ();
+  }
+
+let concurrency ~size =
+  let c = concurrency_measure ~size in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "Parallel serving: %d seeded warm requests (%d distinct translation\n\
+     configurations across %d tenant modules x 4 archs, SFI mostly on)\n\
+     dispatched through one shared server by D worker domains. Every round's\n\
+     responses are bit-identical to the serial reference and the shared\n\
+     counters sum exactly, or this table refuses to print.\n\n"
+    c.cy_requests c.cy_configs c.cy_tenants;
+  Printf.bprintf buf "%-8s %11s %9s %10s %10s %10s\n" "domains" "wall (ms)"
+    "req/s" "p50 (us)" "p95 (us)" "p99 (us)";
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "%-8d %11.1f %9.0f %10d %10d %10d\n" r.cy_domains
+        (1e3 *. r.cy_wall_s) r.cy_rps r.cy_p50_us r.cy_p95_us r.cy_p99_us)
+    c.cy_rows;
+  Printf.bprintf buf
+    "\nhost reports %d recommended domain(s): domains beyond the physical\n\
+     cores contend on the minor-GC stop-the-world barrier, so oversizing\n\
+     the pool adds tail latency without adding throughput — size pools to\n\
+     cores, not tenants.\n\n"
+    c.cy_cores;
+  Buffer.contents buf
+
+(* --- machine-readable benchmark snapshot (BENCH_7.json) ---------------
 
    A compact re-measurement of the hot paths of every subsystem bench,
    emitted as stable JSON so successive runs can be diffed ([make
@@ -1099,9 +1311,16 @@ let bench_snapshot ~size : string =
         let cold0 = (Svc.stats svc).SC.s_cold_translate_s in
         load_all arch;
         let cold = (Svc.stats svc).SC.s_cold_translate_s -. cold0 in
-        let warm0 = (Svc.stats svc).SC.s_warm_admit_s in
-        load_all arch;
-        let warm = (Svc.stats svc).SC.s_warm_admit_s -. warm0 in
+        (* the warm round is ~100 us of re-verification: best of three so
+           the gate judges the path, not the scheduler *)
+        let warm = ref infinity in
+        for _ = 1 to 3 do
+          let warm0 = (Svc.stats svc).SC.s_warm_admit_s in
+          load_all arch;
+          let w = (Svc.stats svc).SC.s_warm_admit_s -. warm0 in
+          if w < !warm then warm := w
+        done;
+        let warm = !warm in
         hot_add (Printf.sprintf "service.warm.%s" (Arch.name arch)) (us warm);
         Printf.sprintf "    \"%s\": {\"cold_us\": %d, \"warm_us\": %d}"
           (Arch.name arch) (us cold) (us warm))
@@ -1227,6 +1446,28 @@ let bench_snapshot ~size : string =
       (cert_measure ~size)
   in
   ignore (cert_validate ~size);
+  (* concurrency: seeded concurrent load on one shared server; the gate
+     metric is the one-domain round's CPU time — the multi-domain walls
+     depend on the host's core count, so they are reported, not gated *)
+  let concurrency_section =
+    let c = concurrency_measure ~size in
+    hot_add "concurrency.round_us" (us c.cy_serial_cpu_s);
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "    \"domains_%d\": {\"wall_us\": %d, \"throughput_rps\": %d, \
+           \"p50_us\": %d, \"p95_us\": %d, \"p99_us\": %d}"
+          r.cy_domains (us r.cy_wall_s)
+          (int_of_float r.cy_rps)
+          r.cy_p50_us r.cy_p95_us r.cy_p99_us)
+      c.cy_rows
+    @ [
+        Printf.sprintf
+          "    \"load\": {\"requests\": %d, \"configs\": %d, \
+           \"host_cores\": %d}"
+          c.cy_requests c.cy_configs c.cy_cores;
+      ]
+  in
   let obj name lines =
     Printf.sprintf "  \"%s\": {\n%s\n  }" name (String.concat ",\n" lines)
   in
@@ -1246,6 +1487,7 @@ let bench_snapshot ~size : string =
       obj "resilience" resilience_section; ",\n";
       obj "isolation" isolation_section; ",\n";
       obj "cert" cert_section; ",\n";
+      obj "concurrency" concurrency_section; ",\n";
       obj "hot_paths" hot_lines; "\n}\n" ]
 
 let all_tables ~size =

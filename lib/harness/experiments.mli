@@ -119,10 +119,21 @@ val cert_amortization : size:Omni_workloads.Workloads.size -> string
     certifiable SFI policy, plus an end-to-end validation that the
     witness-checked serving path produces bit-identical output. *)
 
+val concurrency : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: parallel multi-tenant serving — a burst of seeded
+    requests dispatched through one shared {!Omni_net.Server} by
+    D ∈ \{1, 2, 4, 8\} worker domains (the domain pool's dispatch, minus
+    sockets), reporting wall time, throughput, and p50/p95/p99 request
+    latency per pool size. Every concurrent round must answer
+    bit-identically to a serial reference round and the shared service
+    counters must sum exactly, or the experiment aborts. *)
+
 val bench_snapshot : size:Omni_workloads.Workloads.size -> string
 (** Machine-readable snapshot of every subsystem bench's hot paths
-    (the contents of [BENCH_6.json]): stable JSON, integer microseconds
+    (the contents of [BENCH_7.json]): stable JSON, integer microseconds
     of CPU time, with a flat ["hot_paths"] object that [make bench-gate]
-    diffs across runs. *)
+    diffs across runs. The ["concurrency"] section additionally reports
+    wall-clock throughput/latency per pool size; only its one-domain
+    round is gated (multi-domain walls depend on the host's cores). *)
 
 val all_tables : size:Omni_workloads.Workloads.size -> string

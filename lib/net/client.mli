@@ -57,6 +57,12 @@ val of_conn : ?retry:Retry.policy -> ?env:Retry.env -> Transport.conn -> t
     re-attempted on the {e same} connection (useful only if it can
     recover — otherwise the retry loop fails fast on the dead wire). *)
 
+val with_policy : ?retry:Retry.policy -> t -> t
+(** A view of the same client under a different retry policy (absent
+    [retry]: no retries). Connection state — including re-dials — is
+    shared with the original, so a view is free to make and discard;
+    what [Api.run]'s per-request [retry] knob uses. *)
+
 val loopback :
   ?retry:Retry.policy ->
   ?env:Retry.env ->
@@ -74,10 +80,11 @@ val descr : t -> string
 
 val classify : exn -> Retry.verdict
 (** The client's retry classification: {!Connection_lost},
-    [Remote_error (E_bad_frame, _)], and everything {!Retry.classify}
-    deems transient (timeouts, connection-level [Unix_error]s) are
-    [Retryable]; all other errors — including every other
-    {!Remote_error} class — are [Terminal]. *)
+    [Remote_error (E_bad_frame, _)], [Remote_error (E_overloaded, _)]
+    (the server shed the request before doing any work), and everything
+    {!Retry.classify} deems transient (timeouts, connection-level
+    [Unix_error]s) are [Retryable]; all other errors — including every
+    other {!Remote_error} class — are [Terminal]. *)
 
 val call : t -> Message.req -> Message.resp
 (** Send one request, read one response — under the retry policy, if

@@ -23,6 +23,7 @@ type err_class =
   | E_module_fault
   | E_quarantined
   | E_certificate_invalid
+  | E_overloaded
 
 let err_class_name = function
   | E_decode -> "decode"
@@ -34,6 +35,7 @@ let err_class_name = function
   | E_module_fault -> "module-fault"
   | E_quarantined -> "quarantined"
   | E_certificate_invalid -> "certificate-invalid"
+  | E_overloaded -> "overloaded"
 
 let err_class_code = function
   | E_decode -> 0
@@ -45,6 +47,7 @@ let err_class_code = function
   | E_module_fault -> 6
   | E_quarantined -> 7
   | E_certificate_invalid -> 8
+  | E_overloaded -> 9
 
 let err_class_of_code = function
   | 0 -> Some E_decode
@@ -56,6 +59,7 @@ let err_class_of_code = function
   | 6 -> Some E_module_fault
   | 7 -> Some E_quarantined
   | 8 -> Some E_certificate_invalid
+  | 9 -> Some E_overloaded
   | _ -> None
 
 (* The message of an [E_module_fault] error leads with a machine-readable

@@ -41,6 +41,11 @@ type err_class =
           server in require-cert mode, or [omnid --require-cert]) and the
           translation has none, or its witness failed the check —
           deterministic, so terminal for clients *)
+  | E_overloaded
+      (** the server's work queue is full — transient by definition, so
+          retryable-with-backoff for clients ({!Omni_net.Retry} absorbs
+          it); the request was refused before any work was done, so
+          resending it is safe *)
 
 val err_class_name : err_class -> string
 val err_class_code : err_class -> int

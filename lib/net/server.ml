@@ -31,6 +31,9 @@ type config = {
   max_conn_bytes : int;
   max_deadline_s : float;
   require_cert : bool;
+  pool_size : int;
+  queue_depth : int;
+  fair_slice : int;
 }
 
 let default_config =
@@ -43,6 +46,9 @@ let default_config =
     max_conn_bytes = 0;
     max_deadline_s = 0.;
     require_cert = false;
+    pool_size = 1;
+    queue_depth = 64;
+    fair_slice = 32;
   }
 
 type session = { mutable s_requests : int; mutable s_bytes : int }
@@ -53,8 +59,14 @@ type t = {
   svc : Service.t;
   cfg : config;
   tracer : Trace.t;
+  (* each domain traces into its own clone of [tracer] (shared sink and
+     registry, private span stack), so pool workers cannot corrupt one
+     another's stacks; lazily initialized per domain *)
+  local_tracer : Trace.t Domain.DLS.key;
   (* digest -> handle for every module this server admitted; the wire
-     names modules by digest, the store by abstract handle *)
+     names modules by digest, the store by abstract handle. Guarded by
+     [h_mu] (leaf-level; held only across the table operation). *)
+  h_mu : Mutex.t;
   handles : (int64, Store.handle) Hashtbl.t;
   (* net.* counters, registered in the service's own registry *)
   connections : Metrics.counter;
@@ -69,6 +81,7 @@ type t = {
   timeouts : Metrics.counter;
   bytes_in : Metrics.counter;
   bytes_out : Metrics.counter;
+  overloaded : Metrics.counter;
 }
 
 let create ?(config = default_config) ?tracer svc =
@@ -83,6 +96,8 @@ let create ?(config = default_config) ?tracer svc =
     svc;
     cfg = config;
     tracer;
+    local_tracer = Domain.DLS.new_key (fun () -> Trace.clone tracer);
+    h_mu = Mutex.create ();
     handles = Hashtbl.create 16;
     connections = c "net.connections";
     requests = c "net.requests";
@@ -96,7 +111,18 @@ let create ?(config = default_config) ?tracer svc =
     timeouts = c "net.timeouts";
     bytes_in = c "net.bytes_in";
     bytes_out = c "net.bytes_out";
+    overloaded = c "net.overloaded";
   }
+
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let service t = t.svc
 let config t = t.cfg
@@ -142,7 +168,7 @@ let dispatch t (req : M.req) : M.resp =
       match Service.submit t.svc bytes with
       | h ->
           let d = Store.digest h in
-          Hashtbl.replace t.handles d h;
+          locked t.h_mu (fun () -> Hashtbl.replace t.handles d h);
           M.Submitted d
       | exception Omnivm.Wire.Bad_module msg -> M.Error (M.E_decode, msg)
       | exception Invalid_argument msg -> M.Error (M.E_limit_exceeded, msg)
@@ -169,7 +195,8 @@ let dispatch t (req : M.req) : M.resp =
             "deadline %gs is invalid or exceeds this server's ceiling of %gs"
             (Option.get rs.M.rs_deadline_s) t.cfg.max_deadline_s )
   | M.Run rs -> (
-      match Hashtbl.find_opt t.handles rs.M.rs_handle with
+      match locked t.h_mu (fun () -> Hashtbl.find_opt t.handles rs.M.rs_handle)
+      with
       | None ->
           M.Error
             ( M.E_unknown_handle,
@@ -252,7 +279,7 @@ let handle_request t (req : M.req) : M.resp =
     | M.Run _ -> t.req_run
     | M.Stats -> t.req_stats);
   let resp =
-    Trace.with_current t.tracer (fun () ->
+    Trace.with_current (Domain.DLS.get t.local_tracer) (fun () ->
         Trace.phase "net.request" ~attrs:[ ("msg", req_name req) ] (fun () ->
             try dispatch t req
             with e ->
@@ -346,6 +373,106 @@ let serve_conn t conn =
   in
   Fun.protect ~finally:(fun () -> Transport.close conn) loop
 
+(* --- the domain pool --- *)
+
+(* The accept loop becomes a producer: it offers each accepted
+   connection to a bounded queue and sheds with a typed E_overloaded
+   refusal when the queue is full — backpressure a client's retry
+   policy can absorb, instead of unbounded queueing the host cannot.
+
+   Fairness: a worker serves at most [fair_slice] requests from one
+   connection, then, if other connections are waiting, parks it back on
+   the queue and takes the next — one chatty tenant cannot monopolize a
+   worker while others starve. A parked connection keeps its session,
+   so per-connection quotas span parks. *)
+
+type pool = {
+  srv : t;
+  wq : (Transport.conn * session) Workq.t;
+  mutable workers : unit Domain.t list;
+}
+
+let pool_create t =
+  { srv = t; wq = Workq.create ~depth:(max 1 t.cfg.queue_depth) ();
+    workers = [] }
+
+let pool_offer pool conn =
+  let t = pool.srv in
+  Metrics.incr t.connections;
+  Transport.set_read_timeout conn t.cfg.read_timeout_s;
+  if Workq.try_push pool.wq (conn, new_session ()) then `Queued
+  else begin
+    (* refused before any work: safe and explicitly retryable *)
+    Metrics.incr t.overloaded;
+    Metrics.incr t.errors;
+    (try
+       send_resp t conn
+         (M.Error
+            ( M.E_overloaded,
+              Printf.sprintf
+                "server work queue is full (%d connections waiting); retry \
+                 with backoff"
+                (Workq.length pool.wq) ))
+     with _ -> ());
+    (try Transport.close conn with _ -> ());
+    `Shed
+  end
+
+(* Serve one connection until it closes or its slice runs out with
+   others waiting. Parking can fail (the queue filled meanwhile); then
+   the worker just keeps serving — a live connection is never dropped
+   for fairness. *)
+let rec drain pool conn session budget =
+  let t = pool.srv in
+  match step ~session t conn with
+  | `Closed -> Transport.close conn
+  | exception Transport.Timeout ->
+      Metrics.incr t.timeouts;
+      Transport.close conn
+  | exception _ ->
+      Metrics.incr t.errors;
+      Transport.close conn
+  | `Handled ->
+      if
+        budget <= 1
+        && Workq.length pool.wq > 0
+        && Workq.try_push pool.wq (conn, session)
+      then () (* parked; whichever worker pops it resumes the session *)
+      else
+        drain pool conn session
+          (if budget <= 1 then t.cfg.fair_slice else budget - 1)
+
+let worker_loop pool =
+  let rec next () =
+    match Workq.pop pool.wq with
+    | None -> () (* closed: do not start new work *)
+    | Some (conn, session) ->
+        drain pool conn session pool.srv.cfg.fair_slice;
+        next ()
+  in
+  next ()
+
+let pool_start pool =
+  if pool.workers <> [] then invalid_arg "Server.pool_start: already started";
+  pool.workers <-
+    List.init
+      (max 1 pool.srv.cfg.pool_size)
+      (fun _ -> Domain.spawn (fun () -> worker_loop pool))
+
+let pool_stop pool =
+  Workq.close pool.wq;
+  List.iter Domain.join pool.workers;
+  pool.workers <- [];
+  (* dispose of connections the close abandoned *)
+  let rec drop () =
+    match Workq.try_pop pool.wq with
+    | None -> ()
+    | Some (conn, _) ->
+        (try Transport.close conn with _ -> ());
+        drop ()
+  in
+  drop ()
+
 (* --- sockets --- *)
 
 let listen addr =
@@ -371,14 +498,28 @@ let listen addr =
      raise e);
   fd
 
-let serve ?(stop = fun () -> false) t listen_fd =
+let accept_loop ~stop listen_fd handle =
   while not (stop ()) do
     (* poll so [stop] is consulted even with no traffic *)
     match Unix.select [ listen_fd ] [] [] 0.25 with
     | [], _, _ -> ()
     | _ -> (
         match Unix.accept listen_fd with
-        | fd, _ -> serve_conn t (Transport.of_fd ~descr:"client" fd)
+        | fd, _ -> handle (Transport.of_fd ~descr:"client" fd)
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
+
+let serve ?(stop = fun () -> false) t listen_fd =
+  if t.cfg.pool_size <= 1 then
+    (* the pre-pool path, unchanged: accept, serve to completion, repeat *)
+    accept_loop ~stop listen_fd (serve_conn t)
+  else begin
+    let pool = pool_create t in
+    pool_start pool;
+    Fun.protect
+      ~finally:(fun () -> pool_stop pool)
+      (fun () ->
+        accept_loop ~stop listen_fd (fun conn ->
+            ignore (pool_offer pool conn)))
+  end

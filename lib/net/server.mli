@@ -51,11 +51,21 @@ type config = {
           [E_certificate_invalid], and attach the certificate to every
           [Ran] response; the reference interpreter is exempt (it runs
           no translated code). What [omnid --require-cert] sets. *)
+  pool_size : int;
+      (** worker domains draining the accept queue; 1 (the default)
+          keeps the sequential accept-serve loop *)
+  queue_depth : int;
+      (** connections the accept queue holds before {!serve} sheds new
+          ones with a typed [E_overloaded] refusal (clamped to >= 1) *)
+  fair_slice : int;
+      (** requests one worker serves from one connection before parking
+          it behind waiting connections — per-tenant fairness *)
 }
 
 val default_config : config
 (** {!Frame.max_payload}, a 30 s read timeout, every quota unlimited,
-    certificates optional. *)
+    certificates optional, pool of 1 (sequential), queue depth 64,
+    fair slice 32. *)
 
 type t
 
@@ -100,6 +110,39 @@ val serve_conn : t -> Transport.conn -> unit
 (** [step] until [`Closed] (or a read timeout), then close the
     connection; runs under a fresh {!session}. Never raises. *)
 
+(** {1 The domain pool}
+
+    With [pool_size > 1], {!serve} becomes a producer: accepted
+    connections are offered to a bounded {!Workq} drained by a pool of
+    worker domains. A full queue sheds the connection with a typed
+    [E_overloaded] response (counted under [net.overloaded]) — explicit
+    backpressure the client's retry policy absorbs — and a worker parks
+    any connection that has held it for [fair_slice] requests while
+    others wait, so one chatty tenant cannot starve the rest.
+
+    The pieces are exposed so tests can drive them deterministically
+    (offer past the depth without workers, assert the typed refusal). *)
+
+type pool
+
+val pool_create : t -> pool
+(** A pool over this server's config ([pool_size], [queue_depth],
+    [fair_slice]); no workers run until {!pool_start}. *)
+
+val pool_offer : pool -> Transport.conn -> [ `Queued | `Shed ]
+(** Offer an accepted connection. [`Shed] means the queue was full: the
+    connection was answered with [E_overloaded] and closed — before any
+    request work, so resending is safe. Counts [net.connections] either
+    way, [net.overloaded] (and [net.errors]) on shed. *)
+
+val pool_start : pool -> unit
+(** Spawn the worker domains ([pool_size], at least 1).
+    @raise Invalid_argument if already started. *)
+
+val pool_stop : pool -> unit
+(** Close the queue, join the workers (each finishes the connection it
+    is serving), and close any connections left queued. *)
+
 (** {1 Listening (sockets)} *)
 
 val listen : Transport.address -> Unix.file_descr
@@ -108,6 +151,10 @@ val listen : Transport.address -> Unix.file_descr
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val serve : ?stop:(unit -> bool) -> t -> Unix.file_descr -> unit
-(** Sequential accept loop: accept, {!serve_conn}, repeat. Polls [stop]
+(** The accept loop. With [pool_size <= 1] (the default): accept,
+    {!serve_conn}, repeat — the original sequential behaviour. With a
+    larger pool: start it, offer every accepted connection ({!pool_offer}
+    semantics, shedding with [E_overloaded] when the queue is full), and
+    stop it (joining the workers) when [stop] fires. Polls [stop]
     between accepts (default: never stop). Does not close the listening
     descriptor. *)

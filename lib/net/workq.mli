@@ -1,0 +1,38 @@
+(** Bounded multi-producer / multi-consumer work queue.
+
+    The handoff between a server's accept loop (producer) and its pool
+    of worker domains (consumers). The bound is the backpressure
+    contract: {!try_push} never blocks and never queues beyond [depth] —
+    a full queue is the producer's signal to shed load with a typed
+    [E_overloaded] refusal instead of queueing without limit.
+
+    All operations are safe from any number of domains. The internal
+    mutex is leaf-level: nothing is called while holding it. *)
+
+type 'a t
+
+val create : depth:int -> unit -> 'a t
+(** A queue admitting at most [depth] items ([depth <= 0] means
+    unbounded — no backpressure, for completeness only). *)
+
+val depth : 'a t -> int
+val length : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when the queue is full or closed
+    (the caller sheds the item). *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available or the queue is closed; [None]
+    means closed — a worker's signal to exit. Close abandons queued
+    items: a consumer never sees an item pushed before {!close} that it
+    had not already popped ({!try_pop} drains them). *)
+
+val try_pop : 'a t -> 'a option
+(** Dequeue without blocking; [None] when empty. Works after {!close} —
+    how a stopping pool drains and disposes of abandoned items. *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake every blocked {!pop}. Idempotent. *)
+
+val closed : 'a t -> bool

@@ -6,13 +6,22 @@
    but keeps every registration, so a long-lived server can publish
    per-interval snapshots without re-plumbing its probes.
 
+   Every instrument is safe to drive from multiple domains: counters and
+   gauges are lock-free ([Atomic]); each histogram serializes its
+   observations behind its own mutex (an observation is a three-field
+   update that must stay consistent); the registry table itself is locked
+   only on registration, snapshot, and reset — the hot paths (incr,
+   observe) never touch the registry lock. Lock order: registry mutex
+   before histogram mutexes, and a histogram mutex is the innermost lock
+   in the whole system — no code holding one calls anything else.
+
    Histograms are log-bucketed in powers of two: a value v > 0 falls in
    the bucket [2^(e-1), 2^e) containing it, so durations spanning
    nanoseconds to hours need only ~60 buckets and bucket boundaries are
    exact in floating point. *)
 
-type counter = { mutable c_value : int }
-type gauge = { mutable g_value : float }
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
 
 (* Bucket i covers [2^(i - bucket_zero - 1), 2^(i - bucket_zero)); values
    <= 0 land in bucket 0 (an underflow bucket with upper bound 2^-min). *)
@@ -20,6 +29,7 @@ let bucket_zero = 40 (* smallest finite bucket upper bound: 2^-40 s *)
 let bucket_count = 72 (* largest: 2^31 s *)
 
 type histogram = {
+  h_mu : Mutex.t;
   buckets : int array; (* bucket_count cells *)
   mutable h_count : int;
   mutable h_sum : float;
@@ -30,11 +40,22 @@ type instrument =
   | Gauge of gauge
   | Histogram of histogram
 
-type t = { tbl : (string, instrument) Hashtbl.t }
+type t = { mu : Mutex.t; tbl : (string, instrument) Hashtbl.t }
 
-let create () = { tbl = Hashtbl.create 32 }
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let register t name mk describe =
+  locked t.mu @@ fun () ->
   match Hashtbl.find_opt t.tbl name with
   | Some i -> i
   | None ->
@@ -44,12 +65,16 @@ let register t name mk describe =
       i
 
 let counter t name =
-  match register t name (fun () -> Counter { c_value = 0 }) "counter" with
+  match
+    register t name (fun () -> Counter { c_value = Atomic.make 0 }) "counter"
+  with
   | Counter c -> c
   | _ -> invalid_arg (name ^ " is registered as a non-counter")
 
 let gauge t name =
-  match register t name (fun () -> Gauge { g_value = 0.0 }) "gauge" with
+  match
+    register t name (fun () -> Gauge { g_value = Atomic.make 0.0 }) "gauge"
+  with
   | Gauge g -> g
   | _ -> invalid_arg (name ^ " is registered as a non-gauge")
 
@@ -57,17 +82,18 @@ let histogram t name =
   match
     register t name
       (fun () ->
-        Histogram { buckets = Array.make bucket_count 0; h_count = 0;
+        Histogram { h_mu = Mutex.create ();
+                    buckets = Array.make bucket_count 0; h_count = 0;
                     h_sum = 0.0 })
       "histogram"
   with
   | Histogram h -> h
   | _ -> invalid_arg (name ^ " is registered as a non-histogram")
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
-let value c = c.c_value
-let set g v = g.g_value <- v
-let gauge_value g = g.g_value
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by)
+let value c = Atomic.get c.c_value
+let set g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
 
 (* Index of the bucket whose range [2^(e-1), 2^e) contains v. [frexp]
    gives v = m * 2^e with m in [0.5, 1), i.e. exactly that range. *)
@@ -82,12 +108,13 @@ let bucket_upper i = Float.ldexp 1.0 (i - bucket_zero)
 
 let observe h v =
   let i = bucket_index v in
+  locked h.h_mu @@ fun () ->
   h.buckets.(i) <- h.buckets.(i) + 1;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v
 
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let histogram_count h = locked h.h_mu (fun () -> h.h_count)
+let histogram_sum h = locked h.h_mu (fun () -> h.h_sum)
 
 (* --- snapshots --- *)
 
@@ -106,22 +133,25 @@ type snapshot = {
 
 let snapshot t : snapshot =
   let cs = ref [] and gs = ref [] and hs = ref [] in
-  Hashtbl.iter
-    (fun name i ->
-      match i with
-      | Counter c -> cs := (name, c.c_value) :: !cs
-      | Gauge g -> gs := (name, g.g_value) :: !gs
-      | Histogram h ->
-          let buckets = ref [] in
-          for i = bucket_count - 1 downto 0 do
-            if h.buckets.(i) > 0 then
-              buckets := (bucket_upper i, h.buckets.(i)) :: !buckets
-          done;
-          hs :=
-            (name, { hs_count = h.h_count; hs_sum = h.h_sum;
-                     hs_buckets = !buckets })
-            :: !hs)
-    t.tbl;
+  ( locked t.mu @@ fun () ->
+    Hashtbl.iter
+      (fun name i ->
+        match i with
+        | Counter c -> cs := (name, Atomic.get c.c_value) :: !cs
+        | Gauge g -> gs := (name, Atomic.get g.g_value) :: !gs
+        | Histogram h ->
+            (* registry mutex before histogram mutex: the one nested pair *)
+            locked h.h_mu @@ fun () ->
+            let buckets = ref [] in
+            for i = bucket_count - 1 downto 0 do
+              if h.buckets.(i) > 0 then
+                buckets := (bucket_upper i, h.buckets.(i)) :: !buckets
+            done;
+            hs :=
+              (name, { hs_count = h.h_count; hs_sum = h.h_sum;
+                       hs_buckets = !buckets })
+              :: !hs)
+      t.tbl );
   let by_name (a, _) (b, _) = String.compare a b in
   {
     counters = List.sort by_name !cs;
@@ -130,12 +160,14 @@ let snapshot t : snapshot =
   }
 
 let reset t =
+  locked t.mu @@ fun () ->
   Hashtbl.iter
     (fun _ i ->
       match i with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.0
       | Histogram h ->
+          locked h.h_mu @@ fun () ->
           Array.fill h.buckets 0 bucket_count 0;
           h.h_count <- 0;
           h.h_sum <- 0.0)

@@ -8,7 +8,14 @@
 
     Histograms are log-bucketed in powers of two: a value [v > 0] falls in
     the bucket [[2^(e-1), 2^e)] containing it; values [<= 0] (and NaN)
-    land in the underflow bucket 0. *)
+    land in the underflow bucket 0.
+
+    {b Concurrency}: every operation is safe from multiple domains.
+    Counters and gauges are lock-free atomics (no increment is ever lost);
+    histogram observations serialize behind a per-histogram mutex;
+    registration, {!snapshot}, and {!reset} briefly lock the registry.
+    A snapshot is internally consistent per instrument, not across
+    instruments (it does not stop the world). *)
 
 type t
 

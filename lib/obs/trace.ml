@@ -122,41 +122,59 @@ let with_span t ?attrs name f =
         raise e
   end
 
-(* --- the ambient tracer --- *)
+(* --- the ambient tracer ---
 
-let cur = ref null
-let current () = !cur
-let set_current t = cur := t
+   One ambient tracer per *domain*, not per process: a span stack is
+   execution-context state, so a pool of server domains sharing a single
+   [ref] would interleave each other's spans. Domain-local storage gives
+   every domain the null tracer until it installs its own (typically a
+   [clone] of the server's — same sink and registry, private stack). *)
+
+let cur = Domain.DLS.new_key (fun () -> null)
+let current () = Domain.DLS.get cur
+let set_current t = Domain.DLS.set cur t
 
 let with_current t f =
-  let old = !cur in
-  cur := t;
+  let old = Domain.DLS.get cur in
+  Domain.DLS.set cur t;
   match f () with
   | r ->
-      cur := old;
+      Domain.DLS.set cur old;
       r
   | exception e ->
-      cur := old;
+      Domain.DLS.set cur old;
       raise e
+
+(* A tracer sharing [t]'s clock, sink, and metrics registry, with a
+   private span stack and id counter — what each worker domain of a pool
+   installs so concurrent requests do not corrupt one another's stacks.
+   Span ids restart per clone; consumers correlate within one domain's
+   stream (the registry, being shared and thread-safe, still aggregates
+   phase timings across all clones). An [Emit] sink shared by clones must
+   itself be thread-safe. *)
+let clone t =
+  if not t.on then null
+  else { on = true; clock = t.clock; sink = t.sink; m = t.m; next_id = 1;
+         stack = [] }
 
 (* Probes on the ambient tracer. Each starts with a one-branch enabled
    check so a disabled pipeline pays (nearly) nothing. *)
 
 let phase ?attrs name f =
-  let t = !cur in
+  let t = Domain.DLS.get cur in
   if not t.on then f () else with_span t ?attrs name f
 
 let attr k v =
-  let t = !cur in
+  let t = Domain.DLS.get cur in
   if t.on then add_attr t k v
 
 let count ?(by = 1) name =
-  match (!cur).m with
+  match (Domain.DLS.get cur).m with
   | None -> ()
   | Some m -> Metrics.incr ~by (Metrics.counter m name)
 
 let observe name v =
-  match (!cur).m with
+  match (Domain.DLS.get cur).m with
   | None -> ()
   | Some m -> Metrics.observe (Metrics.histogram m name) v
 
@@ -164,7 +182,7 @@ let observe name v =
    registry — per-pass attribution inside the translators, where a full
    span per basic block would be too heavy. *)
 let timed name f =
-  let t = !cur in
+  let t = Domain.DLS.get cur in
   match t.m with
   | None -> f ()
   | Some m ->

@@ -63,10 +63,21 @@ val with_span :
 (** Exception-safe begin/end; a raising body still closes the span, with
     an ["error"] attribute. *)
 
+val clone : t -> t
+(** A tracer sharing [t]'s clock, sink, and metrics registry, with a
+    private span stack and id counter. Each worker domain of a server
+    pool installs a clone so concurrent requests cannot corrupt one
+    another's span stacks; the shared registry still aggregates phase
+    timings across all clones. Span ids restart per clone. An [Emit]
+    sink shared by clones must itself be thread-safe.
+    [clone null] is [null]. *)
+
 (** {1 The ambient tracer}
 
-    One current tracer per process; [Api.run] and omnirun scope it per
-    request with {!with_current}. *)
+    One current tracer per {e domain} (domain-local storage); [Api.run]
+    and omnirun scope it per request with {!with_current}. A freshly
+    spawned domain starts with {!null} until it installs its own —
+    typically a {!clone} of its parent's. *)
 
 val current : unit -> t
 val set_current : t -> unit

@@ -28,18 +28,59 @@ type entry = {
 
 exception Rejected of string
 
+(* Sharded by module digest: every configuration of one module lands in
+   one shard (so a small capacity still evicts among them, as the
+   single-LRU cache did), while distinct modules spread across shards and
+   never contend. An entry is immutable once inserted — the warm-path
+   admission check runs on it after the shard lock is dropped. Shard
+   locks are leaf-level; a cold miss holds its shard's lock across
+   translate + certify, which serializes same-shard cold misses and in
+   return makes the counters exact: one miss and one translation per
+   distinct configuration, everything else a hit. *)
+type shard = { mu : Mutex.t; lru : (key, entry) Lru.t }
+
 type t = {
-  lru : (key, entry) Lru.t;
+  shards : shard array; (* power-of-two length *)
+  mask : int;
   c : Counters.t;
 }
 
 let default_capacity = 256
+let default_shards = 8
 
-let create ?(capacity = default_capacity) c =
-  { lru = Lru.create ~capacity; c }
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
 
-let capacity t = Lru.capacity t.lru
-let length t = Lru.length t.lru
+let create ?(capacity = default_capacity) ?(shards = default_shards) c =
+  let n = pow2_at_least (max 1 shards) in
+  (* capacity 0 disables caching entirely; otherwise each shard gets an
+     equal slice, at least 1, so total capacity rounds up to a multiple
+     of the shard count *)
+  let per_shard = if capacity <= 0 then 0 else max 1 ((capacity + n - 1) / n) in
+  { shards = Array.init n (fun _ ->
+        { mu = Mutex.create (); lru = Lru.create ~capacity:per_shard });
+    mask = n - 1; c }
+
+let shard t (k : key) = t.shards.(Int64.to_int k.k_digest land t.mask)
+
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+let capacity t =
+  Array.fold_left (fun acc s -> acc + Lru.capacity s.lru) 0 t.shards
+
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + locked s.mu (fun () -> Lru.length s.lru))
+    0 t.shards
 
 (* The admission check: sandboxed code must pass the static SFI verifier
    before it may run, whether freshly translated or pulled from the cache.
@@ -95,32 +136,56 @@ let readmit t (k : key) (e : entry) =
         raise (Rejected reason)
   end
 
+(* Warm path: the entry is immutable, so the witness check runs outside
+   any lock. *)
+let hit t k (e : entry) t0 =
+  readmit t k e;
+  Metrics.incr t.c.Counters.hits;
+  Trace.count "cache.hits";
+  Metrics.observe t.c.Counters.warm_admit (Sys.time () -. t0);
+  e.tr
+
 let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
   let t0 = Sys.time () in
-  match Lru.find t.lru k with
-  | Some e ->
-      readmit t k e;
-      Metrics.incr t.c.Counters.hits;
-      Trace.count "cache.hits";
-      Metrics.observe t.c.Counters.warm_admit (Sys.time () -. t0);
-      e.tr
-  | None ->
-      let tr = Exec.translate ~mode:k.k_mode ~opts:k.k_opts k.k_arch exe in
-      Metrics.incr t.c.Counters.translations;
-      let verdict, cert = admit t k tr in
-      (match
-         Lru.add t.lru k { tr; verdict; fp = Exec.fingerprint tr; cert }
-       with
-      | Some _ -> Metrics.incr t.c.Counters.evictions
-      | None -> ());
-      Metrics.incr t.c.Counters.misses;
-      Trace.count "cache.misses";
-      Metrics.observe t.c.Counters.cold_translate (Sys.time () -. t0);
-      tr
+  let s = shard t k in
+  match locked s.mu (fun () -> Lru.find s.lru k) with
+  | Some e -> hit t k e t0
+  | None -> (
+      (* Re-check under the lock: another domain may have filled the
+         entry since the probe above. The loser of that race counts a
+         hit, keeping misses == distinct configurations. *)
+      let filled =
+        locked s.mu @@ fun () ->
+        match Lru.find s.lru k with
+        | Some e -> Either.Left e
+        | None ->
+            let tr =
+              Exec.translate ~mode:k.k_mode ~opts:k.k_opts k.k_arch exe
+            in
+            Metrics.incr t.c.Counters.translations;
+            let verdict, cert = admit t k tr in
+            (match
+               Lru.add s.lru k { tr; verdict; fp = Exec.fingerprint tr; cert }
+             with
+            | Some _ -> Metrics.incr t.c.Counters.evictions
+            | None -> ());
+            Metrics.incr t.c.Counters.misses;
+            Trace.count "cache.misses";
+            Either.Right tr
+      in
+      match filled with
+      | Either.Left e -> hit t k e t0
+      | Either.Right tr ->
+          Metrics.observe t.c.Counters.cold_translate (Sys.time () -. t0);
+          tr)
 
-let peek t k = Lru.peek t.lru k
+let peek t k =
+  let s = shard t k in
+  locked s.mu (fun () -> Lru.peek s.lru k)
 
 (* Test hook: the mli's invariant says a corrupted cache cannot reach a
    simulator; tests corrupt an entry with this and watch the warm
    admission refuse it. *)
-let inject t k e = ignore (Lru.add t.lru k e)
+let inject t k e =
+  let s = shard t k in
+  locked s.mu (fun () -> ignore (Lru.add s.lru k e))

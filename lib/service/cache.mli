@@ -54,10 +54,20 @@ exception Rejected of string
 
 type t
 
-val create : ?capacity:int -> Counters.t -> t
-(** Default capacity: 256 translation configurations. *)
+val create : ?capacity:int -> ?shards:int -> Counters.t -> t
+(** Default capacity: 256 translation configurations, spread over
+    [shards] (default 8, rounded up to a power of two) independent LRUs
+    partitioned by module digest — every configuration of one module
+    shares a shard, distinct modules rarely contend. Each shard gets an
+    equal slice of [capacity], at least 1, so the effective capacity
+    rounds up to a multiple of the shard count; capacity 0 still
+    disables caching entirely. All operations are safe from multiple
+    domains, and the counters stay exact under races: one miss and one
+    translation per distinct configuration, every other access a hit. *)
 
 val capacity : t -> int
+(** Effective total capacity (sum over shards; see {!create}). *)
+
 val length : t -> int
 
 val find_or_translate : t -> key -> Omnivm.Exe.t -> Exec.translated

@@ -17,6 +17,9 @@ val engine_of_string : string -> (engine, string) result
 (** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]; the
     error message names the valid engines (for CLI error reporting). *)
 
+val valid_engines : string
+(** The recognized engine names, comma-separated (for error messages). *)
+
 val engine_name : engine -> string
 
 val mobile_opts : Arch.t -> Machine.topts

@@ -2,6 +2,25 @@ module Machine = Omni_targets.Machine
 module Metrics = Omni_obs.Metrics
 module Trace = Omni_obs.Trace
 
+type config = {
+  cache_capacity : int;
+  shards : int;
+  quarantine : Supervise.Quarantine.config option;
+  deadline_s : float option;
+  watchdog_poll : int option;
+  on_crash : (Supervise.report -> unit) option;
+}
+
+let default_config =
+  {
+    cache_capacity = 256;
+    shards = 8;
+    quarantine = None;
+    deadline_s = None;
+    watchdog_poll = None;
+    on_crash = None;
+  }
+
 type t = {
   store : Store.t;
   cache : Cache.t;
@@ -13,19 +32,32 @@ type t = {
   on_crash : (Supervise.report -> unit) option;
 }
 
-let create ?cache_capacity ?metrics ?quarantine ?deadline_s ?watchdog_poll
-    ?(clock = Supervise.wall_clock) ?on_crash () =
+let of_config ?metrics ?(clock = Supervise.wall_clock) cfg =
   let c = Counters.create ?metrics () in
   {
-    store = Store.create ~counters:c ();
-    cache = Cache.create ?capacity:cache_capacity c;
+    store = Store.create ~counters:c ~shards:cfg.shards ();
+    cache = Cache.create ~capacity:cfg.cache_capacity ~shards:cfg.shards c;
     c;
-    quarantine = Option.map Supervise.Quarantine.create quarantine;
-    deadline_s;
-    watchdog_poll;
+    quarantine = Option.map Supervise.Quarantine.create cfg.quarantine;
+    deadline_s = cfg.deadline_s;
+    watchdog_poll = cfg.watchdog_poll;
     clock;
-    on_crash;
+    on_crash = cfg.on_crash;
   }
+
+(* Pre-config entry point, kept as a thin wrapper over [of_config]. *)
+let create ?cache_capacity ?metrics ?quarantine ?deadline_s ?watchdog_poll
+    ?(clock = Supervise.wall_clock) ?on_crash () =
+  of_config ?metrics ~clock
+    {
+      default_config with
+      cache_capacity =
+        Option.value cache_capacity ~default:default_config.cache_capacity;
+      quarantine;
+      deadline_s;
+      watchdog_poll;
+      on_crash;
+    }
 
 let submit t bytes = Store.submit t.store bytes
 let metrics t = Counters.metrics t.c

@@ -14,11 +14,48 @@
     {!run_batch} drives a request mix end to end, reporting throughput —
     the serving analogue of the paper's "translation must be fast"
     load-time argument: a production host pays the translator once per
-    configuration, not once per load. *)
+    configuration, not once per load.
+
+    {b Concurrency}: one [t] is safe to share across domains. The store
+    and cache are sharded by module digest behind per-shard mutexes,
+    counters are atomic, and the quarantine serializes behind its own
+    lock, so {!submit} / {!instantiate} from a server's worker pool need
+    no external locking and lose no counter updates. [on_crash] may be
+    invoked concurrently and must be thread-safe itself. *)
 
 module Machine = Omni_targets.Machine
 
 type t
+
+(** Everything that shapes a service, as one documented record — build
+    one with [{ default_config with ... }]. *)
+type config = {
+  cache_capacity : int;
+      (** translation-cache bound (default 256 configurations; 0
+          disables caching — every target run translates) *)
+  shards : int;
+      (** digest-shard count for store and cache (default 8, rounded up
+          to a power of two); more shards, less same-shard contention *)
+  quarantine : Supervise.Quarantine.config option;
+      (** per-digest circuit breaker ({!Supervise.Quarantine}); [None]
+          (default) disables it *)
+  deadline_s : float option;
+      (** wall-clock budget per run, overridable per call *)
+  watchdog_poll : int option;  (** deadline poll interval, instructions *)
+  on_crash : (Supervise.report -> unit) option;
+      (** invoked (possibly concurrently) for every faulted run *)
+}
+
+val default_config : config
+
+val of_config : ?metrics:Omni_obs.Metrics.t -> ?clock:Omni_util.Clock.t ->
+  config -> t
+(** The one constructor. [metrics] is the registry the service's
+    counters are registered in (default: a fresh one) — pass the
+    registry of a {!Omni_obs.Trace} tracer to land serving counters and
+    per-phase timings in one place. [clock] (default real wall time)
+    drives watchdog deadlines; both are capabilities rather than
+    configuration, hence not in {!config}. *)
 
 val create :
   ?cache_capacity:int ->
@@ -30,19 +67,10 @@ val create :
   ?on_crash:(Supervise.report -> unit) ->
   unit ->
   t
-(** [cache_capacity] bounds the translation cache (default 256 entries;
-    0 disables translation caching — every target run translates).
-    [metrics] is the registry the service's counters are registered in
-    (default: a fresh one) — pass the registry of a {!Omni_obs.Trace}
-    tracer to land serving counters and per-phase timings in one place.
-
-    Supervision (all off by default, preserving prior behaviour):
-    [quarantine] enables the per-digest circuit breaker
-    ({!Supervise.Quarantine}); [deadline_s] imposes a wall-clock budget on
-    every run (overridable per call), polled every [watchdog_poll]
-    instructions and read from [clock] (default real wall time);
-    [on_crash] is invoked with a full {!Supervise.report} for every
-    faulted run. *)
+(** (deprecated) The pre-{!config} entry point, now a thin wrapper over
+    {!of_config} with each option mapping to the config field of the
+    same name. Kept so existing callers and tests build unchanged;
+    prefer {!of_config} in new code. *)
 
 val metrics : t -> Omni_obs.Metrics.t
 (** The backing metrics registry (serving counters + anything else

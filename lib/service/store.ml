@@ -14,45 +14,87 @@ type entry = {
   e_blueprint : Omni_runtime.Loader.blueprint;
 }
 
+(* Sharded by digest so concurrent submits and lookups of unrelated
+   modules never contend. Each shard is an independent table behind its
+   own mutex; an entry, once inserted, is immutable, so a reference
+   returned by a lookup stays valid after the lock is dropped. Shard
+   locks are leaf-level: nothing is called while holding one except the
+   decoder/blueprint builder (pure) and atomic counter bumps. *)
+type shard = { mu : Mutex.t; tbl : (Fnv64.t, entry) Hashtbl.t }
+
 type t = {
-  tbl : (Fnv64.t, entry) Hashtbl.t;
+  shards : shard array; (* power-of-two length *)
+  mask : int;
   c : Counters.t;
 }
 
-let create ?counters () =
+let default_shards = 8
+
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?counters ?(shards = default_shards) () =
   let c = match counters with Some c -> c | None -> Counters.create () in
-  { tbl = Hashtbl.create 64; c }
+  let n = pow2_at_least (max 1 shards) in
+  { shards = Array.init n (fun _ ->
+        { mu = Mutex.create (); tbl = Hashtbl.create 16 });
+    mask = n - 1; c }
+
+let shard t (d : Fnv64.t) = t.shards.(Int64.to_int d land t.mask)
+
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 exception Collision of handle
 exception Unknown_handle
 
+(* The shard lock is held across decode + blueprint so that concurrent
+   submits of the same new module stay exactly accounted: one of them
+   inserts (counting [modules] and [bytes_stored] once), every other
+   counts [dedup_hits]. Cold submits of same-shard modules serialize;
+   distinct shards proceed in parallel. *)
 let submit t bytes =
   let h = Fnv64.digest_string bytes in
   Metrics.incr t.c.Counters.submits;
-  (match Hashtbl.find_opt t.tbl h with
-  | Some e ->
-      if not (String.equal e.e_bytes bytes) then raise (Collision h);
-      Metrics.incr t.c.Counters.dedup_hits;
-      Trace.count "store.dedup_hits"
-  | None ->
-      let exe =
-        Trace.phase "decode"
-          ~attrs:[ ("bytes", string_of_int (String.length bytes)) ]
-          (fun () -> Omnivm.Wire.decode bytes)
-      in
-      let bp = Omni_runtime.Loader.blueprint exe in
-      Hashtbl.replace t.tbl h
-        { e_bytes = bytes; e_exe = exe; e_blueprint = bp };
-      Metrics.incr t.c.Counters.modules;
-      Metrics.incr ~by:(String.length bytes) t.c.Counters.bytes_stored);
+  let s = shard t h in
+  ( locked s.mu @@ fun () ->
+    match Hashtbl.find_opt s.tbl h with
+    | Some e ->
+        if not (String.equal e.e_bytes bytes) then raise (Collision h);
+        Metrics.incr t.c.Counters.dedup_hits;
+        Trace.count "store.dedup_hits"
+    | None ->
+        let exe =
+          Trace.phase "decode"
+            ~attrs:[ ("bytes", string_of_int (String.length bytes)) ]
+            (fun () -> Omnivm.Wire.decode bytes)
+        in
+        let bp = Omni_runtime.Loader.blueprint exe in
+        Hashtbl.replace s.tbl h
+          { e_bytes = bytes; e_exe = exe; e_blueprint = bp };
+        Metrics.incr t.c.Counters.modules;
+        Metrics.incr ~by:(String.length bytes) t.c.Counters.bytes_stored );
   h
 
 let entry t h =
-  match Hashtbl.find_opt t.tbl h with
+  let s = shard t h in
+  match locked s.mu (fun () -> Hashtbl.find_opt s.tbl h) with
   | Some e -> e
   | None -> raise Unknown_handle
 
 let bytes t h = (entry t h).e_bytes
 let exe t h = (entry t h).e_exe
 let blueprint t h = (entry t h).e_blueprint
-let modules t = Hashtbl.length t.tbl
+
+let modules t =
+  Array.fold_left
+    (fun acc s -> acc + locked s.mu (fun () -> Hashtbl.length s.tbl))
+    0 t.shards

@@ -20,9 +20,14 @@ val equal_handle : handle -> handle -> bool
 
 type t
 
-val create : ?counters:Counters.t -> unit -> t
+val create : ?counters:Counters.t -> ?shards:int -> unit -> t
 (** [counters] lets a service aggregate store activity with the rest of
-    the pipeline; a private record is used when omitted. *)
+    the pipeline; a private record is used when omitted. [shards]
+    (default 8, rounded up to a power of two) partitions the store by
+    digest so concurrent submits and lookups of unrelated modules never
+    contend; all operations are safe from multiple domains, and counter
+    accounting stays exact under races (a module concurrently submitted
+    by many clients is stored once, the rest count as dedup hits). *)
 
 exception Collision of handle
 (** Two distinct byte strings hit the same digest (astronomically

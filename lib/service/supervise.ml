@@ -429,7 +429,11 @@ module Quarantine = struct
     mutable until : float; (* quarantined while clock < until; 0 = not *)
   }
 
-  type t = { cfg : config; tbl : (Fnv64.t, entry) Hashtbl.t }
+  (* Entries are mutable, so every operation takes [mu] — a leaf-level
+     lock held only across table/entry manipulation, never across a run
+     or a clock-independent callback. One service shared by a pool of
+     server domains then keeps strike accounting exact. *)
+  type t = { cfg : config; mu : Mutex.t; tbl : (Fnv64.t, entry) Hashtbl.t }
 
   exception
     Quarantined of { digest : Fnv64.t; fault : Fault.t; until_s : float }
@@ -438,9 +442,20 @@ module Quarantine = struct
     if cfg.threshold <= 0 then
       invalid_arg "Quarantine.create: threshold must be > 0";
     if cfg.ttl_s <= 0.0 then invalid_arg "Quarantine.create: ttl must be > 0";
-    { cfg; tbl = Hashtbl.create 64 }
+    { cfg; mu = Mutex.create (); tbl = Hashtbl.create 64 }
+
+  let locked mu f =
+    Mutex.lock mu;
+    match f () with
+    | v ->
+        Mutex.unlock mu;
+        v
+    | exception e ->
+        Mutex.unlock mu;
+        raise e
 
   let check t digest =
+    locked t.mu @@ fun () ->
     match Hashtbl.find_opt t.tbl digest with
     | None -> ()
     | Some e ->
@@ -463,6 +478,7 @@ module Quarantine = struct
      (the module demonstrably can succeed, so earlier faults were
      input-dependent); transient faults and fuel exhaustion are neutral. *)
   let note t digest (outcome : Machine.outcome) : bool =
+    locked t.mu @@ fun () ->
     match outcome with
     | Machine.Faulted f when not (transient f) ->
         let e =
@@ -486,6 +502,7 @@ module Quarantine = struct
     | Machine.Faulted _ (* transient *) | Machine.Out_of_fuel -> false
 
   let clear t digest =
+    locked t.mu @@ fun () ->
     match Hashtbl.find_opt t.tbl digest with
     | Some e when e.until > 0.0 ->
         Hashtbl.remove t.tbl digest;
@@ -493,6 +510,7 @@ module Quarantine = struct
     | Some _ | None -> false
 
   let clear_all t =
+    locked t.mu @@ fun () ->
     let cleared =
       Hashtbl.fold (fun d e acc -> if e.until > 0.0 then d :: acc else acc)
         t.tbl []
@@ -502,12 +520,14 @@ module Quarantine = struct
 
   let active t =
     let now = Clock.now t.cfg.clock in
+    locked t.mu @@ fun () ->
     Hashtbl.fold
       (fun d e acc ->
         if e.until > now then (d, e.until) :: acc else acc)
       t.tbl []
 
   let strikes t digest =
+    locked t.mu @@ fun () ->
     match Hashtbl.find_opt t.tbl digest with
     | Some e -> e.strikes
     | None -> 0
