@@ -1,9 +1,9 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke par-smoke clean
+.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke par-smoke guest-smoke clean
 
 check: ## full tier-1 verification: build + every test suite + smokes
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke && $(MAKE) par-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke && $(MAKE) par-smoke && $(MAKE) guest-smoke
 
 build:
 	dune build
@@ -138,6 +138,30 @@ par-smoke:
 	echo "$$stats" | grep -Eq '"hits":[1-9]' || \
 	  { echo "par-smoke: FAIL (no cache hit on the pooled daemon)"; exit 1; }; \
 	echo "par-smoke: OK (4 identical runs through a 4-domain pool; cache hit)"
+
+# Guest front-end smoke: assemble a StackVM program, lift it to OmniVM,
+# run the lifted module on a real target with the guest reference
+# interpreter as oracle, then write the lifted .omni and serve it through
+# the normal run path with producer attribution. Exercises the assembler,
+# the lifter, the differential check, and the uniform producer plumbing
+# end to end from the CLI.
+guest-smoke:
+	dune build bin/omnirun.exe
+	@src="/tmp/guest-smoke-$$$$.gasm"; omni="/tmp/guest-smoke-$$$$.omni"; \
+	printf '.mem 8\n.func main 0 2\npush 10 set 0\nloop: get 0 brz done\nget 0 get 1 add set 1\nget 0 push 1 sub set 0\njmp loop\ndone: get 1 sys print_int\npush 10 sys put_char\npush 0 halt\n' > "$$src"; \
+	out=$$(./_build/default/bin/omnirun.exe lift "$$src" --run --oracle \
+	  --engine mips 2>&1) || { echo "guest-smoke: FAIL ($$out)"; exit 1; }; \
+	echo "$$out" | grep -q '^55$$' || \
+	  { echo "guest-smoke: FAIL (expected 55, got: $$out)"; exit 1; }; \
+	echo "$$out" | grep -q 'oracle agrees' || \
+	  { echo "guest-smoke: FAIL (no oracle verdict: $$out)"; exit 1; }; \
+	./_build/default/bin/omnirun.exe lift "$$src" -o "$$omni" 2>/dev/null; \
+	served=$$(./_build/default/bin/omnirun.exe run "$$omni" --engine x86 \
+	  --producer stackvm) || { echo "guest-smoke: FAIL (lifted module errored under omnirun run)"; exit 1; }; \
+	rm -f "$$src" "$$omni"; \
+	[ "$$served" = "55" ] || \
+	  { echo "guest-smoke: FAIL (served output: $$served)"; exit 1; }; \
+	echo "guest-smoke: OK (lifted module matches oracle on mips; served on x86)"
 
 clean:
 	dune clean

@@ -52,6 +52,19 @@
    re-observed, never asserted). Exit status: 0 reproduced/transient,
    1 diverged.
 
+   Guest front-end — lift a StackVM guest program (assembly text or GSTK
+   bytecode) to an OmniVM wire module:
+
+     omnirun lift guest.gasm [-o out.omni] [--pool N]
+             [--run [--oracle] [--engine E] [--no-sfi] [--crash-dir DIR]]
+
+   Without --run, writes the lifted module (default <input>.omni). With
+   --run, executes it directly; --oracle additionally runs the guest
+   reference interpreter and exits 1 unless output and exit code are
+   bit-identical. Crash reports record producer "stackvm"; plain runs
+   of pre-built modules can declare their origin with
+   omnirun module.omni --producer NAME.
+
    --trace emits one JSON line per completed pipeline span (decode, load,
    translate, verify, run, ...) to stderr, or to FILE with --trace=FILE. *)
 
@@ -134,6 +147,7 @@ let run_single trace args =
   let fault_rate = ref 0.0 in
   let fault_seed = ref 42 in
   let want_cert = ref false in
+  let producer = ref "" in
   let spec =
     [ ("--engine", Arg.Set_string engine,
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
@@ -166,7 +180,10 @@ let run_single trace args =
       ("--cert", Arg.Set want_cert,
        " report the translation's safety certificate (remote runs fetch \
         it from the daemon and re-check it locally; disables \
-        --fallback-local)") ]
+        --fallback-local)");
+      ("--producer", Arg.Set_string producer,
+       "NAME record which front-end produced the module (minic|stackvm) \
+        in crash reports") ]
   in
   Arg.parse_argv args spec
     (fun f ->
@@ -179,6 +196,14 @@ let run_single trace args =
       exit 2
   | Some path ->
       let eng = parse_engine ~who:"omnirun" !engine in
+      (match !producer with
+      | "" -> ()
+      | p -> (
+          match Api.producer_of_string p with
+          | Ok _ -> ()
+          | Error msg ->
+              Printf.eprintf "omnirun: %s\n" msg;
+              exit 2));
       if !fault_rate > 0.0 && not !loopback then begin
         prerr_endline "omnirun: --fault-rate requires --loopback";
         exit 2
@@ -323,7 +348,9 @@ let run_single trace args =
                   output_string oc (Supervise.to_json report);
                   output_char oc '\n');
               Printf.eprintf "omnirun: crash report written to %s\n" file)
-            (Supervise.of_run ~engine:eng ~sfi:!sfi ~wire result);
+            (Supervise.of_run ~engine:eng ~sfi:!sfi
+               ?producer:(if !producer = "" then None else Some !producer)
+               ~wire result);
         print_string result.Api.output;
         if !stats then begin
           Printf.eprintf "engine:        %s\n" (Api.engine_name eng);
@@ -647,6 +674,140 @@ let run_replay trace args =
       in
       exit code
 
+(* Lift a StackVM guest program (assembly text, or GSTK bytecode detected
+   by magic) to an OmniVM wire module: the guest-ISA front-end as a CLI.
+   Default writes <input>.omni next to the input; --run executes the
+   lifted module instead (through the same Api.run path as any other
+   module, so --crash-dir reports carry producer "stackvm"); --oracle
+   additionally runs the guest reference interpreter and asserts
+   bit-identical output and exit code. *)
+let run_lift trace args =
+  let module Guest = Omni_guest in
+  let input = ref None in
+  let out = ref "" in
+  let pool = ref Guest.Lift.default_options.Guest.Lift.pool in
+  let do_run = ref false in
+  let oracle = ref false in
+  let engine = ref "interp" in
+  let sfi = ref true in
+  let crash_dir = ref "" in
+  let spec =
+    [ ("-o", Arg.Set_string out,
+       "FILE write the lifted wire module here (default <input>.omni)");
+      ("--pool", Arg.Set_int pool,
+       "N registers for operand-stack slots, 1-9 (default 9; deeper \
+        stacks spill to the frame)");
+      ("--run", Arg.Set do_run,
+       " execute the lifted module instead of writing it");
+      ("--oracle", Arg.Set oracle,
+       " with --run: also run the guest reference interpreter and \
+        assert identical output and exit code (exit 1 on divergence)");
+      ("--engine", Arg.Set_string engine,
+       "ENGINE interp (default) | mips | sparc | ppc | x86");
+      ("--no-sfi", Arg.Clear sfi, " translate without sandboxing checks");
+      ("--crash-dir", Arg.Set_string crash_dir,
+       "DIR write a crash report there if the lifted module faults") ]
+  in
+  Arg.parse_argv args spec
+    (fun f -> input := Some f)
+    "omnirun lift <guest.gasm|guest.gstk>";
+  match !input with
+  | None ->
+      prerr_endline "omnirun lift: no guest program";
+      exit 2
+  | Some path ->
+      let src = read_file path in
+      if !pool < 1 || !pool > 9 then begin
+        prerr_endline "omnirun lift: --pool must be in 1..9";
+        exit 2
+      end;
+      (* Bytecode starts with the GSTK magic; anything else is assembly. *)
+      let program =
+        let r =
+          if String.length src >= 4 && String.equal (String.sub src 0 4) "GSTK"
+          then
+            match Guest.Bytecode.decode src with
+            | Ok p -> Guest.Validate.check p |> Result.map (fun _ -> p)
+            | Error _ as e -> e
+          else Guest.Asm.assemble src
+        in
+        match r with
+        | Ok p -> p
+        | Error e ->
+            Printf.eprintf "omnirun lift: %s: %s\n" path
+              (Guest.Error.to_string e);
+            exit 2
+      in
+      let code =
+        with_tracer trace @@ fun _ ->
+        let options = { Guest.Lift.pool = !pool } in
+        let wire =
+          match Guest.Lift.lift_wire ~options program with
+          | Ok w -> w
+          | Error e ->
+              Printf.eprintf "omnirun lift: %s: %s\n" path
+                (Guest.Error.to_string e);
+              exit 2
+        in
+        if not !do_run then begin
+          let out =
+            if !out <> "" then !out else Filename.remove_extension path ^ ".omni"
+          in
+          Out_channel.with_open_bin out (fun oc -> output_string oc wire);
+          Printf.eprintf "omnirun lift: wrote %s (%d bytes)\n" out
+            (String.length wire);
+          0
+        end
+        else begin
+          let eng = parse_engine ~who:"omnirun lift" !engine in
+          let result =
+            Api.run
+              { Api.default_request with engine = eng; sfi = !sfi }
+              (Api.Wire wire)
+          in
+          if !crash_dir <> "" then
+            Option.iter
+              (fun report ->
+                let file =
+                  Filename.concat !crash_dir (Supervise.filename report)
+                in
+                Out_channel.with_open_bin file (fun oc ->
+                    output_string oc (Supervise.to_json report);
+                    output_char oc '\n');
+                Printf.eprintf "omnirun lift: crash report written to %s\n"
+                  file)
+              (Supervise.of_run ~engine:eng ~sfi:!sfi ~producer:"stackvm"
+                 ~wire result);
+          print_string result.Api.output;
+          if !oracle then begin
+            let o = Guest.Interp.run program in
+            let oracle_exit = Guest.Interp.exit_code o.Guest.Interp.outcome in
+            if
+              String.equal o.Guest.Interp.output result.Api.output
+              && oracle_exit = result.Api.exit_code
+            then begin
+              Printf.eprintf
+                "omnirun lift: oracle agrees (exit %d, %d output bytes)\n"
+                oracle_exit
+                (String.length result.Api.output);
+              result.Api.exit_code
+            end
+            else begin
+              Printf.eprintf
+                "omnirun lift: DIVERGED from oracle: lifted exit %d \
+                 (%d output bytes), oracle exit %d (%d output bytes)\n"
+                result.Api.exit_code
+                (String.length result.Api.output)
+                oracle_exit
+                (String.length o.Guest.Interp.output);
+              1
+            end
+          end
+          else result.Api.exit_code
+        end
+      in
+      exit code
+
 let () =
   let trace, argv = extract_trace Sys.argv in
   let subcommand name runner =
@@ -663,6 +824,8 @@ let () =
       subcommand "replay" run_replay
     else if Array.length argv > 1 && argv.(1) = "cert" then
       subcommand "cert" run_cert
+    else if Array.length argv > 1 && argv.(1) = "lift" then
+      subcommand "lift" run_lift
     else run_single trace argv
   with
   | Arg.Bad msg ->

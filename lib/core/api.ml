@@ -83,9 +83,26 @@ let verify_translated = Exec.verify
 
 (* --- the unified run entry point --- *)
 
+module Producer = Omni_producer.Producer
+
+(* The registered front-ends. Every producer yields the same artifact —
+   wire bytes with the standard entry convention — so everything below
+   this point is producer-agnostic. *)
+let producers : Producer.t list =
+  [ Minic.Driver.producer; Omni_guest.Lift.producer ]
+
+let producer_of_string s =
+  match List.find_opt (fun p -> String.equal (Producer.name p) s) producers with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown producer %S (valid producers: %s)" s
+           (String.concat ", " (List.map Producer.name producers)))
+
 type source =
   | Exe of Omnivm.Exe.t
   | Wire of string
+  | Text of { producer : Producer.t; unit_name : string; text : string }
 
 type request = {
   engine : engine;
@@ -132,11 +149,15 @@ let mode_spec_of_mode = function
         }
   | Some (Machine.Native tier) -> Net.Message.M_native tier
 
+let wire_of_source = function
+  | Wire b -> b
+  | Exe exe -> Omnivm.Wire.encode exe
+  | Text { producer; unit_name; text } ->
+      Producer.compile_exn producer ~name:unit_name text
+
 let run_remote (client : Net.Client.t) (r : request) (src : source) :
     run_result =
-  let bytes =
-    match src with Wire b -> b | Exe exe -> Omnivm.Wire.encode exe
-  in
+  let bytes = wire_of_source src in
   (* Re-raise remote refusals as the exceptions the local paths use, so
      a request is handled identically whether the service is in-process
      or behind a socket. *)
@@ -162,6 +183,17 @@ let run_remote (client : Net.Client.t) (r : request) (src : source) :
       invalid_arg msg
 
 let run (r : request) (src : source) : run_result =
+  (* A [Text] source compiles exactly once per run, up front — the
+     producer's typed [Producer.Error] propagates before any engine or
+     network work starts. *)
+  let produced =
+    match src with
+    | Text { producer; _ } -> Some (Producer.name producer)
+    | Exe _ | Wire _ -> None
+  in
+  let src =
+    match src with Text _ -> Wire (wire_of_source src) | s -> s
+  in
   let local () =
     match r.service with
     | Some service ->
@@ -169,10 +201,8 @@ let run (r : request) (src : source) : run_result =
            content-addressed store and translation through its memo cache —
            repeated loads of the same bytes skip decoding and translation
            entirely. ([map_host_region] does not apply to served images.) *)
-        let bytes =
-          match src with Wire b -> b | Exe exe -> Omnivm.Wire.encode exe
-        in
-        let h = Service.submit service bytes in
+        let bytes = wire_of_source src in
+        let h = Service.submit ?producer:produced service bytes in
         Service.instantiate ~engine:r.engine ~sfi:r.sfi ?mode:r.mode
           ?opts:r.opts ?fuel:r.fuel ?deadline_s:r.deadline_s service h
     | None -> (
@@ -183,6 +213,7 @@ let run (r : request) (src : source) : run_result =
         in
         let exe, img =
           match src with
+          | Text _ -> assert false (* normalized to Wire above *)
           | Exe exe -> (exe, load ~map_host_region:r.map_host_region exe)
           | Wire b ->
               let img =
@@ -290,7 +321,16 @@ let run_wire_remote_cert ~(remote : Net.Client.t) ~engine ?sfi ?fuel bytes :
       | Net.Client.Remote_error (Net.Message.E_limit_exceeded, msg) ->
           invalid_arg msg)
 
-(* --- compilation (re-exported for hosts embedding the compiler) --- *)
+(* --- compilation (re-exported for hosts embedding the front-ends) --- *)
 
 let compile = Minic.Driver.compile_wire
 let compile_exe = Minic.Driver.compile_exe
+
+(* The guest-ISA front-end: StackVM bytecode (or its assembly text)
+   lifted to an OmniVM wire module. *)
+let lift_guest = Omni_guest.Lift.lift_bytes
+
+let lift_guest_asm ?options source =
+  match Omni_guest.Asm.assemble source with
+  | Error e -> Error e
+  | Ok p -> Omni_guest.Lift.lift_wire ?options p

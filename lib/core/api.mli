@@ -134,11 +134,28 @@ val verify_translated : translated -> (unit, string) result
     admission check a distrustful host applies before executing sandboxed
     code (fresh or cached). *)
 
-(** What to run: an in-memory executable, or wire-format bytes as they
-    arrive from a producer. *)
+module Producer = Omni_producer.Producer
+
+val producers : Producer.t list
+(** The registered front-ends: [minic] (the C-subset compiler) and
+    [stackvm] (the guest-ISA bytecode lifter, {!Omni_guest.Lift}). Every
+    producer yields the same artifact — wire bytes with the standard
+    entry convention — so the run/serve/store layers never distinguish
+    them. *)
+
+val producer_of_string : string -> (Producer.t, string) result
+
+(** What to run: an in-memory executable, wire-format bytes as they
+    arrive from a producer, or source text paired with the front-end
+    that understands it. *)
 type source =
   | Exe of Omnivm.Exe.t
   | Wire of string
+  | Text of { producer : Producer.t; unit_name : string; text : string }
+      (** compiled by {!run} exactly once, before any engine or network
+          work; a refusal raises [Producer.Error]. On the serving path
+          the producer's name is recorded with the stored module and
+          flows into crash reports. *)
 
 (** One fully-specified run. Build by overriding {!default_request}:
     [{ default_request with engine = Target Arch.Mips; fuel = Some 10_000 }]. *)
@@ -274,3 +291,18 @@ val compile_exe :
   string ->
   Omnivm.Exe.t
 (** Like {!compile} but yields the decoded executable directly. *)
+
+val lift_guest :
+  ?options:Omni_guest.Lift.options ->
+  string ->
+  (string, Omni_guest.Error.t) result
+(** Lift StackVM guest {e bytecode} bytes (the [GSTK] format) to an
+    OmniVM wire module — decode, validate, lift, link. Never raises on
+    bad guest input; see {!Omni_guest.Lift.lift_bytes}. *)
+
+val lift_guest_asm :
+  ?options:Omni_guest.Lift.options ->
+  string ->
+  (string, Omni_guest.Error.t) result
+(** Like {!lift_guest}, starting from guest {e assembly} text (see
+    {!Omni_guest.Asm} for the syntax). *)

@@ -1,0 +1,278 @@
+(* The StackVM textual assembler (see the .mli).
+
+   Single pass over tokens with symbolic jump/call operands, then a
+   resolution pass: labels are per-function, function names are
+   program-wide and may be referenced before their definition. *)
+
+open Isa
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* parsed op: branch/call operands still symbolic *)
+type pop =
+  | P_op of op
+  | P_jmp of string
+  | P_brz of string
+  | P_brnz of string
+  | P_call of string
+
+type pfunc = {
+  pf_name : string;
+  pf_arity : int;
+  pf_locals : int;
+  mutable pf_code : (int * pop) list;  (* reversed; (line, op) *)
+  pf_labels : (string, int) Hashtbl.t;
+}
+
+let bin_table =
+  let tbl = Hashtbl.create 19 in
+  List.iter (fun b -> Hashtbl.replace tbl (bin_name b) b) all_bins;
+  tbl
+
+let host_table =
+  let tbl = Hashtbl.create 3 in
+  List.iter (fun h -> Hashtbl.replace tbl (host_name h) h) all_hosts;
+  tbl
+
+let ident_ok s =
+  String.length s > 0
+  && String.length s <= max_name
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+         | _ -> false)
+       s
+
+let int_arg line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: expected an integer, got %S" what s
+
+let imm32 line s =
+  let v = int_arg line "push" s in
+  if v < -0x8000_0000 || v >= 0x1_0000_0000 then
+    fail line "push: immediate %s out of 32-bit range" s
+  else Omni_util.Word32.to_int (Omni_util.Word32.of_int v)
+
+let index16 line what s =
+  let v = int_arg line what s in
+  if v < 0 || v > 0xFFFF then fail line "%s: index %d out of range" what v
+  else v
+
+(* Strip comments, split into whitespace-separated tokens. *)
+let tokens_of_line s =
+  let s =
+    match (String.index_opt s '#', String.index_opt s ';') with
+    | None, None -> s
+    | Some i, None | None, Some i -> String.sub s 0 i
+    | Some i, Some j -> String.sub s 0 (min i j)
+  in
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+let assemble_exn (src : string) : program =
+  let mem_words = ref None in
+  let funcs = ref [] in  (* reversed pfuncs *)
+  let cur : pfunc option ref = ref None in
+  let current line =
+    match !cur with
+    | Some f -> f
+    | None -> fail line "instruction outside of a .func"
+  in
+  let pc f = List.length f.pf_code in
+  let push_op f line op = f.pf_code <- (line, op) :: f.pf_code in
+  let rec op_tokens line toks =
+    match toks with
+    | [] -> ()
+    | tok :: rest when String.length tok > 1 && tok.[String.length tok - 1] = ':'
+      ->
+        let f = current line in
+        let name = String.sub tok 0 (String.length tok - 1) in
+        if not (ident_ok name) then fail line "malformed label %S" name;
+        if Hashtbl.mem f.pf_labels name then
+          fail line "duplicate label %S" name;
+        Hashtbl.replace f.pf_labels name (pc f);
+        op_tokens line rest
+    | tok :: rest -> (
+        let f = current line in
+        let unary what k =
+          match rest with
+          | arg :: rest' ->
+              push_op f line (k arg);
+              op_tokens line rest'
+          | [] -> fail line "%s: missing operand" what
+        in
+        match tok with
+        | "push" -> unary "push" (fun a -> P_op (Push (imm32 line a)))
+        | "get" -> unary "get" (fun a -> P_op (Get (index16 line "get" a)))
+        | "set" -> unary "set" (fun a -> P_op (Set (index16 line "set" a)))
+        | "jmp" -> unary "jmp" (fun a -> P_jmp a)
+        | "brz" -> unary "brz" (fun a -> P_brz a)
+        | "brnz" -> unary "brnz" (fun a -> P_brnz a)
+        | "call" -> unary "call" (fun a -> P_call a)
+        | "sys" ->
+            unary "sys" (fun a ->
+                match Hashtbl.find_opt host_table a with
+                | Some h -> P_op (Sys h)
+                | None -> fail line "sys: unknown host service %S" a)
+        | "drop" -> push_op f line (P_op Drop); op_tokens line rest
+        | "dup" -> push_op f line (P_op Dup); op_tokens line rest
+        | "swap" -> push_op f line (P_op Swap); op_tokens line rest
+        | "over" -> push_op f line (P_op Over); op_tokens line rest
+        | "ldm" -> push_op f line (P_op Ldm); op_tokens line rest
+        | "stm" -> push_op f line (P_op Stm); op_tokens line rest
+        | "ret" -> push_op f line (P_op Ret); op_tokens line rest
+        | "halt" -> push_op f line (P_op Halt); op_tokens line rest
+        | _ -> (
+            match Hashtbl.find_opt bin_table tok with
+            | Some b ->
+                push_op f line (P_op (Bin b));
+                op_tokens line rest
+            | None -> fail line "unknown mnemonic %S" tok))
+  in
+  let directive line toks =
+    match toks with
+    | ".mem" :: rest -> (
+        (match !mem_words with
+        | Some _ -> fail line ".mem given twice"
+        | None -> ());
+        match rest with
+        | [ n ] ->
+            let v = int_arg line ".mem" n in
+            if v < 0 || v > max_mem_words then
+              fail line ".mem: %d out of range (max %d)" v max_mem_words;
+            mem_words := Some v
+        | _ -> fail line ".mem: expected one operand")
+    | [ ".func"; name; arity; locals ] ->
+        if not (ident_ok name) then fail line "malformed function name %S" name;
+        let arity = int_arg line ".func arity" arity in
+        let locals = int_arg line ".func locals" locals in
+        if arity < 0 || arity > max_arity then
+          fail line ".func: arity %d out of range (max %d)" arity max_arity;
+        if locals < 0 || arity + locals > max_locals then
+          fail line ".func: %d locals out of range (max %d total)" locals
+            max_locals;
+        (match !cur with Some f -> funcs := f :: !funcs | None -> ());
+        cur :=
+          Some
+            {
+              pf_name = name;
+              pf_arity = arity;
+              pf_locals = locals;
+              pf_code = [];
+              pf_labels = Hashtbl.create 8;
+            }
+    | ".func" :: _ -> fail line ".func: expected name, arity, locals"
+    | d :: _ -> fail line "unknown directive %S" d
+    | [] -> assert false
+  in
+  String.split_on_char '\n' src
+  |> List.iteri (fun i raw ->
+         let line = i + 1 in
+         match tokens_of_line raw with
+         | [] -> ()
+         | first :: _ as toks ->
+             if String.length first > 0 && first.[0] = '.' then
+               directive line toks
+             else op_tokens line toks);
+  (match !cur with Some f -> funcs := f :: !funcs | None -> ());
+  let pfuncs = Array.of_list (List.rev !funcs) in
+  if Array.length pfuncs > max_funcs then
+    fail 0 "too many functions (%d, max %d)" (Array.length pfuncs) max_funcs;
+  let func_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i pf ->
+      if not (Hashtbl.mem func_index pf.pf_name) then
+        Hashtbl.replace func_index pf.pf_name i)
+    pfuncs;
+  let resolve pf (line, p) : op =
+    let label l =
+      match Hashtbl.find_opt pf.pf_labels l with
+      | Some pc -> pc
+      | None -> fail line "unknown label %S" l
+    in
+    match p with
+    | P_op op -> op
+    | P_jmp l -> Jmp (label l)
+    | P_brz l -> Brz (label l)
+    | P_brnz l -> Brnz (label l)
+    | P_call name -> (
+        match Hashtbl.find_opt func_index name with
+        | Some i -> Call i
+        | None -> fail line "call to unknown function %S" name)
+  in
+  let p_funcs =
+    Array.map
+      (fun pf ->
+        let code =
+          List.rev_map (resolve pf) pf.pf_code |> Array.of_list
+        in
+        if Array.length code > max_code then
+          fail 0 "function %S too long (%d instructions, max %d)" pf.pf_name
+            (Array.length code) max_code;
+        {
+          f_name = pf.pf_name;
+          f_arity = pf.pf_arity;
+          f_locals = pf.pf_locals;
+          f_code = code;
+        })
+      pfuncs
+  in
+  { p_funcs; p_mem_words = (match !mem_words with Some m -> m | None -> 0) }
+
+let assemble src =
+  match assemble_exn src with
+  | p -> Ok p
+  | exception Parse_error (line, msg) -> Error (Error.Parse { line; msg })
+
+(* --- listing (round-trippable) --- *)
+
+let print (p : program) : string =
+  let b = Buffer.create 1024 in
+  if p.p_mem_words > 0 then
+    Buffer.add_string b (Printf.sprintf ".mem %d\n" p.p_mem_words);
+  Array.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf ".func %s %d %d\n" f.f_name f.f_arity f.f_locals);
+      let targets = Hashtbl.create 8 in
+      Array.iter
+        (function
+          | Jmp t | Brz t | Brnz t -> Hashtbl.replace targets t ()
+          | _ -> ())
+        f.f_code;
+      let label pc = Printf.sprintf "L%d" pc in
+      Array.iteri
+        (fun pc op ->
+          if Hashtbl.mem targets pc then
+            Buffer.add_string b (Printf.sprintf "%s:\n" (label pc));
+          let s =
+            match op with
+            | Push v -> Printf.sprintf "push %d" v
+            | Drop -> "drop"
+            | Dup -> "dup"
+            | Swap -> "swap"
+            | Over -> "over"
+            | Bin bin -> bin_name bin
+            | Get i -> Printf.sprintf "get %d" i
+            | Set i -> Printf.sprintf "set %d" i
+            | Ldm -> "ldm"
+            | Stm -> "stm"
+            | Jmp t -> Printf.sprintf "jmp %s" (label t)
+            | Brz t -> Printf.sprintf "brz %s" (label t)
+            | Brnz t -> Printf.sprintf "brnz %s" (label t)
+            | Call g -> Printf.sprintf "call %s" p.p_funcs.(g).f_name
+            | Ret -> "ret"
+            | Halt -> "halt"
+            | Sys h -> Printf.sprintf "sys %s" (host_name h)
+          in
+          Buffer.add_string b ("  " ^ s ^ "\n"))
+        f.f_code;
+      (* labels pointing one past the end cannot arise: Validate rejects
+         them, and [print] is only used on validated programs *)
+      ())
+    p.p_funcs;
+  Buffer.contents b

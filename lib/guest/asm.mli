@@ -1,0 +1,31 @@
+(** Textual assembly for StackVM guest modules — the human-writable face
+    of the bytecode; [Bytecode.encode] of the result is what ships.
+
+    Syntax (line-oriented; [#] and [;] start comments):
+    {v
+    .mem 64                  ; words of scratch memory (optional, once)
+    .func main 0 1           ; name, arity, extra locals
+      push 10
+      set 0
+    loop:                    ; labels are per-function
+      get 0
+      brz done
+      get 0  sys print_int   ; several ops may share a line
+      get 0  push 1  sub  set 0
+      jmp loop
+    done:
+      push 0
+      halt
+    v}
+
+    Branch targets are labels; [call] takes a function name (forward
+    references allowed). Errors come back as [Error.Parse] with the
+    offending line. [assemble] only parses — pipe the result through
+    {!Validate.check} (or {!Lift.lift}, which does) for the static
+    guarantees. *)
+
+val assemble : string -> (Isa.program, Error.t) result
+
+val print : Isa.program -> string
+(** Round-trippable listing: [assemble (print p)] succeeds and yields a
+    program equal to [p] (labels are synthesized for branch targets). *)

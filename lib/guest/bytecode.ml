@@ -1,0 +1,256 @@
+(* StackVM bytecode codec (see the .mli for the layout).
+
+   The decoder is written in an error-monadic style over an explicit
+   cursor: every read is bounds-checked and every refusal is a typed
+   [Error.t], so totality is structural — there is no code path that
+   raises on malformed input. *)
+
+open Isa
+
+let version = 1
+let magic = "GSTK"
+
+(* opcode bytes *)
+let op_halt = 0x00
+let op_push = 0x01
+let op_drop = 0x02
+let op_dup = 0x03
+let op_swap = 0x04
+let op_over = 0x05
+let op_get = 0x06
+let op_set = 0x07
+let op_ldm = 0x08
+let op_stm = 0x09
+let op_jmp = 0x0A
+let op_brz = 0x0B
+let op_brnz = 0x0C
+let op_call = 0x0D
+let op_ret = 0x0E
+let op_sys = 0x0F
+let op_bin_base = 0x20 (* + index in [Isa.all_bins] *)
+
+let bin_index =
+  let tbl = Hashtbl.create 19 in
+  List.iteri (fun i b -> Hashtbl.replace tbl b i) all_bins;
+  fun b -> Hashtbl.find tbl b
+
+let bin_of_index i = List.nth_opt all_bins i
+
+(* --- encoding --- *)
+
+let encode (p : program) : string =
+  let b = Buffer.create 1024 in
+  let u8 v = Buffer.add_char b (Char.chr (v land 0xFF)) in
+  let u16 v =
+    u8 v;
+    u8 (v lsr 8)
+  in
+  let u32 v =
+    u16 (v land 0xFFFF);
+    u16 ((v lsr 16) land 0xFFFF)
+  in
+  Buffer.add_string b magic;
+  u16 version;
+  u16 (Array.length p.p_funcs);
+  u32 p.p_mem_words;
+  Array.iter
+    (fun f ->
+      u8 (String.length f.f_name);
+      Buffer.add_string b f.f_name;
+      u8 f.f_arity;
+      u16 f.f_locals;
+      u32 (Array.length f.f_code);
+      Array.iter
+        (fun op ->
+          match op with
+          | Halt -> u8 op_halt
+          | Push v ->
+              u8 op_push;
+              u32 (Omni_util.Word32.to_unsigned (Omni_util.Word32.of_int v))
+          | Drop -> u8 op_drop
+          | Dup -> u8 op_dup
+          | Swap -> u8 op_swap
+          | Over -> u8 op_over
+          | Get i ->
+              u8 op_get;
+              u16 i
+          | Set i ->
+              u8 op_set;
+              u16 i
+          | Ldm -> u8 op_ldm
+          | Stm -> u8 op_stm
+          | Jmp t ->
+              u8 op_jmp;
+              u32 t
+          | Brz t ->
+              u8 op_brz;
+              u32 t
+          | Brnz t ->
+              u8 op_brnz;
+              u32 t
+          | Call fn ->
+              u8 op_call;
+              u16 fn
+          | Ret -> u8 op_ret
+          | Sys h ->
+              u8 op_sys;
+              u8 (host_number h)
+          | Bin bin -> u8 (op_bin_base + bin_index bin))
+        f.f_code)
+    p.p_funcs;
+  Buffer.contents b
+
+(* --- decoding --- *)
+
+type cursor = { s : string; mutable off : int }
+
+let ( let* ) r k = match r with Ok v -> k v | Error _ as e -> e
+
+let need c n : (unit, Error.t) result =
+  if c.off + n <= String.length c.s then Ok ()
+  else Error (Error.Truncated { off = c.off; need = c.off + n - String.length c.s })
+
+let u8 c : (int, Error.t) result =
+  let* () = need c 1 in
+  let v = Char.code c.s.[c.off] in
+  c.off <- c.off + 1;
+  Ok v
+
+let u16 c =
+  let* a = u8 c in
+  let* b = u8 c in
+  Ok (a lor (b lsl 8))
+
+let u32 c =
+  let* a = u16 c in
+  let* b = u16 c in
+  Ok (a lor (b lsl 16))
+
+let i32 c =
+  let* v = u32 c in
+  Ok (Omni_util.Word32.to_int (Omni_util.Word32.of_unsigned v))
+
+let name_ok s =
+  String.length s > 0
+  && String.length s <= max_name
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+         | _ -> false)
+       s
+
+let decode_op c ~fn ~pc : (op, Error.t) result =
+  let* byte = u8 c in
+  match byte with
+  | 0x00 -> Ok Halt
+  | 0x01 ->
+      let* v = i32 c in
+      Ok (Push v)
+  | 0x02 -> Ok Drop
+  | 0x03 -> Ok Dup
+  | 0x04 -> Ok Swap
+  | 0x05 -> Ok Over
+  | 0x06 ->
+      let* i = u16 c in
+      Ok (Get i)
+  | 0x07 ->
+      let* i = u16 c in
+      Ok (Set i)
+  | 0x08 -> Ok Ldm
+  | 0x09 -> Ok Stm
+  | 0x0A ->
+      let* t = u32 c in
+      Ok (Jmp t)
+  | 0x0B ->
+      let* t = u32 c in
+      Ok (Brz t)
+  | 0x0C ->
+      let* t = u32 c in
+      Ok (Brnz t)
+  | 0x0D ->
+      let* f = u16 c in
+      Ok (Call f)
+  | 0x0E -> Ok Ret
+  | 0x0F -> (
+      let* code = u8 c in
+      match host_of_number code with
+      | Some h -> Ok (Sys h)
+      | None -> Error (Error.Unknown_host { fn; pc; code }))
+  | byte -> (
+      match
+        if byte >= op_bin_base then bin_of_index (byte - op_bin_base)
+        else None
+      with
+      | Some bin -> Ok (Bin bin)
+      | None -> Error (Error.Bad_opcode { fn; pc; byte }))
+
+let decode_func c ~fn : (func, Error.t) result =
+  let* name_len = u8 c in
+  let* () = need c name_len in
+  let name = String.sub c.s c.off name_len in
+  c.off <- c.off + name_len;
+  if not (name_ok name) then Error (Error.Bad_name { fn; name })
+  else
+    let* arity = u8 c in
+    if arity > max_arity then
+      Error (Error.Bad_count { what = "arity"; value = arity })
+    else
+      let* locals = u16 c in
+      if arity + locals > max_locals then
+        Error (Error.Bad_count { what = "locals"; value = locals })
+      else
+        let* ninstr = u32 c in
+        if ninstr > max_code then
+          Error (Error.Bad_count { what = "instruction count"; value = ninstr })
+        else
+          let code = Array.make ninstr Halt in
+          let rec go pc : (unit, Error.t) result =
+            if pc >= ninstr then Ok ()
+            else
+              let* op = decode_op c ~fn ~pc in
+              code.(pc) <- op;
+              go (pc + 1)
+          in
+          let* () = go 0 in
+          Ok { f_name = name; f_arity = arity; f_locals = locals; f_code = code }
+
+let decode (s : string) : (program, Error.t) result =
+  let c = { s; off = 0 } in
+  let* () =
+    if String.length s >= 4 && String.sub s 0 4 = magic then begin
+      c.off <- 4;
+      Ok ()
+    end
+    else Error Error.Bad_magic
+  in
+  let* v = u16 c in
+  if v <> version then Error (Error.Bad_version v)
+  else
+    let* nfuncs = u16 c in
+    if nfuncs > max_funcs then
+      Error (Error.Bad_count { what = "function count"; value = nfuncs })
+    else
+      let* mem = u32 c in
+      if mem > max_mem_words then
+        Error (Error.Bad_count { what = "memory size"; value = mem })
+      else
+        let funcs = ref [] in
+        let rec go fn : (unit, Error.t) result =
+          if fn >= nfuncs then Ok ()
+          else
+            let* f = decode_func c ~fn in
+            funcs := f :: !funcs;
+            go (fn + 1)
+        in
+        let* () = go 0 in
+        if c.off <> String.length s then
+          Error (Error.Trailing_garbage { off = c.off })
+        else
+          Ok
+            {
+              p_funcs = Array.of_list (List.rev !funcs);
+              p_mem_words = mem;
+            }
+
+let equal (a : program) (b : program) = a = b

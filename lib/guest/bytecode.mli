@@ -1,0 +1,26 @@
+(** Binary wire format for StackVM guest modules — the portable artifact
+    a guest tool-chain ships; {!Lift} turns it into an OmniVM module.
+
+    Layout (little-endian):
+    ["GSTK"] magic, u16 version, u16 function count, u32 scratch-memory
+    words, then each function: u8 name length + name bytes, u8 arity,
+    u16 extra locals, u32 instruction count, the instruction stream
+    (one opcode byte, then the operand: i32 for push, u32 for branch
+    targets, u16 for locals and callees, u8 for host calls).
+
+    {!decode} is total: any byte string yields [Ok] or a typed
+    [Error _] — never an exception — and [decode (encode p) = Ok p]
+    for every program {!encode} accepts. Decoding checks structure
+    (magic, sizes against the ISA limits, opcode and host-call bytes,
+    exact consumption of the input); the deeper static rules — stack
+    discipline, branch targets, call arities — are {!Validate.check}'s
+    job. *)
+
+val version : int
+
+val encode : Isa.program -> string
+
+val decode : string -> (Isa.program, Error.t) result
+
+val equal : Isa.program -> Isa.program -> bool
+(** Structural equality (the codec round-trip law is stated with it). *)

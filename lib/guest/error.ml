@@ -1,0 +1,65 @@
+(* The guest front-end's typed error variant (see the .mli). *)
+
+type t =
+  | Truncated of { off : int; need : int }
+  | Bad_magic
+  | Bad_version of int
+  | Bad_count of { what : string; value : int }
+  | Bad_name of { fn : int; name : string }
+  | Bad_opcode of { fn : int; pc : int; byte : int }
+  | Unknown_host of { fn : int; pc : int; code : int }
+  | Trailing_garbage of { off : int }
+  | No_main
+  | Main_takes_args of { arity : int }
+  | Duplicate_function of string
+  | Unknown_function of { fn : string; pc : int; target : int }
+  | Bad_target of { fn : string; pc : int; target : int }
+  | Bad_local of { fn : string; pc : int; index : int }
+  | Stack_underflow of { fn : string; pc : int; depth : int; need : int }
+  | Stack_mismatch of { fn : string; pc : int; expected : int; found : int }
+  | Stack_too_deep of { fn : string; pc : int; depth : int }
+  | Falls_off_end of { fn : string }
+  | Parse of { line : int; msg : string }
+
+let to_string = function
+  | Truncated { off; need } ->
+      Printf.sprintf "truncated bytecode: need %d more byte(s) at offset %d"
+        need off
+  | Bad_magic -> "bad magic (not a GSTK module)"
+  | Bad_version v -> Printf.sprintf "unsupported bytecode version %d" v
+  | Bad_count { what; value } ->
+      Printf.sprintf "unreasonable %s: %d" what value
+  | Bad_name { fn; name } ->
+      Printf.sprintf "function %d has a malformed name %S" fn name
+  | Bad_opcode { fn; pc; byte } ->
+      Printf.sprintf "unknown opcode 0x%02x (function %d, pc %d)" byte fn pc
+  | Unknown_host { fn; pc; code } ->
+      Printf.sprintf "unknown host call %d (function %d, pc %d)" code fn pc
+  | Trailing_garbage { off } ->
+      Printf.sprintf "trailing garbage after the last function (offset %d)"
+        off
+  | No_main -> "no `main' function"
+  | Main_takes_args { arity } ->
+      Printf.sprintf "`main' must take no arguments (has arity %d)" arity
+  | Duplicate_function fn -> Printf.sprintf "duplicate function %S" fn
+  | Unknown_function { fn; pc; target } ->
+      Printf.sprintf "call to unknown function #%d (%s, pc %d)" target fn pc
+  | Bad_target { fn; pc; target } ->
+      Printf.sprintf "branch target %d out of range (%s, pc %d)" target fn pc
+  | Bad_local { fn; pc; index } ->
+      Printf.sprintf "local %d out of range (%s, pc %d)" index fn pc
+  | Stack_underflow { fn; pc; depth; need } ->
+      Printf.sprintf
+        "operand-stack underflow: depth %d, need %d (%s, pc %d)" depth need
+        fn pc
+  | Stack_mismatch { fn; pc; expected; found } ->
+      Printf.sprintf
+        "inconsistent operand-stack depth at join: %d vs %d (%s, pc %d)"
+        expected found fn pc
+  | Stack_too_deep { fn; pc; depth } ->
+      Printf.sprintf "operand stack too deep: %d (%s, pc %d)" depth fn pc
+  | Falls_off_end { fn } ->
+      Printf.sprintf "control can fall off the end of %s" fn
+  | Parse { line; msg } -> Printf.sprintf "line %d: %s" line msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

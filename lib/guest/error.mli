@@ -1,0 +1,38 @@
+(** The typed error surface of the guest front-end.
+
+    One variant covers the whole pipeline — assembling, decoding,
+    validating, lifting — so callers match on a single type and every
+    refusal names exactly where it happened: byte offsets for malformed
+    wire input, (function, pc) for bytecode that breaks the static
+    rules, source lines for assembler text. Nothing in [Omni_guest]
+    raises on bad input; everything returns [(_, Error.t) result]. *)
+
+type t =
+  (* bytecode decoding ([Bytecode.decode]; total — never raises) *)
+  | Truncated of { off : int; need : int }
+      (** input ends at [off], [need] more bytes were required *)
+  | Bad_magic
+  | Bad_version of int
+  | Bad_count of { what : string; value : int }
+      (** a size field exceeds the ISA's static limits *)
+  | Bad_name of { fn : int; name : string }
+  | Bad_opcode of { fn : int; pc : int; byte : int }
+  | Unknown_host of { fn : int; pc : int; code : int }
+  | Trailing_garbage of { off : int }
+  (* static validation ([Validate.check]) *)
+  | No_main
+  | Main_takes_args of { arity : int }
+  | Duplicate_function of string
+  | Unknown_function of { fn : string; pc : int; target : int }
+  | Bad_target of { fn : string; pc : int; target : int }
+  | Bad_local of { fn : string; pc : int; index : int }
+  | Stack_underflow of { fn : string; pc : int; depth : int; need : int }
+  | Stack_mismatch of { fn : string; pc : int; expected : int; found : int }
+      (** two paths reach [pc] with different operand-stack depths *)
+  | Stack_too_deep of { fn : string; pc : int; depth : int }
+  | Falls_off_end of { fn : string }
+  (* assembler ([Asm.assemble]) *)
+  | Parse of { line : int; msg : string }
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

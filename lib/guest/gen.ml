@@ -1,0 +1,224 @@
+(* Random-but-valid guest programs (see the .mli).
+
+   Code is generated from a statement/expression shape directly into a
+   growable op buffer, so stack discipline holds by construction: every
+   expression nets exactly one slot, every statement nets zero. Loops
+   count a reserved local down to zero and nothing else writes it;
+   calls only go to higher-indexed functions — so everything
+   terminates. Divisors are nonzero constants and memory indices are
+   masked to a power-of-two size, so nothing faults. *)
+
+open Isa
+
+type emitter = { mutable a : op array; mutable n : int }
+
+let emitter () = { a = Array.make 64 Halt; n = 0 }
+
+let emit e op =
+  if e.n = Array.length e.a then begin
+    let a' = Array.make (2 * e.n) Halt in
+    Array.blit e.a 0 a' 0 e.n;
+    e.a <- a'
+  end;
+  e.a.(e.n) <- op;
+  e.n <- e.n + 1;
+  e.n - 1
+
+let patch e i op = e.a.(i) <- op
+let here e = e.n
+let finish e = Array.sub e.a 0 e.n
+
+(* what a function being generated may use *)
+type ctx = {
+  rng : Random.State.t;
+  e : emitter;
+  nlocals : int;  (* readable locals: indices < nlocals *)
+  assignable : int array;  (* locals Set may target (no loop counters) *)
+  counters : int array;  (* reserved loop-counter locals *)
+  mutable next_counter : int;
+  callees : (int * int) array;  (* (function index, arity), higher-indexed *)
+  mem_mask : int;  (* p_mem_words - 1 (power of two), -1 if no memory *)
+}
+
+let mem_words = 64 (* power of two, so [And (mem_words-1)] bounds indices *)
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+let const ctx =
+  match Random.State.int ctx.rng 8 with
+  | 0 -> 0
+  | 1 -> 1
+  | 2 -> -1
+  | 3 -> 0x7FFF_FFFF
+  | 4 -> -0x8000_0000
+  | 5 -> Random.State.int ctx.rng 256
+  | 6 -> -Random.State.int ctx.rng 256
+  | _ -> Random.State.full_int ctx.rng 0x4000_0000 - 0x2000_0000
+
+(* Emit code leaving exactly one new value on the stack. *)
+let rec expr ctx ~depth =
+  let r = ctx.rng in
+  let leaf () =
+    if ctx.nlocals > 0 && Random.State.bool r then
+      ignore (emit ctx.e (Get (Random.State.int r ctx.nlocals)))
+    else ignore (emit ctx.e (Push (const ctx)))
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Random.State.int r 10 with
+    | 0 | 1 -> leaf ()
+    | 2 | 3 | 4 -> (
+        (* binary operator *)
+        expr ctx ~depth:(depth - 1);
+        expr ctx ~depth:(depth - 1);
+        let bin =
+          pick r
+            [| Add; Sub; Mul; And; Or; Xor; Shl; Shr; Sar;
+               Eq; Ne; Lt; Le; Gt; Ge; Ltu; Gtu |]
+        in
+        ignore (emit ctx.e (Bin bin)))
+    | 5 ->
+        (* division by a nonzero constant *)
+        expr ctx ~depth:(depth - 1);
+        ignore (emit ctx.e (Push (1 + Random.State.int r 1000)));
+        ignore (emit ctx.e (Bin (if Random.State.bool r then Div else Rem)))
+    | 6 when ctx.mem_mask >= 0 ->
+        (* masked memory load *)
+        expr ctx ~depth:(depth - 1);
+        ignore (emit ctx.e (Push ctx.mem_mask));
+        ignore (emit ctx.e (Bin And));
+        ignore (emit ctx.e Ldm)
+    | 7 when Array.length ctx.callees > 0 ->
+        let f, arity = pick r ctx.callees in
+        for _ = 1 to arity do
+          expr ctx ~depth:(depth - 1)
+        done;
+        ignore (emit ctx.e (Call f))
+    | 8 ->
+        (* stack shuffles *)
+        expr ctx ~depth:(depth - 1);
+        ignore (emit ctx.e Dup);
+        if Random.State.bool r then ignore (emit ctx.e Swap);
+        ignore (emit ctx.e (Bin (pick r [| Add; Xor; Sub |])))
+    | _ ->
+        expr ctx ~depth:(depth - 1);
+        expr ctx ~depth:(depth - 1);
+        ignore (emit ctx.e Over);
+        ignore (emit ctx.e (Bin Add));
+        ignore (emit ctx.e Swap);
+        ignore (emit ctx.e Drop)
+
+(* Emit code with net stack effect zero. *)
+let rec stmt ctx ~depth ~edepth =
+  let r = ctx.rng in
+  match Random.State.int r 12 with
+  | 0 | 1 when Array.length ctx.assignable > 0 ->
+      expr ctx ~depth:edepth;
+      ignore (emit ctx.e (Set (pick r ctx.assignable)))
+  | 2 when ctx.mem_mask >= 0 ->
+      (* masked memory store *)
+      expr ctx ~depth:edepth;
+      ignore (emit ctx.e (Push ctx.mem_mask));
+      ignore (emit ctx.e (Bin And));
+      expr ctx ~depth:edepth;
+      ignore (emit ctx.e Stm)
+  | 3 | 4 ->
+      expr ctx ~depth:edepth;
+      ignore (emit ctx.e (Sys Print_int))
+  | 5 ->
+      (* printable character *)
+      expr ctx ~depth:edepth;
+      ignore (emit ctx.e (Push 0x3F));
+      ignore (emit ctx.e (Bin And));
+      ignore (emit ctx.e (Push 0x20));
+      ignore (emit ctx.e (Bin Add));
+      ignore (emit ctx.e (Sys Put_char))
+  | 6 | 7 when depth > 0 ->
+      (* if/else *)
+      expr ctx ~depth:edepth;
+      let br = emit ctx.e Halt (* patched *) in
+      block ctx ~depth:(depth - 1) ~edepth;
+      let jend = emit ctx.e Halt (* patched *) in
+      patch ctx.e br
+        (if Random.State.bool r then Brz (here ctx.e) else Brnz (here ctx.e));
+      block ctx ~depth:(depth - 1) ~edepth;
+      patch ctx.e jend (Jmp (here ctx.e))
+  | 8 when depth > 0 && ctx.next_counter < Array.length ctx.counters ->
+      (* bounded counting loop over a reserved local *)
+      let li = ctx.counters.(ctx.next_counter) in
+      ctx.next_counter <- ctx.next_counter + 1;
+      ignore (emit ctx.e (Push (1 + Random.State.int r 5)));
+      ignore (emit ctx.e (Set li));
+      let head = here ctx.e in
+      ignore (emit ctx.e (Get li));
+      let exit_br = emit ctx.e Halt (* patched *) in
+      block ctx ~depth:(depth - 1) ~edepth;
+      ignore (emit ctx.e (Get li));
+      ignore (emit ctx.e (Push 1));
+      ignore (emit ctx.e (Bin Sub));
+      ignore (emit ctx.e (Set li));
+      ignore (emit ctx.e (Jmp head));
+      patch ctx.e exit_br (Brz (here ctx.e))
+  | _ ->
+      expr ctx ~depth:edepth;
+      ignore (emit ctx.e Drop)
+
+and block ctx ~depth ~edepth =
+  for _ = 1 to 1 + Random.State.int ctx.rng 3 do
+    stmt ctx ~depth ~edepth
+  done
+
+let gen_func rng ~index ~name ~arity ~callees ~with_mem =
+  let extra = Random.State.int rng 3 in
+  let ncounters = 2 in
+  let e = emitter () in
+  let nlocals = arity + extra in
+  let ctx =
+    {
+      rng;
+      e;
+      nlocals;
+      assignable = Array.init nlocals (fun i -> i);
+      counters = Array.init ncounters (fun i -> nlocals + i);
+      next_counter = 0;
+      callees;
+      mem_mask = (if with_mem then mem_words - 1 else -1);
+    }
+  in
+  let edepth = 1 + Random.State.int rng 5 in
+  for _ = 1 to 1 + Random.State.int rng 4 do
+    stmt ctx ~depth:2 ~edepth
+  done;
+  expr ctx ~depth:edepth;
+  ignore (emit e (if index = 0 && Random.State.bool rng then Halt else Ret));
+  {
+    f_name = name;
+    f_arity = arity;
+    f_locals = extra + ncounters;
+    f_code = finish e;
+  }
+
+let program rng : program =
+  let nfuncs = 1 + Random.State.int rng 4 in
+  let with_mem = Random.State.int rng 4 > 0 in
+  (* generate from the last function up so callees are known *)
+  let funcs = Array.make nfuncs None in
+  let arities =
+    Array.init nfuncs (fun i ->
+        if i = 0 then 0 else Random.State.int rng 4)
+  in
+  for i = nfuncs - 1 downto 0 do
+    let callees =
+      Array.init
+        (nfuncs - i - 1)
+        (fun k ->
+          let j = i + 1 + k in
+          (j, arities.(j)))
+    in
+    let name = if i = 0 then "main" else Printf.sprintf "f%d" i in
+    funcs.(i) <-
+      Some (gen_func rng ~index:i ~name ~arity:arities.(i) ~callees ~with_mem)
+  done;
+  {
+    p_funcs = Array.map (function Some f -> f | None -> assert false) funcs;
+    p_mem_words = (if with_mem then mem_words else 0);
+  }

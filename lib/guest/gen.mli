@@ -1,0 +1,14 @@
+(** Seeded random guest programs for the differential harness.
+
+    [program rng] builds a structured program — nested expressions,
+    if/else, bounded counting loops, acyclic calls, masked scratch-memory
+    access, host output — that is valid by construction
+    ([Validate.check] accepts it), terminates, and never faults: any
+    divergence between the {!Interp} oracle and the lifted module on one
+    of these is a lifter (or engine) bug, not a property of the input.
+
+    Expressions nest deep enough that operand-stack depth routinely
+    exceeds a small register pool, so running the same seeds through
+    [Lift] with [pool = 2] exercises every spill path. *)
+
+val program : Random.State.t -> Isa.program

@@ -1,0 +1,138 @@
+(* The guest reference interpreter (see the .mli).
+
+   A straightforward frame-stack evaluator. No dynamic stack-discipline
+   checks: [Validate.check] proved depths statically, so pops cannot
+   underflow and pushes cannot exceed [Isa.max_stack] here. *)
+
+open Isa
+module W = Omni_util.Word32
+
+type outcome = Exited of int | Faulted of Omnivm.Fault.t | Out_of_fuel
+type run = { output : string; outcome : outcome; steps : int }
+
+let exit_code = function Exited c -> c | Faulted _ | Out_of_fuel -> -1
+
+type frame = {
+  func : func;
+  locals : int array;
+  stack : int array;
+  mutable sp : int;  (* next free slot *)
+  mutable pc : int;
+}
+
+exception Stop of outcome
+
+let run ?(fuel = 10_000_000) (p : program) : run =
+  let out = Buffer.create 64 in
+  let mem = Array.make (max 1 p.p_mem_words) 0 in
+  let mem_limit = W.of_int p.p_mem_words in
+  let steps = ref 0 in
+  let frame_of ~args f =
+    let locals = Array.make (max 1 (locals_total f)) 0 in
+    Array.blit args 0 locals 0 (Array.length args);
+    { func = f; locals; stack = Array.make (max_stack + 1) 0; sp = 0; pc = 0 }
+  in
+  let main =
+    match find_func p "main" with
+    | Some i -> p.p_funcs.(i)
+    | None -> invalid_arg "Interp.run: no main (unvalidated program)"
+  in
+  let frames = ref [ frame_of ~args:[||] main ] in
+  let outcome =
+    try
+      while true do
+        let fr = match !frames with f :: _ -> f | [] -> assert false in
+        if !steps >= fuel then raise (Stop Out_of_fuel);
+        incr steps;
+        let op = fr.func.f_code.(fr.pc) in
+        let push v =
+          fr.stack.(fr.sp) <- v;
+          fr.sp <- fr.sp + 1
+        in
+        let pop () =
+          fr.sp <- fr.sp - 1;
+          fr.stack.(fr.sp)
+        in
+        let next () = fr.pc <- fr.pc + 1 in
+        match op with
+        | Push v -> push v; next ()
+        | Drop -> ignore (pop ()); next ()
+        | Dup ->
+            let a = pop () in
+            push a; push a; next ()
+        | Swap ->
+            let b = pop () in
+            let a = pop () in
+            push b; push a; next ()
+        | Over ->
+            let b = pop () in
+            let a = pop () in
+            push a; push b; push a; next ()
+        | Bin bin -> (
+            let b = pop () in
+            let a = pop () in
+            match binop_of_bin bin with
+            | Some op -> (
+                match Omnivm.Instr.eval_binop op a b with
+                | v -> push v; next ()
+                | exception W.Division_by_zero ->
+                    raise (Stop (Faulted Omnivm.Fault.Division_by_zero)))
+            | None -> (
+                match cond_of_bin bin with
+                | Some c ->
+                    push (if Omnivm.Instr.eval_cond c a b then 1 else 0);
+                    next ()
+                | None -> assert false))
+        | Get i -> push fr.locals.(i); next ()
+        | Set i -> fr.locals.(i) <- pop (); next ()
+        | Ldm ->
+            let idx = pop () in
+            if not (W.ltu idx mem_limit) then
+              raise (Stop (Faulted (Omnivm.Fault.Explicit_trap trap_mem_oob)));
+            push mem.(W.to_unsigned idx);
+            next ()
+        | Stm ->
+            let v = pop () in
+            let idx = pop () in
+            if not (W.ltu idx mem_limit) then
+              raise (Stop (Faulted (Omnivm.Fault.Explicit_trap trap_mem_oob)));
+            mem.(W.to_unsigned idx) <- v;
+            next ()
+        | Jmp t -> fr.pc <- t
+        | Brz t ->
+            let v = pop () in
+            fr.pc <- (if v = 0 then t else fr.pc + 1)
+        | Brnz t ->
+            let v = pop () in
+            fr.pc <- (if v <> 0 then t else fr.pc + 1)
+        | Call g ->
+            let callee = p.p_funcs.(g) in
+            let args = Array.make callee.f_arity 0 in
+            (* top of stack = last argument *)
+            for i = callee.f_arity - 1 downto 0 do
+              args.(i) <- pop ()
+            done;
+            next ();  (* resume here after Ret *)
+            frames := frame_of ~args callee :: !frames
+        | Ret -> (
+            let v = pop () in
+            match !frames with
+            | _ :: (caller :: _ as rest) ->
+                frames := rest;
+                caller.stack.(caller.sp) <- v;
+                caller.sp <- caller.sp + 1
+            | [ _ ] | [] ->
+                (* main returned: crt0 passes the result to Exit *)
+                raise (Stop (Exited v)))
+        | Halt -> raise (Stop (Exited (pop ())))
+        | Sys Print_int ->
+            Buffer.add_string out (string_of_int (pop ()));
+            next ()
+        | Sys Put_char ->
+            Buffer.add_char out (Char.chr (pop () land 0xFF));
+            next ()
+      done;
+      assert false
+    with Stop o -> o
+  in
+  { output = Buffer.contents out; outcome; steps = !steps }

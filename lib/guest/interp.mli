@@ -1,0 +1,31 @@
+(** The reference interpreter for guest programs — the oracle the lifted
+    OmniVM module is differentially tested against.
+
+    Semantic agreement is by construction, not by re-implementation:
+    arithmetic evaluates through [Omnivm.Instr.eval_binop]/[eval_cond]
+    (the same code path the OmniVM interpreter and every translator
+    encode), host output is produced exactly as {!Omni_runtime.Host}
+    produces it, and faults are reported as [Omnivm.Fault.t] with the
+    same codes the lifted module traps with ([Isa.trap_mem_oob] for an
+    out-of-bounds scratch access, division by zero from [Word32]).
+
+    Only call on programs {!Validate.check} accepted; on anything else
+    the interpreter may raise. *)
+
+type outcome =
+  | Exited of int  (** [Halt], or [main] returning: the status word *)
+  | Faulted of Omnivm.Fault.t
+  | Out_of_fuel
+
+type run = {
+  output : string;  (** everything printed through [Sys] ops *)
+  outcome : outcome;
+  steps : int;  (** guest instructions executed *)
+}
+
+val run : ?fuel:int -> Isa.program -> run
+(** [fuel] bounds guest steps (default [10_000_000]). *)
+
+val exit_code : outcome -> int
+(** [Exited c -> c], everything else [-1] — the same collapse
+    [Omni_service.Exec.run_result.exit_code] applies. *)

@@ -1,0 +1,219 @@
+(* The StackVM guest ISA: a small stack-machine bytecode, structurally
+   unlike OmniVM (0-operand stack ops vs three-address registers), so the
+   lifter in [Lift] is a genuine second producer and not a renaming.
+
+   Model:
+   - a per-frame operand stack of 32-bit words (depth statically bounded;
+     [Validate] proves the discipline before anything executes or lifts),
+   - per-function locals; a function's first [f_arity] locals are its
+     arguments, the rest start at zero,
+   - one program-wide scratch memory of [p_mem_words] 32-bit words,
+     addressed by word index and bounds-checked (an out-of-bounds access
+     is the guest trap {!trap_mem_oob}),
+   - structured calls: [Call] pops the callee's arguments (deepest value
+     = first argument), runs it, and pushes its single result,
+   - host access through [Sys]: a closed, deterministic set of services
+     mapped onto OmniVM host calls by the lifter.
+
+   All arithmetic is 32-bit two's complement with OmniVM's exact
+   semantics — the reference interpreter evaluates through
+   [Omnivm.Instr.eval_binop]/[eval_cond], so oracle and lifted module
+   cannot disagree on a corner case by construction. *)
+
+(* pop b, pop a, push (a op b). Shl/Shr/Sar mask the count to 5 bits;
+   Div/Rem fault on a zero divisor, exactly like OmniVM. Comparisons
+   push 1 or 0. *)
+type bin =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor
+  | Shl | Shr | Sar
+  | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Gtu
+
+(* Host services a guest program may request. Deliberately a closed,
+   deterministic subset of the OmniVM host-call surface: guest programs
+   must behave bit-identically on the oracle and every engine, so
+   nondeterministic services (clock, sbrk) are not exposed. *)
+type host = Print_int  (** pop v; print signed decimal *)
+          | Put_char  (** pop v; print byte [v land 0xFF] *)
+
+type op =
+  | Push of int  (* push imm32 *)
+  | Drop
+  | Dup  (* a -- a a *)
+  | Swap  (* a b -- b a *)
+  | Over  (* a b -- a b a *)
+  | Bin of bin
+  | Get of int  (* push local i *)
+  | Set of int  (* local i <- pop *)
+  | Ldm  (* idx -- mem[idx] *)
+  | Stm  (* idx v -- ;  mem[idx] <- v *)
+  | Jmp of int  (* unconditional, to instruction index *)
+  | Brz of int  (* pop; branch if zero *)
+  | Brnz of int  (* pop; branch if nonzero *)
+  | Call of int  (* function index; pops arity args, pushes result *)
+  | Ret  (* pop result, return to caller *)
+  | Halt  (* pop status, terminate the program *)
+  | Sys of host
+
+type func = {
+  f_name : string;
+  f_arity : int;  (* arguments, = the first locals *)
+  f_locals : int;  (* additional locals beyond the arguments *)
+  f_code : op array;
+}
+
+type program = {
+  p_funcs : func array;
+  p_mem_words : int;  (* words of program-wide scratch memory *)
+}
+
+(* --- static limits (enforced by the decoder and the validator) --- *)
+
+let max_funcs = 256
+let max_arity = 8
+let max_locals = 256  (* arity + extra locals *)
+let max_code = 65536
+let max_mem_words = 65536
+let max_stack = 256  (* operand-stack depth bound *)
+let max_name = 64
+
+(* --- guest trap codes (delivered as OmniVM [Explicit_trap n]) --- *)
+
+let trap_mem_oob = 1  (* scratch-memory index out of bounds *)
+let trap_unreachable = 2  (* validator-proven-unreachable code executed *)
+
+(* --- stack effects --- *)
+
+let pops program = function
+  | Push _ | Get _ -> 0
+  | Drop | Set _ | Brz _ | Brnz _ | Ret | Halt | Sys _ -> 1
+  | Dup -> 1
+  | Swap | Over -> 2
+  | Bin _ | Stm -> 2
+  | Ldm -> 1
+  | Jmp _ -> 0
+  | Call f ->
+      if f >= 0 && f < Array.length program.p_funcs then
+        program.p_funcs.(f).f_arity
+      else 0
+
+let pushes = function
+  | Push _ | Get _ -> 1
+  | Drop | Set _ | Brz _ | Brnz _ | Stm -> 0
+  | Dup -> 2
+  | Swap -> 2
+  | Over -> 3
+  | Bin _ | Ldm | Call _ -> 1
+  | Jmp _ -> 0
+  | Ret | Halt -> 0
+  | Sys _ -> 0
+
+(* Control never falls through these. *)
+let is_terminator = function
+  | Jmp _ | Ret | Halt -> true
+  | Push _ | Drop | Dup | Swap | Over | Bin _ | Get _ | Set _ | Ldm | Stm
+  | Brz _ | Brnz _ | Call _ | Sys _ ->
+      false
+
+let locals_total f = f.f_arity + f.f_locals
+
+let find_func program name =
+  let rec go i =
+    if i >= Array.length program.p_funcs then None
+    else if String.equal program.p_funcs.(i).f_name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Map guest arithmetic onto OmniVM's: the oracle evaluates through these,
+   the lifter emits them, so the two semantics are the same code path. *)
+let binop_of_bin : bin -> Omnivm.Instr.binop option = function
+  | Add -> Some Omnivm.Instr.Add
+  | Sub -> Some Omnivm.Instr.Sub
+  | Mul -> Some Omnivm.Instr.Mul
+  | Div -> Some Omnivm.Instr.Div
+  | Rem -> Some Omnivm.Instr.Rem
+  | And -> Some Omnivm.Instr.And
+  | Or -> Some Omnivm.Instr.Or
+  | Xor -> Some Omnivm.Instr.Xor
+  | Shl -> Some Omnivm.Instr.Sll
+  | Shr -> Some Omnivm.Instr.Srl
+  | Sar -> Some Omnivm.Instr.Sra
+  | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Gtu -> None
+
+let cond_of_bin : bin -> Omnivm.Instr.cond option = function
+  | Eq -> Some Omnivm.Instr.Eq
+  | Ne -> Some Omnivm.Instr.Ne
+  | Lt -> Some Omnivm.Instr.Lt
+  | Le -> Some Omnivm.Instr.Le
+  | Gt -> Some Omnivm.Instr.Gt
+  | Ge -> Some Omnivm.Instr.Ge
+  | Ltu -> Some Omnivm.Instr.Ltu
+  | Gtu -> Some Omnivm.Instr.Gtu
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar -> None
+
+(* --- names (canonical assembly mnemonics) --- *)
+
+let bin_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt"
+  | Ge -> "ge" | Ltu -> "ltu" | Gtu -> "gtu"
+
+let all_bins =
+  [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar;
+    Eq; Ne; Lt; Le; Gt; Ge; Ltu; Gtu ]
+
+let host_name = function Print_int -> "print_int" | Put_char -> "put_char"
+let all_hosts = [ Print_int; Put_char ]
+
+let host_number = function Print_int -> 0 | Put_char -> 1
+
+let host_of_number = function
+  | 0 -> Some Print_int
+  | 1 -> Some Put_char
+  | _ -> None
+
+(* The OmniVM host call each guest service lifts to. *)
+let hostcall_of_host = function
+  | Print_int -> Omnivm.Hostcall.Print_int
+  | Put_char -> Omnivm.Hostcall.Put_char
+
+let pp_op fmt (program : program option) op =
+  let p format = Format.fprintf fmt format in
+  match op with
+  | Push v -> p "push %d" v
+  | Drop -> p "drop"
+  | Dup -> p "dup"
+  | Swap -> p "swap"
+  | Over -> p "over"
+  | Bin b -> p "%s" (bin_name b)
+  | Get i -> p "get %d" i
+  | Set i -> p "set %d" i
+  | Ldm -> p "ldm"
+  | Stm -> p "stm"
+  | Jmp t -> p "jmp %d" t
+  | Brz t -> p "brz %d" t
+  | Brnz t -> p "brnz %d" t
+  | Call f -> (
+      match program with
+      | Some pr when f >= 0 && f < Array.length pr.p_funcs ->
+          p "call %s" pr.p_funcs.(f).f_name
+      | _ -> p "call #%d" f)
+  | Ret -> p "ret"
+  | Halt -> p "halt"
+  | Sys h -> p "sys %s" (host_name h)
+
+let pp fmt program =
+  Format.fprintf fmt ".mem %d@." program.p_mem_words;
+  Array.iter
+    (fun f ->
+      Format.fprintf fmt ".func %s %d %d@." f.f_name f.f_arity f.f_locals;
+      Array.iteri
+        (fun i op ->
+          Format.fprintf fmt "  %3d: %a@." i
+            (fun fmt op -> pp_op fmt (Some program) op)
+            op)
+        f.f_code)
+    program.p_funcs

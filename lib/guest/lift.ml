@@ -1,0 +1,310 @@
+(* StackVM -> OmniVM lifting (see the .mli for the scheme).
+
+   Register budget:
+     r1        host-call argument/result staging, callee result
+     r2, r3    per-op scratch
+     r4..r12   the operand-stack pool (first [pool] of them)
+   Slot [s] lives in [r4+s] for [s < pool], else in frame spill slot
+   [s - pool]. The validator's per-pc depth makes every slot's location
+   a static fact, so each guest op compiles to a fixed sequence.
+
+   Frame layout (sp-relative, F bytes):
+     0             saved ra
+     4 + 4i        local i (arguments first, then zero-initialized)
+     4 + 4L + 4j   operand-stack spill slot j
+     4 + 4L + 4S + 4k   saved pool register r4+k
+     F - 4(k+1)    incoming argument k
+   Arguments are passed at -4(k+1) from the CALLER's sp, i.e. at
+   F - 4(k+1) from the callee's sp after the prologue's adjustment; the
+   frame reserves those top 4*arity bytes so the prologue's own stores
+   (saved registers, zeroed locals) cannot clobber an argument before
+   it is copied into its local. *)
+
+open Isa
+module B = Omni_asm.Obj.Builder
+module I = Omnivm.Instr
+module Reg = Omnivm.Reg
+
+type options = { pool : int }
+
+let default_options = { pool = 9 }
+
+let mem_sym = "g$mem" (* '$' cannot appear in a guest identifier *)
+let fun_sym name = "g." ^ name
+
+type fctx = {
+  b : B.t;
+  prog : program;
+  f : func;
+  pool : int;
+  nlocals : int;
+  nspills : int;
+  npool : int; (* pool registers this function touches (and saves) *)
+  frame : int;
+  mutable fresh : int; (* local-label counter *)
+}
+
+let r1 = Reg.make 1
+let r2 = Reg.make 2
+let r3 = Reg.make 3
+let slot_reg s = Reg.make (4 + s)
+let local_off _ctx i = 4 + (4 * i)
+let spill_off ctx j = 4 + (4 * ctx.nlocals) + (4 * j)
+let save_off ctx k = 4 + (4 * ctx.nlocals) + (4 * ctx.nspills) + (4 * k)
+
+let pc_label ctx pc = Printf.sprintf ".Lg.%s.%d" ctx.f.f_name pc
+let epi_label ctx = Printf.sprintf ".Lg.%s.epi" ctx.f.f_name
+
+let fresh_label ctx what =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf ".Lg.%s.%s%d" ctx.f.f_name what n
+
+let emit ctx i = B.emit ctx.b i
+let jump ctx sym = B.emit_reloc ctx.b (I.J 0) ~field:Omni_asm.Obj.Label ~sym ~addend:0
+let here ctx name = B.def_label_here ctx.b ~name ~global:false
+let move ctx dst src = if dst <> src then emit ctx (I.Binopi (I.Add, dst, src, 0))
+
+(* The register holding slot [s]'s value, loading spilled slots into
+   [scratch]. Only read through this. *)
+let read_slot ctx ~scratch s =
+  if s < ctx.pool then slot_reg s
+  else begin
+    emit ctx (I.Load (I.W32, true, scratch, Reg.sp, spill_off ctx (s - ctx.pool)));
+    scratch
+  end
+
+(* The register to compute slot [s]'s new value into ... *)
+let dst_reg ctx s = if s < ctx.pool then slot_reg s else r2
+
+(* ... and the write-back making [src] slot [s]'s value. *)
+let commit ctx ~src s =
+  if s < ctx.pool then move ctx (slot_reg s) src
+  else emit ctx (I.Store (I.W32, src, Reg.sp, spill_off ctx (s - ctx.pool)))
+
+(* Bounds-check the guest memory index in [idx] (unsigned compare against
+   the static size — SFI-independent memory safety), then leave the byte
+   address in r3. Clobbers r2 and r3. *)
+let checked_mem_addr ctx ~idx =
+  let ok = fresh_label ctx "m" in
+  B.emit_reloc ctx.b
+    (I.Bri (I.Ltu, idx, ctx.prog.p_mem_words, 0))
+    ~field:Omni_asm.Obj.Label ~sym:ok ~addend:0;
+  emit ctx (I.Trap trap_mem_oob);
+  here ctx ok;
+  emit ctx (I.Binopi (I.Sll, r2, idx, 2));
+  B.emit_reloc ctx.b (I.Li (r3, 0)) ~field:Omni_asm.Obj.Imm ~sym:mem_sym
+    ~addend:0;
+  emit ctx (I.Binop (I.Add, r3, r3, r2))
+
+let gen_op ctx op ~depth:d =
+  match op with
+  | Push v ->
+      let dst = dst_reg ctx d in
+      emit ctx (I.Li (dst, v));
+      commit ctx ~src:dst d
+  | Drop -> ()
+  | Dup ->
+      let src = read_slot ctx ~scratch:r2 (d - 1) in
+      commit ctx ~src d
+  | Swap ->
+      let a = read_slot ctx ~scratch:r2 (d - 2) in
+      let b = read_slot ctx ~scratch:r3 (d - 1) in
+      (* both values are in registers now; a register-resident slot is its
+         own holder, so route through scratch when both slots are pooled *)
+      if d - 1 < ctx.pool && d - 2 < ctx.pool then begin
+        move ctx r2 a;
+        move ctx (slot_reg (d - 2)) b;
+        move ctx (slot_reg (d - 1)) r2
+      end
+      else begin
+        commit ctx ~src:a (d - 1);
+        commit ctx ~src:b (d - 2)
+      end
+  | Over ->
+      let src = read_slot ctx ~scratch:r2 (d - 2) in
+      commit ctx ~src d
+  | Bin bin -> (
+      let a = read_slot ctx ~scratch:r2 (d - 2) in
+      let b = read_slot ctx ~scratch:r3 (d - 1) in
+      match binop_of_bin bin with
+      | Some op ->
+          let dst = dst_reg ctx (d - 2) in
+          emit ctx (I.Binop (op, dst, a, b));
+          commit ctx ~src:dst (d - 2)
+      | None -> (
+          match cond_of_bin bin with
+          | Some c ->
+              let dst = dst_reg ctx (d - 2) in
+              let l_true = fresh_label ctx "t" in
+              let l_end = fresh_label ctx "e" in
+              B.emit_reloc ctx.b (I.Br (c, a, b, 0))
+                ~field:Omni_asm.Obj.Label ~sym:l_true ~addend:0;
+              emit ctx (I.Li (dst, 0));
+              jump ctx l_end;
+              here ctx l_true;
+              emit ctx (I.Li (dst, 1));
+              here ctx l_end;
+              commit ctx ~src:dst (d - 2)
+          | None -> assert false))
+  | Get i ->
+      let dst = dst_reg ctx d in
+      emit ctx (I.Load (I.W32, true, dst, Reg.sp, local_off ctx i));
+      commit ctx ~src:dst d
+  | Set i ->
+      let src = read_slot ctx ~scratch:r2 (d - 1) in
+      emit ctx (I.Store (I.W32, src, Reg.sp, local_off ctx i))
+  | Ldm ->
+      let idx = read_slot ctx ~scratch:r2 (d - 1) in
+      checked_mem_addr ctx ~idx;
+      let dst = dst_reg ctx (d - 1) in
+      emit ctx (I.Load (I.W32, true, dst, r3, 0));
+      commit ctx ~src:dst (d - 1)
+  | Stm ->
+      let idx = read_slot ctx ~scratch:r2 (d - 2) in
+      checked_mem_addr ctx ~idx;
+      (* r3 = byte address; r2 is free again *)
+      let v = read_slot ctx ~scratch:r2 (d - 1) in
+      emit ctx (I.Store (I.W32, v, r3, 0))
+  | Jmp t -> jump ctx (pc_label ctx t)
+  | Brz t ->
+      let v = read_slot ctx ~scratch:r2 (d - 1) in
+      B.emit_reloc ctx.b (I.Bri (I.Eq, v, 0, 0)) ~field:Omni_asm.Obj.Label
+        ~sym:(pc_label ctx t) ~addend:0
+  | Brnz t ->
+      let v = read_slot ctx ~scratch:r2 (d - 1) in
+      B.emit_reloc ctx.b (I.Bri (I.Ne, v, 0, 0)) ~field:Omni_asm.Obj.Label
+        ~sym:(pc_label ctx t) ~addend:0
+  | Call g ->
+      let callee = ctx.prog.p_funcs.(g) in
+      let a = callee.f_arity in
+      for k = 0 to a - 1 do
+        let src = read_slot ctx ~scratch:r2 (d - a + k) in
+        emit ctx (I.Store (I.W32, src, Reg.sp, -4 * (k + 1)))
+      done;
+      B.emit_reloc ctx.b (I.Jal 0) ~field:Omni_asm.Obj.Label
+        ~sym:(fun_sym callee.f_name) ~addend:0;
+      commit ctx ~src:r1 (d - a)
+  | Ret ->
+      let src = read_slot ctx ~scratch:r2 (d - 1) in
+      move ctx r1 src;
+      jump ctx (epi_label ctx)
+  | Halt ->
+      let src = read_slot ctx ~scratch:r2 (d - 1) in
+      move ctx r1 src;
+      emit ctx (I.Hcall (Omnivm.Hostcall.number Omnivm.Hostcall.Exit))
+  | Sys h ->
+      let src = read_slot ctx ~scratch:r2 (d - 1) in
+      move ctx r1 src;
+      emit ctx (I.Hcall (Omnivm.Hostcall.number (hostcall_of_host h)))
+
+let gen_func b prog ~pool (f : func) (info : Validate.finfo) =
+  let nlocals = locals_total f in
+  let npool = min info.fi_max pool in
+  let nspills = max 0 (info.fi_max - pool) in
+  let frame = 4 + (4 * nlocals) + (4 * nspills) + (4 * npool) + (4 * f.f_arity) in
+  let ctx = { b; prog; f; pool; nlocals; nspills; npool; frame; fresh = 0 } in
+  (* the pcs branches land on, so only they get labels *)
+  let targets = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | Jmp t | Brz t | Brnz t -> Hashtbl.replace targets t ()
+      | _ -> ())
+    f.f_code;
+  B.def_label_here b ~name:(fun_sym f.f_name) ~global:false;
+  (* prologue *)
+  emit ctx (I.Binopi (I.Add, Reg.sp, Reg.sp, -frame));
+  emit ctx (I.Store (I.W32, Reg.ra, Reg.sp, 0));
+  for k = 0 to npool - 1 do
+    emit ctx (I.Store (I.W32, slot_reg k, Reg.sp, save_off ctx k))
+  done;
+  for k = 0 to f.f_arity - 1 do
+    emit ctx (I.Load (I.W32, true, r2, Reg.sp, frame - (4 * (k + 1))));
+    emit ctx (I.Store (I.W32, r2, Reg.sp, local_off ctx k))
+  done;
+  for i = f.f_arity to nlocals - 1 do
+    emit ctx (I.Store (I.W32, Reg.zero, Reg.sp, local_off ctx i))
+  done;
+  (* body *)
+  Array.iteri
+    (fun pc op ->
+      if Hashtbl.mem targets pc then here ctx (pc_label ctx pc);
+      match info.fi_depth.(pc) with
+      | Some d -> gen_op ctx op ~depth:d
+      | None ->
+          (* statically unreachable; never executed, trap defensively *)
+          emit ctx (I.Trap trap_unreachable))
+    f.f_code;
+  (* epilogue (reached from every Ret) *)
+  here ctx (epi_label ctx);
+  for k = 0 to npool - 1 do
+    emit ctx (I.Load (I.W32, true, slot_reg k, Reg.sp, save_off ctx k))
+  done;
+  emit ctx (I.Load (I.W32, true, Reg.ra, Reg.sp, 0));
+  emit ctx (I.Binopi (I.Add, Reg.sp, Reg.sp, frame));
+  emit ctx (I.Jr Reg.ra)
+
+let gen_program ~pool (p : program) (info : Validate.info) : Omni_asm.Obj.t =
+  let b = B.create "stackvm" in
+  (* crt0: the standard entry convention, so lifted modules are
+     indistinguishable from compiled ones downstream *)
+  B.def_label_here b ~name:"_start" ~global:true;
+  B.emit_reloc b (I.Jal 0) ~field:Omni_asm.Obj.Label
+    ~sym:(fun_sym p.p_funcs.(info.i_main).f_name)
+    ~addend:0;
+  B.emit b (I.Hcall (Omnivm.Hostcall.number Omnivm.Hostcall.Exit));
+  Array.iteri (fun i f -> gen_func b p ~pool f info.i_funcs.(i)) p.p_funcs;
+  B.def_symbol b ~name:mem_sym ~section:Omni_asm.Obj.Data
+    ~offset:(B.here_data b) ~global:false;
+  B.bss_space b (4 * max 1 p.p_mem_words);
+  B.finish b
+
+let lift_exe ?(options = default_options) (p : program) :
+    (Omnivm.Exe.t, Error.t) result =
+  if options.pool < 1 || options.pool > 9 then
+    invalid_arg "Lift.lift_exe: pool must be in [1, 9]";
+  match Validate.check p with
+  | Error e -> Error e
+  | Ok info ->
+      Omni_obs.Trace.phase "guest.lift" ~attrs:[ ("producer", "stackvm") ]
+      @@ fun () ->
+      let obj =
+        Omni_obs.Trace.timed "pass.liftgen" (fun () ->
+            gen_program ~pool:options.pool p info)
+      in
+      Ok
+        (Omni_obs.Trace.timed "pass.link" (fun () ->
+             Omni_asm.Link.link ~entry:"_start" [ obj ]))
+
+let lift_wire ?options (p : program) : (string, Error.t) result =
+  match lift_exe ?options p with
+  | Ok exe -> Ok (Omnivm.Wire.encode exe)
+  | Error e -> Error e
+
+let lift_bytes ?options (bytes : string) : (string, Error.t) result =
+  match Bytecode.decode bytes with
+  | Error e -> Error e
+  | Ok p -> lift_wire ?options p
+
+(* --- the Producer view --- *)
+
+let producer : Omni_producer.Producer.t =
+  (module struct
+    let name = "stackvm"
+    let describe = "StackVM guest assembly, lifted to OmniVM"
+
+    let compile ~name:_ source =
+      match Asm.assemble source with
+      | Error e ->
+          let line = match e with Error.Parse { line; _ } -> line | _ -> 0 in
+          Error
+            (Omni_producer.Producer.error ~producer:"stackvm" ~stage:"parse"
+               ~line (Error.to_string e))
+      | Ok p -> (
+          match lift_wire p with
+          | Ok wire -> Ok wire
+          | Error e ->
+              Error
+                (Omni_producer.Producer.error ~producer:"stackvm"
+                   ~stage:"lift" (Error.to_string e)))
+  end)

@@ -1,0 +1,58 @@
+(** The lifter: StackVM guest bytecode -> OmniVM mobile module.
+
+    This is the second producer of OmniVM wire modules (MiniC being the
+    first), and it is structurally different: the guest is a stack
+    machine, so lifting is an operand-stack-to-register mapping, not an
+    instruction renaming.
+
+    Scheme (per function, driven by {!Validate}'s per-pc depths):
+    - operand-stack slot [s] lives in register [r4+s] while [s] is below
+      the register-pool size, and in a fixed frame slot beyond that —
+      deep expressions spill, exactly like a register allocator under
+      pressure. The pool size is an {!options} knob so tests can force
+      the spill paths with tiny pools.
+    - every pool register a function touches is saved/restored in its
+      prologue/epilogue, so a caller's live stack slots survive calls;
+      r1 stages host-call arguments and results, r2/r3 are per-op
+      scratch.
+    - calls pass arguments through memory just below the caller's stack
+      pointer, where the callee's prologue picks them up; results come
+      back in r1.
+    - guest scratch memory becomes one bss block; every [Ldm]/[Stm]
+      emits an unsigned bounds check that faults with
+      [Trap Isa.trap_mem_oob] — the same fault the {!Interp} oracle
+      reports, and SFI-independent: a guest module can never address
+      outside its block even with sandboxing off.
+    - the module carries the standard crt0 ([_start]: call the guest
+      [main], pass its result to the exit service), so lifted modules
+      are indistinguishable from compiled ones to loaders, engines, the
+      serving stack and the certificate layer.
+
+    Everything is checked before code generation: [lift*] return typed
+    errors for malformed bytecode ({!Bytecode.decode}) and for programs
+    that break the static rules ({!Validate.check}); they never raise on
+    bad guest input. *)
+
+type options = {
+  pool : int;
+      (** operand-stack registers (r4 .. r4+pool-1), in [\[1, 9\]];
+          smaller pools force spills. Default 9. *)
+}
+
+val default_options : options
+
+val lift_exe :
+  ?options:options -> Isa.program -> (Omnivm.Exe.t, Error.t) result
+(** Validate and lift a decoded guest program to a linked executable. *)
+
+val lift_wire : ?options:options -> Isa.program -> (string, Error.t) result
+(** [lift_exe] encoded to wire bytes. *)
+
+val lift_bytes : ?options:options -> string -> (string, Error.t) result
+(** The mobile-code ingestion path: guest {e bytecode} bytes in, OmniVM
+    wire bytes out (decode, validate, lift, encode). *)
+
+val producer : Omni_producer.Producer.t
+(** The StackVM front-end as a {!Omni_producer.Producer}: name
+    ["stackvm"], compiling guest {e assembly text} (see {!Asm}) to wire
+    bytes. Registered alongside MiniC's producer in [Api.producers]. *)

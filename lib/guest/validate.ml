@@ -1,0 +1,87 @@
+(* Stack-discipline validation (see the .mli). *)
+
+open Isa
+
+type finfo = { fi_depth : int option array; fi_max : int }
+type info = { i_funcs : finfo array; i_main : int }
+
+exception Reject of Error.t
+
+let check_func (p : program) (f : func) : finfo =
+  let fn = f.f_name in
+  let len = Array.length f.f_code in
+  if len = 0 then raise (Reject (Error.Falls_off_end { fn }));
+  let depth = Array.make len None in
+  let fi_max = ref 0 in
+  let work = Queue.create () in
+  let join pc ~from d =
+    if pc < 0 || pc >= len then
+      raise (Reject (Error.Bad_target { fn; pc = from; target = pc }));
+    match depth.(pc) with
+    | None ->
+        depth.(pc) <- Some d;
+        Queue.add pc work
+    | Some e ->
+        if e <> d then
+          raise (Reject (Error.Stack_mismatch { fn; pc; expected = e; found = d }))
+  in
+  depth.(0) <- Some 0;
+  Queue.add 0 work;
+  while not (Queue.is_empty work) do
+    let pc = Queue.pop work in
+    let d = match depth.(pc) with Some d -> d | None -> assert false in
+    if d > !fi_max then fi_max := d;
+    let op = f.f_code.(pc) in
+    (* per-op static checks *)
+    (match op with
+    | Get i | Set i ->
+        if i < 0 || i >= locals_total f then
+          raise (Reject (Error.Bad_local { fn; pc; index = i }))
+    | Call g ->
+        if g < 0 || g >= Array.length p.p_funcs then
+          raise (Reject (Error.Unknown_function { fn; pc; target = g }))
+    | Push _ | Drop | Dup | Swap | Over | Bin _ | Ldm | Stm | Jmp _ | Brz _
+    | Brnz _ | Ret | Halt | Sys _ ->
+        ());
+    let need = pops p op in
+    if d < need then
+      raise (Reject (Error.Stack_underflow { fn; pc; depth = d; need }));
+    let d' = d - need + pushes op in
+    if d' > max_stack then
+      raise (Reject (Error.Stack_too_deep { fn; pc; depth = d' }));
+    if d' > !fi_max then fi_max := d';
+    (* successors *)
+    (match op with
+    | Jmp t -> join t ~from:pc d'
+    | Brz t | Brnz t ->
+        join t ~from:pc d';
+        if pc + 1 >= len then raise (Reject (Error.Falls_off_end { fn }));
+        join (pc + 1) ~from:pc d'
+    | Ret | Halt -> ()
+    | Push _ | Drop | Dup | Swap | Over | Bin _ | Get _ | Set _ | Ldm | Stm
+    | Call _ | Sys _ ->
+        if pc + 1 >= len then raise (Reject (Error.Falls_off_end { fn }));
+        join (pc + 1) ~from:pc d')
+  done;
+  { fi_depth = depth; fi_max = !fi_max }
+
+let check (p : program) : (info, Error.t) result =
+  try
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun f ->
+        if Hashtbl.mem seen f.f_name then
+          raise (Reject (Error.Duplicate_function f.f_name));
+        Hashtbl.add seen f.f_name ())
+      p.p_funcs;
+    let main =
+      match find_func p "main" with
+      | Some i -> i
+      | None -> raise (Reject Error.No_main)
+    in
+    if p.p_funcs.(main).f_arity <> 0 then
+      raise
+        (Reject (Error.Main_takes_args { arity = p.p_funcs.(main).f_arity }));
+    let i_funcs = Array.map (check_func p) p.p_funcs in
+    Ok { i_funcs; i_main = main }
+  with Reject e -> Error e

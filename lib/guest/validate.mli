@@ -1,0 +1,32 @@
+(** Static validation of guest programs — the stack-discipline proof.
+
+    A forward dataflow pass computes, for every reachable instruction of
+    every function, the exact operand-stack depth on entry. The ISA's
+    structured control flow makes depth a pure function of the program
+    counter, so the analysis either assigns one depth per pc or refuses
+    the program with a typed {!Error.t}. Everything downstream leans on
+    the result: the {!Interp} oracle runs without dynamic stack checks,
+    and the {!Lift} code generator assigns each stack slot a fixed
+    register or spill location per pc.
+
+    Checked here (the decoder already bounded the raw sizes):
+    - a [main] of arity 0 exists; function names are unique,
+    - call targets are defined, branch targets are in range, local
+      indices are in range,
+    - no underflow, no over-deep stack, equal depths at join points,
+    - control cannot fall off the end of a function,
+    - [Ret]/[Halt] leave exactly the result on the stack (depth 1 after
+      popping is depth 0 — enforced by requiring entry depth ≥ 1). *)
+
+type finfo = {
+  fi_depth : int option array;
+      (** operand-stack depth on entry to each pc; [None] = unreachable *)
+  fi_max : int;  (** deepest operand stack anywhere in the function *)
+}
+
+type info = {
+  i_funcs : finfo array;  (** indexed like [p_funcs] *)
+  i_main : int;  (** index of the entry function *)
+}
+
+val check : Isa.program -> (info, Error.t) result

@@ -128,9 +128,15 @@ val concurrency : size:Omni_workloads.Workloads.size -> string
     bit-identically to a serial reference round and the shared service
     counters must sum exactly, or the experiment aborts. *)
 
+val guest_front_end : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: the StackVM guest front-end ({!Omni_guest}) — lift
+    time, oracle-steps vs lifted OmniVM instruction expansion, and the
+    SFI overhead of lifted modules per arch. Every run is validated
+    byte-for-byte against the guest reference interpreter. *)
+
 val bench_snapshot : size:Omni_workloads.Workloads.size -> string
 (** Machine-readable snapshot of every subsystem bench's hot paths
-    (the contents of [BENCH_7.json]): stable JSON, integer microseconds
+    (the contents of [BENCH_8.json]): stable JSON, integer microseconds
     of CPU time, with a flat ["hot_paths"] object that [make bench-gate]
     diffs across runs. The ["concurrency"] section additionally reports
     wall-clock throughput/latency per pool size; only its one-domain

@@ -97,3 +97,24 @@ let compile_exe ?(options = default_options) ?(with_stdlib = true) ~name
 (* Convenience: straight to wire bytes, the shippable mobile-code artifact. *)
 let compile_wire ?options ?with_stdlib ~name source : string =
   Omnivm.Wire.encode (compile_exe ?options ?with_stdlib ~name source)
+
+(* The compiler as a front-end the serving layers treat uniformly with
+   every other producer of wire modules: exceptions become the shared
+   typed error, with the stage and source line preserved. *)
+let producer : Omni_producer.Producer.t =
+  (module struct
+    let name = "minic"
+    let describe = "MiniC compiled to OmniVM"
+
+    let compile ~name source =
+      let err = Omni_producer.Producer.error ~producer:"minic" in
+      try Ok (compile_wire ~name source) with
+      | Lexer.Error { line; message } ->
+          Error (err ~stage:"lex" ~line message)
+      | Parser.Error { line; message } ->
+          Error (err ~stage:"parse" ~line message)
+      | Typecheck.Error { line; message } ->
+          Error (err ~stage:"typecheck" ~line message)
+      | Lower.Error msg -> Error (err ~stage:"lower" msg)
+      | Codegen.Error msg -> Error (err ~stage:"codegen" msg)
+  end)

@@ -46,3 +46,8 @@ val compile_exe :
 val compile_wire :
   ?options:options -> ?with_stdlib:bool -> name:string -> string -> string
 (** Straight to wire bytes: the shippable artifact. *)
+
+val producer : Omni_producer.Producer.t
+(** The compiler as a {!Omni_producer.Producer} (name ["minic"]):
+    {!compile_wire} with default options, compilation errors mapped to
+    the shared typed error instead of this module's exceptions. *)

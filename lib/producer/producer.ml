@@ -1,0 +1,45 @@
+(* The producer seam: the contract every front-end implements so the
+   serving stack can treat all of them identically (see the .mli). *)
+
+type error = {
+  e_producer : string;
+  e_stage : string;
+  e_line : int option;
+  e_msg : string;
+}
+
+exception Error of error
+
+let error ~producer ~stage ?line msg =
+  { e_producer = producer; e_stage = stage; e_line = line; e_msg = msg }
+
+let error_to_string e =
+  match e.e_line with
+  | Some l ->
+      Printf.sprintf "%s: %s error at line %d: %s" e.e_producer e.e_stage l
+        e.e_msg
+  | None -> Printf.sprintf "%s: %s error: %s" e.e_producer e.e_stage e.e_msg
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+module type S = sig
+  val name : string
+  val describe : string
+  val compile : name:string -> string -> (string, error) result
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name
+let describe (module P : S) = P.describe
+let compile (module P : S) ~name source = P.compile ~name source
+
+let compile_exn p ~name source =
+  match compile p ~name source with
+  | Ok wire -> wire
+  | Error e -> raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)

@@ -1,0 +1,57 @@
+(** The producer seam: what every front-end owes the serving stack.
+
+    The paper's central claim is language independence — Omniware shipped
+    both a gcc and an lcc back end targeting the same OmniVM wire format.
+    This interface is that claim made first-class: a producer turns source
+    text into wire-format bytes, and everything downstream (the loader,
+    the translators, the service store, the daemon) treats all producers
+    identically. [Minic.Driver.producer] (the C-subset compiler) and
+    [Omni_guest.Lift.producer] (the StackVM bytecode lifter) both
+    implement it; further front-ends slot in behind the same seam.
+
+    Compilation failures are values, not exceptions: every producer folds
+    its own error surface (lexer, parser, typechecker, validator, lifter)
+    into one {!error} record naming the producer, the pipeline stage that
+    refused, and — when known — the offending source line. *)
+
+type error = {
+  e_producer : string;  (** which front-end refused *)
+  e_stage : string;  (** pipeline stage: ["parse"], ["typecheck"], ["validate"], ["lift"], ... *)
+  e_line : int option;  (** 1-based source line when the stage knows one *)
+  e_msg : string;
+}
+
+exception Error of error
+(** Raised by {!compile_exn} (and by [Api.run] on a [Text] source). *)
+
+val error : producer:string -> stage:string -> ?line:int -> string -> error
+
+val error_to_string : error -> string
+(** ["<producer>: <stage> error[ at line N]: <msg>"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** The contract a front-end implements. *)
+module type S = sig
+  val name : string
+  (** Short stable identifier (["minic"], ["stackvm"]); recorded by the
+      module store at submission and by crash reports for attribution. *)
+
+  val describe : string
+  (** One line: what source language this producer accepts. *)
+
+  val compile : name:string -> string -> (string, error) result
+  (** [compile ~name source] is the complete shippable mobile module —
+      wire-format bytes, entry stub and runtime included — or a typed
+      refusal. [name] labels the translation unit in diagnostics. *)
+end
+
+type t = (module S)
+(** A first-class producer, as the CLI and service layers consume it. *)
+
+val name : t -> string
+val describe : t -> string
+val compile : t -> name:string -> string -> (string, error) result
+
+val compile_exn : t -> name:string -> string -> string
+(** @raise Error on refusal. *)

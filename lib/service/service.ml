@@ -59,7 +59,7 @@ let create ?cache_capacity ?metrics ?quarantine ?deadline_s ?watchdog_poll
       on_crash;
     }
 
-let submit t bytes = Store.submit t.store bytes
+let submit ?producer t bytes = Store.submit ?producer t.store bytes
 let metrics t = Counters.metrics t.c
 
 let clear_quarantine t digest =
@@ -104,8 +104,9 @@ let supervise_result t h ~engine ~sfi ?fuel (res : Exec.run_result) =
       | None -> ()
       | Some k -> (
           match
-            Supervise.of_run ~engine ~sfi ?fuel ~wire:(Store.bytes t.store h)
-              res
+            Supervise.of_run ~engine ~sfi
+              ?producer:(Store.producer t.store h)
+              ?fuel ~wire:(Store.bytes t.store h) res
           with
           | Some report -> k report
           | None -> ()))

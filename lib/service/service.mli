@@ -76,8 +76,9 @@ val metrics : t -> Omni_obs.Metrics.t
 (** The backing metrics registry (serving counters + anything else
     registered in it). *)
 
-val submit : t -> string -> Store.handle
-(** Admit module bytes; see {!Store.submit} for validation and errors. *)
+val submit : ?producer:string -> t -> string -> Store.handle
+(** Admit module bytes; see {!Store.submit} for validation, errors, and
+    the [producer] attribution (which flows into crash reports). *)
 
 val instantiate :
   ?engine:Exec.engine ->

@@ -12,6 +12,7 @@ type entry = {
   e_bytes : string;
   e_exe : Omnivm.Exe.t;
   e_blueprint : Omni_runtime.Loader.blueprint;
+  e_producer : string option; (* front-end attribution, first submitter wins *)
 }
 
 (* Sharded by digest so concurrent submits and lookups of unrelated
@@ -61,7 +62,7 @@ exception Unknown_handle
    inserts (counting [modules] and [bytes_stored] once), every other
    counts [dedup_hits]. Cold submits of same-shard modules serialize;
    distinct shards proceed in parallel. *)
-let submit t bytes =
+let submit ?producer t bytes =
   let h = Fnv64.digest_string bytes in
   Metrics.incr t.c.Counters.submits;
   let s = shard t h in
@@ -79,7 +80,8 @@ let submit t bytes =
         in
         let bp = Omni_runtime.Loader.blueprint exe in
         Hashtbl.replace s.tbl h
-          { e_bytes = bytes; e_exe = exe; e_blueprint = bp };
+          { e_bytes = bytes; e_exe = exe; e_blueprint = bp;
+            e_producer = producer };
         Metrics.incr t.c.Counters.modules;
         Metrics.incr ~by:(String.length bytes) t.c.Counters.bytes_stored );
   h
@@ -93,6 +95,7 @@ let entry t h =
 let bytes t h = (entry t h).e_bytes
 let exe t h = (entry t h).e_exe
 let blueprint t h = (entry t h).e_blueprint
+let producer t h = (entry t h).e_producer
 
 let modules t =
   Array.fold_left

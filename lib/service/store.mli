@@ -33,8 +33,11 @@ exception Collision of handle
 (** Two distinct byte strings hit the same digest (astronomically
     unlikely; detected by byte comparison on every dedup hit). *)
 
-val submit : t -> string -> handle
-(** Admit wire bytes, deduplicating by content.
+val submit : ?producer:string -> t -> string -> handle
+(** Admit wire bytes, deduplicating by content. [producer] names the
+    front-end that made the module (e.g. ["minic"], ["stackvm"]); it is
+    attribution metadata only — on a dedup hit the first submission's
+    attribution is kept.
     @raise Omnivm.Wire.Bad_module on malformed bytes.
     @raise Invalid_argument if the module's data does not fit.
     @raise Collision on a digest collision. *)
@@ -45,4 +48,9 @@ exception Unknown_handle
 val bytes : t -> handle -> string
 val exe : t -> handle -> Omnivm.Exe.t
 val blueprint : t -> handle -> Omni_runtime.Loader.blueprint
+
+val producer : t -> handle -> string option
+(** The declared front-end attribution, if any (flows into crash
+    reports; see {!Supervise.report}). *)
+
 val modules : t -> int

@@ -37,6 +37,7 @@ type report = {
   r_fault : Fault.t;
   r_engine : Exec.engine;
   r_sfi : bool;
+  r_producer : string option; (* front-end that produced the module *)
   r_digest : Fnv64.t;
   r_fuel : int option; (* the request's instruction budget *)
   r_fuel_spent : int;
@@ -51,7 +52,8 @@ let no_site =
   { Exec.cs_pc = -1; cs_regs = Array.make 16 0; cs_window_base = -1;
     cs_window = "" }
 
-let of_run ~engine ~sfi ?fuel ~wire (r : Exec.run_result) : report option =
+let of_run ~engine ~sfi ?producer ?fuel ~wire (r : Exec.run_result) :
+    report option =
   match r.Exec.outcome with
   | Machine.Exited _ | Machine.Out_of_fuel -> None
   | Machine.Faulted f ->
@@ -61,6 +63,7 @@ let of_run ~engine ~sfi ?fuel ~wire (r : Exec.run_result) : report option =
           r_fault = f;
           r_engine = engine;
           r_sfi = sfi;
+          r_producer = producer;
           r_digest = Fnv64.digest_string wire;
           r_fuel = fuel;
           r_fuel_spent = r.Exec.instructions;
@@ -121,6 +124,9 @@ let to_json (r : report) =
       ());
   Printf.bprintf b "},\"engine\":\"%s\"" (Exec.engine_name r.r_engine);
   Printf.bprintf b ",\"sfi\":%b" r.r_sfi;
+  (match r.r_producer with
+  | Some p -> Printf.bprintf b ",\"producer\":\"%s\"" p
+  | None -> Printf.bprintf b ",\"producer\":null");
   Printf.bprintf b ",\"digest\":\"%s\"" (Fnv64.to_hex r.r_digest);
   (match r.r_fuel with
   | Some f -> Printf.bprintf b ",\"fuel\":%d" f
@@ -309,6 +315,13 @@ let of_json (text : string) : report =
     | J_bool v -> v
     | _ -> raise (Bad_report "sfi must be a boolean")
   in
+  (* absent in pre-producer reports: stay readable *)
+  let r_producer =
+    match field "producer" with
+    | None | Some J_null -> None
+    | Some (J_str p) -> Some p
+    | Some _ -> raise (Bad_report "producer must be a string or null")
+  in
   let r_digest =
     let hex = as_str "digest" (need "digest") in
     match Int64.of_string_opt ("0x" ^ hex) with
@@ -331,6 +344,7 @@ let of_json (text : string) : report =
     r_fault;
     r_engine;
     r_sfi;
+    r_producer;
     r_digest;
     r_fuel;
     r_fuel_spent = as_int "fuel_spent" (need "fuel_spent");
@@ -352,6 +366,9 @@ let pp fmt (r : report) =
     (Fnv64.to_hex r.r_digest)
     (Exec.engine_name r.r_engine)
     (Fault.to_string r.r_fault);
+  (match r.r_producer with
+  | Some p -> Format.fprintf fmt "  produced by %s@\n" p
+  | None -> ());
   Format.fprintf fmt "  sfi %b, fuel %s, %d instructions spent, pc %d@\n"
     r.r_sfi
     (match r.r_fuel with Some f -> string_of_int f | None -> "unlimited")

@@ -33,6 +33,10 @@ type report = {
   r_fault : Fault.t;
   r_engine : Exec.engine;
   r_sfi : bool;
+  r_producer : string option;
+      (** the front-end that produced the module (e.g. ["minic"],
+          ["stackvm"]), when the submitter declared one — a crash report
+          names which producer's output misbehaved *)
   r_digest : Omni_util.Fnv64.t;  (** content digest of [r_wire] *)
   r_fuel : int option;  (** the request's instruction budget *)
   r_fuel_spent : int;  (** instructions executed before the fault *)
@@ -46,6 +50,7 @@ type report = {
 val of_run :
   engine:Exec.engine ->
   sfi:bool ->
+  ?producer:string ->
   ?fuel:int ->
   wire:string ->
   Exec.run_result ->

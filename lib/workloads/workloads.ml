@@ -788,3 +788,176 @@ let all ~size = [ li ~size; compress ~size; alvinn ~size; eqntott ~size ]
 
 let by_name ~size name =
   List.find_opt (fun w -> String.equal w.name name) (all ~size)
+
+(* --- guest-ISA workloads: StackVM assembly analogues --- *)
+
+(* Ports of the checksum (compress-analogue: LCG data + hash folding) and
+   sort (eqntott-analogue: comparison-dominated insertion sort) kernels to
+   the StackVM guest ISA, as assembly text for [Omni_guest.Asm]. These are
+   plain strings — this library stays independent of the guest front-end;
+   the harness and tests assemble and lift them. Like the MiniC workloads,
+   inputs come from a fixed-seed LCG computed in-program, and each prints
+   intermediate values and a final checksum, so the differential suite can
+   require byte-identical output from the guest oracle and every engine. *)
+module Guest = struct
+  type t = { name : string; asm : string }
+
+  (* LCG-filled scratch memory folded with FNV-1a, [rounds] times over. *)
+  let checksum ~size =
+    let n, rounds = match size with Test -> (192, 2) | Ref -> (4096, 6) in
+    let asm =
+      Printf.sprintf
+        {|# checksum: LCG fill + FNV-1a fold over scratch memory
+.mem %d
+
+.func hashstep 2 0
+    # hashstep(acc, v) = (acc ^ v) * 16777619; args are locals 0 and 1
+    get 0
+    get 1
+    xor
+    push 16777619
+    mul
+    ret
+
+.func main 0 4
+    # locals: 0=i 1=seed 2=acc 3=rounds
+    push 987654321
+    set 1
+    push 2166136261
+    set 2
+    push %d
+    set 3
+round:
+    get 3
+    brz done
+    push 0
+    set 0
+fill:
+    get 0
+    push %d
+    lt
+    brz fold
+    get 1  push 1103515245  mul  push 12345  add  set 1
+    get 0
+    get 1  push 5  shr
+    stm
+    get 0  push 1  add  set 0
+    jmp fill
+fold:
+    push 0
+    set 0
+foldloop:
+    get 0
+    push %d
+    lt
+    brz roundend
+    get 2
+    get 0  ldm
+    call hashstep
+    set 2
+    get 0  push 1  add  set 0
+    jmp foldloop
+roundend:
+    get 2  push 16777215  and  sys print_int
+    push 10  sys put_char
+    get 3  push 1  sub  set 3
+    jmp round
+done:
+    get 2  sys print_int
+    push 10  sys put_char
+    push 0
+    halt
+|}
+        n rounds n n
+    in
+    { name = "g_checksum"; asm }
+
+  (* Insertion sort over LCG-filled memory, then a sortedness check and a
+     checksum of the sorted array through a called helper. *)
+  let sort ~size =
+    let n = match size with Test -> 48 | Ref -> 448 in
+    let asm =
+      Printf.sprintf
+        {|# sort: LCG fill + insertion sort + verify + checksum
+.mem %d
+
+.func cksum 2 0
+    # cksum(acc, v) = acc * 31 + v; args are locals 0 and 1
+    get 0
+    push 31
+    mul
+    get 1
+    add
+    ret
+
+.func main 0 5
+    # locals: 0=i 1=j 2=key 3=seed 4=acc
+    push 20260808
+    set 3
+    push 0
+    set 0
+fill:
+    get 0  push %d  lt  brz sort
+    get 3  push 1103515245  mul  push 12345  add  set 3
+    get 0
+    get 3  push 7  shr  push 1023  and
+    stm
+    get 0  push 1  add  set 0
+    jmp fill
+sort:
+    push 1
+    set 0
+outer:
+    get 0  push %d  lt  brz verify
+    get 0  ldm  set 2
+    get 0  push 1  sub  set 1
+inner:
+    get 1  push 0  lt  brnz place
+    get 1  ldm  get 2  gt  brz place
+    get 1  push 1  add
+    get 1  ldm
+    stm
+    get 1  push 1  sub  set 1
+    jmp inner
+place:
+    get 1  push 1  add
+    get 2
+    stm
+    get 0  push 1  add  set 0
+    jmp outer
+verify:
+    push 0  ldm  set 4
+    push 1
+    set 0
+vloop:
+    get 0  push %d  lt  brz report
+    get 0  push 1  sub  ldm
+    get 0  ldm
+    gt
+    brnz bad
+    get 4
+    get 0  ldm
+    call cksum
+    set 4
+    get 0  push 1  add  set 0
+    jmp vloop
+bad:
+    push -1  sys print_int
+    push 10  sys put_char
+    push 1
+    halt
+report:
+    get 4  push 16777215  and  sys print_int
+    push 10  sys put_char
+    push 0
+    halt
+|}
+        n n n n
+    in
+    { name = "g_sort"; asm }
+
+  let all ~size = [ checksum ~size; sort ~size ]
+
+  let by_name ~size name =
+    List.find_opt (fun w -> String.equal w.name name) (all ~size)
+end

@@ -28,3 +28,24 @@ val eqntott : size:size -> t
 
 val all : size:size -> t list
 val by_name : size:size -> string -> t option
+
+(** Guest-ISA analogues of the integer workloads, as StackVM assembly text
+    (see [Omni_guest.Asm] for the syntax). Plain strings: this library
+    does not depend on the guest front-end; callers assemble and lift.
+    Same conventions as the MiniC set — fixed-seed LCG inputs computed
+    in-program, intermediate prints, and a final checksum, so output must
+    be byte-identical across the guest oracle and every engine. *)
+module Guest : sig
+  type t = { name : string; asm : string }
+
+  val checksum : size:size -> t
+  (** [g_checksum]: LCG-filled scratch memory folded with FNV-1a (the
+      compress-analogue: integer ops + memory traffic). *)
+
+  val sort : size:size -> t
+  (** [g_sort]: insertion sort over LCG data with a sortedness check (the
+      eqntott-analogue: comparison-dominated loops). *)
+
+  val all : size:size -> t list
+  val by_name : size:size -> string -> t option
+end

@@ -260,6 +260,7 @@ let gen_report =
   let* r_fault = gen_fault
   and* r_engine = oneofl engines
   and* r_sfi = bool
+  and* r_producer = opt (oneofl [ "minic"; "stackvm" ])
   and* r_digest = map Int64.of_int int
   and* r_fuel = opt (int_bound 1_000_000)
   and* r_fuel_spent = int_bound 1_000_000
@@ -273,6 +274,7 @@ let gen_report =
       Supervise.r_fault;
       r_engine;
       r_sfi;
+      r_producer;
       r_digest;
       r_fuel;
       r_fuel_spent;
