@@ -18,23 +18,25 @@ let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
     "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
     "resilience"; "isolation"; "phases"; "cert"; "concurrency"; "guest";
-    "bechamel" ]
+    "fastpath"; "bechamel" ]
 
-(* --- the persisted snapshot + regression gate (BENCH_8.json) ----------
+(* --- the persisted snapshot + regression gate (BENCH_9.json) ----------
 
-   [json] re-measures every subsystem's hot paths and writes BENCH_8.json
+   [json] re-measures every subsystem's hot paths and writes BENCH_9.json
    at the repo root. [gate] additionally diffs the new numbers against
    the previous snapshot's [hot_paths] before overwriting it: any named
    path more than 20% slower fails the gate (exit 1); hot paths that only
-   exist in the new snapshot are skipped, so adding a subsystem never
-   trips the gate. The first run (falling back to the prior BENCH_7.json
-   baseline when present) seeds the new file and passes. *)
+   exist in the new snapshot are skipped (and logged to stderr, along
+   with baseline paths the new snapshot dropped), so adding or retiring
+   a subsystem never trips the gate silently. The first run (falling
+   back to the prior BENCH_8.json baseline when present) seeds the new
+   file and passes. *)
 
-let snapshot_file = "BENCH_8.json"
+let snapshot_file = "BENCH_9.json"
 
 (* Oldest-to-newest fallbacks: gate against the last PR's snapshot the
    first time this one runs. *)
-let baseline_files = [ snapshot_file; "BENCH_7.json" ]
+let baseline_files = [ snapshot_file; "BENCH_8.json" ]
 
 (* Extract the flat  "name": int  pairs of the "hot_paths" object. The
    writer is ours and the schema is stable, so a scanner suffices — no
@@ -97,6 +99,20 @@ let run_gate ~size =
         (List.length fresh)
   | Some old ->
       let threshold = 1.20 in
+      (* Un-gated keys go to stderr so a silently-shrinking gate is
+         visible in CI logs without failing the run. *)
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name old) then
+            Printf.eprintf "bench-gate: new hot path %s (no baseline; \
+                            skipped this run, gated next)\n" name)
+        fresh;
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name fresh) then
+            Printf.eprintf "bench-gate: baseline hot path %s missing from \
+                            the new snapshot (skipped)\n" name)
+        old;
       let regressions =
         List.filter_map
           (fun (name, now) ->
@@ -147,6 +163,7 @@ let run_section ~size name =
   | "cert" -> print_string (E.cert_amortization ~size)
   | "concurrency" -> print_string (E.concurrency ~size)
   | "guest" -> print_string (E.guest_front_end ~size)
+  | "fastpath" -> print_string (E.fastpath ~size)
   | "json" -> ignore (write_snapshot ~size)
   | "gate" -> run_gate ~size
   | "bechamel" -> Bechamel_bench.run ~size

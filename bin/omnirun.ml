@@ -134,6 +134,7 @@ let run_single trace args =
   let input = ref None in
   let engine = ref "interp" in
   let sfi = ref true in
+  let sfi_pad = ref "" in
   let stats = ref false in
   let deadline = ref 0.0 in
   let crash_dir = ref "" in
@@ -150,8 +151,11 @@ let run_single trace args =
   let producer = ref "" in
   let spec =
     [ ("--engine", Arg.Set_string engine,
-       "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
+       "ENGINE interp|fast|mips|sparc|ppc|x86 (default interp)");
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
+      ("--sfi-pad", Arg.Set_string sfi_pad,
+       "MODE pad SFI masking sequences: none|nop|align|guard8 (translated \
+        engines; default none)");
       ("--stats", Arg.Set stats, " print execution statistics");
       ("--deadline", Arg.Set_float deadline,
        "SECS wall-clock budget; exceeding it is a deadline_exceeded fault");
@@ -196,6 +200,24 @@ let run_single trace args =
       exit 2
   | Some path ->
       let eng = parse_engine ~who:"omnirun" !engine in
+      let req_mode =
+        match !sfi_pad with
+        | "" -> None
+        | s -> (
+            match Omni_sfi.Policy.pad_of_string s with
+            | Some pad ->
+                if not !sfi then begin
+                  prerr_endline
+                    "omnirun: --sfi-pad requires SFI (drop --no-sfi)";
+                  exit 2
+                end;
+                Some
+                  (Omni_targets.Machine.Mobile (Omni_sfi.Policy.make ~pad ()))
+            | None ->
+                Printf.eprintf
+                  "omnirun: unknown --sfi-pad %S (none|nop|align|guard8)\n" s;
+                exit 2)
+      in
       (match !producer with
       | "" -> ()
       | p -> (
@@ -266,6 +288,7 @@ let run_single trace args =
         let wire = read_file path in
         let req =
           { Api.default_request with engine = eng; sfi = !sfi;
+            mode = req_mode;
             deadline_s = (if !deadline > 0.0 then Some !deadline else None);
             remote = client;
             on_unreachable =
@@ -287,7 +310,7 @@ let run_single trace args =
           let module Exec = Omni_service.Exec in
           let module Cert = Omni_cert.Certificate in
           match eng with
-          | Api.Interp ->
+          | Api.Interp | Api.Fast ->
               prerr_endline
                 "omnirun: --cert: interpreter runs carry no certificate"
           | Api.Target arch when not !sfi ->
@@ -298,7 +321,9 @@ let run_single trace args =
           | Api.Target arch -> (
               let digest = Omni_util.Fnv64.digest_string wire in
               let mode =
-                Omni_targets.Machine.Mobile (Omni_sfi.Policy.make ())
+                match req_mode with
+                | Some m -> m
+                | None -> Omni_targets.Machine.Mobile (Omni_sfi.Policy.make ())
               in
               let opts = Exec.mobile_opts arch in
               let check_local cert origin =
@@ -512,7 +537,9 @@ let run_cert trace args =
         | Ok engines -> (
             match
               List.filter_map
-                (function Api.Target a -> Some a | Api.Interp -> None)
+                (function
+                  | Api.Target a -> Some a
+                  | Api.Interp | Api.Fast -> None)
                 engines
             with
             | [] ->

@@ -42,6 +42,11 @@ type t = {
   module_digest : Fnv64.t;
   code_fp : Fnv64.t;
   protect_reads : bool;
+  pad : Omni_sfi.Policy.pad;
+      (* the masking-sequence layout variant the code was produced under;
+         a witness checked against a different padding mode would accept
+         or reject the wrong displacement bound, so the certificate binds
+         it (flags bits 6-7) *)
   opts : Machine.topts;
   data_base : int;
   data_mask : int;
@@ -51,12 +56,13 @@ type t = {
   obs : Witness.obligation array;
 }
 
-let make ~arch ~module_digest ~code_fp ~protect_reads ~opts ~n_code obs =
+let make ~arch ~module_digest ~code_fp ~protect_reads ~pad ~opts ~n_code obs =
   {
     arch;
     module_digest;
     code_fp;
     protect_reads;
+    pad;
     opts;
     data_base = L.data_base;
     data_mask = L.data_mask;
@@ -87,7 +93,8 @@ let flags_of (c : t) =
   lor (if c.opts.Machine.fill_delay_slots then 4 else 0)
   lor (if c.opts.Machine.use_gp then 8 else 0)
   lor (if c.opts.Machine.peephole then 16 else 0)
-  lor if c.opts.Machine.sfi_opt then 32 else 0
+  lor (if c.opts.Machine.sfi_opt then 32 else 0)
+  lor (Omni_sfi.Policy.pad_code c.pad lsl 6)
 
 (* --- encoding --- *)
 
@@ -240,6 +247,10 @@ let decode (s : string) : (t, decode_error) result =
         module_digest;
         code_fp;
         protect_reads = flags land 1 <> 0;
+        pad =
+          (match Omni_sfi.Policy.pad_of_code ((flags lsr 6) land 3) with
+          | Some p -> p
+          | None -> assert false (* 2 bits cover all four codes *));
         opts =
           {
             Machine.schedule = flags land 2 <> 0;

@@ -22,6 +22,9 @@ type t = {
   module_digest : Omni_util.Fnv64.t;  (** digest of the module bytes *)
   code_fp : Omni_util.Fnv64.t;  (** fingerprint of the translated code *)
   protect_reads : bool;  (** SFI policy bit the witness depends on *)
+  pad : Omni_sfi.Policy.pad;
+      (** masking-sequence layout variant (determines the displacement
+          bound the obligations were checked against); flags bits 6–7 *)
   opts : Machine.topts;  (** translator options used *)
   data_base : int;  (** sandbox layout facts the obligations reference *)
   data_mask : int;
@@ -36,6 +39,7 @@ val make :
   module_digest:Omni_util.Fnv64.t ->
   code_fp:Omni_util.Fnv64.t ->
   protect_reads:bool ->
+  pad:Omni_sfi.Policy.pad ->
   opts:Machine.topts ->
   n_code:int ->
   Witness.obligation array ->

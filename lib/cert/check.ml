@@ -46,6 +46,7 @@ type error =
   | Module_digest_mismatch
   | Code_fingerprint_mismatch
   | Opts_mismatch
+  | Pad_mismatch of { expected : Policy.pad; got : Policy.pad }
   | Layout_mismatch
   | Length_mismatch of { expected : int; got : int }
   | Obligation_out_of_range of { ox : int }
@@ -62,6 +63,10 @@ let error_to_string = function
   | Module_digest_mismatch -> "module digest mismatch"
   | Code_fingerprint_mismatch -> "translated-code fingerprint mismatch"
   | Opts_mismatch -> "translator options or SFI policy mismatch"
+  | Pad_mismatch { expected; got } ->
+      Printf.sprintf
+        "SFI padding-mode mismatch: certificate is for %s, policy wants %s"
+        (Policy.pad_name got) (Policy.pad_name expected)
   | Layout_mismatch -> "sandbox layout (base/mask) mismatch"
   | Length_mismatch { expected; got } ->
       Printf.sprintf "instruction count mismatch: certificate %d, code %d" got
@@ -103,6 +108,9 @@ let bind (c : Certificate.t) ~(module_digest : Fnv64.t) ~(arch : Arch.t)
         c.Certificate.opts <> opts
         || c.Certificate.protect_reads <> p.Policy.protect_reads
       then Error Opts_mismatch
+      else if c.Certificate.pad <> p.Policy.pad then
+        Error
+          (Pad_mismatch { expected = p.Policy.pad; got = c.Certificate.pad })
       else if
         c.Certificate.data_base <> L.data_base
         || c.Certificate.data_mask <> L.data_mask
@@ -178,7 +186,7 @@ let check_risc (c : Certificate.t) (p : R.program) : (unit, error) result =
       reject (Length_mismatch { expected = n; got = c.Certificate.n_code });
     let obs = c.Certificate.obs in
     let nobs = Array.length obs in
-    let max_disp = Policy.safe_sp_disp in
+    let max_disp = Policy.guard_zone_of_pad c.Certificate.pad in
     (* Cross-module register constants hoisted into locals: without
        flambda every [R.r_*] reference is a load from the module block,
        and the loop below touches several per instruction. *)
@@ -459,7 +467,7 @@ let check_x86 (c : Certificate.t) (p : X.program) : (unit, error) result =
       reject (Length_mismatch { expected = n; got = c.Certificate.n_code });
     let obs = c.Certificate.obs in
     let nobs = Array.length obs in
-    let max_disp = Policy.safe_sp_disp in
+    let max_disp = Policy.guard_zone_of_pad c.Certificate.pad in
     (* Cross-module constants hoisted into locals (see [check_risc]) *)
     let r_eax = X.eax and r_esp = X.esp in
     let dmask = L.data_mask and dbase = L.data_base in

@@ -18,6 +18,8 @@ type error =
   | Module_digest_mismatch
   | Code_fingerprint_mismatch
   | Opts_mismatch
+  | Pad_mismatch of { expected : Omni_sfi.Policy.pad; got : Omni_sfi.Policy.pad }
+      (** the certificate was minted under a different SFI padding mode *)
   | Layout_mismatch
   | Length_mismatch of { expected : int; got : int }
   | Obligation_out_of_range of { ox : int }

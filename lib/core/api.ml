@@ -31,6 +31,7 @@ module Net = Omni_net
 
 type engine = Exec.engine =
   | Interp
+  | Fast
   | Target of Arch.t
 
 let engine_of_string = Exec.engine_of_string
@@ -146,6 +147,7 @@ let mode_spec_of_mode = function
         {
           pmode = p.Omni_sfi.Policy.mode;
           protect_reads = p.Omni_sfi.Policy.protect_reads;
+          pad = p.Omni_sfi.Policy.pad;
         }
   | Some (Machine.Native tier) -> Net.Message.M_native tier
 
@@ -224,6 +226,7 @@ let run (r : request) (src : source) : run_result =
         in
         match r.engine with
         | Interp -> run_interp ?fuel:r.fuel ?watchdog img
+        | Fast -> Exec.run_fast ?fuel:r.fuel ?watchdog img
         | Target arch ->
             let mode =
               match r.mode with

@@ -48,7 +48,7 @@ module Net = Omni_net
 
 (** An execution engine: the OmniVM reference interpreter, or load-time
     translation to a simulated target processor. *)
-type engine = Exec.engine = Interp | Target of Arch.t
+type engine = Exec.engine = Interp | Fast | Target of Arch.t
 
 val engine_of_string : string -> (engine, string) result
 (** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"];
@@ -129,10 +129,12 @@ val run_translated :
   Omni_runtime.Loader.image ->
   run_result
 
-val verify_translated : translated -> (unit, string) result
+val verify_translated :
+  ?mode:Machine.mode -> translated -> (unit, string) result
 (** Run the target's static SFI verifier over translated code — the cheap
     admission check a distrustful host applies before executing sandboxed
-    code (fresh or cached). *)
+    code (fresh or cached). [mode] (when it names a padded policy) widens
+    the verifier's displacement bound to the policy's guard zone. *)
 
 module Producer = Omni_producer.Producer
 

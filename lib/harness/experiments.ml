@@ -1369,7 +1369,215 @@ let guest_front_end ~size =
   Buffer.add_string buf "\n";
   Buffer.contents buf
 
-(* --- machine-readable benchmark snapshot (BENCH_8.json) ---------------
+(* --- the fast path: pre-decoded threaded interpreter ------------------
+
+   Two measurements. First, steady-state wall-clock time per retired
+   OmniVM instruction under the pre-decoded closure-threaded interpreter
+   ({!Omnivm.Fastinterp}) against the baseline decode-as-you-go
+   interpreter, over both workload families (MiniC-compiled and
+   guest-lifted), outputs validated bit-for-bit. The one-time pre-decode
+   (compile + fusion) is reported separately — the serving stack
+   amortizes it through {!Omni_service.Store.predecoded}. Second, the
+   SFI-overhead table gains a padding dimension: each translation-time
+   pad mode ({!Omni_sfi.Policy.pad}) re-lays-out the masking sequences,
+   and the table reports its simulated-cycle cost per arch. *)
+
+type fast_cell = {
+  fc_name : string;
+  fc_family : string; (* "minic" | "guest" *)
+  fc_instrs : int; (* source instructions retired *)
+  fc_len : int; (* static program length *)
+  fc_fused : int; (* fused pairs the peephole pass selected *)
+  fc_predecode_s : float; (* one-time compile + fuse *)
+  fc_interp_s : float; (* best-of-batches run wall clock *)
+  fc_fast_s : float;
+}
+
+let fast_cache : (string, fast_cell list) Hashtbl.t = Hashtbl.create 4
+
+let fastpath_measure ~size : fast_cell list =
+  let module Exec = Omni_service.Exec in
+  let skey =
+    match size with Omni_workloads.Workloads.Test -> "test" | _ -> "ref"
+  in
+  match Hashtbl.find_opt fast_cache skey with
+  | Some cs -> cs
+  | None ->
+      let fuel = 4_000_000_000 in
+      let batches = 3 and reps = 2 in
+      let cell ~family name (exe : Omnivm.Exe.t) expected : fast_cell =
+        let text = exe.Omnivm.Exe.text in
+        let program = Omnivm.Fastinterp.compile text in
+        let predecode_s =
+          (* lifting-style best-of-batches: pre-decode is ~microseconds *)
+          let preps = 20 in
+          let best = ref infinity in
+          for _ = 1 to batches do
+            let t0 = Sys.time () in
+            for _ = 1 to preps do
+              ignore (Omnivm.Fastinterp.compile text)
+            done;
+            let per = (Sys.time () -. t0) /. float_of_int preps in
+            if per < !best then best := per
+          done;
+          !best
+        in
+        let timed run =
+          (* a fresh image per rep (run state is consumed); images are
+             loaded outside the timed region, runs inside *)
+          let best = ref infinity and instrs = ref 0 in
+          for _ = 1 to batches do
+            let imgs = Array.init reps (fun _ -> Exec.load exe) in
+            let t0 = Sys.time () in
+            let rs = Array.map (fun img -> (run img : Exec.run_result)) imgs in
+            let per = (Sys.time () -. t0) /. float_of_int reps in
+            Array.iter
+              (fun (r : Exec.run_result) ->
+                (match r.Exec.outcome with
+                | Machine.Exited 0 -> ()
+                | _ -> fail "%s: fast-path bench run did not exit 0" name);
+                if not (String.equal r.Exec.output expected) then
+                  fail "%s: fast-path bench produced wrong output" name;
+                instrs := r.Exec.instructions)
+              rs;
+            if per < !best then best := per
+          done;
+          (!best, !instrs)
+        in
+        let interp_s, instrs = timed (fun img -> Exec.run_interp ~fuel img) in
+        let fast_s, fast_instrs =
+          timed (fun img -> Exec.run_fast ~fuel ~program img)
+        in
+        if fast_instrs <> instrs then
+          fail "%s: fast path retired %d instructions, interpreter %d" name
+            fast_instrs instrs;
+        {
+          fc_name = name;
+          fc_family = family;
+          fc_instrs = instrs;
+          fc_len = Omnivm.Fastinterp.length program;
+          fc_fused = Omnivm.Fastinterp.fused program;
+          fc_predecode_s = predecode_s;
+          fc_interp_s = interp_s;
+          fc_fast_s = fast_s;
+        }
+      in
+      let minic =
+        List.map
+          (fun (w : Omni_workloads.Workloads.t) ->
+            let p = prepare w in
+            cell ~family:"minic" p.p_name p.p_exe p.p_expected)
+          (workloads ~size)
+      in
+      let guest =
+        List.map
+          (fun (w : Omni_workloads.Workloads.Guest.t) ->
+            let g = gprepare w in
+            cell ~family:"guest" g.g_name g.g_exe g.g_expected)
+          (Omni_workloads.Workloads.Guest.all ~size)
+      in
+      let cs = minic @ guest in
+      Hashtbl.replace fast_cache skey cs;
+      cs
+
+(* Simulated cycles of one (workload, arch, pad) cell, validated and
+   cached like [measure] — the padding dimension of the SFI tables. *)
+let pad_run_cache : (string * string * string, int) Hashtbl.t =
+  Hashtbl.create 64
+
+let pad_cycles (w : Omni_workloads.Workloads.t) (arch : Arch.t)
+    (pad : Omni_sfi.Policy.pad) : int =
+  let pname = Omni_sfi.Policy.pad_name pad in
+  let key = (w.name, Arch.name arch, pname) in
+  match Hashtbl.find_opt pad_run_cache key with
+  | Some c -> c
+  | None ->
+      let p = prepare w in
+      let mode = Machine.Mobile (Omni_sfi.Policy.make ~pad ()) in
+      let r =
+        Api.run_exe ~engine:(Api.Target arch) ~mode
+          ~opts:(Api.mobile_opts arch) ~fuel:4_000_000_000 p.p_exe
+      in
+      (match r.Api.outcome with
+      | Machine.Exited 0 -> ()
+      | _ ->
+          fail "%s/%s/pad=%s did not exit 0" w.name (Arch.name arch) pname);
+      if not (String.equal r.Api.output p.p_expected) then
+        fail "%s/%s/pad=%s produced wrong output" w.name (Arch.name arch)
+          pname;
+      Hashtbl.replace pad_run_cache key r.Api.cycles;
+      r.Api.cycles
+
+let fastpath ~size =
+  let cells = fastpath_measure ~size in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Fast path: pre-decoded threaded interpreter vs the baseline \
+     interpreter\n\
+     (wall-clock ns per retired OmniVM instruction; outputs validated \
+     bit-for-bit;\npre-decode is the one-time compile+fusion cost the \
+     service's decode cache amortizes)\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-6s %10s %7s %12s %10s %10s %8s\n" "program"
+       "family" "instrs" "fused%" "predecode-us" "interp-ns" "fast-ns"
+       "speedup");
+  let per_ns c s = 1e9 *. s /. float_of_int (max 1 c.fc_instrs) in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %-6s %10d %6.1f%% %12.1f %10.2f %10.2f %7.2fx\n"
+           c.fc_name c.fc_family c.fc_instrs
+           (100.0 *. float_of_int c.fc_fused /. float_of_int (max 1 c.fc_len))
+           (1e6 *. c.fc_predecode_s) (per_ns c c.fc_interp_s)
+           (per_ns c c.fc_fast_s)
+           (c.fc_interp_s /. Float.max 1e-12 c.fc_fast_s)))
+    cells;
+  List.iter
+    (fun family ->
+      let fs = List.filter (fun c -> c.fc_family = family) cells in
+      if fs <> [] then begin
+        let sum f = List.fold_left (fun a c -> a +. f c) 0.0 fs in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%-12s %-6s %10s %7s %12s %10.2f %10.2f %7.2fx\n"
+             ("avg/" ^ family) family "-" "-" "-"
+             (1e9 *. sum (fun c -> c.fc_interp_s)
+             /. sum (fun c -> float_of_int (max 1 c.fc_instrs)))
+             (1e9 *. sum (fun c -> c.fc_fast_s)
+             /. sum (fun c -> float_of_int (max 1 c.fc_instrs)))
+             (sum (fun c -> c.fc_interp_s)
+             /. Float.max 1e-12 (sum (fun c -> c.fc_fast_s))))
+      end)
+    [ "minic"; "guest" ];
+  Buffer.add_char buf '\n';
+  let ws = workloads ~size in
+  Buffer.add_string buf
+    "SFI overhead by padding mode: translated cycles relative to native \
+     code (cc)\n(pad=none is the plain SFI column of Tables 1/3)\n\n";
+  List.iter
+    (fun arch ->
+      Buffer.add_string buf
+        (render_ratio_table
+           ~title:(Printf.sprintf "  [%s]" (Arch.name arch))
+           ~columns:
+             (List.map Omni_sfi.Policy.pad_name Omni_sfi.Policy.all_pads)
+           ~rows:
+             (List.map (fun (w : Omni_workloads.Workloads.t) -> w.name) ws)
+           ~cell:(fun r c ->
+             let w =
+               List.find
+                 (fun (w : Omni_workloads.Workloads.t) -> w.name = r)
+                 ws
+             in
+             let pad = Option.get (Omni_sfi.Policy.pad_of_string c) in
+             Some
+               (float_of_int (pad_cycles w arch pad)
+               /. float_of_int (max 1 (measure w arch Native_cc).m_cycles))));
+      Buffer.add_char buf '\n')
+    all_archs;
+  Buffer.contents buf
+
+(* --- machine-readable benchmark snapshot (BENCH_9.json) ---------------
 
    A compact re-measurement of the hot paths of every subsystem bench,
    emitted as stable JSON so successive runs can be diffed ([make
@@ -1622,6 +1830,52 @@ let bench_snapshot ~size : string =
           c.cy_requests c.cy_configs c.cy_cores;
       ]
   in
+  (* fast path: steady-state fast vs baseline interpreter per workload
+     (both families) plus the pad × arch cycle ratios; the gate metric is
+     the whole-suite round per engine *)
+  let fastpath_section =
+    let cells = fastpath_measure ~size in
+    let interp_round =
+      List.fold_left (fun a c -> a +. c.fc_interp_s) 0.0 cells
+    in
+    let fast_round = List.fold_left (fun a c -> a +. c.fc_fast_s) 0.0 cells in
+    hot_add "fastpath.round.interp" (us interp_round);
+    hot_add "fastpath.round.fast" (us fast_round);
+    let per_cell =
+      List.map
+        (fun c ->
+          Printf.sprintf
+            "    \"%s\": {\"instrs\": %d, \"fused\": %d, \
+             \"predecode_us\": %d, \"interp_us\": %d, \"fast_us\": %d, \
+             \"speedup_x100\": %d}"
+            c.fc_name c.fc_instrs c.fc_fused
+            (us c.fc_predecode_s) (us c.fc_interp_s) (us c.fc_fast_s)
+            (int_of_float
+               (100. *. c.fc_interp_s /. Float.max 1e-9 c.fc_fast_s)))
+        cells
+    in
+    let pad_rows =
+      List.concat_map
+        (fun arch ->
+          List.map
+            (fun pad ->
+              let rel w =
+                float_of_int (pad_cycles w arch pad)
+                /. float_of_int (max 1 (measure w arch Native_cc).m_cycles)
+              in
+              let avg =
+                List.fold_left (fun a w -> a +. rel w) 0.0 ws
+                /. float_of_int (List.length ws)
+              in
+              Printf.sprintf "    \"pad/%s/%s\": {\"rel_cc_x100\": %d}"
+                (Arch.name arch)
+                (Omni_sfi.Policy.pad_name pad)
+                (int_of_float (100. *. avg)))
+            Omni_sfi.Policy.all_pads)
+        all_archs
+    in
+    per_cell @ pad_rows
+  in
   let obj name lines =
     Printf.sprintf "  \"%s\": {\n%s\n  }" name (String.concat ",\n" lines)
   in
@@ -1643,6 +1897,7 @@ let bench_snapshot ~size : string =
       obj "cert" cert_section; ",\n";
       obj "guest" guest_section; ",\n";
       obj "concurrency" concurrency_section; ",\n";
+      obj "fastpath" fastpath_section; ",\n";
       obj "hot_paths" hot_lines; "\n}\n" ]
 
 let all_tables ~size =

@@ -134,9 +134,19 @@ val guest_front_end : size:Omni_workloads.Workloads.size -> string
     SFI overhead of lifted modules per arch. Every run is validated
     byte-for-byte against the guest reference interpreter. *)
 
+val fastpath : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: the pre-decoded closure-threaded fast path
+    ({!Omnivm.Fastinterp}) against the baseline interpreter —
+    steady-state wall-clock per retired OmniVM instruction on both
+    workload families (MiniC-compiled and guest-lifted, outputs
+    validated bit-for-bit), fusion statistics and the one-time
+    pre-decode cost, plus the SFI-overhead table extended with a
+    padding dimension: simulated cycles relative to native (cc) for
+    every translation-time pad mode ({!Omni_sfi.Policy.pad}) per arch. *)
+
 val bench_snapshot : size:Omni_workloads.Workloads.size -> string
 (** Machine-readable snapshot of every subsystem bench's hot paths
-    (the contents of [BENCH_8.json]): stable JSON, integer microseconds
+    (the contents of [BENCH_9.json]): stable JSON, integer microseconds
     of CPU time, with a flat ["hot_paths"] object that [make bench-gate]
     diffs across runs. The ["concurrency"] section additionally reports
     wall-clock throughput/latency per pool size; only its one-domain

@@ -85,7 +85,7 @@ let fault_code_of_message msg =
 
 type mode_spec =
   | M_default
-  | M_policy of { pmode : Policy.mode; protect_reads : bool }
+  | M_policy of { pmode : Policy.mode; protect_reads : bool; pad : Policy.pad }
   | M_native of Machine.tier
 
 type run_spec = {
@@ -196,6 +196,7 @@ let engine_code = function
   | Exec.Target Arch.Sparc -> 2
   | Exec.Target Arch.Ppc -> 3
   | Exec.Target Arch.X86 -> 4
+  | Exec.Fast -> 5
 
 let engine_of_code = function
   | 0 -> Exec.Interp
@@ -203,14 +204,16 @@ let engine_of_code = function
   | 2 -> Exec.Target Arch.Sparc
   | 3 -> Exec.Target Arch.Ppc
   | 4 -> Exec.Target Arch.X86
+  | 5 -> Exec.Fast
   | n -> raise (Bad (Printf.sprintf "bad engine code %d" n))
 
 let wmode b = function
   | M_default -> w8 b 0
-  | M_policy { pmode; protect_reads } ->
+  | M_policy { pmode; protect_reads; pad } ->
       w8 b 1;
       w8 b (match pmode with Policy.Off -> 0 | Policy.Sandbox -> 1 | Policy.Guard -> 2);
-      wbool b protect_reads
+      wbool b protect_reads;
+      w8 b (Policy.pad_code pad)
   | M_native tier ->
       w8 b 2;
       w8 b (match tier with Machine.Gcc -> 0 | Machine.Cc -> 1)
@@ -227,7 +230,12 @@ let rmode c =
         | n -> raise (Bad (Printf.sprintf "bad policy mode %d" n))
       in
       let protect_reads = rbool c in
-      M_policy { pmode; protect_reads }
+      let pad =
+        match Policy.pad_of_code (r8 c) with
+        | Some p -> p
+        | None -> raise (Bad "bad pad code")
+      in
+      M_policy { pmode; protect_reads; pad }
   | 2 ->
       M_native
         (match r8 c with

@@ -66,7 +66,11 @@ val fault_code_of_message : string -> int option
     baseline (no sandboxing). *)
 type mode_spec =
   | M_default
-  | M_policy of { pmode : Omni_sfi.Policy.mode; protect_reads : bool }
+  | M_policy of {
+      pmode : Omni_sfi.Policy.mode;
+      protect_reads : bool;
+      pad : Omni_sfi.Policy.pad;
+    }
   | M_native of Machine.tier
 
 (** A [Run] request: which stored module, on which engine, under which

@@ -138,10 +138,10 @@ let req_name = function
    sfi flag exactly as Api.run does — the bit-identity guarantee. *)
 let resolve_mode = function
   | M.M_default -> None
-  | M.M_policy { pmode; protect_reads } ->
+  | M.M_policy { pmode; protect_reads; pad } ->
       Some
         (Omni_targets.Machine.Mobile
-           (Omni_sfi.Policy.make ~mode:pmode ~protect_reads ()))
+           (Omni_sfi.Policy.make ~mode:pmode ~protect_reads ~pad ()))
   | M.M_native tier -> Some (Omni_targets.Machine.Native tier)
 
 (* The safety certificate the cache holds for this run configuration, if
@@ -150,6 +150,7 @@ let resolve_mode = function
 let certificate_for t ~engine ~sfi ~mode h =
   match engine with
   | Omni_service.Exec.Interp -> None
+  | Omni_service.Exec.Fast -> None
   | Omni_service.Exec.Target arch ->
       Service.certificate ~sfi ?mode ~arch t.svc h
 

@@ -1,0 +1,473 @@
+(* Pre-decoded threaded interpreter: the fast execution path.
+
+   The reference interpreter ([Interp]) re-fetches and re-matches every
+   instruction on every dynamic execution. Here the wire code is compiled
+   ONCE into an array of OCaml closures (closure threading): operand
+   decoding, width dispatch, and static branch-target resolution all
+   happen at compile time, so the dispatch loop per instruction is an
+   array load and an indirect call.
+
+   A peephole pass over the decoded stream additionally fuses adjacent
+   pairs into superinstructions, mirroring the ISA's own
+   compare-and-branch design (paper section 3.4):
+
+     - cmp+br    Binop(Slt/Sltu) immediately consumed by a branch on the
+                 flag register: the flag value flows through a local
+                 instead of a register re-read;
+     - li+op     Li immediately consumed by a Binop: the constant is
+                 folded into the operand position;
+     - load+use  a load whose destination the next ALU op consumes;
+     - push/pop  sp-adjust/stack-access pairs (both orders).
+
+   Equivalence contract (enforced by test/test_fastpath.ml): every
+   observable of [Interp.run] is preserved BIT-IDENTICALLY — outcome,
+   fault kind and machine state at delivery, [icount], fuel accounting,
+   and watchdog poll cadence. The protocol that guarantees it:
+
+     - closures own the [icount] increment (one per SOURCE instruction,
+       before the instruction's effects, exactly like [Interp.step]);
+     - fuel is charged per source instruction: a fused pair reports
+       [consumed = 2], and the dispatcher falls back to the unfused
+       closure when remaining fuel cannot cover the whole pair;
+     - the watchdog is polled once per source instruction: the dispatch
+       loop polls before the first half, the fused closure itself polls
+       between the halves;
+     - a fused closure updates [pc] after its first half, so a fault (or
+       watchdog expiry) between the halves delivers with exactly the
+       machine state the reference interpreter would have;
+     - rare instructions (floating point, Ext/Ins) fall back to
+       [Interp.step], which is definitionally equivalent.
+
+   Compiled programs are immutable and carry no run state: one [program]
+   can back any number of concurrent runs (the service's store compiles
+   once per module digest and shares the result across domains). *)
+
+module W = Omni_util.Word32
+
+type ctx = {
+  st : Interp.t;
+  host : Interp.host_iface;
+  poll : unit -> unit;
+  mutable consumed : int;
+      (* fuel units the current dispatch has committed to: 1 on entry,
+         bumped to 2 by a fused closure once its first half retired *)
+}
+
+type op = ctx -> unit
+
+type program = {
+  ops : op array;  (* dispatch table; fused closures at pair heads *)
+  plain : op array;  (* never-fused closure per instruction *)
+  width : int array;  (* fuel consumed by [ops.(i)]: 1 or 2 *)
+  n_cmp_br : int;
+  n_li_op : int;
+  n_load_use : int;
+  n_push_pop : int;
+}
+
+let length p = Array.length p.ops
+let fused p = p.n_cmp_br + p.n_li_op + p.n_load_use + p.n_push_pop
+
+let fused_by_rule p =
+  [
+    ("cmp_br", p.n_cmp_br);
+    ("li_op", p.n_li_op);
+    ("load_use", p.n_load_use);
+    ("push_pop", p.n_push_pop);
+  ]
+
+(* --- compilation of single instructions --- *)
+
+let exec_violation addr =
+  Fault.Vm_fault (Fault.Access_violation { addr; access = Fault.Execute })
+
+(* Resolve a static branch label the way [Interp.jump_index] would:
+   either an index, or the exact fault a taken branch raises. *)
+let static_target n l : (int, exn) result =
+  match
+    if l >= Layout.code_base && l < Layout.code_base + (4 * n) then
+      Exe.index_of_addr l
+    else None
+  with
+  | Some i -> Ok i
+  | None -> Error (exec_violation l)
+
+let loader = function
+  | Instr.W8, false -> Memory.load8
+  | Instr.W8, true -> fun m a -> W.sext8 (Memory.load8 m a)
+  | Instr.W16, false -> Memory.load16
+  | Instr.W16, true -> fun m a -> W.sext16 (Memory.load16 m a)
+  | Instr.W32, _ -> Memory.load32
+
+let storer = function
+  | Instr.W8 -> Memory.store8
+  | Instr.W16 -> Memory.store16
+  | Instr.W32 -> Memory.store32
+
+(* The unfused closure for instruction [i]. Mirrors [Interp.step] case by
+   case: icount is incremented first, [pc] is written exactly where the
+   reference interpreter writes it, fault order is preserved. *)
+let compile_plain n i (ins : int Instr.t) : op =
+  let next = i + 1 in
+  match ins with
+  | Instr.Binop (op, rd, rs1, rs2) ->
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        Interp.set_reg st rd
+          (Instr.eval_binop op (Interp.get_reg st rs1) (Interp.get_reg st rs2));
+        st.Interp.pc <- next
+  | Instr.Binopi (op, rd, rs1, imm) ->
+      let w = W.of_int imm in
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        Interp.set_reg st rd (Instr.eval_binop op (Interp.get_reg st rs1) w);
+        st.Interp.pc <- next
+  | Instr.Li (rd, imm) ->
+      let w = W.of_int imm in
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        Interp.set_reg st rd w;
+        st.Interp.pc <- next
+  | Instr.Load (w, signed, rd, base, off) ->
+      let load = loader (w, signed) in
+      let woff = W.of_int off in
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        let addr = W.to_unsigned (W.add (Interp.get_reg st base) woff) in
+        Interp.set_reg st rd (load st.Interp.mem addr);
+        st.Interp.pc <- next
+  | Instr.Store (w, rv, base, off) ->
+      let store = storer w in
+      let woff = W.of_int off in
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        let addr = W.to_unsigned (W.add (Interp.get_reg st base) woff) in
+        store st.Interp.mem addr (Interp.get_reg st rv);
+        st.Interp.pc <- next
+  | Instr.Br (cond, rs1, rs2, l) -> (
+      match static_target n l with
+      | Ok ti ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            if
+              Instr.eval_cond cond (Interp.get_reg st rs1)
+                (Interp.get_reg st rs2)
+            then st.Interp.pc <- ti
+            else st.Interp.pc <- next
+      | Error e ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            if
+              Instr.eval_cond cond (Interp.get_reg st rs1)
+                (Interp.get_reg st rs2)
+            then raise e
+            else st.Interp.pc <- next)
+  | Instr.Bri (cond, rs1, imm, l) -> (
+      let w = W.of_int imm in
+      match static_target n l with
+      | Ok ti ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            if Instr.eval_cond cond (Interp.get_reg st rs1) w then
+              st.Interp.pc <- ti
+            else st.Interp.pc <- next
+      | Error e ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            if Instr.eval_cond cond (Interp.get_reg st rs1) w then raise e
+            else st.Interp.pc <- next)
+  | Instr.J l -> (
+      match static_target n l with
+      | Ok ti ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            st.Interp.pc <- ti
+      | Error e ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            raise e)
+  | Instr.Jal l -> (
+      let ra_val = Exe.code_addr next in
+      match static_target n l with
+      | Ok ti ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            Interp.set_reg st Reg.ra ra_val;
+            st.Interp.pc <- ti
+      | Error e ->
+          fun c ->
+            let st = c.st in
+            st.Interp.icount <- st.Interp.icount + 1;
+            Interp.set_reg st Reg.ra ra_val;
+            raise e)
+  | Instr.Jr rs ->
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        st.Interp.pc <-
+          Interp.jump_index st (W.to_unsigned (Interp.get_reg st rs))
+  | Instr.Jalr (rd, rs) ->
+      let ra_val = Exe.code_addr next in
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        let target =
+          Interp.jump_index st (W.to_unsigned (Interp.get_reg st rs))
+        in
+        Interp.set_reg st rd ra_val;
+        st.Interp.pc <- target
+  | Instr.Hcall idx ->
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        st.Interp.pc <- next;
+        (match c.host.Interp.on_hcall st idx with
+        | Interp.Continue -> ()
+        | Interp.Exit code -> st.Interp.exited <- Some code)
+  | Instr.Trap t ->
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        raise (Fault.Vm_fault (Fault.Explicit_trap t))
+  | Instr.Nop ->
+      fun c ->
+        let st = c.st in
+        st.Interp.icount <- st.Interp.icount + 1;
+        st.Interp.pc <- next
+  | Instr.Fload _ | Instr.Fstore _ | Instr.Fbinop _ | Instr.Funop _
+  | Instr.Fcmp _ | Instr.Fli _ | Instr.Cvt_f_i _ | Instr.Cvt_i_f _
+  | Instr.Cvt_d_s _ | Instr.Cvt_s_d _ | Instr.Ext _ | Instr.Ins _ ->
+      (* rare on the hot paths: defer to the reference interpreter, which
+         is equivalent by definition (it refetches text.(pc), the same
+         array the fast path was compiled from) *)
+      fun c -> Interp.step c.host c.st
+
+(* --- fusion --- *)
+
+type rule = R_cmp_br | R_li_op | R_load_use | R_push_pop
+
+(* First halves must retire unconditionally to [i+1] and touch neither
+   [pc] nor [exited]. *)
+let straightline = function
+  | Instr.Binop _ | Instr.Binopi _ | Instr.Li _ | Instr.Load _
+  | Instr.Store _ ->
+      true
+  | _ -> false
+
+let reads r (ins : int Instr.t) =
+  match ins with
+  | Instr.Binop (_, _, rs1, rs2) -> rs1 = r || rs2 = r
+  | Instr.Binopi (_, _, rs1, _) -> rs1 = r
+  | _ -> false
+
+let sp_adjust = function
+  | Instr.Binopi ((Instr.Add | Instr.Sub), rd, rs, _) ->
+      rd = Reg.sp && rs = Reg.sp
+  | _ -> false
+
+let rule_of (i1 : int Instr.t) (i2 : int Instr.t) : rule option =
+  match (i1, i2) with
+  | Instr.Binop ((Instr.Slt | Instr.Sltu), rd, _, _), Instr.Bri (_, rs, _, _)
+    when rd <> Reg.zero && rs = rd ->
+      Some R_cmp_br
+  | Instr.Binop ((Instr.Slt | Instr.Sltu), rd, _, _), Instr.Br (_, rs1, rs2, _)
+    when rd <> Reg.zero && rs1 = rd && rs2 = Reg.zero ->
+      Some R_cmp_br
+  | Instr.Li (rd, _), Instr.Binop _ when rd <> Reg.zero && reads rd i2 ->
+      Some R_li_op
+  | Instr.Load (_, _, rd, _, _), (Instr.Binop _ | Instr.Binopi _)
+    when rd <> Reg.zero && reads rd i2 ->
+      Some R_load_use
+  | i1, (Instr.Store (_, _, b, _) | Instr.Load (_, _, _, b, _))
+    when sp_adjust i1 && b = Reg.sp ->
+      Some R_push_pop
+  | (Instr.Store (_, _, b, _) | Instr.Load (_, _, _, b, _)), i2
+    when sp_adjust i2 && b = Reg.sp ->
+      Some R_push_pop
+  | _ -> None
+
+(* Generic superinstruction: run the two unfused closures back to back,
+   polling (and committing the second fuel unit) between them. [p1] ends
+   having set [pc <- i+1], so a fault or poll expiry inside the seam or
+   the second half delivers with the reference interpreter's state. *)
+let fuse_generic (p1 : op) (p2 : op) : op =
+ fun c ->
+  p1 c;
+  c.consumed <- 2;
+  c.poll ();
+  p2 c
+
+(* Specialized cmp+br: the 0/1 flag flows through a local. The register
+   write is kept (later code may read it); the branch re-uses the flag
+   without a register read. *)
+let fuse_cmp_br i op rd a b (branch : ctx -> int -> unit) : op =
+  let mid = i + 1 in
+  fun c ->
+    let st = c.st in
+    st.Interp.icount <- st.Interp.icount + 1;
+    let flag =
+      Instr.eval_binop op (Interp.get_reg st a) (Interp.get_reg st b)
+    in
+    Interp.set_reg st rd flag;
+    st.Interp.pc <- mid;
+    c.consumed <- 2;
+    c.poll ();
+    st.Interp.icount <- st.Interp.icount + 1;
+    branch c flag
+
+(* Specialized li+op: the constant is folded into the operand position
+   (no register re-read); the register write is kept. *)
+let fuse_li_op i rd v op2 rd2 rs1 rs2 n2 : op =
+  let mid = i + 1 in
+  let read1 =
+    if rs1 = rd then fun _ -> v else fun c -> Interp.get_reg c.st rs1
+  in
+  let read2 =
+    if rs2 = rd then fun _ -> v else fun c -> Interp.get_reg c.st rs2
+  in
+  fun c ->
+    let st = c.st in
+    st.Interp.icount <- st.Interp.icount + 1;
+    Interp.set_reg st rd v;
+    st.Interp.pc <- mid;
+    c.consumed <- 2;
+    c.poll ();
+    st.Interp.icount <- st.Interp.icount + 1;
+    Interp.set_reg st rd2 (Instr.eval_binop op2 (read1 c) (read2 c));
+    st.Interp.pc <- n2
+
+let compile (text : int Instr.t array) : program =
+  let n = Array.length text in
+  let plain = Array.init n (fun i -> compile_plain n i text.(i)) in
+  let ops = Array.copy plain in
+  let width = Array.make n 1 in
+  let n_cmp_br = ref 0
+  and n_li_op = ref 0
+  and n_load_use = ref 0
+  and n_push_pop = ref 0 in
+  for i = 0 to n - 2 do
+    let i1 = text.(i) and i2 = text.(i + 1) in
+    if straightline i1 then begin
+      match rule_of i1 i2 with
+      | None -> ()
+      | Some rule ->
+          (let fused =
+             match (rule, i1, i2) with
+             | R_cmp_br, Instr.Binop (op, rd, a, b), Instr.Bri (cond, _, imm, l)
+               ->
+                 let w = W.of_int imm in
+                 let nxt2 = i + 2 in
+                 let branch =
+                   match static_target n l with
+                   | Ok ti ->
+                       fun c flag ->
+                         if Instr.eval_cond cond flag w then c.st.Interp.pc <- ti
+                         else c.st.Interp.pc <- nxt2
+                   | Error e ->
+                       fun c flag ->
+                         if Instr.eval_cond cond flag w then raise e
+                         else c.st.Interp.pc <- nxt2
+                 in
+                 fuse_cmp_br i op rd a b branch
+             | R_cmp_br, Instr.Binop (op, rd, a, b), Instr.Br (cond, _, _, l) ->
+                 (* second operand is r0 = 0 (guaranteed by [rule_of]) *)
+                 let nxt2 = i + 2 in
+                 let branch =
+                   match static_target n l with
+                   | Ok ti ->
+                       fun c flag ->
+                         if Instr.eval_cond cond flag 0 then c.st.Interp.pc <- ti
+                         else c.st.Interp.pc <- nxt2
+                   | Error e ->
+                       fun c flag ->
+                         if Instr.eval_cond cond flag 0 then raise e
+                         else c.st.Interp.pc <- nxt2
+                 in
+                 fuse_cmp_br i op rd a b branch
+             | R_li_op, Instr.Li (rd, imm), Instr.Binop (op2, rd2, rs1, rs2) ->
+                 fuse_li_op i rd (W.of_int imm) op2 rd2 rs1 rs2 (i + 2)
+             | _ -> fuse_generic plain.(i) plain.(i + 1)
+           in
+           ops.(i) <- fused);
+          width.(i) <- 2;
+          incr
+            (match rule with
+            | R_cmp_br -> n_cmp_br
+            | R_li_op -> n_li_op
+            | R_load_use -> n_load_use
+            | R_push_pop -> n_push_pop)
+    end
+  done;
+  {
+    ops;
+    plain;
+    width;
+    n_cmp_br = !n_cmp_br;
+    n_li_op = !n_li_op;
+    n_load_use = !n_load_use;
+    n_push_pop = !n_push_pop;
+  }
+
+(* --- the dispatch loop --- *)
+
+let run ?(fuel = max_int) ?watchdog (host : Interp.host_iface) (p : program)
+    (st : Interp.t) : Interp.outcome =
+  (* countdown polling, identical to [Interp.run] *)
+  let poll =
+    match watchdog with
+    | None -> fun () -> ()
+    | Some w ->
+        let every = Watchdog.poll_every w in
+        let left = ref every in
+        fun () ->
+          decr left;
+          if !left <= 0 then begin
+            left := every;
+            Watchdog.check w
+          end
+  in
+  let c = { st; host; poll; consumed = 1 } in
+  let ops = p.ops and plain = p.plain and width = p.width in
+  let n = Array.length ops in
+  let rec go fuel =
+    if fuel <= 0 then Interp.Out_of_fuel
+    else
+      match st.Interp.exited with
+      | Some code -> Interp.Exited code
+      | None -> (
+          c.consumed <- 1;
+          match
+            c.poll ();
+            let pc = st.Interp.pc in
+            if pc < 0 || pc >= n then
+              raise (exec_violation (Exe.code_addr pc));
+            (* a fused pair only runs when fuel covers both halves; with
+               1 fuel left the reference interpreter retires exactly the
+               first instruction, so fall back to the unfused closure *)
+            (if fuel >= Array.unsafe_get width pc then Array.unsafe_get ops pc
+             else Array.unsafe_get plain pc)
+              c
+          with
+          | () -> go (fuel - c.consumed)
+          | exception Fault.Vm_fault f -> (
+              match Interp.deliver_fault st f with
+              | () -> go (fuel - c.consumed)
+              | exception Fault.Vm_fault f -> Interp.Faulted f)
+          | exception W.Division_by_zero -> (
+              match Interp.deliver_fault st Fault.Division_by_zero with
+              | () -> go (fuel - c.consumed)
+              | exception Fault.Vm_fault f -> Interp.Faulted f))
+  in
+  go fuel

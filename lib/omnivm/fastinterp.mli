@@ -1,0 +1,41 @@
+(** Pre-decoded threaded interpreter: the fast execution path.
+
+    The wire code is compiled once into an array of OCaml closures
+    (closure threading), with a peephole pass fusing adjacent pairs into
+    superinstructions (compare-and-branch, constant-fold-into-operand,
+    load-use, push/pop). {!run} is observably BIT-IDENTICAL to
+    {!Interp.run} on the same machine state: same outcome, same fault
+    kind and machine state at delivery, same [icount], same fuel
+    accounting (charged per source instruction), same watchdog poll
+    cadence. The differential harness in [test/test_fastpath.ml] pins
+    this contract.
+
+    Compiled programs are immutable and carry no run state: one program
+    may back any number of concurrent runs of the same module. *)
+
+type program
+
+val compile : int Instr.t array -> program
+(** Pre-decode and fuse a linked text segment (typically
+    [exe.Exe.text]). Pure; cost is linear in the program. *)
+
+val length : program -> int
+(** Number of source instructions covered. *)
+
+val fused : program -> int
+(** Number of fused pairs the peephole pass selected. *)
+
+val fused_by_rule : program -> (string * int) list
+(** Fusion counts per rule: [cmp_br], [li_op], [load_use], [push_pop]. *)
+
+val run :
+  ?fuel:int ->
+  ?watchdog:Watchdog.t ->
+  Interp.host_iface ->
+  program ->
+  Interp.t ->
+  Interp.outcome
+(** Run [st] to completion under the pre-decoded program, which must
+    have been compiled from the same text array the state executes
+    ([st.Interp.text]). Fault delivery, fuel, and watchdog semantics are
+    exactly {!Interp.run}'s. *)

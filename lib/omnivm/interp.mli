@@ -34,6 +34,17 @@ val step : host_iface -> t -> unit
 (** Execute one instruction.
     @raise Fault.Vm_fault on faults (not yet delivered to any handler). *)
 
+val jump_index : t -> int -> int
+(** Validate a code address and return its instruction index.
+    @raise Fault.Vm_fault (execute access violation) on addresses outside
+    the text or misaligned. *)
+
+val deliver_fault : t -> Fault.t -> unit
+(** Deliver a fault to the module's registered handler (clearing it and
+    passing the fault code in the first argument register), or re-raise
+    [Fault.Vm_fault] when no handler is set. Shared with
+    {!Fastinterp}, which must fault-deliver bit-identically. *)
+
 type outcome = Exited of int | Faulted of Fault.t | Out_of_fuel
 
 val run : ?fuel:int -> ?watchdog:Watchdog.t -> host_iface -> t -> outcome

@@ -76,9 +76,8 @@ let load_wire ?allow ?map_host_region ?stack_size bytes =
   let exe = Trace.phase "decode" (fun () -> Wire.decode bytes) in
   load ?allow ?map_host_region ?stack_size exe
 
-(* Convenience: run a loaded image in the OmniVM reference interpreter. *)
-let run_interp ?(fuel = 2_000_000_000) ?watchdog (img : image) =
-  let interp = Interp.create img.exe img.mem in
+(* The host-call interface both interpreter engines run under. *)
+let host_iface (img : image) : Interp.host_iface =
   let on_hcall (st : Interp.t) index : Interp.hcall_outcome =
     let req =
       {
@@ -96,4 +95,23 @@ let run_interp ?(fuel = 2_000_000_000) ?watchdog (img : image) =
         st.Interp.handler <- addr;
         Interp.Continue
   in
-  (Interp.run ~fuel ?watchdog { Interp.on_hcall } interp, interp)
+  { Interp.on_hcall }
+
+(* Convenience: run a loaded image in the OmniVM reference interpreter. *)
+let run_interp ?(fuel = 2_000_000_000) ?watchdog (img : image) =
+  let interp = Interp.create img.exe img.mem in
+  (Interp.run ~fuel ?watchdog (host_iface img) interp, interp)
+
+(* Run a loaded image under the pre-decoded fast interpreter. [program]
+   (when given) must have been compiled from this image's text; serving
+   hosts compile once per module digest and share it across runs. *)
+let run_fast ?(fuel = 2_000_000_000) ?watchdog ?program (img : image) =
+  let program =
+    match program with
+    | Some p -> p
+    | None ->
+        Trace.phase "predecode" (fun () ->
+            Fastinterp.compile img.exe.Exe.text)
+  in
+  let st = Interp.create img.exe img.mem in
+  (Fastinterp.run ~fuel ?watchdog (host_iface img) program st, st)

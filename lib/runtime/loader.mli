@@ -54,3 +54,18 @@ val run_interp :
 (** Execute the image under the OmniVM reference interpreter with this
     host's services. [watchdog] bounds wall-clock time cooperatively
     (see {!Omnivm.Watchdog}). *)
+
+val host_iface : image -> Interp.host_iface
+(** The host-call interface {!run_interp} and {!run_fast} execute
+    under. *)
+
+val run_fast :
+  ?fuel:int ->
+  ?watchdog:Omnivm.Watchdog.t ->
+  ?program:Fastinterp.program ->
+  image ->
+  Interp.outcome * Interp.t
+(** Execute under the pre-decoded fast interpreter ({!Omnivm.Fastinterp}):
+    observably identical to {!run_interp}. [program] must have been
+    compiled from this image's text; omitted, the text is compiled on the
+    spot (traced as the ["predecode"] phase). *)

@@ -13,6 +13,8 @@ type t = {
   modules : Metrics.counter;
   dedup_hits : Metrics.counter;
   bytes_stored : Metrics.counter;
+  predecode_hits : Metrics.counter;
+  predecode_misses : Metrics.counter;
   (* translation cache *)
   hits : Metrics.counter;
   misses : Metrics.counter;
@@ -42,6 +44,8 @@ let create ?metrics () =
     modules = Metrics.counter m "service.modules";
     dedup_hits = Metrics.counter m "service.dedup_hits";
     bytes_stored = Metrics.counter m "service.bytes_stored";
+    predecode_hits = Metrics.counter m "vm.predecode.hit";
+    predecode_misses = Metrics.counter m "vm.predecode.miss";
     hits = Metrics.counter m "service.cache.hits";
     misses = Metrics.counter m "service.cache.misses";
     evictions = Metrics.counter m "service.cache.evictions";
@@ -70,6 +74,8 @@ type snapshot = {
   s_modules : int;
   s_dedup_hits : int;
   s_bytes_stored : int;
+  s_predecode_hits : int;
+  s_predecode_misses : int;
   s_hits : int;
   s_misses : int;
   s_evictions : int;
@@ -94,6 +100,8 @@ let snapshot t : snapshot =
     s_modules = Metrics.value t.modules;
     s_dedup_hits = Metrics.value t.dedup_hits;
     s_bytes_stored = Metrics.value t.bytes_stored;
+    s_predecode_hits = Metrics.value t.predecode_hits;
+    s_predecode_misses = Metrics.value t.predecode_misses;
     s_hits = Metrics.value t.hits;
     s_misses = Metrics.value t.misses;
     s_evictions = Metrics.value t.evictions;
@@ -122,6 +130,9 @@ let render s =
     "module store:      %d modules (%d submits, %d deduped, %d bytes)\n"
     s.s_modules s.s_submits s.s_dedup_hits s.s_bytes_stored;
   Printf.bprintf b
+    "predecode cache:   %d hits / %d misses\n"
+    s.s_predecode_hits s.s_predecode_misses;
+  Printf.bprintf b
     "translation cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n"
     s.s_hits s.s_misses (100.0 *. hit_rate s) s.s_evictions;
   Printf.bprintf b
@@ -142,8 +153,9 @@ let pp fmt s = Format.pp_print_string fmt (render s)
 
 let to_json s =
   Printf.sprintf
-    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cert_checks\":%d,\"cert_full_verify\":%d,\"verify_fail\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d,\"quarantine_trips\":%d,\"quarantine_refused\":%d,\"quarantine_cleared\":%d,\"crash_reports\":%d,\"deadline_exceeded\":%d}"
-    s.s_submits s.s_modules s.s_dedup_hits s.s_bytes_stored s.s_hits
+    "{\"submits\":%d,\"modules\":%d,\"dedup_hits\":%d,\"bytes_stored\":%d,\"predecode_hits\":%d,\"predecode_misses\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"evictions\":%d,\"translations\":%d,\"verifications\":%d,\"cert_checks\":%d,\"cert_full_verify\":%d,\"verify_fail\":%d,\"cold_translate_s\":%.6f,\"warm_admit_s\":%.6f,\"instantiations\":%d,\"quarantine_trips\":%d,\"quarantine_refused\":%d,\"quarantine_cleared\":%d,\"crash_reports\":%d,\"deadline_exceeded\":%d}"
+    s.s_submits s.s_modules s.s_dedup_hits s.s_bytes_stored
+    s.s_predecode_hits s.s_predecode_misses s.s_hits
     s.s_misses (hit_rate s) s.s_evictions s.s_translations s.s_verifications
     s.s_cert_checks s.s_cert_full_verify s.s_verify_fail
     s.s_cold_translate_s s.s_warm_admit_s s.s_instantiations

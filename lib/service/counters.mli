@@ -16,6 +16,10 @@ type t = {
   modules : Metrics.counter;  (** distinct modules admitted *)
   dedup_hits : Metrics.counter;  (** submits deduplicated by digest *)
   bytes_stored : Metrics.counter;  (** wire bytes held (deduplicated) *)
+  predecode_hits : Metrics.counter;
+      (** fast-engine runs served a shared pre-decoded program *)
+  predecode_misses : Metrics.counter;
+      (** fast-engine runs that compiled the program (once per digest) *)
   (* translation cache *)
   hits : Metrics.counter;
   misses : Metrics.counter;
@@ -55,6 +59,8 @@ type snapshot = {
   s_modules : int;
   s_dedup_hits : int;
   s_bytes_stored : int;
+  s_predecode_hits : int;
+  s_predecode_misses : int;
   s_hits : int;
   s_misses : int;
   s_evictions : int;

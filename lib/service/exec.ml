@@ -21,12 +21,14 @@ module Trace = Omni_obs.Trace
 
 type engine =
   | Interp
+  | Fast
   | Target of Arch.t
 
-let valid_engines = "interp, mips, sparc, ppc, x86"
+let valid_engines = "interp, fast, mips, sparc, ppc, x86"
 
 let engine_of_string = function
   | "interp" -> Ok Interp
+  | "fast" -> Ok Fast
   | s -> (
       match Arch.of_string s with
       | Some a -> Ok (Target a)
@@ -37,6 +39,7 @@ let engine_of_string = function
 
 let engine_name = function
   | Interp -> "interp"
+  | Fast -> "fast"
   | Target a -> Arch.name a
 
 (* Per-architecture mobile-translator optimization defaults, following the
@@ -179,6 +182,35 @@ let run_interp ?(fuel = max_int) ?watchdog (img : Omni_runtime.Loader.image) :
   record_exec ~engine:"interp" img r;
   r
 
+let run_fast ?(fuel = max_int) ?watchdog ?program
+    (img : Omni_runtime.Loader.image) : run_result =
+  Trace.phase "run" ~attrs:[ ("engine", "fast") ] @@ fun () ->
+  let outcome, st = Omni_runtime.Loader.run_fast ~fuel ?watchdog ?program img in
+  let outcome' =
+    match outcome with
+    | Omnivm.Interp.Exited c -> Machine.Exited c
+    | Omnivm.Interp.Faulted f -> Machine.Faulted f
+    | Omnivm.Interp.Out_of_fuel -> Machine.Out_of_fuel
+  in
+  let crash =
+    match outcome' with
+    | Machine.Faulted f -> Some (crash_of_interp st f)
+    | Machine.Exited _ | Machine.Out_of_fuel -> None
+  in
+  let r =
+    {
+      output = Omni_runtime.Host.output img.Omni_runtime.Loader.host;
+      exit_code = (match outcome' with Machine.Exited c -> c | _ -> -1);
+      outcome = outcome';
+      instructions = st.Omnivm.Interp.icount;
+      cycles = st.Omnivm.Interp.icount;
+      stats = None;
+      crash;
+    }
+  in
+  record_exec ~engine:"fast" img r;
+  r
+
 (* Translate a loaded module for a target architecture. *)
 type translated =
   | T_risc of Risc.program
@@ -261,17 +293,29 @@ let run_translated ?(fuel = max_int) ?watchdog (tr : translated)
 
 (* --- structural identity and verification of translated programs --- *)
 
-let verify (tr : translated) : (unit, string) result =
+let guard_zone_of_mode (mode : Machine.mode) =
+  match mode with
+  | Machine.Mobile p -> Omni_sfi.Policy.guard_zone p
+  | Machine.Native _ -> Omni_sfi.Policy.safe_sp_disp
+
+let verify ?mode (tr : translated) : (unit, string) result =
   Trace.phase "verify" ~attrs:[ ("arch", arch_of_translated tr) ]
   @@ fun () ->
+  (* [mode] widens the displacement bound for [Pad_guard8] translations;
+     omitting it keeps the default guard zone. *)
+  let max_disp = Option.map guard_zone_of_mode mode in
   let fail { Omni_sfi.Verifier.index; reason } =
     Error (Printf.sprintf "instruction %d: %s" index reason)
   in
   match tr with
   | T_risc p -> (
-      match Risc_verify.verify p with Ok () -> Ok () | Error f -> fail f)
+      match Risc_verify.verify ?max_disp p with
+      | Ok () -> Ok ()
+      | Error f -> fail f)
   | T_x86 p -> (
-      match X86_verify.verify p with Ok () -> Ok () | Error f -> fail f)
+      match X86_verify.verify ?max_disp p with
+      | Ok () -> Ok ()
+      | Error f -> fail f)
 
 let equal_translated (a : translated) (b : translated) =
   match (a, b) with
@@ -298,25 +342,27 @@ let certify ~(module_digest : Omni_util.Fnv64.t) ~(mode : Machine.mode)
     (Omni_cert.Certificate.t, string) result =
   Trace.phase "certify" ~attrs:[ ("arch", arch_of_translated tr) ]
   @@ fun () ->
-  let protect_reads =
+  let protect_reads, pad =
     match mode with
-    | Machine.Mobile p -> p.Omni_sfi.Policy.protect_reads
-    | Machine.Native _ -> false
+    | Machine.Mobile p ->
+        (p.Omni_sfi.Policy.protect_reads, p.Omni_sfi.Policy.pad)
+    | Machine.Native _ -> (false, Omni_sfi.Policy.Pad_none)
   in
+  let max_disp = Omni_sfi.Policy.guard_zone_of_pad pad in
   let fail { Omni_sfi.Verifier.index; reason } =
     Error (Printf.sprintf "instruction %d: %s" index reason)
   in
   let mk n_code obs =
     Omni_cert.Certificate.make ~arch:(arch_of tr) ~module_digest
-      ~code_fp:(fingerprint tr) ~protect_reads ~opts ~n_code obs
+      ~code_fp:(fingerprint tr) ~protect_reads ~pad ~opts ~n_code obs
   in
   match tr with
   | T_risc p -> (
-      match Risc_verify.certify p with
+      match Risc_verify.certify ~max_disp p with
       | Ok obs -> Ok (mk (Array.length p.Risc.code) obs)
       | Error f -> fail f)
   | T_x86 p -> (
-      match X86_verify.certify p with
+      match X86_verify.certify ~max_disp p with
       | Ok obs -> Ok (mk (Array.length p.X86.code) obs)
       | Error f -> fail f)
 

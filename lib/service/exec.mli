@@ -9,13 +9,15 @@
 module Arch = Omni_targets.Arch
 module Machine = Omni_targets.Machine
 
-(** An execution engine: the OmniVM reference interpreter, or load-time
-    translation to a simulated target processor. *)
-type engine = Interp | Target of Arch.t
+(** An execution engine: the OmniVM reference interpreter, the
+    pre-decoded fast-path interpreter ({!Omnivm.Fastinterp}), or
+    load-time translation to a simulated target processor. *)
+type engine = Interp | Fast | Target of Arch.t
 
 val engine_of_string : string -> (engine, string) result
-(** Recognizes ["interp"], ["mips"], ["sparc"], ["ppc"], ["x86"]; the
-    error message names the valid engines (for CLI error reporting). *)
+(** Recognizes ["interp"], ["fast"], ["mips"], ["sparc"], ["ppc"],
+    ["x86"]; the error message names the valid engines (for CLI error
+    reporting). *)
 
 val valid_engines : string
 (** The recognized engine names, comma-separated (for error messages). *)
@@ -63,6 +65,18 @@ val run_interp :
   Omni_runtime.Loader.image ->
   run_result
 
+val run_fast :
+  ?fuel:int ->
+  ?watchdog:Omnivm.Watchdog.t ->
+  ?program:Omnivm.Fastinterp.program ->
+  Omni_runtime.Loader.image ->
+  run_result
+(** Run under the pre-decoded threaded interpreter. Observably identical
+    to {!run_interp} (same outcome, fault, output, instruction and fuel
+    accounting); pass [program] to reuse a pre-compiled decode (see
+    {!Omni_service.Store.predecoded}), otherwise the image's code is
+    compiled on the spot. *)
+
 (** A translated module, ready to execute on its target simulator. *)
 type translated =
   | T_risc of Omni_targets.Risc.program
@@ -84,10 +98,13 @@ val run_translated :
   Omni_runtime.Loader.image ->
   run_result
 
-val verify : translated -> (unit, string) result
+val verify : ?mode:Machine.mode -> translated -> (unit, string) result
 (** Run the target's static SFI verifier over the translated code — the
     cheap admission check a distrustful host applies before executing
-    (and before reusing cached) sandboxed code. *)
+    (and before reusing cached) sandboxed code. Pass the translation
+    [mode] so the displacement bound matches its padding variant
+    ([Pad_guard8] widens the guard zone); omitted, the default bound is
+    used. *)
 
 val equal_translated : translated -> translated -> bool
 (** Structural equality. Translation is a pure function of

@@ -142,6 +142,10 @@ let instantiate ?(engine = Exec.Interp) ?(sfi = true) ?mode ?opts ?fuel
   let res =
     match engine with
     | Exec.Interp -> Exec.run_interp ?fuel ?watchdog img
+    | Exec.Fast ->
+        Exec.run_fast ?fuel ?watchdog
+          ~program:(Store.predecoded t.store h)
+          img
     | Exec.Target arch ->
         let mode, opts = resolve_config ~sfi ?mode ?opts arch in
         let key = Cache.key ~digest:(Store.digest h) ~arch ~mode ~opts in

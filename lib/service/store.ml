@@ -21,7 +21,14 @@ type entry = {
    returned by a lookup stays valid after the lock is dropped. Shard
    locks are leaf-level: nothing is called while holding one except the
    decoder/blueprint builder (pure) and atomic counter bumps. *)
-type shard = { mu : Mutex.t; tbl : (Fnv64.t, entry) Hashtbl.t }
+type shard = {
+  mu : Mutex.t;
+  tbl : (Fnv64.t, entry) Hashtbl.t;
+  (* pre-decoded fast-interpreter programs, filled lazily on the first
+     fast-engine run of a digest. Programs are immutable and carry no run
+     state, so one compile is shared by every concurrent run. *)
+  ptbl : (Fnv64.t, Omnivm.Fastinterp.program) Hashtbl.t;
+}
 
 type t = {
   shards : shard array; (* power-of-two length *)
@@ -39,7 +46,8 @@ let create ?counters ?(shards = default_shards) () =
   let c = match counters with Some c -> c | None -> Counters.create () in
   let n = pow2_at_least (max 1 shards) in
   { shards = Array.init n (fun _ ->
-        { mu = Mutex.create (); tbl = Hashtbl.create 16 });
+        { mu = Mutex.create (); tbl = Hashtbl.create 16;
+          ptbl = Hashtbl.create 16 });
     mask = n - 1; c }
 
 let shard t (d : Fnv64.t) = t.shards.(Int64.to_int d land t.mask)
@@ -91,6 +99,32 @@ let entry t h =
   match locked s.mu (fun () -> Hashtbl.find_opt s.tbl h) with
   | Some e -> e
   | None -> raise Unknown_handle
+
+(* The shard lock is held across the compile (pure, like the decoder in
+   [submit]) so the hit/miss accounting is exact under concurrency: the
+   first fast run of a digest counts one miss and compiles; every other
+   run — including ones racing the first — counts a hit and shares the
+   same program. *)
+let predecoded t h =
+  let s = shard t h in
+  locked s.mu @@ fun () ->
+  match Hashtbl.find_opt s.ptbl h with
+  | Some p ->
+      Metrics.incr t.c.Counters.predecode_hits;
+      Trace.count "vm.predecode.hit";
+      p
+  | None -> (
+      match Hashtbl.find_opt s.tbl h with
+      | None -> raise Unknown_handle
+      | Some e ->
+          Metrics.incr t.c.Counters.predecode_misses;
+          Trace.count "vm.predecode.miss";
+          let p =
+            Trace.phase "predecode" (fun () ->
+                Omnivm.Fastinterp.compile e.e_exe.Omnivm.Exe.text)
+          in
+          Hashtbl.replace s.ptbl h p;
+          p)
 
 let bytes t h = (entry t h).e_bytes
 let exe t h = (entry t h).e_exe

@@ -408,6 +408,7 @@ let replay ?watchdog ?engine (r : report) : Exec.run_result =
   let img = Exec.load exe in
   match engine with
   | Exec.Interp -> Exec.run_interp ?fuel ?watchdog img
+  | Exec.Fast -> Exec.run_fast ?fuel ?watchdog img
   | Exec.Target arch ->
       (* Mirror Service.resolve_config / Api.run: the bundle records the
          request as expressible on the wire (engine, sfi, fuel); mode and

@@ -16,6 +16,25 @@
 
 type mode = Off | Sandbox | Guard
 
+(* Layout variants for the masking sequences, per "The Effect of
+   Instruction Padding on SFI Overhead": the sandboxing and/or pair can be
+   padded or aligned to play nicer with the target's issue width, and the
+   guard zone around the stack pointer can be widened so fewer sp-relative
+   accesses need masking at all.
+
+   - [Pad_none]   the seed's bare and/or pair;
+   - [Pad_nop]    one nop after each mask/box pair (models separating the
+                  sandboxing sequence from the dependent memory op);
+   - [Pad_align]  nops are inserted so the protected memory op lands on an
+                  even instruction slot within its translation chunk
+                  (models issue-alignment padding);
+   - [Pad_guard8] no extra nops, but an 8 KiB guard zone (double the
+                  default) so displacements below 8192 skip masking.
+
+   The re-sandboxing triple for arbitrary sp writes is never padded: the
+   verifiers recognize it by strict adjacency. *)
+type pad = Pad_none | Pad_nop | Pad_align | Pad_guard8
+
 type t = {
   mode : mode;
   data_base : int;
@@ -26,9 +45,10 @@ type t = {
       (* also check loads: the read-protection capability the paper cites
          from Wahbe et al. but did not incorporate (section 1). Off in the
          measured configuration. *)
+  pad : pad;
 }
 
-let make ?(mode = Sandbox) ?(protect_reads = false) () =
+let make ?(mode = Sandbox) ?(protect_reads = false) ?(pad = Pad_none) () =
   {
     mode;
     data_base = Omnivm.Layout.data_base;
@@ -36,6 +56,7 @@ let make ?(mode = Sandbox) ?(protect_reads = false) () =
     code_base = Omnivm.Layout.code_base;
     code_mask = Omnivm.Layout.code_mask;
     protect_reads;
+    pad;
   }
 
 let off = make ~mode:Off ()
@@ -55,5 +76,43 @@ let in_code t addr = addr land lnot t.code_mask = t.code_base
    This is the standard SFI optimization for stack traffic and matches the
    overhead profile the paper reports. *)
 let safe_sp_disp = 4096
+
+(* The effective guard-zone size for a padding mode: displacements with
+   absolute value below this bound need no masking. [Pad_guard8] doubles
+   the zone; everything else uses the seed's [safe_sp_disp]. *)
+let guard_zone_of_pad = function
+  | Pad_guard8 -> 8192
+  | Pad_none | Pad_nop | Pad_align -> safe_sp_disp
+
+let guard_zone t = guard_zone_of_pad t.pad
+
+let all_pads = [ Pad_none; Pad_nop; Pad_align; Pad_guard8 ]
+
+let pad_name = function
+  | Pad_none -> "none"
+  | Pad_nop -> "nop"
+  | Pad_align -> "align"
+  | Pad_guard8 -> "guard8"
+
+let pad_of_string = function
+  | "none" -> Some Pad_none
+  | "nop" -> Some Pad_nop
+  | "align" -> Some Pad_align
+  | "guard8" -> Some Pad_guard8
+  | _ -> None
+
+(* Stable 2-bit encoding, used by certificates and the wire protocol. *)
+let pad_code = function
+  | Pad_none -> 0
+  | Pad_nop -> 1
+  | Pad_align -> 2
+  | Pad_guard8 -> 3
+
+let pad_of_code = function
+  | 0 -> Some Pad_none
+  | 1 -> Some Pad_nop
+  | 2 -> Some Pad_align
+  | 3 -> Some Pad_guard8
+  | _ -> None
 
 let enabled t = t.mode <> Off

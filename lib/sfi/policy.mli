@@ -12,6 +12,20 @@
       access-violation exception (the virtual exception model). *)
 type mode = Off | Sandbox | Guard
 
+(** Layout variants for the masking sequences, per "The Effect of
+    Instruction Padding on SFI Overhead":
+    - [Pad_none]: the bare and/or pair (the seed's sequence);
+    - [Pad_nop]: one nop after each mask/box pair, separating the sequence
+      from the dependent memory op;
+    - [Pad_align]: nops so the protected memory op lands on an even
+      instruction slot within its translation chunk (issue alignment);
+    - [Pad_guard8]: no extra nops, but an 8 KiB guard zone (double the
+      default) so displacements below 8192 skip masking entirely.
+
+    The sp re-sandboxing triple is never padded: verifiers recognize it by
+    strict adjacency. *)
+type pad = Pad_none | Pad_nop | Pad_align | Pad_guard8
+
 type t = {
   mode : mode;
   data_base : int;
@@ -22,11 +36,13 @@ type t = {
       (** also check loads — the read-protection capability the paper cites
           but does not incorporate (§1); off in the measured
           configuration *)
+  pad : pad;
 }
 
-val make : ?mode:mode -> ?protect_reads:bool -> unit -> t
+val make : ?mode:mode -> ?protect_reads:bool -> ?pad:pad -> unit -> t
 (** Policy for the standard module layout ({!Omnivm.Layout}); [mode]
-    defaults to [Sandbox], [protect_reads] to [false]. *)
+    defaults to [Sandbox], [protect_reads] to [false], [pad] to
+    [Pad_none]. *)
 
 val off : t
 (** No protection. *)
@@ -44,5 +60,22 @@ val safe_sp_disp : int
 (** Stack-pointer-relative accesses with displacements below this bound
     skip SFI checks; translators maintain the invariant that sp stays
     inside the data segment. *)
+
+val guard_zone_of_pad : pad -> int
+(** Effective guard-zone size: [8192] for [Pad_guard8], [safe_sp_disp]
+    otherwise. *)
+
+val guard_zone : t -> int
+(** [guard_zone_of_pad t.pad]. *)
+
+val all_pads : pad list
+val pad_name : pad -> string
+val pad_of_string : string -> pad option
+
+val pad_code : pad -> int
+(** Stable 2-bit encoding (0–3), used by certificates and the wire
+    protocol. *)
+
+val pad_of_code : int -> pad option
 
 val enabled : t -> bool

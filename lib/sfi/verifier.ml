@@ -46,9 +46,9 @@ type failure = { index : int; reason : string }
 
 (* Shared judgment: an event either fails, passes without a claim
    (Neutral), or passes by virtue of one checkable obligation. *)
-let classify (i : int) (ev : event) : (Witness.kind option, failure) result =
+let classify ?(max_disp = Policy.safe_sp_disp) (i : int) (ev : event) :
+    (Witness.kind option, failure) result =
   let fail reason = Error { index = i; reason } in
-  let max_disp = Policy.safe_sp_disp in
   match ev with
   | Sandbox_data_mask -> Ok (Some Witness.Mask_data)
   | Sandbox_data_box -> Ok (Some Witness.Box_data)
@@ -82,17 +82,17 @@ let classify (i : int) (ev : event) : (Witness.kind option, failure) result =
       fail (Printf.sprintf "sp set from arbitrary value by %s" what)
   | Neutral -> Ok None
 
-let verify (events : event array) : (unit, failure) result =
+let verify ?max_disp (events : event array) : (unit, failure) result =
   let rec go i =
     if i >= Array.length events then Ok ()
     else
-      match classify i events.(i) with
+      match classify ?max_disp i events.(i) with
       | Ok _ -> go (i + 1)
       | Error f -> Error f
   in
   go 0
 
-let certify (events : event array) :
+let certify ?max_disp (events : event array) :
     (Witness.obligation array, failure) result =
   let n = Array.length events in
   let obs = ref [] in
@@ -105,7 +105,7 @@ let certify (events : event array) :
       Ok a
     end
     else
-      match classify i events.(i) with
+      match classify ?max_disp i events.(i) with
       | Ok None -> go (i + 1)
       | Ok (Some kind) ->
           obs := { Witness.ox = i; kind } :: !obs;

@@ -44,9 +44,13 @@ type event =
 
 type failure = { index : int; reason : string }
 
-val verify : event array -> (unit, failure) result
+val verify : ?max_disp:int -> event array -> (unit, failure) result
+(** [max_disp] is the guard-zone bound displacements are checked against
+    (default {!Policy.safe_sp_disp}); pass {!Policy.guard_zone} of the
+    translation policy when verifying code produced under [Pad_guard8]. *)
 
-val certify : event array -> (Witness.obligation array, failure) result
+val certify :
+  ?max_disp:int -> event array -> (Witness.obligation array, failure) result
 (** Like {!verify}, but on acceptance returns the per-instruction safety
     obligations the stream established, in strictly increasing
     instruction order (at most one per instruction). [certify] accepts

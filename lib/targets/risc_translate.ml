@@ -80,6 +80,26 @@ let protect_reads t =
   | Machine.Mobile p -> p.Omni_sfi.Policy.protect_reads
   | Machine.Native _ -> false
 
+let sfi_pad t =
+  match t.mode with
+  | Machine.Mobile p -> p.Omni_sfi.Policy.pad
+  | Machine.Native _ -> Omni_sfi.Policy.Pad_none
+
+(* Effective guard-zone bound for statically-safe displacements; widened
+   under [Pad_guard8]. *)
+let guard_bound t = Omni_sfi.Policy.guard_zone_of_pad (sfi_pad t)
+
+(* Padding of the sandboxing sequence (the instruction-padding paper's
+   knob). Called between the mask/box pair and the protected memory op;
+   never used on the sp re-sandboxing triple (verified by adjacency). *)
+let emit_pad t e =
+  match sfi_pad t with
+  | Omni_sfi.Policy.Pad_none | Omni_sfi.Policy.Pad_guard8 -> ()
+  | Omni_sfi.Policy.Pad_nop -> emit e Machine.Sfi Nop
+  | Omni_sfi.Policy.Pad_align ->
+      (* pad so the protected op lands on an even slot of this chunk *)
+      if List.length e.slots land 1 = 1 then emit e Machine.Sfi Nop
+
 (* Materialize a 32-bit constant into [rd]. The final instruction carries
    [last_origin]; preceding high-part instructions carry [hi_origin]. *)
 let mat_imm t e ~hi_origin ~last_origin rd v =
@@ -120,14 +140,15 @@ let mem_addr t e ~origin base disp =
   end
 
 (* Statically safe store addresses need no SFI check. *)
-let store_statically_safe base disp =
-  (base = omni_sp && disp >= 0 && disp < Omni_sfi.Policy.safe_sp_disp)
+let store_statically_safe t base disp =
+  (base = omni_sp && disp >= 0 && disp < guard_bound t)
   || (base = r_zero && L.in_data disp)
 
 (* Emit the SFI-protected (or direct) store of [emit_store : base -> disp ->
    unit] to address base+disp. *)
 let sfi_store t e ~base ~disp ~(emit_store : core:bool -> int -> int -> unit) =
-  if sfi_mode t = Omni_sfi.Policy.Off || store_statically_safe base disp then begin
+  if sfi_mode t = Omni_sfi.Policy.Off || store_statically_safe t base disp
+  then begin
     let b, d = mem_addr t e ~origin:Machine.Addr base disp in
     emit_store ~core:true b d
   end
@@ -138,8 +159,7 @@ let sfi_store t e ~base ~disp ~(emit_store : core:bool -> int -> int -> unit) =
     when t.opts.Machine.sfi_opt
          && (match t.sfi_cache with
             | Some (b, d0, boxed) ->
-                b = base && boxed
-                && abs (disp - d0) < Omni_sfi.Policy.safe_sp_disp
+                b = base && boxed && abs (disp - d0) < guard_bound t
             | None -> false) ->
       (* guard-zone reuse: the dedicated register already holds a sandboxed
          address for this base; a small displacement from it cannot leave
@@ -167,12 +187,14 @@ let sfi_store t e ~base ~disp ~(emit_store : core:bool -> int -> int -> unit) =
       emit e Machine.Sfi (Alu (VI.And, r_sfi_data, asrc, r_data_mask));
       if t.cfg.has_indexed then begin
         (* indexed addressing shortens the PPC check sequence (paper 4.3) *)
+        emit_pad t e;
         emit_store ~core:true (-1) (-1) (* special-cased by caller *);
         t.sfi_cache <- (if t.opts.Machine.sfi_opt then Some (base, disp, false)
                         else None)
       end
       else begin
         emit e Machine.Sfi (Alu (VI.Or, r_sfi_data, r_sfi_data, r_data_base));
+        emit_pad t e;
         emit_store ~core:true r_sfi_data 0;
         t.sfi_cache <- (if t.opts.Machine.sfi_opt then Some (base, disp, true)
                         else None)
@@ -202,7 +224,7 @@ let sfi_load t e ~base ~disp ~(emit_load : int -> int -> unit) =
   if
     sfi_mode t = Omni_sfi.Policy.Off
     || (not (protect_reads t))
-    || store_statically_safe base disp
+    || store_statically_safe t base disp
     || (base = r_gp)
     || (base = r_zero && L.in_data disp)
   then begin
@@ -229,6 +251,7 @@ let sfi_load t e ~base ~disp ~(emit_load : int -> int -> unit) =
         e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
         emit e Machine.Sfi (Alu (VI.And, r_sfi_data, asrc, r_data_mask));
         emit e Machine.Sfi (Alu (VI.Or, r_sfi_data, r_sfi_data, r_data_base));
+        emit_pad t e;
         emit_load r_sfi_data 0;
         t.sfi_cache <- None
     | Omni_sfi.Policy.Guard ->
@@ -256,6 +279,7 @@ let sfi_code_target t e reg =
       e.decl.Machine.code_masks <- e.decl.Machine.code_masks + 1;
       emit e Machine.Sfi (Alu (VI.And, r_sfi_code, reg, r_code_mask));
       emit e Machine.Sfi (Alu (VI.Or, r_sfi_code, r_sfi_code, r_code_base));
+      emit_pad t e;
       r_sfi_code
   | Omni_sfi.Policy.Guard ->
       emit e Machine.Sfi (Guard_code reg);
@@ -271,11 +295,10 @@ let resandbox_sp t e =
   | Omni_sfi.Policy.Guard -> emit e Machine.Sfi (Guard_data omni_sp)
 
 (* Does this OmniVM instruction leave sp safe without re-sandboxing? *)
-let sp_write_safe (ins : int VI.t) =
+let sp_write_safe t (ins : int VI.t) =
   match ins with
   | VI.Binopi ((VI.Add | VI.Sub), rd, rs, imm)
-    when rd = Omnivm.Reg.sp && rs = Omnivm.Reg.sp
-         && abs imm < Omni_sfi.Policy.safe_sp_disp ->
+    when rd = Omnivm.Reg.sp && rs = Omnivm.Reg.sp && abs imm < guard_bound t ->
       true
   | _ -> false
 
@@ -546,7 +569,7 @@ let translate_instr t e ~idx (ins : int VI.t) =
   | VI.Hcall n -> emit e Machine.Core (Hcall n)
   | VI.Trap n -> emit e Machine.Core (Trapi n));
   (* sp safety invariant *)
-  if writes_sp ins && not (sp_write_safe ins) then resandbox_sp t e;
+  if writes_sp ins && not (sp_write_safe t ins) then resandbox_sp t e;
   (* sfi-cache invalidation: the cached base register may have changed *)
   (match t.sfi_cache with
   | Some (b, _, _) when List.mem b (omni_defs ins) -> t.sfi_cache <- None

@@ -174,12 +174,12 @@ let summarize (p : program) : V.event array =
 (* Verify a translated program satisfies the SFI invariants. Note: this
    only makes sense for code translated in Sandbox mode; Guard-mode checks
    and unprotected native code will (correctly) fail. *)
-let verify (p : program) = V.verify (summarize p)
+let verify ?max_disp (p : program) = V.verify ?max_disp (summarize p)
 
 (* Certifying verification: the same scan, but on acceptance it returns
    the safety obligations as a witness. The translator's declared masking
    counts are cross-checked downstream (Omni_cert.Check), tying the
    witness to what the translator actually laid down. *)
-let certify (p : program) :
+let certify ?max_disp (p : program) :
     (Omni_sfi.Witness.obligation array, V.failure) result =
-  V.certify (summarize p)
+  V.certify ?max_disp (summarize p)

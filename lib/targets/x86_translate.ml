@@ -54,6 +54,26 @@ let protect_reads (mode : Machine.mode) =
   | Machine.Mobile p -> p.Omni_sfi.Policy.protect_reads
   | Machine.Native _ -> false
 
+let sfi_pad (mode : Machine.mode) =
+  match mode with
+  | Machine.Mobile p -> p.Omni_sfi.Policy.pad
+  | Machine.Native _ -> Omni_sfi.Policy.Pad_none
+
+(* Effective guard-zone bound for statically-safe displacements; widened
+   under [Pad_guard8]. *)
+let guard_bound mode = Omni_sfi.Policy.guard_zone_of_pad (sfi_pad mode)
+
+(* Padding of the sandboxing sequence (the instruction-padding paper's
+   knob). Called between the mask/box pair and the protected memory op;
+   never used on the esp re-sandboxing triple (verified by adjacency). *)
+let emit_pad e mode =
+  match sfi_pad mode with
+  | Omni_sfi.Policy.Pad_none | Omni_sfi.Policy.Pad_guard8 -> ()
+  | Omni_sfi.Policy.Pad_nop -> emit e Machine.Sfi Nop
+  | Omni_sfi.Policy.Pad_align ->
+      (* pad so the protected op lands on an even slot of this chunk *)
+      if List.length e.slots land 1 = 1 then emit e Machine.Sfi Nop
+
 (* operand for reading an omni register *)
 let rop r =
   match int_home r with
@@ -96,8 +116,8 @@ let addr_mem e origin base disp : mem =
       emit e origin (Mov (R eax, M (mabs a)));
       mbase eax disp
 
-let store_statically_safe base disp =
-  (base = Omnivm.Reg.sp && disp >= 0 && disp < Omni_sfi.Policy.safe_sp_disp)
+let store_statically_safe mode base disp =
+  (base = Omnivm.Reg.sp && disp >= 0 && disp < guard_bound mode)
   || (base = 0 && L.in_data disp)
 
 (* fp operand handling *)
@@ -253,7 +273,7 @@ let translate_binop e op rd rs1 (b : operand) =
           | _ -> terror "unhandled x86 binop"))
 
 let sandbox_store e mode ~base ~disp ~(do_store : mem -> unit) =
-  if sfi_mode mode = Omni_sfi.Policy.Off || store_statically_safe base disp
+  if sfi_mode mode = Omni_sfi.Policy.Off || store_statically_safe mode base disp
   then begin
     if sfi_mode mode <> Omni_sfi.Policy.Off then
       Trace.count "translate.sfi_checks_elided";
@@ -274,6 +294,7 @@ let sandbox_store e mode ~base ~disp ~(do_store : mem -> unit) =
         e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
         emit e Machine.Sfi (Alu (And, R eax, I L.data_mask));
         emit e Machine.Sfi (Alu (Or, R eax, I L.data_base));
+        emit_pad e mode;
         do_store (mbase eax 0)
     | Omni_sfi.Policy.Guard ->
         emit e Machine.Sfi (Guard_data eax);
@@ -286,7 +307,7 @@ let sandbox_load e mode ~base ~disp ~(do_load : mem -> unit) =
   if
     sfi_mode mode = Omni_sfi.Policy.Off
     || (not (protect_reads mode))
-    || store_statically_safe base disp
+    || store_statically_safe mode base disp
   then do_load (addr_mem e Machine.Addr base disp)
   else begin
     (match int_home base with
@@ -301,6 +322,7 @@ let sandbox_load e mode ~base ~disp ~(do_load : mem -> unit) =
         e.decl.Machine.data_masks <- e.decl.Machine.data_masks + 1;
         emit e Machine.Sfi (Alu (And, R eax, I L.data_mask));
         emit e Machine.Sfi (Alu (Or, R eax, I L.data_base));
+        emit_pad e mode;
         do_load (mbase eax 0)
     | Omni_sfi.Policy.Guard ->
         emit e Machine.Sfi (Guard_data eax);
@@ -316,6 +338,7 @@ let sandbox_code_operand e mode (x : operand) : operand =
       emit e Machine.Sfi (Mov (R eax, x));
       emit e Machine.Sfi (Alu (And, R eax, I (L.code_mask land lnot 3)));
       emit e Machine.Sfi (Alu (Or, R eax, I L.code_base));
+      emit_pad e mode;
       R eax
   | Omni_sfi.Policy.Guard ->
       emit e Machine.Sfi (Mov (R eax, x));
@@ -330,11 +353,11 @@ let resandbox_sp e mode =
       emit e Machine.Sfi (Alu (Or, R esp, I L.data_base))
   | Omni_sfi.Policy.Guard -> emit e Machine.Sfi (Guard_data esp)
 
-let sp_write_safe (ins : int VI.t) =
+let sp_write_safe mode (ins : int VI.t) =
   match ins with
   | VI.Binopi ((VI.Add | VI.Sub), rd, rs, imm)
     when rd = Omnivm.Reg.sp && rs = Omnivm.Reg.sp
-         && abs imm < Omni_sfi.Policy.safe_sp_disp ->
+         && abs imm < guard_bound mode ->
       true
   | _ -> false
 
@@ -487,7 +510,7 @@ let translate_instr mode e ~idx (ins : int VI.t) =
       from_value e Machine.Addr rd (R edx)
   | VI.Hcall n -> emit e Machine.Core (Hcall n)
   | VI.Trap n -> emit e Machine.Core (Trapi n));
-  if writes_sp ins && not (sp_write_safe ins) then resandbox_sp e mode
+  if writes_sp ins && not (sp_write_safe mode ins) then resandbox_sp e mode
 
 (* --- peephole: drop a Cmp-vs-0 whose operand was just computed --- *)
 

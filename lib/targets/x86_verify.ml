@@ -118,10 +118,10 @@ let summarize (p : program) : V.event array =
     events;
   events
 
-let verify (p : program) = V.verify (summarize p)
+let verify ?max_disp (p : program) = V.verify ?max_disp (summarize p)
 
 (* Certifying verification: the same scan, returning the obligations the
    accepted stream established (see Risc_verify.certify). *)
-let certify (p : program) :
+let certify ?max_disp (p : program) :
     (Omni_sfi.Witness.obligation array, V.failure) result =
-  V.certify (summarize p)
+  V.certify ?max_disp (summarize p)

@@ -54,7 +54,12 @@ let subject_digest = lazy (Fnv64.digest_string (Lazy.force subject_bytes))
 
 let policies =
   [ ("sandbox", Policy.make ());
-    ("sandbox+reads", Policy.make ~protect_reads:true ()) ]
+    ("sandbox+reads", Policy.make ~protect_reads:true ());
+    (* the padded masking-sequence variants: certificates must mint,
+       check, and survive the mutation battery under every pad mode *)
+    ("sandbox+padnop", Policy.make ~pad:Policy.Pad_nop ());
+    ("sandbox+padalign", Policy.make ~pad:Policy.Pad_align ());
+    ("sandbox+guard8", Policy.make ~pad:Policy.Pad_guard8 ()) ]
 
 (* One translated + certified configuration, memoized across tests. *)
 type setup = {
@@ -118,6 +123,7 @@ let gen_cert =
   and* module_digest = gen_digest
   and* code_fp = gen_digest
   and* protect_reads = bool
+  and* pad = oneofl Policy.all_pads
   and* opts = gen_topts
   and* n_code = int_range 1 2000 in
   let* raw = list_size (int_bound 60) (int_bound (n_code - 1)) in
@@ -129,7 +135,7 @@ let gen_cert =
          oxs)
   in
   return
-    (Cert.make ~arch ~module_digest ~code_fp ~protect_reads ~opts ~n_code
+    (Cert.make ~arch ~module_digest ~code_fp ~protect_reads ~pad ~opts ~n_code
        (Array.of_list obs))
 
 let cert_arbitrary = QCheck.make ~print:Cert.summary gen_cert
@@ -239,6 +245,50 @@ let binding_refusals () =
   expect "policy-bit" Check.Opts_mismatch
     (bind ~mode:(Machine.Mobile (Policy.make ~protect_reads:true ())) ())
 
+(* A certificate is bound to its padding mode: one minted under pad A
+   must refuse to vouch for a run configured with pad B, in both
+   directions, with the typed [Pad_mismatch] refusal. *)
+let pad_cross_reuse_refused () =
+  let digest = Lazy.force subject_digest in
+  let pad_policies =
+    [ (Policy.Pad_none, "sandbox"); (Policy.Pad_nop, "sandbox+padnop");
+      (Policy.Pad_align, "sandbox+padalign");
+      (Policy.Pad_guard8, "sandbox+guard8") ]
+  in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (cert_pad, cert_pname) ->
+          List.iter
+            (fun (run_pad, _) ->
+              if cert_pad <> run_pad then begin
+                let s = setup arch cert_pname in
+                (* everything else matches: same translation, same opts —
+                   only the requested pad differs *)
+                let run_mode =
+                  Machine.Mobile (Policy.make ~pad:run_pad ())
+                in
+                match
+                  Check.bind s.s_cert ~module_digest:digest ~arch
+                    ~mode:run_mode ~opts:s.s_opts
+                    ~code_fp:(Exec.fingerprint s.s_tr)
+                with
+                | Error (Check.Pad_mismatch { expected; got })
+                  when expected = run_pad && got = cert_pad ->
+                    ()
+                | Error e ->
+                    Alcotest.failf "%s %s->%s: wrong refusal: %s"
+                      (Arch.name arch) (Policy.pad_name cert_pad)
+                      (Policy.pad_name run_pad) (Check.error_to_string e)
+                | Ok () ->
+                    Alcotest.failf "%s: pad=%s certificate reused for pad=%s"
+                      (Arch.name arch) (Policy.pad_name cert_pad)
+                      (Policy.pad_name run_pad)
+              end)
+            pad_policies)
+        pad_policies)
+    Arch.all
+
 (* --- 3. mutation: no accepted-but-unsafe witness --- *)
 
 (* Obligation kinds whose *removal* leaves a sound, checkable witness:
@@ -292,16 +342,25 @@ let raw_check cert tr =
   | Exec.T_risc p -> Check.check_risc cert p
   | Exec.T_x86 p -> Check.check_x86 cert p
 
-let full_verify tr =
+(* The full verifier must judge under the same displacement bound the
+   policy grants (Pad_guard8 widens it), or honest guard-zone code would
+   read as unsafe. *)
+let full_verify ~pad tr =
+  let max_disp = Policy.guard_zone_of_pad pad in
   match tr with
   | Exec.T_risc p -> (
-      match Omni_targets.Risc_verify.verify p with
+      match Omni_targets.Risc_verify.verify ~max_disp p with
       | Ok () -> true
       | Error _ -> false)
   | Exec.T_x86 p -> (
-      match Omni_targets.X86_verify.verify p with
+      match Omni_targets.X86_verify.verify ~max_disp p with
       | Ok () -> true
       | Error _ -> false)
+
+let pad_of_setup s =
+  match s.s_mode with
+  | Machine.Mobile p -> p.Policy.pad
+  | Machine.Native _ -> Policy.Pad_none
 
 type mutation =
   | M_bit_flip of int * int
@@ -379,7 +438,7 @@ let mutation_case arch (pname, mut) =
          against the corrupted code, the full verifier must too — zero
          accepted-but-unsafe outcomes *)
       match raw_check cert tr' with
-      | Ok () -> full_verify tr'
+      | Ok () -> full_verify ~pad:(pad_of_setup s) tr'
       | Error _ -> true)
 
 let qcheck_mutations arch =
@@ -485,7 +544,9 @@ let () =
       ("agreement",
        [ Alcotest.test_case "certify -> check, all archs x policies" `Quick
            certify_then_check;
-         Alcotest.test_case "binding refusals" `Quick binding_refusals ]);
+         Alcotest.test_case "binding refusals" `Quick binding_refusals;
+         Alcotest.test_case "cross-pad reuse refused" `Quick
+           pad_cross_reuse_refused ]);
       ("mutation", List.map qcheck_mutations Arch.all);
       ("model",
        [ Alcotest.test_case "exhaustive masking algebra" `Quick masking_model ]);

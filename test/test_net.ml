@@ -168,7 +168,7 @@ let gen_err_class =
 
 let gen_engine =
   QCheck.Gen.oneofl
-    [ Exec.Interp; Exec.Target Arch.Mips; Exec.Target Arch.Sparc;
+    [ Exec.Interp; Exec.Fast; Exec.Target Arch.Mips; Exec.Target Arch.Sparc;
       Exec.Target Arch.Ppc; Exec.Target Arch.X86 ]
 
 let gen_mode =
@@ -179,7 +179,8 @@ let gen_mode =
          oneofl [ Omni_sfi.Policy.Off; Omni_sfi.Policy.Sandbox; Omni_sfi.Policy.Guard ]
        in
        let* protect_reads = bool in
-       return (Msg.M_policy { pmode; protect_reads }));
+       let* pad = oneofl Omni_sfi.Policy.all_pads in
+       return (Msg.M_policy { pmode; protect_reads; pad }));
       map
         (fun cc -> Msg.M_native (if cc then Machine.Cc else Machine.Gcc))
         bool ]

@@ -192,6 +192,44 @@ let store_concurrent_dedup () =
   Alcotest.(check int) "bytes stored once" (String.length bytes)
     c.Counters.s_bytes_stored
 
+(* --- predecode cache hammer: fast-engine runs share one program --- *)
+
+(* [domains] domains repeatedly run the same two digests on the fast
+   engine. The predecode counters must be EXACT: one miss per distinct
+   digest (the shard lock is held across compile, so racing first runs
+   cannot double-compile), a hit for every other run — and all runs agree
+   with a serial interp reference byte-for-byte. *)
+let hammer_predecode () =
+  let bytes = [| Lazy.force hello_bytes; Lazy.force loop_bytes |] in
+  let per_domain = 6 in
+  let svc = Service.create () in
+  let handles = Array.map (Service.submit svc) bytes in
+  let expected =
+    Array.map
+      (fun h ->
+        (Service.instantiate ~engine:Exec.Interp ~sfi:true ~fuel svc h)
+          .Exec.output)
+      handles
+  in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let m = (d + i) mod 2 in
+      let r =
+        Service.instantiate ~engine:Exec.Fast ~sfi:true ~fuel svc handles.(m)
+      in
+      if r.Exec.output <> expected.(m) then
+        Alcotest.fail "fast run diverged from interp reference"
+    done
+  in
+  List.init domains (fun d -> Domain.spawn (worker d))
+  |> List.iter Domain.join;
+  let n = domains * per_domain in
+  let c = Service.stats svc in
+  Alcotest.(check int) "misses = distinct digests" 2
+    c.Counters.s_predecode_misses;
+  Alcotest.(check int) "every other run hit" (n - 2)
+    c.Counters.s_predecode_hits
+
 (* --- server dispatch hammer: handle_request from several domains --- *)
 
 let hammer_server_dispatch () =
@@ -290,6 +328,8 @@ let () =
        [ Alcotest.test_case "shared service, 4 domains" `Quick hammer_service;
          Alcotest.test_case "concurrent store dedup" `Quick
            store_concurrent_dedup;
+         Alcotest.test_case "predecode cache, 4 domains" `Quick
+           hammer_predecode;
          Alcotest.test_case "server dispatch, 2 domains" `Quick
            hammer_server_dispatch ]);
       ("backpressure",

@@ -53,6 +53,7 @@ let run_engine ?fuel ?watchdog engine exe =
   let img = Exec.load exe in
   match engine with
   | Exec.Interp -> Exec.run_interp ?fuel ?watchdog img
+  | Exec.Fast -> Exec.run_fast ?fuel ?watchdog img
   | Exec.Target arch ->
       let mode = Machine.Mobile (Omni_sfi.Policy.make ()) in
       let tr = Exec.translate ~mode ~opts:(Exec.mobile_opts arch) arch exe in
