@@ -1,10 +1,10 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke par-smoke guest-smoke fast-smoke clean
+.PHONY: check build test bench bench-smoke bench-gate trace-smoke net-smoke fault-smoke crash-smoke cert-smoke par-smoke guest-smoke fast-smoke persist-smoke clean
 
 check: ## full tier-1 verification: build + every test suite + smokes
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke && $(MAKE) par-smoke && $(MAKE) guest-smoke && $(MAKE) fast-smoke
-	@if [ -f BENCH_9.json ] || [ -f BENCH_8.json ]; then $(MAKE) bench-gate; \
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) net-smoke && $(MAKE) fault-smoke && $(MAKE) crash-smoke && $(MAKE) cert-smoke && $(MAKE) par-smoke && $(MAKE) guest-smoke && $(MAKE) fast-smoke && $(MAKE) persist-smoke
+	@if [ -f BENCH_10.json ] || [ -f BENCH_9.json ]; then $(MAKE) bench-gate; \
 	else echo "check: no bench snapshot baseline; skipping bench-gate"; fi
 
 build:
@@ -22,9 +22,10 @@ bench-smoke:
 	dune exec bench/main.exe -- service
 
 # Performance regression gate: run the hot-path benchmarks and compare
-# against the committed BENCH_9.json baseline (falling back to the prior
-# BENCH_8.json); >20% regression on any hot path fails. The first run
-# (no baseline) seeds it; un-gated keys are logged to stderr.
+# against the committed BENCH_10.json baseline (falling back to the prior
+# BENCH_9.json); >20% regression on any hot path fails. The first run
+# (no baseline) seeds it; keys present in only one snapshot are skipped
+# and summarized in one stderr line.
 bench-gate:
 	dune exec bench/main.exe -- gate
 
@@ -190,6 +191,52 @@ guest-smoke:
 	[ "$$served" = "55" ] || \
 	  { echo "guest-smoke: FAIL (served output: $$served)"; exit 1; }; \
 	echo "guest-smoke: OK (lifted module matches oracle on mips; served on x86)"
+
+# Crash-safe persistence smoke: start omnid with a journaled store on a
+# throwaway socket, serve a cold burst, kill -9 the daemon MID-burst,
+# restart it over the same store directory, and insist the warm serve is
+# byte-identical with the recovered translation re-admitted via its
+# witness (cert_checks > 0, i.e. no re-translation). Skips (exit 0) when
+# the environment cannot create Unix-domain sockets.
+persist-smoke:
+	dune build examples/quickstart.exe bin/omnid.exe bin/omnirun.exe
+	@sock="/tmp/omnid-persist-$$$$.sock"; dir="/tmp/omni-store-$$$$"; \
+	rm -rf "$$dir"; rm -f "$$sock"; \
+	./_build/default/examples/quickstart.exe -o /tmp/quickstart.omni >/dev/null; \
+	./_build/default/bin/omnid.exe --socket "$$sock" --store-dir "$$dir" >/dev/null 2>&1 & pid=$$!; \
+	i=0; while [ $$i -lt 100 ] && ! [ -S "$$sock" ]; do \
+	  kill -0 $$pid 2>/dev/null || break; sleep 0.05; i=$$((i+1)); done; \
+	if ! [ -S "$$sock" ]; then \
+	  echo "persist-smoke: SKIP (could not create a Unix-domain socket)"; \
+	  kill $$pid 2>/dev/null; rm -rf "$$dir"; exit 0; fi; \
+	cold=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --remote "$$sock" 2>/dev/null) || \
+	  { echo "persist-smoke: FAIL (cold remote run errored)"; \
+	    kill -9 $$pid 2>/dev/null; exit 1; }; \
+	( for n in 1 2 3 4 5 6; do \
+	    ./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	      --engine x86 --remote "$$sock" >/dev/null 2>&1 || true; done ) & burst=$$!; \
+	kill -9 $$pid 2>/dev/null; \
+	wait $$burst 2>/dev/null; wait $$pid 2>/dev/null; rm -f "$$sock"; \
+	./_build/default/bin/omnid.exe --socket "$$sock" --store-dir "$$dir" >/dev/null 2>&1 & pid=$$!; \
+	i=0; while [ $$i -lt 100 ] && ! [ -S "$$sock" ]; do \
+	  kill -0 $$pid 2>/dev/null || break; sleep 0.05; i=$$((i+1)); done; \
+	[ -S "$$sock" ] || \
+	  { echo "persist-smoke: FAIL (daemon did not restart over the store)"; \
+	    rm -rf "$$dir"; exit 1; }; \
+	warm=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --remote "$$sock" 2>/dev/null) || \
+	  { echo "persist-smoke: FAIL (warm remote run errored)"; \
+	    kill -9 $$pid 2>/dev/null; exit 1; }; \
+	stats=$$(./_build/default/bin/omnirun.exe run /tmp/quickstart.omni \
+	  --engine x86 --remote "$$sock" --stats 2>&1 >/dev/null); \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f "$$sock"; rm -rf "$$dir"; \
+	[ "$$cold" = "$$warm" ] || \
+	  { echo "persist-smoke: FAIL (output differs after kill -9 + recovery)"; exit 1; }; \
+	echo "$$stats" | grep -Eq '"cert_checks":[1-9]' || \
+	  { echo "persist-smoke: FAIL (recovered translation not witness-checked)"; exit 1; }; \
+	echo "persist-smoke: OK (kill -9 mid-burst; journal recovered; warm serve byte-identical)"
 
 clean:
 	dune clean

@@ -12,65 +12,36 @@
    sound measurement via Bechamel. *)
 
 module E = Omni_harness.Experiments
+module Gate = Omni_harness.Gate
 module W = Omni_workloads.Workloads
 
 let sections =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure1";
     "figure2"; "ablation"; "ablation-reads"; "speed"; "service"; "remote";
     "resilience"; "isolation"; "phases"; "cert"; "concurrency"; "guest";
-    "fastpath"; "bechamel" ]
+    "fastpath"; "persistence"; "bechamel" ]
 
-(* --- the persisted snapshot + regression gate (BENCH_9.json) ----------
+(* --- the persisted snapshot + regression gate (BENCH_10.json) ---------
 
-   [json] re-measures every subsystem's hot paths and writes BENCH_9.json
+   [json] re-measures every subsystem's hot paths and writes BENCH_10.json
    at the repo root. [gate] additionally diffs the new numbers against
    the previous snapshot's [hot_paths] before overwriting it: any named
-   path more than 20% slower fails the gate (exit 1); hot paths that only
-   exist in the new snapshot are skipped (and logged to stderr, along
-   with baseline paths the new snapshot dropped), so adding or retiring
-   a subsystem never trips the gate silently. The first run (falling
-   back to the prior BENCH_8.json baseline when present) seeds the new
-   file and passes. *)
+   path more than 20% slower (and by more than 10us absolute — 20% of a
+   30us path is timer noise) — in the per-key minimum over up to five
+   measurement attempts, so a one-off host interference spike never
+   fails a build — fails the gate (exit 1); hot paths that only
+   exist in one of the two snapshots are skipped and summarized in one
+   stderr line, so adding or retiring a subsystem never trips the gate —
+   or shrinks it — silently. The first run (falling back to the prior
+   BENCH_9.json baseline when present) seeds the new file and passes.
+   The classification logic lives in Omni_harness.Gate, where the test
+   suite exercises it against synthetic snapshot pairs. *)
 
-let snapshot_file = "BENCH_9.json"
+let snapshot_file = "BENCH_10.json"
 
 (* Oldest-to-newest fallbacks: gate against the last PR's snapshot the
    first time this one runs. *)
-let baseline_files = [ snapshot_file; "BENCH_8.json" ]
-
-(* Extract the flat  "name": int  pairs of the "hot_paths" object. The
-   writer is ours and the schema is stable, so a scanner suffices — no
-   JSON library in the tree. *)
-let hot_paths_of_json (text : string) : (string * int) list =
-  match String.index_opt text '{' with
-  | None -> []
-  | Some _ -> (
-      let key = "\"hot_paths\"" in
-      let rec find i =
-        if i + String.length key > String.length text then None
-        else if String.sub text i (String.length key) = key then Some i
-        else find (i + 1)
-      in
-      match find 0 with
-      | None -> []
-      | Some i ->
-          let start = String.index_from text i '{' + 1 in
-          let stop = String.index_from text start '}' in
-          let body = String.sub text start (stop - start) in
-          String.split_on_char ',' body
-          |> List.filter_map (fun line ->
-                 match String.split_on_char ':' line with
-                 | [ name; value ] -> (
-                     let name = String.trim name in
-                     let name =
-                       if String.length name >= 2 && name.[0] = '"' then
-                         String.sub name 1 (String.length name - 2)
-                       else name
-                     in
-                     match int_of_string_opt (String.trim value) with
-                     | Some v -> Some (name, v)
-                     | None -> None)
-                 | _ -> None))
+let baseline_files = [ snapshot_file; "BENCH_9.json" ]
 
 let write_snapshot ~size =
   let json = E.bench_snapshot ~size in
@@ -78,7 +49,7 @@ let write_snapshot ~size =
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s (%d hot paths)\n" snapshot_file
-    (List.length (hot_paths_of_json json));
+    (List.length (Gate.hot_paths_of_json json));
   json
 
 let run_gate ~size =
@@ -90,54 +61,55 @@ let run_gate ~size =
         let n = in_channel_length ic in
         let s = really_input_string ic n in
         close_in ic;
-        Some (hot_paths_of_json s)
+        Some (Gate.hot_paths_of_json s)
   in
-  let fresh = hot_paths_of_json (write_snapshot ~size) in
+  let fresh = Gate.hot_paths_of_json (write_snapshot ~size) in
   match previous with
   | None | Some [] ->
       Printf.printf "bench-gate: baseline seeded (%d hot paths); PASS\n"
         (List.length fresh)
   | Some old ->
-      let threshold = 1.20 in
+      (* A regression must survive re-measurement: on FAIL, re-run the
+         snapshot (up to [max_attempts] total) and gate on the per-key
+         minimum across attempts — the stable estimator under host
+         interference. A genuine slowdown is slow in every attempt; a
+         scheduler or frequency-scaling spike is not. The written
+         BENCH_10.json is the last attempt's full snapshot. *)
+      let max_attempts = 5 in
+      let rec attempt n fresh =
+        let d = Gate.diff ~baseline:old ~fresh () in
+        if d.Gate.d_regressions <> [] && n < max_attempts then begin
+          Printf.eprintf
+            "bench-gate: %d hot path(s) over threshold on attempt %d/%d; \
+             re-measuring\n%!"
+            (List.length d.Gate.d_regressions) n max_attempts;
+          (* brief cool-down: back-to-back attempts measure a host still
+             hot (and frequency-throttled) from the previous one *)
+          Unix.sleep 3;
+          attempt (n + 1)
+            (Gate.merge_min fresh
+               (Gate.hot_paths_of_json (write_snapshot ~size)))
+        end
+        else d
+      in
+      let d = attempt 1 fresh in
       (* Un-gated keys go to stderr so a silently-shrinking gate is
          visible in CI logs without failing the run. *)
+      (match Gate.skip_summary d with
+      | None -> ()
+      | Some line -> prerr_endline line);
       List.iter
-        (fun (name, _) ->
-          if not (List.mem_assoc name old) then
-            Printf.eprintf "bench-gate: new hot path %s (no baseline; \
-                            skipped this run, gated next)\n" name)
-        fresh;
-      List.iter
-        (fun (name, _) ->
-          if not (List.mem_assoc name fresh) then
-            Printf.eprintf "bench-gate: baseline hot path %s missing from \
-                            the new snapshot (skipped)\n" name)
-        old;
-      let regressions =
-        List.filter_map
-          (fun (name, now) ->
-            match List.assoc_opt name old with
-            | Some before
-              when before > 0
-                   && float_of_int now > threshold *. float_of_int before ->
-                Some (name, before, now)
-            | _ -> None)
-          fresh
-      in
-      List.iter
-        (fun (name, before, now) ->
-          Printf.printf "bench-gate: REGRESSION %s: %dus -> %dus (%+.0f%%)\n"
-            name before now
-            (100. *. (float_of_int now /. float_of_int before -. 1.)))
-        regressions;
-      if regressions = [] then
+        (fun r -> print_endline (Gate.render_regression r))
+        d.Gate.d_regressions;
+      if d.Gate.d_regressions = [] then
         Printf.printf "bench-gate: %d hot paths within %.0f%% of the \
                        previous snapshot; PASS\n"
-          (List.length fresh)
-          (100. *. (threshold -. 1.))
+          d.Gate.d_compared
+          (100. *. (Gate.default_threshold -. 1.))
       else begin
         Printf.printf "bench-gate: FAIL (%d of %d hot paths regressed)\n"
-          (List.length regressions) (List.length fresh);
+          (List.length d.Gate.d_regressions)
+          d.Gate.d_compared;
         exit 1
       end
 
@@ -164,6 +136,7 @@ let run_section ~size name =
   | "concurrency" -> print_string (E.concurrency ~size)
   | "guest" -> print_string (E.guest_front_end ~size)
   | "fastpath" -> print_string (E.fastpath ~size)
+  | "persistence" -> print_string (E.persistence ~size)
   | "json" -> ignore (write_snapshot ~size)
   | "gate" -> run_gate ~size
   | "bechamel" -> Bechamel_bench.run ~size

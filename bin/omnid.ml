@@ -7,6 +7,7 @@
            [--deadline SECS] [--max-deadline SECS]
            [--quarantine N] [--quarantine-ttl SECS] [--require-cert]
            [--pool N] [--queue-depth N] [--fair-slice N]
+           [--store-dir DIR]
            [--metrics] [--trace | --trace-file FILE] [--once]
 
    Listens on a Unix-domain socket (--socket) or TCP (--port), and
@@ -23,8 +24,17 @@
    --fair-slice bounds how many requests one connection can hold a
    worker before it is parked behind waiting connections.
 
+   --store-dir DIR journals every submitted module and certified
+   translation to a crash-safe on-disk store (Omni_persist): a restart
+   replays the journal, re-proves every translation against its
+   omni-cert/1 witness, and serves warm from the first request. SIGTERM
+   and SIGINT drain gracefully: stop accepting, finish in-flight pool
+   work, flush the journal, and commit the clean-shutdown marker so the
+   next start takes the fast recovery path. kill -9 gets no marker —
+   recovery then re-checks everything and quarantines anything that lies.
+
    --metrics dumps the full metrics registry (net.* counters, serving
-   counters, per-phase timings) to stderr on exit (SIGINT/SIGTERM).
+   counters, per-phase timings) to stderr on exit.
    --once exits after the first connection closes (for smoke tests;
    forces the serial --pool 1 path). *)
 
@@ -52,6 +62,7 @@ let () =
   let pool = ref 1 in
   let queue_depth = ref Net.Server.default_config.Net.Server.queue_depth in
   let fair_slice = ref Net.Server.default_config.Net.Server.fair_slice in
+  let store_dir = ref "" in
   let metrics_dump = ref false in
   let trace_file = ref "" in
   let trace_flag = ref false in
@@ -98,6 +109,9 @@ let () =
          "N requests one connection may hold a worker before parking \
           (default %d)"
          !fair_slice);
+      ("--store-dir", Arg.Set_string store_dir,
+       "DIR journal modules and certified translations to a crash-safe \
+        on-disk store (created if missing); restart recovers them");
       ("--metrics", Arg.Set metrics_dump,
        " dump the metrics registry to stderr on exit");
       ("--trace", Arg.Set trace_flag,
@@ -138,8 +152,17 @@ let () =
                }
            else None);
         deadline_s = (if !deadline > 0.0 then Some !deadline else None);
+        persist =
+          (if !store_dir <> "" then
+             Some (Omni_persist.Io.real ~dir:!store_dir)
+           else None);
       }
   in
+  (match Service.recovery svc with
+  | None -> ()
+  | Some r ->
+      Printf.eprintf "omnid: store recovery (%s): %s%!" !store_dir
+        (Omni_persist.Store.render_recovered r));
   let tracer =
     let emit oc =
       Trace.make ~metrics:(Service.metrics svc)
@@ -174,7 +197,13 @@ let () =
   if !metrics_dump then
     at_exit (fun () ->
         prerr_string (Metrics.render (Metrics.snapshot (Service.metrics svc))));
-  let quit _ = exit 0 in
+  (* Graceful drain: the handler only raises a flag; the accept loop
+     polls it, stops accepting, finishes in-flight pool work (workers
+     joined by Server.serve), and then the journal is flushed and the
+     clean-shutdown marker committed below. A second signal during the
+     drain still kills the process the hard way (recovery handles it). *)
+  let draining = ref false in
+  let quit _ = if !draining then exit 1 else draining := true in
   (try
      Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
      Sys.set_signal Sys.sigterm (Sys.Signal_handle quit)
@@ -194,18 +223,21 @@ let () =
   (* readiness line: smoke tests and supervisors wait for it *)
   Printf.printf "omnid: listening on %s\n%!"
     (Net.Transport.address_to_string addr);
-  if !pool > 1 && not !once then
-    (* pooled serving: Server.serve starts the domain pool, offers every
-       accepted connection, and sheds with a typed overloaded error when
-       the queue is full; signals exit the process *)
-    Net.Server.serve server listen_fd
-  else
-    let rec loop () =
-      match Unix.accept listen_fd with
-      | fd, _ ->
-          Net.Server.serve_conn server
-            (Net.Transport.of_fd ~descr:"client" fd);
-          if not !once then loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-    in
-    loop ()
+  (if !once then
+     let rec loop () =
+       if not !draining then
+         match Unix.accept listen_fd with
+         | fd, _ ->
+             Net.Server.serve_conn server
+               (Net.Transport.of_fd ~descr:"client" fd)
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+     in
+     loop ()
+   else
+     (* Server.serve polls [stop] between accepts; with --pool it also
+        starts the domain pool, sheds with a typed overloaded error when
+        the queue is full, and joins the workers when the drain begins —
+        every accepted connection finishes before serve returns *)
+     Net.Server.serve ~stop:(fun () -> !draining) server listen_fd);
+  (* drained: flush the journal and commit the clean-shutdown marker *)
+  Service.close svc

@@ -368,10 +368,7 @@ let run_single trace args =
         if !crash_dir <> "" then
           Option.iter
             (fun report ->
-              let file = Filename.concat !crash_dir (Supervise.filename report) in
-              Out_channel.with_open_bin file (fun oc ->
-                  output_string oc (Supervise.to_json report);
-                  output_char oc '\n');
+              let file = Supervise.write_report ~dir:!crash_dir report in
               Printf.eprintf "omnirun: crash report written to %s\n" file)
             (Supervise.of_run ~engine:eng ~sfi:!sfi
                ?producer:(if !producer = "" then None else Some !producer)
@@ -402,9 +399,14 @@ let run_serve trace args =
   let domains = ref 1 in
   let stats = ref false in
   let metrics_dump = ref false in
+  let store_dir = ref "" in
   let spec =
     [ ("--engine", Arg.Set_string engine,
        "ENGINE interp|mips|sparc|ppc|x86 (default interp)");
+      ("--store-dir", Arg.Set_string store_dir,
+       "DIR journal modules and certified translations to a crash-safe \
+        on-disk store (created if missing); a previous run's store is \
+        recovered before the batch, so translations are served warm");
       ("--no-sfi", Arg.Clear sfi, " translate without software fault isolation");
       ("--requests", Arg.Set_int requests,
        "N total requests, round-robin over the modules (default 16)");
@@ -431,11 +433,26 @@ let run_serve trace args =
     with_tracer trace @@ fun tm ->
     (* Share one registry between the tracer's phase histograms and the
        service's counters so --metrics shows both. *)
+    let cfg =
+      {
+        Service.default_config with
+        Service.cache_capacity = !cache_cap;
+        persist =
+          (if !store_dir <> "" then
+             Some (Omni_persist.Io.real ~dir:!store_dir)
+           else None);
+      }
+    in
     let svc =
       match tm with
-      | Some m -> Service.create ~cache_capacity:!cache_cap ~metrics:m ()
-      | None -> Service.create ~cache_capacity:!cache_cap ()
+      | Some m -> Service.of_config ~metrics:m cfg
+      | None -> Service.of_config cfg
     in
+    (match Service.recovery svc with
+    | None -> ()
+    | Some r ->
+        Printf.eprintf "omnirun serve: store recovery (%s): %s%!" !store_dir
+          (Omni_persist.Store.render_recovered r));
     let handles =
       List.map (fun path -> Service.submit svc (read_file path)) inputs
     in
@@ -490,6 +507,8 @@ let run_serve trace args =
         }
       end
     in
+    (* clean shutdown: flush the journal, commit the marker *)
+    Service.close svc;
     print_string (Service.render_batch report);
     if !stats then print_endline (Counters.to_json (Service.stats svc));
     if !metrics_dump then
@@ -497,6 +516,52 @@ let run_serve trace args =
     if report.Service.br_failures = 0 then 0 else 1
   in
   exit code
+
+(* omnirun store: offline inspection and maintenance of a --store-dir.
+   stat is a cheap physical description; fsck replays the journal with
+   every proof forced (witness obligations included) and reports what
+   would be recovered, quarantined, or dropped; compact rewrites the
+   store as a fresh generation holding only the survivors. Exit 0: store
+   healthy (fsck: nothing quarantined or torn); 1: issues found. *)
+let run_store _trace args =
+  let dir = ref "" in
+  let verb = ref "" in
+  let spec =
+    [ ("--store-dir", Arg.Set_string dir, "DIR the store directory") ]
+  in
+  Arg.parse_argv args spec
+    (fun a ->
+      if !verb = "" then verb := a
+      else if !dir = "" then dir := a
+      else raise (Arg.Bad (Printf.sprintf "stray argument %S" a)))
+    "omnirun store stat|fsck|compact [--store-dir] DIR";
+  if !verb = "" || !dir = "" then begin
+    prerr_endline "omnirun store: usage: omnirun store stat|fsck|compact DIR";
+    exit 2
+  end;
+  if not (Sys.file_exists !dir) then begin
+    Printf.eprintf "omnirun store: no such directory %s\n" !dir;
+    exit 2
+  end;
+  let module P = Omni_persist.Store in
+  let io = Omni_persist.Io.real ~dir:!dir in
+  match !verb with
+  | "stat" ->
+      print_string (P.render_stat (P.stat io));
+      exit 0
+  | "fsck" ->
+      let r = P.fsck io in
+      print_string (P.render_recovered r);
+      exit (if r.P.r_quarantined = [] && r.P.r_torn = 0 then 0 else 1)
+  | "compact" ->
+      let r, (before, after) = P.compact io in
+      print_string (P.render_recovered r);
+      Printf.printf "compacted: %d -> %d bytes\n" before after;
+      exit 0
+  | other ->
+      Printf.eprintf "omnirun store: unknown action %s (stat|fsck|compact)\n"
+        other;
+      exit 2
 
 (* omnirun cert: translate + certify + check one module per architecture,
    printing the witness summaries. With --mutate SEED, additionally derive
@@ -795,12 +860,7 @@ let run_lift trace args =
           if !crash_dir <> "" then
             Option.iter
               (fun report ->
-                let file =
-                  Filename.concat !crash_dir (Supervise.filename report)
-                in
-                Out_channel.with_open_bin file (fun oc ->
-                    output_string oc (Supervise.to_json report);
-                    output_char oc '\n');
+                let file = Supervise.write_report ~dir:!crash_dir report in
                 Printf.eprintf "omnirun lift: crash report written to %s\n"
                   file)
               (Supervise.of_run ~engine:eng ~sfi:!sfi ~producer:"stackvm"
@@ -853,6 +913,8 @@ let () =
       subcommand "cert" run_cert
     else if Array.length argv > 1 && argv.(1) = "lift" then
       subcommand "lift" run_lift
+    else if Array.length argv > 1 && argv.(1) = "store" then
+      subcommand "store" run_store
     else run_single trace argv
   with
   | Arg.Bad msg ->

@@ -1577,7 +1577,191 @@ let fastpath ~size =
     all_archs;
   Buffer.contents buf
 
-(* --- machine-readable benchmark snapshot (BENCH_9.json) ---------------
+(* --- persistence: crash-safe store restart costs (PR 10) --------------
+
+   One serving round (submit + translate on X86) is measured four ways:
+   with no store attached (the baseline), cold with journaling on (the
+   append overhead), reopened after a simulated kill -9 (dirty recovery:
+   journal replay + full witness re-proof), and reopened after a graceful
+   close (the clean-marker fast path). The warm serving round on the
+   recovered service shows the payoff: zero translations, only
+   witness re-checks. *)
+
+type persist_cell = {
+  pc_baseline_s : float; (* cold round, no store attached *)
+  pc_cold_s : float; (* cold round, journaling every admit *)
+  pc_dirty_restart_s : float; (* reopen after kill -9 (no marker) *)
+  pc_clean_restart_s : float; (* reopen after graceful close *)
+  pc_warm_round_s : float; (* serving round on the recovered service *)
+  pc_records : int; (* journal records on disk *)
+  pc_seg_bytes : int;
+  pc_recovered : int; (* records re-admitted on the dirty restart *)
+  pc_cert_checks : int; (* witness checks during the warm round *)
+  pc_full_verifies : int; (* full verifies there — stays 0 *)
+  pc_translations : int; (* translations there — stays 0 *)
+}
+
+let persist_measure ~size : persist_cell =
+  let module Svc = Omni_service.Service in
+  let module SC = Omni_service.Counters in
+  let module Exec = Omni_service.Exec in
+  let ws = workloads ~size in
+  (* The round is submit + translate + a fuel-capped run: execution cost
+     is identical cold and warm and is not what this section measures —
+     capping it keeps the admission path (translation vs witness
+     re-check) visible instead of drowned in simulated instructions. *)
+  let fuel = 5_000 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "omni-bench-persist-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let round svc =
+    List.iter
+      (fun (w : Omni_workloads.Workloads.t) ->
+        let p = prepare w in
+        let h = Svc.submit svc (Omnivm.Wire.encode p.p_exe) in
+        ignore (Svc.instantiate ~engine:(Exec.Target Arch.X86) ~fuel svc h))
+      ws
+  in
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (Sys.time () -. t0, r)
+  in
+  let persisted () =
+    { Svc.default_config with Svc.persist = Some (Omni_persist.Io.real ~dir) }
+  in
+  (* untimed warm-up: fill the prepare cache and pay one-time lazy
+     initialization so the first timed round isn't charged for it *)
+  round (Svc.create ());
+  let pc_baseline_s =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let s, () = time (fun () -> round (Svc.create ())) in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  (* cold requires an empty store, so each iteration wipes the directory;
+     the last iteration's (never-closed) store is what the restarts below
+     recover *)
+  let pc_cold_s =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      cleanup ();
+      let svc = Svc.of_config (persisted ()) in
+      let s, () = time (fun () -> round svc) in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  (* kill -9: drop the service without close — no clean marker. Opening
+     consumes the marker (a store is dirty until the next close), so the
+     dirty restart repeats without re-killing and can be taken
+     best-of-three like the other scheduler-sensitive paths. *)
+  let pc_dirty_restart_s, svc_warm =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to 3 do
+      let s, svc = time (fun () -> Svc.of_config (persisted ())) in
+      if s < !best then best := s;
+      last := Some svc
+    done;
+    (!best, Option.get !last)
+  in
+  let recovered =
+    match Svc.recovery svc_warm with
+    | Some r ->
+        List.length r.Omni_persist.Store.r_modules
+        + List.length r.Omni_persist.Store.r_translations
+    | None -> 0
+  in
+  (* the warm round is idempotent (submits dedupe, the cache hits), so
+     it too repeats; the counters are captured after the first round *)
+  let first_warm_s, () = time (fun () -> round svc_warm) in
+  let stats = Svc.stats svc_warm in
+  let pc_warm_round_s =
+    let best = ref first_warm_s in
+    for _ = 1 to 2 do
+      let s, () = time (fun () -> round svc_warm) in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  (* graceful shutdown commits the marker: the next open is the fast path *)
+  Svc.close svc_warm;
+  (* each clean open consumes the marker and each close rewrites it, so
+     this too repeats *)
+  let pc_clean_restart_s =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let s, svc = time (fun () -> Svc.of_config (persisted ())) in
+      if s < !best then best := s;
+      Svc.close svc
+    done;
+    !best
+  in
+  let st = Omni_persist.Store.stat (Omni_persist.Io.real ~dir) in
+  {
+    pc_baseline_s;
+    pc_cold_s;
+    pc_dirty_restart_s;
+    pc_clean_restart_s;
+    pc_warm_round_s;
+    pc_records = st.Omni_persist.Store.st_records;
+    pc_seg_bytes = st.Omni_persist.Store.st_seg_bytes;
+    pc_recovered = recovered;
+    pc_cert_checks = stats.SC.s_cert_checks;
+    pc_full_verifies = stats.SC.s_cert_full_verify;
+    pc_translations = stats.SC.s_translations;
+  }
+
+let persistence ~size =
+  let c = persist_measure ~size in
+  let ms s = 1e3 *. s in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "Persistence: crash-safe store restart costs (X86, submit+translate \
+     round)\n\n";
+  Printf.bprintf b "  cold round, no store attached   %8.2f ms\n"
+    (ms c.pc_baseline_s);
+  Printf.bprintf b
+    "  cold round, journaling on       %8.2f ms  (journal overhead %+.2f \
+     ms)\n"
+    (ms c.pc_cold_s)
+    (ms (c.pc_cold_s -. c.pc_baseline_s));
+  Printf.bprintf b
+    "  dirty restart (kill -9)         %8.2f ms  (replay + witness \
+     re-proof, %d records)\n"
+    (ms c.pc_dirty_restart_s) c.pc_recovered;
+  Printf.bprintf b "  clean restart (marker)          %8.2f ms\n"
+    (ms c.pc_clean_restart_s);
+  Printf.bprintf b
+    "  warm round after recovery       %8.2f ms  (%.1fx vs cold; %d \
+     witness checks, %d full verifies, %d translations)\n"
+    (ms c.pc_warm_round_s)
+    (c.pc_cold_s /. Float.max 1e-9 c.pc_warm_round_s)
+    c.pc_cert_checks c.pc_full_verifies c.pc_translations;
+  Printf.bprintf b "  store: %d records, %d segment bytes\n" c.pc_records
+    c.pc_seg_bytes;
+  Buffer.add_string b
+    (if c.pc_warm_round_s < c.pc_cold_s && c.pc_translations = 0 then
+       "  => recovered translations served warm: no re-translation after \
+        restart\n"
+     else "  => WARNING: warm round did not beat cold\n");
+  Buffer.contents b
+
+(* --- machine-readable benchmark snapshot (BENCH_10.json) --------------
 
    A compact re-measurement of the hot paths of every subsystem bench,
    emitted as stable JSON so successive runs can be diffed ([make
@@ -1876,6 +2060,32 @@ let bench_snapshot ~size : string =
     in
     per_cell @ pad_rows
   in
+  (* persistence: restart costs of the crash-safe store. Only the
+     CPU-dominated paths are gated (journaled cold round, warm round);
+     the restart timings are disk-bound — a few ms of fsync and page
+     cache — and jitter past the gate's 20% threshold on a shared host
+     even under a best-of-3 minimum, so they are reported in the
+     "restart" row below but not gated. *)
+  let persist_section =
+    let c = persist_measure ~size in
+    hot_add "persist.cold_us" (us c.pc_cold_s);
+    hot_add "persist.warm_round_us" (us c.pc_warm_round_s);
+    [ Printf.sprintf
+        "    \"cold\": {\"baseline_us\": %d, \"journaled_us\": %d, \
+         \"append_overhead_us\": %d}"
+        (us c.pc_baseline_s) (us c.pc_cold_s)
+        (max 0 (us (c.pc_cold_s -. c.pc_baseline_s)));
+      Printf.sprintf
+        "    \"restart\": {\"dirty_us\": %d, \"clean_us\": %d, \
+         \"warm_round_us\": %d, \"recovered\": %d}"
+        (us c.pc_dirty_restart_s) (us c.pc_clean_restart_s)
+        (us c.pc_warm_round_s) c.pc_recovered;
+      Printf.sprintf
+        "    \"store\": {\"records\": %d, \"segment_bytes\": %d, \
+         \"cert_checks\": %d, \"full_verifies\": %d, \"translations\": %d}"
+        c.pc_records c.pc_seg_bytes c.pc_cert_checks c.pc_full_verifies
+        c.pc_translations ]
+  in
   let obj name lines =
     Printf.sprintf "  \"%s\": {\n%s\n  }" name (String.concat ",\n" lines)
   in
@@ -1898,6 +2108,7 @@ let bench_snapshot ~size : string =
       obj "guest" guest_section; ",\n";
       obj "concurrency" concurrency_section; ",\n";
       obj "fastpath" fastpath_section; ",\n";
+      obj "persistence" persist_section; ",\n";
       obj "hot_paths" hot_lines; "\n}\n" ]
 
 let all_tables ~size =

@@ -144,9 +144,18 @@ val fastpath : size:Omni_workloads.Workloads.size -> string
     padding dimension: simulated cycles relative to native (cc) for
     every translation-time pad mode ({!Omni_sfi.Policy.pad}) per arch. *)
 
+val persistence : size:Omni_workloads.Workloads.size -> string
+(** Beyond the paper: restart costs of the crash-safe persistent store
+    ({!Omni_persist}) — one submit+translate round measured with no
+    store, cold with journaling (the append overhead), reopened dirty
+    (kill -9: journal replay plus full witness re-proof of every
+    translation) and reopened clean (the shutdown-marker fast path),
+    then served warm from the recovered cache: zero re-translations,
+    witness checks only. *)
+
 val bench_snapshot : size:Omni_workloads.Workloads.size -> string
 (** Machine-readable snapshot of every subsystem bench's hot paths
-    (the contents of [BENCH_9.json]): stable JSON, integer microseconds
+    (the contents of [BENCH_10.json]): stable JSON, integer microseconds
     of CPU time, with a flat ["hot_paths"] object that [make bench-gate]
     diffs across runs. The ["concurrency"] section additionally reports
     wall-clock throughput/latency per pool size; only its one-domain

@@ -43,6 +43,10 @@ type t = {
   shards : shard array; (* power-of-two length *)
   mask : int;
   c : Counters.t;
+  persist : Omni_persist.Store.t option;
+      (* write-behind: certified cold translations are journaled under
+         the shard lock; entries without a witness are not persisted
+         (recovery could not re-prove them) *)
 }
 
 let default_capacity = 256
@@ -52,7 +56,16 @@ let pow2_at_least n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ?(capacity = default_capacity) ?(shards = default_shards) c =
+let tprog_of_translated = function
+  | Exec.T_risc p -> Omni_persist.Store.P_risc p
+  | Exec.T_x86 p -> Omni_persist.Store.P_x86 p
+
+let translated_of_tprog = function
+  | Omni_persist.Store.P_risc p -> Exec.T_risc p
+  | Omni_persist.Store.P_x86 p -> Exec.T_x86 p
+
+let create ?(capacity = default_capacity) ?persist ?(shards = default_shards)
+    c =
   let n = pow2_at_least (max 1 shards) in
   (* capacity 0 disables caching entirely; otherwise each shard gets an
      equal slice, at least 1, so total capacity rounds up to a multiple
@@ -60,7 +73,7 @@ let create ?(capacity = default_capacity) ?(shards = default_shards) c =
   let per_shard = if capacity <= 0 then 0 else max 1 ((capacity + n - 1) / n) in
   { shards = Array.init n (fun _ ->
         { mu = Mutex.create (); lru = Lru.create ~capacity:per_shard });
-    mask = n - 1; c }
+    mask = n - 1; c; persist }
 
 let shard t (k : key) = t.shards.(Int64.to_int k.k_digest land t.mask)
 
@@ -169,6 +182,12 @@ let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
              with
             | Some _ -> Metrics.incr t.c.Counters.evictions
             | None -> ());
+            (match (t.persist, cert) with
+            | Some p, Some cert ->
+                Omni_persist.Store.append_translation p
+                  ~module_digest:k.k_digest ~mode:k.k_mode ~opts:k.k_opts
+                  ~cert (tprog_of_translated tr)
+            | _ -> ());
             Metrics.incr t.c.Counters.misses;
             Trace.count "cache.misses";
             Either.Right tr
@@ -182,6 +201,39 @@ let find_or_translate t (k : key) (exe : Omnivm.Exe.t) : Exec.translated =
 let peek t k =
   let s = shard t k in
   locked s.mu (fun () -> Lru.peek s.lru k)
+
+(* Recovery re-admission: the translation was proven at replay (witness
+   re-checked against the recomputed module digest), so it enters as
+   Verified with its certificate — every later warm hit still re-checks
+   the witness in [readmit], exactly like an entry the live path minted.
+   Counts no miss and no translation (no translator ran) and is never
+   re-journaled. *)
+let restore t (rt : Omni_persist.Store.rtrans) =
+  let tr = translated_of_tprog rt.Omni_persist.Store.rt_prog in
+  let k =
+    {
+      k_digest = rt.Omni_persist.Store.rt_module;
+      k_arch = Exec.arch_of tr;
+      k_mode = rt.Omni_persist.Store.rt_mode;
+      k_opts = rt.Omni_persist.Store.rt_opts;
+    }
+  in
+  let e =
+    {
+      tr;
+      verdict = Verified;
+      fp = rt.Omni_persist.Store.rt_fp;
+      cert = Some rt.Omni_persist.Store.rt_cert;
+    }
+  in
+  let s = shard t k in
+  locked s.mu @@ fun () ->
+  match Lru.find s.lru k with
+  | Some _ -> ()
+  | None -> (
+      match Lru.add s.lru k e with
+      | Some _ -> Metrics.incr t.c.Counters.evictions
+      | None -> ())
 
 (* Test hook: the mli's invariant says a corrupted cache cannot reach a
    simulator; tests corrupt an entry with this and watch the warm

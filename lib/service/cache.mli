@@ -54,8 +54,15 @@ exception Rejected of string
 
 type t
 
-val create : ?capacity:int -> ?shards:int -> Counters.t -> t
-(** Default capacity: 256 translation configurations, spread over
+val create :
+  ?capacity:int -> ?persist:Omni_persist.Store.t -> ?shards:int ->
+  Counters.t -> t
+(** [persist] attaches a journaled on-disk store: certified cold
+    translations are journaled (write-behind, under the shard lock) so a
+    restart recovers them instead of re-translating; entries without a
+    witness (SFI off, Guard mode, native baselines) are never persisted
+    because recovery could not re-prove them.
+    Default capacity: 256 translation configurations, spread over
     [shards] (default 8, rounded up to a power of two) independent LRUs
     partitioned by module digest — every configuration of one module
     shares a shard, distinct modules rarely contend. Each shard gets an
@@ -83,6 +90,13 @@ val find_or_translate : t -> key -> Omnivm.Exe.t -> Exec.translated
 val peek : t -> key -> entry option
 (** Inspect a cached entry without promoting it (for tests and
     introspection). *)
+
+val restore : t -> Omni_persist.Store.rtrans -> unit
+(** Re-admit a translation recovered (and proven) by the persistent
+    store's replay: enters as [Verified] with its certificate, counts
+    neither a miss nor a translation, and is not re-journaled. Warm hits
+    on restored entries still re-check the witness like any other entry
+    — [cache.cert.check] rises, [cache.cert.full_verify] does not. *)
 
 val inject : t -> key -> entry -> unit
 (** Test hook: overwrite a cached entry, simulating cache corruption.

@@ -43,6 +43,13 @@ type t = {
   quarantine_cleared : Metrics.counter;  (** manual clears *)
   crash_reports : Metrics.counter;  (** faulted runs reported *)
   deadline_exceeded : Metrics.counter;  (** watchdog faults among them *)
+  (* persistent store (see {!Omni_persist.Store}; both layers share these
+     instruments by registry name dedupe) *)
+  persist_append : Metrics.counter;  (** records journaled to disk *)
+  persist_replay : Metrics.counter;  (** journal records replayed at open *)
+  persist_recovered : Metrics.counter;  (** records re-admitted after proof *)
+  persist_quarantined : Metrics.counter;  (** records refused, with reason *)
+  persist_torn : Metrics.counter;  (** torn tails dropped *)
 }
 
 val create : ?metrics:Metrics.t -> unit -> t
@@ -77,6 +84,11 @@ type snapshot = {
   s_quarantine_cleared : int;
   s_crash_reports : int;
   s_deadline_exceeded : int;
+  s_persist_append : int;
+  s_persist_replay : int;
+  s_persist_recovered : int;
+  s_persist_quarantined : int;
+  s_persist_torn : int;
 }
 
 val snapshot : t -> snapshot
@@ -90,4 +102,12 @@ val render : snapshot -> string
 val pp : Format.formatter -> snapshot -> unit
 
 val to_json : snapshot -> string
-(** One-line JSON object (what [omnirun serve --stats] prints). *)
+(** One-line JSON object (what [omnirun serve --stats] prints). Every
+    snapshot field is present (plus the derived [hit_rate]); adding a
+    counter means extending snapshot, render, [to_json] {e and}
+    [of_json] together — the qcheck round-trip test enforces it. *)
+
+val of_json : string -> snapshot
+(** Inverse of {!to_json}; total on arbitrary text (unknown keys
+    ignored, missing keys zero). [of_json (to_json s) = s] up to the
+    6-decimal precision of the two histogram fields. *)

@@ -9,6 +9,7 @@ type config = {
   deadline_s : float option;
   watchdog_poll : int option;
   on_crash : (Supervise.report -> unit) option;
+  persist : Omni_persist.Io.t option;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     deadline_s = None;
     watchdog_poll = None;
     on_crash = None;
+    persist = None;
   }
 
 type t = {
@@ -30,20 +32,55 @@ type t = {
   watchdog_poll : int option;
   clock : Omni_util.Clock.t; (* drives watchdog deadlines *)
   on_crash : (Supervise.report -> unit) option;
+  persist : Omni_persist.Store.t option;
+  recovery : Omni_persist.Store.recovered option;
 }
 
-let of_config ?metrics ?(clock = Supervise.wall_clock) cfg =
+let of_config ?metrics ?(clock = Supervise.wall_clock) (cfg : config) =
   let c = Counters.create ?metrics () in
+  (* Open the journal (running total recovery) before the in-memory
+     layers exist, then replay the proven survivors into them through
+     the restore paths — which count no client traffic and never
+     re-journal. Modules go first: translations reference them. *)
+  let persist, recovery =
+    match cfg.persist with
+    | None -> (None, None)
+    | Some io ->
+        let p, r = Omni_persist.Store.open_ ~metrics:(Counters.metrics c) io in
+        (Some p, Some r)
+  in
+  let store = Store.create ~counters:c ?persist ~shards:cfg.shards () in
+  let cache =
+    Cache.create ~capacity:cfg.cache_capacity ?persist ~shards:cfg.shards c
+  in
+  (match recovery with
+  | None -> ()
+  | Some r ->
+      List.iter
+        (fun bytes -> ignore (Store.restore store bytes))
+        r.Omni_persist.Store.r_modules;
+      List.iter (Cache.restore cache) r.Omni_persist.Store.r_translations);
   {
-    store = Store.create ~counters:c ~shards:cfg.shards ();
-    cache = Cache.create ~capacity:cfg.cache_capacity ~shards:cfg.shards c;
+    store;
+    cache;
     c;
     quarantine = Option.map Supervise.Quarantine.create cfg.quarantine;
     deadline_s = cfg.deadline_s;
     watchdog_poll = cfg.watchdog_poll;
     clock;
     on_crash = cfg.on_crash;
+    persist;
+    recovery;
   }
+
+let recovery t = t.recovery
+
+let close t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Omni_persist.Store.flush p;
+      Omni_persist.Store.close p
 
 (* Pre-config entry point, kept as a thin wrapper over [of_config]. *)
 let create ?cache_capacity ?metrics ?quarantine ?deadline_s ?watchdog_poll

@@ -44,6 +44,12 @@ type config = {
   watchdog_poll : int option;  (** deadline poll interval, instructions *)
   on_crash : (Supervise.report -> unit) option;
       (** invoked (possibly concurrently) for every faulted run *)
+  persist : Omni_persist.Io.t option;
+      (** filesystem for the journaled on-disk store
+          ({!Omni_persist.Store}); [None] (default) keeps everything
+          in memory. Opening the service runs total recovery over it
+          (see {!recovery}); pair with {!close} for the clean-shutdown
+          fast path. *)
 }
 
 val default_config : config
@@ -75,6 +81,17 @@ val create :
 val metrics : t -> Omni_obs.Metrics.t
 (** The backing metrics registry (serving counters + anything else
     registered in it). *)
+
+val recovery : t -> Omni_persist.Store.recovered option
+(** What opening the persistent store recovered (validated modules and
+    translations re-admitted, quarantined records, torn tails); [None]
+    when the service has no persistence configured. *)
+
+val close : t -> unit
+(** Flush the journal and commit the clean-shutdown marker, so the next
+    open takes the fast recovery path. No-op without persistence; call
+    after the last submit/instantiate (further persisted admissions
+    raise). *)
 
 val submit : ?producer:string -> t -> string -> Store.handle
 (** Admit module bytes; see {!Store.submit} for validation, errors, and

@@ -34,6 +34,9 @@ type t = {
   shards : shard array; (* power-of-two length *)
   mask : int;
   c : Counters.t;
+  persist : Omni_persist.Store.t option;
+      (* write-behind: fresh admissions are journaled to disk under the
+         shard lock, so the on-disk order is an admission order *)
 }
 
 let default_shards = 8
@@ -42,13 +45,13 @@ let pow2_at_least n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ?counters ?(shards = default_shards) () =
+let create ?counters ?persist ?(shards = default_shards) () =
   let c = match counters with Some c -> c | None -> Counters.create () in
   let n = pow2_at_least (max 1 shards) in
   { shards = Array.init n (fun _ ->
         { mu = Mutex.create (); tbl = Hashtbl.create 16;
           ptbl = Hashtbl.create 16 });
-    mask = n - 1; c }
+    mask = n - 1; c; persist }
 
 let shard t (d : Fnv64.t) = t.shards.(Int64.to_int d land t.mask)
 
@@ -90,6 +93,29 @@ let submit ?producer t bytes =
         Hashtbl.replace s.tbl h
           { e_bytes = bytes; e_exe = exe; e_blueprint = bp;
             e_producer = producer };
+        Metrics.incr t.c.Counters.modules;
+        Metrics.incr ~by:(String.length bytes) t.c.Counters.bytes_stored;
+        (match t.persist with
+        | Some p -> Omni_persist.Store.append_module p bytes
+        | None -> ()) );
+  h
+
+(* Recovery re-admission: the bytes come from the persistent store's
+   validated replay, so they count as modules held ([modules],
+   [bytes_stored]) but not as client traffic ([submits], [dedup_hits])
+   — and they are never re-journaled. *)
+let restore t bytes =
+  let h = Fnv64.digest_string bytes in
+  let s = shard t h in
+  ( locked s.mu @@ fun () ->
+    match Hashtbl.find_opt s.tbl h with
+    | Some _ -> ()
+    | None ->
+        let exe = Omnivm.Wire.decode bytes in
+        let bp = Omni_runtime.Loader.blueprint exe in
+        Hashtbl.replace s.tbl h
+          { e_bytes = bytes; e_exe = exe; e_blueprint = bp;
+            e_producer = None };
         Metrics.incr t.c.Counters.modules;
         Metrics.incr ~by:(String.length bytes) t.c.Counters.bytes_stored );
   h

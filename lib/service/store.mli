@@ -20,14 +20,19 @@ val equal_handle : handle -> handle -> bool
 
 type t
 
-val create : ?counters:Counters.t -> ?shards:int -> unit -> t
+val create :
+  ?counters:Counters.t -> ?persist:Omni_persist.Store.t -> ?shards:int ->
+  unit -> t
 (** [counters] lets a service aggregate store activity with the rest of
-    the pipeline; a private record is used when omitted. [shards]
-    (default 8, rounded up to a power of two) partitions the store by
-    digest so concurrent submits and lookups of unrelated modules never
-    contend; all operations are safe from multiple domains, and counter
-    accounting stays exact under races (a module concurrently submitted
-    by many clients is stored once, the rest count as dedup hits). *)
+    the pipeline; a private record is used when omitted. [persist]
+    attaches a journaled on-disk store: every fresh admission is
+    journaled (write-behind, under the module's shard lock) so it
+    survives a restart. [shards] (default 8, rounded up to a power of
+    two) partitions the store by digest so concurrent submits and
+    lookups of unrelated modules never contend; all operations are safe
+    from multiple domains, and counter accounting stays exact under
+    races (a module concurrently submitted by many clients is stored
+    once, the rest count as dedup hits). *)
 
 exception Collision of handle
 (** Two distinct byte strings hit the same digest (astronomically
@@ -41,6 +46,13 @@ val submit : ?producer:string -> t -> string -> handle
     @raise Omnivm.Wire.Bad_module on malformed bytes.
     @raise Invalid_argument if the module's data does not fit.
     @raise Collision on a digest collision. *)
+
+val restore : t -> string -> handle
+(** Re-admit module bytes recovered from the persistent store: counted
+    as a held module ([modules], [bytes_stored]) but not as client
+    traffic (no [submits]), and never re-journaled. The bytes were
+    validated by recovery, but the decode runs again — a handle always
+    names a loadable module, whatever its provenance. *)
 
 exception Unknown_handle
 (** Raised by the accessors below for a handle this store never issued. *)

@@ -361,6 +361,22 @@ let filename (r : report) =
     (Exec.engine_name r.r_engine)
     (Fault.slug r.r_fault)
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_report ~dir (r : report) =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename r) in
+  let oc = open_out path in
+  output_string oc (to_json r);
+  output_char oc '\n';
+  close_out oc;
+  path
+
 let pp fmt (r : report) =
   Format.fprintf fmt "module %s faulted on %s: %s@\n"
     (Fnv64.to_hex r.r_digest)

@@ -71,6 +71,11 @@ val filename : report -> string
 (** Conventional file name ([crash-<digest>-<engine>-<fault>.json]) for
     [omnirun --crash-dir]. *)
 
+val write_report : dir:string -> report -> string
+(** Write the report as JSON under its {!filename} in [dir], creating
+    the directory (and parents) if missing; returns the path written —
+    the one way [omnirun --crash-dir] and the daemon drop reports. *)
+
 val pp : Format.formatter -> report -> unit
 (** Multi-line human-readable rendering with a register dump and hexdump
     window. *)

@@ -230,6 +230,114 @@ let hammer_predecode () =
   Alcotest.(check int) "every other run hit" (n - 2)
     c.Counters.s_predecode_hits
 
+(* --- persistent store hammer: 4 domains, mid-run reopen --- *)
+
+(* The same exact-counter discipline as [hammer_service], but over a
+   journaled store with a service restart in the middle: phase 1 hammers
+   a persistent service (runs racing re-submits on the same shards),
+   then the service closes and a second one recovers from the same
+   simulated disk and serves phase 2. Every response must match the
+   serial non-persistent reference bit for bit, the recovered
+   translations must serve warm (witness re-checks, zero re-translations
+   of phase-1 configurations), and the persist.* counters must add up
+   EXACTLY: appends = modules + distinct certified configurations, and
+   the restore path journals nothing. *)
+let hammer_persistent_store () =
+  let n = 48 in
+  let rng = Lcg.create 99 in
+  (* sfi stays on so every translation carries a witness and the append
+     arithmetic below is exact (uncertified entries are never persisted) *)
+  let sched =
+    Array.init n (fun _ ->
+        ( Lcg.int rng 2,
+          List.nth [ Arch.Mips; Arch.Sparc; Arch.Ppc; Arch.X86 ]
+            (Lcg.int rng 4) ))
+  in
+  let bytes = [| Lazy.force hello_bytes; Lazy.force loop_bytes |] in
+  let half = n / 2 in
+  let distinct lo hi =
+    let tbl = Hashtbl.create 16 in
+    for i = lo to hi - 1 do
+      Hashtbl.replace tbl sched.(i) ()
+    done;
+    tbl
+  in
+  let d1 = distinct 0 half in
+  let fresh2 =
+    let tbl = Hashtbl.create 16 in
+    for i = half to n - 1 do
+      if not (Hashtbl.mem d1 sched.(i)) then Hashtbl.replace tbl sched.(i) ()
+    done;
+    tbl
+  in
+  let run svc handles i =
+    let m, arch = sched.(i) in
+    Service.instantiate ~engine:(Exec.Target arch) ~sfi:true ~fuel svc
+      handles.(m)
+  in
+  (* serial reference on a non-persistent service *)
+  let ref_svc = Service.create () in
+  let ref_handles = Array.map (Service.submit ref_svc) bytes in
+  let reference = Array.init n (run ref_svc ref_handles) in
+  let io = Omni_persist.Io.sim () in
+  let persisted =
+    { Service.default_config with Service.persist = Some io }
+  in
+  let results = Array.make n None in
+  let hammer svc handles lo hi =
+    let worker d () =
+      let i = ref (lo + d) in
+      while !i < hi do
+        (* racing re-submits share shards with the runs; dedup keeps
+           them off the journal *)
+        ignore (Service.submit svc bytes.(fst sched.(!i)));
+        results.(!i) <- Some (run svc handles !i);
+        i := !i + domains
+      done
+    in
+    List.init domains (fun d -> Domain.spawn (worker d))
+    |> List.iter Domain.join
+  in
+  let svc1 = Service.of_config persisted in
+  let handles1 = Array.map (Service.submit svc1) bytes in
+  hammer svc1 handles1 0 half;
+  let c1 = Service.stats svc1 in
+  Alcotest.(check int) "phase 1 journaled modules + distinct configs"
+    (2 + Hashtbl.length d1)
+    c1.Counters.s_persist_append;
+  Service.close svc1;
+  (* mid-run reopen over the same disk *)
+  let svc2 = Service.of_config persisted in
+  let handles2 = Array.map (Service.submit svc2) bytes in
+  hammer svc2 handles2 half n;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r -> check_same i reference.(i) r
+      | None -> Alcotest.failf "request %d never ran" i)
+    results;
+  let c2 = Service.stats svc2 in
+  Alcotest.(check int) "replayed all of phase 1"
+    (2 + Hashtbl.length d1)
+    c2.Counters.s_persist_replay;
+  Alcotest.(check int) "recovered all of phase 1"
+    (2 + Hashtbl.length d1)
+    c2.Counters.s_persist_recovered;
+  Alcotest.(check int) "quarantined nothing" 0
+    c2.Counters.s_persist_quarantined;
+  Alcotest.(check int) "tore nothing" 0 c2.Counters.s_persist_torn;
+  Alcotest.(check int) "phase 2 journaled only unseen configs"
+    (Hashtbl.length fresh2)
+    c2.Counters.s_persist_append;
+  Alcotest.(check int) "phase 2 translated only unseen configs"
+    (Hashtbl.length fresh2)
+    c2.Counters.s_translations;
+  Alcotest.(check int) "no full-verify fallback on recovered entries" 0
+    c2.Counters.s_cert_full_verify;
+  Alcotest.(check int) "every warm hit re-checked its witness"
+    (n - half - Hashtbl.length fresh2)
+    c2.Counters.s_cert_checks
+
 (* --- server dispatch hammer: handle_request from several domains --- *)
 
 let hammer_server_dispatch () =
@@ -330,6 +438,8 @@ let () =
            store_concurrent_dedup;
          Alcotest.test_case "predecode cache, 4 domains" `Quick
            hammer_predecode;
+         Alcotest.test_case "persistent store, 4 domains + reopen" `Quick
+           hammer_persistent_store;
          Alcotest.test_case "server dispatch, 2 domains" `Quick
            hammer_server_dispatch ]);
       ("backpressure",

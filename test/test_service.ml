@@ -355,6 +355,83 @@ let qcheck_identity =
        QCheck.(make ~print:string_of_int Gen.int)
        service_matches_uncached)
 
+(* --- counters JSON: every field survives to_json/of_json ------------- *)
+
+(* A random snapshot. The two histogram-sum fields are seconds printed
+   at %.6f, so the generator snaps them to the 6-decimal grid — any
+   value on that grid must round-trip exactly. *)
+let gen_snapshot =
+  QCheck.Gen.(
+    let sec =
+      map2
+        (fun a b -> float_of_string (Printf.sprintf "%d.%06d" a b))
+        (int_bound 10_000) (int_bound 999_999)
+    in
+    map3
+      (fun i cold warm ->
+        {
+          Counters.s_submits = i 0;
+          s_modules = i 1;
+          s_dedup_hits = i 2;
+          s_bytes_stored = i 3;
+          s_predecode_hits = i 4;
+          s_predecode_misses = i 5;
+          s_hits = i 6;
+          s_misses = i 7;
+          s_evictions = i 8;
+          s_translations = i 9;
+          s_verifications = i 10;
+          s_cert_checks = i 11;
+          s_cert_full_verify = i 12;
+          s_verify_fail = i 13;
+          s_cold_translate_s = cold;
+          s_warm_admit_s = warm;
+          s_instantiations = i 14;
+          s_quarantine_trips = i 15;
+          s_quarantine_refused = i 16;
+          s_quarantine_cleared = i 17;
+          s_crash_reports = i 18;
+          s_deadline_exceeded = i 19;
+          s_persist_append = i 20;
+          s_persist_replay = i 21;
+          s_persist_recovered = i 22;
+          s_persist_quarantined = i 23;
+          s_persist_torn = i 24;
+        })
+      (map
+         (fun a k -> a.(k))
+         (array_size (return 25) (int_bound 1_000_000)))
+      sec sec)
+
+let qcheck_counters_json =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"counters snapshot JSON round-trip (all fields, incl. persist)"
+       (QCheck.make gen_snapshot ~print:Counters.to_json)
+       (fun s -> Counters.of_json (Counters.to_json s) = s))
+
+(* the rendered forms carry the post-schema counters too — a counter
+   added to the snapshot but forgotten in render/to_json is invisible in
+   [--stats] output, which is how the persist counters went missing *)
+let snapshot_surfaces_persist () =
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let c = Counters.create () in
+  Omni_obs.Metrics.incr c.Counters.persist_append;
+  let s = Counters.snapshot c in
+  Alcotest.(check int) "snapshot sees the bump" 1 s.Counters.s_persist_append;
+  Alcotest.(check bool) "to_json has persist_append" true
+    (contains (Counters.to_json s) "\"persist_append\":1");
+  Alcotest.(check bool) "render has a persistence line" true
+    (contains (Counters.render s) "persist");
+  Alcotest.(check bool) "of_json reads it back" true
+    ((Counters.of_json (Counters.to_json s)).Counters.s_persist_append = 1)
+
 let () =
   Alcotest.run "service"
     [ ("store",
@@ -382,4 +459,8 @@ let () =
       ("facade",
        [ Alcotest.test_case "run_wire_cached = run_wire" `Quick
            run_wire_cached_matches ]);
-      ("qcheck", [ qcheck_identity ]) ]
+      ("qcheck", [ qcheck_identity ]);
+      ("counters-json",
+       [ qcheck_counters_json;
+         Alcotest.test_case "persist counters surfaced" `Quick
+           snapshot_surfaces_persist ]) ]

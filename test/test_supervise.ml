@@ -307,6 +307,42 @@ let json_rejects_garbage () =
   reject "trailing garbage" (good ^ "x");
   reject "string escapes" {|{"schema":"omni-crash/1"}|}
 
+(* regression: [omnirun --crash-dir DIR] with a missing DIR must create
+   it (parents included) instead of failing the write at fault time *)
+let write_report_creates_missing_dir () =
+  let report = report_of_crashy () in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "omni-test-crashdir-%d" (Unix.getpid ()))
+  in
+  let dir = Filename.concat (Filename.concat base "nested") "deep" in
+  let cleanup () =
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+    List.iter
+      (fun d -> try Unix.rmdir d with Unix.Unix_error _ -> ())
+      [ dir; Filename.concat base "nested"; base ]
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let path = Supervise.write_report ~dir report in
+  Alcotest.(check bool) "report written" true (Sys.file_exists path);
+  Alcotest.(check string) "under the requested dir" dir
+    (Filename.dirname path);
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check bool) "round-trips" true
+    (Supervise.of_json (String.trim text) = report);
+  (* writing again into the now-existing dir is fine and lands on the
+     same conventional filename *)
+  let path2 = Supervise.write_report ~dir report in
+  Alcotest.(check string) "stable path" path path2
+
 (* --- replay --- *)
 
 let replay_reproduces_everywhere () =
@@ -597,7 +633,9 @@ let () =
       ("reports",
        [ Alcotest.test_case "fields" `Quick report_fields;
          qcheck_json_roundtrip;
-         Alcotest.test_case "rejects garbage" `Quick json_rejects_garbage ]);
+         Alcotest.test_case "rejects garbage" `Quick json_rejects_garbage;
+         Alcotest.test_case "write_report creates missing dir" `Quick
+           write_report_creates_missing_dir ]);
       ("replay",
        [ Alcotest.test_case "reproduces on every engine" `Quick
            replay_reproduces_everywhere;
